@@ -1,0 +1,79 @@
+"""Benchmark fixtures and the paper-style report writer.
+
+Benchmarks run on BN254 (the production curve, comparable to the paper's
+jPBC setting).  Pure-Python group arithmetic is slower than the authors'
+Java/PBC stack, so absolute numbers differ; the *shapes* — linear-in-q
+hard costs, flat soft costs, h-linear proof sizes, generation vs
+verification asymmetry — are the reproduction targets (see EXPERIMENTS.md).
+
+Every benchmark appends human-readable rows to ``bench_report.txt`` next
+to this file, in the same row/series layout as the paper's tables and
+figures.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.crypto.bn import bn254
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.params import EdbParams
+
+REPORT_PATH = Path(__file__).parent / "bench_report.txt"
+
+# The paper's exact Table II grid (q^h >= 2^128).
+FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
+
+
+class _Report:
+    def __init__(self):
+        self.lines: list[str] = []
+
+    def add(self, *lines: str) -> None:
+        self.lines.extend(lines)
+        for line in lines:
+            print(line)
+
+    def flush(self) -> None:
+        if self.lines:
+            stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+            with REPORT_PATH.open("a") as handle:
+                handle.write(f"\n=== bench run {stamp} ===\n")
+                handle.write("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture(scope="session")
+def report():
+    collector = _Report()
+    yield collector
+    collector.flush()
+
+
+@pytest.fixture(scope="session")
+def curve():
+    return bn254()
+
+
+_PARAMS_CACHE: dict[tuple[int, int], EdbParams] = {}
+
+
+@pytest.fixture(scope="session")
+def edb_params_for(curve):
+    """Factory returning cached EdbParams for a (q, h) grid point."""
+
+    def build(q: int, height: int) -> EdbParams:
+        key = (q, height)
+        if key not in _PARAMS_CACHE:
+            _PARAMS_CACHE[key] = EdbParams.generate(
+                curve,
+                DeterministicRng(f"bench-crs/{q}/{height}"),
+                q=q,
+                key_bits=128,
+                height=height,
+            )
+        return _PARAMS_CACHE[key]
+
+    return build

@@ -1,0 +1,123 @@
+"""E8 — ablations of this implementation's design choices.
+
+Quantifies the optimizations DESIGN.md calls out, so their value is
+measured rather than asserted:
+
+* **batched verification** — one shared final exponentiation with pairs
+  merged by G2 base, vs verifying each level's pairing equation alone
+  (this is what makes Figure 5's verification h-bound);
+* **Straus multi-scalar multiplication** — vs per-point double-and-add
+  for the qTMC witness computation (the Figure 4(a) hard-path driver);
+* **fixed-base generator windows** — vs generic scalar multiplication
+  (the soft-commitment and CRS driver).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.commit import commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.prove import prove_ownership
+from repro.zkedb.verify import verify_proof
+
+ABLATION_Q, ABLATION_H = 8, 43
+KEY = 0x0123_4567_89AB_CDEF_0123_4567_89AB_CDEF
+
+
+@pytest.fixture(scope="module")
+def committed(edb_params_for):
+    params = edb_params_for(ABLATION_Q, ABLATION_H)
+    database = ElementaryDatabase(128)
+    database.put(KEY, b"v=ablation")
+    com, dec = commit_edb(params, database, DeterministicRng("abl"))
+    proof = prove_ownership(params, dec, KEY)
+    return params, com, proof
+
+
+@pytest.mark.benchmark(group="E8-ablation-verify")
+def test_batched_verification(benchmark, committed, report):
+    params, com, proof = committed
+    outcome = benchmark.pedantic(
+        lambda: verify_proof(params, com, KEY, proof, batch=True),
+        rounds=2,
+        iterations=1,
+    )
+    assert outcome.is_value
+    report.add(
+        f"[E8] verify batched   (q={ABLATION_Q},h={ABLATION_H}): "
+        f"{benchmark.stats['mean']*1000:.0f}ms"
+    )
+
+
+@pytest.mark.benchmark(group="E8-ablation-verify")
+def test_per_level_verification(benchmark, committed, report):
+    params, com, proof = committed
+    outcome = benchmark.pedantic(
+        lambda: verify_proof(params, com, KEY, proof, batch=False),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.is_value
+    report.add(
+        f"[E8] verify per-level (q={ABLATION_Q},h={ABLATION_H}): "
+        f"{benchmark.stats['mean']*1000:.0f}ms "
+        f"(ablation: no shared final exponentiation)"
+    )
+
+
+@pytest.mark.benchmark(group="E8-ablation-multiexp")
+def test_straus_multi_mul(benchmark, curve, report):
+    g1 = curve.g1
+    rng = DeterministicRng("straus")
+    points = [g1.mul_gen(rng.randrange(1, curve.r)) for _ in range(128)]
+    scalars = [rng.randrange(1, curve.r) for _ in range(128)]
+    expected = benchmark.pedantic(
+        lambda: g1.multi_mul(points, scalars), rounds=2, iterations=1
+    )
+    report.add(
+        f"[E8] 128-point multi-exp, Straus:    {benchmark.stats['mean']*1000:.0f}ms"
+    )
+    assert expected is not None
+
+
+@pytest.mark.benchmark(group="E8-ablation-multiexp")
+def test_naive_multi_mul(benchmark, curve, report):
+    g1 = curve.g1
+    rng = DeterministicRng("straus")
+    points = [g1.mul_gen(rng.randrange(1, curve.r)) for _ in range(128)]
+    scalars = [rng.randrange(1, curve.r) for _ in range(128)]
+
+    def naive():
+        acc = None
+        for point, scalar in zip(points, scalars):
+            acc = g1.add(acc, g1.mul(point, scalar))
+        return acc
+
+    result = benchmark.pedantic(naive, rounds=2, iterations=1)
+    assert result == g1.multi_mul(points, scalars)
+    report.add(
+        f"[E8] 128-point multi-exp, per-point: {benchmark.stats['mean']*1000:.0f}ms "
+        f"(ablation: no shared doublings)"
+    )
+
+
+@pytest.mark.benchmark(group="E8-ablation-fixedbase")
+def test_fixed_base_mul_gen(benchmark, curve, report):
+    scalar = DeterministicRng("fb").randrange(1, curve.r)
+    curve.g1.mul_gen(2)  # warm the window table
+    benchmark(lambda: curve.g1.mul_gen(scalar))
+    report.add(
+        f"[E8] generator mul, fixed-base windows: {benchmark.stats['mean']*1000:.2f}ms"
+    )
+
+
+@pytest.mark.benchmark(group="E8-ablation-fixedbase")
+def test_generic_mul_of_generator(benchmark, curve, report):
+    scalar = DeterministicRng("fb").randrange(1, curve.r)
+    benchmark(lambda: curve.g1.mul(curve.g1.generator, scalar))
+    report.add(
+        f"[E8] generator mul, generic windowed:   {benchmark.stats['mean']*1000:.2f}ms "
+        f"(ablation: no precomputed table)"
+    )

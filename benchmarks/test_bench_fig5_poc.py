@@ -1,0 +1,84 @@
+"""E5 — Figure 5: computation overhead of ownership proofs.
+
+The paper's Figure 5 shows, over the Table II (q, h) grid:
+
+* ownership proof *generation* grows with both q and h;
+* ownership proof *verification* grows only with h;
+* generation is far more expensive than verification at large q.
+
+Our verifier batches all pairing equations into one final exponentiation
+(merging pairs by G2 base), which is exactly why its cost is h-dominated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.commit import commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.prove import prove_ownership
+from repro.zkedb.verify import verify_proof
+
+from conftest import FULL_TABLE2_GRID
+
+KEY = 0x5555_AAAA_5555_AAAA_5555_AAAA_5555_AAAA
+VALUE = b"v=bench;op=process"
+
+_gen_ms: dict[tuple[int, int], float] = {}
+_ver_ms: dict[tuple[int, int], float] = {}
+_committed: dict[tuple[int, int], tuple] = {}
+
+
+def _setup(edb_params_for, q, height):
+    key = (q, height)
+    if key not in _committed:
+        params = edb_params_for(q, height)
+        database = ElementaryDatabase(128)
+        database.put(KEY, VALUE)
+        com, dec = commit_edb(params, database, DeterministicRng(f"f5/{q}"))
+        _committed[key] = (params, com, dec)
+    return _committed[key]
+
+
+@pytest.mark.benchmark(group="E5-fig5-generation")
+@pytest.mark.parametrize("q,height", FULL_TABLE2_GRID)
+def test_ownership_generation(benchmark, edb_params_for, q, height, report):
+    params, _, dec = _setup(edb_params_for, q, height)
+    benchmark.pedantic(
+        lambda: prove_ownership(params, dec, KEY), rounds=2, iterations=1
+    )
+    _gen_ms[(q, height)] = benchmark.stats["mean"] * 1000
+    report.add(f"[E5/Fig5] generation  q={q:<4d} h={height:<3d} {_gen_ms[(q, height)]:9.1f}ms")
+
+
+@pytest.mark.benchmark(group="E5-fig5-verification")
+@pytest.mark.parametrize("q,height", FULL_TABLE2_GRID)
+def test_ownership_verification(benchmark, edb_params_for, q, height, report):
+    params, com, dec = _setup(edb_params_for, q, height)
+    proof = prove_ownership(params, dec, KEY)
+    outcome = benchmark.pedantic(
+        lambda: verify_proof(params, com, KEY, proof), rounds=2, iterations=1
+    )
+    assert outcome.is_value
+    _ver_ms[(q, height)] = benchmark.stats["mean"] * 1000
+    report.add(f"[E5/Fig5] verification q={q:<4d} h={height:<3d} {_ver_ms[(q, height)]:9.1f}ms")
+
+    if len(_ver_ms) == len(FULL_TABLE2_GRID) and len(_gen_ms) == len(FULL_TABLE2_GRID):
+        rows = [
+            (q_, h_, f"{_gen_ms[(q_, h_)]:.1f}ms", f"{_ver_ms[(q_, h_)]:.1f}ms")
+            for q_, h_ in FULL_TABLE2_GRID
+        ]
+        report.add(
+            "",
+            format_table(
+                ["q", "h", "Own-proof generation", "Own-proof verification"],
+                rows,
+                title="[E5] Figure 5 — computation overhead of ownership proofs",
+            ),
+        )
+        # Shape: generation exceeds verification at the largest q (the
+        # paper's headline observation).
+        big = FULL_TABLE2_GRID[-1]
+        assert _gen_ms[big] > _ver_ms[big]

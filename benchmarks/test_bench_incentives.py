@@ -1,0 +1,81 @@
+"""E7 (extension) — the double-edged incentive, quantified.
+
+Sweeps the bad-product probability beta and reports, for each strategy,
+the expected per-trace reputation gain and the risk-adjusted utility at
+the proxy's balanced penalty.  Expected shape: at the balanced point both
+deviations have ~zero mean and strictly negative utility for any
+risk-averse participant — the paper's Figure 3 argument as numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.crypto.rng import DeterministicRng
+from repro.desword.incentives import (
+    IncentiveParams,
+    balanced_negative_score,
+    expected_gain_per_trace,
+    monte_carlo_outcomes,
+    utility_per_trace,
+)
+
+BETAS = (0.005, 0.02, 0.05, 0.1)
+
+
+@pytest.mark.benchmark(group="E7-incentives")
+def test_incentive_sweep(benchmark, report):
+    def sweep():
+        rows = []
+        for beta in BETAS:
+            base = IncentiveParams(beta=beta, query_prob_good=0.05, query_prob_bad=0.9)
+            tuned = IncentiveParams(
+                beta=beta,
+                query_prob_good=0.05,
+                query_prob_bad=0.9,
+                negative_score=balanced_negative_score(base),
+                risk_aversion=0.5,
+            )
+            outcomes = monte_carlo_outcomes(
+                tuned, traces_per_participant=40, trials=2000,
+                rng=DeterministicRng(f"e7/{beta}"),
+            )
+            rows.append((beta, tuned, outcomes))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = []
+    for beta, tuned, outcomes in rows:
+        table.append(
+            (
+                beta,
+                f"{tuned.negative_score:.2f}",
+                f"{expected_gain_per_trace(tuned, 'delete'):+.4f}",
+                f"{utility_per_trace(tuned, 'delete'):+.4f}",
+                f"{expected_gain_per_trace(tuned, 'add'):+.4f}",
+                f"{utility_per_trace(tuned, 'add'):+.4f}",
+                f"{outcomes['delete'].win_rate:.3f}",
+                f"{outcomes['add'].win_rate:.3f}",
+            )
+        )
+        # Double-edged shape at the balanced point.
+        assert abs(expected_gain_per_trace(tuned, "delete")) < 1e-9
+        assert utility_per_trace(tuned, "delete") < 0
+        assert utility_per_trace(tuned, "add") < 0
+        assert outcomes["delete"].win_rate < 0.5
+        assert outcomes["add"].win_rate < 0.5
+
+    report.add(
+        "",
+        format_table(
+            [
+                "beta", "balanced s-",
+                "E[delete]", "U[delete]", "E[add]", "U[add]",
+                "P(del wins)", "P(add wins)",
+            ],
+            table,
+            title="[E7] Double-edged incentive at the balanced penalty",
+        ),
+    )

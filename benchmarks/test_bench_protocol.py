@@ -1,0 +1,164 @@
+"""E6 (extension) — end-to-end protocol overhead and baseline comparison.
+
+Not a paper table, but the system-level cost the paper's Section VI
+implies: distribution-phase and query-phase message/byte counts for
+DE-Sword (ZK backend), the Merkle baseline backend, and the Section II.C
+signature-list strawman — plus detection coverage under adversaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.crypto.rng import DeterministicRng
+from repro.crypto.signatures import generate_keypair
+from repro.desword.experiment import Deployment
+from repro.poc.baseline import BaselinePocScheme
+from repro.poc.scheme import PocScheme
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.zkedb.backend import ZkEdbBackend
+from repro.zkedb.hash_backend import MerkleEdbBackend
+from repro.zkedb.params import EdbParams
+
+KEY_BITS = 32
+N_PRODUCTS = 8
+
+
+def _build(scheme, seed="bench-protocol"):
+    chain = pharma_chain(DeterministicRng(seed + "/chain"))
+    return Deployment.build(chain, scheme, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def zk_scheme_toy():
+    from repro.crypto.bn import toy_bn
+
+    params = EdbParams.generate(
+        toy_bn(), DeterministicRng("bench-crs-toy"), q=8, key_bits=KEY_BITS
+    )
+    return PocScheme.ps_gen(ZkEdbBackend(params), KEY_BITS)
+
+
+@pytest.fixture(scope="module")
+def merkle_scheme():
+    return PocScheme.ps_gen(MerkleEdbBackend(q=8, key_bits=KEY_BITS), KEY_BITS)
+
+
+@pytest.mark.benchmark(group="E6-protocol")
+class TestEndToEnd:
+    @pytest.mark.parametrize("backend_name", ["zk", "merkle"])
+    def test_distribution_phase(
+        self, benchmark, backend_name, zk_scheme_toy, merkle_scheme, report
+    ):
+        scheme = zk_scheme_toy if backend_name == "zk" else merkle_scheme
+        products = product_batch(DeterministicRng("bp"), N_PRODUCTS, KEY_BITS)
+
+        def run():
+            deployment = _build(scheme)
+            _, phase = deployment.distribute(products)
+            return deployment, phase
+
+        deployment, phase = benchmark.pedantic(run, rounds=2, iterations=1)
+        report.add(
+            f"[E6] distribution ({backend_name}): "
+            f"{benchmark.stats['mean']*1000:.1f}ms, "
+            f"{phase.messages} msgs, {phase.bytes_sent} bytes"
+        )
+
+    @pytest.mark.parametrize("backend_name", ["zk", "merkle"])
+    def test_good_query(
+        self, benchmark, backend_name, zk_scheme_toy, merkle_scheme, report
+    ):
+        scheme = zk_scheme_toy if backend_name == "zk" else merkle_scheme
+        products = product_batch(DeterministicRng("bp"), N_PRODUCTS, KEY_BITS)
+        deployment = _build(scheme)
+        deployment.distribute(products)
+        result = benchmark.pedantic(
+            lambda: deployment.query(products[0], quality="good"),
+            rounds=2,
+            iterations=1,
+        )
+        assert result.path == deployment.ground_truth_path(products[0])
+        report.add(
+            f"[E6] good query ({backend_name}): "
+            f"{benchmark.stats['mean']*1000:.1f}ms, "
+            f"{result.messages} msgs, {result.bytes_sent} bytes"
+        )
+
+    @pytest.mark.parametrize("backend_name", ["zk", "merkle"])
+    def test_bad_query(
+        self, benchmark, backend_name, zk_scheme_toy, merkle_scheme, report
+    ):
+        scheme = zk_scheme_toy if backend_name == "zk" else merkle_scheme
+        products = product_batch(DeterministicRng("bp"), N_PRODUCTS, KEY_BITS)
+        deployment = _build(scheme)
+        deployment.distribute(products)
+        result = benchmark.pedantic(
+            lambda: deployment.query(products[1], quality="bad"),
+            rounds=2,
+            iterations=1,
+        )
+        assert result.path == deployment.ground_truth_path(products[1])
+        report.add(
+            f"[E6] bad query ({backend_name}): "
+            f"{benchmark.stats['mean']*1000:.1f}ms, "
+            f"{result.messages} msgs, {result.bytes_sent} bytes"
+        )
+
+
+@pytest.mark.benchmark(group="E6-pocagg")
+@pytest.mark.parametrize("n_traces", [1, 4, 16])
+def test_poc_agg_scaling(benchmark, curve, report, n_traces):
+    """POC-Agg (EDB commit) cost vs database size on BN254 at (q=8, h=43).
+
+    Not reported by the paper; included because it is the distribution-
+    phase cost a deployment plans around. Expected: roughly linear in the
+    trace count (one hard path per committed product)."""
+    from repro.poc.scheme import PocScheme
+    from repro.zkedb.backend import ZkEdbBackend
+    from repro.zkedb.params import EdbParams
+
+    params = EdbParams.generate(
+        curve, DeterministicRng("pocagg-crs"), q=8, key_bits=128
+    )
+    scheme = PocScheme.ps_gen(ZkEdbBackend(params), 128)
+    rng = DeterministicRng(f"pocagg/{n_traces}")
+    traces = {
+        rng.getrandbits(128): b"v=bench;op=process;idx=%d" % i
+        for i in range(n_traces)
+    }
+    benchmark.pedantic(
+        lambda: scheme.poc_agg(traces, "bench-participant", rng),
+        rounds=1,
+        iterations=1,
+    )
+    report.add(
+        f"[E6] POC-Agg n={n_traces:<3d} (q=8,h=43): "
+        f"{benchmark.stats['mean']*1000:.0f}ms"
+    )
+
+
+@pytest.mark.benchmark(group="E6-baseline")
+def test_signature_strawman_costs(benchmark, curve, report):
+    """The Section II.C strawman: cheaper, but cannot answer the denial
+    case at all — the qualitative comparison behind DE-Sword's design."""
+    scheme = BaselinePocScheme(curve)
+    key = generate_keypair(curve, DeterministicRng("straw"))
+    traces = {i: b"da-%d" % i for i in range(N_PRODUCTS)}
+
+    poc, dec = benchmark.pedantic(
+        lambda: scheme.poc_agg(traces, "v", key), rounds=2, iterations=1
+    )
+    report.add(
+        f"[E6] strawman POC-Agg ({N_PRODUCTS} traces): "
+        f"{benchmark.stats['mean']*1000:.1f}ms, "
+        f"POC {poc.size_bytes(curve)} bytes (ids in the clear)"
+    )
+    # The structural failure, stated as data: deletion leaves no evidence.
+    omitted, _ = scheme.poc_agg(traces, "v", key, omit={0})
+    assert scheme.poc_check_wellformed(omitted)
+    report.add(
+        "[E6] strawman deletion detectability: none "
+        "(omitted-entry POC is well-formed)"
+    )

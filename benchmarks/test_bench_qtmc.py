@@ -1,0 +1,134 @@
+"""E2/E3 — qTMC running times vs q (paper Figure 4a / 4b).
+
+Expected reproduction shapes:
+
+* Figure 4(a): qKGen, qHCom, qHOpen and qSOpen-of-hard all grow roughly
+  linearly with q, and hard opening costs the same as soft opening of a
+  hard commitment (identical witness computation).
+* Figure 4(b): every soft-commitment algorithm is flat in q and far
+  cheaper than the hard path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import ascii_chart
+from repro.commitments.qmercurial import QtmcParams
+from repro.crypto.rng import DeterministicRng
+
+Q_VALUES = (8, 16, 32, 64, 128)
+
+_params_cache: dict[int, QtmcParams] = {}
+_hard_cache: dict[int, tuple] = {}
+_series: dict[str, dict[int, float]] = {}
+
+
+def _record_point(series: str, q: int, mean_ms: float, report) -> None:
+    """Collect per-q means; emit the Figure 4 charts once complete."""
+    _series.setdefault(series, {})[q] = mean_ms
+    hard = ("qKGen", "qHCom", "qHOpen", "qSOpen(hard)")
+    soft = ("qSCom", "qSOpen(soft)", "qVerTease")
+    if all(len(_series.get(name, {})) == len(Q_VALUES) for name in hard + soft):
+        report.add(
+            "",
+            ascii_chart(
+                "[E2] Figure 4(a) — hard-path times vs q",
+                list(Q_VALUES),
+                {name: [_series[name][q] for q in Q_VALUES] for name in hard},
+            ),
+            "",
+            ascii_chart(
+                "[E3] Figure 4(b) — soft-path times vs q (flat)",
+                list(Q_VALUES),
+                {name: [_series[name][q] for q in Q_VALUES] for name in soft},
+            ),
+        )
+
+
+def _params(curve, q: int) -> QtmcParams:
+    if q not in _params_cache:
+        _params_cache[q] = QtmcParams.generate(
+            curve, q, DeterministicRng(f"qtmc-bench/{q}")
+        )
+    return _params_cache[q]
+
+
+def _hard(curve, q: int):
+    if q not in _hard_cache:
+        params = _params(curve, q)
+        messages = [1000 + i for i in range(q)]
+        _hard_cache[q] = params.hard_commit(
+            messages, DeterministicRng(f"qtmc-hard/{q}")
+        )
+    return _hard_cache[q]
+
+
+@pytest.mark.benchmark(group="E2-qtmc-hard")
+@pytest.mark.parametrize("q", Q_VALUES)
+class TestFigure4a:
+    def test_qkgen(self, benchmark, curve, q, report):
+        benchmark.pedantic(
+            lambda: QtmcParams.generate(curve, q, DeterministicRng(f"kg/{q}")),
+            rounds=1,
+            iterations=1,
+        )
+        report.add(f"[E2/Fig4a] qKGen   q={q:<4d} {benchmark.stats['mean']*1000:9.1f}ms")
+        _record_point("qKGen", q, benchmark.stats["mean"] * 1000, report)
+
+    def test_qhcom(self, benchmark, curve, q, report):
+        params = _params(curve, q)
+        messages = [1000 + i for i in range(q)]
+        rng = DeterministicRng(f"hcom/{q}")
+        benchmark.pedantic(
+            lambda: params.hard_commit(messages, rng), rounds=3, iterations=1
+        )
+        report.add(f"[E2/Fig4a] qHCom   q={q:<4d} {benchmark.stats['mean']*1000:9.1f}ms")
+        _record_point("qHCom", q, benchmark.stats["mean"] * 1000, report)
+
+    def test_qhopen(self, benchmark, curve, q, report):
+        params = _params(curve, q)
+        _, decommit = _hard(curve, q)
+        benchmark.pedantic(
+            lambda: params.hard_open(decommit, q // 2), rounds=3, iterations=1
+        )
+        report.add(f"[E2/Fig4a] qHOpen  q={q:<4d} {benchmark.stats['mean']*1000:9.1f}ms")
+        _record_point("qHOpen", q, benchmark.stats["mean"] * 1000, report)
+
+    def test_qsopen_of_hard(self, benchmark, curve, q, report):
+        params = _params(curve, q)
+        _, decommit = _hard(curve, q)
+        benchmark.pedantic(
+            lambda: params.tease_hard(decommit, q // 2), rounds=3, iterations=1
+        )
+        report.add(f"[E2/Fig4a] qSOpen(hard) q={q:<4d} {benchmark.stats['mean']*1000:9.1f}ms")
+        _record_point("qSOpen(hard)", q, benchmark.stats["mean"] * 1000, report)
+
+
+@pytest.mark.benchmark(group="E3-qtmc-soft")
+@pytest.mark.parametrize("q", Q_VALUES)
+class TestFigure4b:
+    def test_qscom(self, benchmark, curve, q, report):
+        params = _params(curve, q)
+        rng = DeterministicRng(f"scom/{q}")
+        benchmark(lambda: params.soft_commit(rng))
+        report.add(f"[E3/Fig4b] qSCom   q={q:<4d} {benchmark.stats['mean']*1000:9.2f}ms")
+        _record_point("qSCom", q, benchmark.stats["mean"] * 1000, report)
+
+    def test_qsopen_of_soft(self, benchmark, curve, q, report):
+        params = _params(curve, q)
+        _, soft_dec = params.soft_commit(DeterministicRng(f"sd/{q}"))
+        benchmark(lambda: params.tease_soft(soft_dec, q // 2, 77))
+        report.add(f"[E3/Fig4b] qSOpen(soft) q={q:<4d} {benchmark.stats['mean']*1000:9.2f}ms")
+        _record_point("qSOpen(soft)", q, benchmark.stats["mean"] * 1000, report)
+
+    def test_qverify_tease(self, benchmark, curve, q, report):
+        params = _params(curve, q)
+        commitment, decommit = _hard(curve, q)
+        tease = params.tease_hard(decommit, q // 2)
+        ok = benchmark.pedantic(
+            lambda: params.verify_tease(commitment, tease), rounds=3, iterations=1
+        )
+        report.add(f"[E3/Fig4b] qVerTease q={q:<4d} {benchmark.stats['mean']*1000:9.1f}ms")
+        _record_point("qVerTease", q, benchmark.stats["mean"] * 1000, report)
+        assert ok

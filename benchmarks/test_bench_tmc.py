@@ -1,0 +1,81 @@
+"""E1 — TMC micro-benchmark (paper Section VI.A, first micro-benchmark).
+
+The paper reports all seven TMC algorithms as lightweight, with HCom the
+most expensive at ~34 ms on their jPBC stack.  Expected reproduction
+shape: every algorithm is a handful of group operations, commitment
+generation the heaviest, verification comparable, teasing nearly free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.commitments.mercurial import TmcParams
+from repro.crypto.rng import DeterministicRng
+
+pytestmark = pytest.mark.benchmark(group="E1-tmc")
+
+
+@pytest.fixture(scope="module")
+def params(curve):
+    return TmcParams.generate(curve)
+
+
+@pytest.fixture(scope="module")
+def material(params):
+    rng = DeterministicRng("tmc-bench")
+    hard_com, hard_dec = params.hard_commit(42, rng.fork("h"))
+    soft_com, soft_dec = params.soft_commit(rng.fork("s"))
+    return {
+        "rng": rng,
+        "hard": (hard_com, hard_dec),
+        "soft": (soft_com, soft_dec),
+        "hard_opening": params.hard_open(hard_dec),
+        "hard_tease": params.tease_hard(hard_dec),
+        "soft_tease": params.tease_soft(soft_dec, 42),
+    }
+
+
+def test_hcom(benchmark, params, material, report):
+    result = benchmark(lambda: params.hard_commit(42, material["rng"]))
+    report.add(f"[E1] TMC HCom      mean={benchmark.stats['mean']*1000:.2f}ms")
+    assert result is not None
+
+
+def test_scom(benchmark, params, material, report):
+    benchmark(lambda: params.soft_commit(material["rng"]))
+    report.add(f"[E1] TMC SCom      mean={benchmark.stats['mean']*1000:.2f}ms")
+
+
+def test_hopen(benchmark, params, material, report):
+    _, hard_dec = material["hard"]
+    benchmark(lambda: params.hard_open(hard_dec))
+    report.add(f"[E1] TMC HOpen     mean={benchmark.stats['mean']*1000:.4f}ms")
+
+
+def test_tease_hard(benchmark, params, material, report):
+    _, hard_dec = material["hard"]
+    benchmark(lambda: params.tease_hard(hard_dec))
+    report.add(f"[E1] TMC Tease(h)  mean={benchmark.stats['mean']*1000:.4f}ms")
+
+
+def test_tease_soft(benchmark, params, material, report):
+    _, soft_dec = material["soft"]
+    benchmark(lambda: params.tease_soft(soft_dec, 42))
+    report.add(f"[E1] TMC Tease(s)  mean={benchmark.stats['mean']*1000:.4f}ms")
+
+
+def test_ver_hard_open(benchmark, params, material, report):
+    hard_com, _ = material["hard"]
+    opening = material["hard_opening"]
+    ok = benchmark(lambda: params.verify_hard_open(hard_com, opening))
+    report.add(f"[E1] TMC VerHOpen  mean={benchmark.stats['mean']*1000:.2f}ms")
+    assert ok
+
+
+def test_ver_tease(benchmark, params, material, report):
+    hard_com, _ = material["hard"]
+    tease = material["hard_tease"]
+    ok = benchmark(lambda: params.verify_tease(hard_com, tease))
+    report.add(f"[E1] TMC VerTease  mean={benchmark.stats['mean']*1000:.2f}ms")
+    assert ok

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""The double-edged incentive, end to end.
+
+Two layers of evidence that honesty is the best strategy:
+
+1. the abstract reward process (fast Monte-Carlo over thousands of
+   trials) showing both deviations are zero-mean gambles at the proxy's
+   balanced penalty; and
+2. the full protocol: three deployments — honest, trace-deleter, and
+   trace-adder — run through real distribution tasks and real queries,
+   with the resulting reputation compared.
+
+Run:  python examples/incentive_simulation.py
+"""
+
+from repro import DeterministicRng, Deployment, ReputationPolicy, pharma_chain
+from repro.desword import (
+    Behavior,
+    DeSwordConfig,
+    DistributionStrategy,
+    IncentiveParams,
+    balanced_negative_score,
+    expected_gain_per_trace,
+    monte_carlo_outcomes,
+    utility_per_trace,
+)
+from repro.supplychain import IndependentQualityModel, product_batch
+
+KEY_BITS = 32
+BETA = 0.25          # exaggerated bad-product risk so a small run shows it
+QUERY_FRACTION = 1.0  # the proxy samples every product in this demo
+
+
+def abstract_analysis() -> None:
+    print("=" * 64)
+    print("1. abstract reward process (per-trace, at balanced penalty)")
+    print("=" * 64)
+    base = IncentiveParams(beta=0.02, query_prob_good=0.05, query_prob_bad=0.9)
+    tuned = IncentiveParams(
+        beta=0.02,
+        query_prob_good=0.05,
+        query_prob_bad=0.9,
+        negative_score=balanced_negative_score(base),
+        risk_aversion=0.5,
+    )
+    print(f"balanced negative score s- = {tuned.negative_score:.3f}\n")
+    outcomes = monte_carlo_outcomes(
+        tuned, traces_per_participant=50, trials=4000, rng=DeterministicRng("mc")
+    )
+    print(f"{'strategy':<10s} {'E[gain]':>10s} {'U(risk-averse)':>16s} {'P(beats honest)':>16s}")
+    for name in ("honest", "delete", "add"):
+        print(
+            f"{name:<10s} {expected_gain_per_trace(tuned, name):>+10.4f} "
+            f"{utility_per_trace(tuned, name):>+16.4f} "
+            f"{outcomes[name].win_rate:>16.3f}"
+        )
+    print("\n-> both deviations: zero expected gain, strictly negative")
+    print("   risk-adjusted utility. The sword cuts both ways.\n")
+
+
+def protocol_simulation() -> None:
+    """Figure 3, run through the real protocol.
+
+    A participant commits its POC *before* knowing how the products will
+    turn out.  We replay the same decision in two futures — one where the
+    queried products are good, one where they are bad — and show each
+    strategy winning one edge and losing the other.
+    """
+    print("=" * 64)
+    print("2. full protocol: each strategy against both futures (Figure 3)")
+    print("=" * 64)
+    scheme = DeSwordConfig(
+        backend_kind="merkle", q=8, key_bits=KEY_BITS
+    ).build_scheme()
+    rng = DeterministicRng("incentive-protocol")
+    products = product_batch(rng.fork("products"), 30, KEY_BITS)
+
+    # Probe to find a busy distributor and the products it handles.
+    probe_chain = pharma_chain(DeterministicRng("ip").fork("chain"))
+    probe = Deployment.build(probe_chain, scheme, seed="ip")
+    record, _ = probe.distribute(products)
+    subject = max(
+        (p for p in record.involved_participants if p.startswith("L1")),
+        key=lambda p: sum(p in record.path_of(pid) for pid in products),
+    )
+    handled = [pid for pid in products if subject in record.path_of(pid)]
+    not_handled = [pid for pid in products if subject not in record.path_of(pid)]
+    print(f"subject: {subject} (really handled {len(handled)}/{len(products)} products)\n")
+
+    strategies = {
+        "honest": Behavior(),
+        "delete-all": Behavior(
+            distribution=DistributionStrategy(delete_ids=frozenset(handled))
+        ),
+        "add-fakes": Behavior(
+            distribution=DistributionStrategy(
+                add_traces=tuple(
+                    (pid, b"v=%s;op=fake" % subject.encode()) for pid in not_handled
+                )
+            )
+        ),
+    }
+    futures = {
+        "all products turn out good": IndependentQualityModel(beta=0.0),
+        "all products turn out bad": IndependentQualityModel(beta=1.0),
+    }
+    policy = ReputationPolicy(positive_score=1.0, negative_score=-1.0)
+
+    print(f"{'strategy':<12s} {'good future':>14s} {'bad future':>14s}")
+    for name, behavior in strategies.items():
+        scores = []
+        for oracle in futures.values():
+            chain = pharma_chain(DeterministicRng("ip").fork("chain"))
+            deployment = Deployment.build(
+                chain, scheme, oracle, behaviors={subject: behavior},
+                policy=policy, seed="ip",
+            )
+            deployment.distribute(products)
+            for pid in products:
+                deployment.sweep(pid)
+            scores.append(deployment.proxy.reputation.score_of(subject))
+        print(f"{name:<12s} {scores[0]:>+14.1f} {scores[1]:>+14.1f}")
+
+    print(
+        "\n-> the double edges of Figure 3: deletion beats honesty only in"
+        "\n   the bad future (and forfeits everything in the good one);"
+        "\n   addition beats honesty only in the good future (and is"
+        "\n   punished hardest in the bad one). Unable to predict product"
+        f"\n   quality (beta={BETA:.0%} in reality), neither lie has a"
+        "\n   guaranteed payoff — so rational participants commit honestly."
+    )
+
+
+def main() -> None:
+    abstract_analysis()
+    protocol_simulation()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""The paper's Section VI evaluation, in one quick run.
+
+Regenerates the rows of Table II and the series of Figures 4 and 5 on the
+fast toy curve (pass --bn254 for the production curve; expect minutes).
+The full-fidelity BN254 runs live in `pytest benchmarks/ --benchmark-only`;
+this script is the impatient reader's version.
+
+Run:  python examples/paper_evaluation.py [--bn254] [--repeats N]
+"""
+
+import argparse
+
+from repro.analysis.figures import ascii_chart
+from repro.analysis.report import format_table, kb
+from repro.analysis.timing import smoothed_ms
+from repro.commitments.qmercurial import QtmcParams
+from repro.crypto.bn import bn254, toy_bn
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.commit import commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.params import TABLE2_GRID, EdbParams
+from repro.zkedb.prove import prove_non_ownership, prove_ownership
+from repro.zkedb.verify import verify_proof
+
+Q_VALUES = (8, 16, 32, 64, 128)
+KEY = 0x1234_5678_9ABC_DEF0_1234_5678_9ABC_DEF0
+ABSENT = KEY ^ 0xFFFF
+VALUE = b"v=eval;op=process"
+
+
+def figure4(curve, repeats: int) -> None:
+    print("Figure 4 — qTMC running times (ms)")
+    rows = []
+    for q in Q_VALUES:
+        rng = DeterministicRng(f"fig4/{q}")
+        kgen_ms = smoothed_ms(
+            lambda: QtmcParams.generate(curve, q, rng.fork("kg")), repeats=1
+        )
+        params = QtmcParams.generate(curve, q, rng.fork("use"))
+        messages = list(range(1, q + 1))
+        hcom_ms = smoothed_ms(lambda: params.hard_commit(messages, rng), repeats)
+        _, hard_dec = params.hard_commit(messages, rng)
+        hopen_ms = smoothed_ms(lambda: params.hard_open(hard_dec, q // 2), repeats)
+        sopen_hard_ms = smoothed_ms(lambda: params.tease_hard(hard_dec, q // 2), repeats)
+        scom_ms = smoothed_ms(lambda: params.soft_commit(rng), repeats)
+        _, soft_dec = params.soft_commit(rng)
+        sopen_soft_ms = smoothed_ms(
+            lambda: params.tease_soft(soft_dec, q // 2, 7), repeats
+        )
+        rows.append(
+            (
+                q,
+                f"{kgen_ms:.1f}", f"{hcom_ms:.1f}", f"{hopen_ms:.1f}",
+                f"{sopen_hard_ms:.1f}", f"{scom_ms:.2f}", f"{sopen_soft_ms:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ["q", "qKGen", "qHCom", "qHOpen", "qSOpen(h)", "qSCom", "qSOpen(s)"],
+            rows,
+        )
+    )
+    print("shape: hard path linear in q; soft path flat (paper Fig. 4)\n")
+
+
+def table2_and_figure5(curve, repeats: int) -> None:
+    print("Table II + Figure 5 — POC proofs across the (q, h) grid")
+    rows = []
+    timings = []
+    for q, height in TABLE2_GRID:
+        params = EdbParams.generate(
+            curve, DeterministicRng(f"t2/{q}"), q=q, key_bits=128, height=height
+        )
+        database = ElementaryDatabase(128)
+        database.put(KEY, VALUE)
+        com, dec = commit_edb(params, database, DeterministicRng(f"c/{q}"))
+        own = prove_ownership(params, dec, KEY)
+        non = prove_non_ownership(params, dec, ABSENT)
+        gen_ms = smoothed_ms(lambda: prove_ownership(params, dec, KEY), repeats)
+        ver_ms = smoothed_ms(lambda: verify_proof(params, com, KEY, own), repeats)
+        assert verify_proof(params, com, KEY, own).is_value
+        assert verify_proof(params, com, ABSENT, non).is_absent
+        rows.append(
+            (
+                q, height,
+                kb(own.size_bytes(params)), kb(non.size_bytes(params)),
+                f"{gen_ms:.0f}ms", f"{ver_ms:.0f}ms",
+            )
+        )
+        timings.append((gen_ms, ver_ms))
+    print(
+        format_table(
+            ["q", "h", "Own proof", "N-Own proof", "Own gen", "Own verify"],
+            rows,
+        )
+    )
+    print(
+        "shape: sizes shrink with q (h-linear, q-independent); generation\n"
+        "grows with q*h; verification tracks h only (paper Table II, Fig. 5)\n"
+    )
+    print(
+        ascii_chart(
+            "Figure 5 (ASCII) — ownership proof computation",
+            [f"q={q},h={h}" for q, h in TABLE2_GRID],
+            {
+                "generation": [timing[0] for timing in timings],
+                "verification": [timing[1] for timing in timings],
+            },
+        )
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bn254", action="store_true", help="production curve")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    args = parser.parse_args()
+    curve = bn254() if args.bn254 else toy_bn()
+    print(f"curve: {curve.name} (p ~ 2^{curve.p.bit_length()})\n")
+    figure4(curve, args.repeats)
+    table2_and_figure5(curve, args.repeats)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""DE-Sword reproduction: incentivized verifiable product path query for
+RFID-enabled supply chains (Qi et al., ICDCS 2017).
+
+Public API layers:
+
+* :mod:`repro.crypto` — from-scratch BN-curve pairing substrate;
+* :mod:`repro.commitments` — mercurial (TMC) and q-mercurial (qTMC)
+  commitments;
+* :mod:`repro.zkedb` — the zero-knowledge elementary database plus a
+  Merkle baseline backend;
+* :mod:`repro.poc` — the POC scheme (Table I) and the signature-list
+  strawman baseline;
+* :mod:`repro.supplychain` — the RFID supply-chain world model;
+* :mod:`repro.desword` — the protocol: phases, proxy, reputation,
+  adversaries, applications, incentive analysis;
+* :mod:`repro.analysis` — experiment harness helpers.
+
+Quickstart::
+
+    from repro import DeSwordConfig, Deployment, pharma_chain, DeterministicRng
+    from repro.supplychain import product_batch
+
+    rng = DeterministicRng("quickstart")
+    config = DeSwordConfig(backend_kind="zk", curve_kind="toy", q=4, key_bits=32)
+    deployment = Deployment.build(pharma_chain(rng), config.build_scheme())
+    products = product_batch(rng, 8, key_bits=32)
+    deployment.distribute(products)
+    print(deployment.query(products[0]).path)
+"""
+
+from .crypto import BNCurve, DeterministicRng, bn254, toy_bn
+from .desword import (
+    Behavior,
+    DeSwordConfig,
+    Deployment,
+    QueryProxy,
+    QueryResult,
+    ReputationPolicy,
+)
+from .poc import BaselinePocScheme, PocScheme
+from .supplychain import pharma_chain, random_dag_chain
+from .zkedb import EdbParams, ElementaryDatabase, MerkleEdbBackend, ZkEdbBackend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BNCurve",
+    "bn254",
+    "toy_bn",
+    "DeterministicRng",
+    "EdbParams",
+    "ElementaryDatabase",
+    "ZkEdbBackend",
+    "MerkleEdbBackend",
+    "PocScheme",
+    "BaselinePocScheme",
+    "DeSwordConfig",
+    "Deployment",
+    "QueryProxy",
+    "QueryResult",
+    "ReputationPolicy",
+    "Behavior",
+    "pharma_chain",
+    "random_dag_chain",
+]

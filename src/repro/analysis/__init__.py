@@ -1,0 +1,18 @@
+"""Experiment analysis helpers: size models, table formatting, timing."""
+
+from .figures import ascii_chart, ascii_grouped_chart
+from .report import format_series, format_table, kb
+from .sizes import ProofSizeModel, size_model_for
+from .timing import Stopwatch, smoothed_ms
+
+__all__ = [
+    "ProofSizeModel",
+    "size_model_for",
+    "format_table",
+    "format_series",
+    "kb",
+    "smoothed_ms",
+    "Stopwatch",
+    "ascii_chart",
+    "ascii_grouped_chart",
+]

@@ -1,0 +1,65 @@
+"""ASCII rendering of figure series.
+
+The repository is terminal-first, so the paper's figures are reproduced
+as aligned ASCII charts: one bar row per (x, series) point, log-free
+linear scaling, values printed exactly.  Used by the benchmark report and
+``examples/paper_evaluation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "ascii_grouped_chart"]
+
+_BAR = "#"
+_WIDTH = 40
+
+
+def ascii_chart(
+    title: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    unit: str = "ms",
+) -> str:
+    """Render several series over shared x-values as horizontal bars.
+
+    Bars share one linear scale across all series, so relative magnitudes
+    (the 'shapes' under reproduction) are visually comparable.
+    """
+    if not series:
+        return title
+    peak = max(max(values) for values in series.values()) or 1.0
+    name_width = max(len(name) for name in series)
+    x_width = max(len(str(x)) for x in xs)
+    lines = [title]
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(f"series {name!r} length does not match xs")
+        for x, value in zip(xs, values):
+            bar = _BAR * max(1, round(value / peak * _WIDTH)) if value > 0 else ""
+            lines.append(
+                f"  {name:<{name_width}s} {str(x):>{x_width}s} |"
+                f"{bar:<{_WIDTH}s}| {value:.2f}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def ascii_grouped_chart(
+    title: str,
+    rows: Sequence[tuple[object, float]],
+    unit: str = "ms",
+) -> str:
+    """A single-series variant: one (label, value) bar per row."""
+    if not rows:
+        return title
+    peak = max(value for _, value in rows) or 1.0
+    label_width = max(len(str(label)) for label, _ in rows)
+    lines = [title]
+    for label, value in rows:
+        bar = _BAR * max(1, round(value / peak * _WIDTH)) if value > 0 else ""
+        lines.append(
+            f"  {str(label):<{label_width}s} |{bar:<{_WIDTH}s}| {value:.2f}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Table and series formatting for the experiment harness.
+
+The benchmarks print results in the same row/series layout the paper
+reports (Table II rows, Figure 4/5 series), so a run can be compared to
+the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "kb"]
+
+
+def kb(size_bytes: int | float) -> str:
+    """Kilobyte rendering in the paper's style (e.g. '8.94KB')."""
+    return f"{size_bytes / 1024:.2f}KB"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width text table."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def render(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], unit: str = "ms"
+) -> str:
+    """One figure series as 'name: x=y<unit>, ...'."""
+    points = ", ".join(f"{x}={y:.2f}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"

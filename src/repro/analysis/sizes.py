@@ -1,0 +1,70 @@
+"""Analytic proof-size model (validates measured Table II numbers).
+
+Proof sizes are linear in the tree height h and independent of q; this
+module predicts them from the serialization layout so the benchmark can
+check measured == predicted and the docs can explain where every byte
+goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.bn import BNCurve
+from ..zkedb.params import EdbParams
+
+__all__ = ["ProofSizeModel", "size_model_for"]
+
+
+@dataclass(frozen=True)
+class ProofSizeModel:
+    """Predicted wire sizes for one (q, h) parameterisation."""
+
+    q: int
+    height: int
+    g1_bytes: int
+    scalar_bytes: int
+    key_bytes: int
+
+    def ownership_bytes(self, value_length: int) -> int:
+        """tag + key + h openings + (h-1) child pairs + leaf pair + leaf
+        opening + length-prefixed value."""
+        opening = self.scalar_bytes + self.g1_bytes + self.scalar_bytes
+        commitment_pair = 2 * self.g1_bytes
+        leaf_opening = 3 * self.scalar_bytes
+        return (
+            1
+            + self.key_bytes
+            + self.height * opening
+            + (self.height - 1) * commitment_pair
+            + commitment_pair
+            + leaf_opening
+            + 4
+            + value_length
+        )
+
+    def non_ownership_bytes(self) -> int:
+        """tag + key + h teases + (h-1) child pairs + leaf pair + leaf tease."""
+        tease = self.scalar_bytes + self.g1_bytes
+        commitment_pair = 2 * self.g1_bytes
+        leaf_tease = 2 * self.scalar_bytes
+        return (
+            1
+            + self.key_bytes
+            + self.height * tease
+            + (self.height - 1) * commitment_pair
+            + commitment_pair
+            + leaf_tease
+        )
+
+
+def size_model_for(params: EdbParams) -> ProofSizeModel:
+    """The size model matching a parameter set's serialization layout."""
+    curve: BNCurve = params.curve
+    return ProofSizeModel(
+        q=params.q,
+        height=params.height,
+        g1_bytes=1 + curve.fp.byte_length,
+        scalar_bytes=(curve.r.bit_length() + 7) // 8,
+        key_bytes=params.key_bits // 8,
+    )

@@ -1,0 +1,51 @@
+"""Timing helpers for the experiment harness.
+
+The paper smooths every measurement over 50 runs; :func:`smoothed_ms`
+does the same (with a configurable repeat count so the pure-Python
+benchmarks stay tractable at large parameters).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["smoothed_ms", "Stopwatch"]
+
+
+def smoothed_ms(operation: Callable[[], object], repeats: int = 50) -> float:
+    """Mean wall-clock milliseconds over ``repeats`` runs."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    start = time.perf_counter()
+    for _ in range(repeats):
+        operation()
+    return (time.perf_counter() - start) * 1000.0 / repeats
+
+
+class Stopwatch:
+    """Accumulates named timings: ``with watch('commit'): ...``."""
+
+    def __init__(self):
+        self.totals_ms: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._label: str | None = None
+        self._start = 0.0
+
+    def __call__(self, label: str) -> "Stopwatch":
+        self._label = label
+        return self
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = (time.perf_counter() - self._start) * 1000.0
+        label = self._label or "unlabelled"
+        self.totals_ms[label] = self.totals_ms.get(label, 0.0) + elapsed
+        self.counts[label] = self.counts.get(label, 0) + 1
+        self._label = None
+
+    def mean_ms(self, label: str) -> float:
+        return self.totals_ms[label] / self.counts[label]

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three self-contained entry points:
+
+* ``demo``       — build a chain, distribute products, run one query;
+* ``evaluate``   — regenerate Table II / Figure 4 / Figure 5 rows;
+* ``incentives`` — print the double-edged incentive analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .analysis.figures import ascii_chart
+from .analysis.report import format_table, kb
+from .analysis.timing import smoothed_ms
+from .crypto.rng import DeterministicRng
+from .desword.config import DeSwordConfig
+from .desword.experiment import Deployment
+from .desword.incentives import (
+    IncentiveParams,
+    balanced_negative_score,
+    expected_gain_per_trace,
+    monte_carlo_outcomes,
+    utility_per_trace,
+)
+from .supplychain.generator import pharma_chain, product_batch
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    config = DeSwordConfig(
+        backend_kind=args.backend,
+        curve_kind=args.curve,
+        q=args.q,
+        key_bits=args.key_bits,
+        seed=args.seed,
+    )
+    rng = DeterministicRng(args.seed)
+    deployment = Deployment.build(
+        pharma_chain(rng.fork("chain")), config.build_scheme(), seed=args.seed
+    )
+    products = product_batch(rng.fork("products"), args.products, args.key_bits)
+    record, phase = deployment.distribute(products)
+    print(
+        f"distributed {len(products)} products through "
+        f"{len(record.involved_participants)} participants "
+        f"({phase.messages} msgs, {phase.bytes_sent} bytes)"
+    )
+    for product_id in products[: args.queries]:
+        result = deployment.query(product_id)
+        status = "OK " if result.path == record.path_of(product_id) else "?? "
+        print(
+            f"{status}{result.quality:<4s} {product_id:#x}: "
+            f"{' -> '.join(result.path)}"
+        )
+    print("\nreputation:")
+    for participant, score in deployment.proxy.reputation.leaderboard():
+        print(f"  {participant:<16s} {score:+.1f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .crypto.bn import bn254, toy_bn
+    from .zkedb.commit import commit_edb
+    from .zkedb.edb import ElementaryDatabase
+    from .zkedb.params import TABLE2_GRID, EdbParams
+    from .zkedb.prove import prove_non_ownership, prove_ownership
+    from .zkedb.verify import verify_proof
+
+    curve = bn254() if args.curve == "bn254" else toy_bn()
+    print(f"curve: {curve.name}\n")
+    key = 0x1234_5678_9ABC_DEF0_1234_5678_9ABC_DEF0
+    rows = []
+    gen_series, ver_series = [], []
+    for q, height in TABLE2_GRID:
+        params = EdbParams.generate(
+            curve, DeterministicRng(f"cli/{q}"), q=q, key_bits=128, height=height
+        )
+        database = ElementaryDatabase(128)
+        database.put(key, b"v=cli")
+        com, dec = commit_edb(params, database, DeterministicRng(f"c/{q}"))
+        own = prove_ownership(params, dec, key)
+        non = prove_non_ownership(params, dec, key ^ 1)
+        gen_ms = smoothed_ms(lambda: prove_ownership(params, dec, key), args.repeats)
+        ver_ms = smoothed_ms(
+            lambda: verify_proof(params, com, key, own), args.repeats
+        )
+        rows.append(
+            (q, height, kb(own.size_bytes(params)), kb(non.size_bytes(params)),
+             f"{gen_ms:.0f}ms", f"{ver_ms:.0f}ms")
+        )
+        gen_series.append(gen_ms)
+        ver_series.append(ver_ms)
+    print(
+        format_table(
+            ["q", "h", "Own proof", "N-Own proof", "gen", "verify"],
+            rows,
+            title="Table II + Figure 5",
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            "Figure 5 (ASCII)",
+            [f"q={q}" for q, _ in TABLE2_GRID],
+            {"generation": gen_series, "verification": ver_series},
+        )
+    )
+    return 0
+
+
+def _cmd_incentives(args: argparse.Namespace) -> int:
+    base = IncentiveParams(
+        beta=args.beta,
+        query_prob_good=args.rho_good,
+        query_prob_bad=args.rho_bad,
+    )
+    tuned = IncentiveParams(
+        beta=args.beta,
+        query_prob_good=args.rho_good,
+        query_prob_bad=args.rho_bad,
+        negative_score=balanced_negative_score(base),
+        risk_aversion=args.risk_aversion,
+    )
+    print(f"balanced negative score: {tuned.negative_score:.4f}\n")
+    outcomes = monte_carlo_outcomes(
+        tuned, args.traces, args.trials, DeterministicRng("cli-incentives")
+    )
+    rows = [
+        (
+            name,
+            f"{expected_gain_per_trace(tuned, name):+.4f}",
+            f"{utility_per_trace(tuned, name):+.4f}",
+            f"{outcomes[name].mean:+.3f}",
+            f"{outcomes[name].std:.3f}",
+            f"{outcomes[name].win_rate:.3f}",
+        )
+        for name in ("honest", "delete", "add")
+    ]
+    print(
+        format_table(
+            ["strategy", "E[gain]/trace", "utility/trace", "MC mean", "MC std", "P(beats honest)"],
+            rows,
+            title=f"double-edged incentive (beta={args.beta})",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DE-Sword reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="end-to-end protocol demo")
+    demo.add_argument("--backend", choices=["zk", "merkle"], default="zk")
+    demo.add_argument("--curve", choices=["toy", "bn254"], default="toy")
+    demo.add_argument("--q", type=int, default=4)
+    demo.add_argument("--key-bits", type=int, default=32)
+    demo.add_argument("--products", type=int, default=8)
+    demo.add_argument("--queries", type=int, default=3)
+    demo.add_argument("--seed", default="cli-demo")
+    demo.set_defaults(func=_cmd_demo)
+
+    evaluate = sub.add_parser("evaluate", help="regenerate the paper's tables")
+    evaluate.add_argument("--curve", choices=["toy", "bn254"], default="toy")
+    evaluate.add_argument("--repeats", type=int, default=3)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    incentives = sub.add_parser("incentives", help="double-edged analysis")
+    incentives.add_argument("--beta", type=float, default=0.02)
+    incentives.add_argument("--rho-good", type=float, default=0.05)
+    incentives.add_argument("--rho-bad", type=float, default=0.9)
+    incentives.add_argument("--risk-aversion", type=float, default=0.5)
+    incentives.add_argument("--traces", type=int, default=40)
+    incentives.add_argument("--trials", type=int, default=2000)
+    incentives.set_defaults(func=_cmd_incentives)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

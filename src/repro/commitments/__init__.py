@@ -1,0 +1,41 @@
+"""Commitment schemes: Pedersen, mercurial (TMC) and q-mercurial (qTMC).
+
+The mercurial schemes are the paper's building blocks for the ZK-EDB: TMC
+labels the leaves of the q-ary tree, qTMC labels the internal nodes
+(Section VI.A of the paper).
+"""
+
+from .mercurial import (
+    TmcCommitment,
+    TmcHardDecommit,
+    TmcHardOpening,
+    TmcParams,
+    TmcSoftDecommit,
+    TmcTease,
+)
+from .pedersen import PedersenCommitment, PedersenParams
+from .qmercurial import (
+    QtmcCommitment,
+    QtmcHardDecommit,
+    QtmcHardOpening,
+    QtmcParams,
+    QtmcSoftDecommit,
+    QtmcTease,
+)
+
+__all__ = [
+    "PedersenParams",
+    "PedersenCommitment",
+    "TmcParams",
+    "TmcCommitment",
+    "TmcHardDecommit",
+    "TmcSoftDecommit",
+    "TmcHardOpening",
+    "TmcTease",
+    "QtmcParams",
+    "QtmcCommitment",
+    "QtmcHardDecommit",
+    "QtmcSoftDecommit",
+    "QtmcHardOpening",
+    "QtmcTease",
+]

@@ -1,0 +1,225 @@
+"""Trapdoor mercurial commitments (TMC).
+
+The discrete-log construction of Chase, Healy, Lysyanskaya, Malkin and
+Reyzin (EUROCRYPT 2005), which the paper uses for the *leaf* nodes of the
+ZK-EDB tree.  A mercurial commitment supports two flavours:
+
+* **hard** commitments bind like ordinary commitments: they can be
+  hard-opened and soft-opened (*teased*) only to the committed message;
+* **soft** commitments can never be hard-opened, but can be teased to any
+  message.
+
+Construction (group G1 of order r with generators g and h = g^alpha,
+alpha unknown):
+
+* ``HardCommit(m; r0, r1)``:  C0 = h^r0,  C1 = g^m * C0^r1
+* ``SoftCommit(; s0, s1)``:   C0 = g^s0,  C1 = g^s1
+* ``Tease`` of a hard commitment: reveal tau = r1; of a soft commitment to
+  any m: tau = (s1 - m)/s0.
+* ``HardOpen``: reveal (m, r0, r1); the verifier additionally checks
+  C0 = h^r0, which a soft committer cannot satisfy without solving DL.
+
+With the trapdoor alpha the simulator can produce *fake* commitments that
+look hard yet open to anything (`fake_commit` / `equivocate_*`) — this is
+what gives the ZK-EDB its zero-knowledge simulator, and the tests use it
+to demonstrate the trapdoor is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.bn import BNCurve
+from ..crypto.curve import G1Point
+from ..crypto.rng import DeterministicRng
+from ..crypto.serialize import encode_scalar, g1_to_bytes
+
+__all__ = [
+    "TmcParams",
+    "TmcCommitment",
+    "TmcHardDecommit",
+    "TmcSoftDecommit",
+    "TmcHardOpening",
+    "TmcTease",
+]
+
+
+@dataclass(frozen=True)
+class TmcCommitment:
+    """The public commitment pair (C0, C1)."""
+
+    c0: G1Point
+    c1: G1Point
+
+    def to_bytes(self, curve: BNCurve) -> bytes:
+        return g1_to_bytes(curve, self.c0) + g1_to_bytes(curve, self.c1)
+
+
+@dataclass(frozen=True)
+class TmcHardDecommit:
+    """Private state for a hard commitment."""
+
+    message: int
+    r0: int
+    r1: int
+
+
+@dataclass(frozen=True)
+class TmcSoftDecommit:
+    """Private state for a soft commitment."""
+
+    s0: int
+    s1: int
+
+
+@dataclass(frozen=True)
+class TmcHardOpening:
+    """A hard opening (binds the committer to having hard-committed m)."""
+
+    message: int
+    r0: int
+    r1: int
+
+    def to_bytes(self, curve: BNCurve) -> bytes:
+        return (
+            encode_scalar(curve, self.message)
+            + encode_scalar(curve, self.r0)
+            + encode_scalar(curve, self.r1)
+        )
+
+
+@dataclass(frozen=True)
+class TmcTease:
+    """A soft opening (tease) to a message."""
+
+    message: int
+    tau: int
+
+    def to_bytes(self, curve: BNCurve) -> bytes:
+        return encode_scalar(curve, self.message) + encode_scalar(curve, self.tau)
+
+
+class TmcParams:
+    """Public parameters for the TMC scheme, optionally with trapdoor."""
+
+    __slots__ = ("curve", "g", "h", "trapdoor")
+
+    def __init__(self, curve: BNCurve, h: G1Point, trapdoor: int | None = None):
+        self.curve = curve
+        self.g = curve.g1.generator
+        self.h = h
+        self.trapdoor = trapdoor
+
+    @classmethod
+    def generate(
+        cls,
+        curve: BNCurve,
+        rng: DeterministicRng | None = None,
+        with_trapdoor: bool = False,
+    ) -> "TmcParams":
+        """Generate parameters.
+
+        Without trapdoor, h is derived by hash-to-curve (nothing up my
+        sleeve).  With trapdoor, h = g^alpha and alpha is retained — only
+        the zero-knowledge simulator should do this.
+        """
+        if with_trapdoor:
+            if rng is None:
+                raise ValueError("trapdoor generation needs randomness")
+            alpha = curve.random_scalar(rng)
+            return cls(curve, curve.g1.mul_gen(alpha), trapdoor=alpha)
+        return cls(curve, curve.hash_to_g1(b"repro/tmc-h"))
+
+    # -- the seven algorithms ------------------------------------------------
+
+    def hard_commit(
+        self, message: int, rng: DeterministicRng
+    ) -> tuple[TmcCommitment, TmcHardDecommit]:
+        """HCom: commit to ``message`` so that only m can ever be opened."""
+        r0 = self.curve.random_scalar(rng)
+        r1 = self.curve.random_scalar(rng)
+        g1 = self.curve.g1
+        c0 = g1.mul(self.h, r0)
+        c1 = g1.add(g1.mul_gen(message % self.curve.r), g1.mul(c0, r1))
+        return TmcCommitment(c0, c1), TmcHardDecommit(message % self.curve.r, r0, r1)
+
+    def soft_commit(
+        self, rng: DeterministicRng
+    ) -> tuple[TmcCommitment, TmcSoftDecommit]:
+        """SCom: commit to nothing; teasable to anything, never hard-opened."""
+        s0 = self.curve.random_scalar(rng)
+        s1 = self.curve.random_scalar(rng)
+        g1 = self.curve.g1
+        return TmcCommitment(g1.mul_gen(s0), g1.mul_gen(s1)), TmcSoftDecommit(s0, s1)
+
+    def hard_open(self, decommit: TmcHardDecommit) -> TmcHardOpening:
+        """HOpen: produce the binding opening of a hard commitment."""
+        return TmcHardOpening(decommit.message, decommit.r0, decommit.r1)
+
+    def tease_hard(self, decommit: TmcHardDecommit) -> TmcTease:
+        """Tease a hard commitment (necessarily to its committed message)."""
+        return TmcTease(decommit.message, decommit.r1)
+
+    def tease_soft(self, decommit: TmcSoftDecommit, message: int) -> TmcTease:
+        """Tease a soft commitment to an arbitrary message."""
+        message %= self.curve.r
+        tau = (decommit.s1 - message) * pow(decommit.s0, -1, self.curve.r) % self.curve.r
+        return TmcTease(message, tau)
+
+    def verify_hard_open(
+        self, commitment: TmcCommitment, opening: TmcHardOpening
+    ) -> bool:
+        """VerHardOpen: check both the binding and the hardness condition."""
+        g1 = self.curve.g1
+        if commitment.c0 is None:
+            return False
+        if g1.mul(self.h, opening.r0) != commitment.c0:
+            return False
+        expected = g1.add(
+            g1.mul_gen(opening.message % self.curve.r),
+            g1.mul(commitment.c0, opening.r1),
+        )
+        return expected == commitment.c1
+
+    def verify_tease(self, commitment: TmcCommitment, tease: TmcTease) -> bool:
+        """VerTease: check C1 = g^m * C0^tau (no hardness requirement)."""
+        g1 = self.curve.g1
+        expected = g1.add(
+            g1.mul_gen(tease.message % self.curve.r),
+            g1.mul(commitment.c0, tease.tau),
+        )
+        return expected == commitment.c1
+
+    # -- trapdoor (simulator) algorithms --------------------------------------
+
+    def fake_commit(
+        self, rng: DeterministicRng
+    ) -> tuple[TmcCommitment, TmcSoftDecommit]:
+        """A commitment the trapdoor holder can later hard-open to anything.
+
+        Identical distribution to a soft commitment; the trapdoor is what
+        turns its soft decommit information into hard openings.
+        """
+        if self.trapdoor is None:
+            raise ValueError("fake_commit requires the trapdoor")
+        return self.soft_commit(rng)
+
+    def equivocate_hard(
+        self, decommit: TmcSoftDecommit, message: int
+    ) -> TmcHardOpening:
+        """Hard-open a fake commitment to an arbitrary message (trapdoor)."""
+        if self.trapdoor is None:
+            raise ValueError("equivocation requires the trapdoor")
+        message %= self.curve.r
+        r = self.curve.r
+        # C0 = g^s0 = h^(s0/alpha); C1 = g^s1 = g^m * C0^r1 with
+        # r1 = (s1 - m)/s0.
+        r0 = decommit.s0 * pow(self.trapdoor, -1, r) % r
+        r1 = (decommit.s1 - message) * pow(decommit.s0, -1, r) % r
+        return TmcHardOpening(message, r0, r1)
+
+    def equivocate_tease(
+        self, decommit: TmcSoftDecommit, message: int
+    ) -> TmcTease:
+        """Tease a fake commitment (same as teasing a soft commitment)."""
+        return self.tease_soft(decommit, message)

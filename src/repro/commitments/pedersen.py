@@ -1,0 +1,54 @@
+"""Pedersen commitments over G1.
+
+A small building block: perfectly hiding, computationally binding
+commitments used by tests as a reference point and by the baseline
+comparisons.  The mercurial schemes in this package are structurally
+Pedersen-like, so having the plain scheme alongside them makes the
+mercurial extensions easy to audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.bn import BNCurve
+from ..crypto.curve import G1Point
+from ..crypto.rng import DeterministicRng
+
+__all__ = ["PedersenParams", "PedersenCommitment"]
+
+
+@dataclass(frozen=True)
+class PedersenCommitment:
+    """A commitment C = g^m * h^r."""
+
+    point: G1Point
+
+
+class PedersenParams:
+    """Public parameters (g, h) with log_g(h) unknown."""
+
+    __slots__ = ("curve", "g", "h")
+
+    def __init__(self, curve: BNCurve, h: G1Point):
+        self.curve = curve
+        self.g = curve.g1.generator
+        self.h = h
+
+    @classmethod
+    def generate(cls, curve: BNCurve, label: bytes = b"pedersen-h") -> "PedersenParams":
+        """Nothing-up-my-sleeve parameters via hash-to-curve."""
+        return cls(curve, curve.hash_to_g1(label))
+
+    def commit(self, message: int, rng: DeterministicRng) -> tuple[PedersenCommitment, int]:
+        """Commit to ``message``; returns (commitment, opening randomness)."""
+        randomness = self.curve.random_scalar(rng)
+        return self.commit_with(message, randomness), randomness
+
+    def commit_with(self, message: int, randomness: int) -> PedersenCommitment:
+        g1 = self.curve.g1
+        point = g1.multi_mul([self.g, self.h], [message % self.curve.r, randomness])
+        return PedersenCommitment(point)
+
+    def verify(self, commitment: PedersenCommitment, message: int, randomness: int) -> bool:
+        return self.commit_with(message, randomness).point == commitment.point

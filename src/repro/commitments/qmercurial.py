@@ -1,0 +1,308 @@
+"""Trapdoor q-mercurial commitments (qTMC).
+
+A concise mercurial *vector* commitment in the style of Libert-Yung
+(TCC 2010): commit to a sequence of q messages at once, with O(1)-size
+openings per position and the same hard/soft mercurial semantics as the
+scalar TMC scheme.  The paper uses this for the *internal* nodes of the
+ZK-EDB tree; its cost dominates the POC scheme (Section VI.A, Figure 4).
+
+Construction, over a BN pairing e : G1 x G2 -> GT with generators g, gh
+and a trusted-setup secret alpha (the common reference string keeps
+g_i = g^(alpha^i) for i in [1, 2q] \\ {q+1} and gh_i for i in [1, q]):
+
+* ``HardCommit(m_1..m_q; gamma, rho)``:
+      C1 = g_1^rho,   C2 = (g^gamma * prod_j g_{q+1-j}^{m_j})^rho
+* Opening at position i (1-indexed):
+      W  = (g_i^gamma * prod_{j != i} g_{q+1-j+i}^{m_j})^rho
+  verified by the pairing equation
+      e(C2, gh_i) == e(W, gh) * e(C1, gh_q)^{m_i}.
+  A *hard* opening additionally reveals rho and the verifier checks
+  C1 = g_1^rho (and rho != 0); a *tease* reveals only (m_i, W).
+* ``SoftCommit(; s, c)``: C1 = g^s, C2 = g^c — teasable at any position to
+  any message with W = g_i^c * g_q^{-s m}, but never hard-openable
+  (that would require rho = s/alpha).
+
+Binding rests on the q-BDHE-style gap: the CRS deliberately omits
+g^(alpha^{q+1}), which is exactly the element needed to tease a hard
+commitment to a different message.
+
+Cost shapes (reproduced in benchmarks/test_bench_qtmc.py, paper Fig. 4):
+key generation and everything touching a hard commitment is Theta(q);
+everything touching a soft commitment is O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.bn import BNCurve
+from ..crypto.curve import G1Point, G2Point
+from ..crypto.pairing import pairing_product_is_one
+from ..crypto.rng import DeterministicRng
+from ..crypto.serialize import encode_scalar, g1_to_bytes
+
+__all__ = [
+    "QtmcParams",
+    "QtmcCommitment",
+    "QtmcHardDecommit",
+    "QtmcSoftDecommit",
+    "QtmcHardOpening",
+    "QtmcTease",
+]
+
+
+@dataclass(frozen=True)
+class QtmcCommitment:
+    """The public commitment pair (C1, C2)."""
+
+    c1: G1Point
+    c2: G1Point
+
+    def to_bytes(self, curve: BNCurve) -> bytes:
+        return g1_to_bytes(curve, self.c1) + g1_to_bytes(curve, self.c2)
+
+
+@dataclass(frozen=True)
+class QtmcHardDecommit:
+    """Private state of a hard q-commitment."""
+
+    messages: tuple[int, ...]
+    gamma: int
+    rho: int
+
+
+@dataclass(frozen=True)
+class QtmcSoftDecommit:
+    """Private state of a soft q-commitment."""
+
+    s: int
+    c: int
+
+
+@dataclass(frozen=True)
+class QtmcHardOpening:
+    """Hard opening of position ``index`` to ``message``."""
+
+    index: int
+    message: int
+    witness: G1Point
+    rho: int
+
+    def to_bytes(self, curve: BNCurve) -> bytes:
+        return (
+            encode_scalar(curve, self.message)
+            + g1_to_bytes(curve, self.witness)
+            + encode_scalar(curve, self.rho)
+        )
+
+
+@dataclass(frozen=True)
+class QtmcTease:
+    """Soft opening (tease) of position ``index`` to ``message``."""
+
+    index: int
+    message: int
+    witness: G1Point
+
+    def to_bytes(self, curve: BNCurve) -> bytes:
+        return encode_scalar(curve, self.message) + g1_to_bytes(curve, self.witness)
+
+
+class QtmcParams:
+    """CRS for width-q mercurial vector commitments."""
+
+    __slots__ = ("curve", "q", "g_powers", "gh", "gh_powers", "trapdoor")
+
+    def __init__(
+        self,
+        curve: BNCurve,
+        q: int,
+        g_powers: dict[int, G1Point],
+        gh: G2Point,
+        gh_powers: dict[int, G2Point],
+        trapdoor: int | None = None,
+    ):
+        self.curve = curve
+        self.q = q
+        self.g_powers = g_powers
+        self.gh = gh
+        self.gh_powers = gh_powers
+        self.trapdoor = trapdoor
+
+    @classmethod
+    def generate(
+        cls,
+        curve: BNCurve,
+        q: int,
+        rng: DeterministicRng,
+        with_trapdoor: bool = False,
+    ) -> "QtmcParams":
+        """qKGen: trusted setup producing the CRS (Theta(q) group work).
+
+        In DE-Sword the proxy plays the honest party running this once; the
+        secret alpha is discarded unless ``with_trapdoor`` (simulator use).
+        """
+        if q < 1:
+            raise ValueError("q must be at least 1")
+        alpha = curve.random_scalar(rng)
+        g_powers: dict[int, G1Point] = {}
+        power = 1
+        for i in range(1, 2 * q + 1):
+            power = power * alpha % curve.r
+            if i == q + 1:
+                continue  # the q-BDHE gap element, deliberately omitted
+            g_powers[i] = curve.g1.mul_gen(power)
+        gh_powers: dict[int, G2Point] = {}
+        power = 1
+        for i in range(1, q + 1):
+            power = power * alpha % curve.r
+            gh_powers[i] = curve.g2.mul_gen(power)
+        return cls(
+            curve,
+            q,
+            g_powers,
+            curve.g2.generator,
+            gh_powers,
+            trapdoor=alpha if with_trapdoor else None,
+        )
+
+    def _check_index(self, index: int) -> int:
+        if not 0 <= index < self.q:
+            raise IndexError(f"position {index} outside [0, {self.q})")
+        return index + 1  # 1-indexed in the algebra
+
+    # -- commitment algorithms -------------------------------------------------
+
+    def hard_commit(
+        self, messages: list[int] | tuple[int, ...], rng: DeterministicRng
+    ) -> tuple[QtmcCommitment, QtmcHardDecommit]:
+        """qHCom: hard-commit to a sequence of up to q messages."""
+        if len(messages) > self.q:
+            raise ValueError("too many messages for this CRS width")
+        r = self.curve.r
+        padded = tuple(m % r for m in messages) + (0,) * (self.q - len(messages))
+        gamma = self.curve.random_scalar(rng)
+        rho = self.curve.random_scalar(rng)
+        points = [self.curve.g1.generator]
+        scalars = [gamma * rho % r]
+        for j in range(1, self.q + 1):
+            if padded[j - 1]:
+                points.append(self.g_powers[self.q + 1 - j])
+                scalars.append(padded[j - 1] * rho % r)
+        c2 = self.curve.g1.multi_mul(points, scalars)
+        c1 = self.curve.g1.mul(self.g_powers[1], rho)
+        return QtmcCommitment(c1, c2), QtmcHardDecommit(padded, gamma, rho)
+
+    def soft_commit(
+        self, rng: DeterministicRng
+    ) -> tuple[QtmcCommitment, QtmcSoftDecommit]:
+        """qSCom: O(1) soft commitment, teasable to anything."""
+        s = self.curve.random_scalar(rng)
+        c = self.curve.random_scalar(rng)
+        g1 = self.curve.g1
+        return QtmcCommitment(g1.mul_gen(s), g1.mul_gen(c)), QtmcSoftDecommit(s, c)
+
+    def _witness_hard(self, decommit: QtmcHardDecommit, i: int) -> G1Point:
+        """W = (g_i^gamma * prod_{j != i} g_{q+1-j+i}^{m_j})^rho."""
+        r = self.curve.r
+        points = [self.g_powers[i]]
+        scalars = [decommit.gamma * decommit.rho % r]
+        for j in range(1, self.q + 1):
+            if j == i or not decommit.messages[j - 1]:
+                continue
+            points.append(self.g_powers[self.q + 1 - j + i])
+            scalars.append(decommit.messages[j - 1] * decommit.rho % r)
+        return self.curve.g1.multi_mul(points, scalars)
+
+    def hard_open(self, decommit: QtmcHardDecommit, index: int) -> QtmcHardOpening:
+        """qHOpen: binding opening of one position (Theta(q) group work)."""
+        i = self._check_index(index)
+        witness = self._witness_hard(decommit, i)
+        return QtmcHardOpening(index, decommit.messages[index], witness, decommit.rho)
+
+    def tease_hard(self, decommit: QtmcHardDecommit, index: int) -> QtmcTease:
+        """qSOpen of a hard commitment: same witness, rho withheld."""
+        i = self._check_index(index)
+        witness = self._witness_hard(decommit, i)
+        return QtmcTease(index, decommit.messages[index], witness)
+
+    def tease_soft(
+        self, decommit: QtmcSoftDecommit, index: int, message: int
+    ) -> QtmcTease:
+        """qSOpen of a soft commitment: O(1), any message at any position."""
+        i = self._check_index(index)
+        r = self.curve.r
+        message %= r
+        witness = self.curve.g1.multi_mul(
+            [self.g_powers[i], self.g_powers[self.q]],
+            [decommit.c, (-decommit.s * message) % r],
+        )
+        return QtmcTease(index, message, witness)
+
+    # -- verification ------------------------------------------------------------
+
+    def tease_pairing_pairs(
+        self, commitment: QtmcCommitment, tease: QtmcTease
+    ) -> list[tuple[G1Point, G2Point]]:
+        """The pairs whose pairing product must equal one for a valid tease.
+
+        Exposed so higher layers (ZK-EDB verification) can batch many checks
+        into a single final exponentiation with random linear coefficients.
+        """
+        i = self._check_index(tease.index)
+        g1 = self.curve.g1
+        return [
+            (commitment.c2, self.gh_powers[i]),
+            (g1.neg(tease.witness), self.gh),
+            (g1.neg(g1.mul(commitment.c1, tease.message)), self.gh_powers[self.q]),
+        ]
+
+    def verify_tease(self, commitment: QtmcCommitment, tease: QtmcTease) -> bool:
+        """qVerSOpen: e(C2, gh_i) == e(W, gh) * e(C1, gh_q)^m."""
+        if commitment.c2 is None:
+            return False
+        return pairing_product_is_one(
+            self.curve, self.tease_pairing_pairs(commitment, tease)
+        )
+
+    def verify_hard_open(
+        self, commitment: QtmcCommitment, opening: QtmcHardOpening
+    ) -> bool:
+        """qVerHOpen: the tease equation plus the hardness check C1 = g_1^rho."""
+        if opening.rho % self.curve.r == 0:
+            return False
+        if self.curve.g1.mul(self.g_powers[1], opening.rho) != commitment.c1:
+            return False
+        tease = QtmcTease(opening.index, opening.message, opening.witness)
+        return self.verify_tease(commitment, tease)
+
+    # -- trapdoor (simulator) algorithms ------------------------------------------
+
+    def fake_commit(
+        self, rng: DeterministicRng
+    ) -> tuple[QtmcCommitment, QtmcSoftDecommit]:
+        """A soft commitment the trapdoor holder can later hard-open."""
+        if self.trapdoor is None:
+            raise ValueError("fake_commit requires the trapdoor")
+        return self.soft_commit(rng)
+
+    def equivocate_hard(
+        self, decommit: QtmcSoftDecommit, index: int, message: int
+    ) -> QtmcHardOpening:
+        """Hard-open a fake commitment to any message (trapdoor only)."""
+        if self.trapdoor is None:
+            raise ValueError("equivocation requires the trapdoor")
+        i = self._check_index(index)
+        r = self.curve.r
+        message %= r
+        alpha = self.trapdoor
+        rho = decommit.s * pow(alpha, -1, r) % r
+        w_exp = (decommit.c * pow(alpha, i, r) - decommit.s * pow(alpha, self.q, r) * message) % r
+        witness = self.curve.g1.mul_gen(w_exp)
+        return QtmcHardOpening(index, message, witness, rho)
+
+    def equivocate_tease(
+        self, decommit: QtmcSoftDecommit, index: int, message: int
+    ) -> QtmcTease:
+        """Tease a fake commitment (identical to an honest soft tease)."""
+        return self.tease_soft(decommit, index, message)

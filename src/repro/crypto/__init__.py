@@ -1,0 +1,36 @@
+"""Pairing-based cryptography substrate built from scratch.
+
+Layers, bottom to top: number theory -> prime fields -> the Fp2/Fp6/Fp12
+tower -> BN curve groups G1/G2 -> the optimal-ate pairing.  Plus the
+cross-cutting helpers every layer shares: hashing, canonical serialization,
+deterministic randomness, and Schnorr signatures (used by the baseline POC
+scheme of the paper's Section II.C).
+"""
+
+from .bn import BNCurve, bn254, derive_bn, toy_bn
+from .pairing import (
+    final_exponentiation,
+    miller_loop,
+    multi_pairing,
+    pairing,
+    pairing_product_is_one,
+)
+from .rng import DeterministicRng
+from .signatures import Signature, SigningKey, VerifyKey, generate_keypair
+
+__all__ = [
+    "BNCurve",
+    "bn254",
+    "toy_bn",
+    "derive_bn",
+    "pairing",
+    "miller_loop",
+    "final_exponentiation",
+    "multi_pairing",
+    "pairing_product_is_one",
+    "DeterministicRng",
+    "SigningKey",
+    "VerifyKey",
+    "Signature",
+    "generate_keypair",
+]

@@ -1,0 +1,341 @@
+"""Barreto-Naehrig curve construction, parameterised by the BN integer x.
+
+A BN curve is fully determined by one integer parameter ``x``:
+
+* ``p(x) = 36x^4 + 36x^3 + 24x^2 + 6x + 1``  (base field)
+* ``r(x) = 36x^4 + 36x^3 + 18x^2 + 6x + 1``  (prime group order)
+* ``t(x) = 6x^2 + 1``                         (Frobenius trace)
+
+Two instances are provided:
+
+* :func:`bn254` — the widely deployed alt_bn128 / BN254 curve (the class of
+  curve the paper's jPBC deployment would use at ~128-bit security), with
+  the standard generators hard-coded.
+* :func:`toy_bn` — a small curve derived generically from the first suitable
+  ``x >= 2^7``, exercising the exact same code paths at test speed.
+
+Both carry everything the pairing and the commitment schemes need: the
+tower context, G1, G2 (on the sextic twist), and the optimal-ate loop
+constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import isqrt
+
+from .curve import G1Group, G2Group, G2Point
+from .field import PrimeField
+from .ntheory import is_probable_prime, sqrt_mod
+from .tower import Fp2, TowerContext
+
+__all__ = ["BNCurve", "bn254", "toy_bn", "derive_bn"]
+
+
+def _bn_p(x: int) -> int:
+    return 36 * x**4 + 36 * x**3 + 24 * x**2 + 6 * x + 1
+
+
+def _bn_r(x: int) -> int:
+    return 36 * x**4 + 36 * x**3 + 18 * x**2 + 6 * x + 1
+
+
+def _bn_t(x: int) -> int:
+    return 6 * x**2 + 1
+
+
+@dataclass(frozen=True)
+class BNCurve:
+    """A fully instantiated BN pairing context."""
+
+    name: str
+    x: int
+    p: int
+    r: int
+    t: int
+    fp: PrimeField
+    tower: TowerContext
+    g1: G1Group
+    g2: G2Group
+    loop_count: int  # 6x + 2, the optimal-ate Miller loop constant
+
+    @property
+    def scalar_bits(self) -> int:
+        return self.r.bit_length()
+
+    def random_scalar(self, rng) -> int:
+        """A uniform non-zero scalar in [1, r)."""
+        return rng.randrange(1, self.r)
+
+    def hash_to_g1(self, data: bytes):
+        """Try-and-increment hash onto G1 (cofactor 1 for BN curves)."""
+        from .hashing import hash_to_int
+
+        counter = 0
+        while True:
+            x = hash_to_int(b"repro/hash-to-g1", data + counter.to_bytes(4, "big"), self.p)
+            rhs = (x * x * x + self.g1.b) % self.p
+            y = sqrt_mod(rhs, self.p)
+            if y is not None:
+                # Normalise to the lexicographically smaller root for
+                # determinism across runs.
+                y = min(y, self.p - y)
+                return (x, y)
+            counter += 1
+
+
+def _twist_order_candidates(p: int, t: int) -> list[int]:
+    """Possible orders of the sextic twists of E over Fp2."""
+    t2 = t * t - 2 * p
+    f2_sq, rem = divmod(4 * p * p - t2 * t2, 3)
+    if rem:
+        return [p * p + 1 - t2, p * p + 1 + t2]
+    f2 = isqrt(f2_sq)
+    if f2 * f2 != f2_sq:
+        return [p * p + 1 - t2, p * p + 1 + t2]
+    candidates = {p * p + 1 - t2, p * p + 1 + t2}
+    for num in (3 * f2 + t2, 3 * f2 - t2):
+        if num % 2 == 0:
+            half = num // 2
+            candidates.add(p * p + 1 - half)
+            candidates.add(p * p + 1 + half)
+    return sorted(candidates)
+
+
+def _sextic_nonresidues(ctx: TowerContext, limit: int = 10_000):
+    """Yield elements a + u of Fp2 that are neither squares nor cubes."""
+    p = ctx.p
+    exponent_sq = (p * p - 1) // 2
+    exponent_cu = (p * p - 1) // 3
+    one = Fp2.one(ctx)
+    for a in range(1, limit):
+        candidate = Fp2(ctx, a, 1)
+        if candidate.pow(exponent_sq) == one:
+            continue
+        if candidate.pow(exponent_cu) == one:
+            continue
+        yield candidate
+
+
+def _twist_point_search(
+    ctx: TowerContext, b_twist: Fp2, start: int = 1
+) -> tuple[Fp2, Fp2]:
+    """First affine point on y^2 = x^3 + b_twist with small integer x-part."""
+    for a in range(start, start + 10_000):
+        for bcoef in range(0, 4):
+            x = Fp2(ctx, a, bcoef)
+            rhs = x.square() * x + b_twist
+            y = rhs.sqrt()
+            if y is not None:
+                return (x, y)
+    raise RuntimeError("no point found on the twist")
+
+
+def derive_bn(x: int, name: str | None = None) -> BNCurve:
+    """Instantiate a BN curve for the given parameter ``x``.
+
+    ``x`` must be odd (so p = 3 mod 4) and positive, and p(x)/r(x) must be
+    prime.  The curve equation constant b, the twist, and the generators are
+    derived generically, which keeps the toy and production curves on the
+    same code path.
+    """
+    if x <= 0 or x % 2 == 0:
+        raise ValueError("BN parameter x must be positive and odd")
+    p = _bn_p(x)
+    r = _bn_r(x)
+    t = _bn_t(x)
+    if not (is_probable_prime(p) and is_probable_prime(r)):
+        raise ValueError(f"BN parameter x={x} does not give prime p and r")
+    if p + 1 - t != r:
+        raise AssertionError("BN identity p + 1 - t == r violated")
+    fp = PrimeField(p)
+
+    # Curve constant b: first b such that (1, y) is a point of order r.
+    # The order check must bypass G1Group.mul, which reduces scalars modulo
+    # the *claimed* order and would therefore accept any b vacuously.
+    g1 = None
+    for b in range(1, 10_000):
+        rhs = (1 + b) % p
+        y = sqrt_mod(rhs, p)
+        if y is None:
+            continue
+        candidate = G1Group(p, b, r, (1, min(y, p - y)))
+        if _g1_mul_unchecked(candidate, candidate.generator, r) is None:
+            g1 = candidate
+            break
+    if g1 is None:
+        raise RuntimeError("could not find curve constant b")
+
+    # TowerContext needs xi at construction time, but finding xi needs Fp2
+    # arithmetic; bootstrap a bare context (only .p is used by Fp2 mul/pow)
+    # and rebuild the real context once the non-residue is known.
+    bootstrap = TowerContext.__new__(TowerContext)
+    bootstrap.p = p
+    bootstrap.xi = None  # type: ignore[assignment]
+
+    # Among the sextic non-residues, only one of the two classes of
+    # (Fp2)*/((Fp2)*)^6 gives a twist whose order-r points lie in the
+    # Frobenius eigenspace of eigenvalue p — the property the optimal-ate
+    # Miller loop needs.  For an SNR xi, xi^5 lies in the other class, so
+    # trying both covers both sextic twists.
+    built = None
+    for xi_candidate in _sextic_nonresidues(bootstrap):
+        for xi in (xi_candidate, xi_candidate.pow(5)):
+            built = _try_build_g2(p, r, t, g1.b, (xi.c0, xi.c1))
+            if built is not None:
+                break
+        if built is not None:
+            break
+    if built is None:
+        raise RuntimeError("no sextic non-residue yields a p-eigenvalue twist")
+    ctx, g2 = built
+
+    return BNCurve(
+        name=name or f"bn-x{x}",
+        x=x,
+        p=p,
+        r=r,
+        t=t,
+        fp=fp,
+        tower=ctx,
+        g1=g1,
+        g2=g2,
+        loop_count=6 * x + 2,
+    )
+
+
+def _try_build_g2(
+    p: int, r: int, t: int, b: int, xi: tuple[int, int]
+) -> tuple[TowerContext, G2Group] | None:
+    """Build G2 on the D-type twist for one xi; None if the twist is wrong.
+
+    Wrong means either no order-r subgroup exists on y^2 = x^3 + b/xi, or
+    its points fall in the Frobenius eigenspace of eigenvalue 1/p instead
+    of p (the other sextic-twist class).
+    """
+    ctx = TowerContext(p, xi)
+    b_twist = Fp2.from_int(ctx, b) * ctx.xi.inverse()
+    try:
+        point = _twist_point_search(ctx, b_twist)
+    except RuntimeError:
+        return None
+    shell = G2Group.__new__(G2Group)
+    shell.ctx = ctx
+    shell.b = b_twist
+    shell.order = r
+    shell.generator = point
+    shell.cofactor = 1
+
+    order = None
+    for candidate in _twist_order_candidates(p, t):
+        if candidate % r != 0:
+            continue
+        if _g2_mul_unchecked(shell, point, candidate) is None:
+            order = candidate
+            break
+    if order is None:
+        return None
+    cofactor = order // r
+
+    generator: G2Point = None
+    attempt = 1
+    while generator is None and attempt < 32:
+        generator = _g2_mul_unchecked(shell, point, cofactor)
+        if generator is None:
+            point = _twist_point_search(ctx, b_twist, start=attempt + 1)
+            attempt += 1
+    if generator is None:
+        return None
+    if _g2_mul_unchecked(shell, generator, r) is not None:
+        return None
+    g2 = G2Group(ctx, b_twist, r, generator, cofactor)
+    if g2.frobenius(generator) != _g2_mul_unchecked(g2, generator, p % r):
+        return None
+    return ctx, g2
+
+
+def _g2_mul_unchecked(group: G2Group, point: G2Point, scalar: int) -> G2Point:
+    """Double-and-add without the subgroup-order reduction of G2Group.mul."""
+    result: G2Point = None
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = group.add(result, addend)
+        addend = group.double(addend)
+        scalar >>= 1
+    return result
+
+
+def _g1_mul_unchecked(group: G1Group, point, scalar: int):
+    """Double-and-add without the order reduction of G1Group.mul."""
+    result = None
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = group.add(result, addend)
+        addend = group.double(addend)
+        scalar >>= 1
+    return result
+
+
+# -- alt_bn128 / BN254 -------------------------------------------------------
+
+_BN254_X = 4965661367192848881
+_BN254_P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+_BN254_R = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+_BN254_G2_X0 = 10857046999023057135944570762232829481370756359578518086990519993285655852781
+_BN254_G2_X1 = 11559732032986387107991004021392285783925812861821192530917403151452391805634
+_BN254_G2_Y0 = 8495653923123431417604973247489272438418190587263600148770280649306958101930
+_BN254_G2_Y1 = 4082367875863433681332203403145435568316851327593401208105741076214120093531
+
+
+@lru_cache(maxsize=1)
+def bn254() -> BNCurve:
+    """The alt_bn128 curve (EIP-196 parameters) with standard generators."""
+    x = _BN254_X
+    p, r, t = _bn_p(x), _bn_r(x), _bn_t(x)
+    if p != _BN254_P or r != _BN254_R:
+        raise AssertionError("BN254 constants disagree with the BN polynomials")
+    ctx = TowerContext(p, (9, 1))
+    g1 = G1Group(p, 3, r, (1, 2))
+    b_twist = Fp2.from_int(ctx, 3) * ctx.xi.inverse()
+    generator = (
+        Fp2(ctx, _BN254_G2_X0, _BN254_G2_X1),
+        Fp2(ctx, _BN254_G2_Y0, _BN254_G2_Y1),
+    )
+    order = None
+    for candidate in _twist_order_candidates(p, t):
+        if candidate % r == 0:
+            order = candidate
+            break
+    cofactor = (order // r) if order else 1
+    g2 = G2Group(ctx, b_twist, r, generator, cofactor)
+    if g2.frobenius(generator) != _g2_mul_unchecked(g2, generator, p % r):
+        raise AssertionError("BN254 G2 generator fails the p-eigenvalue check")
+    return BNCurve(
+        name="bn254",
+        x=x,
+        p=p,
+        r=r,
+        t=t,
+        fp=PrimeField(p),
+        tower=ctx,
+        g1=g1,
+        g2=g2,
+        loop_count=6 * x + 2,
+    )
+
+
+@lru_cache(maxsize=4)
+def toy_bn(min_x: int = 129) -> BNCurve:
+    """A small BN curve for fast tests, derived from the first valid x."""
+    x = min_x if min_x % 2 == 1 else min_x + 1
+    while True:
+        p = _bn_p(x)
+        if is_probable_prime(p) and is_probable_prime(_bn_r(x)):
+            try:
+                return derive_bn(x, name=f"toy-bn-x{x}")
+            except (ValueError, RuntimeError):
+                pass
+        x += 2

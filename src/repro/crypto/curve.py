@@ -1,0 +1,388 @@
+"""Short-Weierstrass curve groups G1 (over Fp) and G2 (over Fp2).
+
+G1 points are ``(x, y)`` tuples of plain integers with ``None`` as the point
+at infinity; the group object carries the modulus.  Scalar multiplication
+uses Jacobian coordinates with a 4-bit window internally, and a Straus
+interleaved multi-scalar multiplication backs the commitment schemes'
+multi-exponentiations.
+
+G2 points are ``(x, y)`` tuples of :class:`~repro.crypto.tower.Fp2` elements
+with affine arithmetic; G2 is only used for CRS material and pairings, never
+in a per-product hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .tower import Fp2, TowerContext
+
+__all__ = ["G1Group", "G2Group", "G1Point", "G2Point"]
+
+G1Point = Optional[tuple[int, int]]
+G2Point = Optional[tuple[Fp2, Fp2]]
+
+
+def _naf(k: int) -> list[int]:
+    """Non-adjacent form of k, least significant digit first."""
+    digits = []
+    while k:
+        if k & 1:
+            d = 2 - (k % 4)
+            k -= d
+        else:
+            d = 0
+        digits.append(d)
+        k >>= 1
+    return digits
+
+
+class G1Group:
+    """The prime-order group E(Fp): y^2 = x^3 + b."""
+
+    __slots__ = ("p", "b", "order", "generator", "_gen_table")
+
+    def __init__(self, p: int, b: int, order: int, generator: tuple[int, int]):
+        self.p = p
+        self.b = b % p
+        self.order = order
+        self.generator = generator
+        self._gen_table: list[list[G1Point]] | None = None
+        if not self.is_on_curve(generator):
+            raise ValueError("generator is not on the curve")
+
+    # -- predicates ---------------------------------------------------------
+
+    def is_on_curve(self, point: G1Point) -> bool:
+        if point is None:
+            return True
+        x, y = point
+        return (y * y - (x * x * x + self.b)) % self.p == 0
+
+    def is_identity(self, point: G1Point) -> bool:
+        return point is None
+
+    def in_subgroup(self, point: G1Point) -> bool:
+        return self.is_on_curve(point) and self.mul(point, self.order) is None
+
+    # -- affine arithmetic --------------------------------------------------
+
+    def neg(self, point: G1Point) -> G1Point:
+        if point is None:
+            return None
+        x, y = point
+        return (x, -y % self.p)
+
+    def add(self, a: G1Point, b: G1Point) -> G1Point:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        p = self.p
+        x1, y1 = a
+        x2, y2 = b
+        if x1 == x2:
+            if (y1 + y2) % p == 0:
+                return None
+            return self.double(a)
+        lam = (y2 - y1) * pow(x2 - x1, -1, p) % p
+        x3 = (lam * lam - x1 - x2) % p
+        y3 = (lam * (x1 - x3) - y1) % p
+        return (x3, y3)
+
+    def double(self, a: G1Point) -> G1Point:
+        if a is None:
+            return None
+        p = self.p
+        x1, y1 = a
+        if y1 == 0:
+            return None
+        lam = 3 * x1 * x1 * pow(2 * y1, -1, p) % p
+        x3 = (lam * lam - 2 * x1) % p
+        y3 = (lam * (x1 - x3) - y1) % p
+        return (x3, y3)
+
+    # -- Jacobian internals -------------------------------------------------
+
+    def _to_jacobian(self, point: G1Point) -> tuple[int, int, int]:
+        if point is None:
+            return (1, 1, 0)
+        return (point[0], point[1], 1)
+
+    def _from_jacobian(self, jac: tuple[int, int, int]) -> G1Point:
+        x, y, z = jac
+        if z == 0:
+            return None
+        p = self.p
+        z_inv = pow(z, -1, p)
+        z_inv2 = z_inv * z_inv % p
+        return (x * z_inv2 % p, y * z_inv2 * z_inv % p)
+
+    def _jac_double(self, jac: tuple[int, int, int]) -> tuple[int, int, int]:
+        x, y, z = jac
+        if z == 0 or y == 0:
+            return (1, 1, 0)
+        p = self.p
+        a = x * x % p
+        b = y * y % p
+        c = b * b % p
+        d = 2 * ((x + b) * (x + b) - a - c) % p
+        e = 3 * a % p
+        f = e * e % p
+        x3 = (f - 2 * d) % p
+        y3 = (e * (d - x3) - 8 * c) % p
+        z3 = 2 * y * z % p
+        return (x3, y3, z3)
+
+    def _jac_add(
+        self, a: tuple[int, int, int], b: tuple[int, int, int]
+    ) -> tuple[int, int, int]:
+        if a[2] == 0:
+            return b
+        if b[2] == 0:
+            return a
+        p = self.p
+        x1, y1, z1 = a
+        x2, y2, z2 = b
+        z1z1 = z1 * z1 % p
+        z2z2 = z2 * z2 % p
+        u1 = x1 * z2z2 % p
+        u2 = x2 * z1z1 % p
+        s1 = y1 * z2 * z2z2 % p
+        s2 = y2 * z1 * z1z1 % p
+        if u1 == u2:
+            if s1 != s2:
+                return (1, 1, 0)
+            return self._jac_double(a)
+        h = (u2 - u1) % p
+        i = 4 * h * h % p
+        j = h * i % p
+        r = 2 * (s2 - s1) % p
+        v = u1 * i % p
+        x3 = (r * r - j - 2 * v) % p
+        y3 = (r * (v - x3) - 2 * s1 * j) % p
+        z3 = 2 * h * z1 * z2 % p
+        return (x3, y3, z3)
+
+    def _jac_add_affine(
+        self, a: tuple[int, int, int], b: tuple[int, int]
+    ) -> tuple[int, int, int]:
+        """Mixed addition when b has Z = 1."""
+        if a[2] == 0:
+            return (b[0], b[1], 1)
+        p = self.p
+        x1, y1, z1 = a
+        x2, y2 = b
+        z1z1 = z1 * z1 % p
+        u2 = x2 * z1z1 % p
+        s2 = y2 * z1 * z1z1 % p
+        if x1 == u2:
+            if (y1 + s2) % p == 0:
+                return (1, 1, 0)
+            return self._jac_double(a)
+        h = (u2 - x1) % p
+        hh = h * h % p
+        i = 4 * hh % p
+        j = h * i % p
+        r = 2 * (s2 - y1) % p
+        v = x1 * i % p
+        x3 = (r * r - j - 2 * v) % p
+        y3 = (r * (v - x3) - 2 * y1 * j) % p
+        z3 = 2 * z1 * h % p
+        return (x3, y3, z3)
+
+    # -- scalar multiplication ----------------------------------------------
+
+    def mul(self, point: G1Point, scalar: int) -> G1Point:
+        scalar %= self.order
+        if point is None or scalar == 0:
+            return None
+        if scalar == 1:
+            return point
+        # 4-bit windowed double-and-add in Jacobian coordinates.
+        table = [None] * 16  # table[i] = i * point, affine
+        table[1] = point
+        table[2] = self.double(point)
+        for i in range(3, 16):
+            table[i] = self.add(table[i - 1], point)
+        acc = (1, 1, 0)
+        for nibble_index in range((scalar.bit_length() + 3) // 4 - 1, -1, -1):
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            digit = (scalar >> (4 * nibble_index)) & 0xF
+            if digit:
+                acc = self._jac_add_affine(acc, table[digit])
+        return self._from_jacobian(acc)
+
+    def mul_gen(self, scalar: int) -> G1Point:
+        """Fixed-base multiplication by the generator (precomputed windows)."""
+        scalar %= self.order
+        if scalar == 0:
+            return None
+        if self._gen_table is None:
+            self._build_gen_table()
+        acc = (1, 1, 0)
+        window = 0
+        while scalar:
+            digit = scalar & 0xF
+            if digit:
+                acc = self._jac_add_affine(acc, self._gen_table[window][digit])
+            scalar >>= 4
+            window += 1
+        return self._from_jacobian(acc)
+
+    def _build_gen_table(self) -> None:
+        """table[w][d] = d * 16^w * G for 4-bit fixed-base windows."""
+        windows = (self.order.bit_length() + 3) // 4
+        table: list[list[G1Point]] = []
+        base = self.generator
+        for _ in range(windows):
+            row: list[G1Point] = [None, base]
+            for _ in range(14):
+                row.append(self.add(row[-1], base))
+            table.append(row)
+            base = self.double(self.double(self.double(self.double(base))))
+        self._gen_table = table
+
+    def multi_mul(
+        self, points: Sequence[G1Point], scalars: Sequence[int]
+    ) -> G1Point:
+        """Straus interleaved multi-scalar multiplication (4-bit windows)."""
+        if len(points) != len(scalars):
+            raise ValueError("points and scalars must have equal length")
+        pairs = [
+            (pt, k % self.order)
+            for pt, k in zip(points, scalars)
+            if pt is not None and k % self.order != 0
+        ]
+        if not pairs:
+            return None
+        if len(pairs) == 1:
+            return self.mul(pairs[0][0], pairs[0][1])
+        tables = []
+        max_bits = 0
+        for pt, k in pairs:
+            table = [None] * 16
+            table[1] = pt
+            table[2] = self.double(pt)
+            for i in range(3, 16):
+                table[i] = self.add(table[i - 1], pt)
+            tables.append((table, k))
+            max_bits = max(max_bits, k.bit_length())
+        acc = (1, 1, 0)
+        for nibble_index in range((max_bits + 3) // 4 - 1, -1, -1):
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            shift = 4 * nibble_index
+            for table, k in tables:
+                digit = (k >> shift) & 0xF
+                if digit:
+                    acc = self._jac_add_affine(acc, table[digit])
+        return self._from_jacobian(acc)
+
+    def sum(self, points: Iterable[G1Point]) -> G1Point:
+        acc = (1, 1, 0)
+        for pt in points:
+            if pt is not None:
+                acc = self._jac_add_affine(acc, pt)
+        return self._from_jacobian(acc)
+
+    def __repr__(self) -> str:
+        return f"G1Group(p~2^{self.p.bit_length()}, order~2^{self.order.bit_length()})"
+
+
+class G2Group:
+    """The order-r subgroup of the sextic twist E'(Fp2): y^2 = x^3 + b'."""
+
+    __slots__ = ("ctx", "b", "order", "generator", "cofactor")
+
+    def __init__(
+        self,
+        ctx: TowerContext,
+        b: Fp2,
+        order: int,
+        generator: tuple[Fp2, Fp2],
+        cofactor: int = 1,
+    ):
+        self.ctx = ctx
+        self.b = b
+        self.order = order
+        self.generator = generator
+        self.cofactor = cofactor
+        if not self.is_on_curve(generator):
+            raise ValueError("G2 generator is not on the twist")
+
+    def is_on_curve(self, point: G2Point) -> bool:
+        if point is None:
+            return True
+        x, y = point
+        return (y.square() - (x.square() * x + self.b)).is_zero()
+
+    def in_subgroup(self, point: G2Point) -> bool:
+        return self.is_on_curve(point) and self.mul(point, self.order) is None
+
+    def neg(self, point: G2Point) -> G2Point:
+        if point is None:
+            return None
+        return (point[0], -point[1])
+
+    def add(self, a: G2Point, b: G2Point) -> G2Point:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        x1, y1 = a
+        x2, y2 = b
+        if x1 == x2:
+            if (y1 + y2).is_zero():
+                return None
+            return self.double(a)
+        lam = (y2 - y1) * (x2 - x1).inverse()
+        x3 = lam.square() - x1 - x2
+        y3 = lam * (x1 - x3) - y1
+        return (x3, y3)
+
+    def double(self, a: G2Point) -> G2Point:
+        if a is None:
+            return None
+        x1, y1 = a
+        if y1.is_zero():
+            return None
+        lam = x1.square().scale(3) * (y1 + y1).inverse()
+        x3 = lam.square() - x1 - x1
+        y3 = lam * (x1 - x3) - y1
+        return (x3, y3)
+
+    def mul(self, point: G2Point, scalar: int) -> G2Point:
+        scalar %= self.order * max(self.cofactor, 1)
+        if point is None or scalar == 0:
+            return None
+        result = None
+        neg_point = self.neg(point)
+        for digit in reversed(_naf(scalar)):
+            result = self.double(result)
+            if digit == 1:
+                result = self.add(result, point)
+            elif digit == -1:
+                result = self.add(result, neg_point)
+        return result
+
+    def mul_gen(self, scalar: int) -> G2Point:
+        return self.mul(self.generator, scalar)
+
+    def frobenius(self, point: G2Point) -> G2Point:
+        """The p-power Frobenius mapped through the sextic twist."""
+        if point is None:
+            return None
+        x, y = point
+        return (
+            x.conjugate() * self.ctx.g2_frob_x,
+            y.conjugate() * self.ctx.g2_frob_y,
+        )
+
+    def __repr__(self) -> str:
+        return f"G2Group(order~2^{self.order.bit_length()})"

@@ -1,0 +1,72 @@
+"""Prime-field helpers.
+
+Field elements are plain Python integers in [0, p); this module provides a
+small context object bundling the modulus with the handful of operations the
+curve and serialization layers need.  The extension-tower arithmetic lives in
+:mod:`repro.crypto.tower`.
+"""
+
+from __future__ import annotations
+
+from .ntheory import is_probable_prime, legendre_symbol, sqrt_mod
+
+__all__ = ["PrimeField"]
+
+
+class PrimeField:
+    """The field Z/pZ for an odd prime p."""
+
+    __slots__ = ("p", "byte_length")
+
+    def __init__(self, p: int):
+        if p < 3 or not is_probable_prime(p):
+            raise ValueError(f"modulus must be an odd prime, got {p}")
+        self.p = p
+        self.byte_length = (p.bit_length() + 7) // 8
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b % self.p
+
+    def neg(self, a: int) -> int:
+        return -a % self.p
+
+    def inv(self, a: int) -> int:
+        return pow(a, -1, self.p)
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a, e, self.p)
+
+    def sqrt(self, a: int) -> int | None:
+        return sqrt_mod(a, self.p)
+
+    def is_square(self, a: int) -> bool:
+        return legendre_symbol(a, self.p) >= 0 and (
+            a % self.p == 0 or legendre_symbol(a, self.p) == 1
+        )
+
+    def reduce(self, a: int) -> int:
+        return a % self.p
+
+    def to_bytes(self, a: int) -> bytes:
+        return (a % self.p).to_bytes(self.byte_length, "big")
+
+    def from_bytes(self, data: bytes) -> int:
+        value = int.from_bytes(data, "big")
+        if value >= self.p:
+            raise ValueError("encoding is not a reduced field element")
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    def __repr__(self) -> str:
+        return f"PrimeField(p~2^{self.p.bit_length()})"

@@ -1,0 +1,48 @@
+"""Domain-separated hashing helpers.
+
+All hashing in the repository goes through these functions so that every
+use site carries an explicit domain-separation tag, which keeps transcripts
+of different protocol roles from colliding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["hash_bytes", "hash_to_int", "hash_parts"]
+
+
+def hash_bytes(domain: bytes, data: bytes) -> bytes:
+    """SHA-256 of the domain-separated payload."""
+    h = hashlib.sha256()
+    h.update(len(domain).to_bytes(2, "big"))
+    h.update(domain)
+    h.update(data)
+    return h.digest()
+
+
+def hash_to_int(domain: bytes, data: bytes, modulus: int) -> int:
+    """Hash into [0, modulus) with negligible bias.
+
+    Expands the digest until it has at least 128 bits of slack over the
+    modulus before reducing.
+    """
+    if modulus <= 1:
+        raise ValueError("modulus must be > 1")
+    need_bits = modulus.bit_length() + 128
+    blocks = (need_bits + 255) // 256
+    material = b"".join(
+        hash_bytes(domain + b"/%d" % i, data) for i in range(blocks)
+    )
+    return int.from_bytes(material, "big") % modulus
+
+
+def hash_parts(domain: bytes, *parts: bytes) -> bytes:
+    """Hash a sequence of length-prefixed byte strings (injectively)."""
+    h = hashlib.sha256()
+    h.update(len(domain).to_bytes(2, "big"))
+    h.update(domain)
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.digest()

@@ -1,0 +1,156 @@
+"""Elementary number theory used by the pairing substrate.
+
+Everything here works on plain Python integers.  The functions are small and
+deterministic so the higher layers (fields, curves, BN parameter derivation)
+can rely on them without pulling in external dependencies.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "egcd",
+    "inverse_mod",
+    "is_probable_prime",
+    "legendre_symbol",
+    "sqrt_mod",
+    "next_probable_prime",
+    "crt_pair",
+]
+
+# Deterministic Miller-Rabin witness sets.  The first set is proven complete
+# for n < 3.3e24; for larger n we add more witnesses which makes the test
+# probabilistic with error far below 2^-128 for random inputs, which is more
+# than enough for parameter derivation (BN primes are additionally validated
+# by known constants).
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_MR_EXTRA_WITNESSES = (41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97)
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return (g, x, y) with a*x + b*y == g == gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def inverse_mod(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``.
+
+    Raises ``ZeroDivisionError`` when ``a`` is not invertible, mirroring the
+    behaviour of ``pow(a, -1, m)`` but kept explicit for readability at call
+    sites that predate that builtin.
+    """
+    return pow(a, -1, m)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Miller-Rabin primality test with deterministic witnesses.
+
+    Deterministic (proven) for n < 3.3e24; overwhelmingly accurate beyond.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    witnesses = _MR_WITNESSES
+    if n >= 3_317_044_064_679_887_385_961_981:
+        witnesses = _MR_WITNESSES + _MR_EXTRA_WITNESSES
+    for a in witnesses:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_probable_prime(n: int) -> int:
+    """Smallest probable prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Legendre symbol (a|p) for odd prime p: 1, -1, or 0."""
+    a %= p
+    if a == 0:
+        return 0
+    ls = pow(a, (p - 1) // 2, p)
+    return -1 if ls == p - 1 else 1
+
+
+def sqrt_mod(a: int, p: int) -> int | None:
+    """A square root of ``a`` modulo odd prime ``p``, or None if none exists.
+
+    Uses the p % 4 == 3 shortcut when available, Tonelli-Shanks otherwise.
+    Returns the root ``r`` with no normalisation promise beyond r*r == a.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if legendre_symbol(a, p) != 1:
+        return None
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli-Shanks.
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    r = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        # Find least i, 0 < i < m, with t^(2^i) == 1.
+        i = 0
+        t2i = t
+        while t2i != 1:
+            t2i = t2i * t2i % p
+            i += 1
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = b * b % p
+        t = t * c % p
+        r = r * b % p
+    return r
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Chinese remainder for two coprime moduli; returns x mod m1*m2."""
+    g, u, _ = egcd(m1, m2)
+    if g != 1:
+        raise ValueError("moduli must be coprime")
+    return (r1 + (r2 - r1) * u % m2 * m1) % (m1 * m2)

@@ -1,0 +1,93 @@
+"""Schnorr signatures over G1.
+
+This is the substrate for the signature-list POC baseline of Section II.C
+("design challenge"): the strawman scheme a participant could use instead
+of ZK-EDB, which DE-Sword shows is insufficient against dishonest POC
+construction.  Signing is deterministic (RFC-6979 style nonce derivation)
+so protocol runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bn import BNCurve
+from .curve import G1Point
+from .hashing import hash_parts, hash_to_int
+from .rng import DeterministicRng
+from .serialize import encode_scalar, g1_to_bytes
+
+__all__ = ["SigningKey", "VerifyKey", "Signature", "generate_keypair"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A Schnorr signature (challenge, response)."""
+
+    challenge: int
+    response: int
+
+    def to_bytes(self, curve: BNCurve) -> bytes:
+        return encode_scalar(curve, self.challenge) + encode_scalar(
+            curve, self.response
+        )
+
+
+@dataclass(frozen=True)
+class VerifyKey:
+    """A Schnorr public key."""
+
+    curve: BNCurve
+    point: G1Point
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        g1 = self.curve.g1
+        # R' = s*G + c*PK; valid iff c == H(R' || PK || m).
+        r_point = g1.add(
+            g1.mul_gen(signature.response),
+            g1.mul(self.point, signature.challenge),
+        )
+        expected = _challenge(self.curve, r_point, self.point, message)
+        return expected == signature.challenge
+
+    def to_bytes(self) -> bytes:
+        return g1_to_bytes(self.curve, self.point)
+
+
+@dataclass(frozen=True)
+class SigningKey:
+    """A Schnorr private key with deterministic nonces."""
+
+    curve: BNCurve
+    secret: int
+
+    @property
+    def verify_key(self) -> VerifyKey:
+        return VerifyKey(self.curve, self.curve.g1.mul_gen(self.secret))
+
+    def sign(self, message: bytes) -> Signature:
+        curve = self.curve
+        nonce = hash_to_int(
+            b"repro/schnorr-nonce",
+            encode_scalar(curve, self.secret) + message,
+            curve.r - 1,
+        ) + 1
+        r_point = curve.g1.mul_gen(nonce)
+        challenge = _challenge(curve, r_point, self.verify_key.point, message)
+        response = (nonce - challenge * self.secret) % curve.r
+        return Signature(challenge, response)
+
+
+def _challenge(curve: BNCurve, r_point: G1Point, pk: G1Point, message: bytes) -> int:
+    digest = hash_parts(
+        b"repro/schnorr-challenge",
+        g1_to_bytes(curve, r_point),
+        g1_to_bytes(curve, pk),
+        message,
+    )
+    return hash_to_int(b"repro/schnorr-reduce", digest, curve.r)
+
+
+def generate_keypair(curve: BNCurve, rng: DeterministicRng) -> SigningKey:
+    """A fresh signing key from the supplied randomness stream."""
+    return SigningKey(curve, curve.random_scalar(rng))

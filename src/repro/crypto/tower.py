@@ -1,0 +1,400 @@
+"""Extension-field tower Fp2 -> Fp6 -> Fp12 for BN pairings.
+
+The tower is the standard one used with Barreto-Naehrig curves:
+
+* ``Fp2  = Fp[u] / (u^2 + 1)``          (requires p = 3 mod 4)
+* ``Fp6  = Fp2[v] / (v^3 - xi)``        (xi a sextic non-residue in Fp2)
+* ``Fp12 = Fp6[w] / (w^2 - v)``         (so w^6 = xi)
+
+Elements are immutable; all arithmetic returns new objects.  The hot path
+(Miller loop, final exponentiation) uses the sparse ``mul_by_014`` product
+and conjugation-based inversion in the cyclotomic subgroup.
+
+A :class:`TowerContext` bundles the modulus with the precomputed Frobenius
+constants; every element keeps a reference to its context so mixed-context
+arithmetic fails loudly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TowerContext", "Fp2", "Fp6", "Fp12"]
+
+
+class TowerContext:
+    """Modulus, non-residue and Frobenius constants for one BN tower."""
+
+    __slots__ = (
+        "p",
+        "xi",
+        "frob_gamma",     # gamma^k for k = 0..5, gamma = xi^((p-1)/6) in Fp2
+        "g2_frob_x",      # gamma^2  — Frobenius twist constant for G2 x-coord
+        "g2_frob_y",      # gamma^3  — Frobenius twist constant for G2 y-coord
+    )
+
+    def __init__(self, p: int, xi: tuple[int, int]):
+        if p % 4 != 3:
+            raise ValueError("tower requires p = 3 mod 4 (so that u^2 = -1)")
+        if p % 6 != 1:
+            raise ValueError("tower requires p = 1 mod 6 (BN primes satisfy this)")
+        self.p = p
+        self.xi = Fp2(self, xi[0] % p, xi[1] % p)
+        gamma = self.xi.pow((p - 1) // 6)
+        powers = [Fp2.one(self)]
+        for _ in range(5):
+            powers.append(powers[-1] * gamma)
+        self.frob_gamma = tuple(powers)
+        self.g2_frob_x = powers[2]
+        self.g2_frob_y = powers[3]
+
+    def __repr__(self) -> str:
+        return f"TowerContext(p~2^{self.p.bit_length()})"
+
+
+class Fp2:
+    """Element c0 + c1*u of Fp2 with u^2 = -1."""
+
+    __slots__ = ("ctx", "c0", "c1")
+
+    def __init__(self, ctx: TowerContext, c0: int, c1: int):
+        self.ctx = ctx
+        self.c0 = c0
+        self.c1 = c1
+
+    @staticmethod
+    def zero(ctx: TowerContext) -> "Fp2":
+        return Fp2(ctx, 0, 0)
+
+    @staticmethod
+    def one(ctx: TowerContext) -> "Fp2":
+        return Fp2(ctx, 1, 0)
+
+    @staticmethod
+    def from_int(ctx: TowerContext, value: int) -> "Fp2":
+        return Fp2(ctx, value % ctx.p, 0)
+
+    def is_zero(self) -> bool:
+        return self.c0 == 0 and self.c1 == 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fp2)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+            and self.ctx is other.ctx
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ctx.p, self.c0, self.c1))
+
+    def __add__(self, other: "Fp2") -> "Fp2":
+        p = self.ctx.p
+        return Fp2(self.ctx, (self.c0 + other.c0) % p, (self.c1 + other.c1) % p)
+
+    def __sub__(self, other: "Fp2") -> "Fp2":
+        p = self.ctx.p
+        return Fp2(self.ctx, (self.c0 - other.c0) % p, (self.c1 - other.c1) % p)
+
+    def __neg__(self) -> "Fp2":
+        p = self.ctx.p
+        return Fp2(self.ctx, -self.c0 % p, -self.c1 % p)
+
+    def __mul__(self, other: "Fp2") -> "Fp2":
+        # Karatsuba with u^2 = -1: 3 base-field multiplications.
+        p = self.ctx.p
+        a0, a1 = self.c0, self.c1
+        b0, b1 = other.c0, other.c1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = (a0 + a1) * (b0 + b1)
+        return Fp2(self.ctx, (t0 - t1) % p, (t2 - t0 - t1) % p)
+
+    def scale(self, k: int) -> "Fp2":
+        p = self.ctx.p
+        return Fp2(self.ctx, self.c0 * k % p, self.c1 * k % p)
+
+    def square(self) -> "Fp2":
+        # (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u
+        p = self.ctx.p
+        a0, a1 = self.c0, self.c1
+        return Fp2(self.ctx, (a0 + a1) * (a0 - a1) % p, 2 * a0 * a1 % p)
+
+    def conjugate(self) -> "Fp2":
+        return Fp2(self.ctx, self.c0, -self.c1 % self.ctx.p)
+
+    def inverse(self) -> "Fp2":
+        p = self.ctx.p
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % p
+        if norm == 0:
+            raise ZeroDivisionError("inverse of zero in Fp2")
+        inv = pow(norm, -1, p)
+        return Fp2(self.ctx, self.c0 * inv % p, -self.c1 * inv % p)
+
+    def pow(self, exponent: int) -> "Fp2":
+        if exponent < 0:
+            return self.inverse().pow(-exponent)
+        result = Fp2.one(self.ctx)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def mul_by_xi(self) -> "Fp2":
+        return self * self.ctx.xi
+
+    def sqrt(self) -> "Fp2 | None":
+        """A square root in Fp2, or None.  Uses the norm-based algorithm."""
+        from .ntheory import sqrt_mod
+
+        p = self.ctx.p
+        if self.is_zero():
+            return Fp2.zero(self.ctx)
+        if self.c1 == 0:
+            root = sqrt_mod(self.c0, p)
+            if root is not None:
+                return Fp2(self.ctx, root, 0)
+            # sqrt of a non-residue a is sqrt(-a) * u since u^2 = -1.
+            root = sqrt_mod(-self.c0 % p, p)
+            if root is None:
+                return None
+            return Fp2(self.ctx, 0, root)
+        # General case: for a = a0 + a1 u, solve x = x0 + x1 u with
+        # x0^2 = (a0 + sqrt(norm))/2 (trying both root signs).
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % p
+        n_root = sqrt_mod(norm, p)
+        if n_root is None:
+            return None
+        inv2 = pow(2, -1, p)
+        for sign in (1, -1):
+            x0_sq = (self.c0 + sign * n_root) * inv2 % p
+            x0 = sqrt_mod(x0_sq, p)
+            if x0 is None or x0 == 0:
+                continue
+            x1 = self.c1 * pow(2 * x0, -1, p) % p
+            candidate = Fp2(self.ctx, x0, x1)
+            if candidate.square() == self:
+                return candidate
+        return None
+
+    def __repr__(self) -> str:
+        return f"Fp2({self.c0}, {self.c1})"
+
+
+class Fp6:
+    """Element c0 + c1*v + c2*v^2 of Fp6 over Fp2 with v^3 = xi."""
+
+    __slots__ = ("ctx", "c0", "c1", "c2")
+
+    def __init__(self, ctx: TowerContext, c0: Fp2, c1: Fp2, c2: Fp2):
+        self.ctx = ctx
+        self.c0 = c0
+        self.c1 = c1
+        self.c2 = c2
+
+    @staticmethod
+    def zero(ctx: TowerContext) -> "Fp6":
+        z = Fp2.zero(ctx)
+        return Fp6(ctx, z, z, z)
+
+    @staticmethod
+    def one(ctx: TowerContext) -> "Fp6":
+        return Fp6(ctx, Fp2.one(ctx), Fp2.zero(ctx), Fp2.zero(ctx))
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero() and self.c2.is_zero()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fp6)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+            and self.c2 == other.c2
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1, self.c2))
+
+    def __add__(self, other: "Fp6") -> "Fp6":
+        return Fp6(self.ctx, self.c0 + other.c0, self.c1 + other.c1, self.c2 + other.c2)
+
+    def __sub__(self, other: "Fp6") -> "Fp6":
+        return Fp6(self.ctx, self.c0 - other.c0, self.c1 - other.c1, self.c2 - other.c2)
+
+    def __neg__(self) -> "Fp6":
+        return Fp6(self.ctx, -self.c0, -self.c1, -self.c2)
+
+    def __mul__(self, other: "Fp6") -> "Fp6":
+        # Karatsuba-style 6-multiplication product with v^3 = xi.
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        b0, b1, b2 = other.c0, other.c1, other.c2
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = a2 * b2
+        c0 = ((a1 + a2) * (b1 + b2) - t1 - t2).mul_by_xi() + t0
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + t2.mul_by_xi()
+        c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
+        return Fp6(self.ctx, c0, c1, c2)
+
+    def square(self) -> "Fp6":
+        return self * self
+
+    def scale_fp2(self, k: Fp2) -> "Fp6":
+        return Fp6(self.ctx, self.c0 * k, self.c1 * k, self.c2 * k)
+
+    def mul_by_v(self) -> "Fp6":
+        """Multiply by v: (c0, c1, c2) -> (xi*c2, c0, c1)."""
+        return Fp6(self.ctx, self.c2.mul_by_xi(), self.c0, self.c1)
+
+    def mul_by_01(self, b0: Fp2, b1: Fp2) -> "Fp6":
+        """Multiply by the sparse element b0 + b1*v."""
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        t0 = a0 * b0
+        t1 = a1 * b1
+        c0 = (a2 * b1).mul_by_xi() + t0
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1
+        c2 = a2 * b0 + t1
+        return Fp6(self.ctx, c0, c1, c2)
+
+    def mul_by_0(self, b0: Fp2) -> "Fp6":
+        return Fp6(self.ctx, self.c0 * b0, self.c1 * b0, self.c2 * b0)
+
+    def inverse(self) -> "Fp6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        d0 = a0.square() - (a1 * a2).mul_by_xi()
+        d1 = a2.square().mul_by_xi() - a0 * a1
+        d2 = a1.square() - a0 * a2
+        t = a0 * d0 + (a2 * d1).mul_by_xi() + (a1 * d2).mul_by_xi()
+        t_inv = t.inverse()
+        return Fp6(self.ctx, d0 * t_inv, d1 * t_inv, d2 * t_inv)
+
+    def frobenius(self) -> "Fp6":
+        """The p-power map on Fp6 (conjugate coefficients, twist by gamma^2k)."""
+        gammas = self.ctx.frob_gamma
+        return Fp6(
+            self.ctx,
+            self.c0.conjugate(),
+            self.c1.conjugate() * gammas[2],
+            self.c2.conjugate() * gammas[4],
+        )
+
+    def __repr__(self) -> str:
+        return f"Fp6({self.c0!r}, {self.c1!r}, {self.c2!r})"
+
+
+class Fp12:
+    """Element g0 + g1*w of Fp12 over Fp6 with w^2 = v."""
+
+    __slots__ = ("ctx", "g0", "g1")
+
+    def __init__(self, ctx: TowerContext, g0: Fp6, g1: Fp6):
+        self.ctx = ctx
+        self.g0 = g0
+        self.g1 = g1
+
+    @staticmethod
+    def zero(ctx: TowerContext) -> "Fp12":
+        return Fp12(ctx, Fp6.zero(ctx), Fp6.zero(ctx))
+
+    @staticmethod
+    def one(ctx: TowerContext) -> "Fp12":
+        return Fp12(ctx, Fp6.one(ctx), Fp6.zero(ctx))
+
+    def is_one(self) -> bool:
+        return self == Fp12.one(self.ctx)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Fp12) and self.g0 == other.g0 and self.g1 == other.g1
+
+    def __hash__(self) -> int:
+        return hash((self.g0, self.g1))
+
+    def __add__(self, other: "Fp12") -> "Fp12":
+        return Fp12(self.ctx, self.g0 + other.g0, self.g1 + other.g1)
+
+    def __sub__(self, other: "Fp12") -> "Fp12":
+        return Fp12(self.ctx, self.g0 - other.g0, self.g1 - other.g1)
+
+    def __mul__(self, other: "Fp12") -> "Fp12":
+        # Karatsuba with w^2 = v: 3 Fp6 multiplications.
+        a0, a1 = self.g0, self.g1
+        b0, b1 = other.g0, other.g1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = (a0 + a1) * (b0 + b1)
+        return Fp12(self.ctx, t0 + t1.mul_by_v(), t2 - t0 - t1)
+
+    def square(self) -> "Fp12":
+        # Complex squaring: 2 Fp6 multiplications.
+        a0, a1 = self.g0, self.g1
+        t0 = a0 * a1
+        t1 = (a0 + a1) * (a0 + a1.mul_by_v())
+        g0 = t1 - t0 - t0.mul_by_v()
+        g1 = t0 + t0
+        return Fp12(self.ctx, g0, g1)
+
+    def conjugate(self) -> "Fp12":
+        """The p^6-power map; equals inversion on the cyclotomic subgroup."""
+        return Fp12(self.ctx, self.g0, -self.g1)
+
+    def inverse(self) -> "Fp12":
+        t = (self.g0.square() - self.g1.square().mul_by_v()).inverse()
+        return Fp12(self.ctx, self.g0 * t, -(self.g1 * t))
+
+    def mul_by_014(self, a0: Fp2, b0: Fp2, b1: Fp2) -> "Fp12":
+        """Multiply by the sparse line value a0 + (b0 + b1*v)*w."""
+        g0, g1 = self.g0, self.g1
+        t0 = g0.mul_by_0(a0)
+        t1 = g1.mul_by_01(b0, b1)
+        cross = (g0 + g1).mul_by_01(a0 + b0, b1) - t0 - t1
+        return Fp12(self.ctx, t0 + t1.mul_by_v(), cross)
+
+    def frobenius(self, power: int = 1) -> "Fp12":
+        """The p^power map, implemented by repeated application."""
+        result = self
+        gamma = self.ctx.frob_gamma[1]
+        for _ in range(power % 12):
+            g0 = result.g0.frobenius()
+            g1 = result.g1.frobenius().scale_fp2(gamma)
+            result = Fp12(self.ctx, g0, g1)
+        return result
+
+    def pow(self, exponent: int) -> "Fp12":
+        if exponent < 0:
+            return self.inverse().pow(-exponent)
+        result = Fp12.one(self.ctx)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def cyclotomic_pow(self, exponent: int) -> "Fp12":
+        """Exponentiation assuming ``self`` lies in the cyclotomic subgroup.
+
+        Negative exponents use conjugation (free inversion); squarings use
+        the plain complex squaring which is already cheap.
+        """
+        if exponent < 0:
+            return self.conjugate().cyclotomic_pow(-exponent)
+        result = Fp12.one(self.ctx)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def coefficients(self) -> tuple[Fp2, ...]:
+        """Coefficients in the w-power basis (w^0 .. w^5)."""
+        return (
+            self.g0.c0, self.g1.c0, self.g0.c1,
+            self.g1.c1, self.g0.c2, self.g1.c2,
+        )
+
+    def __repr__(self) -> str:
+        return f"Fp12({self.g0!r}, {self.g1!r})"

@@ -1,0 +1,132 @@
+"""DE-Sword: the paper's incentivized verifiable query system.
+
+The protocol layer on top of the POC scheme: the simulated network,
+participant nodes with honest and adversarial behaviours, the query proxy
+with its double-edged reputation engine, the two protocol phases, the
+motivating applications, and the quantitative incentive analysis.
+"""
+
+from .adversary import (
+    HONEST,
+    Behavior,
+    DistributionStrategy,
+    QueryStrategy,
+    addition_of,
+    coalition_on_path,
+    deletion_of,
+    modification_of,
+)
+from .apps import (
+    ContaminationLocalizationApp,
+    CounterfeitDetectionApp,
+    CounterfeitReport,
+    LocalizationReport,
+    RecallReport,
+    TargetedRecallApp,
+)
+from .config import DeSwordConfig
+from .detection import (
+    CLAIM_NON_PROCESSING,
+    CLAIM_PROCESSING,
+    INVALID_PROOF,
+    REFUSAL,
+    WRONG_NEXT,
+    WRONG_TRACE,
+    Violation,
+)
+from .distribution_phase import DistributionPhaseResult, run_distribution_phase
+from .errors import DeSwordError, PocListError, ProtocolError, UnknownParticipantError
+from .experiment import Deployment
+from .incentives import (
+    STRATEGIES,
+    IncentiveParams,
+    StrategyOutcome,
+    balanced_negative_score,
+    expected_gain_per_trace,
+    monte_carlo_outcomes,
+    utility_per_trace,
+    variance_per_trace,
+)
+from .messages import (
+    BAD_QUERY,
+    GOOD_QUERY,
+    Message,
+    NextParticipantRequest,
+    NextParticipantResponse,
+    PocListSubmission,
+    PocTransfer,
+    ProofResponse,
+    PsBroadcast,
+    QueryRequest,
+    RevealRequest,
+)
+from .network import LatencyModel, NetworkStats, SimNetwork
+from .nodes import ParticipantNode
+from .poclist import PocList
+from .proxy import ProbeOutcome, QueryProxy, QueryResult
+from .reputation import ReputationEngine, ReputationPolicy, ScoreEvent
+from .transcript import TranscriptEntry, TranscriptRecorder
+
+__all__ = [
+    "Deployment",
+    "DeSwordConfig",
+    "QueryProxy",
+    "QueryResult",
+    "ProbeOutcome",
+    "ParticipantNode",
+    "PocList",
+    "SimNetwork",
+    "LatencyModel",
+    "NetworkStats",
+    "ReputationEngine",
+    "ReputationPolicy",
+    "ScoreEvent",
+    "TranscriptRecorder",
+    "TranscriptEntry",
+    "Behavior",
+    "DistributionStrategy",
+    "QueryStrategy",
+    "HONEST",
+    "deletion_of",
+    "addition_of",
+    "modification_of",
+    "coalition_on_path",
+    "Violation",
+    "CLAIM_NON_PROCESSING",
+    "CLAIM_PROCESSING",
+    "WRONG_TRACE",
+    "WRONG_NEXT",
+    "REFUSAL",
+    "INVALID_PROOF",
+    "run_distribution_phase",
+    "DistributionPhaseResult",
+    "ContaminationLocalizationApp",
+    "CounterfeitDetectionApp",
+    "TargetedRecallApp",
+    "LocalizationReport",
+    "CounterfeitReport",
+    "RecallReport",
+    "IncentiveParams",
+    "StrategyOutcome",
+    "STRATEGIES",
+    "expected_gain_per_trace",
+    "variance_per_trace",
+    "utility_per_trace",
+    "balanced_negative_score",
+    "monte_carlo_outcomes",
+    "Message",
+    "PsBroadcast",
+    "PocTransfer",
+    "PocListSubmission",
+    "QueryRequest",
+    "ProofResponse",
+    "RevealRequest",
+    "NextParticipantRequest",
+    "NextParticipantResponse",
+    "GOOD_QUERY",
+    "BAD_QUERY",
+    "DeSwordError",
+    "ProtocolError",
+    "PocListError",
+    "UnknownParticipantError",
+]

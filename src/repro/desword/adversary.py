@@ -1,0 +1,118 @@
+"""Dishonest participant behaviours — the paper's threat model.
+
+Distribution-phase strategies (Section III.A) act when the POC is built:
+
+* **deletion** — omit RFID-traces from the committed set;
+* **addition** — commit fake traces for products never processed;
+* **modification** — commit altered ``da`` data for processed products.
+
+Query-phase strategies (Section III.B) act when answering the proxy:
+
+* **claim non-processing** (bad product) / **claim processing** (good
+  product) — lie about having handled the product, backed by a best-effort
+  forged proof;
+* **wrong trace** — return a tampered trace;
+* **wrong next participant** — misdirect the path traversal;
+* **refusal** — stonewall instead of answering.
+
+Coalitions are expressed by giving the same behaviour to every participant
+on a path (see :func:`coalition_on_path`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "DistributionStrategy",
+    "QueryStrategy",
+    "Behavior",
+    "HONEST",
+    "deletion_of",
+    "addition_of",
+    "modification_of",
+    "coalition_on_path",
+]
+
+
+@dataclass(frozen=True)
+class DistributionStrategy:
+    """What the participant does to its trace set before POC-Agg."""
+
+    delete_ids: frozenset[int] = frozenset()
+    add_traces: tuple[tuple[int, bytes], ...] = ()
+    modify_traces: tuple[tuple[int, bytes], ...] = ()
+
+    @property
+    def is_honest(self) -> bool:
+        return not (self.delete_ids or self.add_traces or self.modify_traces)
+
+    def apply(self, traces: dict[int, bytes]) -> dict[int, bytes]:
+        """The committed trace set after applying this strategy."""
+        committed = {
+            pid: data for pid, data in traces.items() if pid not in self.delete_ids
+        }
+        for pid, fake_data in self.add_traces:
+            committed[pid] = fake_data
+        for pid, new_data in self.modify_traces:
+            if pid in committed:
+                committed[pid] = new_data
+        return committed
+
+
+@dataclass(frozen=True)
+class QueryStrategy:
+    """How the participant answers the proxy's query interactions."""
+
+    claim_non_processing: bool = False
+    claim_processing: bool = False
+    wrong_trace: bool = False
+    wrong_next: str | None = None  # "drop", "non-child", or a participant id
+    refuse_reveal: bool = False
+    refuse_all: bool = False
+
+    @property
+    def is_honest(self) -> bool:
+        return self == QueryStrategy()
+
+
+@dataclass(frozen=True)
+class Behavior:
+    """A participant's full strategy across both phases."""
+
+    distribution: DistributionStrategy = field(default_factory=DistributionStrategy)
+    query: QueryStrategy = field(default_factory=QueryStrategy)
+
+    @property
+    def is_honest(self) -> bool:
+        return self.distribution.is_honest and self.query.is_honest
+
+
+HONEST = Behavior()
+
+
+def deletion_of(*product_ids: int) -> Behavior:
+    """Delete the given products' traces at POC construction."""
+    return Behavior(distribution=DistributionStrategy(delete_ids=frozenset(product_ids)))
+
+
+def addition_of(*fakes: tuple[int, bytes]) -> Behavior:
+    """Add fake traces at POC construction."""
+    return Behavior(distribution=DistributionStrategy(add_traces=tuple(fakes)))
+
+
+def modification_of(*changes: tuple[int, bytes]) -> Behavior:
+    """Modify the da-part of committed traces."""
+    return Behavior(distribution=DistributionStrategy(modify_traces=tuple(changes)))
+
+
+def coalition_on_path(
+    path: list[str], behavior: Behavior
+) -> dict[str, Behavior]:
+    """The same dishonest behaviour for every participant on a path.
+
+    Models the paper's coordinated-participants threat ("all the
+    participants on a path may delete the RFID-traces of their processed
+    products").
+    """
+    return {participant_id: replace(behavior) for participant_id in path}

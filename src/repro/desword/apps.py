@@ -1,0 +1,134 @@
+"""Supply-chain applications on top of DE-Sword queries.
+
+The paper's introduction motivates three applications of product path
+information queries: contamination localization, counterfeit detection,
+and targeted product recall.  Each is implemented against the proxy's
+query interface only — the applications never see raw POCs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .experiment import Deployment
+from .proxy import QueryResult
+
+__all__ = [
+    "LocalizationReport",
+    "ContaminationLocalizationApp",
+    "CounterfeitReport",
+    "CounterfeitDetectionApp",
+    "RecallReport",
+    "TargetedRecallApp",
+]
+
+
+@dataclass
+class LocalizationReport:
+    """Outcome of a contamination investigation."""
+
+    bad_products: list[int]
+    query_results: list[QueryResult] = field(default_factory=list)
+    suspect_ranking: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def prime_suspect(self) -> str | None:
+        return self.suspect_ranking[0][0] if self.suspect_ranking else None
+
+
+class ContaminationLocalizationApp:
+    """Locate a contamination source from reported bad products.
+
+    Queries the path of every reported bad product and ranks participants
+    by how many bad paths they appear on; the common upstream participant
+    of the bad products is the contamination source candidate.
+    """
+
+    def __init__(self, deployment: Deployment):
+        self.deployment = deployment
+
+    def investigate(self, bad_product_ids: list[int]) -> LocalizationReport:
+        report = LocalizationReport(list(bad_product_ids))
+        appearance: Counter[str] = Counter()
+        for product_id in bad_product_ids:
+            result = self.deployment.query(product_id, quality="bad")
+            report.query_results.append(result)
+            appearance.update(set(result.path))
+        report.suspect_ranking = [
+            (participant, count)
+            for participant, count in appearance.most_common()
+        ]
+        return report
+
+
+@dataclass
+class CounterfeitReport:
+    """Verdict for one market-sampled product."""
+
+    product_id: int
+    genuine: bool
+    path: list[str]
+    reason: str
+
+
+class CounterfeitDetectionApp:
+    """Check whether a market-sampled product id is genuine.
+
+    A genuine product has a verifiable path starting at an initial
+    participant; an id no initial participant can prove ownership of is a
+    counterfeit suspect (its tag was never issued by the chain).
+    """
+
+    def __init__(self, deployment: Deployment):
+        self.deployment = deployment
+
+    def check(self, product_id: int) -> CounterfeitReport:
+        result = self.deployment.query(product_id, quality="good")
+        if not result.found:
+            return CounterfeitReport(
+                product_id,
+                genuine=False,
+                path=[],
+                reason="no initial participant can prove ownership",
+            )
+        return CounterfeitReport(
+            product_id,
+            genuine=True,
+            path=result.path,
+            reason=f"verifiable path of length {len(result.path)}",
+        )
+
+
+@dataclass
+class RecallReport:
+    """Products flagged for recall after a source was identified."""
+
+    source_participant: str
+    candidates_checked: int
+    recalled_products: list[int] = field(default_factory=list)
+    paths: dict[int, list[str]] = field(default_factory=dict)
+
+
+class TargetedRecallApp:
+    """Recall exactly the products that passed through a bad participant.
+
+    Given the contamination source (typically from
+    :class:`ContaminationLocalizationApp`), queries candidate products and
+    recalls those whose verified path includes the source — the targeted
+    alternative to a blanket recall.
+    """
+
+    def __init__(self, deployment: Deployment):
+        self.deployment = deployment
+
+    def recall(
+        self, source_participant: str, candidate_product_ids: list[int]
+    ) -> RecallReport:
+        report = RecallReport(source_participant, len(candidate_product_ids))
+        for product_id in candidate_product_ids:
+            result = self.deployment.query(product_id, quality="good")
+            report.paths[product_id] = result.path
+            if source_participant in result.path:
+                report.recalled_products.append(product_id)
+        return report

@@ -1,0 +1,60 @@
+"""One-stop configuration for building DE-Sword deployments.
+
+Bundles the choices an operator makes — curve, EDB backend and tree
+shape, reputation policy, quality model — and builds the matching
+:class:`~repro.poc.scheme.PocScheme`.  The examples use this as the
+public "construct me a system" entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.bn import BNCurve, bn254, toy_bn
+from ..crypto.rng import DeterministicRng
+from ..poc.scheme import PocScheme
+from ..zkedb.backend import ZkEdbBackend
+from ..zkedb.hash_backend import MerkleEdbBackend
+from ..zkedb.params import EdbParams
+from .reputation import ReputationPolicy
+
+__all__ = ["DeSwordConfig"]
+
+
+@dataclass(frozen=True)
+class DeSwordConfig:
+    """System-level knobs with paper-faithful defaults."""
+
+    backend_kind: str = "zk"  # "zk" (the paper) or "merkle" (baseline)
+    curve_kind: str = "toy"   # "bn254" (production) or "toy" (fast)
+    q: int = 8
+    key_bits: int = 128
+    positive_score: float = 1.0
+    negative_score: float = -1.0
+    violation_penalty: float = -3.0
+    seed: str = "desword"
+
+    def curve(self) -> BNCurve:
+        return bn254() if self.curve_kind == "bn254" else toy_bn()
+
+    def reputation_policy(self) -> ReputationPolicy:
+        return ReputationPolicy(
+            positive_score=self.positive_score,
+            negative_score=self.negative_score,
+            violation_penalty=self.violation_penalty,
+        )
+
+    def build_scheme(self) -> PocScheme:
+        """PS-Gen for the configured backend."""
+        if self.backend_kind == "merkle":
+            backend = MerkleEdbBackend(q=self.q, key_bits=self.key_bits)
+            return PocScheme.ps_gen(backend, self.key_bits)
+        if self.backend_kind != "zk":
+            raise ValueError(f"unknown backend kind {self.backend_kind!r}")
+        params = EdbParams.generate(
+            self.curve(),
+            DeterministicRng(self.seed + "/crs"),
+            q=self.q,
+            key_bits=self.key_bits,
+        )
+        return PocScheme.ps_gen(ZkEdbBackend(params), self.key_bits)

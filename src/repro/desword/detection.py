@@ -1,0 +1,49 @@
+"""Violation records: what the proxy detects and attributes.
+
+Each constant corresponds to one dishonest behaviour of the query-phase
+threat model (Section III.B); ``INVALID_PROOF`` and ``REFUSAL`` are the
+observable symptoms through which the behaviours are caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Violation",
+    "CLAIM_NON_PROCESSING",
+    "CLAIM_PROCESSING",
+    "WRONG_TRACE",
+    "WRONG_NEXT",
+    "REFUSAL",
+    "INVALID_PROOF",
+]
+
+CLAIM_NON_PROCESSING = "claim-non-processing"
+CLAIM_PROCESSING = "claim-processing"
+WRONG_TRACE = "wrong-trace"
+WRONG_NEXT = "wrong-next-participant"
+REFUSAL = "refusal"
+INVALID_PROOF = "invalid-proof"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A detected protocol violation.
+
+    ``attributable`` is False for inconsistencies the proxy observes but
+    cannot pin on one party — e.g. a claimed next participant that denies
+    processing, which is equally consistent with the *next* participant
+    having deleted its trace.  Non-attributable violations are surfaced in
+    query results but carry no reputation penalty.
+    """
+
+    kind: str
+    participant_id: str
+    product_id: int
+    detail: str = ""
+    attributable: bool = True
+
+    def __str__(self) -> str:
+        note = f" ({self.detail})" if self.detail else ""
+        return f"[{self.kind}] {self.participant_id} on product {self.product_id:#x}{note}"

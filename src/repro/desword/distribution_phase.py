@@ -1,0 +1,117 @@
+"""The distribution phase (Section IV.B).
+
+After a distribution task's physical flow, the involved participants build
+their POCs and assemble the POC list: the initial participant broadcasts
+the public-parameter handle, every child transmits its POC to its parents
+to form POC pairs, all pairs flow back to the initial participant, and the
+composed list (ps, {(POC_vi, POC_vj)}) is submitted to the proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..supplychain.distribution import TaskRecord
+from .messages import PocListSubmission, PocTransfer, PsBroadcast, PsRequest
+from .network import SimNetwork
+from .nodes import ParticipantNode
+from .poclist import PocList
+from .proxy import QueryProxy
+
+__all__ = ["DistributionPhaseResult", "run_distribution_phase"]
+
+
+@dataclass
+class DistributionPhaseResult:
+    """What the phase produced plus its communication cost."""
+
+    poc_list: PocList
+    messages: int
+    bytes_sent: int
+    poc_sizes: dict[str, int]
+
+
+def shipments_from_record(record: TaskRecord) -> dict[str, dict[int, str | None]]:
+    """Each participant's shipping log, reconstructed from ground truth."""
+    logs: dict[str, dict[int, str | None]] = {}
+    for product_id, path in record.product_paths.items():
+        for position, participant_id in enumerate(path):
+            next_hop = path[position + 1] if position + 1 < len(path) else None
+            logs.setdefault(participant_id, {})[product_id] = next_hop
+    return logs
+
+
+def edges_used(record: TaskRecord) -> set[tuple[str, str]]:
+    """The (parent, child) production relations realised by the task."""
+    edges: set[tuple[str, str]] = set()
+    for path in record.product_paths.values():
+        edges.update(zip(path, path[1:]))
+    return edges
+
+
+def run_distribution_phase(
+    nodes: dict[str, ParticipantNode],
+    record: TaskRecord,
+    network: SimNetwork,
+    proxy: QueryProxy,
+    ps_id: str = "ps",
+) -> DistributionPhaseResult:
+    """Build and submit the POC list for one completed distribution task."""
+    before = (network.stats.messages, network.stats.bytes_sent)
+    initial = record.task.initial_participant
+    involved = record.involved_participants
+    backend = nodes[initial].scheme.backend
+
+    # Step 1: the initial participant requests ps from the proxy, then
+    # broadcasts the handle to the other involved participants.
+    response = network.request(initial, proxy.identity, PsRequest(record.task.task_id))
+    if isinstance(response, PsBroadcast):
+        ps_id = response.ps_id
+    for participant_id in involved:
+        if participant_id != initial:
+            network.send(initial, participant_id, PsBroadcast(ps_id))
+
+    # Step 2: every involved participant builds its POC and learns its
+    # shipping log from the completed physical flow.
+    logs = shipments_from_record(record)
+    pocs = {}
+    poc_sizes = {}
+    for participant_id in involved:
+        node = nodes[participant_id]
+        node.record_shipments(logs.get(participant_id, {}))
+        poc = node.build_poc(record.task.task_id)
+        pocs[participant_id] = poc
+        poc_sizes[participant_id] = len(poc.to_bytes(backend))
+
+    # Step 3: children transmit POCs to parents to construct POC pairs.
+    relations = edges_used(record)
+    for parent, child in sorted(relations):
+        network.send(
+            child, parent, PocTransfer(child, pocs[child].to_bytes(backend))
+        )
+
+    # Step 4: pairs flow to the initial participant, who composes the list.
+    poc_list = PocList(record.task.task_id, ps_id, initial)
+    for participant_id in involved:
+        poc_list.add_poc(pocs[participant_id])
+    for parent, child in sorted(relations):
+        if parent != initial:
+            network.send(
+                parent, initial, PocTransfer(parent, pocs[parent].to_bytes(backend), 1)
+            )
+        poc_list.add_pair(parent, child)
+
+    # Step 5: submission to the proxy.
+    network.send(
+        initial,
+        proxy.identity,
+        PocListSubmission(record.task.task_id, poc_list.size_bytes(backend)),
+    )
+    proxy.receive_poc_list(poc_list)
+
+    return DistributionPhaseResult(
+        poc_list=poc_list,
+        messages=network.stats.messages - before[0],
+        bytes_sent=network.stats.bytes_sent - before[1],
+        poc_sizes=poc_sizes,
+    )

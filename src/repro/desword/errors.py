@@ -1,0 +1,26 @@
+"""Exception types for the DE-Sword protocol layer."""
+
+from __future__ import annotations
+
+__all__ = [
+    "DeSwordError",
+    "ProtocolError",
+    "UnknownParticipantError",
+    "PocListError",
+]
+
+
+class DeSwordError(Exception):
+    """Base class for protocol-layer errors."""
+
+
+class ProtocolError(DeSwordError):
+    """A message arrived that violates the protocol state machine."""
+
+
+class UnknownParticipantError(DeSwordError):
+    """A message referenced a participant the network does not know."""
+
+
+class PocListError(DeSwordError):
+    """A POC list failed structural validation."""

@@ -1,0 +1,116 @@
+"""End-to-end deployment builder.
+
+Wires a generated supply chain, a POC scheme, participant behaviours, the
+simulated network, and the proxy into one object — the entry point the
+examples, tests, and protocol benchmarks all use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.rng import DeterministicRng
+from ..poc.scheme import PocScheme
+from ..supplychain.distribution import (
+    DistributionTask,
+    TaskRecord,
+    run_distribution_task,
+)
+from ..supplychain.generator import GeneratedChain
+from ..supplychain.quality import IndependentQualityModel, QualityOracle
+from .adversary import HONEST, Behavior
+from .distribution_phase import DistributionPhaseResult, run_distribution_phase
+from .network import SimNetwork
+from .nodes import ParticipantNode
+from .proxy import QueryProxy, QueryResult
+from .reputation import ReputationPolicy
+
+__all__ = ["Deployment"]
+
+
+@dataclass
+class Deployment:
+    """A running DE-Sword world: chain + nodes + network + proxy."""
+
+    chain: GeneratedChain
+    scheme: PocScheme
+    network: SimNetwork
+    nodes: dict[str, ParticipantNode]
+    proxy: QueryProxy
+    rng: DeterministicRng
+    task_records: dict[str, TaskRecord] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        chain: GeneratedChain,
+        scheme: PocScheme,
+        oracle: QualityOracle | None = None,
+        behaviors: dict[str, Behavior] | None = None,
+        policy: ReputationPolicy | None = None,
+        seed: str = "deployment",
+    ) -> "Deployment":
+        rng = DeterministicRng(seed)
+        network = SimNetwork()
+        oracle = oracle or IndependentQualityModel(beta=0.05, seed=seed)
+        behaviors = behaviors or {}
+        nodes = {}
+        for participant_id, participant in chain.participants.items():
+            node = ParticipantNode(
+                participant,
+                scheme,
+                behaviors.get(participant_id, HONEST),
+                rng.fork(f"node/{participant_id}"),
+            )
+            nodes[participant_id] = node
+            network.register(participant_id, node)
+        proxy = QueryProxy(scheme, network, oracle, policy)
+        return cls(chain, scheme, network, nodes, proxy, rng)
+
+    def set_behavior(self, participant_id: str, behavior: Behavior) -> None:
+        """Assign a behaviour before the distribution phase runs."""
+        self.nodes[participant_id].behavior = behavior
+
+    def distribute(
+        self,
+        product_ids: list[int],
+        task_id: str | None = None,
+        initial: str | None = None,
+    ) -> tuple[TaskRecord, DistributionPhaseResult]:
+        """Run one distribution task: physical flow, then POC list assembly."""
+        task_id = task_id or f"task{len(self.task_records)}"
+        initial = initial or self.chain.initial()
+        task = DistributionTask(task_id, initial, tuple(product_ids))
+        record = run_distribution_task(
+            self.chain.topology,
+            self.chain.participants,
+            task,
+            self.rng.fork(f"task/{task_id}"),
+        )
+        self.task_records[task_id] = record
+        phase = run_distribution_phase(
+            self.nodes, record, self.network, self.proxy
+        )
+        return record, phase
+
+    def query(self, product_id: int, quality: str | None = None) -> QueryResult:
+        """The paper's interactive path query for one product."""
+        return self.proxy.query_product(product_id, quality)
+
+    def sweep(
+        self,
+        product_id: int,
+        quality: str | None = None,
+        apply_reputation: bool = True,
+    ) -> QueryResult:
+        """The exhaustive (everyone-is-asked) query variant."""
+        return self.proxy.sweep_query(
+            product_id, quality, apply_reputation=apply_reputation
+        )
+
+    def ground_truth_path(self, product_id: int) -> list[str]:
+        for record in self.task_records.values():
+            path = record.path_of(product_id)
+            if path:
+                return path
+        return []

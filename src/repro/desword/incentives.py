@@ -1,0 +1,201 @@
+"""Quantitative analysis of the double-edged reputation incentive.
+
+The paper argues qualitatively (Section II.C, Figure 3) that deletion and
+addition are deterred because a participant "cannot confirm if they can
+acquire definite reputation benefits".  This module makes that argument
+quantitative:
+
+* per-trace expected reputation gain of each strategy (keep / delete /
+  add) as a function of the bad-product probability beta, the proxy's
+  good/bad query sampling rates, and the score magnitudes;
+* the *balanced* negative score that zeroes both deviations' expected
+  gains — the proxy's tuning knob;
+* a mean-variance utility for risk-averse participants, under which
+  honesty strictly dominates at the balanced point because deviations add
+  variance (the formal content of "double-edged");
+* a Monte-Carlo simulator over the abstract reward process, used by the
+  incentive benchmarks (experiment E7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..crypto.rng import DeterministicRng
+
+__all__ = [
+    "IncentiveParams",
+    "StrategyOutcome",
+    "expected_gain_per_trace",
+    "variance_per_trace",
+    "utility_per_trace",
+    "balanced_negative_score",
+    "monte_carlo_outcomes",
+    "STRATEGIES",
+]
+
+STRATEGIES = ("honest", "delete", "add")
+
+
+@dataclass(frozen=True)
+class IncentiveParams:
+    """The reward process parameters.
+
+    ``query_prob_bad`` is typically much larger than ``query_prob_good``:
+    bad products trigger contamination/recall queries while good products
+    are only sampled from the market.
+    """
+
+    beta: float = 0.02               # probability a product turns out bad
+    query_prob_good: float = 0.05    # market-sampling rate for good products
+    query_prob_bad: float = 0.9      # query rate once a product is found bad
+    positive_score: float = 1.0
+    negative_score: float = -1.0
+    risk_aversion: float = 0.5       # lambda in U = E - lambda * Var
+
+    def __post_init__(self):
+        for name in ("beta", "query_prob_good", "query_prob_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+        if self.positive_score <= 0 or self.negative_score >= 0:
+            raise ValueError("scores must satisfy s+ > 0 > s-")
+
+
+def _per_trace_moments(params: IncentiveParams) -> tuple[float, float]:
+    """(mean, variance) of the reputation delta from holding one trace."""
+    p_good_scored = (1 - params.beta) * params.query_prob_good
+    p_bad_scored = params.beta * params.query_prob_bad
+    mean = p_good_scored * params.positive_score + p_bad_scored * params.negative_score
+    second = (
+        p_good_scored * params.positive_score**2
+        + p_bad_scored * params.negative_score**2
+    )
+    return mean, second - mean * mean
+
+
+def expected_gain_per_trace(params: IncentiveParams, strategy: str) -> float:
+    """Expected reputation change per trace, relative to doing nothing.
+
+    * ``honest`` — hold the real trace;
+    * ``delete`` — drop a real trace (forfeits the honest value);
+    * ``add`` — hold one extra fake trace (gains another draw of the same
+      double-edged gamble).
+    """
+    mean, _ = _per_trace_moments(params)
+    if strategy == "honest":
+        return mean
+    if strategy == "delete":
+        return -mean  # what deviating from honest changes
+    if strategy == "add":
+        return mean
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def variance_per_trace(params: IncentiveParams, strategy: str) -> float:
+    """Variance each strategy adds relative to honest behaviour."""
+    _, var = _per_trace_moments(params)
+    if strategy == "honest":
+        return 0.0
+    # Both deviations add or remove one independent gamble; either way the
+    # participant's *deviation* payoff has the gamble's variance.
+    return var
+
+
+def utility_per_trace(params: IncentiveParams, strategy: str) -> float:
+    """Mean-variance utility of deviating: U = E - lambda * Var.
+
+    At the balanced point, honest has U = 0 while both deviations have
+    U < 0 — the double-edged deterrent in one number.
+    """
+    return expected_gain_per_trace(params, strategy) - (
+        params.risk_aversion * variance_per_trace(params, strategy)
+    )
+
+
+def balanced_negative_score(params: IncentiveParams) -> float:
+    """The s- that zeroes the expected gain of both deviations.
+
+    Solves (1-beta) * rho_g * s+ + beta * rho_b * s- = 0; the proxy picks
+    its penalty magnitude from here (or more negative, to push deletion's
+    appeal below zero at the cost of making addition's mean positive —
+    the trade-off experiment E7 sweeps).
+    """
+    denominator = params.beta * params.query_prob_bad
+    if denominator == 0:
+        raise ValueError("beta * query_prob_bad must be positive")
+    return -(1 - params.beta) * params.query_prob_good * params.positive_score / denominator
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Monte-Carlo summary for one strategy."""
+
+    strategy: str
+    mean: float
+    std: float
+    utility: float
+    win_rate: float  # fraction of trials where deviating beat honesty
+
+
+def monte_carlo_outcomes(
+    params: IncentiveParams,
+    traces_per_participant: int,
+    trials: int,
+    rng: DeterministicRng,
+) -> dict[str, StrategyOutcome]:
+    """Simulate the reward process for each strategy.
+
+    ``delete`` deletes one trace, ``add`` adds one fake trace; the summary
+    reports the *deviation* payoff against the honest baseline on the same
+    randomness (common random numbers, so the comparison is paired).
+    """
+    results: dict[str, list[float]] = {name: [] for name in STRATEGIES}
+    for trial in range(trials):
+        trial_rng = rng.fork(f"trial/{trial}")
+        # The payoff of holding one trace, drawn once per product.
+        draws = []
+        for _ in range(traces_per_participant + 1):  # +1 for the fake trace
+            is_bad = trial_rng.random() < params.beta
+            query_prob = params.query_prob_bad if is_bad else params.query_prob_good
+            queried = trial_rng.random() < query_prob
+            if not queried:
+                draws.append(0.0)
+            else:
+                draws.append(
+                    params.negative_score if is_bad else params.positive_score
+                )
+        honest_payoff = sum(draws[:-1])
+        results["honest"].append(honest_payoff)
+        results["delete"].append(honest_payoff - draws[0])
+        results["add"].append(honest_payoff + draws[-1])
+
+    outcomes = {}
+    honest = results["honest"]
+    for name in STRATEGIES:
+        values = results[name]
+        mean = sum(values) / trials
+        var = sum((v - mean) ** 2 for v in values) / max(trials - 1, 1)
+        deviation_mean = mean - sum(honest) / trials
+        deviation_params = replace(params)
+        utility = deviation_mean - deviation_params.risk_aversion * (
+            0.0
+            if name == "honest"
+            else _paired_deviation_variance(values, honest)
+        )
+        wins = sum(1 for v, h in zip(values, honest) if v > h)
+        outcomes[name] = StrategyOutcome(
+            strategy=name,
+            mean=mean,
+            std=math.sqrt(var),
+            utility=utility,
+            win_rate=wins / trials,
+        )
+    return outcomes
+
+
+def _paired_deviation_variance(values: list[float], baseline: list[float]) -> float:
+    deltas = [v - h for v, h in zip(values, baseline)]
+    mean = sum(deltas) / len(deltas)
+    return sum((d - mean) ** 2 for d in deltas) / max(len(deltas) - 1, 1)

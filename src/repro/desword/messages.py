@@ -1,0 +1,152 @@
+"""Protocol messages.
+
+Every unit of communication in the two phases is a message object with a
+measurable wire size, so the experiments report real byte counts: the
+public-parameter broadcast and POC-list assembly of the distribution
+phase, and the query interactions of the query phase (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Message",
+    "PsRequest",
+    "PsBroadcast",
+    "PocTransfer",
+    "PocListSubmission",
+    "QueryRequest",
+    "ProofResponse",
+    "RevealRequest",
+    "NextParticipantRequest",
+    "NextParticipantResponse",
+    "GOOD_QUERY",
+    "BAD_QUERY",
+]
+
+GOOD_QUERY = "good"
+BAD_QUERY = "bad"
+
+_HEADER_BYTES = 16  # message type + routing header, flat accounting
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message; subclasses define payload size."""
+
+    def payload_bytes(self) -> int:
+        return 0
+
+    def size_bytes(self) -> int:
+        return _HEADER_BYTES + self.payload_bytes()
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class PsRequest(Message):
+    """The initial participant asks the proxy for the public parameter
+    handle (Section IV.B: 'the initial participant v1 requests ps from
+    the proxy')."""
+
+    task_id: str
+
+    def payload_bytes(self) -> int:
+        return len(self.task_id.encode())
+
+
+@dataclass(frozen=True)
+class PsBroadcast(Message):
+    """The initial participant relays the public parameter handle."""
+
+    ps_id: str
+
+    def payload_bytes(self) -> int:
+        return len(self.ps_id.encode())
+
+
+@dataclass(frozen=True)
+class PocTransfer(Message):
+    """A child sends its POC (and collected pairs) toward the initial."""
+
+    sender: str
+    poc_bytes: bytes
+    pair_count: int = 0
+
+    def payload_bytes(self) -> int:
+        return len(self.sender.encode()) + len(self.poc_bytes) + 4
+
+
+@dataclass(frozen=True)
+class PocListSubmission(Message):
+    """The initial participant submits the assembled POC list to the proxy."""
+
+    task_id: str
+    poc_list_bytes: int
+
+    def payload_bytes(self) -> int:
+        return len(self.task_id.encode()) + self.poc_list_bytes
+
+
+@dataclass(frozen=True)
+class QueryRequest(Message):
+    """(query request, id, POC_v) from the proxy (Section IV.C step 1)."""
+
+    query_kind: str  # GOOD_QUERY or BAD_QUERY
+    product_id: int
+    poc_bytes: bytes
+
+    def payload_bytes(self) -> int:
+        return 1 + 16 + len(self.poc_bytes)
+
+
+@dataclass(frozen=True)
+class ProofResponse(Message):
+    """A participant's proof (or refusal: proof_bytes is None)."""
+
+    participant_id: str
+    proof_bytes: bytes | None
+    proof: Any = field(default=None, compare=False)  # decoded object, local
+
+    def payload_bytes(self) -> int:
+        return len(self.participant_id.encode()) + (
+            len(self.proof_bytes) if self.proof_bytes is not None else 1
+        )
+
+    @property
+    def refused(self) -> bool:
+        return self.proof_bytes is None
+
+
+@dataclass(frozen=True)
+class RevealRequest(Message):
+    """Bad-product case step 2: demand the ownership proof."""
+
+    product_id: int
+
+    def payload_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class NextParticipantRequest(Message):
+    """Ask the identified participant who processed the product next."""
+
+    product_id: int
+
+    def payload_bytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class NextParticipantResponse(Message):
+    """The claimed next participant (None at the end of the path)."""
+
+    next_participant: str | None
+
+    def payload_bytes(self) -> int:
+        return len(self.next_participant.encode()) if self.next_participant else 1

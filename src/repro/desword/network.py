@@ -1,0 +1,110 @@
+"""A deterministic message-passing network simulator.
+
+Endpoints register under their identity; ``request`` delivers a message
+synchronously and returns the response, while the network accounts bytes,
+message counts, and simulated latency.  The protocols are sequential
+request/response chains, so a synchronous simulator reproduces their
+communication costs faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from .errors import UnknownParticipantError
+from .messages import Message
+
+__all__ = ["Endpoint", "LatencyModel", "NetworkStats", "SimNetwork"]
+
+
+class Endpoint(Protocol):
+    """Anything that can receive protocol messages."""
+
+    def handle_message(self, sender: str, message: Message) -> Message | None: ...
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Latency = base + bytes / bandwidth, in simulated milliseconds."""
+
+    base_ms: float = 1.0
+    bandwidth_bytes_per_ms: float = 125_000.0  # ~1 Gbps
+
+    def latency_for(self, size_bytes: int) -> float:
+        return self.base_ms + size_bytes / self.bandwidth_bytes_per_ms
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic accounting."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    simulated_ms: float = 0.0
+    per_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: Message, latency_ms: float) -> None:
+        self.messages += 1
+        self.bytes_sent += message.size_bytes()
+        self.simulated_ms += latency_ms
+        self.per_kind[message.kind] = self.per_kind.get(message.kind, 0) + 1
+
+    def snapshot(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "simulated_ms": round(self.simulated_ms, 3),
+            "per_kind": dict(self.per_kind),
+        }
+
+
+class SimNetwork:
+    """Synchronous request/response delivery with byte accounting."""
+
+    def __init__(self, latency: LatencyModel | None = None):
+        self.latency = latency or LatencyModel()
+        self.stats = NetworkStats()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._taps: list[Callable[[str, str, Message], None]] = []
+
+    def register(self, identity: str, endpoint: Endpoint) -> None:
+        self._endpoints[identity] = endpoint
+
+    def unregister(self, identity: str) -> None:
+        self._endpoints.pop(identity, None)
+
+    def knows(self, identity: str) -> bool:
+        return identity in self._endpoints
+
+    def add_tap(self, tap: Callable[[str, str, Message], None]) -> None:
+        """Observe every delivered message (used by tests and tracing)."""
+        self._taps.append(tap)
+
+    def _deliver(self, sender: str, recipient: str, message: Message) -> Message | None:
+        if recipient not in self._endpoints:
+            raise UnknownParticipantError(f"no endpoint registered for {recipient!r}")
+        self.stats.record(message, self.latency.latency_for(message.size_bytes()))
+        for tap in self._taps:
+            tap(sender, recipient, message)
+        return self._endpoints[recipient].handle_message(sender, message)
+
+    def send(self, sender: str, recipient: str, message: Message) -> None:
+        """One-way delivery (response, if any, is discarded)."""
+        self._deliver(sender, recipient, message)
+
+    def request(self, sender: str, recipient: str, message: Message) -> Message | None:
+        """Round trip: deliver and account the response as well."""
+        response = self._deliver(sender, recipient, message)
+        if response is not None:
+            self.stats.record(
+                response, self.latency.latency_for(response.size_bytes())
+            )
+            for tap in self._taps:
+                tap(recipient, sender, response)
+        return response
+
+    def reset_stats(self) -> NetworkStats:
+        """Swap in a fresh stats object, returning the old one."""
+        old, self.stats = self.stats, NetworkStats()
+        return old

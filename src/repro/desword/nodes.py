@@ -1,0 +1,200 @@
+"""Participant protocol endpoints.
+
+A :class:`ParticipantNode` wraps a supply-chain participant with its
+protocol state: the POC/DPOC pairs it has constructed (one per
+distribution task), its shipping log (whom it forwarded each product to),
+and a :class:`~repro.desword.adversary.Behavior` controlling how honestly
+it constructs POCs and answers the proxy.
+
+Dishonest answers are *best-effort forgeries*: a participant that lies
+about processing a product backs the lie with a real proof generated from
+a freshly committed fake database — a proof that is internally consistent
+but cannot verify against the participant's actual POC, which is exactly
+what the security analysis says the proxy will catch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..crypto.rng import DeterministicRng
+from ..poc.scheme import (
+    OWNERSHIP,
+    PocCredential,
+    PocDecommitment,
+    PocProof,
+    PocScheme,
+)
+from ..supplychain.participant import Participant
+from .adversary import HONEST, Behavior
+from .messages import (
+    BAD_QUERY,
+    GOOD_QUERY,
+    Message,
+    NextParticipantRequest,
+    NextParticipantResponse,
+    ProofResponse,
+    QueryRequest,
+    RevealRequest,
+)
+
+__all__ = ["ParticipantNode"]
+
+
+class ParticipantNode:
+    """Protocol endpoint for one supply-chain participant."""
+
+    def __init__(
+        self,
+        participant: Participant,
+        scheme: PocScheme,
+        behavior: Behavior = HONEST,
+        rng: DeterministicRng | None = None,
+    ):
+        self.participant = participant
+        self.scheme = scheme
+        self.behavior = behavior
+        self.rng = rng or DeterministicRng(f"node/{participant.participant_id}")
+        # One (poc, dpoc, committed traces) triple per distribution task.
+        self._credentials: list[tuple[PocCredential, PocDecommitment, dict[int, bytes], str]] = []
+        self.ship_log: dict[int, str | None] = {}
+        self._forgeries: dict[str, PocDecommitment] = {}
+
+    @property
+    def participant_id(self) -> str:
+        return self.participant.participant_id
+
+    # -- distribution phase ---------------------------------------------------
+
+    def build_poc(self, task_id: str) -> PocCredential:
+        """POC-Agg over this participant's traces, as (mis)shaped by its
+        distribution-phase behaviour."""
+        true_traces = self.participant.database.as_poc_input()
+        committed = self.behavior.distribution.apply(true_traces)
+        poc, dpoc = self.scheme.poc_agg(
+            committed, self.participant_id, self.rng.fork(f"poc/{task_id}")
+        )
+        self._credentials.append((poc, dpoc, committed, task_id))
+        return poc
+
+    def record_shipments(self, shipments: dict[int, str | None]) -> None:
+        """Remember whom each product was forwarded to."""
+        self.ship_log.update(shipments)
+
+    def poc_for_task(self, task_id: str) -> PocCredential | None:
+        for poc, _, _, tid in self._credentials:
+            if tid == task_id:
+                return poc
+        return None
+
+    def _credential_for(self, poc_bytes: bytes) -> tuple | None:
+        for poc, dpoc, committed, task_id in self._credentials:
+            if poc.to_bytes(self.scheme.backend) == poc_bytes:
+                return poc, dpoc, committed, task_id
+        return None
+
+    # -- forged proofs -----------------------------------------------------------
+
+    def _forged_ownership(self, product_id: int) -> PocProof:
+        """A proof of processing for a product never committed."""
+        key = f"own/{product_id}"
+        if key not in self._forgeries:
+            fake_trace = {product_id: b"v=%s;op=forged" % self.participant_id.encode()}
+            _, dpoc = self.scheme.poc_agg(
+                fake_trace, self.participant_id, self.rng.fork(key)
+            )
+            self._forgeries[key] = dpoc
+        return self.scheme.poc_proof(self._forgeries[key], product_id)
+
+    def _forged_non_ownership(self, product_id: int) -> PocProof:
+        """A proof of non-processing for a committed product."""
+        key = "nown"
+        if key not in self._forgeries:
+            _, dpoc = self.scheme.poc_agg({}, self.participant_id, self.rng.fork(key))
+            self._forgeries[key] = dpoc
+        return self.scheme.poc_proof(self._forgeries[key], product_id)
+
+    @staticmethod
+    def _tamper_trace(proof: PocProof) -> PocProof:
+        """Swap the trace payload inside an ownership proof."""
+        if proof.kind != OWNERSHIP:
+            return proof
+        tampered_inner = dataclasses.replace(proof.inner, value=b"op=tampered")
+        return PocProof(OWNERSHIP, tampered_inner)
+
+    # -- query phase ----------------------------------------------------------
+
+    def _answer_query(self, request: QueryRequest) -> ProofResponse:
+        if self.behavior.query.refuse_all:
+            return self._respond(None)
+        credential = self._credential_for(request.poc_bytes)
+        if credential is None:
+            # Queried with a POC that is not ours; nothing we can prove.
+            return self._respond(None)
+        _, dpoc, committed, _ = credential
+        processed = request.product_id in committed
+        strategy = self.behavior.query
+
+        if request.query_kind == GOOD_QUERY:
+            if processed:
+                proof = self.scheme.poc_proof(dpoc, request.product_id)
+                if strategy.wrong_trace:
+                    proof = self._tamper_trace(proof)
+                return self._respond(proof)
+            if strategy.claim_processing:
+                return self._respond(self._forged_ownership(request.product_id))
+            # Honest non-processor: prove non-ownership (not identified).
+            return self._respond(self.scheme.poc_proof(dpoc, request.product_id))
+
+        if request.query_kind == BAD_QUERY:
+            if not processed:
+                return self._respond(self.scheme.poc_proof(dpoc, request.product_id))
+            if strategy.claim_non_processing:
+                return self._respond(self._forged_non_ownership(request.product_id))
+            proof = self.scheme.poc_proof(dpoc, request.product_id)
+            if strategy.wrong_trace:
+                proof = self._tamper_trace(proof)
+            return self._respond(proof)
+
+        return self._respond(None)
+
+    def _answer_reveal(self, request: RevealRequest) -> ProofResponse:
+        if self.behavior.query.refuse_reveal or self.behavior.query.refuse_all:
+            return self._respond(None)
+        for _, dpoc, committed, _ in self._credentials:
+            if request.product_id in committed:
+                proof = self.scheme.poc_proof(dpoc, request.product_id)
+                if self.behavior.query.wrong_trace:
+                    proof = self._tamper_trace(proof)
+                return self._respond(proof)
+        return self._respond(None)
+
+    def _answer_next(self, request: NextParticipantRequest) -> NextParticipantResponse:
+        strategy = self.behavior.query
+        if strategy.wrong_next == "drop":
+            return NextParticipantResponse(None)
+        if strategy.wrong_next == "non-child":
+            return NextParticipantResponse(f"{self.participant_id}-phantom")
+        if strategy.wrong_next:
+            return NextParticipantResponse(strategy.wrong_next)
+        return NextParticipantResponse(self.ship_log.get(request.product_id))
+
+    def _respond(self, proof: PocProof | None) -> ProofResponse:
+        proof_bytes = proof.to_bytes(self.scheme.backend) if proof is not None else None
+        return ProofResponse(self.participant_id, proof_bytes, proof)
+
+    # -- endpoint interface ------------------------------------------------------
+
+    def handle_message(self, sender: str, message: Message) -> Message | None:
+        del sender
+        if isinstance(message, QueryRequest):
+            return self._answer_query(message)
+        if isinstance(message, RevealRequest):
+            return self._answer_reveal(message)
+        if isinstance(message, NextParticipantRequest):
+            return self._answer_next(message)
+        return None
+
+    def __repr__(self) -> str:
+        tag = "honest" if self.behavior.is_honest else "dishonest"
+        return f"ParticipantNode({self.participant_id!r}, {tag})"

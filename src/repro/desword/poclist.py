@@ -1,0 +1,150 @@
+"""POC lists (Section IV.B).
+
+A POC list is a sub-digraph whose vertices hold the POCs of the
+participants involved in one distribution task: the public parameter
+handle, one POC per involved participant, and the set of (parent, child)
+POC pairs reflecting their production relationships.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..poc.scheme import PocCredential
+from ..zkedb.backend import EdbBackend
+from .errors import PocListError
+
+__all__ = ["PocList"]
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode()
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from(">H", data, offset)
+    start = offset + 2
+    return data[start : start + length].decode(), start + length
+
+
+def _pack_blob(blob: bytes) -> bytes:
+    return struct.pack(">I", len(blob)) + blob
+
+
+def _unpack_blob(data: bytes, offset: int) -> tuple[bytes, int]:
+    (length,) = struct.unpack_from(">I", data, offset)
+    start = offset + 4
+    return data[start : start + length], start + length
+
+
+@dataclass
+class PocList:
+    """The assembled (ps, {(POC_vi, POC_vj)}) structure."""
+
+    task_id: str
+    ps_id: str
+    submitted_by: str
+    pocs: dict[str, PocCredential] = field(default_factory=dict)
+    pairs: set[tuple[str, str]] = field(default_factory=set)
+
+    def add_poc(self, poc: PocCredential) -> None:
+        existing = self.pocs.get(poc.participant_id)
+        if existing is not None and existing is not poc:
+            raise PocListError(
+                f"duplicate POC for participant {poc.participant_id!r}"
+            )
+        self.pocs[poc.participant_id] = poc
+
+    def add_pair(self, parent: str, child: str) -> None:
+        if parent == child:
+            raise PocListError("a POC pair cannot be reflexive")
+        self.pairs.add((parent, child))
+
+    def poc_of(self, participant_id: str) -> PocCredential | None:
+        return self.pocs.get(participant_id)
+
+    def children_of(self, participant_id: str) -> list[str]:
+        return sorted(child for parent, child in self.pairs if parent == participant_id)
+
+    def parents_of(self, participant_id: str) -> list[str]:
+        return sorted(parent for parent, child in self.pairs if child == participant_id)
+
+    def has_pair(self, parent: str, child: str) -> bool:
+        return (parent, child) in self.pairs
+
+    def participants(self) -> list[str]:
+        return sorted(self.pocs)
+
+    def is_leaf(self, participant_id: str) -> bool:
+        return not self.children_of(participant_id)
+
+    def validate(self) -> None:
+        """Structural checks the proxy runs on submission."""
+        if self.submitted_by not in self.pocs:
+            raise PocListError("submitting participant has no POC in the list")
+        for parent, child in self.pairs:
+            if parent not in self.pocs or child not in self.pocs:
+                raise PocListError(
+                    f"pair ({parent!r}, {child!r}) references a missing POC"
+                )
+        # Every non-submitting participant must be reachable from the
+        # submitter; an unreachable POC could never be visited by a query.
+        reachable = {self.submitted_by}
+        frontier = [self.submitted_by]
+        while frontier:
+            node = frontier.pop()
+            for child in self.children_of(node):
+                if child not in reachable:
+                    reachable.add(child)
+                    frontier.append(child)
+        unreachable = set(self.pocs) - reachable
+        if unreachable:
+            raise PocListError(
+                f"POCs unreachable from submitter: {sorted(unreachable)}"
+            )
+
+    def size_bytes(self, backend: EdbBackend) -> int:
+        """Wire size of the list as submitted to the proxy."""
+        return len(self.to_bytes(backend))
+
+    def to_bytes(self, backend: EdbBackend) -> bytes:
+        """Canonical wire encoding of the whole list."""
+        parts = [_pack_str(self.task_id), _pack_str(self.ps_id), _pack_str(self.submitted_by)]
+        parts.append(struct.pack(">H", len(self.pocs)))
+        for participant_id in sorted(self.pocs):
+            poc = self.pocs[participant_id]
+            parts.append(_pack_str(participant_id))
+            parts.append(_pack_blob(backend.commitment_bytes(poc.commitment)))
+        parts.append(struct.pack(">H", len(self.pairs)))
+        for parent, child in sorted(self.pairs):
+            parts.append(_pack_str(parent))
+            parts.append(_pack_str(child))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, decode_commitment) -> "PocList":
+        """Parse a submitted list; ``decode_commitment(bytes)`` is supplied
+        by the backend owner (commitment wire formats are backend-specific).
+        """
+        offset = 0
+        task_id, offset = _unpack_str(data, offset)
+        ps_id, offset = _unpack_str(data, offset)
+        submitted_by, offset = _unpack_str(data, offset)
+        poc_list = cls(task_id, ps_id, submitted_by)
+        (poc_count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        for _ in range(poc_count):
+            participant_id, offset = _unpack_str(data, offset)
+            blob, offset = _unpack_blob(data, offset)
+            poc_list.add_poc(PocCredential(participant_id, decode_commitment(blob)))
+        (pair_count,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        for _ in range(pair_count):
+            parent, offset = _unpack_str(data, offset)
+            child, offset = _unpack_str(data, offset)
+            poc_list.add_pair(parent, child)
+        if offset != len(data):
+            raise PocListError("trailing bytes in POC list encoding")
+        return poc_list

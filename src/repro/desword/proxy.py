@@ -1,0 +1,435 @@
+"""The trustworthy query proxy (Sections II.C, IV.C, IV.D).
+
+The proxy stores submitted POC lists (a POC-queue per initial
+participant), issues good/bad product path information queries, verifies
+every response against the POC list, attributes violations, and applies
+the double-edged reputation award.
+
+Two query modes are provided:
+
+* :meth:`QueryProxy.query_product` — the paper's interactive traversal:
+  identify the initial participant through its POC queue, then follow
+  next-participant pointers, verifying each hop and falling back to a
+  child scan of the POC list when a hop misbehaves;
+* :meth:`QueryProxy.sweep_query` — ask *every* participant of the POC
+  list for a proof; used by the incentive experiments where "identified"
+  means exactly "can show an ownership proof" (Figure 3's abstraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..poc.scheme import (
+    NON_OWNERSHIP,
+    OWNERSHIP,
+    PocCredential,
+    PocScheme,
+    decode_poc_proof,
+)
+from ..supplychain.quality import QualityOracle
+from .detection import (
+    CLAIM_NON_PROCESSING,
+    CLAIM_PROCESSING,
+    INVALID_PROOF,
+    REFUSAL,
+    WRONG_NEXT,
+    WRONG_TRACE,
+    Violation,
+)
+from .errors import PocListError
+from .messages import (
+    BAD_QUERY,
+    GOOD_QUERY,
+    NextParticipantRequest,
+    NextParticipantResponse,
+    ProofResponse,
+    QueryRequest,
+    RevealRequest,
+)
+from .network import SimNetwork
+from .poclist import PocList
+from .reputation import ReputationEngine, ReputationPolicy
+
+__all__ = ["QueryProxy", "QueryResult", "ProbeOutcome"]
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """What one query interaction with one participant established."""
+
+    participant_id: str
+    identified: bool
+    trace: tuple[int, bytes] | None = None
+    violations: tuple[Violation, ...] = ()
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one product path information query."""
+
+    product_id: int
+    quality: str  # "good" | "bad"
+    task_id: str | None = None
+    path: list[str] = field(default_factory=list)
+    traces: dict[str, bytes] = field(default_factory=dict)
+    violations: list[Violation] = field(default_factory=list)
+    messages: int = 0
+    bytes_sent: int = 0
+    reputation_applied: bool = False
+
+    @property
+    def found(self) -> bool:
+        return bool(self.path)
+
+
+class QueryProxy:
+    """The trusted proxy: POC storage, query issuing, reputation award."""
+
+    def __init__(
+        self,
+        scheme: PocScheme,
+        network: SimNetwork,
+        oracle: QualityOracle,
+        policy: ReputationPolicy | None = None,
+        identity: str = "proxy",
+    ):
+        self.scheme = scheme
+        self.network = network
+        self.oracle = oracle
+        self.identity = identity
+        self.reputation = ReputationEngine(policy)
+        self.poc_lists: dict[str, PocList] = {}
+        # The paper's POC-queue per initial participant: (task_id, POC).
+        self.poc_queues: dict[str, list[tuple[str, PocCredential]]] = {}
+        network.register(identity, self)
+
+    # -- distribution-phase interface -------------------------------------------
+
+    def receive_poc_list(self, poc_list: PocList) -> None:
+        """Validate and store a submitted POC list (Section IV.B / IV.D)."""
+        poc_list.validate()
+        if poc_list.task_id in self.poc_lists:
+            raise PocListError(f"duplicate POC list for task {poc_list.task_id!r}")
+        submitter_poc = poc_list.poc_of(poc_list.submitted_by)
+        if submitter_poc is None:
+            raise PocListError("submitter POC missing")
+        self.poc_lists[poc_list.task_id] = poc_list
+        self.poc_queues.setdefault(poc_list.submitted_by, []).append(
+            (poc_list.task_id, submitter_poc)
+        )
+
+    def handle_message(self, sender, message):
+        """Answer public-parameter requests; everything else is one-way."""
+        from .messages import PsBroadcast, PsRequest
+
+        del sender
+        if isinstance(message, PsRequest):
+            return PsBroadcast("ps")
+        return None
+
+    # -- probing one participant ---------------------------------------------------
+
+    def _probe(
+        self, participant_id: str, poc: PocCredential, kind: str, product_id: int
+    ) -> ProbeOutcome:
+        """One query interaction: request, verify, attribute."""
+        request = QueryRequest(kind, product_id, poc.to_bytes(self.scheme.backend))
+        response = self.network.request(self.identity, participant_id, request)
+        if not isinstance(response, ProofResponse) or response.refused:
+            if kind == BAD_QUERY:
+                # Cannot show non-ownership: treated as having processed it.
+                return self._demand_reveal(participant_id, poc, product_id, ())
+            return ProbeOutcome(participant_id, False)
+
+        proof, parse_violation = self._parse_proof(
+            participant_id, product_id, response.proof_bytes
+        )
+        if proof is None:
+            if kind == BAD_QUERY:
+                return self._demand_reveal(
+                    participant_id, poc, product_id, (parse_violation,)
+                )
+            return ProbeOutcome(
+                participant_id, False, violations=(parse_violation,)
+            )
+
+        verdict = self.scheme.poc_verify(poc, product_id, proof)
+        if kind == GOOD_QUERY:
+            if proof.kind == OWNERSHIP:
+                if verdict.status == "trace":
+                    return ProbeOutcome(participant_id, True, verdict.trace)
+                violation = Violation(
+                    CLAIM_PROCESSING,
+                    participant_id,
+                    product_id,
+                    "invalid ownership proof in good-product query",
+                )
+                return ProbeOutcome(participant_id, False, violations=(violation,))
+            if verdict.status == "valid":
+                return ProbeOutcome(participant_id, False)
+            violation = Violation(
+                INVALID_PROOF, participant_id, product_id, "invalid non-ownership proof"
+            )
+            return ProbeOutcome(participant_id, False, violations=(violation,))
+
+        # BAD_QUERY
+        if proof.kind == NON_OWNERSHIP:
+            if verdict.status == "valid":
+                return ProbeOutcome(participant_id, False)
+            violation = Violation(
+                CLAIM_NON_PROCESSING,
+                participant_id,
+                product_id,
+                "invalid non-ownership proof in bad-product query",
+            )
+            return self._demand_reveal(participant_id, poc, product_id, (violation,))
+        if verdict.status == "trace":
+            return ProbeOutcome(participant_id, True, verdict.trace)
+        violation = Violation(
+            WRONG_TRACE, participant_id, product_id, "invalid ownership proof"
+        )
+        return self._demand_reveal(participant_id, poc, product_id, (violation,))
+
+    def _demand_reveal(
+        self,
+        participant_id: str,
+        poc: PocCredential,
+        product_id: int,
+        prior: tuple[Violation, ...],
+    ) -> ProbeOutcome:
+        """Bad-product step 2: require the ownership proof (Section IV.C)."""
+        response = self.network.request(
+            self.identity, participant_id, RevealRequest(product_id)
+        )
+        if not isinstance(response, ProofResponse) or response.refused:
+            violation = Violation(
+                REFUSAL, participant_id, product_id, "refused ownership reveal"
+            )
+            return ProbeOutcome(
+                participant_id, True, violations=prior + (violation,)
+            )
+        proof, parse_violation = self._parse_proof(
+            participant_id, product_id, response.proof_bytes
+        )
+        if proof is not None and proof.kind == OWNERSHIP:
+            verdict = self.scheme.poc_verify(poc, product_id, proof)
+            if verdict.status == "trace":
+                return ProbeOutcome(
+                    participant_id, True, verdict.trace, violations=prior
+                )
+        extra = parse_violation or Violation(
+            WRONG_TRACE, participant_id, product_id, "invalid revealed trace"
+        )
+        return ProbeOutcome(participant_id, True, violations=prior + (extra,))
+
+    def _parse_proof(self, participant_id: str, product_id: int, proof_bytes: bytes):
+        try:
+            return decode_poc_proof(self.scheme.backend, proof_bytes), None
+        except (ValueError, IndexError) as exc:
+            return None, Violation(
+                INVALID_PROOF, participant_id, product_id, f"unparseable proof: {exc}"
+            )
+
+    # -- the paper's interactive traversal ----------------------------------------
+
+    def query_product(
+        self,
+        product_id: int,
+        quality: str | None = None,
+        apply_reputation: bool = True,
+    ) -> QueryResult:
+        """A full good/bad product path information query."""
+        if quality is None:
+            quality = "bad" if self.oracle.is_bad(product_id) else "good"
+        kind = BAD_QUERY if quality == "bad" else GOOD_QUERY
+        before = (self.network.stats.messages, self.network.stats.bytes_sent)
+        result = QueryResult(product_id, quality)
+
+        starts = self._identify_starts(kind, product_id, result)
+        for start, poc_list in starts:
+            if result.task_id is None:
+                result.task_id = poc_list.task_id
+            self._walk_path(start, poc_list, kind, product_id, result)
+
+        result.messages = self.network.stats.messages - before[0]
+        result.bytes_sent = self.network.stats.bytes_sent - before[1]
+        if apply_reputation:
+            self._apply_awards(result)
+        return result
+
+    def _identify_starts(
+        self, kind: str, product_id: int, result: QueryResult
+    ) -> list[tuple[str, PocList]]:
+        """Query every initial participant via its POC queue (Section IV.D).
+
+        Every initial that proves ownership is traversed: a rogue initial
+        claiming someone else's product cannot silence the true origin —
+        both claims are walked, identified, and scored, so the impostor
+        shares the product's double-edged fate.
+        """
+        starts: list[tuple[str, PocList]] = []
+        for initial_id in sorted(self.poc_queues):
+            for task_id, poc in self.poc_queues[initial_id]:
+                outcome = self._probe(initial_id, poc, kind, product_id)
+                result.violations.extend(outcome.violations)
+                if outcome.identified:
+                    if outcome.trace is not None:
+                        result.traces[initial_id] = outcome.trace[1]
+                    starts.append((initial_id, self.poc_lists[task_id]))
+                    break  # one claim per initial suffices
+        return starts
+
+    def _walk_path(
+        self,
+        start: str,
+        poc_list: PocList,
+        kind: str,
+        product_id: int,
+        result: QueryResult,
+    ) -> None:
+        if start not in result.path:
+            result.path.append(start)
+        current = start
+        visited = {start}
+        while True:
+            response = self.network.request(
+                self.identity, current, NextParticipantRequest(product_id)
+            )
+            claimed = (
+                response.next_participant
+                if isinstance(response, NextParticipantResponse)
+                else None
+            )
+
+            candidates: list[str] = []
+            claimed_is_pair = claimed is not None and poc_list.has_pair(current, claimed)
+            if claimed is not None and not claimed_is_pair:
+                # Not a child in the POC list: immediately attributable.
+                result.violations.append(
+                    Violation(
+                        WRONG_NEXT,
+                        current,
+                        product_id,
+                        f"claimed next {claimed!r} is not a POC-list child",
+                    )
+                )
+            if claimed_is_pair and claimed not in visited:
+                candidates.append(claimed)
+            # Fallback scan over the remaining POC-list children.
+            for child in poc_list.children_of(current):
+                if child not in visited and child not in candidates:
+                    candidates.append(child)
+
+            found = None
+            for index, candidate in enumerate(candidates):
+                outcome = self._probe(
+                    candidate, poc_list.poc_of(candidate), kind, product_id
+                )
+                result.violations.extend(outcome.violations)
+                if outcome.identified:
+                    found = candidate
+                    if outcome.trace is not None:
+                        result.traces[candidate] = outcome.trace[1]
+                    break
+                if index == 0 and candidate == claimed and claimed_is_pair:
+                    # Case 2 of "wrong next": a real child that never
+                    # processed the product.
+                    result.violations.append(
+                        Violation(
+                            WRONG_NEXT,
+                            current,
+                            product_id,
+                            f"claimed next {claimed!r} shows it did not process",
+                            attributable=False,
+                        )
+                    )
+
+            if found is None:
+                if claimed is None and not poc_list.is_leaf(current):
+                    # Claimed end-of-path but has children; since no child
+                    # proves processing either, accept the end silently —
+                    # the product may genuinely have stopped here.
+                    pass
+                return
+            if found not in result.path:
+                result.path.append(found)
+            visited.add(found)
+            current = found
+
+    # -- sweep mode (incentive experiments) ---------------------------------------
+
+    def sweep_query(
+        self,
+        product_id: int,
+        quality: str | None = None,
+        task_id: str | None = None,
+        apply_reputation: bool = True,
+    ) -> QueryResult:
+        """Ask every POC-list participant; identified = proves ownership."""
+        if quality is None:
+            quality = "bad" if self.oracle.is_bad(product_id) else "good"
+        kind = BAD_QUERY if quality == "bad" else GOOD_QUERY
+        before = (self.network.stats.messages, self.network.stats.bytes_sent)
+        result = QueryResult(product_id, quality, task_id=task_id)
+
+        tasks = [task_id] if task_id else sorted(self.poc_lists)
+        for tid in tasks:
+            poc_list = self.poc_lists[tid]
+            for participant_id in poc_list.participants():
+                outcome = self._probe(
+                    participant_id, poc_list.poc_of(participant_id), kind, product_id
+                )
+                result.violations.extend(outcome.violations)
+                if outcome.identified and participant_id not in result.path:
+                    result.path.append(participant_id)
+                    if outcome.trace is not None:
+                        result.traces[participant_id] = outcome.trace[1]
+
+        result.messages = self.network.stats.messages - before[0]
+        result.bytes_sent = self.network.stats.bytes_sent - before[1]
+        if apply_reputation:
+            self._apply_awards(result)
+        return result
+
+    # -- market sampling ----------------------------------------------------------
+
+    def sample_and_query(
+        self,
+        market_products: list[int],
+        rate: float,
+        rng,
+        apply_reputation: bool = True,
+    ) -> list[QueryResult]:
+        """Self-issued queries over a market sample (Section II.C).
+
+        The proxy "can also adjust the query frequency by sampling
+        products from the market, and issue queries for them by itself" —
+        this is the knob that makes good products queryable at all, and
+        hence what gives the positive edge of the award its probability
+        mass in the incentive analysis.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be a probability")
+        results = []
+        for product_id in market_products:
+            if rng.random() < rate:
+                results.append(
+                    self.query_product(product_id, apply_reputation=apply_reputation)
+                )
+        return results
+
+    # -- reputation ------------------------------------------------------------
+
+    def _apply_awards(self, result: QueryResult) -> None:
+        """The double-edged award strategy (Figure 2)."""
+        if result.quality == "good":
+            self.reputation.apply_good_query(result.path, result.product_id)
+        else:
+            self.reputation.apply_bad_query(result.path, result.product_id)
+        for violation in result.violations:
+            if violation.attributable:
+                self.reputation.apply_violation(
+                    violation.participant_id, violation.kind, violation.product_id
+                )
+        result.reputation_applied = True

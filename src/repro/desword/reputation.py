@@ -1,0 +1,119 @@
+"""The double-edged reputation engine (Section II.C, Figure 2).
+
+The proxy maintains publicly readable reputation scores.  After a *good*
+product query every identified participant earns a positive score; after a
+*bad* product query every identified participant receives a negative score.
+Detected protocol violations carry their own penalty.  Scores can be
+responsibility-weighted along the path ("diverse positive/negative
+reputation scores based on the responsibilities of the identified
+participants").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["ReputationPolicy", "ScoreEvent", "ReputationEngine"]
+
+
+def _uniform_weight(position: int, path_length: int) -> float:
+    """Default responsibility weight: everyone on the path is equal."""
+    del position, path_length
+    return 1.0
+
+
+def upstream_weight(position: int, path_length: int) -> float:
+    """A weighting that holds upstream (earlier) participants more liable."""
+    if path_length <= 1:
+        return 1.0
+    return 1.0 + (path_length - 1 - position) / (path_length - 1)
+
+
+@dataclass(frozen=True)
+class ReputationPolicy:
+    """Score magnitudes and weighting for the double-edged award."""
+
+    positive_score: float = 1.0
+    negative_score: float = -1.0
+    violation_penalty: float = -3.0
+    responsibility_weight: Callable[[int, int], float] = _uniform_weight
+
+    def __post_init__(self):
+        if self.positive_score <= 0:
+            raise ValueError("positive_score must be positive")
+        if self.negative_score >= 0:
+            raise ValueError("negative_score must be negative")
+        if self.violation_penalty >= 0:
+            raise ValueError("violation_penalty must be negative")
+
+
+@dataclass(frozen=True)
+class ScoreEvent:
+    """One reputation update, kept for auditability."""
+
+    participant_id: str
+    delta: float
+    reason: str
+    product_id: int | None = None
+
+
+class ReputationEngine:
+    """Publicly readable scores plus an append-only audit log."""
+
+    def __init__(self, policy: ReputationPolicy | None = None):
+        self.policy = policy or ReputationPolicy()
+        self._scores: dict[str, float] = {}
+        self.history: list[ScoreEvent] = []
+
+    def award(
+        self,
+        participant_id: str,
+        delta: float,
+        reason: str,
+        product_id: int | None = None,
+    ) -> None:
+        self._scores[participant_id] = self._scores.get(participant_id, 0.0) + delta
+        self.history.append(ScoreEvent(participant_id, delta, reason, product_id))
+
+    def apply_good_query(self, path: Sequence[str], product_id: int) -> None:
+        """Positive edge: reward everyone identified on a good product."""
+        for position, participant_id in enumerate(path):
+            weight = self.policy.responsibility_weight(position, len(path))
+            self.award(
+                participant_id,
+                self.policy.positive_score * weight,
+                "good-product-query",
+                product_id,
+            )
+
+    def apply_bad_query(self, path: Sequence[str], product_id: int) -> None:
+        """Negative edge: penalise everyone identified on a bad product."""
+        for position, participant_id in enumerate(path):
+            weight = self.policy.responsibility_weight(position, len(path))
+            self.award(
+                participant_id,
+                self.policy.negative_score * weight,
+                "bad-product-query",
+                product_id,
+            )
+
+    def apply_violation(
+        self, participant_id: str, kind: str, product_id: int | None = None
+    ) -> None:
+        self.award(
+            participant_id,
+            self.policy.violation_penalty,
+            f"violation:{kind}",
+            product_id,
+        )
+
+    def score_of(self, participant_id: str) -> float:
+        """Public read access (customers consult these scores)."""
+        return self._scores.get(participant_id, 0.0)
+
+    def leaderboard(self) -> list[tuple[str, float]]:
+        return sorted(self._scores.items(), key=lambda item: (-item[1], item[0]))
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._scores)

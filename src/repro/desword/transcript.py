@@ -1,0 +1,100 @@
+"""Query transcripts: an auditable record of protocol interactions.
+
+A :class:`TranscriptRecorder` taps the simulated network and turns the
+message flow into a human-readable, append-only audit log — what a real
+regulator would retain as evidence alongside the reputation ledger.
+Entries carry the wire size of each message, so a transcript doubles as a
+per-interaction communication breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .messages import (
+    Message,
+    NextParticipantRequest,
+    NextParticipantResponse,
+    ProofResponse,
+    QueryRequest,
+    RevealRequest,
+)
+from .network import SimNetwork
+
+__all__ = ["TranscriptEntry", "TranscriptRecorder"]
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One observed message."""
+
+    index: int
+    sender: str
+    recipient: str
+    kind: str
+    size_bytes: int
+    summary: str
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.index:04d} {self.sender} -> {self.recipient} "
+            f"[{self.kind}, {self.size_bytes}B] {self.summary}"
+        )
+
+
+def _summarise(message: Message) -> str:
+    if isinstance(message, QueryRequest):
+        return f"{message.query_kind}-query for {message.product_id:#x}"
+    if isinstance(message, ProofResponse):
+        return "refused" if message.refused else "proof returned"
+    if isinstance(message, RevealRequest):
+        return f"reveal demanded for {message.product_id:#x}"
+    if isinstance(message, NextParticipantRequest):
+        return f"next-hop asked for {message.product_id:#x}"
+    if isinstance(message, NextParticipantResponse):
+        return (
+            f"next is {message.next_participant}"
+            if message.next_participant
+            else "end of path claimed"
+        )
+    return ""
+
+
+@dataclass
+class TranscriptRecorder:
+    """Observes a network and accumulates transcript entries."""
+
+    entries: list[TranscriptEntry] = field(default_factory=list)
+
+    def attach(self, network: SimNetwork) -> "TranscriptRecorder":
+        network.add_tap(self._observe)
+        return self
+
+    def _observe(self, sender: str, recipient: str, message: Message) -> None:
+        self.entries.append(
+            TranscriptEntry(
+                index=len(self.entries),
+                sender=sender,
+                recipient=recipient,
+                kind=message.kind,
+                size_bytes=message.size_bytes(),
+                summary=_summarise(message),
+            )
+        )
+
+    def involving(self, participant_id: str) -> list[TranscriptEntry]:
+        return [
+            entry
+            for entry in self.entries
+            if participant_id in (entry.sender, entry.recipient)
+        ]
+
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries)
+
+    def render(self, last: int | None = None) -> str:
+        entries = self.entries if last is None else self.entries[-last:]
+        return "\n".join(str(entry) for entry in entries)
+
+    def clear(self) -> None:
+        self.entries.clear()

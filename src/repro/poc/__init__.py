@@ -1,0 +1,38 @@
+"""Product ownership credentials (POC) — the paper's Table I scheme.
+
+`PocScheme` wraps an EDB backend into the four-algorithm POC interface;
+`BaselinePocScheme` is the signature-list strawman of Section II.C that
+DE-Sword's threat model defeats.
+"""
+
+from .baseline import (
+    BaselineDecommitment,
+    BaselineEntry,
+    BaselinePoc,
+    BaselinePocScheme,
+    BaselineProof,
+)
+from .scheme import (
+    NON_OWNERSHIP,
+    OWNERSHIP,
+    PocCredential,
+    PocDecommitment,
+    PocProof,
+    PocScheme,
+    PocVerifyResult,
+)
+
+__all__ = [
+    "PocScheme",
+    "PocCredential",
+    "PocDecommitment",
+    "PocProof",
+    "PocVerifyResult",
+    "OWNERSHIP",
+    "NON_OWNERSHIP",
+    "BaselinePocScheme",
+    "BaselinePoc",
+    "BaselineDecommitment",
+    "BaselineEntry",
+    "BaselineProof",
+]

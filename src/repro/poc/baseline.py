@@ -1,0 +1,173 @@
+"""The signature-list POC strawman from Section II.C ("design challenge").
+
+A participant signs each trace (sigma_t over the trace, sigma_v over
+v || id || sigma_t) and submits the signed list as its POC.  Against an
+*honest* committer this supports the proxy's checks; against a dishonest
+one it fails in exactly the ways the paper describes:
+
+* **no non-ownership proofs** — a participant that denies processing an id
+  cannot be contradicted unless its original signed entry happens to be in
+  the POC;
+* **undetectable deletion** — omitting an entry at POC construction time
+  leaves a perfectly well-formed POC;
+* **no privacy** — every processed id is listed in the clear.
+
+The benchmarks and the incentive experiments use this scheme as the
+baseline DE-Sword is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..crypto.bn import BNCurve
+from ..crypto.rng import DeterministicRng
+from ..crypto.signatures import Signature, SigningKey, VerifyKey
+
+__all__ = [
+    "BaselineEntry",
+    "BaselinePoc",
+    "BaselineDecommitment",
+    "BaselineProof",
+    "BaselinePocScheme",
+]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One signed message (v || id || sigma_t, sigma_v) from Section II.C."""
+
+    participant_id: str
+    product_id: int
+    trace_signature: Signature
+    binding_signature: Signature
+
+
+@dataclass(frozen=True)
+class BaselinePoc:
+    """The strawman POC: the participant's signed entry list."""
+
+    participant_id: str
+    verify_key: VerifyKey
+    entries: tuple[BaselineEntry, ...]
+
+    def listed_ids(self) -> set[int]:
+        return {entry.product_id for entry in self.entries}
+
+    def size_bytes(self, curve: BNCurve) -> int:
+        per_entry = 16 + 2 * len(Signature(0, 0).to_bytes(curve))
+        return len(self.verify_key.to_bytes()) + per_entry * len(self.entries)
+
+
+@dataclass
+class BaselineDecommitment:
+    """Prover state: the traces and the signing key."""
+
+    participant_id: str
+    signing_key: SigningKey
+    traces: dict[int, bytes]
+
+
+@dataclass(frozen=True)
+class BaselineProof:
+    """The response to a query: the trace plus its signature, or a denial."""
+
+    product_id: int
+    trace_data: bytes | None
+    trace_signature: Signature | None
+
+
+class BaselinePocScheme:
+    """Signature-list POCs over Schnorr signatures."""
+
+    def __init__(self, curve: BNCurve):
+        self.curve = curve
+
+    @staticmethod
+    def _trace_message(product_id: int, data: bytes) -> bytes:
+        return b"trace:" + product_id.to_bytes(16, "big") + data
+
+    @staticmethod
+    def _binding_message(
+        participant_id: str, product_id: int, trace_signature: Signature
+    ) -> bytes:
+        return (
+            b"bind:"
+            + participant_id.encode()
+            + b":"
+            + product_id.to_bytes(16, "big")
+            + b":%d:%d" % (trace_signature.challenge, trace_signature.response)
+        )
+
+    def poc_agg(
+        self,
+        traces: Mapping[int, bytes],
+        participant_id: str,
+        signing_key: SigningKey,
+        omit: set[int] | None = None,
+    ) -> tuple[BaselinePoc, BaselineDecommitment]:
+        """Build the signed list; ``omit`` models the deletion attack."""
+        omit = omit or set()
+        entries = []
+        for product_id, data in sorted(traces.items()):
+            if product_id in omit:
+                continue
+            trace_signature = signing_key.sign(self._trace_message(product_id, data))
+            binding_signature = signing_key.sign(
+                self._binding_message(participant_id, product_id, trace_signature)
+            )
+            entries.append(
+                BaselineEntry(
+                    participant_id, product_id, trace_signature, binding_signature
+                )
+            )
+        poc = BaselinePoc(participant_id, signing_key.verify_key, tuple(entries))
+        dec = BaselineDecommitment(participant_id, signing_key, dict(traces))
+        return poc, dec
+
+    def poc_check_wellformed(self, poc: BaselinePoc) -> bool:
+        """All the proxy *can* check at submission time: signature validity."""
+        for entry in poc.entries:
+            message = self._binding_message(
+                entry.participant_id, entry.product_id, entry.trace_signature
+            )
+            if not poc.verify_key.verify(message, entry.binding_signature):
+                return False
+        return True
+
+    def poc_proof(
+        self, dec: BaselineDecommitment, product_id: int, deny: bool = False
+    ) -> BaselineProof:
+        """Answer a query; ``deny`` models claim-non-processing."""
+        data = dec.traces.get(product_id)
+        if data is None or deny:
+            return BaselineProof(product_id, None, None)
+        signature = dec.signing_key.sign(self._trace_message(product_id, data))
+        return BaselineProof(product_id, data, signature)
+
+    def poc_verify(
+        self, poc: BaselinePoc, product_id: int, proof: BaselineProof
+    ) -> str:
+        """The proxy's two-case check from Section II.C.
+
+        Returns "trace" (valid response), "dishonest" (refusal despite a
+        listed entry), or "no-evidence" (refusal and nothing in the POC —
+        the case the strawman cannot resolve).
+        """
+        listed = product_id in poc.listed_ids()
+        if proof.trace_data is not None and proof.trace_signature is not None:
+            message = self._trace_message(product_id, proof.trace_data)
+            if poc.verify_key.verify(message, proof.trace_signature):
+                return "trace"
+            return "dishonest"
+        if listed:
+            return "dishonest"
+        return "no-evidence"
+
+
+def generate_baseline_keypair(curve: BNCurve, rng: DeterministicRng) -> SigningKey:
+    """Convenience wrapper mirroring :mod:`repro.crypto.signatures`."""
+    from ..crypto.signatures import generate_keypair
+
+    return generate_keypair(curve, rng)

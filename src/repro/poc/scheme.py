@@ -1,0 +1,161 @@
+"""The POC scheme of the paper's Table I.
+
+A product ownership credential (POC) is a participant's compact commitment
+to its set of RFID-traces.  The four algorithms map one-to-one onto the
+paper:
+
+* ``PS-Gen(lambda) -> ps``       : :meth:`PocScheme.ps_gen`
+* ``POC-Agg(D, v, ps)``          : :meth:`PocScheme.poc_agg`
+* ``POC-Proof(ps, POC, DPOC, D, id)`` : :meth:`PocScheme.poc_proof`
+* ``POC-Verify(ps, POC, id, pi)``: :meth:`PocScheme.poc_verify`
+
+The scheme is generic over the EDB backend; with the ZK backend it is the
+paper's construction, with the Merkle backend it is the non-private
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..crypto.rng import DeterministicRng
+from ..zkedb.backend import EdbBackend
+from ..zkedb.edb import ElementaryDatabase
+
+__all__ = [
+    "PocCredential",
+    "PocDecommitment",
+    "PocProof",
+    "PocVerifyResult",
+    "PocScheme",
+    "decode_poc_proof",
+]
+
+OWNERSHIP = "Ow-proof"
+NON_OWNERSHIP = "Now-proof"
+
+
+@dataclass(frozen=True)
+class PocCredential:
+    """POC_v = v || Com: the participant identity bound to its commitment."""
+
+    participant_id: str
+    commitment: Any
+
+    def to_bytes(self, backend: EdbBackend) -> bytes:
+        ident = self.participant_id.encode()
+        return (
+            len(ident).to_bytes(2, "big")
+            + ident
+            + backend.commitment_bytes(self.commitment)
+        )
+
+
+@dataclass
+class PocDecommitment:
+    """DPOC_v: the private decommitment the participant stores."""
+
+    participant_id: str
+    dec: Any
+
+
+@dataclass(frozen=True)
+class PocProof:
+    """An ownership or non-ownership proof, tagged as in Table I."""
+
+    kind: str  # OWNERSHIP or NON_OWNERSHIP
+    inner: Any
+
+    def to_bytes(self, backend: EdbBackend) -> bytes:
+        tag = b"\x01" if self.kind == OWNERSHIP else b"\x02"
+        return tag + backend.proof_bytes(self.inner)
+
+    def size_bytes(self, backend: EdbBackend) -> int:
+        return len(self.to_bytes(backend))
+
+
+@dataclass(frozen=True)
+class PocVerifyResult:
+    """POC-Verify output: a recovered trace, 'valid', or 'bad'."""
+
+    status: str  # "trace" | "valid" | "bad"
+    trace: tuple[int, bytes] | None = None
+
+    @property
+    def is_bad(self) -> bool:
+        return self.status == "bad"
+
+
+_BAD = PocVerifyResult("bad")
+
+
+class PocScheme:
+    """The POC scheme over a pluggable EDB backend."""
+
+    def __init__(self, backend: EdbBackend, key_bits: int = 128):
+        self.backend = backend
+        self.key_bits = key_bits
+
+    @classmethod
+    def ps_gen(cls, backend: EdbBackend, key_bits: int = 128) -> "PocScheme":
+        """PS-Gen: wrap the (already trusted-setup) CRS as public parameters."""
+        return cls(backend, key_bits)
+
+    def poc_agg(
+        self,
+        traces: Mapping[int, bytes],
+        participant_id: str,
+        rng: DeterministicRng,
+    ) -> tuple[PocCredential, PocDecommitment]:
+        """POC-Agg: aggregate a participant's RFID-traces into a POC pair."""
+        database = ElementaryDatabase(self.key_bits)
+        for product_id, data in traces.items():
+            database.put(product_id, data)
+        commitment, dec = self.backend.commit(database, rng)
+        return (
+            PocCredential(participant_id, commitment),
+            PocDecommitment(participant_id, dec),
+        )
+
+    def poc_proof(self, dpoc: PocDecommitment, product_id: int) -> PocProof:
+        """POC-Proof: an ownership or non-ownership proof for ``product_id``."""
+        inner = self.backend.prove(dpoc.dec, product_id)
+        kind = OWNERSHIP if self._proof_claims_ownership(inner) else NON_OWNERSHIP
+        return PocProof(kind, inner)
+
+    @staticmethod
+    def _proof_claims_ownership(inner: Any) -> bool:
+        # Both backends' ownership proofs carry the value; non-ownership
+        # proofs either lack the attribute or carry None.
+        return getattr(inner, "value", None) is not None
+
+    def poc_verify(
+        self, poc: PocCredential, product_id: int, proof: PocProof
+    ) -> PocVerifyResult:
+        """POC-Verify: recover a trace, accept a non-ownership, or reject."""
+        outcome = self.backend.verify(poc.commitment, product_id, proof.inner)
+        if outcome.is_bad:
+            return _BAD
+        if proof.kind == OWNERSHIP:
+            if not outcome.is_value:
+                return _BAD
+            return PocVerifyResult("trace", (product_id, outcome.value))
+        if proof.kind == NON_OWNERSHIP:
+            if not outcome.is_absent:
+                return _BAD
+            return PocVerifyResult("valid")
+        return _BAD
+
+
+def decode_poc_proof(backend: EdbBackend, data: bytes) -> PocProof:
+    """Parse a tagged POC proof from wire bytes."""
+    if not data:
+        raise ValueError("empty proof bytes")
+    if data[0] == 1:
+        kind = OWNERSHIP
+    elif data[0] == 2:
+        kind = NON_OWNERSHIP
+    else:
+        raise ValueError(f"unknown POC proof tag {data[0]}")
+    return PocProof(kind, backend.decode_proof_bytes(data[1:]))

@@ -1,0 +1,58 @@
+"""RFID-enabled supply-chain substrate.
+
+The world model of the paper's Section II: participants arranged in a
+dynamic digraph, RFID tags and readers, per-participant trace databases,
+distribution tasks that move product batches from initial to leaf
+participants, workload generators, and product quality oracles.
+"""
+
+from .database import TraceDatabase
+from .distribution import DistributionTask, TaskRecord, run_distribution_task
+from .generator import (
+    ChainSpec,
+    GeneratedChain,
+    build_participants,
+    layered_chain,
+    pharma_chain,
+    product_batch,
+    random_dag_chain,
+)
+from .ids import ParticipantId, epc_display, make_product_id, make_product_ids
+from .participant import Participant
+from .quality import (
+    ContaminationQualityModel,
+    IndependentQualityModel,
+    QualityOracle,
+)
+from .rfid import ReadEvent, RfidReader, RfidTag, TagReadError
+from .topology import SupplyChainTopology, TopologyError
+from .trace import RFIDTrace
+
+__all__ = [
+    "SupplyChainTopology",
+    "TopologyError",
+    "Participant",
+    "TraceDatabase",
+    "RFIDTrace",
+    "RfidTag",
+    "RfidReader",
+    "ReadEvent",
+    "TagReadError",
+    "DistributionTask",
+    "TaskRecord",
+    "run_distribution_task",
+    "ChainSpec",
+    "GeneratedChain",
+    "layered_chain",
+    "pharma_chain",
+    "random_dag_chain",
+    "build_participants",
+    "product_batch",
+    "make_product_id",
+    "make_product_ids",
+    "epc_display",
+    "ParticipantId",
+    "QualityOracle",
+    "IndependentQualityModel",
+    "ContaminationQualityModel",
+]

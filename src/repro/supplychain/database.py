@@ -1,0 +1,51 @@
+"""Per-participant trace databases.
+
+Each supply-chain participant records an RFID-trace per processed product
+in its private database (Section II.A).  The database also adapts its
+contents to the integer->bytes mapping the POC scheme commits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .trace import RFIDTrace
+
+__all__ = ["TraceDatabase"]
+
+
+class TraceDatabase:
+    """A participant's private store of RFID-traces, keyed by product id."""
+
+    __slots__ = ("participant_id", "_traces")
+
+    def __init__(self, participant_id: str):
+        self.participant_id = participant_id
+        self._traces: dict[int, RFIDTrace] = {}
+
+    def record(self, trace: RFIDTrace) -> None:
+        if trace.participant_id != self.participant_id:
+            raise ValueError("trace belongs to a different participant")
+        self._traces[trace.product_id] = trace
+
+    def get(self, product_id: int) -> RFIDTrace | None:
+        return self._traces.get(product_id)
+
+    def remove(self, product_id: int) -> None:
+        self._traces.pop(product_id, None)
+
+    def product_ids(self) -> list[int]:
+        return sorted(self._traces)
+
+    def as_poc_input(self) -> dict[int, bytes]:
+        """The id -> da mapping POC-Agg commits."""
+        return {pid: trace.data_bytes() for pid, trace in self._traces.items()}
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __contains__(self, product_id: int) -> bool:
+        return product_id in self._traces
+
+    def __iter__(self) -> Iterator[RFIDTrace]:
+        return iter(self._traces[pid] for pid in sorted(self._traces))

@@ -1,0 +1,152 @@
+"""Synthetic supply-chain workload generators.
+
+The paper motivates DE-Sword with pharmaceutical distribution; the
+generators here build layered pharma-style chains (manufacturers ->
+distributors -> wholesalers -> pharmacies), random DAGs for stress tests,
+and product batches — the workloads the examples and benchmarks run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.rng import DeterministicRng
+from .ids import make_product_ids
+from .participant import Participant
+from .topology import SupplyChainTopology
+
+__all__ = [
+    "ChainSpec",
+    "GeneratedChain",
+    "layered_chain",
+    "pharma_chain",
+    "random_dag_chain",
+    "build_participants",
+]
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """Shape of a layered chain: participants per layer, fan-out density."""
+
+    layer_sizes: tuple[int, ...]
+    edge_density: float = 0.5  # probability of each cross-layer edge
+
+
+@dataclass
+class GeneratedChain:
+    """A topology plus its participant objects."""
+
+    topology: SupplyChainTopology
+    participants: dict[str, Participant]
+    layers: list[list[str]]
+
+    def initial(self) -> str:
+        return self.topology.initial_participants()[0]
+
+
+_LAYER_OPERATIONS = (
+    "manufacture",
+    "distribute",
+    "wholesale",
+    "dispense",
+    "retail",
+    "deliver",
+)
+
+
+def build_participants(
+    topology: SupplyChainTopology, operations: dict[str, str] | None = None
+) -> dict[str, Participant]:
+    """Participant objects for every node of a topology."""
+    operations = operations or {}
+    return {
+        pid: Participant(pid, operation=operations.get(pid, "process"))
+        for pid in topology.participants()
+    }
+
+
+def layered_chain(spec: ChainSpec, rng: DeterministicRng) -> GeneratedChain:
+    """A layered DAG where edges only go from layer i to layer i+1.
+
+    Every participant is guaranteed at least one parent (except layer 0)
+    and at least one child (except the last layer), so the topology
+    validates and every distribution task can reach a leaf.
+    """
+    topology = SupplyChainTopology()
+    layers: list[list[str]] = []
+    operations: dict[str, str] = {}
+    for depth, size in enumerate(spec.layer_sizes):
+        layer = []
+        operation = _LAYER_OPERATIONS[min(depth, len(_LAYER_OPERATIONS) - 1)]
+        for index in range(size):
+            pid = f"L{depth}-{operation[:4]}{index}"
+            topology.add_participant(pid, layer=depth)
+            operations[pid] = operation
+            layer.append(pid)
+        layers.append(layer)
+
+    for depth in range(len(layers) - 1):
+        upper, lower = layers[depth], layers[depth + 1]
+        for parent in upper:
+            for child in lower:
+                if rng.random() < spec.edge_density:
+                    topology.add_edge(parent, child)
+        # Connectivity guarantees.
+        for parent in upper:
+            if not topology.children(parent):
+                topology.add_edge(parent, rng.choice(lower))
+        for child in lower:
+            if not topology.parents(child):
+                topology.add_edge(rng.choice(upper), child)
+
+    topology.validate()
+    return GeneratedChain(topology, build_participants(topology, operations), layers)
+
+
+def pharma_chain(
+    rng: DeterministicRng,
+    manufacturers: int = 1,
+    distributors: int = 3,
+    wholesalers: int = 4,
+    pharmacies: int = 6,
+    edge_density: float = 0.5,
+) -> GeneratedChain:
+    """The paper's motivating pharmaceutical topology."""
+    spec = ChainSpec(
+        (manufacturers, distributors, wholesalers, pharmacies), edge_density
+    )
+    return layered_chain(spec, rng)
+
+
+def random_dag_chain(
+    rng: DeterministicRng, participants: int = 10, extra_edges: int = 8
+) -> GeneratedChain:
+    """A random DAG: a random spanning arborescence plus forward edges."""
+    topology = SupplyChainTopology()
+    names = [f"v{i}" for i in range(participants)]
+    for name in names:
+        topology.add_participant(name)
+    # Spanning structure: each node (except v0) gets one earlier parent.
+    for index in range(1, participants):
+        parent = names[rng.randrange(index)]
+        topology.add_edge(parent, names[index])
+    # Extra forward edges keep the graph acyclic.
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < extra_edges * 20:
+        attempts += 1
+        i = rng.randrange(participants - 1)
+        j = rng.randrange(i + 1, participants)
+        if not topology.has_edge(names[i], names[j]):
+            topology.add_edge(names[i], names[j])
+            added += 1
+    topology.validate()
+    return GeneratedChain(topology, build_participants(topology), [names])
+
+
+def product_batch(
+    rng: DeterministicRng, count: int, key_bits: int = 128
+) -> list[int]:
+    """A batch of distinct product identifiers."""
+    return make_product_ids(rng, count, key_bits)

@@ -1,0 +1,33 @@
+"""Product and participant identifiers.
+
+Products carry EPC-style numeric identifiers drawn from a ``key_bits``-bit
+space (the paper evaluates a 128-bit id domain, matching EPC tag memory).
+Participants are addressed by short string identities.
+"""
+
+from __future__ import annotations
+
+from ..crypto.rng import DeterministicRng
+
+__all__ = ["make_product_id", "make_product_ids", "epc_display", "ParticipantId"]
+
+ParticipantId = str
+
+
+def make_product_id(rng: DeterministicRng, key_bits: int = 128) -> int:
+    """A fresh uniform product identifier."""
+    return rng.getrandbits(key_bits)
+
+
+def make_product_ids(rng: DeterministicRng, count: int, key_bits: int = 128) -> list[int]:
+    """``count`` distinct product identifiers."""
+    ids: set[int] = set()
+    while len(ids) < count:
+        ids.add(make_product_id(rng, key_bits))
+    return sorted(ids)
+
+
+def epc_display(product_id: int) -> str:
+    """Human-readable EPC-like rendering (for logs and examples)."""
+    raw = f"{product_id:032x}"
+    return "urn:epc:id:" + ".".join(raw[i : i + 8] for i in range(0, 32, 8))

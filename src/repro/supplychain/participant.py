@@ -1,0 +1,79 @@
+"""Supply-chain participants.
+
+A participant receives product batches, reads each tag, records an
+RFID-trace in its private database, and splits the batch among its
+children (Section II.A).  Participants here are *honest* recorders — the
+dishonest behaviours of the threat model act at the protocol layer (POC
+construction and query answering) and live in
+:mod:`repro.desword.adversary`.
+"""
+
+from __future__ import annotations
+
+from ..crypto.rng import DeterministicRng
+from .database import TraceDatabase
+from .rfid import RfidReader, RfidTag
+from .trace import RFIDTrace
+
+__all__ = ["Participant", "BatchSplit"]
+
+BatchSplit = dict[str, list[int]]
+
+
+class Participant:
+    """One node of the supply chain with its reader and trace database."""
+
+    def __init__(
+        self,
+        participant_id: str,
+        operation: str = "process",
+        reader_miss_rate: float = 0.0,
+    ):
+        self.participant_id = participant_id
+        self.operation = operation
+        self.database = TraceDatabase(participant_id)
+        self.reader = RfidReader(
+            f"{participant_id}/reader", miss_rate=reader_miss_rate
+        )
+
+    def process_batch(
+        self, product_ids: list[int], timestamp: int, task_id: str = ""
+    ) -> list[RFIDTrace]:
+        """Read every tag in the batch and record a trace per product."""
+        traces = []
+        events = self.reader.inventory(
+            [RfidTag(pid) for pid in product_ids], timestamp
+        )
+        for event in events:
+            trace = RFIDTrace(
+                product_id=event.product_id,
+                participant_id=self.participant_id,
+                operation=self.operation,
+                timestamp=timestamp,
+                details=(("task", task_id),) if task_id else (),
+            )
+            self.database.record(trace)
+            traces.append(trace)
+        return traces
+
+    def split_batch(
+        self,
+        product_ids: list[int],
+        children: list[str],
+        rng: DeterministicRng,
+    ) -> BatchSplit:
+        """Divide a batch among children, every child and product covered.
+
+        Products are dealt out uniformly; every non-empty batch goes
+        downstream, so each product continues toward exactly one child —
+        products follow a single path, as the paper's model requires.
+        """
+        if not children:
+            return {}
+        split: BatchSplit = {child: [] for child in children}
+        for product_id in product_ids:
+            split[rng.choice(children)].append(product_id)
+        return {child: batch for child, batch in split.items() if batch}
+
+    def __repr__(self) -> str:
+        return f"Participant({self.participant_id!r}, {len(self.database)} traces)"

@@ -1,0 +1,78 @@
+"""Product quality models.
+
+The double-edged incentive rests on the paper's observation that "products
+suffer a small risk of being bad" and participants cannot predict which.
+Two oracles implement that risk:
+
+* :class:`IndependentQualityModel` — each product is bad independently
+  with probability beta (the paper's base model);
+* :class:`ContaminationQualityModel` — products passing through a
+  contaminated participant turn bad with high probability (the
+  contamination-localization application's ground truth).
+"""
+
+from __future__ import annotations
+
+from ..crypto.hashing import hash_bytes
+from .distribution import TaskRecord
+
+__all__ = ["QualityOracle", "IndependentQualityModel", "ContaminationQualityModel"]
+
+
+class QualityOracle:
+    """Interface: deterministic good/bad verdict per product."""
+
+    def is_bad(self, product_id: int) -> bool:
+        raise NotImplementedError
+
+    def bad_products(self, product_ids: list[int]) -> list[int]:
+        return [pid for pid in product_ids if self.is_bad(pid)]
+
+
+def _uniform_unit(seed: str, product_id: int) -> float:
+    """A deterministic uniform draw in [0, 1) per (seed, product)."""
+    digest = hash_bytes(b"repro/quality", f"{seed}/{product_id}".encode())
+    return int.from_bytes(digest[:8], "big") / (1 << 64)
+
+
+class IndependentQualityModel(QualityOracle):
+    """Every product is bad independently with probability ``beta``."""
+
+    def __init__(self, beta: float, seed: str = "quality"):
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be a probability")
+        self.beta = beta
+        self.seed = seed
+
+    def is_bad(self, product_id: int) -> bool:
+        return _uniform_unit(self.seed, product_id) < self.beta
+
+
+class ContaminationQualityModel(QualityOracle):
+    """Products through a contaminated participant are bad w.p. ``hit_rate``.
+
+    Other products are bad with the small background probability ``beta``.
+    The oracle needs the task's ground-truth paths — in reality this is
+    physical causation; in the simulation the :class:`TaskRecord` stands
+    in for it.
+    """
+
+    def __init__(
+        self,
+        record: TaskRecord,
+        contaminated_participant: str,
+        hit_rate: float = 0.9,
+        beta: float = 0.01,
+        seed: str = "contamination",
+    ):
+        self.record = record
+        self.contaminated_participant = contaminated_participant
+        self.hit_rate = hit_rate
+        self.beta = beta
+        self.seed = seed
+
+    def is_bad(self, product_id: int) -> bool:
+        draw = _uniform_unit(self.seed, product_id)
+        if self.contaminated_participant in self.record.participants_for(product_id):
+            return draw < self.hit_rate
+        return draw < self.beta

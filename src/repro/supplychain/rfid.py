@@ -1,0 +1,79 @@
+"""RFID tags and readers (simulated).
+
+DE-Sword only asks tags to "carry short product identifiers and support
+basic read operation" (Section VI), so the simulation is deliberately
+thin: a tag stores its identifier, a reader reads it — optionally with a
+configurable miss rate to model imperfect reads in stress tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.rng import DeterministicRng
+
+__all__ = ["RfidTag", "ReadEvent", "RfidReader", "TagReadError"]
+
+
+class TagReadError(RuntimeError):
+    """Raised when a read attempt misses the tag."""
+
+
+@dataclass(frozen=True)
+class RfidTag:
+    """A passive tag holding a product identifier."""
+
+    product_id: int
+
+    def respond(self) -> int:
+        return self.product_id
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """A successful inventory read."""
+
+    product_id: int
+    reader_id: str
+    timestamp: int
+
+
+class RfidReader:
+    """A participant's reader; ``miss_rate`` models RF failures."""
+
+    def __init__(
+        self,
+        reader_id: str,
+        miss_rate: float = 0.0,
+        rng: DeterministicRng | None = None,
+    ):
+        if not 0.0 <= miss_rate < 1.0:
+            raise ValueError("miss_rate must be in [0, 1)")
+        self.reader_id = reader_id
+        self.miss_rate = miss_rate
+        self.rng = rng or DeterministicRng(f"reader/{reader_id}")
+        self.reads_attempted = 0
+        self.reads_missed = 0
+
+    def read(self, tag: RfidTag, timestamp: int = 0) -> ReadEvent:
+        """Read one tag, raising :class:`TagReadError` on a miss."""
+        self.reads_attempted += 1
+        if self.miss_rate and self.rng.random() < self.miss_rate:
+            self.reads_missed += 1
+            raise TagReadError(f"reader {self.reader_id} missed tag")
+        return ReadEvent(tag.respond(), self.reader_id, timestamp)
+
+    def inventory(
+        self, tags: list[RfidTag], timestamp: int = 0, retries: int = 3
+    ) -> list[ReadEvent]:
+        """Read a batch, retrying misses as real readers do."""
+        events = []
+        for tag in tags:
+            for attempt in range(retries + 1):
+                try:
+                    events.append(self.read(tag, timestamp))
+                    break
+                except TagReadError:
+                    if attempt == retries:
+                        raise
+        return events

@@ -1,0 +1,129 @@
+"""The supply-chain participant digraph (paper Figure 1).
+
+A directed edge v_i -> v_j means products may proceed from v_i to v_j.
+Participants with no incoming edges are *initial*, with no outgoing edges
+*leaf*.  The digraph is dynamic — participants and edges can be added and
+removed — and is kept acyclic, since distribution tasks flow strictly
+downstream.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["SupplyChainTopology", "TopologyError"]
+
+
+class TopologyError(ValueError):
+    """Raised on structurally invalid topology mutations."""
+
+
+class SupplyChainTopology:
+    """A dynamic DAG of participant identities."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    # -- mutation -------------------------------------------------------------
+
+    def add_participant(self, participant_id: str, **attributes) -> None:
+        self._graph.add_node(participant_id, **attributes)
+
+    def remove_participant(self, participant_id: str) -> None:
+        if participant_id not in self._graph:
+            raise TopologyError(f"unknown participant {participant_id!r}")
+        self._graph.remove_node(participant_id)
+
+    def add_edge(self, parent: str, child: str) -> None:
+        if parent == child:
+            raise TopologyError("self-loops are not allowed")
+        for node in (parent, child):
+            if node not in self._graph:
+                raise TopologyError(f"unknown participant {node!r}")
+        self._graph.add_edge(parent, child)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(parent, child)
+            raise TopologyError(f"edge {parent!r}->{child!r} would create a cycle")
+
+    def remove_edge(self, parent: str, child: str) -> None:
+        if not self._graph.has_edge(parent, child):
+            raise TopologyError(f"no edge {parent!r}->{child!r}")
+        self._graph.remove_edge(parent, child)
+
+    # -- structure queries ------------------------------------------------------
+
+    def participants(self) -> list[str]:
+        return sorted(self._graph.nodes)
+
+    def __contains__(self, participant_id: str) -> bool:
+        return participant_id in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def children(self, participant_id: str) -> list[str]:
+        return sorted(self._graph.successors(participant_id))
+
+    def parents(self, participant_id: str) -> list[str]:
+        return sorted(self._graph.predecessors(participant_id))
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        return self._graph.has_edge(parent, child)
+
+    def initial_participants(self) -> list[str]:
+        return sorted(n for n in self._graph.nodes if self._graph.in_degree(n) == 0)
+
+    def leaf_participants(self) -> list[str]:
+        return sorted(n for n in self._graph.nodes if self._graph.out_degree(n) == 0)
+
+    def is_initial(self, participant_id: str) -> bool:
+        return self._graph.in_degree(participant_id) == 0
+
+    def is_leaf(self, participant_id: str) -> bool:
+        return self._graph.out_degree(participant_id) == 0
+
+    def downstream_of(self, participant_id: str) -> set[str]:
+        """All participants reachable from the given one."""
+        return set(nx.descendants(self._graph, participant_id))
+
+    def paths_from(self, source: str) -> list[list[str]]:
+        """All source-to-leaf paths (exponential in the worst case)."""
+        leaves = [leaf for leaf in self.leaf_participants() if leaf != source]
+        paths: list[list[str]] = []
+        for leaf in leaves:
+            paths.extend(nx.all_simple_paths(self._graph, source, leaf))
+        if self.is_leaf(source):
+            paths.append([source])
+        return paths
+
+    def topological_order(self) -> list[str]:
+        return list(nx.topological_sort(self._graph))
+
+    def validate(self) -> None:
+        """Invariant check: acyclic and every node reachable from an initial."""
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise TopologyError("topology contains a cycle")
+        reachable: set[str] = set()
+        for initial in self.initial_participants():
+            reachable.add(initial)
+            reachable.update(nx.descendants(self._graph, initial))
+        missing = set(self._graph.nodes) - reachable
+        if missing:
+            raise TopologyError(
+                f"participants unreachable from any initial: {sorted(missing)}"
+            )
+
+    def copy(self) -> "SupplyChainTopology":
+        clone = SupplyChainTopology()
+        clone._graph = self._graph.copy()
+        return clone
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A defensive copy for analysis code."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"SupplyChainTopology({self._graph.number_of_nodes()} participants, "
+            f"{self._graph.number_of_edges()} edges)"
+        )

@@ -1,0 +1,60 @@
+"""RFID-traces.
+
+The paper's trace for product ``id`` at participant ``v`` is
+``t_v^id = (id, da_v^id)`` where ``da`` records the production information
+(process operation, ingredients, parameters...).  The ``da`` part is what
+gets committed as the EDB value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RFIDTrace"]
+
+
+@dataclass(frozen=True)
+class RFIDTrace:
+    """One participant's production record for one product."""
+
+    product_id: int
+    participant_id: str
+    operation: str = "process"
+    timestamp: int = 0
+    details: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    def data_bytes(self) -> bytes:
+        """The canonical ``da`` encoding committed into the POC.
+
+        Deliberately excludes ``product_id`` (it is the EDB key) but
+        includes the participant identity, so a trace cannot be replayed
+        as another participant's record.
+        """
+        parts = [
+            b"v=" + self.participant_id.encode(),
+            b"op=" + self.operation.encode(),
+            b"ts=%d" % self.timestamp,
+        ]
+        for key, value in self.details:
+            parts.append(key.encode() + b"=" + value.encode())
+        return b";".join(parts)
+
+    @staticmethod
+    def parse(product_id: int, data: bytes) -> "RFIDTrace":
+        """Reconstruct a trace from its committed ``da`` bytes."""
+        fields: dict[str, str] = {}
+        extras: list[tuple[str, str]] = []
+        for chunk in data.split(b";"):
+            key, _, value = chunk.partition(b"=")
+            name = key.decode()
+            if name in ("v", "op", "ts") and name not in fields:
+                fields[name] = value.decode()
+            else:
+                extras.append((name, value.decode()))
+        return RFIDTrace(
+            product_id=product_id,
+            participant_id=fields.get("v", ""),
+            operation=fields.get("op", "process"),
+            timestamp=int(fields.get("ts", "0")),
+            details=tuple(extras),
+        )

@@ -1,0 +1,44 @@
+"""Zero-knowledge elementary database (ZK-EDB).
+
+The paper's core cryptographic primitive (Section IV.A): commit to a
+key-value database so that, for any key, the committer can produce exactly
+one of a binding *ownership* proof (key present, recovering the value) or
+*non-ownership* proof (key absent), while proofs reveal nothing else about
+the database — not even its size.
+
+Built as a q-ary tree with TMC leaf commitments and qTMC internal nodes,
+per Section VI.B.  A sparse-Merkle baseline backend shares the same
+interface for comparisons.
+"""
+
+from .backend import EdbBackend, ZkEdbBackend
+from .commit import EdbCommitment, EdbDecommitment, commit_edb
+from .edb import ElementaryDatabase
+from .hash_backend import MerkleEdbBackend
+from .params import TABLE2_GRID, EdbParams, choose_height
+from .proofs import NonOwnershipProof, OwnershipProof, decode_proof
+from .prove import prove_key, prove_non_ownership, prove_ownership
+from .simulate import ZkEdbSimulator
+from .verify import EdbVerifyOutcome, verify_proof
+
+__all__ = [
+    "ElementaryDatabase",
+    "EdbParams",
+    "choose_height",
+    "TABLE2_GRID",
+    "commit_edb",
+    "EdbCommitment",
+    "EdbDecommitment",
+    "prove_key",
+    "prove_ownership",
+    "prove_non_ownership",
+    "OwnershipProof",
+    "NonOwnershipProof",
+    "decode_proof",
+    "verify_proof",
+    "EdbVerifyOutcome",
+    "ZkEdbSimulator",
+    "EdbBackend",
+    "ZkEdbBackend",
+    "MerkleEdbBackend",
+]

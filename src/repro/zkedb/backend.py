@@ -1,0 +1,95 @@
+"""Backend protocol: one interface over both EDB implementations.
+
+The DE-Sword protocol layer only needs commit / prove / verify plus byte
+encodings, so it is written against this protocol.  Two complete
+implementations exist:
+
+* :class:`ZkEdbBackend` — the paper's scheme (pairing-based, verifiable
+  *and* zero-knowledge);
+* :class:`~repro.zkedb.hash_backend.MerkleEdbBackend` — a sparse Merkle
+  tree (verifiable, *not* zero-knowledge), the natural non-private
+  baseline, also used to run protocol-level tests at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from ..crypto.rng import DeterministicRng
+from .commit import EdbCommitment, EdbDecommitment, commit_edb
+from .edb import ElementaryDatabase
+from .params import EdbParams
+from .proofs import decode_proof
+from .prove import prove_key
+from .verify import EdbVerifyOutcome, verify_proof
+
+__all__ = ["EdbBackend", "ZkEdbBackend"]
+
+
+@runtime_checkable
+class EdbBackend(Protocol):
+    """What the protocol layer requires of an EDB implementation."""
+
+    name: str
+
+    def commit(
+        self, database: ElementaryDatabase, rng: DeterministicRng
+    ) -> tuple[Any, Any]: ...
+
+    def prove(self, dec: Any, key: int) -> Any: ...
+
+    def verify(self, commitment: Any, key: int, proof: Any) -> EdbVerifyOutcome: ...
+
+    def commitment_bytes(self, commitment: Any) -> bytes: ...
+
+    def decode_commitment_bytes(self, data: bytes) -> Any: ...
+
+    def proof_bytes(self, proof: Any) -> bytes: ...
+
+    def decode_proof_bytes(self, data: bytes) -> Any: ...
+
+    @property
+    def zero_knowledge(self) -> bool: ...
+
+
+class ZkEdbBackend:
+    """The paper's ZK-EDB behind the generic backend interface."""
+
+    def __init__(self, params: EdbParams):
+        self.params = params
+        self.name = f"zk-edb(q={params.q},h={params.height})"
+
+    def commit(
+        self, database: ElementaryDatabase, rng: DeterministicRng
+    ) -> tuple[EdbCommitment, EdbDecommitment]:
+        return commit_edb(self.params, database, rng)
+
+    def prove(self, dec: EdbDecommitment, key: int):
+        return prove_key(self.params, dec, key)
+
+    def verify(self, commitment: EdbCommitment, key: int, proof) -> EdbVerifyOutcome:
+        return verify_proof(self.params, commitment, key, proof)
+
+    def commitment_bytes(self, commitment: EdbCommitment) -> bytes:
+        return commitment.to_bytes(self.params)
+
+    def decode_commitment_bytes(self, data: bytes) -> EdbCommitment:
+        from ..commitments.qmercurial import QtmcCommitment
+        from ..crypto.serialize import ByteReader
+
+        reader = ByteReader(data)
+        root = QtmcCommitment(
+            reader.take_g1(self.params.curve), reader.take_g1(self.params.curve)
+        )
+        reader.expect_end()
+        return EdbCommitment(root)
+
+    def proof_bytes(self, proof) -> bytes:
+        return proof.to_bytes(self.params)
+
+    def decode_proof_bytes(self, data: bytes):
+        return decode_proof(self.params, data)
+
+    @property
+    def zero_knowledge(self) -> bool:
+        return True

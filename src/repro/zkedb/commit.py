@@ -1,0 +1,161 @@
+"""EDB-commit: build the mercurial commitment tree over a database.
+
+Committed keys get hard TMC leaf commitments; every internal node on a
+committed path gets a hard qTMC commitment whose slot j holds the hash of
+child j.  Slots pointing outside the committed frontier hold the hash of a
+*deterministically derived soft commitment* — derived from a secret
+per-commitment seed, so non-ownership proofs can regenerate the exact same
+soft subtrees on demand without storing them (and repeated queries yield
+consistent proofs, as zero-knowledge requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..commitments.mercurial import TmcCommitment, TmcHardDecommit, TmcSoftDecommit
+from ..commitments.qmercurial import (
+    QtmcCommitment,
+    QtmcHardDecommit,
+    QtmcSoftDecommit,
+)
+from ..crypto.hashing import hash_to_int
+from ..crypto.rng import DeterministicRng
+from .edb import ElementaryDatabase
+from .params import EdbParams
+from .tree import NodePath, digits_for_key, frontier_paths
+
+__all__ = [
+    "EdbCommitment",
+    "EdbDecommitment",
+    "commit_edb",
+    "node_message",
+    "leaf_message",
+    "derive_soft_internal",
+    "derive_soft_leaf",
+]
+
+
+def node_message(params: EdbParams, commitment) -> int:
+    """The Z_r message an internal slot holds for a child commitment."""
+    return hash_to_int(
+        b"repro/zkedb-node", commitment.to_bytes(params.curve), params.curve.r
+    )
+
+
+def leaf_message(params: EdbParams, key: int, value: bytes) -> int:
+    """The nonzero Z_r message a leaf holds for (key, value).
+
+    Zero is reserved as the paper's bottom (absent key), so the hash is
+    mapped into [1, r).
+    """
+    digest = hash_to_int(
+        b"repro/zkedb-leaf",
+        key.to_bytes(params.key_bits // 8, "big") + value,
+        params.curve.r - 1,
+    )
+    return digest + 1
+
+
+def derive_soft_internal(
+    params: EdbParams, seed: bytes, path: NodePath
+) -> tuple[QtmcCommitment, QtmcSoftDecommit]:
+    """The deterministic soft qTMC commitment for an off-frontier node."""
+    rng = DeterministicRng(seed + b"/internal/" + repr(path).encode())
+    return params.qtmc.soft_commit(rng)
+
+
+def derive_soft_leaf(
+    params: EdbParams, seed: bytes, path: NodePath
+) -> tuple[TmcCommitment, TmcSoftDecommit]:
+    """The deterministic soft TMC commitment for an off-frontier leaf."""
+    rng = DeterministicRng(seed + b"/leaf/" + repr(path).encode())
+    return params.tmc.soft_commit(rng)
+
+
+@dataclass(frozen=True)
+class EdbCommitment:
+    """The public commitment (the paper's Com): the hard root qTMC pair."""
+
+    root: QtmcCommitment
+
+    def to_bytes(self, params: EdbParams) -> bytes:
+        return self.root.to_bytes(params.curve)
+
+
+@dataclass
+class EdbDecommitment:
+    """The private decommitment (the paper's Dec).
+
+    Holds the hard frontier (internal node and leaf states) plus the seed
+    that regenerates every off-frontier soft commitment on demand.
+    """
+
+    database: ElementaryDatabase
+    seed: bytes
+    internal_nodes: dict[NodePath, tuple[QtmcCommitment, QtmcHardDecommit]] = field(
+        default_factory=dict
+    )
+    leaves: dict[NodePath, tuple[TmcCommitment, TmcHardDecommit, bytes]] = field(
+        default_factory=dict
+    )
+
+
+def commit_edb(
+    params: EdbParams, database: ElementaryDatabase, rng: DeterministicRng
+) -> tuple[EdbCommitment, EdbDecommitment]:
+    """The paper's EDB-commit(D, sigma) -> (Com, Dec)."""
+    if database.key_bits != params.key_bits:
+        raise ValueError("database key domain does not match the parameters")
+    if params.key_bits % 8 != 0:
+        raise ValueError("key_bits must be byte aligned")
+    seed = rng.randbytes(32)
+    dec = EdbDecommitment(database.copy(), seed)
+
+    leaf_paths: dict[NodePath, int] = {}
+    for key, value in database:
+        path = digits_for_key(key, params.q, params.height)
+        commitment, decommit = params.tmc.hard_commit(
+            leaf_message(params, key, value), rng.fork(f"leaf{path}")
+        )
+        dec.leaves[path] = (commitment, decommit, value)
+        leaf_paths[path] = key
+
+    # Internal nodes, deepest first, so child commitments exist when the
+    # parent's slot messages are assembled.
+    key_digit_paths = [digits_for_key(k, params.q, params.height) for k in database.support()]
+    for path in frontier_paths(key_digit_paths):
+        depth = len(path)
+        messages = []
+        for slot in range(params.q):
+            child_path = path + (slot,)
+            if depth + 1 == params.height:
+                if child_path in dec.leaves:
+                    child_commitment = dec.leaves[child_path][0]
+                else:
+                    child_commitment, _ = derive_soft_leaf(params, seed, child_path)
+            else:
+                if child_path in dec.internal_nodes:
+                    child_commitment = dec.internal_nodes[child_path][0]
+                else:
+                    child_commitment, _ = derive_soft_internal(params, seed, child_path)
+            messages.append(node_message(params, child_commitment))
+        commitment, decommit = params.qtmc.hard_commit(messages, rng.fork(f"node{path}"))
+        dec.internal_nodes[path] = (commitment, decommit)
+
+    if () not in dec.internal_nodes:
+        # Empty database: the root is still a hard commitment, to soft
+        # children everywhere, so non-ownership proofs exist for every key.
+        messages = [
+            node_message(
+                params,
+                (derive_soft_leaf if params.height == 1 else derive_soft_internal)(
+                    params, seed, (slot,)
+                )[0],
+            )
+            for slot in range(params.q)
+        ]
+        commitment, decommit = params.qtmc.hard_commit(messages, rng.fork("node()"))
+        dec.internal_nodes[()] = (commitment, decommit)
+
+    return EdbCommitment(dec.internal_nodes[()][0]), dec

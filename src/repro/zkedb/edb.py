@@ -1,0 +1,68 @@
+"""The elementary database (EDB) datatype.
+
+An EDB is a set of (key, value) pairs with unique keys (Section IV.A of
+the paper): keys are integers in the id domain, values are opaque byte
+strings.  ``D(x)`` is None (the paper's bottom) for absent keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["ElementaryDatabase"]
+
+
+class ElementaryDatabase:
+    """A validated key -> value map over a bounded key domain."""
+
+    __slots__ = ("key_bits", "_entries")
+
+    def __init__(self, key_bits: int = 128, entries: dict[int, bytes] | None = None):
+        self.key_bits = key_bits
+        self._entries: dict[int, bytes] = {}
+        if entries:
+            for key, value in entries.items():
+                self.put(key, value)
+
+    def _check_key(self, key: int) -> int:
+        if not isinstance(key, int):
+            raise TypeError("EDB keys are integers")
+        if key < 0 or key >= (1 << self.key_bits):
+            raise ValueError(f"key outside the {self.key_bits}-bit domain")
+        return key
+
+    def put(self, key: int, value: bytes) -> None:
+        """Insert or overwrite; values must be bytes."""
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("EDB values are byte strings")
+        self._entries[self._check_key(key)] = bytes(value)
+
+    def get(self, key: int) -> bytes | None:
+        """The paper's D(x): the value, or None for bottom."""
+        return self._entries.get(self._check_key(key))
+
+    def support(self) -> list[int]:
+        """The paper's [D]: sorted committed keys."""
+        return sorted(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return self._check_key(key) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[int, bytes]]:
+        return iter(sorted(self._entries.items()))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ElementaryDatabase)
+            and other.key_bits == self.key_bits
+            and other._entries == self._entries
+        )
+
+    def copy(self) -> "ElementaryDatabase":
+        return ElementaryDatabase(self.key_bits, dict(self._entries))
+
+    def __repr__(self) -> str:
+        return f"ElementaryDatabase({len(self._entries)} entries, {self.key_bits}-bit keys)"

@@ -1,0 +1,185 @@
+"""Sparse Merkle-tree EDB: the verifiable-but-not-private baseline.
+
+A q-ary sparse Merkle tree over the same key domain as the ZK-EDB.  Absent
+subtrees collapse to per-depth default hashes, so commitment is O(n h) and
+proofs are the classic sibling chains.  It satisfies the *soundness* side
+of the EDB contract (collision resistance gives binding for both ownership
+and non-ownership) but leaks tree structure — sibling hashes reveal where
+the committed keys cluster — which is exactly the property the paper pays
+pairings to avoid.  Benchmarks compare the two; the protocol layer can run
+on either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..crypto.hashing import hash_parts
+from ..crypto.rng import DeterministicRng
+from .edb import ElementaryDatabase
+from .params import choose_height
+from .tree import NodePath, digits_for_key, frontier_paths
+from .verify import EdbVerifyOutcome
+
+__all__ = ["MerkleEdbBackend", "MerkleCommitment", "MerkleDecommitment", "MerkleProof"]
+
+_BAD = EdbVerifyOutcome("bad")
+
+
+@dataclass(frozen=True)
+class MerkleCommitment:
+    """The Merkle root."""
+
+    root: bytes
+
+
+@dataclass
+class MerkleDecommitment:
+    """Private prover state: the database and the hard node hashes."""
+
+    database: ElementaryDatabase
+    nodes: dict[NodePath, bytes]
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Sibling chain for a key; ``value`` is None for non-ownership."""
+
+    key: int
+    siblings: tuple[tuple[bytes, ...], ...]  # per depth, q-1 sibling hashes
+    value: bytes | None
+
+
+class MerkleEdbBackend:
+    """Sparse q-ary Merkle tree implementing the EDB backend protocol."""
+
+    def __init__(self, q: int = 8, key_bits: int = 128, height: int | None = None):
+        self.q = q
+        self.key_bits = key_bits
+        self.height = height if height is not None else choose_height(q, key_bits)
+        if q**self.height < (1 << key_bits):
+            raise ValueError("q**height must cover the key domain")
+        self.name = f"merkle-edb(q={q},h={self.height})"
+
+    # -- hashing ------------------------------------------------------------
+
+    @staticmethod
+    def _leaf_hash(key: int, value: bytes) -> bytes:
+        return hash_parts(b"repro/merkle-leaf", key.to_bytes(16, "big"), value)
+
+    @lru_cache(maxsize=None)
+    def _default(self, depth: int) -> bytes:
+        """Hash of a fully empty subtree rooted at ``depth``."""
+        if depth == self.height:
+            return hash_parts(b"repro/merkle-empty-leaf")
+        child = self._default(depth + 1)
+        return hash_parts(b"repro/merkle-node", *([child] * self.q))
+
+    def _node_hash(self, children: list[bytes]) -> bytes:
+        return hash_parts(b"repro/merkle-node", *children)
+
+    # -- backend interface ----------------------------------------------------
+
+    def commit(
+        self, database: ElementaryDatabase, rng: DeterministicRng
+    ) -> tuple[MerkleCommitment, MerkleDecommitment]:
+        del rng  # deterministic structure; kept for interface parity
+        if database.key_bits != self.key_bits:
+            raise ValueError("database key domain does not match the backend")
+        nodes: dict[NodePath, bytes] = {}
+        digit_paths = []
+        for key, value in database:
+            path = digits_for_key(key, self.q, self.height)
+            nodes[path] = self._leaf_hash(key, value)
+            digit_paths.append(path)
+        for path in frontier_paths(digit_paths):
+            depth = len(path)
+            children = [
+                nodes.get(path + (slot,), self._default(depth + 1))
+                for slot in range(self.q)
+            ]
+            nodes[path] = self._node_hash(children)
+        root = nodes.get((), self._default(0))
+        return MerkleCommitment(root), MerkleDecommitment(database.copy(), nodes)
+
+    def prove(self, dec: MerkleDecommitment, key: int) -> MerkleProof:
+        digits = digits_for_key(key, self.q, self.height)
+        siblings = []
+        for depth in range(self.height):
+            row = []
+            for slot in range(self.q):
+                if slot == digits[depth]:
+                    continue
+                child_path = digits[:depth] + (slot,)
+                row.append(dec.nodes.get(child_path, self._default(depth + 1)))
+            siblings.append(tuple(row))
+        return MerkleProof(key, tuple(siblings), dec.database.get(key))
+
+    def verify(
+        self, commitment: MerkleCommitment, key: int, proof: MerkleProof
+    ) -> EdbVerifyOutcome:
+        if proof.key != key:
+            return _BAD
+        try:
+            digits = digits_for_key(key, self.q, self.height)
+        except ValueError:
+            return _BAD
+        if len(proof.siblings) != self.height:
+            return _BAD
+        if any(len(row) != self.q - 1 for row in proof.siblings):
+            return _BAD
+        if proof.value is None:
+            current = self._default(self.height)
+        else:
+            current = self._leaf_hash(key, proof.value)
+        for depth in range(self.height - 1, -1, -1):
+            row = list(proof.siblings[depth])
+            children = row[: digits[depth]] + [current] + row[digits[depth] :]
+            current = self._node_hash(children)
+        if current != commitment.root:
+            return _BAD
+        if proof.value is None:
+            return EdbVerifyOutcome("absent")
+        return EdbVerifyOutcome("value", proof.value)
+
+    def commitment_bytes(self, commitment: MerkleCommitment) -> bytes:
+        return commitment.root
+
+    def decode_commitment_bytes(self, data: bytes) -> MerkleCommitment:
+        if len(data) != 32:
+            raise ValueError("Merkle commitment must be a 32-byte root")
+        return MerkleCommitment(data)
+
+    def proof_bytes(self, proof: MerkleProof) -> bytes:
+        parts = [b"\x01" if proof.value is not None else b"\x00"]
+        parts.append(proof.key.to_bytes(16, "big"))
+        for row in proof.siblings:
+            parts.extend(row)
+        if proof.value is not None:
+            parts.append(len(proof.value).to_bytes(4, "big") + proof.value)
+        return b"".join(parts)
+
+    def decode_proof_bytes(self, data: bytes) -> MerkleProof:
+        has_value = data[0] == 1
+        key = int.from_bytes(data[1:17], "big")
+        offset = 17
+        siblings = []
+        for _ in range(self.height):
+            row = []
+            for _ in range(self.q - 1):
+                row.append(data[offset : offset + 32])
+                offset += 32
+            siblings.append(tuple(row))
+        value = None
+        if has_value:
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            value = data[offset + 4 : offset + 4 + length]
+            offset += 4 + length
+        if offset != len(data):
+            raise ValueError("trailing bytes in Merkle proof")
+        return MerkleProof(key, tuple(siblings), value)
+
+    @property
+    def zero_knowledge(self) -> bool:
+        return False

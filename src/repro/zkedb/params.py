@@ -1,0 +1,75 @@
+"""Parameter selection for the ZK-EDB tree.
+
+The database keys live in a domain of ``key_bits`` bits and are mapped to
+the leaves of a q-ary tree of height h with ``q**h >= 2**key_bits``
+(Section VI.B of the paper).  ``TABLE2_GRID`` is the exact (q, h) grid the
+paper evaluates in Table II for a 128-bit id space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..commitments.mercurial import TmcParams
+from ..commitments.qmercurial import QtmcParams
+from ..crypto.bn import BNCurve
+from ..crypto.rng import DeterministicRng
+
+__all__ = ["EdbParams", "choose_height", "TABLE2_GRID"]
+
+# The paper's Table II parameterisation: q^h >= 2^128.
+TABLE2_GRID: tuple[tuple[int, int], ...] = (
+    (8, 43),
+    (16, 32),
+    (32, 26),
+    (64, 22),
+    (128, 19),
+)
+
+
+def choose_height(q: int, key_bits: int) -> int:
+    """Smallest h with q**h >= 2**key_bits."""
+    if q < 2:
+        raise ValueError("q must be at least 2")
+    height = 0
+    capacity = 1
+    bound = 1 << key_bits
+    while capacity < bound:
+        capacity *= q
+        height += 1
+    return height
+
+
+@dataclass(frozen=True)
+class EdbParams:
+    """Everything a ZK-EDB instance needs: tree shape plus both CRSs."""
+
+    curve: BNCurve
+    q: int
+    height: int
+    key_bits: int
+    qtmc: QtmcParams
+    tmc: TmcParams
+
+    @classmethod
+    def generate(
+        cls,
+        curve: BNCurve,
+        rng: DeterministicRng,
+        q: int = 8,
+        key_bits: int = 128,
+        height: int | None = None,
+        with_trapdoor: bool = False,
+    ) -> "EdbParams":
+        """Trusted setup for the whole EDB (run by the proxy in DE-Sword)."""
+        if height is None:
+            height = choose_height(q, key_bits)
+        if q**height < (1 << key_bits):
+            raise ValueError("q**height must cover the key domain")
+        qtmc = QtmcParams.generate(curve, q, rng.fork("qtmc"), with_trapdoor)
+        tmc = TmcParams.generate(curve, rng.fork("tmc"), with_trapdoor)
+        return cls(curve, q, height, key_bits, qtmc, tmc)
+
+    @property
+    def trapdoor_available(self) -> bool:
+        return self.qtmc.trapdoor is not None

@@ -1,0 +1,124 @@
+"""Ownership / non-ownership proof objects and their wire encodings.
+
+An ownership proof hard-opens every commitment on the root-to-leaf path of
+the queried key; a non-ownership proof soft-opens (teases) the same path
+down to an empty leaf.  Proof sizes are measured on the serialized bytes
+produced here — this is what regenerates the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..commitments.mercurial import TmcCommitment, TmcHardOpening, TmcTease
+from ..commitments.qmercurial import QtmcCommitment, QtmcHardOpening, QtmcTease
+from ..crypto.serialize import ByteReader, encode_bytes
+from .params import EdbParams
+from .tree import digits_for_key
+
+__all__ = ["OwnershipProof", "NonOwnershipProof", "decode_proof"]
+
+_OWNERSHIP_TAG = 1
+_NON_OWNERSHIP_TAG = 2
+
+
+@dataclass(frozen=True)
+class OwnershipProof:
+    """Proof that ``key`` is committed with value ``value``.
+
+    ``internal_openings[d]`` hard-opens the depth-d node at the key's digit;
+    ``child_commitments[d]`` is the depth-(d+1) node commitment (the last
+    child on the path is the leaf, carried separately).
+    """
+
+    key: int
+    internal_openings: tuple[QtmcHardOpening, ...]
+    child_commitments: tuple[QtmcCommitment, ...]
+    leaf_commitment: TmcCommitment
+    leaf_opening: TmcHardOpening
+    value: bytes
+
+    def to_bytes(self, params: EdbParams) -> bytes:
+        curve = params.curve
+        out = [bytes([_OWNERSHIP_TAG]), self.key.to_bytes(params.key_bits // 8, "big")]
+        for opening in self.internal_openings:
+            out.append(opening.to_bytes(curve))
+        for commitment in self.child_commitments:
+            out.append(commitment.to_bytes(curve))
+        out.append(self.leaf_commitment.to_bytes(curve))
+        out.append(self.leaf_opening.to_bytes(curve))
+        out.append(encode_bytes(self.value))
+        return b"".join(out)
+
+    def size_bytes(self, params: EdbParams) -> int:
+        return len(self.to_bytes(params))
+
+
+@dataclass(frozen=True)
+class NonOwnershipProof:
+    """Proof that ``key`` is not committed (the paper's bottom)."""
+
+    key: int
+    internal_teases: tuple[QtmcTease, ...]
+    child_commitments: tuple[QtmcCommitment, ...]
+    leaf_commitment: TmcCommitment
+    leaf_tease: TmcTease
+
+    def to_bytes(self, params: EdbParams) -> bytes:
+        curve = params.curve
+        out = [bytes([_NON_OWNERSHIP_TAG]), self.key.to_bytes(params.key_bits // 8, "big")]
+        for tease in self.internal_teases:
+            out.append(tease.to_bytes(curve))
+        for commitment in self.child_commitments:
+            out.append(commitment.to_bytes(curve))
+        out.append(self.leaf_commitment.to_bytes(curve))
+        out.append(self.leaf_tease.to_bytes(curve))
+        return b"".join(out)
+
+    def size_bytes(self, params: EdbParams) -> int:
+        return len(self.to_bytes(params))
+
+
+def decode_proof(params: EdbParams, data: bytes) -> OwnershipProof | NonOwnershipProof:
+    """Parse a proof from wire bytes, validating every group element."""
+    reader = ByteReader(data)
+    tag = reader.take(1)[0]
+    key = int.from_bytes(reader.take(params.key_bits // 8), "big")
+    digits = digits_for_key(key, params.q, params.height)
+    curve = params.curve
+    height = params.height
+    if tag == _OWNERSHIP_TAG:
+        openings = []
+        for depth in range(height):
+            message = reader.take_scalar(curve)
+            witness = reader.take_g1(curve)
+            rho = reader.take_scalar(curve)
+            openings.append(QtmcHardOpening(digits[depth], message, witness, rho))
+        children = tuple(
+            QtmcCommitment(reader.take_g1(curve), reader.take_g1(curve))
+            for _ in range(height - 1)
+        )
+        leaf_commitment = TmcCommitment(reader.take_g1(curve), reader.take_g1(curve))
+        leaf_opening = TmcHardOpening(
+            reader.take_scalar(curve), reader.take_scalar(curve), reader.take_scalar(curve)
+        )
+        value = reader.take_bytes()
+        reader.expect_end()
+        return OwnershipProof(
+            key, tuple(openings), children, leaf_commitment, leaf_opening, value
+        )
+    if tag == _NON_OWNERSHIP_TAG:
+        teases = []
+        for depth in range(height):
+            message = reader.take_scalar(curve)
+            witness = reader.take_g1(curve)
+            teases.append(QtmcTease(digits[depth], message, witness))
+        children = tuple(
+            QtmcCommitment(reader.take_g1(curve), reader.take_g1(curve))
+            for _ in range(height - 1)
+        )
+        leaf_commitment = TmcCommitment(reader.take_g1(curve), reader.take_g1(curve))
+        leaf_tease = TmcTease(reader.take_scalar(curve), reader.take_scalar(curve))
+        reader.expect_end()
+        return NonOwnershipProof(key, tuple(teases), children, leaf_commitment, leaf_tease)
+    raise ValueError(f"unknown proof tag {tag}")

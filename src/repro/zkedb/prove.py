@@ -1,0 +1,112 @@
+"""EDB-proof: generate ownership / non-ownership proofs.
+
+Ownership proofs hard-open the committed path.  Non-ownership proofs tease
+the hard prefix of the path and then descend through deterministically
+regenerated soft commitments (teased to the next node's hash) down to a
+soft leaf teased to zero — the paper's bottom.
+"""
+
+from __future__ import annotations
+
+from .commit import (
+    EdbDecommitment,
+    derive_soft_internal,
+    derive_soft_leaf,
+    node_message,
+)
+from .params import EdbParams
+from .proofs import NonOwnershipProof, OwnershipProof
+from .tree import digits_for_key
+
+__all__ = ["prove_key", "prove_ownership", "prove_non_ownership"]
+
+
+def prove_key(
+    params: EdbParams, dec: EdbDecommitment, key: int
+) -> OwnershipProof | NonOwnershipProof:
+    """The paper's EDB-proof: dispatch on key membership."""
+    if dec.database.get(key) is not None:
+        return prove_ownership(params, dec, key)
+    return prove_non_ownership(params, dec, key)
+
+
+def prove_ownership(params: EdbParams, dec: EdbDecommitment, key: int) -> OwnershipProof:
+    """Hard-open every node on the key's path (Theta(q h) group work)."""
+    value = dec.database.get(key)
+    if value is None:
+        raise KeyError(f"key {key} is not committed; no ownership proof exists")
+    digits = digits_for_key(key, params.q, params.height)
+
+    openings = []
+    children = []
+    for depth in range(params.height):
+        path = digits[:depth]
+        _, node_decommit = dec.internal_nodes[path]
+        openings.append(params.qtmc.hard_open(node_decommit, digits[depth]))
+        if depth + 1 < params.height:
+            children.append(dec.internal_nodes[digits[: depth + 1]][0])
+
+    leaf_commitment, leaf_decommit, _ = dec.leaves[digits]
+    return OwnershipProof(
+        key=key,
+        internal_openings=tuple(openings),
+        child_commitments=tuple(children),
+        leaf_commitment=leaf_commitment,
+        leaf_opening=params.tmc.hard_open(leaf_decommit),
+        value=value,
+    )
+
+
+def prove_non_ownership(
+    params: EdbParams, dec: EdbDecommitment, key: int
+) -> NonOwnershipProof:
+    """Tease the key's path down to an empty (soft, zero-teased) leaf."""
+    if dec.database.get(key) is not None:
+        raise KeyError(f"key {key} is committed; no non-ownership proof exists")
+    digits = digits_for_key(key, params.q, params.height)
+
+    teases = []
+    children = []
+    for depth in range(params.height):
+        path = digits[:depth]
+        child_path = digits[: depth + 1]
+        hard = dec.internal_nodes.get(path)
+        child_is_leaf = depth + 1 == params.height
+
+        # Resolve the child commitment this node's slot points at.
+        if child_is_leaf:
+            leaf_state = dec.leaves.get(child_path)
+            if leaf_state is not None:
+                child_commitment = leaf_state[0]
+            else:
+                child_commitment, _ = derive_soft_leaf(params, dec.seed, child_path)
+        else:
+            child_hard = dec.internal_nodes.get(child_path)
+            if child_hard is not None:
+                child_commitment = child_hard[0]
+            else:
+                child_commitment, _ = derive_soft_internal(params, dec.seed, child_path)
+        message = node_message(params, child_commitment)
+
+        if hard is not None:
+            _, node_decommit = dec.internal_nodes[path]
+            tease = params.qtmc.tease_hard(node_decommit, digits[depth])
+            if tease.message != message:
+                raise AssertionError("frontier slot message mismatch (corrupt state)")
+        else:
+            _, soft_decommit = derive_soft_internal(params, dec.seed, path)
+            tease = params.qtmc.tease_soft(soft_decommit, digits[depth], message)
+        teases.append(tease)
+        if not child_is_leaf:
+            children.append(child_commitment)
+
+    leaf_path = digits
+    leaf_commitment, leaf_soft_decommit = derive_soft_leaf(params, dec.seed, leaf_path)
+    leaf_tease = params.tmc.tease_soft(leaf_soft_decommit, 0)
+    return NonOwnershipProof(
+        key=key,
+        internal_teases=tuple(teases),
+        child_commitments=tuple(children),
+        leaf_commitment=leaf_commitment,
+        leaf_tease=leaf_tease,
+    )

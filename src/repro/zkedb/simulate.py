@@ -1,0 +1,107 @@
+"""The zero-knowledge simulator for the EDB.
+
+With the CRS trapdoor, a simulator can commit to *nothing* and later answer
+any query consistently with an oracle for D(x) — producing proofs that are
+indistinguishable from real ones.  This is the formal content of the
+paper's privacy guarantee (Definition 2, "ZK-EDB zero-knowledge"): since a
+simulator without the database can produce the same transcripts, real
+transcripts cannot leak anything beyond the queried values.
+
+The tests use this class both to demonstrate the trapdoor is real and to
+check transcript-shape indistinguishability.
+"""
+
+from __future__ import annotations
+
+from ..crypto.rng import DeterministicRng
+from .commit import EdbCommitment, leaf_message, node_message
+from .params import EdbParams
+from .proofs import NonOwnershipProof, OwnershipProof
+from .tree import NodePath, digits_for_key
+
+__all__ = ["ZkEdbSimulator"]
+
+
+class ZkEdbSimulator:
+    """Answers EDB queries with equivocated proofs, without a database."""
+
+    def __init__(self, params: EdbParams, rng: DeterministicRng):
+        if not params.trapdoor_available:
+            raise ValueError("the simulator needs trapdoor parameters")
+        self.params = params
+        self.rng = rng
+        # Every node, including the root, is a fake (equivocable) commitment.
+        self._internal: dict[NodePath, tuple] = {}
+        self._leaves: dict[NodePath, tuple] = {}
+        self.commitment = EdbCommitment(self._internal_node(())[0])
+
+    def _internal_node(self, path: NodePath) -> tuple:
+        if path not in self._internal:
+            self._internal[path] = self.params.qtmc.fake_commit(
+                self.rng.fork(f"sim-node{path}")
+            )
+        return self._internal[path]
+
+    def _leaf_node(self, path: NodePath) -> tuple:
+        if path not in self._leaves:
+            self._leaves[path] = self.params.tmc.fake_commit(
+                self.rng.fork(f"sim-leaf{path}")
+            )
+        return self._leaves[path]
+
+    def simulate_ownership(self, key: int, value: bytes) -> OwnershipProof:
+        """A fake ownership proof for (key, value) from the oracle."""
+        params = self.params
+        digits = digits_for_key(key, params.q, params.height)
+        openings = []
+        children = []
+        for depth in range(params.height):
+            _, decommit = self._internal_node(digits[:depth])
+            if depth + 1 < params.height:
+                child_commitment, _ = self._internal_node(digits[: depth + 1])
+                children.append(child_commitment)
+            else:
+                child_commitment, _ = self._leaf_node(digits)
+            message = node_message(params, child_commitment)
+            openings.append(
+                params.qtmc.equivocate_hard(decommit, digits[depth], message)
+            )
+        leaf_commitment, leaf_decommit = self._leaf_node(digits)
+        leaf_opening = params.tmc.equivocate_hard(
+            leaf_decommit, leaf_message(params, key, value)
+        )
+        return OwnershipProof(
+            key=key,
+            internal_openings=tuple(openings),
+            child_commitments=tuple(children),
+            leaf_commitment=leaf_commitment,
+            leaf_opening=leaf_opening,
+            value=value,
+        )
+
+    def simulate_non_ownership(self, key: int) -> NonOwnershipProof:
+        """A fake non-ownership proof for an absent key."""
+        params = self.params
+        digits = digits_for_key(key, params.q, params.height)
+        teases = []
+        children = []
+        for depth in range(params.height):
+            _, decommit = self._internal_node(digits[:depth])
+            if depth + 1 < params.height:
+                child_commitment, _ = self._internal_node(digits[: depth + 1])
+                children.append(child_commitment)
+            else:
+                child_commitment, _ = self._leaf_node(digits)
+            message = node_message(params, child_commitment)
+            teases.append(
+                params.qtmc.equivocate_tease(decommit, digits[depth], message)
+            )
+        leaf_commitment, leaf_decommit = self._leaf_node(digits)
+        leaf_tease = params.tmc.equivocate_tease(leaf_decommit, 0)
+        return NonOwnershipProof(
+            key=key,
+            internal_teases=tuple(teases),
+            child_commitments=tuple(children),
+            leaf_commitment=leaf_commitment,
+            leaf_tease=leaf_tease,
+        )

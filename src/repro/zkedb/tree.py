@@ -1,0 +1,53 @@
+"""q-ary tree addressing for the ZK-EDB.
+
+A node is addressed by its digit path from the root: the empty tuple is
+the root, ``(3,)`` its fourth child, and so on.  A key's leaf sits at the
+full ``height``-digit path given by the key's base-q expansion, most
+significant digit first — so distinct keys always have distinct leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "NodePath",
+    "digits_for_key",
+    "key_for_digits",
+    "frontier_paths",
+]
+
+NodePath = tuple[int, ...]
+
+
+def digits_for_key(key: int, q: int, height: int) -> NodePath:
+    """Base-q digits of ``key``, most significant first, length ``height``."""
+    if key < 0 or key >= q**height:
+        raise ValueError("key outside the tree's domain")
+    digits = [0] * height
+    for position in range(height - 1, -1, -1):
+        key, digits[position] = divmod(key, q)
+    return tuple(digits)
+
+
+def key_for_digits(digits: NodePath, q: int) -> int:
+    """Inverse of :func:`digits_for_key`."""
+    key = 0
+    for digit in digits:
+        if not 0 <= digit < q:
+            raise ValueError("digit outside [0, q)")
+        key = key * q + digit
+    return key
+
+
+def frontier_paths(keys: list[NodePath]) -> Iterator[NodePath]:
+    """All internal node paths on the root-to-leaf paths of the given keys.
+
+    Yields each path once, deepest first, so callers can build commitments
+    bottom-up.  Leaf paths (full length) are not included.
+    """
+    seen: set[NodePath] = set()
+    for digits in keys:
+        for depth in range(len(digits)):
+            seen.add(digits[:depth])
+    yield from sorted(seen, key=len, reverse=True)

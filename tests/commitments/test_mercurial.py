@@ -1,0 +1,120 @@
+"""Trapdoor mercurial commitments (TMC): the seven algorithms + trapdoor."""
+
+import dataclasses
+
+import pytest
+
+from repro.commitments.mercurial import TmcCommitment, TmcParams, TmcTease
+from repro.crypto.rng import DeterministicRng
+
+
+@pytest.fixture(scope="module")
+def params(curve):
+    return TmcParams.generate(curve)
+
+
+@pytest.fixture(scope="module")
+def trapdoor_params(curve):
+    return TmcParams.generate(curve, DeterministicRng("tmc-td"), with_trapdoor=True)
+
+
+class TestHardCommitments:
+    def test_hard_open_verifies(self, params, rng):
+        commitment, decommit = params.hard_commit(42, rng)
+        assert params.verify_hard_open(commitment, params.hard_open(decommit))
+
+    def test_tease_verifies(self, params, rng):
+        commitment, decommit = params.hard_commit(42, rng)
+        tease = params.tease_hard(decommit)
+        assert tease.message == 42
+        assert params.verify_tease(commitment, tease)
+
+    def test_wrong_message_rejected(self, params, rng):
+        commitment, decommit = params.hard_commit(42, rng)
+        opening = params.hard_open(decommit)
+        forged = dataclasses.replace(opening, message=43)
+        assert not params.verify_hard_open(commitment, forged)
+        forged_tease = TmcTease(43, decommit.r1)
+        assert not params.verify_tease(commitment, forged_tease)
+
+    def test_message_reduced(self, params, rng, curve):
+        commitment, decommit = params.hard_commit(curve.r + 2, rng)
+        assert decommit.message == 2
+        assert params.verify_hard_open(commitment, params.hard_open(decommit))
+
+    def test_hiding(self, params, rng):
+        a, _ = params.hard_commit(42, rng.fork("a"))
+        b, _ = params.hard_commit(42, rng.fork("b"))
+        assert a != b
+
+    def test_commitment_bytes(self, params, rng, curve):
+        commitment, _ = params.hard_commit(1, rng)
+        assert len(commitment.to_bytes(curve)) == 2 * (1 + curve.fp.byte_length)
+
+
+class TestSoftCommitments:
+    def test_tease_to_anything(self, params, rng):
+        commitment, decommit = params.soft_commit(rng)
+        for message in (0, 7, 123456):
+            assert params.verify_tease(commitment, params.tease_soft(decommit, message))
+
+    def test_soft_commitment_has_no_hard_opening_shape(self, params, rng):
+        # A soft committer cannot produce (r0, r1) passing verify_hard_open
+        # without solving DL; simulate the naive attempt of reusing s0, s1.
+        from repro.commitments.mercurial import TmcHardOpening
+
+        commitment, decommit = params.soft_commit(rng)
+        naive = TmcHardOpening(5, decommit.s0, decommit.s1)
+        assert not params.verify_hard_open(commitment, naive)
+
+    def test_indistinguishable_shape(self, params, rng):
+        hard, _ = params.hard_commit(42, rng.fork("h"))
+        soft, _ = params.soft_commit(rng.fork("s"))
+        # Same structure (two group elements) — nothing reveals the flavour.
+        assert type(hard) is type(soft) is TmcCommitment
+
+
+class TestMercurialBinding:
+    def test_tease_of_hard_binds_to_committed_message(self, params, rng):
+        commitment, decommit = params.hard_commit(42, rng)
+        # Honest API gives exactly one tease message.
+        assert params.tease_hard(decommit).message == 42
+        # A different message with the same tau fails.
+        assert not params.verify_tease(commitment, TmcTease(41, decommit.r1))
+
+    def test_hard_open_and_tease_agree(self, params, rng):
+        commitment, decommit = params.hard_commit(9, rng)
+        assert params.hard_open(decommit).message == params.tease_hard(decommit).message
+
+
+class TestTrapdoor:
+    def test_fake_commit_equivocates_hard(self, trapdoor_params, rng):
+        commitment, decommit = trapdoor_params.fake_commit(rng)
+        for message in (5, 6, 99999):
+            opening = trapdoor_params.equivocate_hard(decommit, message)
+            assert trapdoor_params.verify_hard_open(commitment, opening)
+
+    def test_fake_commit_equivocates_tease(self, trapdoor_params, rng):
+        commitment, decommit = trapdoor_params.fake_commit(rng)
+        for message in (0, 17):
+            tease = trapdoor_params.equivocate_tease(decommit, message)
+            assert trapdoor_params.verify_tease(commitment, tease)
+
+    def test_trapdoor_required(self, params, rng):
+        with pytest.raises(ValueError):
+            params.fake_commit(rng)
+        _, decommit = params.soft_commit(rng)
+        with pytest.raises(ValueError):
+            params.equivocate_hard(decommit, 5)
+
+    def test_trapdoor_generation_requires_rng(self, curve):
+        with pytest.raises(ValueError):
+            TmcParams.generate(curve, None, with_trapdoor=True)
+
+
+class TestVerifierRobustness:
+    def test_rejects_identity_c0(self, params, rng):
+        from repro.commitments.mercurial import TmcHardOpening
+
+        commitment = TmcCommitment(None, params.curve.g1.mul_gen(5))
+        assert not params.verify_hard_open(commitment, TmcHardOpening(5, 0, 0))

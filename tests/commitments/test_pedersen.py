@@ -1,0 +1,42 @@
+"""Pedersen commitments."""
+
+from repro.commitments.pedersen import PedersenParams
+
+
+def test_commit_verify(curve, rng):
+    params = PedersenParams.generate(curve)
+    commitment, randomness = params.commit(42, rng)
+    assert params.verify(commitment, 42, randomness)
+
+
+def test_wrong_message_rejected(curve, rng):
+    params = PedersenParams.generate(curve)
+    commitment, randomness = params.commit(42, rng)
+    assert not params.verify(commitment, 43, randomness)
+    assert not params.verify(commitment, 42, randomness + 1)
+
+
+def test_hiding_randomization(curve, rng):
+    params = PedersenParams.generate(curve)
+    a, _ = params.commit(42, rng.fork("a"))
+    b, _ = params.commit(42, rng.fork("b"))
+    assert a.point != b.point
+
+
+def test_homomorphic_addition(curve):
+    params = PedersenParams.generate(curve)
+    c1 = params.commit_with(10, 3)
+    c2 = params.commit_with(20, 4)
+    combined = curve.g1.add(c1.point, c2.point)
+    assert combined == params.commit_with(30, 7).point
+
+
+def test_message_reduced_mod_r(curve):
+    params = PedersenParams.generate(curve)
+    assert params.commit_with(5, 9).point == params.commit_with(5 + curve.r, 9).point
+
+
+def test_nothing_up_my_sleeve_h(curve):
+    params = PedersenParams.generate(curve)
+    assert params.h == curve.hash_to_g1(b"pedersen-h")
+    assert params.h != params.g

@@ -1,0 +1,75 @@
+"""Property-based commitment tests: random messages, positions, seeds."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.commitments.mercurial import TmcParams
+from repro.commitments.qmercurial import QtmcParams, QtmcTease
+from repro.crypto.bn import toy_bn
+from repro.crypto.rng import DeterministicRng
+
+import pytest
+
+Q = 4
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return toy_bn()
+
+
+@pytest.fixture(scope="module")
+def tmc(curve):
+    return TmcParams.generate(curve)
+
+
+@pytest.fixture(scope="module")
+def qtmc(curve):
+    return QtmcParams.generate(curve, Q, DeterministicRng("prop-qtmc"))
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(message=st.integers(min_value=0), seed=st.integers(0, 10**9))
+def test_tmc_hard_commit_always_opens(tmc, message, seed):
+    commitment, decommit = tmc.hard_commit(message, DeterministicRng(seed))
+    assert tmc.verify_hard_open(commitment, tmc.hard_open(decommit))
+    assert tmc.verify_tease(commitment, tmc.tease_hard(decommit))
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(message=st.integers(min_value=0), seed=st.integers(0, 10**9))
+def test_tmc_soft_teases_to_anything(tmc, message, seed):
+    commitment, decommit = tmc.soft_commit(DeterministicRng(seed))
+    assert tmc.verify_tease(commitment, tmc.tease_soft(decommit, message))
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    messages=st.lists(st.integers(min_value=0), min_size=0, max_size=Q),
+    index=st.integers(0, Q - 1),
+    seed=st.integers(0, 10**9),
+)
+def test_qtmc_random_vectors_open(qtmc, curve, messages, index, seed):
+    commitment, decommit = qtmc.hard_commit(messages, DeterministicRng(seed))
+    opening = qtmc.hard_open(decommit, index)
+    expected = messages[index] % curve.r if index < len(messages) else 0
+    assert opening.message == expected
+    assert qtmc.verify_hard_open(commitment, opening)
+    tease = qtmc.tease_hard(decommit, index)
+    assert qtmc.verify_tease(commitment, tease)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    messages=st.lists(st.integers(0, 2**64), min_size=1, max_size=Q),
+    index=st.integers(0, Q - 1),
+    delta=st.integers(1, 2**32),
+    seed=st.integers(0, 10**9),
+)
+def test_qtmc_shifted_message_always_rejected(qtmc, curve, messages, index, delta, seed):
+    commitment, decommit = qtmc.hard_commit(messages, DeterministicRng(seed))
+    honest = qtmc.tease_hard(decommit, index)
+    forged = QtmcTease(
+        index, (honest.message + delta) % curve.r, honest.witness
+    )
+    if forged.message != honest.message:
+        assert not qtmc.verify_tease(commitment, forged)

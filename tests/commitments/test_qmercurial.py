@@ -1,0 +1,177 @@
+"""Trapdoor q-mercurial commitments (qTMC)."""
+
+import dataclasses
+
+import pytest
+
+from repro.commitments.qmercurial import QtmcParams, QtmcTease
+from repro.crypto.rng import DeterministicRng
+
+Q = 4
+
+
+@pytest.fixture(scope="module")
+def params(curve):
+    return QtmcParams.generate(curve, Q, DeterministicRng("qtmc"), with_trapdoor=True)
+
+
+@pytest.fixture(scope="module")
+def committed(params):
+    rng = DeterministicRng("qtmc-commit")
+    messages = [11, 22, 33, 44]
+    commitment, decommit = params.hard_commit(messages, rng)
+    return messages, commitment, decommit
+
+
+class TestCrs:
+    def test_gap_element_missing(self, params):
+        """The q-BDHE gap: g^(alpha^(q+1)) must not be in the CRS."""
+        assert Q + 1 not in params.g_powers
+        assert set(params.g_powers) == set(range(1, 2 * Q + 1)) - {Q + 1}
+
+    def test_crs_consistency(self, params, curve):
+        # g_{i+1} = g_i^alpha for consecutive available indices.
+        alpha = params.trapdoor
+        assert alpha is not None
+        for i in range(1, Q):
+            assert curve.g1.mul(params.g_powers[i], alpha) == params.g_powers[i + 1]
+        for i in range(1, Q):
+            assert curve.g2.mul(params.gh_powers[i], alpha) == params.gh_powers[i + 1]
+
+    def test_rejects_zero_width(self, curve):
+        with pytest.raises(ValueError):
+            QtmcParams.generate(curve, 0, DeterministicRng("x"))
+
+
+class TestHardCommitments:
+    def test_hard_open_every_position(self, params, committed):
+        messages, commitment, decommit = committed
+        for index in range(Q):
+            opening = params.hard_open(decommit, index)
+            assert opening.message == messages[index]
+            assert params.verify_hard_open(commitment, opening)
+
+    def test_tease_every_position(self, params, committed):
+        messages, commitment, decommit = committed
+        for index in range(Q):
+            tease = params.tease_hard(decommit, index)
+            assert tease.message == messages[index]
+            assert params.verify_tease(commitment, tease)
+
+    def test_wrong_message_rejected(self, params, committed):
+        _, commitment, decommit = committed
+        honest = params.tease_hard(decommit, 1)
+        forged = QtmcTease(1, honest.message + 1, honest.witness)
+        assert not params.verify_tease(commitment, forged)
+
+    def test_wrong_position_rejected(self, params, committed):
+        _, commitment, decommit = committed
+        honest = params.tease_hard(decommit, 1)
+        moved = QtmcTease(2, honest.message, honest.witness)
+        assert not params.verify_tease(commitment, moved)
+
+    def test_short_message_lists_padded(self, params, rng):
+        commitment, decommit = params.hard_commit([7], rng)
+        assert params.verify_hard_open(commitment, params.hard_open(decommit, 0))
+        # Unfilled slots commit to zero.
+        opening = params.hard_open(decommit, 2)
+        assert opening.message == 0
+        assert params.verify_hard_open(commitment, opening)
+
+    def test_too_many_messages_rejected(self, params, rng):
+        with pytest.raises(ValueError):
+            params.hard_commit([1] * (Q + 1), rng)
+
+    def test_position_bounds(self, params, committed):
+        _, _, decommit = committed
+        with pytest.raises(IndexError):
+            params.hard_open(decommit, Q)
+        with pytest.raises(IndexError):
+            params.hard_open(decommit, -1)
+
+    def test_zero_rho_rejected(self, params, committed):
+        _, commitment, decommit = committed
+        opening = params.hard_open(decommit, 0)
+        forged = dataclasses.replace(opening, rho=0)
+        assert not params.verify_hard_open(commitment, forged)
+
+    def test_wrong_rho_rejected(self, params, committed):
+        _, commitment, decommit = committed
+        opening = params.hard_open(decommit, 0)
+        forged = dataclasses.replace(opening, rho=opening.rho + 1)
+        assert not params.verify_hard_open(commitment, forged)
+
+    def test_hiding(self, params):
+        a, _ = params.hard_commit([1, 2, 3, 4], DeterministicRng("a"))
+        b, _ = params.hard_commit([1, 2, 3, 4], DeterministicRng("b"))
+        assert a != b
+
+
+class TestSoftCommitments:
+    def test_tease_any_position_any_message(self, params, rng):
+        commitment, decommit = params.soft_commit(rng)
+        for index in range(Q):
+            for message in (0, 5, 10**6):
+                tease = params.tease_soft(decommit, index, message)
+                assert params.verify_tease(commitment, tease)
+
+    def test_consistent_shape_with_hard(self, params, committed, rng):
+        _, hard_commitment, _ = committed
+        soft_commitment, _ = params.soft_commit(rng)
+        assert type(hard_commitment) is type(soft_commitment)
+
+
+class TestCrossCommitmentRejection:
+    def test_tease_against_other_commitment(self, params, rng):
+        _, decommit_a = params.hard_commit([1, 2, 3, 4], rng.fork("a"))
+        commitment_b, _ = params.hard_commit([1, 2, 3, 4], rng.fork("b"))
+        tease = params.tease_hard(decommit_a, 0)
+        assert not params.verify_tease(commitment_b, tease)
+
+
+class TestTrapdoor:
+    def test_equivocate_hard_any_message(self, params, rng):
+        commitment, decommit = params.fake_commit(rng)
+        for index, message in ((0, 5), (3, 12345)):
+            opening = params.equivocate_hard(decommit, index, message)
+            assert params.verify_hard_open(commitment, opening)
+
+    def test_equivocate_two_conflicting_openings(self, params, rng):
+        """With the trapdoor, binding is broken by design (simulator power)."""
+        commitment, decommit = params.fake_commit(rng)
+        first = params.equivocate_hard(decommit, 1, 100)
+        second = params.equivocate_hard(decommit, 1, 200)
+        assert params.verify_hard_open(commitment, first)
+        assert params.verify_hard_open(commitment, second)
+
+    def test_equivocate_tease(self, params, rng):
+        commitment, decommit = params.fake_commit(rng)
+        tease = params.equivocate_tease(decommit, 2, 777)
+        assert params.verify_tease(commitment, tease)
+
+    def test_requires_trapdoor(self, curve, rng):
+        public = QtmcParams.generate(curve, Q, DeterministicRng("pub"))
+        with pytest.raises(ValueError):
+            public.fake_commit(rng)
+        _, soft = public.soft_commit(rng)
+        with pytest.raises(ValueError):
+            public.equivocate_hard(soft, 0, 1)
+
+
+class TestCostShape:
+    """Sanity checks of the Figure-4 cost asymmetry (structure, not time)."""
+
+    def test_soft_algorithms_touch_constant_crs(self, params, rng):
+        # Soft commit uses only the generator; soft tease touches exactly
+        # two CRS elements regardless of q.
+        commitment, decommit = params.soft_commit(rng)
+        tease = params.tease_soft(decommit, 1, 9)
+        assert params.verify_tease(commitment, tease)
+
+    def test_hard_witness_independent_of_rho_blinding(self, params, committed):
+        """Hard open and tease share the same witness (same cost)."""
+        _, _, decommit = committed
+        assert (
+            params.hard_open(decommit, 2).witness
+            == params.tease_hard(decommit, 2).witness
+        )

@@ -1,0 +1,85 @@
+"""Shared fixtures.
+
+All cryptographic tests run on the derived toy BN curve — the same code
+paths as BN254 at a fraction of the cost.  Expensive artefacts (curve, CRS,
+committed databases) are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.bn import bn254, toy_bn
+from repro.crypto.rng import DeterministicRng
+from repro.poc.scheme import PocScheme
+from repro.zkedb.backend import ZkEdbBackend
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.hash_backend import MerkleEdbBackend
+from repro.zkedb.params import EdbParams
+
+KEY_BITS = 16  # small id domain keeps the toy trees shallow
+Q = 4
+
+
+@pytest.fixture(scope="session")
+def curve():
+    return toy_bn()
+
+@pytest.fixture(scope="session")
+def production_curve():
+    return bn254()
+
+
+@pytest.fixture()
+def rng():
+    return DeterministicRng("test")
+
+
+@pytest.fixture(scope="session")
+def edb_params(curve):
+    """Trapdoor-enabled parameters (tests also exercise the simulator)."""
+    return EdbParams.generate(
+        curve, DeterministicRng("crs"), q=Q, key_bits=KEY_BITS, with_trapdoor=True
+    )
+
+
+@pytest.fixture(scope="session")
+def zk_backend(edb_params):
+    return ZkEdbBackend(edb_params)
+
+
+@pytest.fixture(scope="session")
+def merkle_backend():
+    return MerkleEdbBackend(q=Q, key_bits=KEY_BITS)
+
+
+@pytest.fixture(scope="session", params=["zk", "merkle"])
+def any_backend(request, zk_backend, merkle_backend):
+    """Parametrize a test over both EDB backends."""
+    return zk_backend if request.param == "zk" else merkle_backend
+
+
+@pytest.fixture(scope="session")
+def sample_database():
+    db = ElementaryDatabase(KEY_BITS)
+    db.put(3, b"alpha")
+    db.put(700, b"beta")
+    db.put(701, b"gamma")  # shares a long prefix with 700
+    db.put(65535, b"delta")
+    return db
+
+
+@pytest.fixture(scope="session")
+def zk_committed(edb_params, zk_backend, sample_database):
+    """(commitment, decommitment) for the sample database, built once."""
+    return zk_backend.commit(sample_database, DeterministicRng("commit"))
+
+
+@pytest.fixture(scope="session")
+def zk_scheme(zk_backend):
+    return PocScheme.ps_gen(zk_backend, KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def merkle_scheme(merkle_backend):
+    return PocScheme.ps_gen(merkle_backend, KEY_BITS)

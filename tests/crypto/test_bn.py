@@ -1,0 +1,67 @@
+"""BN curve construction: polynomial identities, toy and production curves."""
+
+import pytest
+
+from repro.crypto.bn import _bn_p, _bn_r, _bn_t, bn254, derive_bn, toy_bn
+
+
+def test_bn_polynomial_identities():
+    for x in (1, 169, 4965661367192848881):
+        assert _bn_p(x) + 1 - _bn_t(x) == _bn_r(x)
+
+
+def test_toy_curve_is_valid(curve):
+    assert curve.p == _bn_p(curve.x)
+    assert curve.r == _bn_r(curve.x)
+    assert curve.loop_count == 6 * curve.x + 2
+    assert curve.p % 4 == 3
+    assert curve.g1.order == curve.r
+    assert curve.g2.order == curve.r
+
+
+def test_toy_curve_embedding_degree(curve):
+    order = next(k for k in range(1, 13) if pow(curve.p, k, curve.r) == 1)
+    assert order == 12
+
+
+def test_derive_bn_rejects_bad_x():
+    with pytest.raises(ValueError):
+        derive_bn(2)  # even
+    with pytest.raises(ValueError):
+        derive_bn(-3)
+    with pytest.raises(ValueError):
+        derive_bn(3)  # p(3) = 3 * 1069 is composite
+
+
+def test_toy_bn_cached():
+    assert toy_bn() is toy_bn()
+
+
+def test_bn254_constants(production_curve):
+    assert production_curve.p.bit_length() == 254
+    assert production_curve.r.bit_length() == 254
+    assert production_curve.g1.generator == (1, 2)
+    assert production_curve.g1.is_on_curve((1, 2))
+    assert production_curve.g2.is_on_curve(production_curve.g2.generator)
+
+
+def test_bn254_subgroups(production_curve):
+    g1, g2 = production_curve.g1, production_curve.g2
+    assert g1.mul(g1.generator, production_curve.r) is None
+    assert g2.mul(g2.generator, production_curve.r) is None
+
+
+def test_random_scalar_range(curve, rng):
+    for _ in range(20):
+        scalar = curve.random_scalar(rng)
+        assert 1 <= scalar < curve.r
+
+
+def test_hash_to_g1(curve):
+    point = curve.hash_to_g1(b"hello")
+    assert curve.g1.is_on_curve(point)
+    # Deterministic and domain-separating.
+    assert point == curve.hash_to_g1(b"hello")
+    assert point != curve.hash_to_g1(b"world")
+    # Cofactor one: hashed points are already in the prime-order group.
+    assert curve.g1.in_subgroup(point)

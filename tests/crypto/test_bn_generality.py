@@ -1,0 +1,42 @@
+"""The BN derivation is generic: it must work beyond the cached toy x."""
+
+import pytest
+
+from repro.crypto.bn import _bn_p, _bn_r, derive_bn, toy_bn
+from repro.crypto.ntheory import is_probable_prime
+from repro.crypto.pairing import pairing
+
+
+@pytest.fixture(scope="module")
+def second_curve():
+    """The next valid BN parameter after the default toy curve's x."""
+    x = toy_bn().x + 2
+    while not (is_probable_prime(_bn_p(x)) and is_probable_prime(_bn_r(x))):
+        x += 2
+    return derive_bn(x)
+
+
+def test_second_toy_curve_distinct(second_curve):
+    assert second_curve.x != toy_bn().x
+    assert second_curve.p != toy_bn().p
+
+
+def test_second_toy_curve_pairing_bilinear(second_curve):
+    curve = second_curve
+    e = pairing(curve, curve.g1.generator, curve.g2.generator)
+    assert not e.is_one()
+    lhs = pairing(curve, curve.g1.mul_gen(6), curve.g2.mul_gen(9))
+    assert lhs == e.pow(54)
+
+
+def test_second_toy_curve_eigenvalue(second_curve):
+    g2 = second_curve.g2
+    assert g2.frobenius(g2.generator) == g2.mul(
+        g2.generator, second_curve.p % second_curve.r
+    )
+
+
+def test_curves_do_not_interoperate(second_curve):
+    """Elements from different curves must not silently mix."""
+    a = toy_bn().g1.generator
+    assert not second_curve.g1.is_on_curve(a) or a != second_curve.g1.generator

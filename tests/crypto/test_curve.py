@@ -1,0 +1,121 @@
+"""G1 and G2 group laws and scalar multiplication."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+
+def naive_mul_g1(group, point, scalar):
+    result = None
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = group.add(result, addend)
+        addend = group.double(addend)
+        scalar >>= 1
+    return result
+
+
+class TestG1:
+    def test_generator_on_curve(self, curve):
+        assert curve.g1.is_on_curve(curve.g1.generator)
+
+    def test_identity_laws(self, curve):
+        g = curve.g1
+        p = g.generator
+        assert g.add(p, None) == p
+        assert g.add(None, p) == p
+        assert g.add(p, g.neg(p)) is None
+        assert g.mul(p, 0) is None
+        assert g.mul(None, 5) is None
+
+    def test_commutative_associative(self, curve):
+        g = curve.g1
+        a = g.mul_gen(17)
+        b = g.mul_gen(23)
+        c = g.mul_gen(99)
+        assert g.add(a, b) == g.add(b, a)
+        assert g.add(g.add(a, b), c) == g.add(a, g.add(b, c))
+
+    def test_double_matches_add(self, curve):
+        g = curve.g1
+        p = g.mul_gen(7)
+        assert g.double(p) == g.add(p, p)
+
+    @settings(max_examples=20)
+    @given(st.integers(1, 2**64))
+    def test_windowed_mul_matches_naive(self, scalar):
+        from repro.crypto.bn import toy_bn
+
+        g = toy_bn().g1
+        scalar %= g.order
+        if scalar == 0:
+            scalar = 1
+        assert g.mul(g.generator, scalar) == naive_mul_g1(g, g.generator, scalar)
+
+    def test_mul_gen_matches_mul(self, curve):
+        g = curve.g1
+        for scalar in (1, 2, 12345, g.order - 1):
+            assert g.mul_gen(scalar) == g.mul(g.generator, scalar)
+
+    def test_order_annihilates(self, curve):
+        g = curve.g1
+        assert g.mul(g.generator, g.order) is None
+        assert g.in_subgroup(g.generator)
+
+    def test_multi_mul_matches_sum(self, curve):
+        g = curve.g1
+        points = [g.mul_gen(k) for k in (3, 5, 7, 11)]
+        scalars = [9, 100, 0, g.order - 2]
+        expected = None
+        for point, scalar in zip(points, scalars):
+            expected = g.add(expected, g.mul(point, scalar))
+        assert g.multi_mul(points, scalars) == expected
+
+    def test_multi_mul_empty_and_single(self, curve):
+        g = curve.g1
+        assert g.multi_mul([], []) is None
+        assert g.multi_mul([g.generator], [5]) == g.mul_gen(5)
+        assert g.multi_mul([None, g.generator], [3, 4]) == g.mul_gen(4)
+
+    def test_multi_mul_length_mismatch(self, curve):
+        with pytest.raises(ValueError):
+            curve.g1.multi_mul([curve.g1.generator], [1, 2])
+
+    def test_sum(self, curve):
+        g = curve.g1
+        pts = [g.mul_gen(k) for k in (2, 3, 4)]
+        assert g.sum(pts) == g.mul_gen(9)
+        assert g.sum([]) is None
+
+    def test_mul_reduces_mod_order(self, curve):
+        g = curve.g1
+        assert g.mul(g.generator, g.order + 5) == g.mul_gen(5)
+
+
+class TestG2:
+    def test_generator_on_twist(self, curve):
+        assert curve.g2.is_on_curve(curve.g2.generator)
+
+    def test_group_laws(self, curve):
+        g = curve.g2
+        q = g.generator
+        assert g.add(q, None) == q
+        assert g.add(q, g.neg(q)) is None
+        assert g.double(q) == g.add(q, q)
+        a, b = g.mul(q, 6), g.mul(q, 11)
+        assert g.add(a, b) == g.mul(q, 17)
+
+    def test_order_annihilates(self, curve):
+        g = curve.g2
+        assert g.mul(g.generator, g.order) is None
+        assert g.in_subgroup(g.generator)
+
+    def test_frobenius_eigenvalue_is_p(self, curve):
+        g = curve.g2
+        assert g.frobenius(g.generator) == g.mul(g.generator, curve.p % curve.r)
+
+    def test_frobenius_respects_curve(self, curve):
+        g = curve.g2
+        q = g.mul(g.generator, 1234)
+        assert g.is_on_curve(g.frobenius(q))
+        assert g.frobenius(None) is None

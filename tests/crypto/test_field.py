@@ -1,0 +1,57 @@
+"""PrimeField context."""
+
+import pytest
+
+from repro.crypto.field import PrimeField
+
+
+@pytest.fixture(scope="module")
+def field():
+    return PrimeField(103)
+
+
+def test_rejects_composite_modulus():
+    with pytest.raises(ValueError):
+        PrimeField(100)
+    with pytest.raises(ValueError):
+        PrimeField(2)
+
+
+def test_basic_ops(field):
+    assert field.add(100, 5) == 2
+    assert field.sub(3, 5) == 101
+    assert field.mul(10, 11) == 110 % 103
+    assert field.neg(1) == 102
+    assert field.mul(7, field.inv(7)) == 1
+    assert field.pow(2, 10) == 1024 % 103
+
+
+def test_sqrt(field):
+    for a in (1, 4, 9, 13):
+        root = field.sqrt(a)
+        if root is not None:
+            assert field.mul(root, root) == a
+
+
+def test_is_square(field):
+    assert field.is_square(4)
+    assert field.is_square(0)
+    squares = {x * x % 103 for x in range(1, 103)}
+    non_square = next(a for a in range(1, 103) if a not in squares)
+    assert not field.is_square(non_square)
+
+
+def test_byte_roundtrip(field):
+    for a in (0, 1, 102):
+        assert field.from_bytes(field.to_bytes(a)) == a
+
+
+def test_from_bytes_rejects_unreduced(field):
+    with pytest.raises(ValueError):
+        field.from_bytes((103).to_bytes(field.byte_length, "big"))
+
+
+def test_equality_and_hash():
+    assert PrimeField(103) == PrimeField(103)
+    assert PrimeField(103) != PrimeField(101)
+    assert hash(PrimeField(103)) == hash(PrimeField(103))

@@ -1,0 +1,38 @@
+"""Domain-separated hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import hash_bytes, hash_parts, hash_to_int
+
+
+def test_hash_bytes_deterministic():
+    assert hash_bytes(b"d", b"x") == hash_bytes(b"d", b"x")
+
+
+def test_domain_separation():
+    assert hash_bytes(b"a", b"x") != hash_bytes(b"b", b"x")
+    # Length-prefixing prevents domain/data boundary confusion.
+    assert hash_bytes(b"ab", b"c") != hash_bytes(b"a", b"bc")
+
+
+@given(st.integers(2, 2**300), st.binary(max_size=64))
+def test_hash_to_int_in_range(modulus, data):
+    value = hash_to_int(b"t", data, modulus)
+    assert 0 <= value < modulus
+
+
+def test_hash_to_int_rejects_trivial_modulus():
+    with pytest.raises(ValueError):
+        hash_to_int(b"t", b"x", 1)
+
+
+def test_hash_to_int_spreads():
+    modulus = 2**128
+    values = {hash_to_int(b"t", bytes([i]), modulus) for i in range(64)}
+    assert len(values) == 64
+
+
+def test_hash_parts_injective_framing():
+    assert hash_parts(b"d", b"ab", b"c") != hash_parts(b"d", b"a", b"bc")
+    assert hash_parts(b"d", b"ab") != hash_parts(b"d", b"ab", b"")

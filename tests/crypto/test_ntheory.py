@@ -1,0 +1,97 @@
+"""Number-theory helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.ntheory import (
+    crt_pair,
+    egcd,
+    inverse_mod,
+    is_probable_prime,
+    legendre_symbol,
+    next_probable_prime,
+    sqrt_mod,
+)
+
+SMALL_PRIMES = [3, 5, 7, 11, 101, 103, 65537, 2**127 - 1]
+KNOWN_COMPOSITES = [1, 4, 9, 91, 561, 1105, 2**16, 3_215_031_751]
+
+
+def test_egcd_identity():
+    g, x, y = egcd(240, 46)
+    assert g == 2
+    assert 240 * x + 46 * y == g
+
+
+@given(st.integers(1, 10**9), st.integers(1, 10**9))
+def test_egcd_bezout(a, b):
+    g, x, y = egcd(a, b)
+    assert a % g == 0 and b % g == 0
+    assert a * x + b * y == g
+
+
+def test_inverse_mod():
+    for p in SMALL_PRIMES:
+        for a in (1, 2, p - 1, 12345 % p or 1):
+            assert a * inverse_mod(a, p) % p == 1
+
+
+def test_primality_known_values():
+    for p in SMALL_PRIMES:
+        assert is_probable_prime(p)
+    for n in KNOWN_COMPOSITES:
+        assert not is_probable_prime(n)
+
+
+def test_primality_bn254_constants():
+    from repro.crypto.bn import _BN254_P, _BN254_R
+
+    assert is_probable_prime(_BN254_P)
+    assert is_probable_prime(_BN254_R)
+
+
+def test_next_probable_prime():
+    assert next_probable_prime(1) == 2
+    assert next_probable_prime(2) == 3
+    assert next_probable_prime(14) == 17
+    candidate = next_probable_prime(10**12)
+    assert candidate > 10**12
+    assert is_probable_prime(candidate)
+
+
+@given(st.sampled_from(SMALL_PRIMES), st.integers(0, 10**6))
+def test_sqrt_mod_roundtrip(p, a):
+    a %= p
+    root = sqrt_mod(a, p)
+    if root is not None:
+        assert root * root % p == a
+    else:
+        assert legendre_symbol(a, p) == -1
+
+
+def test_sqrt_mod_tonelli_branch():
+    # p = 1 mod 4 exercises full Tonelli-Shanks.
+    p = 65537
+    squares = {x * x % p for x in range(1, 100)}
+    for a in squares:
+        root = sqrt_mod(a, p)
+        assert root is not None and root * root % p == a
+
+
+def test_legendre_symbol_multiplicativity():
+    p = 103
+    for a in range(1, 20):
+        for b in range(1, 20):
+            assert legendre_symbol(a * b, p) == legendre_symbol(a, p) * legendre_symbol(b, p)
+
+
+def test_crt_pair():
+    x = crt_pair(2, 3, 3, 5)
+    assert x % 3 == 2 and x % 5 == 3
+    assert 0 <= x < 15
+
+
+def test_crt_pair_rejects_non_coprime():
+    import pytest
+
+    with pytest.raises(ValueError):
+        crt_pair(1, 4, 3, 6)

@@ -1,0 +1,133 @@
+"""The optimal-ate pairing: bilinearity, non-degeneracy, batching."""
+
+import pytest
+
+from repro.crypto.pairing import (
+    final_exponentiation,
+    miller_loop,
+    multi_pairing,
+    pairing,
+    pairing_product_is_one,
+)
+from repro.crypto.tower import Fp12
+
+
+@pytest.fixture(scope="module")
+def base_pairing(curve):
+    return pairing(curve, curve.g1.generator, curve.g2.generator)
+
+
+def test_non_degenerate(curve, base_pairing):
+    assert not base_pairing.is_one()
+
+
+def test_order_r(curve, base_pairing):
+    assert base_pairing.pow(curve.r).is_one()
+    assert not base_pairing.pow(curve.r - 1).is_one()
+
+
+def test_bilinear_in_g1(curve, base_pairing):
+    p5 = curve.g1.mul_gen(5)
+    assert pairing(curve, p5, curve.g2.generator) == base_pairing.pow(5)
+
+
+def test_bilinear_in_g2(curve, base_pairing):
+    q7 = curve.g2.mul_gen(7)
+    assert pairing(curve, curve.g1.generator, q7) == base_pairing.pow(7)
+
+
+def test_bilinear_joint(curve, base_pairing):
+    lhs = pairing(curve, curve.g1.mul_gen(11), curve.g2.mul_gen(13))
+    assert lhs == base_pairing.pow(11 * 13)
+
+
+def test_identity_inputs(curve):
+    one = Fp12.one(curve.tower)
+    assert pairing(curve, None, curve.g2.generator) == one
+    assert pairing(curve, curve.g1.generator, None) == one
+
+
+def test_inverse_pairs(curve, base_pairing):
+    neg = curve.g1.neg(curve.g1.generator)
+    assert pairing(curve, neg, curve.g2.generator) == base_pairing.pow(curve.r - 1)
+
+
+def test_final_exponentiation_matches_naive(curve):
+    f = miller_loop(curve, curve.g1.mul_gen(3), curve.g2.mul_gen(4))
+    naive = f.pow((curve.p**12 - 1) // curve.r)
+    assert final_exponentiation(curve, f) == naive
+
+
+def test_multi_pairing_matches_product(curve):
+    pairs = [
+        (curve.g1.mul_gen(2), curve.g2.mul_gen(3)),
+        (curve.g1.mul_gen(5), curve.g2.mul_gen(7)),
+    ]
+    product = pairing(curve, *pairs[0]) * pairing(curve, *pairs[1])
+    assert multi_pairing(curve, pairs) == product
+
+
+def test_multi_pairing_skips_identities(curve):
+    pairs = [
+        (None, curve.g2.generator),
+        (curve.g1.mul_gen(2), curve.g2.mul_gen(3)),
+    ]
+    assert multi_pairing(curve, pairs) == pairing(
+        curve, curve.g1.mul_gen(2), curve.g2.mul_gen(3)
+    )
+
+
+def test_pairing_product_is_one_cancellation(curve):
+    # e(aG, bH) * e(-abG, H) == 1
+    a, b = 9, 31
+    pairs = [
+        (curve.g1.mul_gen(a), curve.g2.mul_gen(b)),
+        (curve.g1.neg(curve.g1.mul_gen(a * b)), curve.g2.generator),
+    ]
+    assert pairing_product_is_one(curve, pairs)
+    # And breaks when the relation does not hold.
+    bad = [
+        (curve.g1.mul_gen(a), curve.g2.mul_gen(b)),
+        (curve.g1.neg(curve.g1.mul_gen(a * b + 1)), curve.g2.generator),
+    ]
+    assert not pairing_product_is_one(curve, bad)
+
+
+def test_additive_in_g1(curve, base_pairing):
+    a = curve.g1.mul_gen(3)
+    b = curve.g1.mul_gen(8)
+    lhs = pairing(curve, curve.g1.add(a, b), curve.g2.generator)
+    rhs = pairing(curve, a, curve.g2.generator) * pairing(
+        curve, b, curve.g2.generator
+    )
+    assert lhs == rhs
+
+
+def test_additive_in_g2(curve):
+    a = curve.g2.mul_gen(3)
+    b = curve.g2.mul_gen(8)
+    lhs = pairing(curve, curve.g1.generator, curve.g2.add(a, b))
+    rhs = pairing(curve, curve.g1.generator, a) * pairing(
+        curve, curve.g1.generator, b
+    )
+    assert lhs == rhs
+
+
+def test_bilinear_random_scalars(curve, base_pairing):
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=10, deadline=None)
+    @given(a=st.integers(1, 2**32), b=st.integers(1, 2**32))
+    def check(a, b):
+        lhs = pairing(curve, curve.g1.mul_gen(a), curve.g2.mul_gen(b))
+        assert lhs == base_pairing.pow(a * b % curve.r)
+
+    check()
+
+
+def test_bn254_pairing_bilinear(production_curve):
+    curve = production_curve
+    e = pairing(curve, curve.g1.generator, curve.g2.generator)
+    assert not e.is_one()
+    lhs = pairing(curve, curve.g1.mul_gen(123), curve.g2.mul_gen(77))
+    assert lhs == e.pow(123 * 77)

@@ -1,0 +1,78 @@
+"""Deterministic RNG streams."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a, b = DeterministicRng("s"), DeterministicRng("s")
+    assert [a.randrange(1000) for _ in range(10)] == [
+        b.randrange(1000) for _ in range(10)
+    ]
+
+
+def test_different_seeds_diverge():
+    a, b = DeterministicRng("s1"), DeterministicRng("s2")
+    assert [a.randrange(2**64) for _ in range(4)] != [
+        b.randrange(2**64) for _ in range(4)
+    ]
+
+
+def test_fork_independence():
+    root = DeterministicRng("root")
+    fork_a = root.fork("a")
+    fork_b = root.fork("b")
+    assert fork_a.randrange(2**64) != fork_b.randrange(2**64)
+    # Forking does not disturb the parent stream.
+    parent_next = DeterministicRng("root").randrange(2**64)
+    assert root.randrange(2**64) == parent_next
+
+
+def test_int_and_str_and_bytes_seeds():
+    assert DeterministicRng(5).randrange(100) == DeterministicRng(5).randrange(100)
+    DeterministicRng(b"bytes").randrange(10)
+    DeterministicRng(-3).randrange(10)
+
+
+def test_randrange_bounds():
+    rng = DeterministicRng("bounds")
+    for _ in range(200):
+        value = rng.randrange(10, 20)
+        assert 10 <= value < 20
+    with pytest.raises(ValueError):
+        rng.randrange(5, 5)
+
+
+def test_randint_inclusive():
+    rng = DeterministicRng("ri")
+    values = {rng.randint(1, 3) for _ in range(100)}
+    assert values == {1, 2, 3}
+
+
+def test_getrandbits_width():
+    rng = DeterministicRng("bits")
+    for bits in (1, 7, 64, 257):
+        assert rng.getrandbits(bits) < (1 << bits)
+    assert rng.getrandbits(0) == 0
+
+
+def test_random_unit_interval():
+    rng = DeterministicRng("unit")
+    for _ in range(100):
+        assert 0.0 <= rng.random() < 1.0
+
+
+def test_shuffle_and_sample_and_choice():
+    rng = DeterministicRng("perm")
+    items = list(range(10))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    sample = rng.sample(items, 4)
+    assert len(sample) == 4 and len(set(sample)) == 4
+    assert rng.choice(items) in items
+    with pytest.raises(ValueError):
+        rng.sample(items, 11)
+    with pytest.raises(IndexError):
+        rng.choice([])

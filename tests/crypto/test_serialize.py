@@ -1,0 +1,117 @@
+"""Canonical encodings: roundtrips and malformed-input rejection."""
+
+import pytest
+
+from repro.crypto.serialize import (
+    ByteReader,
+    decode_bytes,
+    decode_scalar,
+    encode_bytes,
+    encode_scalar,
+    g1_from_bytes,
+    g1_to_bytes,
+    g2_from_bytes,
+    g2_to_bytes,
+)
+
+
+class TestG1Encoding:
+    def test_roundtrip(self, curve):
+        for scalar in (1, 2, 99, curve.r - 1):
+            point = curve.g1.mul_gen(scalar)
+            assert g1_from_bytes(curve, g1_to_bytes(curve, point)) == point
+
+    def test_infinity(self, curve):
+        assert g1_from_bytes(curve, g1_to_bytes(curve, None)) is None
+
+    def test_size(self, curve):
+        assert len(g1_to_bytes(curve, curve.g1.generator)) == 1 + curve.fp.byte_length
+
+    def test_rejects_bad_tag(self, curve):
+        data = bytearray(g1_to_bytes(curve, curve.g1.generator))
+        data[0] = 9
+        with pytest.raises(ValueError):
+            g1_from_bytes(curve, bytes(data))
+
+    def test_rejects_off_curve_x(self, curve):
+        # Find an x with no curve point.
+        from repro.crypto.ntheory import sqrt_mod
+
+        x = next(
+            x
+            for x in range(1, 1000)
+            if sqrt_mod((x**3 + curve.g1.b) % curve.p, curve.p) is None
+        )
+        data = bytes([2]) + x.to_bytes(curve.fp.byte_length, "big")
+        with pytest.raises(ValueError):
+            g1_from_bytes(curve, data)
+
+    def test_rejects_wrong_length(self, curve):
+        with pytest.raises(ValueError):
+            g1_from_bytes(curve, b"\x02\x01")
+
+    def test_sign_bit_distinguishes(self, curve):
+        point = curve.g1.mul_gen(5)
+        neg = curve.g1.neg(point)
+        assert g1_to_bytes(curve, point) != g1_to_bytes(curve, neg)
+        assert g1_from_bytes(curve, g1_to_bytes(curve, neg)) == neg
+
+
+class TestG2Encoding:
+    def test_roundtrip(self, curve):
+        point = curve.g2.mul_gen(7)
+        assert g2_from_bytes(curve, g2_to_bytes(curve, point)) == point
+
+    def test_infinity(self, curve):
+        assert g2_from_bytes(curve, g2_to_bytes(curve, None)) is None
+
+    def test_rejects_off_twist(self, curve):
+        data = bytearray(g2_to_bytes(curve, curve.g2.generator))
+        data[-1] ^= 1
+        with pytest.raises(ValueError):
+            g2_from_bytes(curve, bytes(data))
+
+
+class TestScalars:
+    def test_roundtrip(self, curve):
+        for value in (0, 1, curve.r - 1, curve.r + 5):
+            encoded = encode_scalar(curve, value)
+            assert decode_scalar(curve, encoded) == value % curve.r
+
+    def test_rejects_overflow(self, curve):
+        width = (curve.r.bit_length() + 7) // 8
+        with pytest.raises(ValueError):
+            decode_scalar(curve, curve.r.to_bytes(width, "big"))
+
+
+class TestByteStrings:
+    def test_roundtrip(self):
+        encoded = encode_bytes(b"hello") + b"tail"
+        chunk, offset = decode_bytes(encoded)
+        assert chunk == b"hello"
+        assert encoded[offset:] == b"tail"
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            decode_bytes(encode_bytes(b"hello")[:-1])
+
+
+class TestByteReader:
+    def test_sequential_reads(self, curve):
+        point = curve.g1.mul_gen(3)
+        buffer = g1_to_bytes(curve, point) + encode_scalar(curve, 42) + encode_bytes(b"x")
+        reader = ByteReader(buffer)
+        assert reader.take_g1(curve) == point
+        assert reader.take_scalar(curve) == 42
+        assert reader.take_bytes() == b"x"
+        reader.expect_end()
+
+    def test_expect_end_rejects_trailing(self):
+        reader = ByteReader(b"ab")
+        reader.take(1)
+        with pytest.raises(ValueError):
+            reader.expect_end()
+
+    def test_take_past_end(self):
+        with pytest.raises(ValueError):
+            ByteReader(b"a").take(2)

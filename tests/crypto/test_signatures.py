@@ -1,0 +1,54 @@
+"""Schnorr signatures."""
+
+import dataclasses
+
+from repro.crypto.rng import DeterministicRng
+from repro.crypto.signatures import generate_keypair
+
+
+def test_sign_verify(curve, rng):
+    key = generate_keypair(curve, rng)
+    signature = key.sign(b"message")
+    assert key.verify_key.verify(b"message", signature)
+
+
+def test_wrong_message_rejected(curve, rng):
+    key = generate_keypair(curve, rng)
+    signature = key.sign(b"message")
+    assert not key.verify_key.verify(b"other", signature)
+
+
+def test_wrong_key_rejected(curve, rng):
+    key1 = generate_keypair(curve, rng.fork("1"))
+    key2 = generate_keypair(curve, rng.fork("2"))
+    signature = key1.sign(b"message")
+    assert not key2.verify_key.verify(b"message", signature)
+
+
+def test_tampered_signature_rejected(curve, rng):
+    key = generate_keypair(curve, rng)
+    signature = key.sign(b"message")
+    tampered = dataclasses.replace(
+        signature, response=(signature.response + 1) % curve.r
+    )
+    assert not key.verify_key.verify(b"message", tampered)
+
+
+def test_deterministic_signing(curve, rng):
+    key = generate_keypair(curve, rng)
+    assert key.sign(b"m") == key.sign(b"m")
+    assert key.sign(b"m") != key.sign(b"n")
+
+
+def test_signature_bytes(curve, rng):
+    key = generate_keypair(curve, rng)
+    signature = key.sign(b"m")
+    width = (curve.r.bit_length() + 7) // 8
+    assert len(signature.to_bytes(curve)) == 2 * width
+
+
+def test_distinct_keys(curve):
+    a = generate_keypair(curve, DeterministicRng("a"))
+    b = generate_keypair(curve, DeterministicRng("b"))
+    assert a.secret != b.secret
+    assert a.verify_key.point != b.verify_key.point

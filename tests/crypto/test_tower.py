@@ -1,0 +1,179 @@
+"""Field-tower arithmetic: ring axioms, inverses, Frobenius."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.tower import Fp2, Fp6, Fp12
+
+
+@pytest.fixture(scope="module")
+def ctx(curve):
+    return curve.tower
+
+
+@pytest.fixture(scope="module")
+def curve():
+    from repro.crypto.bn import toy_bn
+
+    return toy_bn()
+
+
+def fp2_elements(ctx):
+    p = ctx.p
+    return st.builds(
+        lambda a, b: Fp2(ctx, a % p, b % p),
+        st.integers(0, 2**40),
+        st.integers(0, 2**40),
+    )
+
+
+def fp12_of(ctx, ints):
+    p = ctx.p
+    coeffs = [Fp2(ctx, a % p, b % p) for a, b in zip(ints[::2], ints[1::2])]
+    return Fp12(
+        ctx,
+        Fp6(ctx, coeffs[0], coeffs[1], coeffs[2]),
+        Fp6(ctx, coeffs[3], coeffs[4], coeffs[5]),
+    )
+
+
+def fp12_elements(ctx):
+    return st.builds(
+        lambda ints: fp12_of(ctx, ints),
+        st.lists(st.integers(0, 2**40), min_size=12, max_size=12),
+    )
+
+
+class TestFp2:
+    def test_identities(self, ctx):
+        a = Fp2(ctx, 5, 7)
+        assert a + Fp2.zero(ctx) == a
+        assert a * Fp2.one(ctx) == a
+        assert (a - a).is_zero()
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_mul_commutes_and_associates(self, ctx, data):
+        a = data.draw(fp2_elements(ctx))
+        b = data.draw(fp2_elements(ctx))
+        c = data.draw(fp2_elements(ctx))
+        assert a * b == b * a
+        assert (a * b) * c == a * (b * c)
+        assert a * (b + c) == a * b + a * c
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_square_matches_mul(self, ctx, data):
+        a = data.draw(fp2_elements(ctx))
+        assert a.square() == a * a
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_inverse(self, ctx, data):
+        a = data.draw(fp2_elements(ctx))
+        if a.is_zero():
+            return
+        assert a * a.inverse() == Fp2.one(ctx)
+
+    def test_inverse_of_zero_raises(self, ctx):
+        with pytest.raises(ZeroDivisionError):
+            Fp2.zero(ctx).inverse()
+
+    def test_conjugate_is_p_power(self, ctx):
+        a = Fp2(ctx, 123456, 654321)
+        assert a.conjugate() == a.pow(ctx.p)
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_sqrt(self, ctx, data):
+        a = data.draw(fp2_elements(ctx))
+        square = a.square()
+        root = square.sqrt()
+        assert root is not None
+        assert root.square() == square
+
+    def test_sqrt_of_nonresidue_is_none(self, ctx):
+        # xi is a sextic non-residue, in particular not a square.
+        assert ctx.xi.sqrt() is None
+
+
+class TestFp6:
+    def test_mul_by_v_matches_mul(self, ctx):
+        a = Fp6(ctx, Fp2(ctx, 1, 2), Fp2(ctx, 3, 4), Fp2(ctx, 5, 6))
+        v = Fp6(ctx, Fp2.zero(ctx), Fp2.one(ctx), Fp2.zero(ctx))
+        assert a.mul_by_v() == a * v
+
+    def test_mul_by_01_matches_mul(self, ctx):
+        a = Fp6(ctx, Fp2(ctx, 1, 2), Fp2(ctx, 3, 4), Fp2(ctx, 5, 6))
+        b0, b1 = Fp2(ctx, 7, 8), Fp2(ctx, 9, 10)
+        sparse = Fp6(ctx, b0, b1, Fp2.zero(ctx))
+        assert a.mul_by_01(b0, b1) == a * sparse
+
+    def test_inverse(self, ctx):
+        a = Fp6(ctx, Fp2(ctx, 11, 3), Fp2(ctx, 0, 7), Fp2(ctx, 5, 5))
+        assert a * a.inverse() == Fp6.one(ctx)
+
+    def test_frobenius_is_p_power(self, ctx):
+        a = Fp6(ctx, Fp2(ctx, 2, 9), Fp2(ctx, 8, 1), Fp2(ctx, 4, 4))
+        embedded = Fp12(ctx, a, Fp6.zero(ctx))
+        assert Fp12(ctx, a.frobenius(), Fp6.zero(ctx)) == embedded.pow(ctx.p)
+
+
+class TestFp12:
+    @settings(max_examples=15)
+    @given(st.data())
+    def test_ring_axioms(self, ctx, data):
+        a = data.draw(fp12_elements(ctx))
+        b = data.draw(fp12_elements(ctx))
+        assert a * b == b * a
+        assert a * Fp12.one(ctx) == a
+        assert a.square() == a * a
+
+    @settings(max_examples=10)
+    @given(st.data())
+    def test_inverse(self, ctx, data):
+        a = data.draw(fp12_elements(ctx))
+        if a == Fp12.zero(ctx):
+            return
+        assert a * a.inverse() == Fp12.one(ctx)
+
+    def test_frobenius_matches_pow(self, ctx):
+        a = fp12_of(ctx, list(range(2, 26, 2)))
+        assert a.frobenius(1) == a.pow(ctx.p)
+        assert a.frobenius(2) == a.pow(ctx.p**2)
+        assert a.frobenius(3) == a.pow(ctx.p**3)
+
+    def test_frobenius_order_twelve(self, ctx):
+        a = fp12_of(ctx, list(range(3, 27, 2)))
+        assert a.frobenius(12) == a
+
+    def test_mul_by_014_matches_mul(self, ctx):
+        a = fp12_of(ctx, list(range(1, 25)))
+        a0, b0, b1 = Fp2(ctx, 3, 1), Fp2(ctx, 4, 1), Fp2(ctx, 5, 9)
+        sparse = Fp12(
+            ctx,
+            Fp6(ctx, a0, Fp2.zero(ctx), Fp2.zero(ctx)),
+            Fp6(ctx, b0, b1, Fp2.zero(ctx)),
+        )
+        assert a.mul_by_014(a0, b0, b1) == a * sparse
+
+    def test_conjugate_inverts_cyclotomic_elements(self, ctx):
+        a = fp12_of(ctx, list(range(5, 29)))
+        # Map into the cyclotomic subgroup via the easy exponent.
+        cyc = (a.conjugate() * a.inverse())
+        cyc = cyc.frobenius(2) * cyc
+        assert cyc * cyc.conjugate() == Fp12.one(ctx)
+
+    def test_cyclotomic_pow_matches_pow(self, ctx):
+        a = fp12_of(ctx, list(range(5, 29)))
+        cyc = a.conjugate() * a.inverse()
+        cyc = cyc.frobenius(2) * cyc
+        assert cyc.cyclotomic_pow(12345) == cyc.pow(12345)
+        assert cyc.cyclotomic_pow(-7) == cyc.pow(-7)
+
+    def test_coefficients_basis(self, ctx):
+        a = fp12_of(ctx, list(range(1, 25)))
+        coefficients = a.coefficients()
+        assert len(coefficients) == 6
+        assert coefficients[0] == a.g0.c0
+        assert coefficients[1] == a.g1.c0

@@ -1,0 +1,72 @@
+"""Additional tower coverage: scaling helpers, context validation."""
+
+import pytest
+
+from repro.crypto.bn import toy_bn
+from repro.crypto.tower import Fp2, Fp6, TowerContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return toy_bn().tower
+
+
+def test_context_rejects_bad_modulus():
+    with pytest.raises(ValueError):
+        TowerContext(11, (1, 1))  # 11 % 4 == 3 but 11 % 6 == 5
+    with pytest.raises(ValueError):
+        TowerContext(13, (1, 1))  # 13 % 4 == 1
+
+
+def test_fp2_scale_matches_mul(ctx):
+    a = Fp2(ctx, 11, 22)
+    assert a.scale(5) == a * Fp2.from_int(ctx, 5)
+    assert a.scale(0).is_zero()
+
+
+def test_fp2_mul_by_xi(ctx):
+    a = Fp2(ctx, 3, 4)
+    assert a.mul_by_xi() == a * ctx.xi
+
+
+def test_fp2_from_int_reduces(ctx):
+    assert Fp2.from_int(ctx, ctx.p + 3) == Fp2.from_int(ctx, 3)
+
+
+def test_fp2_pow_negative_exponent(ctx):
+    a = Fp2(ctx, 9, 2)
+    assert a.pow(-3) * a.pow(3) == Fp2.one(ctx)
+
+
+def test_fp2_hash_consistent(ctx):
+    assert hash(Fp2(ctx, 1, 2)) == hash(Fp2(ctx, 1, 2))
+
+
+def test_fp6_scale_fp2(ctx):
+    a = Fp6(ctx, Fp2(ctx, 1, 1), Fp2(ctx, 2, 2), Fp2(ctx, 3, 3))
+    k = Fp2(ctx, 7, 0)
+    scaled = a.scale_fp2(k)
+    assert scaled.c0 == a.c0 * k and scaled.c2 == a.c2 * k
+
+
+def test_fp6_mul_by_0(ctx):
+    a = Fp6(ctx, Fp2(ctx, 1, 2), Fp2(ctx, 3, 4), Fp2(ctx, 5, 6))
+    b0 = Fp2(ctx, 7, 8)
+    sparse = Fp6(ctx, b0, Fp2.zero(ctx), Fp2.zero(ctx))
+    assert a.mul_by_0(b0) == a * sparse
+
+
+def test_fp6_zero_one_identities(ctx):
+    a = Fp6(ctx, Fp2(ctx, 4, 2), Fp2(ctx, 1, 1), Fp2(ctx, 9, 0))
+    assert a + Fp6.zero(ctx) == a
+    assert a * Fp6.one(ctx) == a
+    assert (a - a).is_zero()
+    assert (-a) + a == Fp6.zero(ctx)
+
+
+def test_frobenius_gamma_powers(ctx):
+    """gamma^k table is consistent: gamma[k] = gamma[1]^k."""
+    for k in range(6):
+        assert ctx.frob_gamma[k] == ctx.frob_gamma[1].pow(k)
+    assert ctx.g2_frob_x == ctx.frob_gamma[2]
+    assert ctx.g2_frob_y == ctx.frob_gamma[3]

@@ -1,0 +1,54 @@
+"""Protocol-layer fixtures.
+
+Protocol tests default to the Merkle backend (same interface, hash-speed);
+tests/test_integration_zk.py runs the full pairing stack end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.supplychain.quality import IndependentQualityModel
+
+KEY_BITS = 16
+
+
+@pytest.fixture()
+def make_deployment(merkle_scheme):
+    """Factory: fresh deployment over a pharma chain with chosen behaviours."""
+
+    def build(
+        behaviors=None,
+        beta: float = 0.0,
+        seed: str = "dep",
+        scheme=None,
+        policy=None,
+    ) -> Deployment:
+        chain = pharma_chain(DeterministicRng(seed + "/chain"))
+        oracle = IndependentQualityModel(beta=beta, seed=seed + "/q")
+        return Deployment.build(
+            chain,
+            scheme or merkle_scheme,
+            oracle,
+            behaviors=behaviors,
+            policy=policy,
+            seed=seed,
+        )
+
+    return build
+
+
+@pytest.fixture()
+def products():
+    return product_batch(DeterministicRng("products"), 10, KEY_BITS)
+
+
+@pytest.fixture()
+def distributed(make_deployment, products):
+    """A deployment with one completed honest distribution task."""
+    deployment = make_deployment()
+    record, phase = deployment.distribute(products)
+    return deployment, record, phase

@@ -1,0 +1,249 @@
+"""Every threat-model behaviour, exercised through the full protocol.
+
+Distribution-phase behaviours (deletion / addition / modification) escape
+cryptographic detection — the double-edged incentive is what deters them —
+while every query-phase behaviour is detected, exactly as Section V says.
+"""
+
+import pytest
+
+from repro.desword.adversary import (
+    Behavior,
+    DistributionStrategy,
+    QueryStrategy,
+    coalition_on_path,
+)
+from repro.desword.detection import (
+    CLAIM_NON_PROCESSING,
+    CLAIM_PROCESSING,
+    REFUSAL,
+    WRONG_NEXT,
+    WRONG_TRACE,
+)
+
+
+@pytest.fixture()
+def truth(make_deployment, products):
+    """Probe run: learn ground-truth paths so behaviours can target them."""
+    probe = make_deployment(seed="adv")
+    record, _ = probe.distribute(products)
+    return record
+
+
+def deploy_with(make_deployment, products, behaviors):
+    """A fresh deployment with identical randomness and given behaviours."""
+    deployment = make_deployment(seed="adv", behaviors=behaviors)
+    deployment.distribute(products)
+    return deployment
+
+
+class TestQueryPhaseDetection:
+    def test_claim_non_processing_detected(self, make_deployment, products, truth):
+        pid = products[0]
+        liar = truth.path_of(pid)[1]
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {liar: Behavior(query=QueryStrategy(claim_non_processing=True))},
+        )
+        result = deployment.query(pid, quality="bad")
+        assert liar in result.path  # still identified
+        kinds = {(v.kind, v.participant_id) for v in result.violations}
+        assert (CLAIM_NON_PROCESSING, liar) in kinds
+        assert result.path == truth.path_of(pid)  # path still recovered
+
+    def test_claim_processing_detected(self, make_deployment, products, truth):
+        pid = products[0]
+        path = truth.path_of(pid)
+        # Someone NOT on the path claims processing in a good query.
+        outsider = next(
+            p for p in truth.involved_participants if p not in path
+        )
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {outsider: Behavior(query=QueryStrategy(claim_processing=True))},
+        )
+        result = deployment.sweep(pid, quality="good")
+        assert outsider not in result.path  # earns nothing
+        kinds = {(v.kind, v.participant_id) for v in result.violations}
+        assert (CLAIM_PROCESSING, outsider) in kinds
+
+    def test_wrong_trace_detected(self, make_deployment, products, truth):
+        pid = products[0]
+        cheat = truth.path_of(pid)[1]
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {cheat: Behavior(query=QueryStrategy(wrong_trace=True))},
+        )
+        result = deployment.query(pid, quality="bad")
+        kinds = {(v.kind, v.participant_id) for v in result.violations}
+        assert (WRONG_TRACE, cheat) in kinds
+        # The tampered trace is never accepted.
+        assert cheat not in result.traces
+
+    def test_wrong_next_nonchild_detected(self, make_deployment, products, truth):
+        pid = products[0]
+        misdirector = truth.path_of(pid)[0]
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {misdirector: Behavior(query=QueryStrategy(wrong_next="non-child"))},
+        )
+        result = deployment.query(pid, quality="good")
+        kinds = {(v.kind, v.participant_id) for v in result.violations}
+        assert (WRONG_NEXT, misdirector) in kinds
+        # Fallback child scan still recovers the true path.
+        assert result.path == truth.path_of(pid)
+
+    def test_wrong_next_offpath_child_recovered(self, make_deployment, products, truth):
+        pid = products[0]
+        path = truth.path_of(pid)
+        misdirector = path[0]
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {misdirector: Behavior(query=QueryStrategy(wrong_next="drop"))},
+        )
+        result = deployment.query(pid, quality="good")
+        # "drop" claims end-of-path; the child scan recovers the rest.
+        assert result.path == path
+
+    def test_refusal_in_bad_query_detected(self, make_deployment, products, truth):
+        pid = products[0]
+        stonewaller = truth.path_of(pid)[1]
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {
+                stonewaller: Behavior(
+                    query=QueryStrategy(refuse_all=True, refuse_reveal=True)
+                )
+            },
+        )
+        result = deployment.query(pid, quality="bad")
+        kinds = {(v.kind, v.participant_id) for v in result.violations}
+        assert (REFUSAL, stonewaller) in kinds
+        # Refusing to prove non-processing identifies you regardless.
+        assert stonewaller in result.path
+
+    def test_violations_penalised(self, make_deployment, products, truth):
+        pid = products[0]
+        liar = truth.path_of(pid)[1]
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {liar: Behavior(query=QueryStrategy(claim_non_processing=True))},
+        )
+        deployment.query(pid, quality="bad")
+        honest_peer = truth.path_of(pid)[2]
+        assert (
+            deployment.proxy.reputation.score_of(liar)
+            < deployment.proxy.reputation.score_of(honest_peer)
+        )
+
+
+class TestDistributionPhaseEscapes:
+    """Crypto alone cannot catch POC-construction lies (Section III.A)."""
+
+    def test_deletion_escapes_detection(self, make_deployment, products, truth):
+        pid = products[0]
+        deleter = truth.path_of(pid)[1]
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {
+                deleter: Behavior(
+                    distribution=DistributionStrategy(delete_ids=frozenset({pid}))
+                )
+            },
+        )
+        result = deployment.query(pid, quality="bad")
+        assert deleter not in result.path  # escaped the negative score
+        attributable = [v for v in result.violations if v.attributable]
+        assert not attributable  # and nobody is wrongly punished
+
+    def test_deletion_forfeits_good_score(self, make_deployment, products, truth):
+        pid = products[0]
+        deleter = truth.path_of(pid)[1]
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {
+                deleter: Behavior(
+                    distribution=DistributionStrategy(delete_ids=frozenset({pid}))
+                )
+            },
+        )
+        deployment.query(pid, quality="good")
+        assert deployment.proxy.reputation.score_of(deleter) == 0.0  # lost the edge
+
+    def test_addition_earns_on_good_loses_on_bad(self, make_deployment, products, truth):
+        pid = products[0]
+        path = truth.path_of(pid)
+        adder = next(p for p in truth.involved_participants if p not in path)
+        fake = DistributionStrategy(add_traces=((pid, b"v=%s;op=fake" % adder.encode()),))
+        deployment = deploy_with(
+            make_deployment, products, {adder: Behavior(distribution=fake)}
+        )
+        good = deployment.sweep(pid, quality="good", apply_reputation=False)
+        assert adder in good.path  # wins the positive edge...
+        bad = deployment.sweep(pid, quality="bad", apply_reputation=False)
+        assert adder in bad.path  # ...but cannot dodge the negative edge
+
+    def test_modification_changes_recovered_trace_only(
+        self, make_deployment, products, truth
+    ):
+        pid = products[0]
+        modifier = truth.path_of(pid)[1]
+        fake_da = b"v=%s;op=sanitised" % modifier.encode()
+        deployment = deploy_with(
+            make_deployment,
+            products,
+            {
+                modifier: Behavior(
+                    distribution=DistributionStrategy(modify_traces=((pid, fake_da),))
+                )
+            },
+        )
+        result = deployment.query(pid, quality="bad")
+        assert modifier in result.path
+        assert result.traces[modifier] == fake_da  # verifiably *their* committed lie
+        assert not result.violations
+
+
+class TestCoalitions:
+    def test_path_coalition_deletion_hides_path_but_forfeits_scores(
+        self, make_deployment, products, truth
+    ):
+        """All participants on a path delete the product: the proxy sees
+        nothing (the paper's coordinated threat) — and nobody earns the
+        good-product score either."""
+        pid = products[0]
+        path = truth.path_of(pid)
+        behaviors = coalition_on_path(
+            path,
+            Behavior(distribution=DistributionStrategy(delete_ids=frozenset({pid}))),
+        )
+        deployment = deploy_with(make_deployment, products, behaviors)
+        bad = deployment.query(pid, quality="bad", )
+        assert bad.path == []
+        good = deployment.query(pid, quality="good")
+        assert good.path == []
+        for participant_id in path:
+            assert deployment.proxy.reputation.score_of(participant_id) == 0.0
+
+    def test_coalition_wrong_traces_all_detected(
+        self, make_deployment, products, truth
+    ):
+        pid = products[0]
+        path = truth.path_of(pid)
+        behaviors = coalition_on_path(
+            path, Behavior(query=QueryStrategy(wrong_trace=True))
+        )
+        deployment = deploy_with(make_deployment, products, behaviors)
+        result = deployment.query(pid, quality="bad")
+        flagged = {v.participant_id for v in result.violations if v.kind == WRONG_TRACE}
+        assert flagged == set(path)
+        assert not result.traces  # no forged trace was ever accepted

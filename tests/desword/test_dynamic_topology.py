@@ -1,0 +1,79 @@
+"""The digraph is dynamic (Section II.A): participants join and leave
+between distribution tasks, and the protocol keeps working."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.desword.nodes import ParticipantNode
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.supplychain.participant import Participant
+
+KEY_BITS = 16
+
+
+@pytest.fixture()
+def world(merkle_scheme):
+    chain = pharma_chain(DeterministicRng("dyn/chain"))
+    deployment = Deployment.build(chain, merkle_scheme, seed="dyn")
+    return deployment
+
+
+def _add_participant(deployment, participant_id: str, parents: list[str]):
+    """Join a new leaf participant under the given parents."""
+    topo = deployment.chain.topology
+    topo.add_participant(participant_id)
+    for parent in parents:
+        topo.add_edge(parent, participant_id)
+    participant = Participant(participant_id, operation="retail")
+    deployment.chain.participants[participant_id] = participant
+    node = ParticipantNode(participant, deployment.scheme)
+    deployment.nodes[participant_id] = node
+    deployment.network.register(participant_id, node)
+
+
+def test_new_participant_joins_between_tasks(world):
+    deployment = world
+    batch1 = product_batch(DeterministicRng("dyn/1"), 5, KEY_BITS)
+    record1, _ = deployment.distribute(batch1, task_id="before")
+
+    # A new pharmacy joins downstream of every wholesaler.
+    wholesalers = [p for p in deployment.chain.topology.participants() if p.startswith("L2")]
+    _add_participant(deployment, "newcomer", wholesalers)
+    deployment.chain.topology.validate()
+
+    batch2 = product_batch(DeterministicRng("dyn/2"), 12, KEY_BITS)
+    record2, _ = deployment.distribute(batch2, task_id="after")
+    assert "newcomer" in record2.involved_participants
+
+    # Old products query through the old list, new through the new.
+    old = deployment.query(batch1[0], quality="good")
+    assert old.task_id == "before"
+    assert old.path == record1.path_of(batch1[0])
+    handled = next(p for p in batch2 if "newcomer" in record2.path_of(p))
+    new = deployment.query(handled, quality="good")
+    assert new.task_id == "after"
+    assert new.path == record2.path_of(handled)
+    assert new.path[-1] == "newcomer"
+
+
+def test_edge_removal_between_tasks(world):
+    deployment = world
+    batch1 = product_batch(DeterministicRng("dyn/3"), 5, KEY_BITS)
+    record1, _ = deployment.distribute(batch1, task_id="t1")
+
+    # Sever one realised edge; later tasks must route around it.
+    pid = batch1[0]
+    path = record1.path_of(pid)
+    parent, child = path[0], path[1]
+    topo = deployment.chain.topology
+    if len(topo.children(parent)) > 1:
+        topo.remove_edge(parent, child)
+        batch2 = product_batch(DeterministicRng("dyn/4"), 8, KEY_BITS)
+        record2, _ = deployment.distribute(batch2, task_id="t2")
+        for product in batch2:
+            assert (parent, child) not in zip(
+                record2.path_of(product), record2.path_of(product)[1:]
+            )
+        # The pre-removal product still resolves against its old POC list.
+        assert deployment.query(pid, quality="good").path == path

@@ -1,0 +1,95 @@
+"""Fault injection: garbage on the wire, crashed endpoints, scale.
+
+The proxy must degrade gracefully — attributing what it can and never
+crashing — when responses are corrupt or participants vanish.
+"""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.detection import INVALID_PROOF
+from repro.desword.errors import UnknownParticipantError
+from repro.desword.experiment import Deployment
+from repro.desword.messages import ProofResponse, QueryRequest
+from repro.supplychain.generator import layered_chain, ChainSpec, product_batch
+
+KEY_BITS = 16
+
+
+class CorruptingEndpoint:
+    """Wraps a node and flips bytes in every proof it returns."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def handle_message(self, sender, message):
+        response = self.inner.handle_message(sender, message)
+        if isinstance(response, ProofResponse) and response.proof_bytes:
+            corrupted = bytes([response.proof_bytes[0] ^ 0xFF]) + response.proof_bytes[1:]
+            return ProofResponse(response.participant_id, corrupted)
+        return response
+
+
+class CrashedEndpoint:
+    """Never answers anything."""
+
+    def handle_message(self, sender, message):
+        return None
+
+
+def test_corrupted_proof_bytes_attributed(distributed, products):
+    deployment, record, _ = distributed
+    pid = products[0]
+    victim = record.path_of(pid)[2]
+    deployment.network.register(
+        victim, CorruptingEndpoint(deployment.nodes[victim])
+    )
+    result = deployment.query(pid, quality="good")
+    kinds = {(v.kind, v.participant_id) for v in result.violations}
+    assert any(k == INVALID_PROOF and p == victim for k, p in kinds)
+    # The walk survives up to the corrupted hop.
+    assert result.path == record.path_of(pid)[:2]
+
+
+def test_crashed_participant_ends_walk_gracefully(distributed, products):
+    deployment, record, _ = distributed
+    pid = products[0]
+    victim = record.path_of(pid)[1]
+    deployment.network.register(victim, CrashedEndpoint())
+    result = deployment.query(pid, quality="good")
+    assert result.path == record.path_of(pid)[:1]  # stops, does not crash
+
+
+def test_crashed_participant_in_bad_query_is_presumed_involved(
+    distributed, products
+):
+    deployment, record, _ = distributed
+    pid = products[0]
+    victim = record.path_of(pid)[1]
+    deployment.network.register(victim, CrashedEndpoint())
+    result = deployment.query(pid, quality="bad")
+    # Cannot prove non-processing, refuses reveal: identified + violation.
+    assert victim in result.path
+    assert any(v.participant_id == victim for v in result.violations)
+
+
+def test_unregistered_recipient_raises(distributed, products):
+    deployment, _, _ = distributed
+    deployment.network.unregister(deployment.chain.initial())
+    with pytest.raises(UnknownParticipantError):
+        deployment.query(products[0], quality="good")
+
+
+def test_scale_forty_participants_hundred_products(merkle_scheme):
+    """A larger world end to end: 45 participants, 100 products."""
+    chain = layered_chain(
+        ChainSpec((1, 6, 12, 26), edge_density=0.3), DeterministicRng("scale")
+    )
+    deployment = Deployment.build(chain, merkle_scheme, seed="scale")
+    products = product_batch(DeterministicRng("scale/p"), 100, KEY_BITS)
+    record, phase = deployment.distribute(products)
+    assert len(record.involved_participants) > 20
+    for pid in products[::10]:
+        result = deployment.query(pid, quality="good")
+        assert result.path == record.path_of(pid)
+        assert not result.violations

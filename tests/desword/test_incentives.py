@@ -1,0 +1,119 @@
+"""The quantitative double-edged incentive (experiment E7)."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.incentives import (
+    IncentiveParams,
+    balanced_negative_score,
+    expected_gain_per_trace,
+    monte_carlo_outcomes,
+    utility_per_trace,
+    variance_per_trace,
+)
+
+
+def test_honest_value_formula():
+    params = IncentiveParams(
+        beta=0.1, query_prob_good=0.5, query_prob_bad=1.0,
+        positive_score=1.0, negative_score=-2.0,
+    )
+    expected = 0.9 * 0.5 * 1.0 + 0.1 * 1.0 * (-2.0)
+    assert expected_gain_per_trace(params, "honest") == pytest.approx(expected)
+
+
+def test_deletion_is_minus_honest():
+    params = IncentiveParams()
+    assert expected_gain_per_trace(params, "delete") == pytest.approx(
+        -expected_gain_per_trace(params, "honest")
+    )
+
+
+def test_addition_equals_honest():
+    params = IncentiveParams()
+    assert expected_gain_per_trace(params, "add") == pytest.approx(
+        expected_gain_per_trace(params, "honest")
+    )
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        expected_gain_per_trace(IncentiveParams(), "collude")
+
+
+def test_balanced_score_zeroes_both_deviations():
+    params = IncentiveParams(beta=0.05, query_prob_good=0.1, query_prob_bad=0.8)
+    balanced = balanced_negative_score(params)
+    tuned = IncentiveParams(
+        beta=0.05, query_prob_good=0.1, query_prob_bad=0.8,
+        negative_score=balanced,
+    )
+    assert expected_gain_per_trace(tuned, "delete") == pytest.approx(0.0, abs=1e-12)
+    assert expected_gain_per_trace(tuned, "add") == pytest.approx(0.0, abs=1e-12)
+
+
+def test_double_edged_utility_at_balance():
+    """At the balanced point, risk-averse utility strictly favours honesty:
+    both deviations have zero mean but positive variance."""
+    base = IncentiveParams(beta=0.05, query_prob_good=0.1, query_prob_bad=0.8)
+    tuned = IncentiveParams(
+        beta=0.05, query_prob_good=0.1, query_prob_bad=0.8,
+        negative_score=balanced_negative_score(base),
+        risk_aversion=0.5,
+    )
+    assert utility_per_trace(tuned, "honest") == pytest.approx(0.0)
+    assert utility_per_trace(tuned, "delete") < 0
+    assert utility_per_trace(tuned, "add") < 0
+    assert variance_per_trace(tuned, "delete") > 0
+
+
+def test_harsher_penalty_flips_the_edges():
+    """More negative s- than balanced: deletion tempting, addition deterred
+    in expectation — the trade-off the proxy navigates."""
+    base = IncentiveParams(beta=0.05, query_prob_good=0.1, query_prob_bad=0.8)
+    harsh = IncentiveParams(
+        beta=0.05, query_prob_good=0.1, query_prob_bad=0.8,
+        negative_score=2 * balanced_negative_score(base),
+    )
+    assert expected_gain_per_trace(harsh, "delete") > 0
+    assert expected_gain_per_trace(harsh, "add") < 0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        IncentiveParams(beta=1.5)
+    with pytest.raises(ValueError):
+        IncentiveParams(positive_score=-1.0)
+    with pytest.raises(ValueError):
+        balanced_negative_score(IncentiveParams(beta=0.0))
+
+
+class TestMonteCarlo:
+    def test_matches_closed_form(self):
+        params = IncentiveParams(beta=0.1, query_prob_good=0.3, query_prob_bad=0.9)
+        outcomes = monte_carlo_outcomes(
+            params, traces_per_participant=30, trials=3000,
+            rng=DeterministicRng("mc"),
+        )
+        analytic = expected_gain_per_trace(params, "honest") * 30
+        assert outcomes["honest"].mean == pytest.approx(analytic, rel=0.15)
+        # Deviations move the mean by about one trace's worth.
+        delta = outcomes["add"].mean - outcomes["honest"].mean
+        assert delta == pytest.approx(expected_gain_per_trace(params, "honest"), rel=0.35)
+
+    def test_deviations_are_gambles(self):
+        params = IncentiveParams(beta=0.05, query_prob_good=0.1, query_prob_bad=0.9)
+        outcomes = monte_carlo_outcomes(
+            params, traces_per_participant=10, trials=2000,
+            rng=DeterministicRng("mc2"),
+        )
+        # Neither deviation wins often — most trials are ties (not queried).
+        assert outcomes["delete"].win_rate < 0.2
+        assert outcomes["add"].win_rate < 0.2
+        assert outcomes["honest"].win_rate == 0.0  # baseline vs itself
+
+    def test_deterministic(self):
+        params = IncentiveParams()
+        a = monte_carlo_outcomes(params, 10, 100, DeterministicRng("same"))
+        b = monte_carlo_outcomes(params, 10, 100, DeterministicRng("same"))
+        assert a == b

@@ -1,0 +1,80 @@
+"""Chains with several initial participants, and market sampling."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.supplychain.generator import pharma_chain, product_batch
+
+KEY_BITS = 16
+
+
+@pytest.fixture()
+def two_manufacturer_world(merkle_scheme):
+    chain = pharma_chain(
+        DeterministicRng("2m/chain"), manufacturers=2, distributors=3, pharmacies=4
+    )
+    deployment = Deployment.build(chain, merkle_scheme, seed="2m")
+    initials = chain.topology.initial_participants()
+    assert len(initials) == 2
+    batch_a = product_batch(DeterministicRng("2m/a"), 5, KEY_BITS)
+    batch_b = product_batch(DeterministicRng("2m/b"), 5, KEY_BITS)
+    deployment.distribute(batch_a, task_id="from-a", initial=initials[0])
+    deployment.distribute(batch_b, task_id="from-b", initial=initials[1])
+    return deployment, initials, batch_a, batch_b
+
+
+def test_each_initial_has_its_queue(two_manufacturer_world):
+    deployment, initials, *_ = two_manufacturer_world
+    assert set(deployment.proxy.poc_queues) == set(initials)
+
+
+def test_queries_find_the_right_origin(two_manufacturer_world):
+    deployment, initials, batch_a, batch_b = two_manufacturer_world
+    result_a = deployment.query(batch_a[0], quality="good")
+    result_b = deployment.query(batch_b[0], quality="good")
+    assert result_a.path[0] == initials[0]
+    assert result_b.path[0] == initials[1]
+    assert result_a.task_id == "from-a"
+    assert result_b.task_id == "from-b"
+    assert result_a.path == deployment.ground_truth_path(batch_a[0])
+    assert result_b.path == deployment.ground_truth_path(batch_b[0])
+
+
+def test_bad_query_probes_both_initials(two_manufacturer_world):
+    """In the bad case the second initial's product costs probes of the
+    first initial's queue too (non-ownership checks per queue entry)."""
+    deployment, initials, batch_a, batch_b = two_manufacturer_world
+    result = deployment.query(batch_b[0], quality="bad")
+    assert result.path[0] == initials[1]
+    assert not [v for v in result.violations if v.attributable]
+
+
+class TestMarketSampling:
+    def test_rate_zero_queries_nothing(self, two_manufacturer_world):
+        deployment, _, batch_a, _ = two_manufacturer_world
+        results = deployment.proxy.sample_and_query(
+            batch_a, rate=0.0, rng=DeterministicRng("s")
+        )
+        assert results == []
+
+    def test_rate_one_queries_all(self, two_manufacturer_world):
+        deployment, _, batch_a, _ = two_manufacturer_world
+        results = deployment.proxy.sample_and_query(
+            batch_a, rate=1.0, rng=DeterministicRng("s")
+        )
+        assert [r.product_id for r in results] == batch_a
+        for result in results:
+            assert result.path == deployment.ground_truth_path(result.product_id)
+
+    def test_partial_rate(self, two_manufacturer_world):
+        deployment, _, batch_a, batch_b = two_manufacturer_world
+        results = deployment.proxy.sample_and_query(
+            batch_a + batch_b, rate=0.5, rng=DeterministicRng("s2")
+        )
+        assert 0 < len(results) < 10
+
+    def test_invalid_rate(self, two_manufacturer_world):
+        deployment, _, batch_a, _ = two_manufacturer_world
+        with pytest.raises(ValueError):
+            deployment.proxy.sample_and_query(batch_a, 1.5, DeterministicRng("s"))

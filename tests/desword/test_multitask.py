@@ -1,0 +1,66 @@
+"""Multi-distribution-task support (Section IV.D): POC queues."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.errors import PocListError
+from repro.supplychain.generator import product_batch
+
+
+@pytest.fixture()
+def multi(make_deployment):
+    deployment = make_deployment(seed="multi")
+    batches = [
+        product_batch(DeterministicRng(f"batch{i}"), 6, 16) for i in range(3)
+    ]
+    records = [deployment.distribute(batch)[0] for batch in batches]
+    return deployment, batches, records
+
+
+def test_queue_holds_all_tasks(multi):
+    deployment, batches, records = multi
+    initial = records[0].task.initial_participant
+    queue = deployment.proxy.poc_queues[initial]
+    assert [task_id for task_id, _ in queue] == [r.task.task_id for r in records]
+
+
+def test_queries_resolve_to_right_task(multi):
+    deployment, batches, records = multi
+    for batch, record in zip(batches, records):
+        result = deployment.query(batch[0], quality="good")
+        assert result.task_id == record.task.task_id
+        assert result.path == record.path_of(batch[0])
+
+
+def test_bad_query_scans_whole_queue(multi):
+    """Bad case: the initial must prove non-ownership per queue entry, so
+    a product from the LAST task costs more probes than the first."""
+    deployment, batches, _ = multi
+    first = deployment.query(batches[0][0], quality="bad")
+    last = deployment.query(batches[2][0], quality="bad")
+    assert last.messages > first.messages
+    assert first.path and last.path
+
+
+def test_unknown_product_probes_everything(multi):
+    deployment, _, _ = multi
+    result = deployment.query(0x1234, quality="bad")
+    assert not result.found
+    assert not [v for v in result.violations if v.attributable]
+
+
+def test_duplicate_task_id_rejected(multi):
+    deployment, _, records = multi
+    with pytest.raises(PocListError):
+        deployment.proxy.receive_poc_list(
+            deployment.proxy.poc_lists[records[0].task.task_id]
+        )
+
+
+def test_scores_accumulate_across_tasks(multi):
+    deployment, batches, records = multi
+    initial = records[0].task.initial_participant
+    deployment.query(batches[0][0], quality="good")
+    after_one = deployment.proxy.reputation.score_of(initial)
+    deployment.query(batches[1][0], quality="good")
+    assert deployment.proxy.reputation.score_of(initial) > after_one

@@ -1,0 +1,99 @@
+"""Network simulator and message accounting."""
+
+import pytest
+
+from repro.desword.errors import UnknownParticipantError
+from repro.desword.messages import (
+    NextParticipantResponse,
+    PocTransfer,
+    ProofResponse,
+    PsBroadcast,
+    QueryRequest,
+)
+from repro.desword.network import LatencyModel, SimNetwork
+
+
+class Echo:
+    def __init__(self):
+        self.received = []
+
+    def handle_message(self, sender, message):
+        self.received.append((sender, message))
+        return PsBroadcast("ack")
+
+
+def test_send_and_request():
+    net = SimNetwork()
+    endpoint = Echo()
+    net.register("a", endpoint)
+    net.send("b", "a", PsBroadcast("ps"))
+    assert endpoint.received == [("b", PsBroadcast("ps"))]
+    response = net.request("b", "a", PsBroadcast("ps"))
+    assert response == PsBroadcast("ack")
+
+
+def test_unknown_recipient():
+    net = SimNetwork()
+    with pytest.raises(UnknownParticipantError):
+        net.send("a", "ghost", PsBroadcast("x"))
+
+
+def test_stats_accumulate():
+    net = SimNetwork()
+    net.register("a", Echo())
+    net.send("b", "a", PsBroadcast("ps"))
+    assert net.stats.messages == 1
+    assert net.stats.bytes_sent == PsBroadcast("ps").size_bytes()
+    net.request("b", "a", PsBroadcast("ps"))
+    assert net.stats.messages == 3  # request + response
+    assert net.stats.per_kind["PsBroadcast"] == 3
+
+
+def test_latency_model():
+    model = LatencyModel(base_ms=2.0, bandwidth_bytes_per_ms=100.0)
+    assert model.latency_for(200) == pytest.approx(4.0)
+
+
+def test_simulated_time_advances():
+    net = SimNetwork(LatencyModel(base_ms=1.0))
+    net.register("a", Echo())
+    net.send("b", "a", PsBroadcast("ps"))
+    assert net.stats.simulated_ms > 1.0
+
+
+def test_reset_stats():
+    net = SimNetwork()
+    net.register("a", Echo())
+    net.send("b", "a", PsBroadcast("ps"))
+    old = net.reset_stats()
+    assert old.messages == 1
+    assert net.stats.messages == 0
+
+
+def test_tap_observes():
+    net = SimNetwork()
+    net.register("a", Echo())
+    seen = []
+    net.add_tap(lambda s, r, m: seen.append((s, r, m.kind)))
+    net.request("b", "a", PsBroadcast("ps"))
+    assert seen == [("b", "a", "PsBroadcast"), ("a", "b", "PsBroadcast")]
+
+
+class TestMessageSizes:
+    def test_payload_reflects_content(self):
+        small = QueryRequest("good", 1, b"x" * 10)
+        large = QueryRequest("good", 1, b"x" * 100)
+        assert large.size_bytes() - small.size_bytes() == 90
+
+    def test_refusal_is_small(self):
+        refusal = ProofResponse("v", None)
+        proof = ProofResponse("v", b"y" * 500)
+        assert refusal.size_bytes() < proof.size_bytes()
+        assert refusal.refused and not proof.refused
+
+    def test_next_response_none(self):
+        assert NextParticipantResponse(None).payload_bytes() == 1
+        assert NextParticipantResponse("abc").payload_bytes() == 3
+
+    def test_kind_names(self):
+        assert PocTransfer("v", b"").kind == "PocTransfer"

@@ -1,0 +1,133 @@
+"""Participant nodes and the system config."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.adversary import HONEST, Behavior, QueryStrategy
+from repro.desword.config import DeSwordConfig
+from repro.desword.messages import (
+    BAD_QUERY,
+    GOOD_QUERY,
+    NextParticipantRequest,
+    PsBroadcast,
+    QueryRequest,
+    RevealRequest,
+)
+from repro.desword.nodes import ParticipantNode
+from repro.supplychain.participant import Participant
+
+
+@pytest.fixture()
+def node(merkle_scheme):
+    participant = Participant("v1")
+    participant.process_batch([5, 9], timestamp=1, task_id="t")
+    node = ParticipantNode(participant, merkle_scheme, HONEST, DeterministicRng("n"))
+    node.build_poc("t")
+    node.record_shipments({5: "v2", 9: None})
+    return node
+
+
+def poc_bytes(node):
+    return node.poc_for_task("t").to_bytes(node.scheme.backend)
+
+
+def test_good_query_processed(node, merkle_scheme):
+    response = node.handle_message("proxy", QueryRequest(GOOD_QUERY, 5, poc_bytes(node)))
+    assert not response.refused
+    poc = node.poc_for_task("t")
+    from repro.poc.scheme import decode_poc_proof
+
+    proof = decode_poc_proof(merkle_scheme.backend, response.proof_bytes)
+    assert merkle_scheme.poc_verify(poc, 5, proof).status == "trace"
+
+
+def test_good_query_not_processed(node, merkle_scheme):
+    response = node.handle_message("proxy", QueryRequest(GOOD_QUERY, 6, poc_bytes(node)))
+    from repro.poc.scheme import decode_poc_proof
+
+    proof = decode_poc_proof(merkle_scheme.backend, response.proof_bytes)
+    assert merkle_scheme.poc_verify(node.poc_for_task("t"), 6, proof).status == "valid"
+
+
+def test_bad_query_processed_returns_ownership(node, merkle_scheme):
+    response = node.handle_message("proxy", QueryRequest(BAD_QUERY, 5, poc_bytes(node)))
+    from repro.poc.scheme import OWNERSHIP, decode_poc_proof
+
+    proof = decode_poc_proof(merkle_scheme.backend, response.proof_bytes)
+    assert proof.kind == OWNERSHIP
+
+
+def test_unknown_poc_refused(node):
+    response = node.handle_message("proxy", QueryRequest(GOOD_QUERY, 5, b"not-my-poc"))
+    assert response.refused
+
+
+def test_reveal_request(node, merkle_scheme):
+    response = node.handle_message("proxy", RevealRequest(5))
+    assert not response.refused
+    response_absent = node.handle_message("proxy", RevealRequest(6))
+    assert response_absent.refused
+
+
+def test_next_participant(node):
+    assert node.handle_message("p", NextParticipantRequest(5)).next_participant == "v2"
+    assert node.handle_message("p", NextParticipantRequest(9)).next_participant is None
+
+
+def test_wrong_next_behaviours(node):
+    node.behavior = Behavior(query=QueryStrategy(wrong_next="drop"))
+    assert node.handle_message("p", NextParticipantRequest(5)).next_participant is None
+    node.behavior = Behavior(query=QueryStrategy(wrong_next="non-child"))
+    assert "phantom" in node.handle_message("p", NextParticipantRequest(5)).next_participant
+    node.behavior = Behavior(query=QueryStrategy(wrong_next="vX"))
+    assert node.handle_message("p", NextParticipantRequest(5)).next_participant == "vX"
+
+
+def test_unhandled_message_returns_none(node):
+    assert node.handle_message("p", PsBroadcast("ps")) is None
+
+
+def test_refuse_all(node):
+    node.behavior = Behavior(query=QueryStrategy(refuse_all=True))
+    response = node.handle_message("proxy", QueryRequest(GOOD_QUERY, 5, poc_bytes(node)))
+    assert response.refused
+
+
+def test_repeated_queries_identical_bytes(node):
+    """Re-asking the same product yields byte-identical responses (the
+    memoized soft subtrees make non-ownership proofs reproducible, which
+    zero-knowledge consistency requires)."""
+    request = QueryRequest(GOOD_QUERY, 6, poc_bytes(node))  # absent product
+    first = node.handle_message("proxy", request)
+    second = node.handle_message("proxy", request)
+    assert first.proof_bytes == second.proof_bytes
+
+
+def test_repr_flags_dishonesty(node):
+    assert "honest" in repr(node)
+    node.behavior = Behavior(query=QueryStrategy(wrong_trace=True))
+    assert "dishonest" in repr(node)
+
+
+class TestConfig:
+    def test_merkle_config(self):
+        config = DeSwordConfig(backend_kind="merkle", q=4, key_bits=16)
+        scheme = config.build_scheme()
+        assert not scheme.backend.zero_knowledge
+        assert scheme.key_bits == 16
+
+    def test_zk_config_toy(self):
+        config = DeSwordConfig(backend_kind="zk", curve_kind="toy", q=4, key_bits=16)
+        scheme = config.build_scheme()
+        assert scheme.backend.zero_knowledge
+        assert scheme.backend.params.q == 4
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            DeSwordConfig(backend_kind="quantum").build_scheme()
+
+    def test_policy_from_config(self):
+        config = DeSwordConfig(positive_score=2.0, negative_score=-4.0)
+        policy = config.reputation_policy()
+        assert policy.positive_score == 2.0
+        assert policy.negative_score == -4.0

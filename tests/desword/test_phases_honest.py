@@ -1,0 +1,126 @@
+"""Both phases with honest participants: correctness of the whole protocol."""
+
+from repro.desword.distribution_phase import edges_used, shipments_from_record
+
+
+class TestDistributionPhase:
+    def test_poc_list_covers_involved(self, distributed):
+        deployment, record, phase = distributed
+        assert set(phase.poc_list.participants()) == set(record.involved_participants)
+
+    def test_pairs_match_realised_edges(self, distributed):
+        _, record, phase = distributed
+        assert phase.poc_list.pairs == edges_used(record)
+
+    def test_submitted_by_initial(self, distributed):
+        _, record, phase = distributed
+        assert phase.poc_list.submitted_by == record.task.initial_participant
+
+    def test_proxy_stored_list_and_queue(self, distributed):
+        deployment, record, _ = distributed
+        assert record.task.task_id in deployment.proxy.poc_lists
+        initial = record.task.initial_participant
+        queue = deployment.proxy.poc_queues[initial]
+        assert [task_id for task_id, _ in queue] == [record.task.task_id]
+
+    def test_communication_accounted(self, distributed):
+        _, _, phase = distributed
+        assert phase.messages > 0
+        assert phase.bytes_sent > 0
+        assert all(size > 0 for size in phase.poc_sizes.values())
+
+    def test_ps_request_flows_through_proxy(self, make_deployment, products):
+        deployment = make_deployment()
+        seen = []
+        deployment.network.add_tap(lambda s, r, m: seen.append((s, r, m.kind)))
+        deployment.distribute(products)
+        initial = deployment.chain.initial()
+        assert (initial, "proxy", "PsRequest") in seen
+        assert ("proxy", initial, "PsBroadcast") in seen
+        broadcasts = [x for x in seen if x[2] == "PsBroadcast" and x[0] == initial]
+        assert broadcasts  # relayed onward to the other participants
+
+    def test_shipment_logs_follow_paths(self, distributed):
+        deployment, record, _ = distributed
+        logs = shipments_from_record(record)
+        for product_id, path in record.product_paths.items():
+            for parent, child in zip(path, path[1:]):
+                assert logs[parent][product_id] == child
+            assert logs[path[-1]][product_id] is None
+
+
+class TestGoodQueries:
+    def test_path_recovered_exactly(self, distributed, products):
+        deployment, _, _ = distributed
+        for product_id in products[:5]:
+            result = deployment.query(product_id, quality="good")
+            assert result.path == deployment.ground_truth_path(product_id)
+            assert not result.violations
+
+    def test_traces_recovered_for_whole_path(self, distributed, products):
+        deployment, _, _ = distributed
+        result = deployment.query(products[0], quality="good")
+        assert set(result.traces) == set(result.path)
+        for participant_id in result.path:
+            assert b"v=" + participant_id.encode() in result.traces[participant_id]
+
+    def test_positive_scores_applied(self, distributed, products):
+        deployment, _, _ = distributed
+        result = deployment.query(products[0], quality="good")
+        for participant_id in result.path:
+            assert deployment.proxy.reputation.score_of(participant_id) >= 1.0
+
+    def test_unknown_product_not_found(self, distributed):
+        deployment, _, _ = distributed
+        result = deployment.query(0xBEEF, quality="good")
+        assert not result.found
+        assert result.path == []
+
+
+class TestBadQueries:
+    def test_path_recovered_exactly(self, distributed, products):
+        deployment, _, _ = distributed
+        for product_id in products[:5]:
+            result = deployment.query(product_id, quality="bad")
+            assert result.path == deployment.ground_truth_path(product_id)
+            assert not result.violations
+
+    def test_negative_scores_applied(self, distributed, products):
+        deployment, _, _ = distributed
+        result = deployment.query(products[0], quality="bad")
+        for participant_id in result.path:
+            assert deployment.proxy.reputation.score_of(participant_id) <= -1.0
+
+    def test_oracle_decides_quality(self, make_deployment, products):
+        deployment = make_deployment(beta=1.0)
+        deployment.distribute(products)
+        result = deployment.query(products[0])
+        assert result.quality == "bad"
+
+
+class TestSweepQueries:
+    def test_sweep_identifies_path_set(self, distributed, products):
+        deployment, _, _ = distributed
+        result = deployment.sweep(products[0], quality="good")
+        assert set(result.path) == set(deployment.ground_truth_path(products[0]))
+
+    def test_sweep_bad_matches(self, distributed, products):
+        deployment, _, _ = distributed
+        result = deployment.sweep(products[0], quality="bad")
+        assert set(result.path) == set(deployment.ground_truth_path(products[0]))
+        assert not result.violations
+
+    def test_sweep_costs_more_messages(self, distributed, products):
+        deployment, _, _ = distributed
+        walk = deployment.query(products[1], quality="good")
+        sweep = deployment.sweep(products[2], quality="good")
+        assert sweep.messages >= walk.messages
+
+
+class TestQueryAccounting:
+    def test_messages_and_bytes_counted(self, distributed, products):
+        deployment, _, _ = distributed
+        result = deployment.query(products[0], quality="good")
+        assert result.messages > 0
+        assert result.bytes_sent > 0
+        assert result.reputation_applied

@@ -1,0 +1,114 @@
+"""POC list structure and validation."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.errors import PocListError
+from repro.desword.poclist import PocList
+
+
+@pytest.fixture()
+def pocs(merkle_scheme):
+    rng = DeterministicRng("poclist")
+    return {
+        name: merkle_scheme.poc_agg({i: b"da"}, name, rng.fork(name))[0]
+        for i, name in enumerate(["v0", "v1", "v2"])
+    }
+
+
+def make_list(pocs):
+    poc_list = PocList("t0", "ps", "v0")
+    for poc in pocs.values():
+        poc_list.add_poc(poc)
+    poc_list.add_pair("v0", "v1")
+    poc_list.add_pair("v1", "v2")
+    return poc_list
+
+
+def test_structure_queries(pocs):
+    poc_list = make_list(pocs)
+    assert poc_list.participants() == ["v0", "v1", "v2"]
+    assert poc_list.children_of("v0") == ["v1"]
+    assert poc_list.parents_of("v2") == ["v1"]
+    assert poc_list.has_pair("v0", "v1")
+    assert not poc_list.has_pair("v0", "v2")
+    assert poc_list.is_leaf("v2")
+    assert not poc_list.is_leaf("v0")
+    assert poc_list.poc_of("v1") is pocs["v1"]
+    assert poc_list.poc_of("ghost") is None
+
+
+def test_validate_accepts_good_list(pocs):
+    make_list(pocs).validate()
+
+
+def test_validate_rejects_missing_submitter(pocs):
+    poc_list = PocList("t0", "ps", "missing")
+    poc_list.add_poc(pocs["v0"])
+    with pytest.raises(PocListError):
+        poc_list.validate()
+
+
+def test_validate_rejects_dangling_pair(pocs):
+    poc_list = PocList("t0", "ps", "v0")
+    poc_list.add_poc(pocs["v0"])
+    poc_list.add_pair("v0", "vX")
+    with pytest.raises(PocListError):
+        poc_list.validate()
+
+
+def test_validate_rejects_unreachable(pocs):
+    poc_list = PocList("t0", "ps", "v0")
+    poc_list.add_poc(pocs["v0"])
+    poc_list.add_poc(pocs["v2"])  # no pair path to it
+    with pytest.raises(PocListError):
+        poc_list.validate()
+
+
+def test_duplicate_poc_rejected(pocs, merkle_scheme):
+    poc_list = make_list(pocs)
+    other, _ = merkle_scheme.poc_agg({9: b"x"}, "v0", DeterministicRng("dup"))
+    with pytest.raises(PocListError):
+        poc_list.add_poc(other)
+
+
+def test_reflexive_pair_rejected(pocs):
+    poc_list = make_list(pocs)
+    with pytest.raises(PocListError):
+        poc_list.add_pair("v1", "v1")
+
+
+def test_size_bytes(pocs, merkle_scheme):
+    poc_list = make_list(pocs)
+    assert poc_list.size_bytes(merkle_scheme.backend) > 3 * 32
+
+
+def test_wire_roundtrip(pocs, merkle_scheme):
+    backend = merkle_scheme.backend
+    poc_list = make_list(pocs)
+    wire = poc_list.to_bytes(backend)
+    decoded = PocList.from_bytes(wire, backend.decode_commitment_bytes)
+    assert decoded.task_id == poc_list.task_id
+    assert decoded.submitted_by == poc_list.submitted_by
+    assert decoded.pairs == poc_list.pairs
+    assert decoded.participants() == poc_list.participants()
+    for participant_id in poc_list.participants():
+        assert backend.commitment_bytes(
+            decoded.poc_of(participant_id).commitment
+        ) == backend.commitment_bytes(poc_list.poc_of(participant_id).commitment)
+    decoded.validate()
+
+
+def test_wire_rejects_trailing_bytes(pocs, merkle_scheme):
+    backend = merkle_scheme.backend
+    wire = make_list(pocs).to_bytes(backend)
+    with pytest.raises(PocListError):
+        PocList.from_bytes(wire + b"x", backend.decode_commitment_bytes)
+
+
+def test_zk_commitment_roundtrip(zk_scheme, rng):
+    backend = zk_scheme.backend
+    poc, _ = zk_scheme.poc_agg({5: b"da"}, "v", rng)
+    blob = backend.commitment_bytes(poc.commitment)
+    decoded = backend.decode_commitment_bytes(blob)
+    assert backend.commitment_bytes(decoded) == blob

@@ -1,0 +1,97 @@
+"""Property-based protocol tests over random chains and workloads.
+
+Invariants that must hold for every topology, product batch and query:
+
+* with honest participants, every query recovers exactly the ground-truth
+  path with zero violations;
+* honest participants never receive an attributable violation, whatever
+  one adversary does;
+* a query's identified path is always a subset of the participants that
+  can actually prove ownership.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.adversary import Behavior, DistributionStrategy, QueryStrategy
+from repro.desword.experiment import Deployment
+from repro.supplychain.generator import product_batch, random_dag_chain
+
+KEY_BITS = 16
+
+
+def _world(merkle_scheme, seed: int, behaviors=None):
+    chain = random_dag_chain(
+        DeterministicRng(f"pchain{seed}"), participants=7, extra_edges=4
+    )
+    deployment = Deployment.build(
+        chain, merkle_scheme, behaviors=behaviors, seed=f"p{seed}"
+    )
+    products = product_batch(DeterministicRng(f"pp{seed}"), 5, KEY_BITS)
+    initial = chain.topology.initial_participants()[0]
+    deployment.distribute(products, initial=initial)
+    return deployment, products
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(0, 10**6), quality=st.sampled_from(["good", "bad"]))
+def test_honest_queries_exact(merkle_scheme, seed, quality):
+    deployment, products = _world(merkle_scheme, seed)
+    for product_id in products[:3]:
+        result = deployment.query(product_id, quality=quality)
+        assert result.path == deployment.ground_truth_path(product_id)
+        assert not result.violations
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    seed=st.integers(0, 10**6),
+    strategy=st.sampled_from(
+        ["claim_non_processing", "wrong_trace", "wrong_next", "refuse", "delete"]
+    ),
+)
+def test_honest_never_blamed(merkle_scheme, seed, strategy):
+    # Probe to find a participant on the first product's path.
+    probe, products = _world(merkle_scheme, seed)
+    pid = products[0]
+    path = probe.ground_truth_path(pid)
+    villain = path[len(path) // 2]
+
+    if strategy == "delete":
+        behavior = Behavior(
+            distribution=DistributionStrategy(delete_ids=frozenset({pid}))
+        )
+    elif strategy == "wrong_next":
+        behavior = Behavior(query=QueryStrategy(wrong_next="non-child"))
+    elif strategy == "refuse":
+        behavior = Behavior(query=QueryStrategy(refuse_all=True, refuse_reveal=True))
+    else:
+        behavior = Behavior(query=QueryStrategy(**{strategy: True}))
+
+    deployment, products = _world(merkle_scheme, seed, behaviors={villain: behavior})
+    result = deployment.query(pid, quality="bad")
+    for violation in result.violations:
+        if violation.attributable:
+            assert violation.participant_id == villain
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(0, 10**6))
+def test_walk_path_subset_of_sweep(merkle_scheme, seed):
+    deployment, products = _world(merkle_scheme, seed)
+    pid = products[0]
+    walk = deployment.query(pid, quality="good")
+    sweep = deployment.sweep(pid, quality="good")
+    assert set(walk.path) <= set(sweep.path)

@@ -1,0 +1,80 @@
+"""Proxy edge cases not covered by the main phase tests."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.adversary import Behavior, QueryStrategy
+from repro.desword.messages import PsBroadcast
+
+
+def test_refusal_in_good_query_is_neutral(distributed, products):
+    """A good-query refusal loses the score but is not a violation
+    (Section IV.C: the proxy merely 'identifies that v did not process')."""
+    deployment, record, _ = distributed
+    pid = products[0]
+    shy = record.path_of(pid)[2]
+    deployment.nodes[shy].behavior = Behavior(query=QueryStrategy(refuse_all=True))
+    result = deployment.query(pid, quality="good")
+    assert shy not in result.path
+    assert not [v for v in result.violations if v.participant_id == shy]
+    assert deployment.proxy.reputation.score_of(shy) == 0.0
+
+
+def test_proxy_ignores_unsolicited_messages(distributed):
+    deployment, _, _ = distributed
+    assert deployment.proxy.handle_message("anyone", PsBroadcast("ps")) is None
+
+
+def test_query_result_found_property(distributed, products):
+    deployment, _, _ = distributed
+    hit = deployment.query(products[0], quality="good")
+    miss = deployment.query(0xFFFF, quality="good")
+    assert hit.found and not miss.found
+
+
+def test_reputation_not_applied_when_disabled(distributed, products):
+    deployment, _, _ = distributed
+    before = deployment.proxy.reputation.snapshot()
+    result = deployment.proxy.query_product(
+        products[3], quality="good", apply_reputation=False
+    )
+    assert not result.reputation_applied
+    assert deployment.proxy.reputation.snapshot() == before
+
+
+def test_probe_with_foreign_poc_refused(distributed, products, merkle_scheme):
+    """Probing a participant with somebody else's POC yields a refusal
+    (the node cannot prove anything about a commitment it never made)."""
+    deployment, record, phase = distributed
+    pid = products[0]
+    path = record.path_of(pid)
+    foreign_poc = phase.poc_list.poc_of(path[1])
+    outcome = deployment.proxy._probe(path[0], foreign_poc, "good", pid)
+    assert not outcome.identified
+
+
+def test_leaf_without_children_ends_walk_cleanly(distributed, products):
+    deployment, record, _ = distributed
+    pid = products[0]
+    result = deployment.query(pid, quality="good")
+    leaf = result.path[-1]
+    poc_list = deployment.proxy.poc_lists[result.task_id]
+    assert poc_list.is_leaf(leaf)
+
+
+def test_same_product_queried_twice_consistent(distributed, products):
+    deployment, _, _ = distributed
+    first = deployment.query(products[2], quality="good", )
+    second = deployment.query(products[2], quality="good")
+    assert first.path == second.path
+    assert first.traces == second.traces
+
+
+def test_scores_stack_per_query(distributed, products):
+    deployment, record, _ = distributed
+    pid = products[2]
+    initial = record.path_of(pid)[0]
+    base = deployment.proxy.reputation.score_of(initial)
+    deployment.query(pid, quality="good")
+    deployment.query(pid, quality="good")
+    assert deployment.proxy.reputation.score_of(initial) == base + 2.0

@@ -1,0 +1,94 @@
+"""The double-edged reputation engine."""
+
+import pytest
+
+from repro.desword.reputation import (
+    ReputationEngine,
+    ReputationPolicy,
+    upstream_weight,
+)
+
+
+def test_good_query_awards_positive():
+    engine = ReputationEngine()
+    engine.apply_good_query(["a", "b"], product_id=1)
+    assert engine.score_of("a") == 1.0
+    assert engine.score_of("b") == 1.0
+
+
+def test_bad_query_awards_negative():
+    engine = ReputationEngine()
+    engine.apply_bad_query(["a", "b"], product_id=1)
+    assert engine.score_of("a") == -1.0
+
+
+def test_double_edged_net():
+    """The same participant gains on good products, loses on bad ones."""
+    engine = ReputationEngine()
+    engine.apply_good_query(["a"], 1)
+    engine.apply_good_query(["a"], 2)
+    engine.apply_bad_query(["a"], 3)
+    assert engine.score_of("a") == 1.0
+
+
+def test_violation_penalty():
+    engine = ReputationEngine()
+    engine.apply_violation("a", "wrong-trace", 1)
+    assert engine.score_of("a") == -3.0
+
+
+def test_unknown_participant_zero():
+    assert ReputationEngine().score_of("nobody") == 0.0
+
+
+def test_history_auditable():
+    engine = ReputationEngine()
+    engine.apply_good_query(["a"], 7)
+    event = engine.history[0]
+    assert event.participant_id == "a"
+    assert event.product_id == 7
+    assert event.reason == "good-product-query"
+
+
+def test_leaderboard_sorted():
+    engine = ReputationEngine()
+    engine.apply_good_query(["a", "b"], 1)
+    engine.apply_good_query(["a"], 2)
+    engine.apply_bad_query(["c"], 3)
+    assert engine.leaderboard() == [("a", 2.0), ("b", 1.0), ("c", -1.0)]
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        ReputationPolicy(positive_score=-1.0)
+    with pytest.raises(ValueError):
+        ReputationPolicy(negative_score=1.0)
+    with pytest.raises(ValueError):
+        ReputationPolicy(violation_penalty=0.0)
+
+
+def test_custom_magnitudes():
+    policy = ReputationPolicy(positive_score=0.5, negative_score=-5.0)
+    engine = ReputationEngine(policy)
+    engine.apply_good_query(["a"], 1)
+    engine.apply_bad_query(["b"], 2)
+    assert engine.score_of("a") == 0.5
+    assert engine.score_of("b") == -5.0
+
+
+def test_responsibility_weighting():
+    """Upstream participants can be held more liable (Section II.C)."""
+    policy = ReputationPolicy(responsibility_weight=upstream_weight)
+    engine = ReputationEngine(policy)
+    engine.apply_bad_query(["up", "mid", "down"], 1)
+    assert engine.score_of("up") < engine.score_of("mid") < engine.score_of("down")
+    assert engine.score_of("up") == -2.0
+    assert engine.score_of("down") == -1.0
+
+
+def test_snapshot_is_copy():
+    engine = ReputationEngine()
+    engine.apply_good_query(["a"], 1)
+    snap = engine.snapshot()
+    snap["a"] = 99.0
+    assert engine.score_of("a") == 1.0

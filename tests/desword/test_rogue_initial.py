@@ -1,0 +1,74 @@
+"""A rogue initial participant claiming another chain's products.
+
+The strongest addition attack: a second manufacturer submits its own
+(structurally valid) POC list containing a fake trace for a product the
+first chain produced.  The proxy must still find the true path, and the
+impostor must be identified alongside it — sharing the product's
+double-edged fate rather than hijacking the query.
+"""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.desword.adversary import Behavior, DistributionStrategy
+from repro.supplychain.generator import pharma_chain, product_batch
+
+KEY_BITS = 16
+
+
+@pytest.fixture()
+def hijack_world(merkle_scheme):
+    chain = pharma_chain(
+        DeterministicRng("rg/chain"), manufacturers=2, distributors=3, pharmacies=4
+    )
+    deployment = Deployment.build(chain, merkle_scheme, seed="rg")
+    initials = chain.topology.initial_participants()
+    victim_products = product_batch(DeterministicRng("rg/v"), 4, KEY_BITS)
+    target = victim_products[0]
+
+    # The rogue initial fabricates a trace for the victim's product in its
+    # own later task.
+    rogue = initials[1]
+    deployment.set_behavior(
+        rogue,
+        Behavior(
+            distribution=DistributionStrategy(
+                add_traces=((target, b"v=%s;op=hijack" % rogue.encode()),)
+            )
+        ),
+    )
+    deployment.distribute(victim_products, task_id="victim", initial=initials[0])
+    rogue_products = product_batch(DeterministicRng("rg/r"), 4, KEY_BITS)
+    deployment.distribute(rogue_products, task_id="rogue", initial=rogue)
+    return deployment, initials, target
+
+
+def test_true_path_survives_hijack(hijack_world):
+    deployment, initials, target = hijack_world
+    result = deployment.query(target, quality="good")
+    truth = deployment.ground_truth_path(target)
+    assert [p for p in result.path if p in truth] == truth
+    assert result.path[0] == initials[0]  # the true origin leads
+
+
+def test_rogue_is_identified_not_hidden(hijack_world):
+    deployment, initials, target = hijack_world
+    result = deployment.query(target, quality="good")
+    assert initials[1] in result.path  # earned the (undeserved) good edge...
+
+
+def test_rogue_shares_the_bad_edge(hijack_world):
+    deployment, initials, target = hijack_world
+    result = deployment.query(target, quality="bad")
+    rogue = initials[1]
+    assert rogue in result.path
+    assert deployment.proxy.reputation.score_of(rogue) < 0  # ...and the bad one
+
+
+def test_unclaimed_products_unaffected(hijack_world):
+    deployment, initials, _ = hijack_world
+    other = deployment.task_records["victim"].task.product_ids[1]
+    result = deployment.query(other, quality="good")
+    assert result.path == deployment.ground_truth_path(other)
+    assert initials[1] not in result.path

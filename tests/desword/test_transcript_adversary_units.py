@@ -1,0 +1,83 @@
+"""Transcript recorder and adversary strategy units."""
+
+from repro.desword.adversary import (
+    HONEST,
+    Behavior,
+    DistributionStrategy,
+    QueryStrategy,
+    addition_of,
+    coalition_on_path,
+    deletion_of,
+    modification_of,
+)
+from repro.desword.transcript import TranscriptRecorder
+
+
+class TestTranscript:
+    def test_records_query_flow(self, distributed, products):
+        deployment, _, _ = distributed
+        recorder = TranscriptRecorder().attach(deployment.network)
+        result = deployment.query(products[0], quality="good")
+        assert recorder.entries
+        assert recorder.total_bytes() >= result.bytes_sent
+        kinds = {entry.kind for entry in recorder.entries}
+        assert {"QueryRequest", "ProofResponse", "NextParticipantRequest"} <= kinds
+
+    def test_summaries_human_readable(self, distributed, products):
+        deployment, _, _ = distributed
+        recorder = TranscriptRecorder().attach(deployment.network)
+        deployment.query(products[0], quality="bad")
+        text = recorder.render()
+        assert "bad-query" in text
+        assert "->" in text
+        assert "proof returned" in text
+
+    def test_involving_filters(self, distributed, products):
+        deployment, record, _ = distributed
+        recorder = TranscriptRecorder().attach(deployment.network)
+        deployment.query(products[0], quality="good")
+        first_hop = record.path_of(products[0])[0]
+        subset = recorder.involving(first_hop)
+        assert subset
+        assert all(
+            first_hop in (entry.sender, entry.recipient) for entry in subset
+        )
+
+    def test_render_last_and_clear(self, distributed, products):
+        deployment, _, _ = distributed
+        recorder = TranscriptRecorder().attach(deployment.network)
+        deployment.query(products[0], quality="good")
+        assert len(recorder.render(last=2).splitlines()) == 2
+        recorder.clear()
+        assert recorder.entries == []
+
+
+class TestStrategyUnits:
+    def test_apply_deletion(self):
+        strategy = DistributionStrategy(delete_ids=frozenset({1}))
+        assert strategy.apply({1: b"a", 2: b"b"}) == {2: b"b"}
+
+    def test_apply_addition(self):
+        strategy = DistributionStrategy(add_traces=((3, b"fake"),))
+        assert strategy.apply({1: b"a"}) == {1: b"a", 3: b"fake"}
+
+    def test_apply_modification_only_touches_existing(self):
+        strategy = DistributionStrategy(
+            modify_traces=((1, b"changed"), (9, b"ignored"))
+        )
+        assert strategy.apply({1: b"a"}) == {1: b"changed"}
+
+    def test_honesty_flags(self):
+        assert HONEST.is_honest
+        assert DistributionStrategy().is_honest
+        assert QueryStrategy().is_honest
+        assert not deletion_of(1).is_honest
+        assert not addition_of((1, b"f")).is_honest
+        assert not modification_of((1, b"m")).is_honest
+        assert not Behavior(query=QueryStrategy(wrong_trace=True)).is_honest
+
+    def test_coalition_covers_path(self):
+        behavior = Behavior(query=QueryStrategy(refuse_all=True))
+        coalition = coalition_on_path(["a", "b"], behavior)
+        assert set(coalition) == {"a", "b"}
+        assert all(b.query.refuse_all for b in coalition.values())

@@ -1,0 +1,81 @@
+"""The signature-list strawman (Section II.C): works when honest, fails
+exactly as the paper's design-challenge analysis says."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.crypto.signatures import generate_keypair
+from repro.poc.baseline import BaselinePocScheme
+
+TRACES = {5: b"da-five", 9: b"da-nine"}
+
+
+@pytest.fixture(scope="module")
+def scheme(curve):
+    return BaselinePocScheme(curve)
+
+
+@pytest.fixture(scope="module")
+def honest(scheme, curve):
+    key = generate_keypair(curve, DeterministicRng("baseline"))
+    return scheme.poc_agg(TRACES, "v1", key)
+
+
+def test_wellformed(scheme, honest):
+    poc, _ = honest
+    assert scheme.poc_check_wellformed(poc)
+    assert poc.listed_ids() == {5, 9}
+
+
+def test_honest_query_returns_trace(scheme, honest):
+    poc, dec = honest
+    proof = scheme.poc_proof(dec, 5)
+    assert scheme.poc_verify(poc, 5, proof) == "trace"
+
+
+def test_refusal_with_listed_entry_detected(scheme, honest):
+    """Case 2 of Section II.C: refusing despite a listed signed entry."""
+    poc, dec = honest
+    proof = scheme.poc_proof(dec, 5, deny=True)
+    assert scheme.poc_verify(poc, 5, proof) == "dishonest"
+
+
+def test_forged_trace_detected(scheme, honest):
+    from repro.poc.baseline import BaselineProof
+
+    poc, dec = honest
+    real = scheme.poc_proof(dec, 5)
+    forged = BaselineProof(5, b"tampered", real.trace_signature)
+    assert scheme.poc_verify(poc, 5, forged) == "dishonest"
+
+
+def test_deletion_is_undetectable(scheme, curve):
+    """THE strawman failure: omitting an entry at POC time leaves a
+    well-formed POC, and later denial yields only 'no-evidence'."""
+    key = generate_keypair(curve, DeterministicRng("deleter"))
+    poc, dec = scheme.poc_agg(TRACES, "v1", key, omit={5})
+    assert scheme.poc_check_wellformed(poc)  # nothing to notice
+    assert 5 not in poc.listed_ids()
+    proof = scheme.poc_proof(dec, 5, deny=True)
+    assert scheme.poc_verify(poc, 5, proof) == "no-evidence"
+
+
+def test_no_non_ownership_proofs_exist(scheme, honest):
+    """The scheme simply has no way to prove NON-processing: an absent id
+    and a deleted id look identical to the proxy."""
+    poc, dec = honest
+    never_processed = scheme.poc_proof(dec, 1234, deny=False)
+    assert scheme.poc_verify(poc, 1234, never_processed) == "no-evidence"
+
+
+def test_privacy_leak(scheme, honest):
+    """Every processed id is visible in the clear — no zero-knowledge."""
+    poc, _ = honest
+    assert {entry.product_id for entry in poc.entries} == set(TRACES)
+
+
+def test_poc_size_grows_linearly(scheme, curve):
+    key = generate_keypair(curve, DeterministicRng("sz"))
+    small, _ = scheme.poc_agg({1: b"a"}, "v", key)
+    large, _ = scheme.poc_agg({i: b"a" for i in range(10)}, "v", key)
+    assert large.size_bytes(curve) > 5 * small.size_bytes(curve)

@@ -1,0 +1,97 @@
+"""The POC scheme (Table I) over both backends."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.poc.scheme import NON_OWNERSHIP, OWNERSHIP, PocScheme, decode_poc_proof
+
+TRACES = {5: b"v=a;op=make", 900: b"v=a;op=pack"}
+
+
+@pytest.fixture(scope="module", params=["zk", "merkle"])
+def scheme(request, zk_backend, merkle_backend):
+    backend = zk_backend if request.param == "zk" else merkle_backend
+    return PocScheme.ps_gen(backend, key_bits=16)
+
+
+@pytest.fixture(scope="module")
+def credential(scheme):
+    return scheme.poc_agg(TRACES, "participant-a", DeterministicRng("agg"))
+
+
+def test_poc_binds_identity(credential):
+    poc, dpoc = credential
+    assert poc.participant_id == "participant-a"
+    assert dpoc.participant_id == "participant-a"
+
+
+def test_ownership_proof_recovers_trace(scheme, credential):
+    poc, dpoc = credential
+    proof = scheme.poc_proof(dpoc, 5)
+    assert proof.kind == OWNERSHIP
+    result = scheme.poc_verify(poc, 5, proof)
+    assert result.status == "trace"
+    assert result.trace == (5, TRACES[5])
+
+
+def test_non_ownership_proof(scheme, credential):
+    poc, dpoc = credential
+    proof = scheme.poc_proof(dpoc, 6)
+    assert proof.kind == NON_OWNERSHIP
+    assert scheme.poc_verify(poc, 6, proof).status == "valid"
+
+
+def test_cross_product_rejected(scheme, credential):
+    poc, dpoc = credential
+    proof = scheme.poc_proof(dpoc, 5)
+    assert scheme.poc_verify(poc, 900, proof).is_bad
+
+
+def test_cross_participant_rejected(scheme, credential):
+    poc, _ = credential
+    _, other_dpoc = scheme.poc_agg(
+        {5: b"v=b;op=fake"}, "participant-b", DeterministicRng("other")
+    )
+    forged = scheme.poc_proof(other_dpoc, 5)
+    assert scheme.poc_verify(poc, 5, forged).is_bad
+
+
+def test_kind_mismatch_rejected(scheme, credential):
+    from repro.poc.scheme import PocProof
+
+    poc, dpoc = credential
+    own = scheme.poc_proof(dpoc, 5)
+    mislabelled = PocProof(NON_OWNERSHIP, own.inner)
+    assert scheme.poc_verify(poc, 5, mislabelled).is_bad
+    non = scheme.poc_proof(dpoc, 6)
+    mislabelled2 = PocProof(OWNERSHIP, non.inner)
+    assert scheme.poc_verify(poc, 6, mislabelled2).is_bad
+
+
+def test_proof_wire_roundtrip(scheme, credential):
+    poc, dpoc = credential
+    for product_id in (5, 6):
+        proof = scheme.poc_proof(dpoc, product_id)
+        decoded = decode_poc_proof(scheme.backend, proof.to_bytes(scheme.backend))
+        assert decoded.kind == proof.kind
+        assert not scheme.poc_verify(poc, product_id, decoded).is_bad
+
+
+def test_decode_rejects_bad_tag(scheme):
+    with pytest.raises(ValueError):
+        decode_poc_proof(scheme.backend, b"\x09junk")
+    with pytest.raises(ValueError):
+        decode_poc_proof(scheme.backend, b"")
+
+
+def test_poc_bytes_include_identity(scheme, credential):
+    poc, _ = credential
+    wire = poc.to_bytes(scheme.backend)
+    assert b"participant-a" in wire
+
+
+def test_empty_trace_set(scheme):
+    poc, dpoc = scheme.poc_agg({}, "empty-participant", DeterministicRng("e"))
+    proof = scheme.poc_proof(dpoc, 5)
+    assert proof.kind == NON_OWNERSHIP
+    assert scheme.poc_verify(poc, 5, proof).status == "valid"

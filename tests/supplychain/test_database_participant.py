@@ -1,0 +1,71 @@
+"""Trace databases and participant processing."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.supplychain.database import TraceDatabase
+from repro.supplychain.participant import Participant
+from repro.supplychain.trace import RFIDTrace
+
+
+class TestTraceDatabase:
+    def test_record_get(self):
+        db = TraceDatabase("v1")
+        trace = RFIDTrace(5, "v1")
+        db.record(trace)
+        assert db.get(5) == trace
+        assert 5 in db and 6 not in db
+        assert len(db) == 1
+
+    def test_rejects_foreign_trace(self):
+        db = TraceDatabase("v1")
+        with pytest.raises(ValueError):
+            db.record(RFIDTrace(5, "v2"))
+
+    def test_remove(self):
+        db = TraceDatabase("v1")
+        db.record(RFIDTrace(5, "v1"))
+        db.remove(5)
+        assert db.get(5) is None
+        db.remove(5)  # idempotent
+
+    def test_as_poc_input(self):
+        db = TraceDatabase("v1")
+        db.record(RFIDTrace(5, "v1", "mix"))
+        db.record(RFIDTrace(9, "v1", "pack"))
+        poc_input = db.as_poc_input()
+        assert set(poc_input) == {5, 9}
+        assert poc_input[5] == RFIDTrace(5, "v1", "mix").data_bytes()
+
+    def test_iteration_sorted(self):
+        db = TraceDatabase("v1")
+        for pid in (9, 2, 5):
+            db.record(RFIDTrace(pid, "v1"))
+        assert [t.product_id for t in db] == [2, 5, 9]
+
+
+class TestParticipant:
+    def test_process_batch_records_traces(self):
+        participant = Participant("v1", operation="mix")
+        traces = participant.process_batch([1, 2, 3], timestamp=7, task_id="t")
+        assert len(traces) == 3
+        assert participant.database.get(2).operation == "mix"
+        assert participant.database.get(2).timestamp == 7
+        assert ("task", "t") in participant.database.get(2).details
+
+    def test_split_batch_partition(self):
+        participant = Participant("v1")
+        rng = DeterministicRng("split")
+        split = participant.split_batch(list(range(20)), ["a", "b", "c"], rng)
+        combined = sorted(pid for batch in split.values() for pid in batch)
+        assert combined == list(range(20))
+        assert set(split) <= {"a", "b", "c"}
+
+    def test_split_no_children(self):
+        participant = Participant("v1")
+        assert participant.split_batch([1, 2], [], DeterministicRng("s")) == {}
+
+    def test_split_single_child_gets_all(self):
+        participant = Participant("v1")
+        split = participant.split_batch([1, 2, 3], ["only"], DeterministicRng("s"))
+        assert split == {"only": [1, 2, 3]}

@@ -1,0 +1,112 @@
+"""Distribution tasks: paths, traces, ground truth."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.rng import DeterministicRng
+from repro.supplychain.distribution import DistributionTask, run_distribution_task
+from repro.supplychain.generator import pharma_chain, product_batch, random_dag_chain
+from repro.supplychain.topology import TopologyError
+
+
+@pytest.fixture()
+def chain():
+    return pharma_chain(DeterministicRng("chain"))
+
+
+def run(chain, products, seed="task"):
+    task = DistributionTask("t0", chain.initial(), tuple(products))
+    return run_distribution_task(
+        chain.topology, chain.participants, task, DeterministicRng(seed)
+    )
+
+
+def test_every_product_reaches_a_leaf(chain):
+    products = product_batch(DeterministicRng("p"), 20, 32)
+    record = run(chain, products)
+    for product in products:
+        path = record.path_of(product)
+        assert path[0] == chain.initial()
+        assert chain.topology.is_leaf(path[-1])
+
+
+def test_paths_follow_edges(chain):
+    products = product_batch(DeterministicRng("p"), 10, 32)
+    record = run(chain, products)
+    for product in products:
+        path = record.path_of(product)
+        for parent, child in zip(path, path[1:]):
+            assert chain.topology.has_edge(parent, child)
+
+
+def test_traces_recorded_along_path(chain):
+    products = product_batch(DeterministicRng("p"), 10, 32)
+    record = run(chain, products)
+    for product in products:
+        for participant_id in record.path_of(product):
+            trace = chain.participants[participant_id].database.get(product)
+            assert trace is not None
+            assert trace.participant_id == participant_id
+
+
+def test_involved_participants_exactly_those_on_paths(chain):
+    products = product_batch(DeterministicRng("p"), 10, 32)
+    record = run(chain, products)
+    on_paths = set()
+    for product in products:
+        on_paths.update(record.path_of(product))
+    assert set(record.involved_participants) == on_paths
+
+
+def test_timestamps_increase_along_path(chain):
+    products = product_batch(DeterministicRng("p"), 5, 32)
+    record = run(chain, products)
+    for product in products:
+        path = record.path_of(product)
+        stamps = [
+            chain.participants[v].database.get(product).timestamp for v in path
+        ]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+
+def test_deterministic_replay(chain):
+    products = product_batch(DeterministicRng("p"), 10, 32)
+    first = run(chain, products, seed="same")
+    fresh = pharma_chain(DeterministicRng("chain"))
+    second = run(fresh, products, seed="same")
+    assert first.product_paths == second.product_paths
+
+
+def test_rejects_non_initial_source(chain):
+    non_initial = chain.topology.leaf_participants()[0]
+    task = DistributionTask("bad", non_initial, (1,))
+    with pytest.raises(TopologyError):
+        run_distribution_task(
+            chain.topology, chain.participants, task, DeterministicRng("x")
+        )
+
+
+def test_rejects_unknown_source(chain):
+    task = DistributionTask("bad", "ghost", (1,))
+    with pytest.raises(TopologyError):
+        run_distribution_task(
+            chain.topology, chain.participants, task, DeterministicRng("x")
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_random_dags_always_complete(seed):
+    chain = random_dag_chain(DeterministicRng(f"dag{seed}"), participants=8)
+    initial = chain.topology.initial_participants()[0]
+    products = product_batch(DeterministicRng(f"p{seed}"), 6, 32)
+    task = DistributionTask("t", initial, tuple(products))
+    record = run_distribution_task(
+        chain.topology, chain.participants, task, DeterministicRng(f"r{seed}")
+    )
+    for product in products:
+        path = record.path_of(product)
+        assert path and path[0] == initial
+        assert chain.topology.is_leaf(path[-1])
+        assert len(path) == len(set(path))  # simple path, no revisits

@@ -1,0 +1,85 @@
+"""Workload generators and quality oracles."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.supplychain.distribution import DistributionTask, run_distribution_task
+from repro.supplychain.generator import (
+    ChainSpec,
+    layered_chain,
+    pharma_chain,
+    product_batch,
+    random_dag_chain,
+)
+from repro.supplychain.quality import (
+    ContaminationQualityModel,
+    IndependentQualityModel,
+)
+
+
+class TestGenerators:
+    def test_pharma_layers(self):
+        chain = pharma_chain(DeterministicRng("g"))
+        assert [len(layer) for layer in chain.layers] == [1, 3, 4, 6]
+        chain.topology.validate()
+
+    def test_layered_connectivity(self):
+        for seed in range(5):
+            chain = layered_chain(
+                ChainSpec((2, 3, 3), edge_density=0.2), DeterministicRng(f"s{seed}")
+            )
+            chain.topology.validate()
+            for layer in chain.layers[:-1]:
+                for pid in layer:
+                    assert chain.topology.children(pid)
+            for layer in chain.layers[1:]:
+                for pid in layer:
+                    assert chain.topology.parents(pid)
+
+    def test_random_dag_valid(self):
+        chain = random_dag_chain(DeterministicRng("d"), participants=12, extra_edges=6)
+        chain.topology.validate()
+        assert len(chain.topology) == 12
+
+    def test_operations_assigned(self):
+        chain = pharma_chain(DeterministicRng("g"))
+        ops = {chain.participants[p].operation for p in chain.topology.participants()}
+        assert "manufacture" in ops and "dispense" in ops
+
+    def test_product_batch_unique(self):
+        batch = product_batch(DeterministicRng("b"), 30, 32)
+        assert len(set(batch)) == 30
+
+
+class TestQuality:
+    def test_independent_deterministic(self):
+        model = IndependentQualityModel(0.5, seed="s")
+        assert [model.is_bad(i) for i in range(20)] == [
+            model.is_bad(i) for i in range(20)
+        ]
+
+    def test_independent_rate(self):
+        model = IndependentQualityModel(0.2, seed="s")
+        bad = sum(model.is_bad(i) for i in range(2000))
+        assert 300 < bad < 500
+
+    def test_extremes(self):
+        assert not any(IndependentQualityModel(0.0).is_bad(i) for i in range(50))
+        assert all(IndependentQualityModel(1.0).is_bad(i) for i in range(50))
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            IndependentQualityModel(1.5)
+
+    def test_contamination_targets_source(self):
+        chain = pharma_chain(DeterministicRng("c"))
+        products = product_batch(DeterministicRng("p"), 40, 32)
+        task = DistributionTask("t", chain.initial(), tuple(products))
+        record = run_distribution_task(
+            chain.topology, chain.participants, task, DeterministicRng("r")
+        )
+        source = record.involved_participants[1]
+        model = ContaminationQualityModel(record, source, hit_rate=1.0, beta=0.0)
+        for product in products:
+            expected = source in record.participants_for(product)
+            assert model.is_bad(product) == expected

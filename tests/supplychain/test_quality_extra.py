@@ -1,0 +1,56 @@
+"""Additional quality-model coverage."""
+
+from repro.crypto.rng import DeterministicRng
+from repro.supplychain.distribution import DistributionTask, run_distribution_task
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.supplychain.quality import (
+    ContaminationQualityModel,
+    IndependentQualityModel,
+)
+
+
+def _record():
+    chain = pharma_chain(DeterministicRng("qx"))
+    products = product_batch(DeterministicRng("qx/p"), 30, 32)
+    task = DistributionTask("t", chain.initial(), tuple(products))
+    return (
+        run_distribution_task(
+            chain.topology, chain.participants, task, DeterministicRng("qx/r")
+        ),
+        products,
+    )
+
+
+def test_background_beta_affects_untouched_products():
+    record, products = _record()
+    source = record.involved_participants[1]
+    untouched = [p for p in products if source not in record.participants_for(p)]
+    model = ContaminationQualityModel(record, source, hit_rate=0.0, beta=1.0)
+    assert all(model.is_bad(p) for p in untouched)
+
+
+def test_partial_hit_rate_between_extremes():
+    record, products = _record()
+    source = record.involved_participants[1]
+    touched = [p for p in products if source in record.participants_for(p)]
+    if len(touched) < 5:
+        return
+    model = ContaminationQualityModel(record, source, hit_rate=0.5, beta=0.0)
+    bad = sum(model.is_bad(p) for p in touched)
+    assert 0 < bad < len(touched)
+
+
+def test_seeds_give_independent_verdicts():
+    a = IndependentQualityModel(0.5, seed="a")
+    b = IndependentQualityModel(0.5, seed="b")
+    verdicts_a = [a.is_bad(i) for i in range(64)]
+    verdicts_b = [b.is_bad(i) for i in range(64)]
+    assert verdicts_a != verdicts_b
+
+
+def test_bad_products_helper():
+    model = IndependentQualityModel(0.5, seed="h")
+    products = list(range(40))
+    bad = model.bad_products(products)
+    assert bad == [p for p in products if model.is_bad(p)]
+    assert 0 < len(bad) < 40

@@ -1,0 +1,102 @@
+"""The participant digraph."""
+
+import pytest
+
+from repro.supplychain.topology import SupplyChainTopology, TopologyError
+
+
+@pytest.fixture()
+def figure1_topology():
+    """The paper's Figure 1: 10 participants, 2 initials, 4 leaves."""
+    topo = SupplyChainTopology()
+    for i in range(10):
+        topo.add_participant(f"v{i}")
+    edges = [
+        ("v0", "v2"), ("v0", "v3"), ("v1", "v3"), ("v1", "v4"),
+        ("v2", "v5"), ("v2", "v6"), ("v3", "v6"), ("v4", "v6"),
+        ("v6", "v9"), ("v3", "v7"), ("v4", "v8"),
+    ]
+    for parent, child in edges:
+        topo.add_edge(parent, child)
+    return topo
+
+
+def test_initial_and_leaf_detection(figure1_topology):
+    assert figure1_topology.initial_participants() == ["v0", "v1"]
+    assert figure1_topology.leaf_participants() == ["v5", "v7", "v8", "v9"]
+    assert figure1_topology.is_initial("v0")
+    assert not figure1_topology.is_initial("v2")
+    assert figure1_topology.is_leaf("v5")
+
+
+def test_children_parents(figure1_topology):
+    assert figure1_topology.children("v0") == ["v2", "v3"]
+    assert figure1_topology.parents("v6") == ["v2", "v3", "v4"]
+
+
+def test_cycle_rejected(figure1_topology):
+    with pytest.raises(TopologyError):
+        figure1_topology.add_edge("v9", "v0")
+    # The failed mutation must not leave the edge behind.
+    assert not figure1_topology.has_edge("v9", "v0")
+
+
+def test_self_loop_rejected(figure1_topology):
+    with pytest.raises(TopologyError):
+        figure1_topology.add_edge("v0", "v0")
+
+
+def test_unknown_participant_rejected(figure1_topology):
+    with pytest.raises(TopologyError):
+        figure1_topology.add_edge("v0", "ghost")
+    with pytest.raises(TopologyError):
+        figure1_topology.remove_participant("ghost")
+
+
+def test_dynamic_add_remove(figure1_topology):
+    """The digraph is dynamic (Section II.A)."""
+    figure1_topology.add_participant("v10")
+    figure1_topology.add_edge("v9", "v10")
+    assert figure1_topology.leaf_participants() == ["v10", "v5", "v7", "v8"]
+    figure1_topology.remove_participant("v10")
+    assert "v10" not in figure1_topology
+    figure1_topology.remove_edge("v0", "v2")
+    assert not figure1_topology.has_edge("v0", "v2")
+    with pytest.raises(TopologyError):
+        figure1_topology.remove_edge("v0", "v2")
+
+
+def test_downstream(figure1_topology):
+    assert figure1_topology.downstream_of("v4") == {"v6", "v8", "v9"}
+
+
+def test_paths_from(figure1_topology):
+    paths = figure1_topology.paths_from("v1")
+    assert ["v1", "v4", "v8"] in paths
+    assert all(path[0] == "v1" for path in paths)
+    assert all(figure1_topology.is_leaf(path[-1]) for path in paths)
+
+
+def test_validate_detects_unreachable():
+    topo = SupplyChainTopology()
+    topo.add_participant("a")
+    topo.add_participant("b")
+    topo.add_participant("c")
+    topo.add_edge("b", "c")
+    topo.add_edge("c", "b") if False else None
+    topo.validate()  # a is initial, b initial, fine
+    # Make b non-initial but unreachable: impossible in a DAG without
+    # cycles, so instead check the topological order contract.
+    order = topo.topological_order()
+    assert order.index("b") < order.index("c")
+
+
+def test_copy_is_independent(figure1_topology):
+    clone = figure1_topology.copy()
+    clone.add_participant("extra")
+    assert "extra" not in figure1_topology
+
+
+def test_len_contains(figure1_topology):
+    assert len(figure1_topology) == 10
+    assert "v3" in figure1_topology

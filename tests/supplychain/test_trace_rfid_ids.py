@@ -1,0 +1,74 @@
+"""Traces, tags/readers, identifiers."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.supplychain.ids import epc_display, make_product_id, make_product_ids
+from repro.supplychain.rfid import RfidReader, RfidTag, TagReadError
+from repro.supplychain.trace import RFIDTrace
+
+
+class TestTrace:
+    def test_data_roundtrip(self):
+        trace = RFIDTrace(5, "v1", "mix", 42, (("batch", "7"), ("temp", "20C")))
+        parsed = RFIDTrace.parse(5, trace.data_bytes())
+        assert parsed == trace
+
+    def test_data_binds_participant(self):
+        a = RFIDTrace(5, "v1", "mix", 42)
+        b = RFIDTrace(5, "v2", "mix", 42)
+        assert a.data_bytes() != b.data_bytes()
+
+    def test_product_id_not_in_data(self):
+        trace = RFIDTrace(5, "v1")
+        other = RFIDTrace(6, "v1")
+        assert trace.data_bytes() == other.data_bytes()  # id is the EDB key
+
+
+class TestRfid:
+    def test_read(self):
+        reader = RfidReader("r1")
+        event = reader.read(RfidTag(77), timestamp=3)
+        assert event.product_id == 77
+        assert event.reader_id == "r1"
+        assert event.timestamp == 3
+
+    def test_inventory(self):
+        reader = RfidReader("r1")
+        events = reader.inventory([RfidTag(i) for i in range(5)])
+        assert [e.product_id for e in events] == list(range(5))
+
+    def test_miss_rate(self):
+        reader = RfidReader("lossy", miss_rate=0.5, rng=DeterministicRng("m"))
+        misses = 0
+        for _ in range(200):
+            try:
+                reader.read(RfidTag(1))
+            except TagReadError:
+                misses += 1
+        assert 50 < misses < 150
+
+    def test_inventory_retries_recover(self):
+        reader = RfidReader("lossy", miss_rate=0.3, rng=DeterministicRng("m"))
+        events = reader.inventory([RfidTag(i) for i in range(20)], retries=10)
+        assert len(events) == 20
+
+    def test_invalid_miss_rate(self):
+        with pytest.raises(ValueError):
+            RfidReader("r", miss_rate=1.0)
+
+
+class TestIds:
+    def test_in_domain(self):
+        rng = DeterministicRng("ids")
+        for _ in range(20):
+            assert 0 <= make_product_id(rng, 32) < 2**32
+
+    def test_distinct_batch(self):
+        ids = make_product_ids(DeterministicRng("b"), 50, 32)
+        assert len(set(ids)) == 50
+
+    def test_epc_display(self):
+        text = epc_display(123456789)
+        assert text.startswith("urn:epc:id:")
+        assert len(text.split(":")[-1].split(".")) == 4

@@ -1,0 +1,73 @@
+"""Analysis helpers: size model, report formatting, timing."""
+
+import time
+
+import pytest
+
+from repro.analysis.report import format_series, format_table, kb
+from repro.analysis.sizes import size_model_for
+from repro.analysis.timing import Stopwatch, smoothed_ms
+
+
+class TestSizeModel:
+    def test_linear_in_height(self, edb_params):
+        model = size_model_for(edb_params)
+        import dataclasses
+
+        taller = dataclasses.replace(model, height=model.height + 1)
+        per_level_own = taller.ownership_bytes(0) - model.ownership_bytes(0)
+        per_level_non = taller.non_ownership_bytes() - model.non_ownership_bytes()
+        # One opening + one commitment pair per extra level.
+        assert per_level_own == 2 * model.scalar_bytes + model.g1_bytes + 2 * model.g1_bytes
+        assert per_level_non == model.scalar_bytes + model.g1_bytes + 2 * model.g1_bytes
+
+    def test_independent_of_q(self, edb_params):
+        import dataclasses
+
+        model = size_model_for(edb_params)
+        wider = dataclasses.replace(model, q=model.q * 4)
+        assert wider.ownership_bytes(10) == model.ownership_bytes(10)
+        assert wider.non_ownership_bytes() == model.non_ownership_bytes()
+
+    def test_value_length_passthrough(self, edb_params):
+        model = size_model_for(edb_params)
+        assert model.ownership_bytes(100) - model.ownership_bytes(0) == 100
+
+
+class TestReport:
+    def test_kb_paper_style(self):
+        assert kb(9154) == "8.94KB"
+        assert kb(4065) == "3.97KB"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long header" in lines[1]
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_format_series(self):
+        text = format_series("gen", [8, 16], [1.5, 3.0])
+        assert text == "gen: 8=1.50ms, 16=3.00ms"
+
+
+class TestTiming:
+    def test_smoothed_ms_positive(self):
+        elapsed = smoothed_ms(lambda: sum(range(100)), repeats=5)
+        assert elapsed >= 0
+
+    def test_smoothed_ms_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            smoothed_ms(lambda: None, repeats=0)
+
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch("op"):
+                time.sleep(0.001)
+        assert watch.counts["op"] == 3
+        assert watch.mean_ms("op") >= 1.0

@@ -1,0 +1,43 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--backend", "merkle", "--products", "5", "--queries", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "distributed 5 products" in output
+    assert output.count("OK") == 2
+    assert "reputation:" in output
+
+
+def test_demo_zk_toy(capsys):
+    assert main(["demo", "--products", "4", "--queries", "1", "--q", "4"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_evaluate_runs(capsys):
+    assert main(["evaluate", "--repeats", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "Table II" in output
+    assert "Figure 5 (ASCII)" in output
+    assert output.count("q=") >= 5
+
+
+def test_incentives_runs(capsys):
+    assert main(["incentives", "--trials", "200", "--traces", "10"]) == 0
+    output = capsys.readouterr().out
+    assert "balanced negative score" in output
+    assert "honest" in output and "delete" in output and "add" in output
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,44 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import ascii_chart, ascii_grouped_chart
+
+
+def test_chart_structure():
+    text = ascii_chart("T", [1, 2], {"a": [1.0, 2.0], "b": [0.5, 4.0]})
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert sum("|" in line for line in lines) == 4
+
+
+def test_chart_scaling_peak_fills():
+    text = ascii_chart("T", ["x"], {"s": [10.0]})
+    assert "#" * 40 in text
+
+
+def test_chart_zero_values():
+    text = ascii_chart("T", ["x", "y"], {"s": [0.0, 1.0]})
+    assert "0.00ms" in text
+
+
+def test_chart_length_mismatch():
+    with pytest.raises(ValueError):
+        ascii_chart("T", [1, 2], {"s": [1.0]})
+
+
+def test_empty_series():
+    assert ascii_chart("only title", [], {}) == "only title"
+
+
+def test_grouped_chart():
+    text = ascii_grouped_chart("G", [("alpha", 1.0), ("b", 2.0)], unit="KB")
+    assert "alpha" in text
+    assert "2.00KB" in text
+    assert ascii_grouped_chart("G", []) == "G"
+
+
+def test_alignment_consistent():
+    text = ascii_chart("T", [8, 128], {"gen": [1.0, 2.0], "verify": [1.5, 0.5]})
+    bar_positions = {line.index("|") for line in text.splitlines() if "|" in line}
+    assert len(bar_positions) == 1

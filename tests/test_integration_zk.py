@@ -1,0 +1,106 @@
+"""End-to-end integration on the full pairing stack (toy curve).
+
+One compact scenario exercising everything at once: distribution with a
+mixed honest/dishonest population, good and bad queries with real ZK-EDB
+proofs, detection, reputation, and the privacy-relevant size invariants.
+"""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.adversary import Behavior, DistributionStrategy, QueryStrategy
+from repro.desword.detection import CLAIM_NON_PROCESSING
+from repro.desword.experiment import Deployment
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.supplychain.quality import IndependentQualityModel
+
+
+@pytest.fixture(scope="module")
+def world(zk_scheme):
+    rng = DeterministicRng("zk-integration")
+    chain = pharma_chain(
+        rng.fork("chain"), manufacturers=1, distributors=2, wholesalers=2, pharmacies=3
+    )
+    products = product_batch(rng.fork("products"), 6, 16)
+
+    # Probe run to learn paths, then target behaviours.
+    probe = Deployment.build(chain, zk_scheme, seed="zkint")
+    record, _ = probe.distribute(products)
+    target = products[0]
+    path = record.path_of(target)
+    liar = path[1]
+    # Pick the deletion scenario on a participant other than the liar, so
+    # the two behaviours do not collapse onto one node.
+    deleter_product, deleter = next(
+        (pid, record.path_of(pid)[1])
+        for pid in products[1:]
+        if record.path_of(pid)[1] != liar
+    )
+
+    fresh_chain = pharma_chain(
+        DeterministicRng("zk-integration").fork("chain"),
+        manufacturers=1, distributors=2, wholesalers=2, pharmacies=3,
+    )
+    behaviors = {
+        liar: Behavior(query=QueryStrategy(claim_non_processing=True)),
+        deleter: Behavior(
+            distribution=DistributionStrategy(delete_ids=frozenset({deleter_product}))
+        ),
+    }
+    deployment = Deployment.build(
+        fresh_chain,
+        zk_scheme,
+        IndependentQualityModel(beta=0.0, seed="zkint"),
+        behaviors=behaviors,
+        seed="zkint",
+    )
+    record2, phase = deployment.distribute(products)
+    assert record2.product_paths == record.product_paths  # replayed world
+    return deployment, record2, phase, products, target, liar, deleter, deleter_product
+
+
+def test_distribution_phase_assembled(world):
+    deployment, record, phase, *_ = world
+    assert set(phase.poc_list.participants()) == set(record.involved_participants)
+    assert phase.bytes_sent > 0
+
+
+def test_good_query_full_path_with_real_proofs(world):
+    deployment, record, _, products, *_ = world
+    pid = products[2]
+    result = deployment.query(pid, quality="good")
+    assert result.path == record.path_of(pid)
+    assert set(result.traces) == set(result.path)
+
+
+def test_bad_query_detects_zk_liar(world):
+    deployment, record, _, _, target, liar, *_ = world
+    result = deployment.query(target, quality="bad")
+    assert result.path == record.path_of(target)
+    assert any(
+        v.kind == CLAIM_NON_PROCESSING and v.participant_id == liar
+        for v in result.violations
+    )
+
+
+def test_deleter_escapes_but_forfeits(world):
+    deployment, record, _, _, _, _, deleter, deleter_product = world
+    result = deployment.query(deleter_product, quality="good")
+    truth = record.path_of(deleter_product)
+    assert deleter in truth
+    assert deleter not in result.path
+
+
+def test_reputation_ledger_consistent(world):
+    deployment, *_ = world
+    total = sum(e.delta for e in deployment.proxy.reputation.history)
+    assert total == pytest.approx(
+        sum(deployment.proxy.reputation.snapshot().values())
+    )
+
+
+def test_poc_sizes_uniform(world):
+    """ZK POCs are constant-size regardless of how many traces each
+    participant committed — the privacy property at credential level."""
+    _, _, phase, *_ = world
+    assert len(set(phase.poc_sizes.values())) == 1

@@ -1,0 +1,93 @@
+"""The backend contract, run over BOTH implementations.
+
+Whatever the protocol layer relies on must hold for the pairing ZK-EDB
+and the Merkle baseline alike.
+"""
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.edb import ElementaryDatabase
+
+KEY_BITS = 16
+
+
+def _db(entries):
+    db = ElementaryDatabase(KEY_BITS)
+    for key, value in entries.items():
+        db.put(key, value)
+    return db
+
+
+def test_commit_prove_verify_present(any_backend):
+    db = _db({7: b"seven", 300: b"three hundred"})
+    com, dec = any_backend.commit(db, DeterministicRng("c"))
+    for key, value in db:
+        outcome = any_backend.verify(com, key, any_backend.prove(dec, key))
+        assert outcome.is_value and outcome.value == value
+
+
+def test_commit_prove_verify_absent(any_backend):
+    db = _db({7: b"seven"})
+    com, dec = any_backend.commit(db, DeterministicRng("c"))
+    for key in (0, 8, 65535):
+        assert any_backend.verify(com, key, any_backend.prove(dec, key)).is_absent
+
+
+def test_proof_bytes_roundtrip(any_backend):
+    db = _db({7: b"seven"})
+    com, dec = any_backend.commit(db, DeterministicRng("c"))
+    for key in (7, 9):
+        wire = any_backend.proof_bytes(any_backend.prove(dec, key))
+        decoded = any_backend.decode_proof_bytes(wire)
+        assert not any_backend.verify(com, key, decoded).is_bad
+
+
+def test_cross_commitment_rejected(any_backend):
+    db_a = _db({7: b"seven"})
+    db_b = _db({7: b"SEVEN"})
+    com_a, _ = any_backend.commit(db_a, DeterministicRng("a"))
+    _, dec_b = any_backend.commit(db_b, DeterministicRng("b"))
+    proof = any_backend.prove(dec_b, 7)
+    assert any_backend.verify(com_a, 7, proof).is_bad
+
+
+def test_wrong_key_rejected(any_backend):
+    db = _db({7: b"seven"})
+    com, dec = any_backend.commit(db, DeterministicRng("c"))
+    proof = any_backend.prove(dec, 7)
+    assert any_backend.verify(com, 8, proof).is_bad
+
+
+def test_zero_knowledge_flag(zk_backend, merkle_backend):
+    assert zk_backend.zero_knowledge
+    assert not merkle_backend.zero_knowledge
+
+
+def test_merkle_leaks_structure_zk_does_not(zk_backend, merkle_backend):
+    """The privacy gap the paper pays pairings for, made concrete.
+
+    Non-ownership proofs for the same absent key from two different
+    databases: the Merkle proofs differ (sibling hashes expose the other
+    contents), while the ZK proofs are indistinguishable in distribution —
+    here witnessed by the commitments' constant size and the proofs'
+    constant shape regardless of database size.
+    """
+    db_small = _db({7: b"x"})
+    db_large = _db({k: b"x" for k in range(32, 64)})
+
+    m_com_s, m_dec_s = merkle_backend.commit(db_small, DeterministicRng("s"))
+    m_com_l, m_dec_l = merkle_backend.commit(db_large, DeterministicRng("l"))
+    # Merkle: the absent-key proof's sibling content depends on the rest
+    # of the database (structure leak).
+    assert merkle_backend.proof_bytes(
+        merkle_backend.prove(m_dec_s, 9)
+    ) != merkle_backend.proof_bytes(merkle_backend.prove(m_dec_l, 9))
+
+    z_com_s, z_dec_s = zk_backend.commit(db_small, DeterministicRng("s"))
+    z_com_l, z_dec_l = zk_backend.commit(db_large, DeterministicRng("l"))
+    # ZK: same proof length either way, and commitments are size-constant.
+    assert len(zk_backend.proof_bytes(zk_backend.prove(z_dec_s, 9))) == len(
+        zk_backend.proof_bytes(zk_backend.prove(z_dec_l, 9))
+    )
+    assert len(zk_backend.commitment_bytes(z_com_s)) == len(
+        zk_backend.commitment_bytes(z_com_l)
+    )

@@ -1,0 +1,90 @@
+"""Robustness of the batched verifier.
+
+Batching compresses h pairing equations into one; a sound batcher must
+still catch a tamper at ANY single level (and the Fiat-Shamir derived
+coefficients make compensating tampers impractical).  These tests tamper
+each level in turn and randomly, asserting rejection every time.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.prove import prove_non_ownership, prove_ownership
+from repro.zkedb.verify import verify_proof
+
+
+@pytest.fixture(scope="module")
+def own_proof(edb_params, zk_committed):
+    _, dec = zk_committed
+    return prove_ownership(edb_params, dec, 3)
+
+
+@pytest.fixture(scope="module")
+def non_proof(edb_params, zk_committed):
+    _, dec = zk_committed
+    return prove_non_ownership(edb_params, dec, 699)
+
+
+def test_tamper_every_level_witness_caught(edb_params, zk_committed, own_proof, curve):
+    com, _ = zk_committed
+    for level in range(edb_params.height):
+        opening = own_proof.internal_openings[level]
+        bad_witness = curve.g1.add(opening.witness, curve.g1.generator)
+        tampered_opening = dataclasses.replace(opening, witness=bad_witness)
+        openings = (
+            own_proof.internal_openings[:level]
+            + (tampered_opening,)
+            + own_proof.internal_openings[level + 1 :]
+        )
+        tampered = dataclasses.replace(own_proof, internal_openings=openings)
+        assert verify_proof(edb_params, com, 3, tampered).is_bad, level
+
+
+def test_tamper_every_level_tease_caught(edb_params, zk_committed, non_proof, curve):
+    com, _ = zk_committed
+    for level in range(edb_params.height):
+        tease = non_proof.internal_teases[level]
+        bad_witness = curve.g1.add(tease.witness, curve.g1.generator)
+        tampered_tease = dataclasses.replace(tease, witness=bad_witness)
+        teases = (
+            non_proof.internal_teases[:level]
+            + (tampered_tease,)
+            + non_proof.internal_teases[level + 1 :]
+        )
+        tampered = dataclasses.replace(non_proof, internal_teases=teases)
+        assert verify_proof(edb_params, com, 699, tampered).is_bad, level
+
+
+def test_random_double_tampers_caught(edb_params, zk_committed, own_proof, curve):
+    """Two simultaneous tampers must not cancel under the random deltas."""
+    com, _ = zk_committed
+    rng = DeterministicRng("double-tamper")
+    for _ in range(10):
+        levels = rng.sample(range(edb_params.height), 2)
+        openings = list(own_proof.internal_openings)
+        for level in levels:
+            shift = curve.g1.mul_gen(rng.randrange(1, curve.r))
+            openings[level] = dataclasses.replace(
+                openings[level],
+                witness=curve.g1.add(openings[level].witness, shift),
+            )
+        tampered = dataclasses.replace(
+            own_proof, internal_openings=tuple(openings)
+        )
+        assert verify_proof(edb_params, com, 3, tampered).is_bad
+
+
+def test_batch_and_strict_agree_on_tampers(edb_params, zk_committed, own_proof, curve):
+    com, _ = zk_committed
+    opening = own_proof.internal_openings[0]
+    tampered_opening = dataclasses.replace(
+        opening, witness=curve.g1.neg(opening.witness)
+    )
+    tampered = dataclasses.replace(
+        own_proof,
+        internal_openings=(tampered_opening,) + own_proof.internal_openings[1:],
+    )
+    assert verify_proof(edb_params, com, 3, tampered, batch=True).is_bad
+    assert verify_proof(edb_params, com, 3, tampered, batch=False).is_bad

@@ -1,0 +1,176 @@
+"""The ZK-EDB core loop: commit, prove, verify, and tampering rejection."""
+
+import dataclasses
+
+import pytest
+
+from repro.commitments.qmercurial import QtmcCommitment
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.commit import EdbCommitment, commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.proofs import NonOwnershipProof, OwnershipProof, decode_proof
+from repro.zkedb.prove import prove_key, prove_non_ownership, prove_ownership
+from repro.zkedb.verify import verify_proof
+
+ABSENT_KEYS = (0, 4, 699, 702, 40000)
+
+
+class TestOwnership:
+    def test_every_committed_key_proves(self, edb_params, zk_committed, sample_database):
+        com, dec = zk_committed
+        for key, value in sample_database:
+            proof = prove_key(edb_params, dec, key)
+            assert isinstance(proof, OwnershipProof)
+            outcome = verify_proof(edb_params, com, key, proof)
+            assert outcome.is_value
+            assert outcome.value == value
+
+    def test_unbatched_agrees(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_ownership(edb_params, dec, 3)
+        assert verify_proof(edb_params, com, 3, proof, batch=False).is_value
+
+    def test_proof_roundtrip(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_ownership(edb_params, dec, 700)
+        decoded = decode_proof(edb_params, proof.to_bytes(edb_params))
+        assert verify_proof(edb_params, com, 700, decoded).is_value
+
+    def test_no_proof_for_absent_key(self, edb_params, zk_committed):
+        _, dec = zk_committed
+        with pytest.raises(KeyError):
+            prove_ownership(edb_params, dec, 4)
+
+
+class TestNonOwnership:
+    @pytest.mark.parametrize("key", ABSENT_KEYS)
+    def test_absent_keys_prove(self, edb_params, zk_committed, key):
+        com, dec = zk_committed
+        proof = prove_key(edb_params, dec, key)
+        assert isinstance(proof, NonOwnershipProof)
+        assert verify_proof(edb_params, com, key, proof).is_absent
+
+    def test_repeated_queries_identical(self, edb_params, zk_committed):
+        """Soft subtrees are memoized: same key, same proof bytes."""
+        _, dec = zk_committed
+        first = prove_non_ownership(edb_params, dec, 699)
+        second = prove_non_ownership(edb_params, dec, 699)
+        assert first.to_bytes(edb_params) == second.to_bytes(edb_params)
+
+    def test_roundtrip(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_non_ownership(edb_params, dec, 699)
+        decoded = decode_proof(edb_params, proof.to_bytes(edb_params))
+        assert verify_proof(edb_params, com, 699, decoded).is_absent
+
+    def test_no_proof_for_present_key(self, edb_params, zk_committed):
+        _, dec = zk_committed
+        with pytest.raises(KeyError):
+            prove_non_ownership(edb_params, dec, 3)
+
+    def test_unbatched_agrees(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_non_ownership(edb_params, dec, 699)
+        assert verify_proof(edb_params, com, 699, proof, batch=False).is_absent
+
+
+class TestEmptyDatabase:
+    def test_all_keys_absent(self, edb_params):
+        db = ElementaryDatabase(edb_params.key_bits)
+        com, dec = commit_edb(edb_params, db, DeterministicRng("empty"))
+        for key in (0, 1, 65535):
+            proof = prove_key(edb_params, dec, key)
+            assert verify_proof(edb_params, com, key, proof).is_absent
+
+
+class TestTamperRejection:
+    def test_wrong_key(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_ownership(edb_params, dec, 3)
+        assert verify_proof(edb_params, com, 5, proof).is_bad
+
+    def test_tampered_value(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_ownership(edb_params, dec, 3)
+        tampered = dataclasses.replace(proof, value=b"evil")
+        assert verify_proof(edb_params, com, 3, tampered).is_bad
+
+    def test_wrong_commitment(self, edb_params, zk_committed, sample_database):
+        _, dec = zk_committed
+        other_com, _ = commit_edb(
+            edb_params, sample_database, DeterministicRng("other")
+        )
+        proof = prove_ownership(edb_params, dec, 3)
+        assert verify_proof(edb_params, other_com, 3, proof).is_bad
+
+    def test_truncated_openings(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_ownership(edb_params, dec, 3)
+        truncated = dataclasses.replace(
+            proof, internal_openings=proof.internal_openings[:-1]
+        )
+        assert verify_proof(edb_params, com, 3, truncated).is_bad
+
+    def test_swapped_child_commitment(self, edb_params, zk_committed, curve):
+        com, dec = zk_committed
+        proof = prove_ownership(edb_params, dec, 3)
+        bogus = QtmcCommitment(curve.g1.mul_gen(5), curve.g1.mul_gen(7))
+        children = (bogus,) + proof.child_commitments[1:]
+        tampered = dataclasses.replace(proof, child_commitments=children)
+        assert verify_proof(edb_params, com, 3, tampered).is_bad
+
+    def test_nonzero_leaf_tease_rejected(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_non_ownership(edb_params, dec, 699)
+        tampered = dataclasses.replace(
+            proof,
+            leaf_tease=dataclasses.replace(proof.leaf_tease, message=1),
+        )
+        assert verify_proof(edb_params, com, 699, tampered).is_bad
+
+    def test_key_out_of_domain(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_ownership(edb_params, dec, 3)
+        tampered = dataclasses.replace(proof, key=2**40)
+        assert verify_proof(edb_params, com, 2**40, tampered).is_bad
+
+    def test_garbage_bytes_rejected(self, edb_params):
+        with pytest.raises(ValueError):
+            decode_proof(edb_params, b"\x07garbage")
+
+
+class TestCommitmentStructure:
+    def test_key_domain_mismatch_rejected(self, edb_params):
+        db = ElementaryDatabase(edb_params.key_bits * 2)
+        with pytest.raises(ValueError):
+            commit_edb(edb_params, db, DeterministicRng("x"))
+
+    def test_commitment_is_root_pair(self, edb_params, zk_committed, curve):
+        com, _ = zk_committed
+        assert isinstance(com, EdbCommitment)
+        assert len(com.to_bytes(edb_params)) == 2 * (1 + curve.fp.byte_length)
+
+    def test_decommitment_covers_frontier(self, edb_params, zk_committed, sample_database):
+        _, dec = zk_committed
+        assert len(dec.leaves) == len(sample_database)
+        assert () in dec.internal_nodes
+
+
+class TestSizeModel:
+    def test_measured_matches_predicted(self, edb_params, zk_committed, sample_database):
+        from repro.analysis.sizes import size_model_for
+
+        _, dec = zk_committed
+        model = size_model_for(edb_params)
+        own = prove_ownership(edb_params, dec, 3)
+        value_length = len(sample_database.get(3))
+        assert own.size_bytes(edb_params) == model.ownership_bytes(value_length)
+        non = prove_non_ownership(edb_params, dec, 699)
+        assert non.size_bytes(edb_params) == model.non_ownership_bytes()
+
+    def test_ownership_larger_than_non_ownership(self, edb_params, zk_committed):
+        """Table II shape: Own proof > N-Own proof."""
+        _, dec = zk_committed
+        own = prove_ownership(edb_params, dec, 3)
+        non = prove_non_ownership(edb_params, dec, 699)
+        assert own.size_bytes(edb_params) > non.size_bytes(edb_params)

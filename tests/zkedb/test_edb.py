@@ -1,0 +1,57 @@
+"""The elementary database datatype."""
+
+import pytest
+
+from repro.zkedb.edb import ElementaryDatabase
+
+
+def test_put_get():
+    db = ElementaryDatabase(16)
+    db.put(5, b"five")
+    assert db.get(5) == b"five"
+    assert db.get(6) is None  # the paper's bottom
+
+
+def test_support_sorted():
+    db = ElementaryDatabase(16)
+    for key in (9, 2, 5):
+        db.put(key, b"x")
+    assert db.support() == [2, 5, 9]
+
+
+def test_unique_keys_overwrite():
+    db = ElementaryDatabase(16)
+    db.put(1, b"a")
+    db.put(1, b"b")
+    assert db.get(1) == b"b"
+    assert len(db) == 1
+
+
+def test_domain_enforced():
+    db = ElementaryDatabase(8)
+    db.put(255, b"ok")
+    with pytest.raises(ValueError):
+        db.put(256, b"no")
+    with pytest.raises(ValueError):
+        db.put(-1, b"no")
+    with pytest.raises(TypeError):
+        db.put("key", b"no")  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        db.put(1, "text")  # type: ignore[arg-type]
+
+
+def test_contains_iter_eq_copy():
+    db = ElementaryDatabase(16, {1: b"a", 2: b"b"})
+    assert 1 in db and 3 not in db
+    assert list(db) == [(1, b"a"), (2, b"b")]
+    clone = db.copy()
+    assert clone == db
+    clone.put(3, b"c")
+    assert clone != db
+
+
+def test_bytearray_values_coerced():
+    db = ElementaryDatabase(16)
+    db.put(1, bytearray(b"xy"))
+    assert db.get(1) == b"xy"
+    assert isinstance(db.get(1), bytes)

@@ -1,0 +1,88 @@
+"""Sparse Merkle EDB specifics."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.hash_backend import MerkleEdbBackend
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return MerkleEdbBackend(q=4, key_bits=16)
+
+
+@pytest.fixture(scope="module")
+def committed(backend):
+    db = ElementaryDatabase(16)
+    db.put(3, b"alpha")
+    db.put(700, b"beta")
+    return db, *backend.commit(db, DeterministicRng("m"))
+
+
+def test_deterministic_root(backend):
+    db = ElementaryDatabase(16)
+    db.put(1, b"a")
+    com1, _ = backend.commit(db, DeterministicRng("x"))
+    com2, _ = backend.commit(db, DeterministicRng("y"))
+    assert com1.root == com2.root  # binding, intentionally not hiding
+
+
+def test_empty_database_default_root(backend):
+    db = ElementaryDatabase(16)
+    com, dec = backend.commit(db, DeterministicRng("e"))
+    assert com.root == backend._default(0)
+    assert backend.verify(com, 5, backend.prove(dec, 5)).is_absent
+
+
+def test_value_tamper_rejected(backend, committed):
+    _, com, dec = committed
+    proof = backend.prove(dec, 3)
+    forged = dataclasses.replace(proof, value=b"evil")
+    assert backend.verify(com, 3, forged).is_bad
+
+
+def test_sibling_tamper_rejected(backend, committed):
+    _, com, dec = committed
+    proof = backend.prove(dec, 3)
+    row = list(proof.siblings[0])
+    row[0] = b"\x00" * 32
+    forged = dataclasses.replace(
+        proof, siblings=(tuple(row),) + proof.siblings[1:]
+    )
+    assert backend.verify(com, 3, forged).is_bad
+
+
+def test_absence_proof_cannot_claim_presence(backend, committed):
+    _, com, dec = committed
+    proof = backend.prove(dec, 9)  # absent
+    forged = dataclasses.replace(proof, value=b"planted")
+    assert backend.verify(com, 9, forged).is_bad
+
+
+def test_presence_proof_cannot_claim_absence(backend, committed):
+    _, com, dec = committed
+    proof = backend.prove(dec, 3)
+    forged = dataclasses.replace(proof, value=None)
+    assert backend.verify(com, 3, forged).is_bad
+
+
+def test_malformed_sibling_shape_rejected(backend, committed):
+    _, com, dec = committed
+    proof = backend.prove(dec, 3)
+    forged = dataclasses.replace(proof, siblings=proof.siblings[:-1])
+    assert backend.verify(com, 3, forged).is_bad
+
+
+def test_height_covers_domain():
+    with pytest.raises(ValueError):
+        MerkleEdbBackend(q=4, key_bits=16, height=2)
+
+
+def test_decode_rejects_trailing(backend, committed):
+    _, _, dec = committed
+    wire = backend.proof_bytes(backend.prove(dec, 3))
+    with pytest.raises(ValueError):
+        backend.decode_proof_bytes(wire + b"x")

@@ -1,0 +1,43 @@
+"""EDB parameter selection."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.params import TABLE2_GRID, EdbParams, choose_height
+
+
+def test_choose_height_exact():
+    assert choose_height(2, 8) == 8
+    assert choose_height(16, 128) == 32
+    assert choose_height(8, 128) == 43
+
+
+def test_table2_grid_matches_paper():
+    """The paper's Table II (q, h) pairs all satisfy q^h >= 2^128."""
+    assert TABLE2_GRID == ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
+    for q, h in TABLE2_GRID:
+        assert q**h >= 2**128
+        assert choose_height(q, 128) == h
+
+
+def test_choose_height_rejects_degenerate_q():
+    with pytest.raises(ValueError):
+        choose_height(1, 8)
+
+
+def test_generate_validates_coverage(curve):
+    with pytest.raises(ValueError):
+        EdbParams.generate(
+            curve, DeterministicRng("x"), q=4, key_bits=16, height=2
+        )
+
+
+def test_generate_defaults_height(curve):
+    params = EdbParams.generate(curve, DeterministicRng("x"), q=4, key_bits=16)
+    assert params.height == 8
+    assert params.qtmc.q == 4
+    assert not params.trapdoor_available
+
+
+def test_trapdoor_flag(edb_params):
+    assert edb_params.trapdoor_available

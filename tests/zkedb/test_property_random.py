@@ -1,0 +1,87 @@
+"""Property-based ZK-EDB tests: random databases, random queries.
+
+For any database D and any key x, EDB-Verify(EDB-proof(x)) must return
+D(x) — the completeness half of the paper's Definition 1 contract — and
+cross-key / cross-commitment mixups must verify as bad.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.commit import commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.prove import prove_key
+from repro.zkedb.verify import verify_proof
+
+KEY_BITS = 16
+
+databases = st.dictionaries(
+    keys=st.integers(0, 2**KEY_BITS - 1),
+    values=st.binary(min_size=0, max_size=40),
+    max_size=4,
+)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(entries=databases, probe=st.integers(0, 2**KEY_BITS - 1), seed=st.integers(0, 10**6))
+def test_verify_returns_database_value(edb_params, entries, probe, seed):
+    database = ElementaryDatabase(KEY_BITS, entries)
+    com, dec = commit_edb(edb_params, database, DeterministicRng(f"prop{seed}"))
+
+    keys_to_check = set(entries) | {probe}
+    for key in keys_to_check:
+        outcome = verify_proof(edb_params, com, key, prove_key(edb_params, dec, key))
+        if database.get(key) is None:
+            assert outcome.is_absent
+        else:
+            assert outcome.is_value
+            assert outcome.value == database.get(key)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(entries=databases, seed=st.integers(0, 10**6))
+def test_proofs_never_verify_for_other_keys(edb_params, entries, seed):
+    if not entries:
+        return
+    database = ElementaryDatabase(KEY_BITS, entries)
+    com, dec = commit_edb(edb_params, database, DeterministicRng(f"x{seed}"))
+    key = sorted(entries)[0]
+    proof = prove_key(edb_params, dec, key)
+    other = (key + 1) % (2**KEY_BITS)
+    assert verify_proof(edb_params, com, other, proof).is_bad
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    entries=st.dictionaries(
+        keys=st.integers(0, 2**KEY_BITS - 1),
+        values=st.binary(min_size=1, max_size=20),
+        min_size=1,
+        max_size=12,
+    ),
+    probe=st.integers(0, 2**KEY_BITS - 1),
+    seed=st.integers(0, 10**6),
+)
+def test_merkle_backend_same_contract(merkle_backend, entries, probe, seed):
+    """The baseline backend satisfies the identical completeness contract
+    (checked at a larger scale since it is hash-speed)."""
+    database = ElementaryDatabase(KEY_BITS, entries)
+    com, dec = merkle_backend.commit(database, DeterministicRng(f"m{seed}"))
+    for key in set(entries) | {probe}:
+        outcome = merkle_backend.verify(com, key, merkle_backend.prove(dec, key))
+        if database.get(key) is None:
+            assert outcome.is_absent
+        else:
+            assert outcome.value == database.get(key)

@@ -1,0 +1,95 @@
+"""The zero-knowledge simulator (the paper's privacy guarantee)."""
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.prove import prove_key
+from repro.zkedb.simulate import ZkEdbSimulator
+from repro.zkedb.verify import verify_proof
+
+import pytest
+
+
+@pytest.fixture()
+def simulator(edb_params):
+    return ZkEdbSimulator(edb_params, DeterministicRng("sim"))
+
+
+def test_simulated_ownership_verifies(edb_params, simulator):
+    proof = simulator.simulate_ownership(5, b"oracle value")
+    outcome = verify_proof(edb_params, simulator.commitment, 5, proof)
+    assert outcome.is_value and outcome.value == b"oracle value"
+
+
+def test_simulated_non_ownership_verifies(edb_params, simulator):
+    proof = simulator.simulate_non_ownership(6)
+    assert verify_proof(edb_params, simulator.commitment, 6, proof).is_absent
+
+
+def test_consistent_across_queries(edb_params, simulator):
+    """Shared path prefixes reuse the same fake nodes, like a real tree."""
+    a = simulator.simulate_ownership(700, b"a")
+    b = simulator.simulate_non_ownership(701)  # shares a 7-digit prefix
+    assert a.child_commitments[0] == b.child_commitments[0]
+    assert verify_proof(edb_params, simulator.commitment, 700, a).is_value
+    assert verify_proof(edb_params, simulator.commitment, 701, b).is_absent
+
+
+def test_transcript_shape_matches_real(edb_params, zk_committed, sample_database, simulator):
+    """Simulated and real proofs are byte-length identical — a transcript
+    distinguisher gets no structural signal (the formal indistinguishability
+    reduces to the commitment schemes' hiding)."""
+    _, dec = zk_committed
+    real_own = prove_key(edb_params, dec, 3)
+    sim_own = simulator.simulate_ownership(3, sample_database.get(3))
+    assert len(real_own.to_bytes(edb_params)) == len(sim_own.to_bytes(edb_params))
+
+    real_non = prove_key(edb_params, dec, 699)
+    sim_non = simulator.simulate_non_ownership(699)
+    assert len(real_non.to_bytes(edb_params)) == len(sim_non.to_bytes(edb_params))
+
+
+def test_commitment_reveals_no_cardinality(edb_params, zk_committed):
+    """Commitments to different-size databases have identical size."""
+    from repro.crypto.rng import DeterministicRng
+    from repro.zkedb.commit import commit_edb
+    from repro.zkedb.edb import ElementaryDatabase
+
+    com_full, _ = zk_committed
+    empty = ElementaryDatabase(edb_params.key_bits)
+    com_empty, _ = commit_edb(edb_params, empty, DeterministicRng("e"))
+    assert len(com_full.to_bytes(edb_params)) == len(com_empty.to_bytes(edb_params))
+
+
+def test_non_ownership_leaves_unique_per_key(edb_params, zk_committed):
+    """Different absent keys get different soft leaves — no structural
+    reuse that a distinguisher could correlate across queries."""
+    from repro.zkedb.prove import prove_non_ownership
+
+    _, dec = zk_committed
+    leaves = {
+        prove_non_ownership(edb_params, dec, key).leaf_commitment.to_bytes(
+            edb_params.curve
+        )
+        for key in (0, 4, 699, 702, 40000)
+    }
+    assert len(leaves) == 5
+
+
+def test_real_and_simulated_elements_all_distinct(edb_params, zk_committed, simulator):
+    """No group element of a simulated proof coincides with the real
+    proof's elements (fresh randomness everywhere)."""
+    from repro.zkedb.prove import prove_non_ownership
+
+    _, dec = zk_committed
+    real = prove_non_ownership(edb_params, dec, 699)
+    fake = simulator.simulate_non_ownership(699)
+    real_witnesses = {t.witness for t in real.internal_teases}
+    fake_witnesses = {t.witness for t in fake.internal_teases}
+    assert not real_witnesses & fake_witnesses
+
+
+def test_requires_trapdoor(curve):
+    from repro.zkedb.params import EdbParams
+
+    public = EdbParams.generate(curve, DeterministicRng("pub"), q=4, key_bits=16)
+    with pytest.raises(ValueError):
+        ZkEdbSimulator(public, DeterministicRng("x"))

@@ -1,0 +1,117 @@
+"""The paper's soundness claims (Section V, Claims 1 and 2).
+
+Claim 1: no (POC, id) admits both a verifying ownership proof and a
+verifying non-ownership proof.  Claim 2: no (POC, id) admits two
+verifying ownership proofs recovering different values.
+
+These are computational claims; the tests check them along two axes:
+the honest API can never produce conflicting proofs, and the natural
+mix-and-match forgeries built from real proof material are all rejected.
+The trapdoor simulator intentionally CAN equivocate — which the last test
+demonstrates, confirming that soundness rests exactly on the trapdoor
+being discarded.
+"""
+
+import dataclasses
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.commit import commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.prove import prove_non_ownership, prove_ownership
+from repro.zkedb.simulate import ZkEdbSimulator
+from repro.zkedb.verify import verify_proof
+
+
+class TestClaim1:
+    """Ownership and non-ownership proofs are mutually exclusive."""
+
+    def test_cross_database_non_ownership_rejected(self, edb_params, zk_committed):
+        """A non-ownership proof for key 3 built from a database lacking 3
+        does not verify against the commitment that contains 3."""
+        com, _ = zk_committed
+        other = ElementaryDatabase(edb_params.key_bits)
+        other.put(700, b"beta")
+        _, other_dec = commit_edb(edb_params, other, DeterministicRng("claim1"))
+        forged = prove_non_ownership(edb_params, other_dec, 3)
+        assert verify_proof(edb_params, com, 3, forged).is_bad
+
+    def test_cross_database_ownership_rejected(self, edb_params, zk_committed):
+        """An ownership proof for an uncommitted key, generated from a
+        database that does contain it, fails against the real POC."""
+        com, _ = zk_committed
+        other = ElementaryDatabase(edb_params.key_bits)
+        other.put(4, b"planted")
+        _, other_dec = commit_edb(edb_params, other, DeterministicRng("claim1b"))
+        forged = prove_ownership(edb_params, other_dec, 4)
+        assert verify_proof(edb_params, com, 4, forged).is_bad
+
+    def test_splice_non_ownership_onto_ownership_path(self, edb_params, zk_committed):
+        """Grafting real ownership teases into a non-ownership frame for the
+        same key still fails: the leaf cannot tease to bottom."""
+        from repro.commitments.qmercurial import QtmcTease
+        from repro.zkedb.proofs import NonOwnershipProof
+        from repro.commitments.mercurial import TmcTease
+
+        com, dec = zk_committed
+        own = prove_ownership(edb_params, dec, 3)
+        teases = tuple(
+            QtmcTease(op.index, op.message, op.witness)
+            for op in own.internal_openings
+        )
+        spliced = NonOwnershipProof(
+            key=3,
+            internal_teases=teases,
+            child_commitments=own.child_commitments,
+            leaf_commitment=own.leaf_commitment,
+            leaf_tease=TmcTease(0, 0),
+        )
+        assert verify_proof(edb_params, com, 3, spliced).is_bad
+
+
+class TestClaim2:
+    """Two ownership proofs for one key recover the same trace."""
+
+    def test_honest_proofs_are_value_stable(self, edb_params, zk_committed, sample_database):
+        com, dec = zk_committed
+        for key in sample_database.support():
+            first = prove_ownership(edb_params, dec, key)
+            second = prove_ownership(edb_params, dec, key)
+            v1 = verify_proof(edb_params, com, key, first)
+            v2 = verify_proof(edb_params, com, key, second)
+            assert v1.value == v2.value == sample_database.get(key)
+
+    def test_value_swap_rejected(self, edb_params, zk_committed):
+        com, dec = zk_committed
+        proof = prove_ownership(edb_params, dec, 3)
+        forged = dataclasses.replace(proof, value=b"different trace")
+        assert verify_proof(edb_params, com, 3, forged).is_bad
+
+    def test_leaf_swap_from_other_key_rejected(self, edb_params, zk_committed):
+        """Replacing the leaf (commitment + opening + value) with another
+        committed key's leaf breaks the path hash chain."""
+        com, dec = zk_committed
+        proof_a = prove_ownership(edb_params, dec, 3)
+        proof_b = prove_ownership(edb_params, dec, 700)
+        forged = dataclasses.replace(
+            proof_a,
+            leaf_commitment=proof_b.leaf_commitment,
+            leaf_opening=proof_b.leaf_opening,
+            value=proof_b.value,
+        )
+        assert verify_proof(edb_params, com, 3, forged).is_bad
+
+
+class TestTrapdoorBreaksSoundness:
+    """With the trapdoor, conflicting proofs exist — the simulator's power."""
+
+    def test_simulator_proves_both_ways(self, edb_params):
+        simulator = ZkEdbSimulator(edb_params, DeterministicRng("sim-sound"))
+        own = simulator.simulate_ownership(42, b"anything")
+        assert verify_proof(edb_params, simulator.commitment, 42, own).is_value
+        # A fresh simulator for the same key can instead prove absence.
+        simulator2 = ZkEdbSimulator(edb_params, DeterministicRng("sim-sound"))
+        non = simulator2.simulate_non_ownership(42)
+        assert verify_proof(edb_params, simulator2.commitment, 42, non).is_absent
+        # Same commitment in both runs (deterministic fake root): the
+        # trapdoor holder answered the same key both ways.
+        assert simulator.commitment.to_bytes(edb_params) == simulator2.commitment.to_bytes(edb_params)

@@ -1,0 +1,53 @@
+"""q-ary tree addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.zkedb.tree import digits_for_key, frontier_paths, key_for_digits
+
+
+def test_digits_known_values():
+    assert digits_for_key(0, 4, 3) == (0, 0, 0)
+    assert digits_for_key(63, 4, 3) == (3, 3, 3)
+    assert digits_for_key(6, 2, 4) == (0, 1, 1, 0)
+
+
+@given(st.integers(2, 16), st.integers(1, 12), st.data())
+def test_roundtrip(q, height, data):
+    key = data.draw(st.integers(0, q**height - 1))
+    digits = digits_for_key(key, q, height)
+    assert len(digits) == height
+    assert all(0 <= d < q for d in digits)
+    assert key_for_digits(digits, q) == key
+
+
+def test_rejects_out_of_domain():
+    with pytest.raises(ValueError):
+        digits_for_key(64, 4, 3)
+    with pytest.raises(ValueError):
+        digits_for_key(-1, 4, 3)
+    with pytest.raises(ValueError):
+        key_for_digits((4,), 4)
+
+
+@given(st.integers(2, 8), st.integers(2, 6), st.data())
+def test_distinct_keys_distinct_paths(q, height, data):
+    a = data.draw(st.integers(0, q**height - 1))
+    b = data.draw(st.integers(0, q**height - 1))
+    if a != b:
+        assert digits_for_key(a, q, height) != digits_for_key(b, q, height)
+
+
+def test_frontier_paths_bottom_up():
+    keys = [digits_for_key(k, 2, 3) for k in (0, 7)]
+    paths = list(frontier_paths(keys))
+    # Deepest first.
+    assert [len(p) for p in paths] == sorted((len(p) for p in paths), reverse=True)
+    # Contains every proper prefix of both keys, once.
+    expected = {(), (0,), (0, 0), (1,), (1, 1)}
+    assert set(paths) == expected
+
+
+def test_frontier_paths_shared_prefix():
+    keys = [digits_for_key(k, 4, 3) for k in (0, 1)]  # differ in last digit
+    assert set(frontier_paths(keys)) == {(), (0,), (0, 0)}
