@@ -13,6 +13,7 @@ figures.
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 
@@ -23,6 +24,7 @@ from repro.crypto.rng import DeterministicRng
 from repro.zkedb.params import EdbParams
 
 REPORT_PATH = Path(__file__).parent / "bench_report.txt"
+ENGINE_JSON_PATH = Path(__file__).parent / "BENCH_engine.json"
 
 # The paper's exact Table II grid (q^h >= 2^128).
 FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
@@ -48,6 +50,52 @@ class _Report:
 @pytest.fixture(scope="session")
 def report():
     collector = _Report()
+    yield collector
+    collector.flush()
+
+
+class _BenchRecords:
+    """Machine-readable timings, merged into ``BENCH_engine.json``.
+
+    Each record is ``{bench, params, mean_ms, bytes}``; re-running a bench
+    overwrites its previous record (matched on ``(bench, params)``) so the
+    file tracks the latest numbers instead of growing without bound.
+    """
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def add(self, bench: str, params: str, mean_ms: float, nbytes: int = 0) -> None:
+        self.records.append(
+            {
+                "bench": bench,
+                "params": params,
+                "mean_ms": round(mean_ms, 3),
+                "bytes": nbytes,
+            }
+        )
+
+    def flush(self) -> None:
+        if not self.records:
+            return
+        merged: dict[tuple[str, str], dict] = {}
+        if ENGINE_JSON_PATH.exists():
+            try:
+                for row in json.loads(ENGINE_JSON_PATH.read_text()):
+                    merged[(row["bench"], row["params"])] = row
+            except (ValueError, KeyError, TypeError):
+                merged = {}
+        for row in self.records:
+            merged[(row["bench"], row["params"])] = row
+        ENGINE_JSON_PATH.write_text(
+            json.dumps(sorted(merged.values(), key=lambda r: (r["bench"], r["params"])), indent=2)
+            + "\n"
+        )
+
+
+@pytest.fixture(scope="session")
+def bench_records():
+    collector = _BenchRecords()
     yield collector
     collector.flush()
 

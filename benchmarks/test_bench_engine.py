@@ -1,0 +1,114 @@
+"""ProofEngine batching/parallelism benchmark (toy curve).
+
+Compares three ways to verify the same N proofs:
+
+* ``single``   — N independent ``verify_proof`` calls (the pre-engine path),
+* ``batch``    — one ``verify_many`` call on the serial executor (one
+  randomized pairing batch, one final exponentiation),
+* ``batch-p4`` — ``verify_many`` on a 4-worker process pool (timing
+  includes pool startup).
+
+The toy curve keeps this fast enough for the CI smoke job while still
+exercising real pairings; the batched paths must not be slower than the
+N-fold single-proof baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.crypto.bn import toy_bn
+from repro.crypto.rng import DeterministicRng
+from repro.engine import ParallelExecutor, ProofEngine
+from repro.zkedb.commit import commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.params import EdbParams
+from repro.zkedb.verify import verify_proof
+
+N_PROOFS = 20
+REPEATS = 3
+
+
+def _toy_database() -> ElementaryDatabase:
+    db = ElementaryDatabase(16)
+    for k in range(0, 4000, 331):
+        db.put(k, f"item-{k}".encode())
+    return db
+
+
+@pytest.fixture(scope="module")
+def toy_setup():
+    curve = toy_bn()
+    params = EdbParams.generate(
+        curve, DeterministicRng("bench-engine-crs"), q=4, key_bits=16
+    )
+    database = _toy_database()
+    com, dec = commit_edb(params, database, DeterministicRng("bench-engine-db"))
+    keys = sorted(key for key, _ in database)[: N_PROOFS // 2]
+    keys += [(k * 2654435761 + 17) % 65536 for k in range(N_PROOFS - len(keys))]
+    proofs = ProofEngine().prove_many(params, dec, keys)
+    return params, [(com, key, proof) for key, proof in zip(keys, proofs)]
+
+
+def _best_of(repeats, fn):
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append((time.perf_counter() - start) * 1000.0)
+    return min(timings)
+
+
+def test_verify_many_beats_single_verifies(toy_setup, report, bench_records):
+    params, items = toy_setup
+    serial = ProofEngine()
+    pool4 = ProofEngine(ParallelExecutor(workers=4))
+
+    # Warm the shared caches (window tables, constant pairings) so every
+    # strategy sees the same steady-state arithmetic cost.
+    for com, key, proof in items[:2]:
+        verify_proof(params, com, key, proof)
+
+    single_ms = _best_of(
+        REPEATS,
+        lambda: [verify_proof(params, com, key, proof) for com, key, proof in items],
+    )
+    batch_ms = _best_of(REPEATS, lambda: serial.verify_many(params, items))
+    pool_ms = _best_of(REPEATS, lambda: pool4.verify_many(params, items))
+
+    outcomes = serial.verify_many(params, items)
+    assert all(not o.is_bad for o in outcomes)
+
+    label = f"toy q=4 h={params.height} n={len(items)}"
+    report.add(
+        "engine verify strategies (toy curve, ms for "
+        f"{len(items)} proofs, best of {REPEATS}):",
+        f"  single x{len(items)}: {single_ms:8.1f}",
+        f"  verify_many serial: {batch_ms:8.1f}",
+        f"  verify_many pool-4: {pool_ms:8.1f}",
+    )
+    bench_records.add("engine_verify_single", label, single_ms)
+    bench_records.add("engine_verify_many_serial", label, batch_ms)
+    bench_records.add("engine_verify_many_pool4", label, pool_ms)
+
+    assert batch_ms <= single_ms, "batched verify slower than per-proof verify"
+    assert pool_ms <= single_ms, "pooled batched verify slower than per-proof verify"
+
+
+def test_prove_many_pool_records(toy_setup, bench_records):
+    params, items = toy_setup
+    keys = [key for _, key, _ in items]
+    # Same database/seed as toy_setup, so the decommitment matches the proofs.
+    _, dec = commit_edb(params, _toy_database(), DeterministicRng("bench-engine-db"))
+
+    serial = ProofEngine()
+    pool4 = ProofEngine(ParallelExecutor(workers=4))
+    serial_ms = _best_of(1, lambda: serial.prove_many(params, dec, keys))
+    pool_ms = _best_of(1, lambda: pool4.prove_many(params, dec, keys))
+    nbytes = sum(len(p.to_bytes(params)) for p in serial.prove_many(params, dec, keys))
+
+    label = f"toy q=4 h={params.height} n={len(keys)}"
+    bench_records.add("engine_prove_many_serial", label, serial_ms, nbytes)
+    bench_records.add("engine_prove_many_pool4", label, pool_ms, nbytes)

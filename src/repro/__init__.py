@@ -4,6 +4,8 @@ RFID-enabled supply chains (Qi et al., ICDCS 2017).
 Public API layers:
 
 * :mod:`repro.crypto` — from-scratch BN-curve pairing substrate;
+* :mod:`repro.engine` — the ProofEngine execution layer: shared
+  precomputation caches, batched prove/verify, pluggable parallelism;
 * :mod:`repro.commitments` — mercurial (TMC) and q-mercurial (qTMC)
   commitments;
 * :mod:`repro.zkedb` — the zero-knowledge elementary database plus a
@@ -29,6 +31,12 @@ Quickstart::
 """
 
 from .crypto import BNCurve, DeterministicRng, bn254, toy_bn
+from .engine import (
+    ParallelExecutor,
+    ProofEngine,
+    SerialExecutor,
+    default_engine,
+)
 from .desword import (
     Behavior,
     DeSwordConfig,
@@ -49,6 +57,10 @@ __all__ = [
     "bn254",
     "toy_bn",
     "DeterministicRng",
+    "ProofEngine",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "default_engine",
     "EdbParams",
     "ElementaryDatabase",
     "ZkEdbBackend",

@@ -63,7 +63,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    import json
+
     from .crypto.bn import bn254, toy_bn
+    from .engine import ProofEngine, resolve_executor
     from .zkedb.commit import commit_edb
     from .zkedb.edb import ElementaryDatabase
     from .zkedb.params import TABLE2_GRID, EdbParams
@@ -71,13 +74,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .zkedb.verify import verify_proof
 
     curve = bn254() if args.curve == "bn254" else toy_bn()
-    print(f"curve: {curve.name}\n")
+    engine = ProofEngine(resolve_executor(args.workers))
+    emit_json = args.json
+    if not emit_json:
+        print(f"curve: {curve.name} (workers: {engine.workers})\n")
     key = 0x1234_5678_9ABC_DEF0_1234_5678_9ABC_DEF0
     rows = []
+    json_rows = []
     gen_series, ver_series = [], []
     for q, height in TABLE2_GRID:
         params = EdbParams.generate(
-            curve, DeterministicRng(f"cli/{q}"), q=q, key_bits=128, height=height
+            curve, DeterministicRng(f"cli/{q}"), q=q, key_bits=128, height=height,
+            engine=engine,
         )
         database = ElementaryDatabase(128)
         database.put(key, b"v=cli")
@@ -88,12 +96,35 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         ver_ms = smoothed_ms(
             lambda: verify_proof(params, com, key, own), args.repeats
         )
+        batch_items = [(com, key, own), (com, key ^ 1, non)]
+        ver_batch_ms = smoothed_ms(
+            lambda: engine.verify_many(params, batch_items), args.repeats
+        )
         rows.append(
             (q, height, kb(own.size_bytes(params)), kb(non.size_bytes(params)),
              f"{gen_ms:.0f}ms", f"{ver_ms:.0f}ms")
         )
+        json_rows.append(
+            {
+                "q": q,
+                "h": height,
+                "own_bytes": own.size_bytes(params),
+                "non_bytes": non.size_bytes(params),
+                "gen_ms": gen_ms,
+                "verify_ms": ver_ms,
+                "verify_batch2_ms": ver_batch_ms,
+            }
+        )
         gen_series.append(gen_ms)
         ver_series.append(ver_ms)
+    if emit_json:
+        print(
+            json.dumps(
+                {"curve": curve.name, "workers": engine.workers, "rows": json_rows},
+                indent=2,
+            )
+        )
+        return 0
     print(
         format_table(
             ["q", "h", "Own proof", "N-Own proof", "gen", "verify"],
@@ -169,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("evaluate", help="regenerate the paper's tables")
     evaluate.add_argument("--curve", choices=["toy", "bn254"], default="toy")
     evaluate.add_argument("--repeats", type=int, default=3)
+    evaluate.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the proof engine (0/1 = serial)",
+    )
+    evaluate.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
     evaluate.set_defaults(func=_cmd_evaluate)
 
     incentives = sub.add_parser("incentives", help="double-edged analysis")

@@ -28,11 +28,15 @@ to demonstrate the trapdoor is real.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..crypto.bn import BNCurve
 from ..crypto.curve import G1Point
 from ..crypto.rng import DeterministicRng
 from ..crypto.serialize import encode_scalar, g1_to_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import ProofEngine
 
 __all__ = [
     "TmcParams",
@@ -102,13 +106,27 @@ class TmcTease:
 class TmcParams:
     """Public parameters for the TMC scheme, optionally with trapdoor."""
 
-    __slots__ = ("curve", "g", "h", "trapdoor")
+    __slots__ = ("curve", "g", "h", "trapdoor", "engine")
 
-    def __init__(self, curve: BNCurve, h: G1Point, trapdoor: int | None = None):
+    def __init__(
+        self,
+        curve: BNCurve,
+        h: G1Point,
+        trapdoor: int | None = None,
+        engine: "ProofEngine | None" = None,
+    ):
         self.curve = curve
         self.g = curve.g1.generator
         self.h = h
         self.trapdoor = trapdoor
+        self.engine = engine
+
+    def _engine(self) -> "ProofEngine":
+        if self.engine is None:
+            from ..engine.engine import default_engine
+
+            self.engine = default_engine()
+        return self.engine
 
     @classmethod
     def generate(
@@ -116,6 +134,7 @@ class TmcParams:
         curve: BNCurve,
         rng: DeterministicRng | None = None,
         with_trapdoor: bool = False,
+        engine: "ProofEngine | None" = None,
     ) -> "TmcParams":
         """Generate parameters.
 
@@ -127,8 +146,8 @@ class TmcParams:
             if rng is None:
                 raise ValueError("trapdoor generation needs randomness")
             alpha = curve.random_scalar(rng)
-            return cls(curve, curve.g1.mul_gen(alpha), trapdoor=alpha)
-        return cls(curve, curve.hash_to_g1(b"repro/tmc-h"))
+            return cls(curve, curve.g1.mul_gen(alpha), trapdoor=alpha, engine=engine)
+        return cls(curve, curve.hash_to_g1(b"repro/tmc-h"), engine=engine)
 
     # -- the seven algorithms ------------------------------------------------
 
@@ -139,7 +158,7 @@ class TmcParams:
         r0 = self.curve.random_scalar(rng)
         r1 = self.curve.random_scalar(rng)
         g1 = self.curve.g1
-        c0 = g1.mul(self.h, r0)
+        c0 = self._engine().fixed_mul(g1, self.h, r0)
         c1 = g1.add(g1.mul_gen(message % self.curve.r), g1.mul(c0, r1))
         return TmcCommitment(c0, c1), TmcHardDecommit(message % self.curve.r, r0, r1)
 
@@ -173,7 +192,7 @@ class TmcParams:
         g1 = self.curve.g1
         if commitment.c0 is None:
             return False
-        if g1.mul(self.h, opening.r0) != commitment.c0:
+        if self._engine().fixed_mul(g1, self.h, opening.r0) != commitment.c0:
             return False
         expected = g1.add(
             g1.mul_gen(opening.message % self.curve.r),

@@ -34,12 +34,16 @@ everything touching a soft commitment is O(1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..crypto.bn import BNCurve
 from ..crypto.curve import G1Point, G2Point
 from ..crypto.pairing import pairing_product_is_one
 from ..crypto.rng import DeterministicRng
-from ..crypto.serialize import encode_scalar, g1_to_bytes
+from ..crypto.serialize import ByteReader, encode_scalar, g1_to_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import ProofEngine
 
 __all__ = [
     "QtmcParams",
@@ -95,6 +99,16 @@ class QtmcHardOpening:
             + encode_scalar(curve, self.rho)
         )
 
+    @classmethod
+    def from_bytes(cls, curve: BNCurve, data: bytes, index: int) -> "QtmcHardOpening":
+        """Inverse of :meth:`to_bytes`; the position is carried externally."""
+        reader = ByteReader(data)
+        message = reader.take_scalar(curve)
+        witness = reader.take_g1(curve)
+        rho = reader.take_scalar(curve)
+        reader.expect_end()
+        return cls(index, message, witness, rho)
+
 
 @dataclass(frozen=True)
 class QtmcTease:
@@ -107,11 +121,20 @@ class QtmcTease:
     def to_bytes(self, curve: BNCurve) -> bytes:
         return encode_scalar(curve, self.message) + g1_to_bytes(curve, self.witness)
 
+    @classmethod
+    def from_bytes(cls, curve: BNCurve, data: bytes, index: int) -> "QtmcTease":
+        """Inverse of :meth:`to_bytes`; the position is carried externally."""
+        reader = ByteReader(data)
+        message = reader.take_scalar(curve)
+        witness = reader.take_g1(curve)
+        reader.expect_end()
+        return cls(index, message, witness)
+
 
 class QtmcParams:
     """CRS for width-q mercurial vector commitments."""
 
-    __slots__ = ("curve", "q", "g_powers", "gh", "gh_powers", "trapdoor")
+    __slots__ = ("curve", "q", "g_powers", "gh", "gh_powers", "trapdoor", "engine")
 
     def __init__(
         self,
@@ -121,6 +144,7 @@ class QtmcParams:
         gh: G2Point,
         gh_powers: dict[int, G2Point],
         trapdoor: int | None = None,
+        engine: "ProofEngine | None" = None,
     ):
         self.curve = curve
         self.q = q
@@ -128,6 +152,14 @@ class QtmcParams:
         self.gh = gh
         self.gh_powers = gh_powers
         self.trapdoor = trapdoor
+        self.engine = engine
+
+    def _engine(self) -> "ProofEngine":
+        if self.engine is None:
+            from ..engine.engine import default_engine
+
+            self.engine = default_engine()
+        return self.engine
 
     @classmethod
     def generate(
@@ -136,6 +168,7 @@ class QtmcParams:
         q: int,
         rng: DeterministicRng,
         with_trapdoor: bool = False,
+        engine: "ProofEngine | None" = None,
     ) -> "QtmcParams":
         """qKGen: trusted setup producing the CRS (Theta(q) group work).
 
@@ -164,6 +197,7 @@ class QtmcParams:
             curve.g2.generator,
             gh_powers,
             trapdoor=alpha if with_trapdoor else None,
+            engine=engine,
         )
 
     def _check_index(self, index: int) -> int:
@@ -189,8 +223,9 @@ class QtmcParams:
             if padded[j - 1]:
                 points.append(self.g_powers[self.q + 1 - j])
                 scalars.append(padded[j - 1] * rho % r)
-        c2 = self.curve.g1.multi_mul(points, scalars)
-        c1 = self.curve.g1.mul(self.g_powers[1], rho)
+        engine = self._engine()
+        c2 = engine.multi_mul(self.curve.g1, points, scalars)
+        c1 = engine.fixed_mul(self.curve.g1, self.g_powers[1], rho)
         return QtmcCommitment(c1, c2), QtmcHardDecommit(padded, gamma, rho)
 
     def soft_commit(
@@ -212,7 +247,7 @@ class QtmcParams:
                 continue
             points.append(self.g_powers[self.q + 1 - j + i])
             scalars.append(decommit.messages[j - 1] * decommit.rho % r)
-        return self.curve.g1.multi_mul(points, scalars)
+        return self._engine().multi_mul(self.curve.g1, points, scalars)
 
     def hard_open(self, decommit: QtmcHardDecommit, index: int) -> QtmcHardOpening:
         """qHOpen: binding opening of one position (Theta(q) group work)."""
@@ -233,7 +268,8 @@ class QtmcParams:
         i = self._check_index(index)
         r = self.curve.r
         message %= r
-        witness = self.curve.g1.multi_mul(
+        witness = self._engine().multi_mul(
+            self.curve.g1,
             [self.g_powers[i], self.g_powers[self.q]],
             [decommit.c, (-decommit.s * message) % r],
         )
@@ -271,12 +307,36 @@ class QtmcParams:
         """qVerHOpen: the tease equation plus the hardness check C1 = g_1^rho."""
         if opening.rho % self.curve.r == 0:
             return False
-        if self.curve.g1.mul(self.g_powers[1], opening.rho) != commitment.c1:
+        if self._engine().fixed_mul(self.curve.g1, self.g_powers[1], opening.rho) != commitment.c1:
             return False
         tease = QtmcTease(opening.index, opening.message, opening.witness)
         return self.verify_tease(commitment, tease)
 
-    # -- trapdoor (simulator) algorithms ------------------------------------------
+    def validate_crs(self) -> bool:
+        """Check the CRS is a consistent alpha-power ladder.
+
+        Verifies e(g_i, gh_1) == e(g_{i+1}, gh) across the G1 ladder (the
+        q-BDHE gap element and its neighbour excluded) and
+        e(g_i, gh) == e(g_1, gh_i) across the G2 ladder.  All pairings are
+        constants of the CRS, so they come from (and prime) the engine's
+        memoized pairing cache.
+        """
+        engine = self._engine()
+        curve = self.curve
+        for i in range(1, 2 * self.q):
+            if i == self.q or i == self.q + 1:
+                continue  # either g_{i+1} or g_i straddles the omitted power
+            lhs = engine.constant_pairing(curve, self.g_powers[i], self.gh_powers[1])
+            rhs = engine.constant_pairing(curve, self.g_powers[i + 1], self.gh)
+            if lhs != rhs:
+                return False
+        g = curve.g1.generator
+        for i in range(1, self.q + 1):
+            lhs = engine.constant_pairing(curve, g, self.gh_powers[i])
+            rhs = engine.constant_pairing(curve, self.g_powers[i], self.gh)
+            if lhs != rhs:
+                return False
+        return True
 
     def fake_commit(
         self, rng: DeterministicRng

@@ -13,14 +13,35 @@ in a per-product hot loop.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from .tower import Fp2, TowerContext
 
-__all__ = ["G1Group", "G2Group", "G1Point", "G2Point"]
+__all__ = [
+    "G1Group",
+    "G2Group",
+    "G1Point",
+    "G2Point",
+    "FixedBaseWindow",
+    "set_fixed_base_provider",
+]
 
 G1Point = Optional[tuple[int, int]]
 G2Point = Optional[tuple[Fp2, Fp2]]
+
+# Installed by the engine layer (repro.engine.cache) so that all fixed-base
+# window tables live in one process-wide, inspectable cache rather than in
+# per-group private state.  Without a provider, groups build their own
+# window lazily — same math, just not shared.
+_FIXED_BASE_PROVIDER: Callable[["G1Group", tuple[int, int]], "FixedBaseWindow"] | None = None
+
+
+def set_fixed_base_provider(
+    provider: Callable[["G1Group", tuple[int, int]], "FixedBaseWindow"] | None,
+) -> None:
+    """Install the process-wide fixed-base table provider (engine cache)."""
+    global _FIXED_BASE_PROVIDER
+    _FIXED_BASE_PROVIDER = provider
 
 
 def _naf(k: int) -> list[int]:
@@ -37,17 +58,64 @@ def _naf(k: int) -> list[int]:
     return digits
 
 
+class FixedBaseWindow:
+    """Precomputed 4-bit windows for repeated scalar mults of one base.
+
+    ``table[w][d] = d * 16^w * base``; ``table[0]`` doubles as the small
+    0..15 multiples table that Straus multi-scalar multiplication needs, so
+    one cached object serves both fixed-base mults and multi-exps over CRS
+    points.  Instances are built and shared by the engine's precomputation
+    cache; groups fall back to a private window when no engine is loaded.
+    """
+
+    __slots__ = ("group", "base", "table")
+
+    def __init__(self, group: "G1Group", base: tuple[int, int]):
+        self.group = group
+        self.base = base
+        windows = (group.order.bit_length() + 3) // 4
+        table: list[list[G1Point]] = []
+        point = base
+        for _ in range(windows):
+            row: list[G1Point] = [None, point]
+            for _ in range(14):
+                row.append(group.add(row[-1], point))
+            table.append(row)
+            point = group.double(group.double(group.double(group.double(point))))
+        self.table = table
+
+    @property
+    def small_table(self) -> list[G1Point]:
+        """The 0..15 multiples of the base (Straus per-point table)."""
+        return self.table[0]
+
+    def mul(self, scalar: int) -> G1Point:
+        group = self.group
+        scalar %= group.order
+        if scalar == 0:
+            return None
+        acc = (1, 1, 0)
+        window = 0
+        while scalar:
+            digit = scalar & 0xF
+            if digit:
+                acc = group._jac_add_affine(acc, self.table[window][digit])
+            scalar >>= 4
+            window += 1
+        return group._from_jacobian(acc)
+
+
 class G1Group:
     """The prime-order group E(Fp): y^2 = x^3 + b."""
 
-    __slots__ = ("p", "b", "order", "generator", "_gen_table")
+    __slots__ = ("p", "b", "order", "generator", "_gen_window")
 
     def __init__(self, p: int, b: int, order: int, generator: tuple[int, int]):
         self.p = p
         self.b = b % p
         self.order = order
         self.generator = generator
-        self._gen_table: list[list[G1Point]] | None = None
+        self._gen_window: FixedBaseWindow | None = None
         if not self.is_on_curve(generator):
             raise ValueError("generator is not on the curve")
 
@@ -217,59 +285,55 @@ class G1Group:
         return self._from_jacobian(acc)
 
     def mul_gen(self, scalar: int) -> G1Point:
-        """Fixed-base multiplication by the generator (precomputed windows)."""
-        scalar %= self.order
-        if scalar == 0:
-            return None
-        if self._gen_table is None:
-            self._build_gen_table()
-        acc = (1, 1, 0)
-        window = 0
-        while scalar:
-            digit = scalar & 0xF
-            if digit:
-                acc = self._jac_add_affine(acc, self._gen_table[window][digit])
-            scalar >>= 4
-            window += 1
-        return self._from_jacobian(acc)
+        """Fixed-base multiplication by the generator (precomputed windows).
 
-    def _build_gen_table(self) -> None:
-        """table[w][d] = d * 16^w * G for 4-bit fixed-base windows."""
-        windows = (self.order.bit_length() + 3) // 4
-        table: list[list[G1Point]] = []
-        base = self.generator
-        for _ in range(windows):
-            row: list[G1Point] = [None, base]
-            for _ in range(14):
-                row.append(self.add(row[-1], base))
-            table.append(row)
-            base = self.double(self.double(self.double(self.double(base))))
-        self._gen_table = table
+        The window table comes from the engine's process-wide cache when the
+        engine layer is loaded (see :func:`set_fixed_base_provider`); only a
+        borrowed reference is kept here.
+        """
+        if self._gen_window is None:
+            if _FIXED_BASE_PROVIDER is not None:
+                self._gen_window = _FIXED_BASE_PROVIDER(self, self.generator)
+            else:
+                self._gen_window = FixedBaseWindow(self, self.generator)
+        return self._gen_window.mul(scalar)
 
     def multi_mul(
-        self, points: Sequence[G1Point], scalars: Sequence[int]
+        self,
+        points: Sequence[G1Point],
+        scalars: Sequence[int],
+        tables: Sequence[Sequence[G1Point] | None] | None = None,
     ) -> G1Point:
-        """Straus interleaved multi-scalar multiplication (4-bit windows)."""
+        """Straus interleaved multi-scalar multiplication (4-bit windows).
+
+        ``tables`` optionally supplies precomputed 0..15 multiples per point
+        (as produced by :class:`FixedBaseWindow.small_table`); entries may be
+        None to build the table ad hoc.  The engine cache uses this to skip
+        rebuilding tables for CRS points on every commitment/opening.
+        """
         if len(points) != len(scalars):
             raise ValueError("points and scalars must have equal length")
+        if tables is not None and len(tables) != len(points):
+            raise ValueError("tables and points must have equal length")
         pairs = [
-            (pt, k % self.order)
-            for pt, k in zip(points, scalars)
+            (pt, k % self.order, tables[i] if tables is not None else None)
+            for i, (pt, k) in enumerate(zip(points, scalars))
             if pt is not None and k % self.order != 0
         ]
         if not pairs:
             return None
         if len(pairs) == 1:
             return self.mul(pairs[0][0], pairs[0][1])
-        tables = []
+        prepared = []
         max_bits = 0
-        for pt, k in pairs:
-            table = [None] * 16
-            table[1] = pt
-            table[2] = self.double(pt)
-            for i in range(3, 16):
-                table[i] = self.add(table[i - 1], pt)
-            tables.append((table, k))
+        for pt, k, table in pairs:
+            if table is None:
+                table = [None] * 16
+                table[1] = pt
+                table[2] = self.double(pt)
+                for i in range(3, 16):
+                    table[i] = self.add(table[i - 1], pt)
+            prepared.append((table, k))
             max_bits = max(max_bits, k.bit_length())
         acc = (1, 1, 0)
         for nibble_index in range((max_bits + 3) // 4 - 1, -1, -1):
@@ -278,7 +342,7 @@ class G1Group:
             acc = self._jac_double(acc)
             acc = self._jac_double(acc)
             shift = 4 * nibble_index
-            for table, k in tables:
+            for table, k in prepared:
                 digit = (k >> shift) & 0xF
                 if digit:
                     acc = self._jac_add_affine(acc, table[digit])

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..crypto.bn import BNCurve, bn254, toy_bn
 from ..crypto.rng import DeterministicRng
+from ..engine import ProofEngine, resolve_executor
 from ..poc.scheme import PocScheme
 from ..zkedb.backend import ZkEdbBackend
 from ..zkedb.hash_backend import MerkleEdbBackend
@@ -33,6 +34,9 @@ class DeSwordConfig:
     negative_score: float = -1.0
     violation_penalty: float = -3.0
     seed: str = "desword"
+    # Execution policy: 0 or 1 keeps everything serial; N > 1 fans
+    # proving/aggregation/verification out over N worker processes.
+    workers: int = 0
 
     def curve(self) -> BNCurve:
         return bn254() if self.curve_kind == "bn254" else toy_bn()
@@ -44,11 +48,16 @@ class DeSwordConfig:
             violation_penalty=self.violation_penalty,
         )
 
+    def build_engine(self) -> ProofEngine:
+        """The execution layer all crypto in this deployment runs through."""
+        return ProofEngine(resolve_executor(self.workers))
+
     def build_scheme(self) -> PocScheme:
         """PS-Gen for the configured backend."""
+        engine = self.build_engine()
         if self.backend_kind == "merkle":
             backend = MerkleEdbBackend(q=self.q, key_bits=self.key_bits)
-            return PocScheme.ps_gen(backend, self.key_bits)
+            return PocScheme.ps_gen(backend, self.key_bits, engine=engine)
         if self.backend_kind != "zk":
             raise ValueError(f"unknown backend kind {self.backend_kind!r}")
         params = EdbParams.generate(
@@ -56,5 +65,6 @@ class DeSwordConfig:
             DeterministicRng(self.seed + "/crs"),
             q=self.q,
             key_bits=self.key_bits,
+            engine=engine,
         )
-        return PocScheme.ps_gen(ZkEdbBackend(params), self.key_bits)
+        return PocScheme.ps_gen(ZkEdbBackend(params, engine=engine), self.key_bits)

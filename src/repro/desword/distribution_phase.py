@@ -72,14 +72,29 @@ def run_distribution_phase(
             network.send(initial, participant_id, PsBroadcast(ps_id))
 
     # Step 2: every involved participant builds its POC and learns its
-    # shipping log from the completed physical flow.
+    # shipping log from the completed physical flow.  The aggregations are
+    # independent, so they run through the scheme's engine in one batch —
+    # in parallel when a process-pool executor is configured.  Each node's
+    # randomness comes from its own rng fork, so the credentials are
+    # byte-identical to the per-node serial path.
     logs = shipments_from_record(record)
-    pocs = {}
-    poc_sizes = {}
+    traces_by_pid = {}
+    rngs = {}
     for participant_id in involved:
         node = nodes[participant_id]
         node.record_shipments(logs.get(participant_id, {}))
-        poc = node.build_poc(record.task.task_id)
+        committed, rng = node.poc_input(record.task.task_id)
+        traces_by_pid[participant_id] = committed
+        rngs[participant_id] = rng
+    scheme = nodes[initial].scheme
+    aggregated = scheme.poc_agg_many(traces_by_pid, rngs=rngs)
+    pocs = {}
+    poc_sizes = {}
+    for participant_id in involved:
+        poc, dpoc = aggregated[participant_id]
+        nodes[participant_id].accept_credential(
+            poc, dpoc, traces_by_pid[participant_id], record.task.task_id
+        )
         pocs[participant_id] = poc
         poc_sizes[participant_id] = len(poc.to_bytes(backend))
 

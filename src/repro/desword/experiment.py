@@ -71,6 +71,15 @@ class Deployment:
         """Assign a behaviour before the distribution phase runs."""
         self.nodes[participant_id].behavior = behavior
 
+    @property
+    def engine(self):
+        """The ProofEngine all of this deployment's cryptography runs on.
+
+        Distribution-phase POC aggregation and the proxy's sweep
+        verification both fan out / batch through this engine.
+        """
+        return self.scheme._engine()
+
     def distribute(
         self,
         product_ids: list[int],

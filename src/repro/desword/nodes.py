@@ -69,13 +69,32 @@ class ParticipantNode:
     def build_poc(self, task_id: str) -> PocCredential:
         """POC-Agg over this participant's traces, as (mis)shaped by its
         distribution-phase behaviour."""
+        committed, rng = self.poc_input(task_id)
+        poc, dpoc = self.scheme.poc_agg(committed, self.participant_id, rng)
+        self.accept_credential(poc, dpoc, committed, task_id)
+        return poc
+
+    def poc_input(self, task_id: str) -> tuple[dict[int, bytes], DeterministicRng]:
+        """The traces this node would commit for a task, plus its randomness.
+
+        Exposed separately from :meth:`build_poc` so the distribution phase
+        can aggregate many participants' POCs in one parallel batch while
+        keeping each node's randomness (and hence its POC bytes) identical
+        to the serial path.
+        """
         true_traces = self.participant.database.as_poc_input()
         committed = self.behavior.distribution.apply(true_traces)
-        poc, dpoc = self.scheme.poc_agg(
-            committed, self.participant_id, self.rng.fork(f"poc/{task_id}")
-        )
+        return committed, self.rng.fork(f"poc/{task_id}")
+
+    def accept_credential(
+        self,
+        poc: PocCredential,
+        dpoc: PocDecommitment,
+        committed: dict[int, bytes],
+        task_id: str,
+    ) -> None:
+        """Store an externally aggregated credential (see :meth:`poc_input`)."""
         self._credentials.append((poc, dpoc, committed, task_id))
-        return poc
 
     def record_shipments(self, shipments: dict[int, str | None]) -> None:
         """Remember whom each product was forwarded to."""

@@ -65,6 +65,18 @@ class ProbeOutcome:
 
 
 @dataclass
+class _PendingProbe:
+    """A probe whose proof verification has been deferred for batching."""
+
+    participant_id: str
+    poc: PocCredential
+    kind: str
+    product_id: int
+    proof: object | None = None
+    outcome: ProbeOutcome | None = None
+
+
+@dataclass
 class QueryResult:
     """The outcome of one product path information query."""
 
@@ -134,27 +146,56 @@ class QueryProxy:
         self, participant_id: str, poc: PocCredential, kind: str, product_id: int
     ) -> ProbeOutcome:
         """One query interaction: request, verify, attribute."""
+        pending = self._request_proof(participant_id, poc, kind, product_id)
+        if pending.outcome is not None:
+            return pending.outcome
+        verdict = self.scheme.poc_verify(poc, product_id, pending.proof)
+        return self._judge(pending, verdict)
+
+    def _request_proof(
+        self, participant_id: str, poc: PocCredential, kind: str, product_id: int
+    ) -> "_PendingProbe":
+        """Phase 1 of a probe: request and parse, defer verification.
+
+        Returns a pending probe whose ``outcome`` is already set when the
+        interaction resolved without needing a proof verification (refusal,
+        unparseable proof); otherwise ``proof`` awaits a verdict, letting
+        :meth:`sweep_query` verify a whole round in one batch.
+        """
         request = QueryRequest(kind, product_id, poc.to_bytes(self.scheme.backend))
         response = self.network.request(self.identity, participant_id, request)
+        pending = _PendingProbe(participant_id, poc, kind, product_id)
         if not isinstance(response, ProofResponse) or response.refused:
             if kind == BAD_QUERY:
                 # Cannot show non-ownership: treated as having processed it.
-                return self._demand_reveal(participant_id, poc, product_id, ())
-            return ProbeOutcome(participant_id, False)
+                pending.outcome = self._demand_reveal(participant_id, poc, product_id, ())
+            else:
+                pending.outcome = ProbeOutcome(participant_id, False)
+            return pending
 
         proof, parse_violation = self._parse_proof(
             participant_id, product_id, response.proof_bytes
         )
         if proof is None:
             if kind == BAD_QUERY:
-                return self._demand_reveal(
+                pending.outcome = self._demand_reveal(
                     participant_id, poc, product_id, (parse_violation,)
                 )
-            return ProbeOutcome(
-                participant_id, False, violations=(parse_violation,)
-            )
+            else:
+                pending.outcome = ProbeOutcome(
+                    participant_id, False, violations=(parse_violation,)
+                )
+            return pending
+        pending.proof = proof
+        return pending
 
-        verdict = self.scheme.poc_verify(poc, product_id, proof)
+    def _judge(self, pending: "_PendingProbe", verdict) -> ProbeOutcome:
+        """Phase 2 of a probe: turn a verification verdict into an outcome."""
+        participant_id = pending.participant_id
+        poc = pending.poc
+        kind = pending.kind
+        product_id = pending.product_id
+        proof = pending.proof
         if kind == GOOD_QUERY:
             if proof.kind == OWNERSHIP:
                 if verdict.status == "trace":
@@ -376,15 +417,32 @@ class QueryProxy:
         tasks = [task_id] if task_id else sorted(self.poc_lists)
         for tid in tasks:
             poc_list = self.poc_lists[tid]
-            for participant_id in poc_list.participants():
-                outcome = self._probe(
+            # Phase 1: collect every participant's response for this round.
+            pending = [
+                self._request_proof(
                     participant_id, poc_list.poc_of(participant_id), kind, product_id
                 )
+                for participant_id in poc_list.participants()
+            ]
+            # Phase 2: verify the round's proofs as one batch.
+            to_verify = [probe for probe in pending if probe.outcome is None]
+            verdicts = iter(
+                self.scheme.poc_verify_many(
+                    [(probe.poc, product_id, probe.proof) for probe in to_verify]
+                )
+            )
+            # Phase 3: judge in participant order (reveals happen here).
+            for probe in pending:
+                outcome = (
+                    probe.outcome
+                    if probe.outcome is not None
+                    else self._judge(probe, next(verdicts))
+                )
                 result.violations.extend(outcome.violations)
-                if outcome.identified and participant_id not in result.path:
-                    result.path.append(participant_id)
+                if outcome.identified and probe.participant_id not in result.path:
+                    result.path.append(probe.participant_id)
                     if outcome.trace is not None:
-                        result.traces[participant_id] = outcome.trace[1]
+                        result.traces[probe.participant_id] = outcome.trace[1]
 
         result.messages = self.network.stats.messages - before[0]
         result.bytes_sent = self.network.stats.bytes_sent - before[1]

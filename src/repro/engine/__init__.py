@@ -1,0 +1,22 @@
+"""ProofEngine execution layer: caches, batching, pluggable parallelism.
+
+Importing this package installs the shared precomputation cache as the
+fixed-base provider for every G1 group in the process — see
+:mod:`repro.engine.cache`.
+"""
+
+from .batch import PairingBatch
+from .cache import PrecomputationCache, default_cache
+from .engine import ProofEngine, default_engine
+from .executors import ParallelExecutor, SerialExecutor, resolve_executor
+
+__all__ = [
+    "PairingBatch",
+    "PrecomputationCache",
+    "ProofEngine",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "default_cache",
+    "default_engine",
+    "resolve_executor",
+]

@@ -1,0 +1,58 @@
+"""Randomized pairing-product batching.
+
+A :class:`PairingBatch` accumulates pairing triples ``e(P, Q)`` that are
+each expected to multiply to one, scales every contribution by a random
+coefficient drawn from a deterministic seed, merges contributions that
+share a G2 base, and checks everything with a single multi-pairing (one
+set of Miller loops, one final exponentiation).
+
+This generalises the batcher that used to live privately inside
+``zkedb/verify.py``: that one could only batch the levels of a *single*
+proof.  Because this class is keyed off a curve rather than EDB params it
+can just as well fold an entire round of proofs — the engine's
+``verify_many`` builds one batch for a whole probe round.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..crypto.pairing import multi_pairing
+from ..crypto.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crypto.bn import BNCurve
+
+__all__ = ["PairingBatch"]
+
+
+class PairingBatch:
+    """Accumulates randomly weighted pairing triples, merged by G2 base."""
+
+    def __init__(self, curve: "BNCurve", seed: bytes):
+        self.curve = curve
+        self.rng = DeterministicRng(seed)
+        self.groups: dict = {}
+
+    def add_triples(self, pairs: Iterable) -> None:
+        """Add one equation's pairs under a fresh random coefficient.
+
+        All pairs passed in a single call share the coefficient — they
+        form one pairing-product equation whose product must be one.
+        """
+        delta = self.curve.random_scalar(self.rng)
+        for g1_point, g2_point in pairs:
+            key = None if g2_point is None else (g2_point[0], g2_point[1])
+            self.groups.setdefault(key, []).append((g1_point, delta))
+
+    def check(self) -> bool:
+        curve = self.curve
+        merged = []
+        for key, weighted in self.groups.items():
+            if key is None:
+                continue
+            points = [point for point, _ in weighted]
+            scalars = [delta for _, delta in weighted]
+            combined = curve.g1.multi_mul(points, scalars)
+            merged.append((combined, (key[0], key[1])))
+        return multi_pairing(curve, merged).is_one()

@@ -1,0 +1,139 @@
+"""Process-wide precomputation cache.
+
+Every layer of the stack used to keep its own private precomputation: the
+G1 groups built generator window tables on demand, the commitment schemes
+rebuilt Straus tables for the *same CRS points* on every multi-exp, and
+constant pairings of CRS elements were recomputed at every call site.  The
+:class:`PrecomputationCache` centralises all three:
+
+* **fixed-base windows** — 4-bit window tables (:class:`FixedBaseWindow`)
+  for any (group, point) pair: generators, the qTMC basis ``g_1..g_2q``,
+  the TMC ``h``;
+* **Straus small tables** — the 0..15 multiples of a point, shared with
+  the window tables when both exist, fed into ``G1Group.multi_mul``;
+* **constant pairings** — memoized ``e(P, Q)`` values for CRS element
+  pairs, keyed by canonical encodings.
+
+Importing this module installs the default cache as the fixed-base
+provider of :mod:`repro.crypto.curve`, so even code that never touches a
+:class:`~repro.engine.engine.ProofEngine` draws its generator tables from
+the shared cache.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import TYPE_CHECKING
+
+from ..crypto.curve import FixedBaseWindow, G1Group, set_fixed_base_provider
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crypto.bn import BNCurve
+    from ..crypto.curve import G1Point, G2Point
+    from ..crypto.tower import Fp12
+
+__all__ = ["PrecomputationCache", "default_cache"]
+
+
+class PrecomputationCache:
+    """Shared tables and memoized pairings, keyed by group/curve identity."""
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        # (id(group), point) -> FixedBaseWindow; the window holds a strong
+        # reference to its group, which keeps the id stable.
+        self._windows: dict[tuple[int, tuple[int, int]], FixedBaseWindow] = {}
+        # (id(group), point) -> 0..15 multiples (Straus per-point table).
+        self._small: dict[tuple[int, tuple[int, int]], list] = {}
+        # (id(curve), g1 bytes, g2 bytes) -> e(P, Q).
+        self._pairings: dict[tuple[int, bytes, bytes], "Fp12"] = {}
+
+    # -- fixed-base windows --------------------------------------------------
+
+    def window(self, group: G1Group, point: tuple[int, int]) -> FixedBaseWindow:
+        """The full fixed-base window table for ``point`` (built once)."""
+        key = (id(group), point)
+        window = self._windows.get(key)
+        if window is None:
+            with self._lock:
+                window = self._windows.get(key)
+                if window is None:
+                    window = FixedBaseWindow(group, point)
+                    self._windows[key] = window
+        return window
+
+    def small_table(self, group: G1Group, point: tuple[int, int]) -> list:
+        """The 0..15 multiples of ``point`` (cheaper than a full window)."""
+        key = (id(group), point)
+        window = self._windows.get(key)
+        if window is not None:
+            return window.small_table
+        table = self._small.get(key)
+        if table is None:
+            row: list = [None, point, group.double(point)]
+            for _ in range(13):
+                row.append(group.add(row[-1], point))
+            with self._lock:
+                table = self._small.setdefault(key, row)
+        return table
+
+    def fixed_mul(self, group: G1Group, point, scalar: int):
+        """Fixed-base multiplication through the shared window table."""
+        if point is None:
+            return None
+        return self.window(group, point).mul(scalar)
+
+    def multi_mul(self, group: G1Group, points, scalars):
+        """Straus multi-exp with cached per-point tables.
+
+        Only use for points that recur across calls (CRS material); caching
+        tables for one-shot points would grow the cache without benefit.
+        """
+        tables = [
+            None if pt is None else self.small_table(group, pt) for pt in points
+        ]
+        return group.multi_mul(points, scalars, tables=tables)
+
+    # -- constant pairings -----------------------------------------------------
+
+    def constant_pairing(
+        self, curve: "BNCurve", p_point: "G1Point", q_point: "G2Point"
+    ) -> "Fp12":
+        """Memoized ``e(P, Q)`` for pairs that recur (CRS elements)."""
+        from ..crypto.pairing import pairing
+        from ..crypto.serialize import g1_to_bytes, g2_to_bytes
+
+        key = (id(curve), g1_to_bytes(curve, p_point), g2_to_bytes(curve, q_point))
+        value = self._pairings.get(key)
+        if value is None:
+            value = pairing(curve, p_point, q_point)
+            with self._lock:
+                value = self._pairings.setdefault(key, value)
+        return value
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "windows": len(self._windows),
+            "small_tables": len(self._small),
+            "pairings": len(self._pairings),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._windows.clear()
+            self._small.clear()
+            self._pairings.clear()
+
+
+_DEFAULT_CACHE = PrecomputationCache()
+
+
+def default_cache() -> PrecomputationCache:
+    """The process-wide cache shared by every engine without its own."""
+    return _DEFAULT_CACHE
+
+
+# Route G1Group.mul_gen through the shared cache (see module docstring).
+set_fixed_base_provider(_DEFAULT_CACHE.window)

@@ -1,0 +1,215 @@
+"""The `ProofEngine`: one object owning caches, batching, and parallelism.
+
+Every layer of the stack (qTMC commitments, ZK-EDB proofs, POC
+aggregation, the query proxy) used to run its cryptography inline with
+private per-module caches.  The engine pulls those concerns into one
+place:
+
+* **precomputation** — fixed-base windows, Straus tables, and constant
+  pairings come from a shared :class:`PrecomputationCache`;
+* **batching** — :meth:`ProofEngine.verify_many` folds a whole round of
+  EDB proofs into a *single* randomized :class:`PairingBatch`, so N
+  proofs of height h cost one final exponentiation instead of N;
+* **parallelism** — :meth:`prove_many`, :meth:`verify_many`, and
+  :meth:`map_tasks` fan out over the configured executor.
+
+Engines are cheap: they hold an executor and a reference to a cache.
+Code that is handed no engine falls back to :func:`default_engine` (a
+serial engine over the process-wide cache), so every existing call site
+keeps working unchanged.
+
+ZK-EDB types are imported lazily inside methods — the commitment layer
+imports this package, so a top-level import would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..crypto.hashing import hash_bytes
+from .batch import PairingBatch
+from .cache import PrecomputationCache, default_cache
+from .executors import ParallelExecutor, SerialExecutor
+from .tasks import prove_task, verify_chunk_task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..crypto.bn import BNCurve
+    from ..crypto.curve import G1Group, G1Point, G2Point
+    from ..zkedb.params import EdbParams
+
+__all__ = ["ProofEngine", "default_engine"]
+
+
+class ProofEngine:
+    """Shared precomputation + batched proving/verification + execution."""
+
+    def __init__(
+        self,
+        executor: SerialExecutor | ParallelExecutor | None = None,
+        cache: PrecomputationCache | None = None,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache if cache is not None else default_cache()
+
+    # -- pickling: workers receive a fresh serial engine -----------------------
+
+    def __getstate__(self) -> dict:
+        # Executors hold pools and the cache holds a lock; neither crosses
+        # process boundaries.  A pickled engine wakes up serial, attached
+        # to the destination process's shared cache.
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self.executor = SerialExecutor()
+        self.cache = default_cache()
+
+    # -- algebra through the shared cache --------------------------------------
+
+    def fixed_mul(self, group: "G1Group", point, scalar: int):
+        """Fixed-base scalar mult for recurring (CRS) points."""
+        return self.cache.fixed_mul(group, point, scalar)
+
+    def gen_mul(self, group: "G1Group", scalar: int):
+        """Generator mult; the group's window already lives in the cache."""
+        return group.mul_gen(scalar)
+
+    def multi_mul(self, group: "G1Group", points, scalars):
+        """Straus multi-exp with cached per-point tables (CRS points)."""
+        return self.cache.multi_mul(group, points, scalars)
+
+    def constant_pairing(self, curve: "BNCurve", p: "G1Point", q: "G2Point"):
+        return self.cache.constant_pairing(curve, p, q)
+
+    # -- execution --------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return getattr(self.executor, "workers", 1)
+
+    def map_tasks(self, fn, payloads: Sequence[Any], shared: Any = None) -> list:
+        return self.executor.map_tasks(fn, payloads, shared)
+
+    # -- batched proving --------------------------------------------------------
+
+    def prove_many(self, params: "EdbParams", dec, keys: Sequence[int]) -> list:
+        """Prove every key against one decommitment, in parallel if configured.
+
+        Proof generation is deterministic given ``dec``, so the serial and
+        parallel paths return byte-identical proofs.
+        """
+        keys = list(keys)
+        if self.workers <= 1 or len(keys) < 2:
+            from ..zkedb.prove import prove_key
+
+            return [prove_key(params, dec, key) for key in keys]
+        from ..zkedb.proofs import decode_proof
+
+        encoded = self.map_tasks(prove_task, keys, shared=(params, dec))
+        return [decode_proof(params, blob) for blob in encoded]
+
+    # -- batched verification ---------------------------------------------------
+
+    def verify_many(self, params: "EdbParams", items: Sequence[tuple]) -> list:
+        """Verify ``(commitment, key, proof)`` items as few pairing batches.
+
+        All structurally sound proofs in a chunk share one randomized
+        pairing batch (one final exponentiation).  If the combined check
+        fails, each suspect is re-verified individually, so exactly the
+        corrupted proofs come back bad — batching never blurs blame.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.workers <= 1 or len(items) < 2:
+            return _verify_item_chunk(params, items)
+
+        from ..zkedb.verify import EdbVerifyOutcome
+
+        encoded = [
+            (commitment.to_bytes(params), key, proof.to_bytes(params))
+            for commitment, key, proof in items
+        ]
+        chunks = _split_chunks(encoded, self.workers)
+        results = self.map_tasks(verify_chunk_task, chunks, shared=params)
+        outcomes = []
+        for chunk_result in results:
+            for status, value in chunk_result:
+                outcomes.append(EdbVerifyOutcome(status, value))
+        return outcomes
+
+
+def _split_chunks(seq: list, parts: int) -> list[list]:
+    """Split into at most ``parts`` contiguous, near-equal chunks."""
+    parts = max(1, min(parts, len(seq)))
+    size, extra = divmod(len(seq), parts)
+    chunks = []
+    start = 0
+    for index in range(parts):
+        end = start + size + (1 if index < extra else 0)
+        chunks.append(seq[start:end])
+        start = end
+    return chunks
+
+
+def _verify_item_chunk(params: "EdbParams", items: list) -> list:
+    """Serial reference path: one pairing batch over a chunk of proofs."""
+    from ..zkedb.verify import (
+        EdbVerifyOutcome,
+        _batch_seed,
+        gather_proof_checks,
+        verify_proof,
+    )
+
+    outcomes: list[EdbVerifyOutcome] = []
+    pending: list[tuple[int, list]] = []  # (item index, pairing equations)
+    seed_parts: list[bytes] = []
+    for index, (commitment, key, proof) in enumerate(items):
+        outcome, equations = gather_proof_checks(params, commitment, key, proof)
+        outcomes.append(outcome)
+        if not outcome.is_bad and equations:
+            pending.append((index, equations))
+            seed_parts.append(_batch_seed(params, commitment, proof))
+    if not pending:
+        return outcomes
+
+    batch = PairingBatch(
+        params.curve, hash_bytes(b"repro/engine-batch", b"".join(seed_parts))
+    )
+    for _, equations in pending:
+        for pairs in equations:
+            batch.add_triples(pairs)
+    if batch.check():
+        return outcomes
+
+    # Combined batch failed: re-verify suspects one by one to pin blame.
+    for index, _ in pending:
+        commitment, key, proof = items[index]
+        outcomes[index] = verify_proof(params, commitment, key, proof)
+    return outcomes
+
+
+def _verify_encoded_chunk(params: "EdbParams", chunk: list) -> list:
+    """Worker-side entry: decode wire items, verify, re-encode outcomes."""
+    from ..commitments.qmercurial import QtmcCommitment
+    from ..crypto.serialize import ByteReader
+    from ..zkedb.commit import EdbCommitment
+    from ..zkedb.proofs import decode_proof
+
+    items = []
+    for com_bytes, key, proof_bytes in chunk:
+        reader = ByteReader(com_bytes)
+        root = QtmcCommitment(reader.take_g1(params.curve), reader.take_g1(params.curve))
+        reader.expect_end()
+        items.append((EdbCommitment(root), key, decode_proof(params, proof_bytes)))
+    return [(o.status, o.value) for o in _verify_item_chunk(params, items)]
+
+
+_DEFAULT_ENGINE: ProofEngine | None = None
+
+
+def default_engine() -> ProofEngine:
+    """The process-wide serial engine used when no engine is supplied."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ProofEngine()
+    return _DEFAULT_ENGINE

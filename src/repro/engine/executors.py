@@ -1,0 +1,106 @@
+"""Execution strategies for the proof engine.
+
+An executor maps a picklable worker function over a list of payloads,
+optionally with a per-batch ``shared`` context (params, a scheme, ...)
+that is shipped to each worker once rather than per payload.
+
+Two strategies exist:
+
+* :class:`SerialExecutor` — runs everything inline.  Zero overhead, the
+  default, and the reference semantics: the parallel path must produce
+  byte-identical results.
+* :class:`ParallelExecutor` — fans out over a ``ProcessPoolExecutor``.
+  The worker function and shared context are delivered through the pool
+  initializer (pickled once per worker, not per task).  On platforms
+  without ``fork`` or when the pool fails to come up, it silently falls
+  back to serial execution so callers never need a try/except.
+
+Worker functions must be module-level callables of the form
+``fn(shared, payload) -> result`` with picklable payloads and results —
+see :mod:`repro.engine.tasks` for the built-in ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["SerialExecutor", "ParallelExecutor", "resolve_executor"]
+
+TaskFn = Callable[[Any, Any], Any]
+
+# Worker-side globals, populated by the pool initializer so each task
+# submission only pickles its payload.
+_WORKER_FN: TaskFn | None = None
+_WORKER_SHARED: Any = None
+
+
+def _init_worker(fn: TaskFn, shared: Any) -> None:
+    global _WORKER_FN, _WORKER_SHARED
+    _WORKER_FN = fn
+    _WORKER_SHARED = shared
+
+
+def _run_payload(payload: Any) -> Any:
+    assert _WORKER_FN is not None, "worker pool initializer did not run"
+    return _WORKER_FN(_WORKER_SHARED, payload)
+
+
+class SerialExecutor:
+    """Run tasks inline, in submission order."""
+
+    workers = 1
+
+    def map_tasks(self, fn: TaskFn, payloads: Sequence[Any], shared: Any = None) -> list:
+        return [fn(shared, payload) for payload in payloads]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan tasks out over a process pool, preserving submission order.
+
+    ``workers=0`` means "use the CPU count".  Small batches (fewer than
+    two payloads, or a single worker) run serially — a pool would only
+    add startup cost.
+    """
+
+    def __init__(self, workers: int = 0) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers or (os.cpu_count() or 1)
+        self._serial = SerialExecutor()
+
+    def map_tasks(self, fn: TaskFn, payloads: Sequence[Any], shared: Any = None) -> list:
+        payloads = list(payloads)
+        if self.workers <= 1 or len(payloads) < 2:
+            return self._serial.map_tasks(fn, payloads, shared)
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return self._serial.map_tasks(fn, payloads, shared)
+        workers = min(self.workers, len(payloads))
+        chunksize = max(1, len(payloads) // (workers * 4))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(fn, shared),
+            ) as pool:
+                return list(pool.map(_run_payload, payloads, chunksize=chunksize))
+        except (OSError, RuntimeError):  # pragma: no cover - resource limits
+            return self._serial.map_tasks(fn, payloads, shared)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelExecutor(workers={self.workers})"
+
+
+def resolve_executor(workers: int) -> SerialExecutor | ParallelExecutor:
+    """``workers > 1`` gets a pool; 0 or 1 stays serial."""
+    if workers > 1:
+        return ParallelExecutor(workers)
+    return SerialExecutor()

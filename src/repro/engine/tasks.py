@@ -1,0 +1,42 @@
+"""Module-level worker functions for the process-pool executor.
+
+Each function has the ``fn(shared, payload)`` shape the executors expect
+and is importable by name, so it survives pickling into worker processes.
+Payloads and results cross process boundaries as wire bytes (via
+:mod:`repro.crypto.serialize` encodings) or plain picklable dataclasses;
+the heavyweight ``shared`` context (params, schemes) rides along through
+the pool initializer and the ``fork`` start method, so it is never
+re-pickled per task.
+"""
+
+from __future__ import annotations
+
+__all__ = ["prove_task", "verify_chunk_task", "poc_agg_task"]
+
+
+def prove_task(shared, key: int) -> bytes:
+    """Prove one key against a shared (params, dec) pair; returns wire bytes."""
+    from ..zkedb.prove import prove_key
+
+    params, dec = shared
+    return prove_key(params, dec, key).to_bytes(params)
+
+
+def verify_chunk_task(shared, chunk) -> list:
+    """Batch-verify one chunk of encoded (com, key, proof) items.
+
+    ``chunk`` is a list of ``(commitment_bytes, key, proof_bytes)``
+    tuples; the result is a list of ``(status, value)`` pairs mirroring
+    ``EdbVerifyOutcome`` so it stays trivially picklable.
+    """
+    from .engine import _verify_encoded_chunk
+
+    params = shared
+    return _verify_encoded_chunk(params, chunk)
+
+
+def poc_agg_task(shared, payload):
+    """Aggregate one participant's traces into a (POC, DPOC) pair."""
+    scheme = shared
+    participant_id, traces, rng = payload
+    return scheme.poc_agg(traces, participant_id, rng)

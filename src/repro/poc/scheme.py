@@ -17,11 +17,15 @@ baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..crypto.rng import DeterministicRng
+from ..engine.tasks import poc_agg_task
 from ..zkedb.backend import EdbBackend
 from ..zkedb.edb import ElementaryDatabase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import ProofEngine
 
 __all__ = [
     "PocCredential",
@@ -93,14 +97,35 @@ _BAD = PocVerifyResult("bad")
 class PocScheme:
     """The POC scheme over a pluggable EDB backend."""
 
-    def __init__(self, backend: EdbBackend, key_bits: int = 128):
+    def __init__(
+        self,
+        backend: EdbBackend,
+        key_bits: int = 128,
+        engine: "ProofEngine | None" = None,
+    ):
         self.backend = backend
         self.key_bits = key_bits
+        self.engine = engine
 
     @classmethod
-    def ps_gen(cls, backend: EdbBackend, key_bits: int = 128) -> "PocScheme":
+    def ps_gen(
+        cls,
+        backend: EdbBackend,
+        key_bits: int = 128,
+        engine: "ProofEngine | None" = None,
+    ) -> "PocScheme":
         """PS-Gen: wrap the (already trusted-setup) CRS as public parameters."""
-        return cls(backend, key_bits)
+        return cls(backend, key_bits, engine=engine)
+
+    def _engine(self) -> "ProofEngine":
+        if self.engine is not None:
+            return self.engine
+        backend_engine = getattr(self.backend, "engine", None)
+        if backend_engine is not None:
+            return backend_engine
+        from ..engine.engine import default_engine
+
+        return default_engine()
 
     def poc_agg(
         self,
@@ -117,6 +142,35 @@ class PocScheme:
             PocCredential(participant_id, commitment),
             PocDecommitment(participant_id, dec),
         )
+
+    def poc_agg_many(
+        self,
+        traces_by_participant: Mapping[str, Mapping[int, bytes]],
+        rng: DeterministicRng | None = None,
+        rngs: Mapping[str, DeterministicRng] | None = None,
+    ) -> dict[str, tuple[PocCredential, PocDecommitment]]:
+        """POC-Agg for many participants at once, in parallel if configured.
+
+        Per-participant randomness comes from ``rngs[pid]`` when supplied,
+        else from ``rng.fork(f"poc/{pid}")`` — deterministic either way, so
+        serial and parallel execution produce identical credentials.
+        """
+        if rngs is None:
+            if rng is None:
+                raise ValueError("poc_agg_many needs either rng or rngs")
+            rngs = {
+                pid: rng.fork(f"poc/{pid}") for pid in traces_by_participant
+            }
+        payloads = [
+            (pid, dict(traces_by_participant[pid]), rngs[pid])
+            for pid in sorted(traces_by_participant)
+        ]
+        engine = self._engine()
+        if engine.workers <= 1 or len(payloads) < 2:
+            results = [poc_agg_task(self, payload) for payload in payloads]
+        else:
+            results = engine.map_tasks(poc_agg_task, payloads, shared=self)
+        return {poc.participant_id: (poc, dpoc) for poc, dpoc in results}
 
     def poc_proof(self, dpoc: PocDecommitment, product_id: int) -> PocProof:
         """POC-Proof: an ownership or non-ownership proof for ``product_id``."""
@@ -135,13 +189,38 @@ class PocScheme:
     ) -> PocVerifyResult:
         """POC-Verify: recover a trace, accept a non-ownership, or reject."""
         outcome = self.backend.verify(poc.commitment, product_id, proof.inner)
+        return self._map_outcome(proof.kind, product_id, outcome)
+
+    def poc_verify_many(
+        self, items: Sequence[tuple[PocCredential, int, PocProof]]
+    ) -> list[PocVerifyResult]:
+        """POC-Verify a whole round of (POC, id, proof) items at once.
+
+        Backends that batch (the ZK-EDB folds all pairing equations into
+        one randomized check) amortize a round's verification; others fall
+        back to per-item verification with identical results.
+        """
+        items = list(items)
+        verify_many = getattr(self.backend, "verify_many", None)
+        if verify_many is None:
+            return [self.poc_verify(poc, pid, proof) for poc, pid, proof in items]
+        outcomes = verify_many(
+            [(poc.commitment, pid, proof.inner) for poc, pid, proof in items]
+        )
+        return [
+            self._map_outcome(proof.kind, pid, outcome)
+            for (_, pid, proof), outcome in zip(items, outcomes)
+        ]
+
+    @staticmethod
+    def _map_outcome(kind: str, product_id: int, outcome) -> PocVerifyResult:
         if outcome.is_bad:
             return _BAD
-        if proof.kind == OWNERSHIP:
+        if kind == OWNERSHIP:
             if not outcome.is_value:
                 return _BAD
             return PocVerifyResult("trace", (product_id, outcome.value))
-        if proof.kind == NON_OWNERSHIP:
+        if kind == NON_OWNERSHIP:
             if not outcome.is_absent:
                 return _BAD
             return PocVerifyResult("valid")

@@ -13,7 +13,7 @@ implementations exist:
 
 from __future__ import annotations
 
-from typing import Any, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, Sequence, runtime_checkable
 
 from ..crypto.rng import DeterministicRng
 from .commit import EdbCommitment, EdbDecommitment, commit_edb
@@ -22,6 +22,9 @@ from .params import EdbParams
 from .proofs import decode_proof
 from .prove import prove_key
 from .verify import EdbVerifyOutcome, verify_proof
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import ProofEngine
 
 __all__ = ["EdbBackend", "ZkEdbBackend"]
 
@@ -40,6 +43,10 @@ class EdbBackend(Protocol):
 
     def verify(self, commitment: Any, key: int, proof: Any) -> EdbVerifyOutcome: ...
 
+    def prove_many(self, dec: Any, keys: Sequence[int]) -> list: ...
+
+    def verify_many(self, items: Sequence[tuple]) -> list[EdbVerifyOutcome]: ...
+
     def commitment_bytes(self, commitment: Any) -> bytes: ...
 
     def decode_commitment_bytes(self, data: bytes) -> Any: ...
@@ -55,9 +62,19 @@ class EdbBackend(Protocol):
 class ZkEdbBackend:
     """The paper's ZK-EDB behind the generic backend interface."""
 
-    def __init__(self, params: EdbParams):
+    def __init__(self, params: EdbParams, engine: "ProofEngine | None" = None):
         self.params = params
+        if engine is not None:
+            params.bind_engine(engine)
         self.name = f"zk-edb(q={params.q},h={params.height})"
+
+    @property
+    def engine(self) -> "ProofEngine":
+        if self.params.engine is not None:
+            return self.params.engine
+        from ..engine.engine import default_engine
+
+        return default_engine()
 
     def commit(
         self, database: ElementaryDatabase, rng: DeterministicRng
@@ -69,6 +86,14 @@ class ZkEdbBackend:
 
     def verify(self, commitment: EdbCommitment, key: int, proof) -> EdbVerifyOutcome:
         return verify_proof(self.params, commitment, key, proof)
+
+    def prove_many(self, dec: EdbDecommitment, keys: Sequence[int]) -> list:
+        """Prove many keys, fanned out over the engine's executor."""
+        return self.engine.prove_many(self.params, dec, keys)
+
+    def verify_many(self, items: Sequence[tuple]) -> list[EdbVerifyOutcome]:
+        """Verify (commitment, key, proof) items as few pairing batches."""
+        return self.engine.verify_many(self.params, items)
 
     def commitment_bytes(self, commitment: EdbCommitment) -> bytes:
         return commitment.to_bytes(self.params)

@@ -102,9 +102,19 @@ class EdbDecommitment:
 
 
 def commit_edb(
-    params: EdbParams, database: ElementaryDatabase, rng: DeterministicRng
+    params: EdbParams,
+    database: ElementaryDatabase,
+    rng: DeterministicRng,
+    engine=None,
 ) -> tuple[EdbCommitment, EdbDecommitment]:
-    """The paper's EDB-commit(D, sigma) -> (Com, Dec)."""
+    """The paper's EDB-commit(D, sigma) -> (Com, Dec).
+
+    ``engine`` (optional) binds a :class:`~repro.engine.engine.ProofEngine`
+    to the params before committing; omitted, the params' current engine
+    (or the process default) is used.
+    """
+    if engine is not None:
+        params.bind_engine(engine)
     if database.key_bits != params.key_bits:
         raise ValueError("database key domain does not match the parameters")
     if params.key_bits % 8 != 0:

@@ -143,6 +143,14 @@ class MerkleEdbBackend:
             return EdbVerifyOutcome("absent")
         return EdbVerifyOutcome("value", proof.value)
 
+    def prove_many(self, dec: MerkleDecommitment, keys) -> list:
+        """Hash proofs are cheap; a loop is the whole batching story."""
+        return [self.prove(dec, key) for key in keys]
+
+    def verify_many(self, items) -> list[EdbVerifyOutcome]:
+        """No pairings to batch; verify each item in turn."""
+        return [self.verify(commitment, key, proof) for commitment, key, proof in items]
+
     def commitment_bytes(self, commitment: MerkleCommitment) -> bytes:
         return commitment.root
 

@@ -8,12 +8,16 @@ paper evaluates in Table II for a 128-bit id space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..commitments.mercurial import TmcParams
 from ..commitments.qmercurial import QtmcParams
 from ..crypto.bn import BNCurve
 from ..crypto.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import ProofEngine
 
 __all__ = ["EdbParams", "choose_height", "TABLE2_GRID"]
 
@@ -50,6 +54,7 @@ class EdbParams:
     key_bits: int
     qtmc: QtmcParams
     tmc: TmcParams
+    engine: "ProofEngine | None" = field(default=None, compare=False, repr=False)
 
     @classmethod
     def generate(
@@ -60,15 +65,23 @@ class EdbParams:
         key_bits: int = 128,
         height: int | None = None,
         with_trapdoor: bool = False,
+        engine: "ProofEngine | None" = None,
     ) -> "EdbParams":
         """Trusted setup for the whole EDB (run by the proxy in DE-Sword)."""
         if height is None:
             height = choose_height(q, key_bits)
         if q**height < (1 << key_bits):
             raise ValueError("q**height must cover the key domain")
-        qtmc = QtmcParams.generate(curve, q, rng.fork("qtmc"), with_trapdoor)
-        tmc = TmcParams.generate(curve, rng.fork("tmc"), with_trapdoor)
-        return cls(curve, q, height, key_bits, qtmc, tmc)
+        qtmc = QtmcParams.generate(curve, q, rng.fork("qtmc"), with_trapdoor, engine=engine)
+        tmc = TmcParams.generate(curve, rng.fork("tmc"), with_trapdoor, engine=engine)
+        return cls(curve, q, height, key_bits, qtmc, tmc, engine=engine)
+
+    def bind_engine(self, engine: "ProofEngine") -> "EdbParams":
+        """Attach an engine to these params and both underlying CRSs."""
+        object.__setattr__(self, "engine", engine)
+        self.qtmc.engine = engine
+        self.tmc.engine = engine
+        return self
 
     @property
     def trapdoor_available(self) -> bool:

@@ -22,9 +22,15 @@ __all__ = ["prove_key", "prove_ownership", "prove_non_ownership"]
 
 
 def prove_key(
-    params: EdbParams, dec: EdbDecommitment, key: int
+    params: EdbParams, dec: EdbDecommitment, key: int, engine=None
 ) -> OwnershipProof | NonOwnershipProof:
-    """The paper's EDB-proof: dispatch on key membership."""
+    """The paper's EDB-proof: dispatch on key membership.
+
+    ``engine`` (optional) binds a :class:`~repro.engine.engine.ProofEngine`
+    to the params before proving.
+    """
+    if engine is not None:
+        params.bind_engine(engine)
     if dec.database.get(key) is not None:
         return prove_ownership(params, dec, key)
     return prove_non_ownership(params, dec, key)

@@ -7,22 +7,31 @@ and pairs sharing a G2 base are merged, so a whole h-level proof costs a
 handful of Miller loops and one final exponentiation.  This is why
 verification scales only with h while generation scales with q*h —
 exactly the shape of the paper's Figure 5.
+
+The scalar/structural checks and the pairing equations are separated by
+:func:`gather_proof_checks`, so the engine layer can fold the equations of
+*many* proofs into one batch (``ProofEngine.verify_many``) instead of
+paying a final exponentiation per proof.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..commitments.qmercurial import QtmcTease
 from ..crypto.hashing import hash_bytes
 from ..crypto.pairing import multi_pairing
-from ..crypto.rng import DeterministicRng
+from ..engine.batch import PairingBatch
 from .commit import EdbCommitment, leaf_message, node_message
 from .params import EdbParams
 from .proofs import NonOwnershipProof, OwnershipProof
 from .tree import digits_for_key
 
-__all__ = ["EdbVerifyOutcome", "verify_proof"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import ProofEngine
+
+__all__ = ["EdbVerifyOutcome", "verify_proof", "gather_proof_checks"]
 
 
 @dataclass(frozen=True)
@@ -48,31 +57,22 @@ class EdbVerifyOutcome:
 _BAD = EdbVerifyOutcome("bad")
 
 
-class _PairingBatch:
-    """Accumulates randomly weighted pairing triples, merged by G2 base."""
+class _PairingBatch(PairingBatch):
+    """Back-compat shim: the batcher now lives in :mod:`repro.engine.batch`."""
 
     def __init__(self, params: EdbParams, seed: bytes):
+        super().__init__(params.curve, seed)
         self.params = params
-        self.rng = DeterministicRng(seed)
-        self.groups: dict = {}
 
-    def add_triples(self, pairs) -> None:
-        delta = self.params.curve.random_scalar(self.rng)
-        for g1_point, g2_point in pairs:
-            key = None if g2_point is None else (g2_point[0], g2_point[1])
-            self.groups.setdefault(key, []).append((g1_point, delta))
 
-    def check(self) -> bool:
-        curve = self.params.curve
-        merged = []
-        for key, weighted in self.groups.items():
-            if key is None:
-                continue
-            points = [point for point, _ in weighted]
-            scalars = [delta for _, delta in weighted]
-            combined = curve.g1.multi_mul(points, scalars)
-            merged.append((combined, (key[0], key[1])))
-        return multi_pairing(curve, merged).is_one()
+def _resolve_engine(params: EdbParams, engine: "ProofEngine | None") -> "ProofEngine":
+    if engine is not None:
+        return engine
+    if params.engine is not None:
+        return params.engine
+    from ..engine.engine import default_engine
+
+    return default_engine()
 
 
 def verify_proof(
@@ -81,13 +81,44 @@ def verify_proof(
     key: int,
     proof: OwnershipProof | NonOwnershipProof,
     batch: bool = True,
+    engine: "ProofEngine | None" = None,
 ) -> EdbVerifyOutcome:
     """The paper's EDB-Verify(sigma, Com, x, pi) -> y / bottom / bad."""
+    outcome, equations = gather_proof_checks(params, commitment, key, proof, engine)
+    if outcome.is_bad or not equations:
+        return outcome
+    if batch:
+        batcher = _PairingBatch(params, _batch_seed(params, commitment, proof))
+        for pairs in equations:
+            batcher.add_triples(pairs)
+        if not batcher.check():
+            return _BAD
+    else:
+        for pairs in equations:
+            if not multi_pairing(params.curve, pairs).is_one():
+                return _BAD
+    return outcome
+
+
+def gather_proof_checks(
+    params: EdbParams,
+    commitment: EdbCommitment,
+    key: int,
+    proof: OwnershipProof | NonOwnershipProof,
+    engine: "ProofEngine | None" = None,
+):
+    """Run all scalar/structural checks; defer the pairing equations.
+
+    Returns ``(provisional_outcome, equations)`` where ``equations`` is a
+    list of pairing-pair lists (one per tree level, root first), each of
+    which must multiply to one for the provisional outcome to stand.  A
+    bad provisional outcome carries no equations.
+    """
     if isinstance(proof, OwnershipProof):
-        return _verify_ownership(params, commitment, key, proof, batch)
+        return _gather_ownership(params, commitment, key, proof, engine)
     if isinstance(proof, NonOwnershipProof):
-        return _verify_non_ownership(params, commitment, key, proof, batch)
-    return _BAD
+        return _gather_non_ownership(params, commitment, key, proof, engine)
+    return _BAD, []
 
 
 def _batch_seed(params: EdbParams, commitment: EdbCommitment, proof) -> bytes:
@@ -98,104 +129,93 @@ def _batch_seed(params: EdbParams, commitment: EdbCommitment, proof) -> bytes:
     )
 
 
-def _verify_ownership(
+def _gather_ownership(
     params: EdbParams,
     commitment: EdbCommitment,
     key: int,
     proof: OwnershipProof,
-    batch: bool,
-) -> EdbVerifyOutcome:
+    engine: "ProofEngine | None",
+):
     if proof.key != key:
-        return _BAD
+        return _BAD, []
     try:
         digits = digits_for_key(key, params.q, params.height)
     except ValueError:
-        return _BAD
+        return _BAD, []
     if len(proof.internal_openings) != params.height:
-        return _BAD
+        return _BAD, []
     if len(proof.child_commitments) != params.height - 1:
-        return _BAD
+        return _BAD, []
 
     qtmc = params.qtmc
-    batcher = _PairingBatch(params, _batch_seed(params, commitment, proof))
+    ctx = _resolve_engine(params, engine)
+    equations = []
     current = commitment.root
     for depth in range(params.height):
         opening = proof.internal_openings[depth]
         if opening.index != digits[depth]:
-            return _BAD
+            return _BAD, []
         # Hardness: rho != 0 and C1 = g_1^rho.
         if opening.rho % params.curve.r == 0:
-            return _BAD
-        if params.curve.g1.mul(qtmc.g_powers[1], opening.rho) != current.c1:
-            return _BAD
+            return _BAD, []
+        if ctx.fixed_mul(params.curve.g1, qtmc.g_powers[1], opening.rho) != current.c1:
+            return _BAD, []
         child = (
             proof.child_commitments[depth]
             if depth + 1 < params.height
             else proof.leaf_commitment
         )
         if opening.message != node_message(params, child):
-            return _BAD
+            return _BAD, []
         tease = QtmcTease(opening.index, opening.message, opening.witness)
-        pairs = qtmc.tease_pairing_pairs(current, tease)
-        if batch:
-            batcher.add_triples(pairs)
-        elif not multi_pairing(params.curve, pairs).is_one():
-            return _BAD
+        equations.append(qtmc.tease_pairing_pairs(current, tease))
         current = child
 
-    if batch and not batcher.check():
-        return _BAD
     if not params.tmc.verify_hard_open(proof.leaf_commitment, proof.leaf_opening):
-        return _BAD
+        return _BAD, []
     expected = leaf_message(params, key, proof.value)
     if proof.leaf_opening.message != expected:
-        return _BAD
-    return EdbVerifyOutcome("value", proof.value)
+        return _BAD, []
+    return EdbVerifyOutcome("value", proof.value), equations
 
 
-def _verify_non_ownership(
+def _gather_non_ownership(
     params: EdbParams,
     commitment: EdbCommitment,
     key: int,
     proof: NonOwnershipProof,
-    batch: bool,
-) -> EdbVerifyOutcome:
+    engine: "ProofEngine | None",
+):
     if proof.key != key:
-        return _BAD
+        return _BAD, []
     try:
         digits = digits_for_key(key, params.q, params.height)
     except ValueError:
-        return _BAD
+        return _BAD, []
     if len(proof.internal_teases) != params.height:
-        return _BAD
+        return _BAD, []
     if len(proof.child_commitments) != params.height - 1:
-        return _BAD
+        return _BAD, []
 
     qtmc = params.qtmc
-    batcher = _PairingBatch(params, _batch_seed(params, commitment, proof))
+    equations = []
     current = commitment.root
     for depth in range(params.height):
         tease = proof.internal_teases[depth]
         if tease.index != digits[depth]:
-            return _BAD
+            return _BAD, []
         child = (
             proof.child_commitments[depth]
             if depth + 1 < params.height
             else proof.leaf_commitment
         )
         if tease.message != node_message(params, child):
-            return _BAD
-        pairs = qtmc.tease_pairing_pairs(current, tease)
-        if batch:
-            batcher.add_triples(pairs)
-        elif not multi_pairing(params.curve, pairs).is_one():
-            return _BAD
+            return _BAD, []
+        equations.append(qtmc.tease_pairing_pairs(current, tease))
         current = child
 
-    if batch and not batcher.check():
-        return _BAD
     if proof.leaf_tease.message % params.curve.r != 0:
-        return _BAD
+        return _BAD, []
     if not params.tmc.verify_tease(proof.leaf_commitment, proof.leaf_tease):
-        return _BAD
-    return EdbVerifyOutcome("absent")
+        return _BAD, []
+    return EdbVerifyOutcome("absent"), equations

@@ -1,0 +1,77 @@
+"""The shared precomputation cache: correctness and reuse."""
+
+from __future__ import annotations
+
+from repro.crypto.bn import toy_bn
+from repro.crypto.curve import FixedBaseWindow
+from repro.crypto.pairing import pairing
+from repro.engine import PrecomputationCache, default_cache
+
+
+def test_window_mul_matches_plain_mul(curve):
+    g1 = curve.g1
+    point = g1.mul_gen(7)
+    window = FixedBaseWindow(g1, point)
+    for scalar in [0, 1, 2, 15, 16, 17, curve.r - 1, curve.r, curve.r + 5]:
+        assert window.mul(scalar) == g1.mul(point, scalar)
+
+
+def test_cache_returns_same_window_object(curve):
+    cache = PrecomputationCache()
+    point = curve.g1.mul_gen(11)
+    first = cache.window(curve.g1, point)
+    second = cache.window(curve.g1, point)
+    assert first is second
+
+
+def test_small_table_is_straus_row(curve):
+    cache = PrecomputationCache()
+    point = curve.g1.mul_gen(13)
+    table = cache.small_table(curve.g1, point)
+    assert table[0] is None
+    for d in range(1, 16):
+        assert table[d] == curve.g1.mul(point, d)
+    # A full window built later exposes the same multiples.
+    window = cache.window(curve.g1, point)
+    assert window.small_table[5] == table[5]
+
+
+def test_cached_multi_mul_matches_group_multi_mul(curve):
+    cache = PrecomputationCache()
+    g1 = curve.g1
+    points = [g1.mul_gen(k) for k in (2, 3, 5, 7)]
+    scalars = [123, 456, 789, curve.r - 2]
+    assert cache.multi_mul(g1, points, scalars) == g1.multi_mul(points, scalars)
+
+
+def test_constant_pairing_is_memoized(curve):
+    cache = PrecomputationCache()
+    p = curve.g1.mul_gen(3)
+    q = curve.g2.mul_gen(5)
+    first = cache.constant_pairing(curve, p, q)
+    assert first == pairing(curve, p, q)
+    assert cache.stats()["pairings"] == 1
+    assert cache.constant_pairing(curve, p, q) == first
+    assert cache.stats()["pairings"] == 1
+
+
+def test_generator_windows_come_from_default_cache():
+    # toy_bn() is lru_cached, so its G1 group is shared process-wide; its
+    # generator window must live in the default cache, not a private slot.
+    curve = toy_bn()
+    curve.g1.mul_gen(42)
+    key = (id(curve.g1), curve.g1.generator)
+    assert key in default_cache()._windows
+
+
+def test_validate_crs_accepts_honest_crs(edb_params):
+    assert edb_params.qtmc.validate_crs()
+
+
+def test_validate_crs_rejects_tampered_crs(curve):
+    from repro.commitments.qmercurial import QtmcParams
+    from repro.crypto.rng import DeterministicRng
+
+    params = QtmcParams.generate(curve, 4, DeterministicRng("crs-tamper"))
+    params.g_powers[2] = curve.g1.mul_gen(999)
+    assert not params.validate_crs()

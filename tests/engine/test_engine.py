@@ -1,0 +1,107 @@
+"""ProofEngine batched APIs: parity with the one-at-a-time paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.engine import ParallelExecutor, ProofEngine
+from repro.zkedb.prove import prove_key
+from repro.zkedb.verify import verify_proof
+
+
+@pytest.fixture(scope="module")
+def committed(edb_params, sample_database):
+    from repro.zkedb.commit import commit_edb
+
+    return commit_edb(edb_params, sample_database, DeterministicRng("engine-commit"))
+
+
+KEYS = [3, 700, 701, 65535, 4, 512, 40000]
+
+
+def test_prove_many_serial_matches_individual(edb_params, committed):
+    com, dec = committed
+    engine = ProofEngine()
+    proofs = engine.prove_many(edb_params, dec, KEYS)
+    for key, proof in zip(KEYS, proofs):
+        assert proof.to_bytes(edb_params) == prove_key(edb_params, dec, key).to_bytes(
+            edb_params
+        )
+
+
+def test_prove_many_parallel_is_byte_identical(edb_params, committed):
+    com, dec = committed
+    serial = ProofEngine().prove_many(edb_params, dec, KEYS)
+    parallel = ProofEngine(ParallelExecutor(workers=3)).prove_many(
+        edb_params, dec, KEYS
+    )
+    assert [p.to_bytes(edb_params) for p in serial] == [
+        p.to_bytes(edb_params) for p in parallel
+    ]
+
+
+def test_verify_many_matches_individual_outcomes(edb_params, committed):
+    com, dec = committed
+    engine = ProofEngine()
+    proofs = engine.prove_many(edb_params, dec, KEYS)
+    items = [(com, key, proof) for key, proof in zip(KEYS, proofs)]
+    batched = engine.verify_many(edb_params, items)
+    for (key, proof), outcome in zip(zip(KEYS, proofs), batched):
+        individual = verify_proof(edb_params, com, key, proof)
+        assert outcome.status == individual.status
+        assert outcome.value == individual.value
+
+
+def test_verify_many_parallel_matches_serial(edb_params, committed):
+    com, dec = committed
+    proofs = ProofEngine().prove_many(edb_params, dec, KEYS)
+    items = [(com, key, proof) for key, proof in zip(KEYS, proofs)]
+    serial = ProofEngine().verify_many(edb_params, items)
+    parallel = ProofEngine(ParallelExecutor(workers=3)).verify_many(edb_params, items)
+    assert [(o.status, o.value) for o in serial] == [
+        (o.status, o.value) for o in parallel
+    ]
+
+
+def test_verify_many_empty_and_single(edb_params, committed):
+    com, dec = committed
+    engine = ProofEngine()
+    assert engine.verify_many(edb_params, []) == []
+    proof = prove_key(edb_params, dec, 3)
+    [outcome] = engine.verify_many(edb_params, [(com, 3, proof)])
+    assert outcome.status == "value"
+    assert outcome.value == b"alpha"
+
+
+def test_poc_agg_many_serial_equals_parallel(zk_scheme):
+    traces = {
+        "farm": {3: b"alpha", 700: b"beta"},
+        "mill": {701: b"gamma"},
+        "shop": {65535: b"delta", 3: b"alpha2"},
+    }
+    serial = zk_scheme.poc_agg_many(traces, rng=DeterministicRng("agg"))
+    parallel_scheme = type(zk_scheme)(
+        zk_scheme.backend, zk_scheme.key_bits, engine=ProofEngine(ParallelExecutor(3))
+    )
+    parallel = parallel_scheme.poc_agg_many(traces, rng=DeterministicRng("agg"))
+    backend = zk_scheme.backend
+    assert sorted(serial) == sorted(parallel)
+    for pid in serial:
+        assert serial[pid][0].to_bytes(backend) == parallel[pid][0].to_bytes(backend)
+
+
+def test_poc_verify_many_matches_poc_verify(zk_scheme):
+    traces = {"farm": {3: b"alpha"}, "mill": {700: b"beta"}}
+    creds = zk_scheme.poc_agg_many(traces, rng=DeterministicRng("agg2"))
+    items = []
+    expected = []
+    for pid, product_id in [("farm", 3), ("farm", 700), ("mill", 700), ("mill", 3)]:
+        poc, dpoc = creds[pid]
+        proof = zk_scheme.poc_proof(dpoc, product_id)
+        items.append((poc, product_id, proof))
+        expected.append(zk_scheme.poc_verify(poc, product_id, proof))
+    results = zk_scheme.poc_verify_many(items)
+    assert [(r.status, r.trace) for r in results] == [
+        (e.status, e.trace) for e in expected
+    ]

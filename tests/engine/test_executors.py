@@ -1,0 +1,45 @@
+"""Execution strategies: ordering, fallback, and selection."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.engine import ParallelExecutor, ProofEngine, SerialExecutor, resolve_executor
+from repro.engine.executors import TaskFn  # noqa: F401 - import sanity
+
+
+def _square(shared, payload):
+    return (shared or 0) + payload * payload
+
+
+def test_serial_executor_preserves_order():
+    executor = SerialExecutor()
+    assert executor.map_tasks(_square, [1, 2, 3], shared=10) == [11, 14, 19]
+
+
+def test_parallel_executor_matches_serial():
+    executor = ParallelExecutor(workers=2)
+    assert executor.map_tasks(_square, list(range(8)), shared=0) == [
+        n * n for n in range(8)
+    ]
+
+
+def test_parallel_executor_small_batch_stays_serial():
+    executor = ParallelExecutor(workers=4)
+    assert executor.map_tasks(_square, [5], shared=1) == [26]
+
+
+def test_resolve_executor_selection():
+    assert isinstance(resolve_executor(0), SerialExecutor)
+    assert isinstance(resolve_executor(1), SerialExecutor)
+    pool = resolve_executor(4)
+    assert isinstance(pool, ParallelExecutor)
+    assert pool.workers == 4
+
+
+def test_engine_pickles_to_serial():
+    engine = ProofEngine(ParallelExecutor(workers=4))
+    assert engine.workers == 4
+    revived = pickle.loads(pickle.dumps(engine))
+    assert isinstance(revived.executor, SerialExecutor)
+    assert revived.cache is not None

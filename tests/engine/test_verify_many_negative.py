@@ -1,0 +1,78 @@
+"""Negative path: a corrupted proof in a batch must not poison its peers.
+
+Randomized batching folds many pairing equations into one check; these
+tests pin down that a failing combined check is re-attributed to exactly
+the corrupted proof(s), with every honest proof still accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.engine import ParallelExecutor, ProofEngine
+
+
+@pytest.fixture(scope="module")
+def batch_setup(edb_params, sample_database):
+    from repro.zkedb.commit import commit_edb
+
+    com, dec = commit_edb(
+        edb_params, sample_database, DeterministicRng("negative-commit")
+    )
+    keys = [3, 700, 701, 65535, 9, 1234]
+    proofs = ProofEngine().prove_many(edb_params, dec, keys)
+    return com, keys, proofs
+
+
+def _corrupt_ownership(edb_params, proof):
+    """Flip one witness point so the pairing equation fails."""
+    bad_witness = edb_params.curve.g1.mul_gen(987654321)
+    openings = list(proof.internal_openings)
+    openings[1] = replace(openings[1], witness=bad_witness)
+    return replace(proof, internal_openings=tuple(openings))
+
+
+def test_corrupt_proof_is_isolated_serial(edb_params, batch_setup):
+    com, keys, proofs = batch_setup
+    tampered = list(proofs)
+    tampered[0] = _corrupt_ownership(edb_params, tampered[0])
+    items = [(com, key, proof) for key, proof in zip(keys, tampered)]
+    outcomes = ProofEngine().verify_many(edb_params, items)
+    assert outcomes[0].is_bad
+    for outcome in outcomes[1:]:
+        assert not outcome.is_bad
+
+
+def test_corrupt_proof_is_isolated_parallel(edb_params, batch_setup):
+    com, keys, proofs = batch_setup
+    tampered = list(proofs)
+    tampered[2] = _corrupt_ownership(edb_params, tampered[2])
+    items = [(com, key, proof) for key, proof in zip(keys, tampered)]
+    outcomes = ProofEngine(ParallelExecutor(workers=3)).verify_many(edb_params, items)
+    assert outcomes[2].is_bad
+    healthy = [o for i, o in enumerate(outcomes) if i != 2]
+    assert all(not o.is_bad for o in healthy)
+
+
+def test_two_corrupt_proofs_both_identified(edb_params, batch_setup):
+    com, keys, proofs = batch_setup
+    tampered = list(proofs)
+    tampered[0] = _corrupt_ownership(edb_params, tampered[0])
+    tampered[3] = _corrupt_ownership(edb_params, tampered[3])
+    items = [(com, key, proof) for key, proof in zip(keys, tampered)]
+    outcomes = ProofEngine().verify_many(edb_params, items)
+    assert [i for i, o in enumerate(outcomes) if o.is_bad] == [0, 3]
+
+
+def test_structurally_bad_proof_rejected_without_batch(edb_params, batch_setup):
+    """A wrong-key proof is refused before any pairing work."""
+    com, keys, proofs = batch_setup
+    items = [(com, key, proof) for key, proof in zip(keys, proofs)]
+    # Ask for key 9's outcome with key 3's proof: structural mismatch.
+    items[4] = (com, 9, proofs[0])
+    outcomes = ProofEngine().verify_many(edb_params, items)
+    assert outcomes[4].is_bad
+    assert all(not o.is_bad for i, o in enumerate(outcomes) if i != 4)

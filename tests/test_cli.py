@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -24,6 +26,30 @@ def test_evaluate_runs(capsys):
     assert "Table II" in output
     assert "Figure 5 (ASCII)" in output
     assert output.count("q=") >= 5
+
+
+def test_evaluate_json_output(capsys):
+    assert main(["evaluate", "--repeats", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workers"] == 1
+    assert payload["curve"]
+    assert len(payload["rows"]) >= 5
+    for row in payload["rows"]:
+        assert set(row) == {
+            "q",
+            "h",
+            "own_bytes",
+            "non_bytes",
+            "gen_ms",
+            "verify_ms",
+            "verify_batch2_ms",
+        }
+        assert row["own_bytes"] > 0
+
+
+def test_evaluate_accepts_workers(capsys):
+    assert main(["evaluate", "--repeats", "1", "--workers", "2"]) == 0
+    assert "workers: 2" in capsys.readouterr().out
 
 
 def test_incentives_runs(capsys):

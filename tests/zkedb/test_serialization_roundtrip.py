@@ -1,0 +1,71 @@
+"""Wire-format round-trips: bytes -> decode -> verify still passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.commitments.qmercurial import QtmcHardOpening, QtmcTease
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.proofs import NonOwnershipProof, OwnershipProof, decode_proof
+from repro.zkedb.prove import prove_non_ownership, prove_ownership
+from repro.zkedb.verify import verify_proof
+
+
+@pytest.fixture(scope="module")
+def committed(edb_params, sample_database):
+    from repro.zkedb.commit import commit_edb
+
+    return commit_edb(edb_params, sample_database, DeterministicRng("wire-commit"))
+
+
+def test_qtmc_hard_opening_roundtrip(edb_params, rng):
+    qtmc = edb_params.qtmc
+    commitment, decommit = qtmc.hard_commit([11, 22, 33], rng)
+    opening = qtmc.hard_open(decommit, 2)
+    blob = opening.to_bytes(edb_params.curve)
+    revived = QtmcHardOpening.from_bytes(edb_params.curve, blob, opening.index)
+    assert revived == opening
+    assert qtmc.verify_hard_open(commitment, revived)
+
+
+def test_qtmc_tease_roundtrip(edb_params, rng):
+    qtmc = edb_params.qtmc
+    commitment, decommit = qtmc.soft_commit(rng)
+    tease = qtmc.tease_soft(decommit, 1, 777)
+    blob = tease.to_bytes(edb_params.curve)
+    revived = QtmcTease.from_bytes(edb_params.curve, blob, tease.index)
+    assert revived == tease
+    assert qtmc.verify_tease(commitment, revived)
+
+
+def test_ownership_proof_roundtrip(edb_params, committed):
+    com, dec = committed
+    proof = prove_ownership(edb_params, dec, 700)
+    blob = proof.to_bytes(edb_params)
+    revived = decode_proof(edb_params, blob)
+    assert isinstance(revived, OwnershipProof)
+    assert revived.to_bytes(edb_params) == blob
+    outcome = verify_proof(edb_params, com, 700, revived)
+    assert outcome.is_value
+    assert outcome.value == b"beta"
+
+
+def test_non_ownership_proof_roundtrip(edb_params, committed):
+    com, dec = committed
+    proof = prove_non_ownership(edb_params, dec, 4242)
+    blob = proof.to_bytes(edb_params)
+    revived = decode_proof(edb_params, blob)
+    assert isinstance(revived, NonOwnershipProof)
+    assert revived.to_bytes(edb_params) == blob
+    outcome = verify_proof(edb_params, com, 4242, revived)
+    assert outcome.is_absent
+
+
+def test_truncated_opening_bytes_rejected(edb_params, rng):
+    qtmc = edb_params.qtmc
+    _, decommit = qtmc.hard_commit([5], rng)
+    blob = qtmc.hard_open(decommit, 0).to_bytes(edb_params.curve)
+    with pytest.raises(ValueError):
+        QtmcHardOpening.from_bytes(edb_params.curve, blob[:-1], 0)
+    with pytest.raises(ValueError):
+        QtmcHardOpening.from_bytes(edb_params.curve, blob + b"\x00", 0)
