@@ -25,6 +25,7 @@ from repro.zkedb.params import EdbParams
 
 REPORT_PATH = Path(__file__).parent / "bench_report.txt"
 ENGINE_JSON_PATH = Path(__file__).parent / "BENCH_engine.json"
+METRICS_JSON_PATH = Path(__file__).parent / "BENCH_metrics.json"
 
 # The paper's exact Table II grid (q^h >= 2^128).
 FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
@@ -98,6 +99,33 @@ def bench_records():
     collector = _BenchRecords()
     yield collector
     collector.flush()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def metrics_snapshot():
+    """Snapshot the telemetry registry + span aggregates after a bench run.
+
+    Written next to ``BENCH_engine.json`` so every benchmark artifact set
+    carries the cache hit rates, batch-size distributions, and pool
+    utilization behind its timings.
+    """
+    from repro.obs import default_registry, trace
+
+    yield
+    registry = default_registry()
+    if len(registry) == 0:
+        return
+    METRICS_JSON_PATH.write_text(
+        json.dumps(
+            {
+                "metrics": registry.to_dict(),
+                "spans": trace.to_dict(),
+                "span_totals": trace.render_flat().splitlines(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

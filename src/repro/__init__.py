@@ -15,6 +15,8 @@ Public API layers:
 * :mod:`repro.supplychain` — the RFID supply-chain world model;
 * :mod:`repro.desword` — the protocol: phases, proxy, reputation,
   adversaries, applications, incentive analysis;
+* :mod:`repro.obs` — telemetry: metrics registry, span tracing,
+  structured logging;
 * :mod:`repro.analysis` — experiment harness helpers.
 
 Quickstart::
@@ -45,6 +47,7 @@ from .desword import (
     QueryResult,
     ReputationPolicy,
 )
+from .obs import MetricsRegistry, default_registry, get_logger, trace
 from .poc import BaselinePocScheme, PocScheme
 from .supplychain import pharma_chain, random_dag_chain
 from .zkedb import EdbParams, ElementaryDatabase, MerkleEdbBackend, ZkEdbBackend
@@ -73,6 +76,10 @@ __all__ = [
     "QueryResult",
     "ReputationPolicy",
     "Behavior",
+    "MetricsRegistry",
+    "default_registry",
+    "get_logger",
+    "trace",
     "pharma_chain",
     "random_dag_chain",
 ]

@@ -3,12 +3,21 @@
 The paper smooths every measurement over 50 runs; :func:`smoothed_ms`
 does the same (with a configurable repeat count so the pure-Python
 benchmarks stay tractable at large parameters).
+
+:class:`Stopwatch` keeps its historical ``with watch('commit'): ...``
+surface but now accumulates into :class:`repro.obs.Histogram` buckets
+instead of ad-hoc total/count dicts, so every labelled timing series
+carries a latency distribution — ``p50_ms`` / ``p95_ms`` / ``max_ms``
+come for free, and the histograms slot straight into a
+:class:`~repro.obs.MetricsRegistry` export when one is supplied.
 """
 
 from __future__ import annotations
 
 import time
 from typing import Callable
+
+from ..obs import DEFAULT_LATENCY_BUCKETS_MS, Histogram, MetricsRegistry
 
 __all__ = ["smoothed_ms", "Stopwatch"]
 
@@ -24,13 +33,30 @@ def smoothed_ms(operation: Callable[[], object], repeats: int = 50) -> float:
 
 
 class Stopwatch:
-    """Accumulates named timings: ``with watch('commit'): ...``."""
+    """Accumulates named timings: ``with watch('commit'): ...``.
 
-    def __init__(self):
-        self.totals_ms: dict[str, float] = {}
-        self.counts: dict[str, int] = {}
+    Each label owns a fixed-bucket latency histogram.  When ``registry``
+    is given, the histograms are registered there under
+    ``stopwatch.ms{label=...}`` so they ride along in metrics exports;
+    otherwise they stay private to the stopwatch.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self._registry = registry
+        self._histograms: dict[str, Histogram] = {}
         self._label: str | None = None
         self._start = 0.0
+
+    def histogram(self, label: str) -> Histogram:
+        """The latency histogram behind ``label`` (created on first use)."""
+        metric = self._histograms.get(label)
+        if metric is None:
+            if self._registry is not None:
+                metric = self._registry.histogram("stopwatch.ms", label=label)
+            else:
+                metric = Histogram(DEFAULT_LATENCY_BUCKETS_MS)
+            self._histograms[label] = metric
+        return metric
 
     def __call__(self, label: str) -> "Stopwatch":
         self._label = label
@@ -42,10 +68,34 @@ class Stopwatch:
 
     def __exit__(self, *exc_info) -> None:
         elapsed = (time.perf_counter() - self._start) * 1000.0
-        label = self._label or "unlabelled"
-        self.totals_ms[label] = self.totals_ms.get(label, 0.0) + elapsed
-        self.counts[label] = self.counts.get(label, 0) + 1
+        self.histogram(self._label or "unlabelled").observe(elapsed)
         self._label = None
 
+    # -- historical dict-style views -------------------------------------------
+
+    @property
+    def totals_ms(self) -> dict[str, float]:
+        return {label: h.sum for label, h in self._histograms.items()}
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {label: h.count for label, h in self._histograms.items()}
+
+    # -- accessors -------------------------------------------------------------
+
     def mean_ms(self, label: str) -> float:
-        return self.totals_ms[label] / self.counts[label]
+        metric = self._histograms[label]
+        return metric.sum / metric.count
+
+    def percentile_ms(self, label: str, fraction: float) -> float:
+        """Bucket-estimated percentile (``fraction`` in [0, 1])."""
+        return self._histograms[label].quantile(fraction)
+
+    def p50_ms(self, label: str) -> float:
+        return self._histograms[label].p50
+
+    def p95_ms(self, label: str) -> float:
+        return self._histograms[label].p95
+
+    def max_ms(self, label: str) -> float:
+        return self._histograms[label].max_value

@@ -1,10 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three self-contained entry points:
+Four self-contained entry points:
 
 * ``demo``       — build a chain, distribute products, run one query;
 * ``evaluate``   — regenerate Table II / Figure 4 / Figure 5 rows;
-* ``incentives`` — print the double-edged incentive analysis.
+* ``incentives`` — print the double-edged incentive analysis;
+* ``metrics``    — pretty-print the telemetry registry and span tree.
+
+``--verbose`` (repeatable) turns on the ``repro`` logger hierarchy, and
+``evaluate --metrics-out FILE`` dumps the full metrics registry + span
+tree as JSON next to the table rows.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from .desword.incentives import (
     monte_carlo_outcomes,
     utility_per_trace,
 )
+from .obs import MetricsRegistry, configure_logging, default_registry, trace
 from .supplychain.generator import pharma_chain, product_batch
 
 __all__ = ["main"]
@@ -60,6 +66,45 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     for participant, score in deployment.proxy.reputation.leaderboard():
         print(f"  {participant:<16s} {score:+.1f}")
     return 0
+
+
+def _run_protocol_sample(workers: int = 0, products: int = 6) -> dict:
+    """One small end-to-end pass: distribution phase + both query modes.
+
+    Runs on the toy curve whatever ``evaluate``'s grid curve is, so the
+    span tree always covers the distribution and query phases without
+    making the metrics pass expensive.
+    """
+    seed = "cli-metrics"
+    config = DeSwordConfig(q=4, key_bits=32, seed=seed, workers=workers)
+    rng = DeterministicRng(seed)
+    deployment = Deployment.build(
+        pharma_chain(rng.fork("chain")), config.build_scheme(), seed=seed
+    )
+    batch = product_batch(rng.fork("products"), products, 32)
+    record, phase = deployment.distribute(batch)
+    sweep = deployment.sweep(batch[0])
+    interactive = deployment.query(batch[1])
+    return {
+        "participants": len(record.involved_participants),
+        "products": len(batch),
+        "distribution_messages": phase.messages,
+        "distribution_bytes": phase.bytes_sent,
+        "sweep_path": list(sweep.path),
+        "query_path": list(interactive.path),
+        "cache": deployment.engine.cache.stats(),
+    }
+
+
+def _metrics_payload(extra: dict | None = None) -> dict:
+    """The registry + span tree as one JSON-able document."""
+    payload = {
+        "metrics": default_registry().to_dict(),
+        "spans": trace.to_dict(),
+    }
+    if extra:
+        payload.update(extra)
+    return payload
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -117,29 +162,47 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
         gen_series.append(gen_ms)
         ver_series.append(ver_ms)
+
+    # One end-to-end protocol pass so the telemetry export always carries
+    # a span tree covering the distribution and query phases.
+    with trace.span("evaluate.protocol", workers=engine.workers):
+        protocol = _run_protocol_sample(workers=args.workers)
+
     if emit_json:
         print(
             json.dumps(
-                {"curve": curve.name, "workers": engine.workers, "rows": json_rows},
+                {
+                    "curve": curve.name,
+                    "workers": engine.workers,
+                    "rows": json_rows,
+                    "cache": engine.cache.stats(),
+                    "protocol": protocol,
+                },
                 indent=2,
             )
         )
-        return 0
-    print(
-        format_table(
-            ["q", "h", "Own proof", "N-Own proof", "gen", "verify"],
-            rows,
-            title="Table II + Figure 5",
+    else:
+        print(
+            format_table(
+                ["q", "h", "Own proof", "N-Own proof", "gen", "verify"],
+                rows,
+                title="Table II + Figure 5",
+            )
         )
-    )
-    print()
-    print(
-        ascii_chart(
-            "Figure 5 (ASCII)",
-            [f"q={q}" for q, _ in TABLE2_GRID],
-            {"generation": gen_series, "verification": ver_series},
+        print()
+        print(
+            ascii_chart(
+                "Figure 5 (ASCII)",
+                [f"q={q}" for q, _ in TABLE2_GRID],
+                {"generation": gen_series, "verification": ver_series},
+            )
         )
-    )
+
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(_metrics_payload({"protocol": protocol}), handle, indent=2)
+        if not emit_json:
+            print(f"\nmetrics written to {args.metrics_out}")
     return 0
 
 
@@ -181,9 +244,67 @@ def _cmd_incentives(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_span_dicts(spans: list, depth: int = 0) -> list[str]:
+    """Indented text rendering of exported span trees (JSON form)."""
+    lines: list[str] = []
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        suffix = " " + " ".join(f"{k}={v}" for k, v in attrs.items()) if attrs else ""
+        lines.append(
+            f"{'  ' * depth}{span['name']} {span['duration_ms']:.3f}ms{suffix}"
+        )
+        lines.extend(_render_span_dicts(span.get("children", []), depth + 1))
+    return lines
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Pretty-print a telemetry snapshot (live workload or saved file)."""
+    import json
+
+    if args.input:
+        with open(args.input) as handle:
+            payload = json.load(handle)
+        registry = MetricsRegistry()
+        registry.merge(payload.get("metrics", {}))
+        span_dicts = payload.get("spans", {}).get("spans", [])
+    else:
+        # No input file: run the small end-to-end workload so the live
+        # registry and tracer have something representative to show.
+        with trace.span("metrics.sample", workers=args.workers):
+            _run_protocol_sample(workers=args.workers)
+        registry = default_registry()
+        span_dicts = None
+
+    if args.format == "json":
+        if args.input:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(json.dumps(_metrics_payload(), indent=2))
+        return 0
+    if args.format == "prom":
+        print(registry.render_prometheus())
+        if span_dicts is None:
+            print(trace.render_flat())
+        return 0
+
+    print("== metrics registry ==")
+    print(registry.render_text())
+    print()
+    print("== span tree ==")
+    if span_dicts is None:
+        print(trace.render())
+    else:
+        print("\n".join(_render_span_dicts(span_dicts)) or "(no spans recorded)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DE-Sword reproduction toolkit"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable repro.* logging (-v: INFO, -vv: DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -208,7 +329,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit machine-readable JSON instead of tables",
     )
+    evaluate.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the metrics registry + span tree as JSON to FILE",
+    )
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    metrics = sub.add_parser(
+        "metrics", help="pretty-print the telemetry registry and span tree"
+    )
+    metrics.add_argument(
+        "--input", metavar="FILE", default=None,
+        help="read a saved snapshot (evaluate --metrics-out) instead of "
+             "running the built-in sample workload",
+    )
+    metrics.add_argument(
+        "--format", choices=["pretty", "prom", "json"], default="pretty",
+        help="pretty text (default), Prometheus exposition, or raw JSON",
+    )
+    metrics.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the sample workload (0/1 = serial)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     incentives = sub.add_parser("incentives", help="double-edged analysis")
     incentives.add_argument("--beta", type=float, default=0.02)
@@ -223,4 +366,6 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        configure_logging(args.verbose)
     return args.func(args)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import default_registry, get_logger, trace
 from ..supplychain.distribution import TaskRecord
 from .messages import PocListSubmission, PocTransfer, PsBroadcast, PsRequest
 from .network import SimNetwork
@@ -19,6 +20,8 @@ from .poclist import PocList
 from .proxy import QueryProxy
 
 __all__ = ["DistributionPhaseResult", "run_distribution_phase"]
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -57,6 +60,22 @@ def run_distribution_phase(
     ps_id: str = "ps",
 ) -> DistributionPhaseResult:
     """Build and submit the POC list for one completed distribution task."""
+    with trace.span(
+        "distribution.phase",
+        task=record.task.task_id,
+        participants=len(record.involved_participants),
+        products=len(record.task.product_ids),
+    ):
+        return _run_distribution_phase(nodes, record, network, proxy, ps_id)
+
+
+def _run_distribution_phase(
+    nodes: dict[str, ParticipantNode],
+    record: TaskRecord,
+    network: SimNetwork,
+    proxy: QueryProxy,
+    ps_id: str,
+) -> DistributionPhaseResult:
     before = (network.stats.messages, network.stats.bytes_sent)
     initial = record.task.initial_participant
     involved = record.involved_participants
@@ -87,7 +106,8 @@ def run_distribution_phase(
         traces_by_pid[participant_id] = committed
         rngs[participant_id] = rng
     scheme = nodes[initial].scheme
-    aggregated = scheme.poc_agg_many(traces_by_pid, rngs=rngs)
+    with trace.span("distribution.poc_agg", participants=len(involved)):
+        aggregated = scheme.poc_agg_many(traces_by_pid, rngs=rngs)
     pocs = {}
     poc_sizes = {}
     for participant_id in involved:
@@ -97,6 +117,9 @@ def run_distribution_phase(
         )
         pocs[participant_id] = poc
         poc_sizes[participant_id] = len(poc.to_bytes(backend))
+    metrics = default_registry()
+    metrics.counter("distribution.pocs_aggregated").inc(len(involved))
+    metrics.counter("distribution.bytes_committed").inc(sum(poc_sizes.values()))
 
     # Step 3: children transmit POCs to parents to construct POC pairs.
     relations = edges_used(record)
@@ -124,9 +147,15 @@ def run_distribution_phase(
     )
     proxy.receive_poc_list(poc_list)
 
-    return DistributionPhaseResult(
+    metrics.counter("distribution.tasks").inc()
+    result = DistributionPhaseResult(
         poc_list=poc_list,
         messages=network.stats.messages - before[0],
         bytes_sent=network.stats.bytes_sent - before[1],
         poc_sizes=poc_sizes,
     )
+    _log.info(
+        "distribution task %r: %d POCs, %d msgs, %d bytes",
+        record.task.task_id, len(involved), result.messages, result.bytes_sent,
+    )
+    return result

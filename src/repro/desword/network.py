@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from ..obs import default_registry
 from .errors import UnknownParticipantError
 from .messages import Message
 
@@ -81,10 +82,17 @@ class SimNetwork:
         """Observe every delivered message (used by tests and tracing)."""
         self._taps.append(tap)
 
+    def _account(self, message: Message) -> None:
+        """Per-interaction metrics: message/byte counters by wire kind."""
+        self.stats.record(message, self.latency.latency_for(message.size_bytes()))
+        metrics = default_registry()
+        metrics.counter("net.messages", kind=message.kind).inc()
+        metrics.counter("net.bytes", kind=message.kind).inc(message.size_bytes())
+
     def _deliver(self, sender: str, recipient: str, message: Message) -> Message | None:
         if recipient not in self._endpoints:
             raise UnknownParticipantError(f"no endpoint registered for {recipient!r}")
-        self.stats.record(message, self.latency.latency_for(message.size_bytes()))
+        self._account(message)
         for tap in self._taps:
             tap(sender, recipient, message)
         return self._endpoints[recipient].handle_message(sender, message)
@@ -97,9 +105,7 @@ class SimNetwork:
         """Round trip: deliver and account the response as well."""
         response = self._deliver(sender, recipient, message)
         if response is not None:
-            self.stats.record(
-                response, self.latency.latency_for(response.size_bytes())
-            )
+            self._account(response)
             for tap in self._taps:
                 tap(recipient, sender, response)
         return response

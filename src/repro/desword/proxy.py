@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import default_registry, get_logger, trace
 from ..poc.scheme import (
     NON_OWNERSHIP,
     OWNERSHIP,
@@ -52,6 +53,8 @@ from .poclist import PocList
 from .reputation import ReputationEngine, ReputationPolicy
 
 __all__ = ["QueryProxy", "QueryResult", "ProbeOutcome"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -130,6 +133,11 @@ class QueryProxy:
         self.poc_queues.setdefault(poc_list.submitted_by, []).append(
             (poc_list.task_id, submitter_poc)
         )
+        default_registry().counter("proxy.poc_lists_received").inc()
+        _log.info(
+            "POC list for task %r accepted from %r",
+            poc_list.task_id, poc_list.submitted_by,
+        )
 
     def handle_message(self, sender, message):
         """Answer public-parameter requests; everything else is one-way."""
@@ -162,10 +170,13 @@ class QueryProxy:
         unparseable proof); otherwise ``proof`` awaits a verdict, letting
         :meth:`sweep_query` verify a whole round in one batch.
         """
+        metrics = default_registry()
+        metrics.counter("query.probes", kind=kind).inc()
         request = QueryRequest(kind, product_id, poc.to_bytes(self.scheme.backend))
         response = self.network.request(self.identity, participant_id, request)
         pending = _PendingProbe(participant_id, poc, kind, product_id)
         if not isinstance(response, ProofResponse) or response.refused:
+            metrics.counter("query.refusals", kind=kind).inc()
             if kind == BAD_QUERY:
                 # Cannot show non-ownership: treated as having processed it.
                 pending.outcome = self._demand_reveal(participant_id, poc, product_id, ())
@@ -240,6 +251,7 @@ class QueryProxy:
         prior: tuple[Violation, ...],
     ) -> ProbeOutcome:
         """Bad-product step 2: require the ownership proof (Section IV.C)."""
+        default_registry().counter("query.blame_reveals").inc()
         response = self.network.request(
             self.identity, participant_id, RevealRequest(product_id)
         )
@@ -287,16 +299,20 @@ class QueryProxy:
         before = (self.network.stats.messages, self.network.stats.bytes_sent)
         result = QueryResult(product_id, quality)
 
-        starts = self._identify_starts(kind, product_id, result)
-        for start, poc_list in starts:
-            if result.task_id is None:
-                result.task_id = poc_list.task_id
-            self._walk_path(start, poc_list, kind, product_id, result)
+        with trace.span(
+            "query.interactive", product=f"{product_id:#x}", quality=quality
+        ):
+            starts = self._identify_starts(kind, product_id, result)
+            for start, poc_list in starts:
+                if result.task_id is None:
+                    result.task_id = poc_list.task_id
+                self._walk_path(start, poc_list, kind, product_id, result)
 
         result.messages = self.network.stats.messages - before[0]
         result.bytes_sent = self.network.stats.bytes_sent - before[1]
         if apply_reputation:
             self._apply_awards(result)
+        self._record_result_metrics("interactive", result)
         return result
 
     def _identify_starts(
@@ -415,39 +431,48 @@ class QueryProxy:
         result = QueryResult(product_id, quality, task_id=task_id)
 
         tasks = [task_id] if task_id else sorted(self.poc_lists)
-        for tid in tasks:
-            poc_list = self.poc_lists[tid]
-            # Phase 1: collect every participant's response for this round.
-            pending = [
-                self._request_proof(
-                    participant_id, poc_list.poc_of(participant_id), kind, product_id
-                )
-                for participant_id in poc_list.participants()
-            ]
-            # Phase 2: verify the round's proofs as one batch.
-            to_verify = [probe for probe in pending if probe.outcome is None]
-            verdicts = iter(
-                self.scheme.poc_verify_many(
-                    [(probe.poc, product_id, probe.proof) for probe in to_verify]
-                )
-            )
-            # Phase 3: judge in participant order (reveals happen here).
-            for probe in pending:
-                outcome = (
-                    probe.outcome
-                    if probe.outcome is not None
-                    else self._judge(probe, next(verdicts))
-                )
-                result.violations.extend(outcome.violations)
-                if outcome.identified and probe.participant_id not in result.path:
-                    result.path.append(probe.participant_id)
-                    if outcome.trace is not None:
-                        result.traces[probe.participant_id] = outcome.trace[1]
+        with trace.span(
+            "query.sweep",
+            product=f"{product_id:#x}",
+            quality=quality,
+            tasks=len(tasks),
+        ):
+            for tid in tasks:
+                poc_list = self.poc_lists[tid]
+                # Phase 1: collect every participant's response for this round.
+                pending = [
+                    self._request_proof(
+                        participant_id, poc_list.poc_of(participant_id), kind, product_id
+                    )
+                    for participant_id in poc_list.participants()
+                ]
+                # Phase 2: verify the round's proofs as one batch.
+                to_verify = [probe for probe in pending if probe.outcome is None]
+                with trace.span("query.sweep.verify_round", n=len(to_verify)):
+                    verdicts = iter(
+                        self.scheme.poc_verify_many(
+                            [(probe.poc, product_id, probe.proof) for probe in to_verify]
+                        )
+                    )
+                default_registry().counter("query.proofs_verified").inc(len(to_verify))
+                # Phase 3: judge in participant order (reveals happen here).
+                for probe in pending:
+                    outcome = (
+                        probe.outcome
+                        if probe.outcome is not None
+                        else self._judge(probe, next(verdicts))
+                    )
+                    result.violations.extend(outcome.violations)
+                    if outcome.identified and probe.participant_id not in result.path:
+                        result.path.append(probe.participant_id)
+                        if outcome.trace is not None:
+                            result.traces[probe.participant_id] = outcome.trace[1]
 
         result.messages = self.network.stats.messages - before[0]
         result.bytes_sent = self.network.stats.bytes_sent - before[1]
         if apply_reputation:
             self._apply_awards(result)
+        self._record_result_metrics("sweep", result)
         return result
 
     # -- market sampling ----------------------------------------------------------
@@ -476,6 +501,23 @@ class QueryProxy:
                     self.query_product(product_id, apply_reputation=apply_reputation)
                 )
         return results
+
+    # -- per-query metrics ---------------------------------------------------
+
+    def _record_result_metrics(self, mode: str, result: QueryResult) -> None:
+        """Per-interaction accounting once a query result is final."""
+        metrics = default_registry()
+        metrics.counter("query.completed", mode=mode, quality=result.quality).inc()
+        metrics.counter("query.identified").inc(len(result.path))
+        metrics.histogram("query.messages", buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512)).observe(result.messages)
+        for violation in result.violations:
+            metrics.counter("query.violations", kind=violation.kind).inc()
+        if result.violations:
+            _log.info(
+                "query %#x (%s/%s): %d violations, path=%s",
+                result.product_id, mode, result.quality,
+                len(result.violations), result.path,
+            )
 
     # -- reputation ------------------------------------------------------------
 

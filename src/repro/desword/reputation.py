@@ -14,7 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..obs import default_registry, get_logger
+
 __all__ = ["ReputationPolicy", "ScoreEvent", "ReputationEngine"]
+
+_log = get_logger(__name__)
 
 
 def _uniform_weight(position: int, path_length: int) -> float:
@@ -75,6 +79,13 @@ class ReputationEngine:
     ) -> None:
         self._scores[participant_id] = self._scores.get(participant_id, 0.0) + delta
         self.history.append(ScoreEvent(participant_id, delta, reason, product_id))
+        sign = "positive" if delta >= 0 else "negative"
+        metrics = default_registry()
+        metrics.counter("reputation.awards", sign=sign).inc()
+        metrics.counter("reputation.award_points", sign=sign).inc(abs(delta))
+        _log.debug(
+            "award %+.3f to %s (%s, product=%s)", delta, participant_id, reason, product_id
+        )
 
     def apply_good_query(self, path: Sequence[str], product_id: int) -> None:
         """Positive edge: reward everyone identified on a good product."""

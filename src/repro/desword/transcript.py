@@ -92,6 +92,19 @@ class TranscriptRecorder:
     def total_bytes(self) -> int:
         return sum(entry.size_bytes for entry in self.entries)
 
+    def by_kind(self) -> dict[str, tuple[int, int]]:
+        """Per message kind: (entry count, total wire bytes).
+
+        Mirrors the registry's per-interaction ``net.messages`` /
+        ``net.bytes`` counters, so a transcript can be reconciled against
+        the process-wide metrics export entry by entry.
+        """
+        summary: dict[str, tuple[int, int]] = {}
+        for entry in self.entries:
+            count, size = summary.get(entry.kind, (0, 0))
+            summary[entry.kind] = (count + 1, size + entry.size_bytes)
+        return summary
+
     def render(self, last: int | None = None) -> str:
         entries = self.entries if last is None else self.entries[-last:]
         return "\n".join(str(entry) for entry in entries)

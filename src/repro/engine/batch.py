@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from ..crypto.pairing import multi_pairing
 from ..crypto.rng import DeterministicRng
+from ..obs import default_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..crypto.bn import BNCurve
@@ -33,6 +34,7 @@ class PairingBatch:
         self.curve = curve
         self.rng = DeterministicRng(seed)
         self.groups: dict = {}
+        self.equations = 0
 
     def add_triples(self, pairs: Iterable) -> None:
         """Add one equation's pairs under a fresh random coefficient.
@@ -41,11 +43,20 @@ class PairingBatch:
         form one pairing-product equation whose product must be one.
         """
         delta = self.curve.random_scalar(self.rng)
+        self.equations += 1
         for g1_point, g2_point in pairs:
             key = None if g2_point is None else (g2_point[0], g2_point[1])
             self.groups.setdefault(key, []).append((g1_point, delta))
 
     def check(self) -> bool:
+        metrics = default_registry()
+        metrics.counter("engine.batch.checks").inc()
+        metrics.counter("engine.batch.equations_folded").inc(self.equations)
+        # A naive verifier runs one final exponentiation per equation;
+        # folding spends exactly one, whatever the batch size.
+        metrics.counter("engine.batch.finalexp_saved").inc(
+            max(0, self.equations - 1)
+        )
         curve = self.curve
         merged = []
         for key, weighted in self.groups.items():

@@ -26,6 +26,7 @@ from threading import Lock
 from typing import TYPE_CHECKING
 
 from ..crypto.curve import FixedBaseWindow, G1Group, set_fixed_base_provider
+from ..obs import MetricsRegistry, default_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..crypto.bn import BNCurve
@@ -38,7 +39,9 @@ __all__ = ["PrecomputationCache", "default_cache"]
 class PrecomputationCache:
     """Shared tables and memoized pairings, keyed by group/curve identity."""
 
-    def __init__(self) -> None:
+    TABLE_KINDS = ("windows", "small_tables", "pairings")
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._lock = Lock()
         # (id(group), point) -> FixedBaseWindow; the window holds a strong
         # reference to its group, which keeps the id stable.
@@ -47,6 +50,31 @@ class PrecomputationCache:
         self._small: dict[tuple[int, tuple[int, int]], list] = {}
         # (id(curve), g1 bytes, g2 bytes) -> e(P, Q).
         self._pairings: dict[tuple[int, bytes, bytes], "Fp12"] = {}
+        # Hit/miss accounting per table kind: per-cache counters back
+        # `stats()` (isolated, so a private cache in a test reads only its
+        # own traffic) and the registry counters feed the process-wide
+        # metrics export (`repro evaluate --metrics-out`).
+        from ..obs.metrics import Counter
+
+        metrics = metrics if metrics is not None else default_registry()
+        self._hits = {kind: Counter() for kind in self.TABLE_KINDS}
+        self._misses = {kind: Counter() for kind in self.TABLE_KINDS}
+        self._registry_hits = {
+            kind: metrics.counter("engine.cache.hits", table=kind)
+            for kind in self.TABLE_KINDS
+        }
+        self._registry_misses = {
+            kind: metrics.counter("engine.cache.misses", table=kind)
+            for kind in self.TABLE_KINDS
+        }
+
+    def _hit(self, kind: str) -> None:
+        self._hits[kind].inc()
+        self._registry_hits[kind].inc()
+
+    def _miss(self, kind: str) -> None:
+        self._misses[kind].inc()
+        self._registry_misses[kind].inc()
 
     # -- fixed-base windows --------------------------------------------------
 
@@ -55,11 +83,14 @@ class PrecomputationCache:
         key = (id(group), point)
         window = self._windows.get(key)
         if window is None:
+            self._miss("windows")
             with self._lock:
                 window = self._windows.get(key)
                 if window is None:
                     window = FixedBaseWindow(group, point)
                     self._windows[key] = window
+        else:
+            self._hit("windows")
         return window
 
     def small_table(self, group: G1Group, point: tuple[int, int]) -> list:
@@ -67,14 +98,18 @@ class PrecomputationCache:
         key = (id(group), point)
         window = self._windows.get(key)
         if window is not None:
+            self._hit("small_tables")
             return window.small_table
         table = self._small.get(key)
         if table is None:
+            self._miss("small_tables")
             row: list = [None, point, group.double(point)]
             for _ in range(13):
                 row.append(group.add(row[-1], point))
             with self._lock:
                 table = self._small.setdefault(key, row)
+        else:
+            self._hit("small_tables")
         return table
 
     def fixed_mul(self, group: G1Group, point, scalar: int):
@@ -106,18 +141,24 @@ class PrecomputationCache:
         key = (id(curve), g1_to_bytes(curve, p_point), g2_to_bytes(curve, q_point))
         value = self._pairings.get(key)
         if value is None:
+            self._miss("pairings")
             value = pairing(curve, p_point, q_point)
             with self._lock:
                 value = self._pairings.setdefault(key, value)
+        else:
+            self._hit("pairings")
         return value
 
     # -- introspection ---------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict:
+        """Table sizes plus this cache's own hit/miss counts per kind."""
         return {
             "windows": len(self._windows),
             "small_tables": len(self._small),
             "pairings": len(self._pairings),
+            "hits": {kind: int(c.value) for kind, c in self._hits.items()},
+            "misses": {kind: int(c.value) for kind, c in self._misses.items()},
         }
 
     def clear(self) -> None:

@@ -24,9 +24,11 @@ imports this package, so a top-level import would cycle.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Sequence
 
 from ..crypto.hashing import hash_bytes
+from ..obs import DEFAULT_SIZE_BUCKETS, default_registry, trace
 from .batch import PairingBatch
 from .cache import PrecomputationCache, default_cache
 from .executors import ParallelExecutor, SerialExecutor
@@ -98,14 +100,20 @@ class ProofEngine:
         parallel paths return byte-identical proofs.
         """
         keys = list(keys)
-        if self.workers <= 1 or len(keys) < 2:
-            from ..zkedb.prove import prove_key
+        metrics = default_registry()
+        metrics.counter("engine.prove.proofs").inc(len(keys))
+        metrics.histogram(
+            "engine.prove.batch_size", buckets=DEFAULT_SIZE_BUCKETS
+        ).observe(len(keys))
+        with trace.span("engine.prove_many", keys=len(keys), workers=self.workers):
+            if self.workers <= 1 or len(keys) < 2:
+                from ..zkedb.prove import prove_key
 
-            return [prove_key(params, dec, key) for key in keys]
-        from ..zkedb.proofs import decode_proof
+                return [prove_key(params, dec, key) for key in keys]
+            from ..zkedb.proofs import decode_proof
 
-        encoded = self.map_tasks(prove_task, keys, shared=(params, dec))
-        return [decode_proof(params, blob) for blob in encoded]
+            encoded = self.map_tasks(prove_task, keys, shared=(params, dec))
+            return [decode_proof(params, blob) for blob in encoded]
 
     # -- batched verification ---------------------------------------------------
 
@@ -120,22 +128,28 @@ class ProofEngine:
         items = list(items)
         if not items:
             return []
-        if self.workers <= 1 or len(items) < 2:
-            return _verify_item_chunk(params, items)
+        metrics = default_registry()
+        metrics.counter("engine.verify.proofs").inc(len(items))
+        metrics.histogram(
+            "engine.verify.batch_size", buckets=DEFAULT_SIZE_BUCKETS
+        ).observe(len(items))
+        with trace.span("engine.verify_many", items=len(items), workers=self.workers):
+            if self.workers <= 1 or len(items) < 2:
+                return _verify_item_chunk(params, items)
 
-        from ..zkedb.verify import EdbVerifyOutcome
+            from ..zkedb.verify import EdbVerifyOutcome
 
-        encoded = [
-            (commitment.to_bytes(params), key, proof.to_bytes(params))
-            for commitment, key, proof in items
-        ]
-        chunks = _split_chunks(encoded, self.workers)
-        results = self.map_tasks(verify_chunk_task, chunks, shared=params)
-        outcomes = []
-        for chunk_result in results:
-            for status, value in chunk_result:
-                outcomes.append(EdbVerifyOutcome(status, value))
-        return outcomes
+            encoded = [
+                (commitment.to_bytes(params), key, proof.to_bytes(params))
+                for commitment, key, proof in items
+            ]
+            chunks = _split_chunks(encoded, self.workers)
+            results = self.map_tasks(verify_chunk_task, chunks, shared=params)
+            outcomes = []
+            for chunk_result in results:
+                for status, value in chunk_result:
+                    outcomes.append(EdbVerifyOutcome(status, value))
+            return outcomes
 
 
 def _split_chunks(seq: list, parts: int) -> list[list]:
@@ -152,7 +166,22 @@ def _split_chunks(seq: list, parts: int) -> list[list]:
 
 
 def _verify_item_chunk(params: "EdbParams", items: list) -> list:
-    """Serial reference path: one pairing batch over a chunk of proofs."""
+    """Serial reference path: one pairing batch over a chunk of proofs.
+
+    Runs inline for serial engines and inside fork-pool workers for
+    parallel ones; the chunk-latency histogram and blame counters it
+    feeds travel back to the parent registry either way.
+    """
+    chunk_start = time.perf_counter()
+    try:
+        return _verify_item_chunk_inner(params, items)
+    finally:
+        default_registry().histogram("engine.verify.chunk_ms").observe(
+            (time.perf_counter() - chunk_start) * 1000.0
+        )
+
+
+def _verify_item_chunk_inner(params: "EdbParams", items: list) -> list:
     from ..zkedb.verify import (
         EdbVerifyOutcome,
         _batch_seed,
@@ -182,6 +211,7 @@ def _verify_item_chunk(params: "EdbParams", items: list) -> list:
         return outcomes
 
     # Combined batch failed: re-verify suspects one by one to pin blame.
+    default_registry().counter("engine.verify.blame_rechecks").inc(len(pending))
     for index, _ in pending:
         commitment, key, proof = items[index]
         outcomes[index] = verify_proof(params, commitment, key, proof)

@@ -24,12 +24,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
+
+from ..obs import default_registry, get_logger
 
 __all__ = ["SerialExecutor", "ParallelExecutor", "resolve_executor"]
 
 TaskFn = Callable[[Any, Any], Any]
+
+_log = get_logger(__name__)
 
 # Worker-side globals, populated by the pool initializer so each task
 # submission only pickles its payload.
@@ -43,9 +48,23 @@ def _init_worker(fn: TaskFn, shared: Any) -> None:
     _WORKER_SHARED = shared
 
 
-def _run_payload(payload: Any) -> Any:
+def _run_payload(payload: Any) -> tuple:
+    """Worker-side task wrapper: run, and ship the metrics delta home.
+
+    The fork start method hands each worker a copy-on-write snapshot of
+    the parent's metrics registry; whatever the task increments would die
+    with the worker.  Wrapping every task in a snapshot/diff window lets
+    the parent fold the child's counts back in (see
+    :meth:`ParallelExecutor.map_tasks`), so pooled runs report the same
+    cache-hit / batch / verification metrics as serial ones.
+    """
     assert _WORKER_FN is not None, "worker pool initializer did not run"
-    return _WORKER_FN(_WORKER_SHARED, payload)
+    registry = default_registry()
+    before = registry.snapshot()
+    start = time.perf_counter()
+    result = _WORKER_FN(_WORKER_SHARED, payload)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return result, registry.diff(before), os.getpid(), elapsed_ms
 
 
 class SerialExecutor:
@@ -81,6 +100,7 @@ class ParallelExecutor:
         try:
             mp_context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
+            _log.warning("no fork start method; running %d tasks serially", len(payloads))
             return self._serial.map_tasks(fn, payloads, shared)
         workers = min(self.workers, len(payloads))
         chunksize = max(1, len(payloads) // (workers * 4))
@@ -91,9 +111,32 @@ class ParallelExecutor:
                 initializer=_init_worker,
                 initargs=(fn, shared),
             ) as pool:
-                return list(pool.map(_run_payload, payloads, chunksize=chunksize))
+                wrapped = list(pool.map(_run_payload, payloads, chunksize=chunksize))
         except (OSError, RuntimeError):  # pragma: no cover - resource limits
+            _log.warning("process pool unavailable; running %d tasks serially", len(payloads))
             return self._serial.map_tasks(fn, payloads, shared)
+        return self._unwrap(wrapped)
+
+    def _unwrap(self, wrapped: list) -> list:
+        """Merge per-task child metrics deltas; surface pool utilization.
+
+        Worker pids are normalised to stable slot indices (order of first
+        appearance) so the per-worker counters keep bounded label
+        cardinality across many short-lived pools.
+        """
+        registry = default_registry()
+        task_ms = registry.histogram("engine.pool.task_ms")
+        slots: dict[int, int] = {}
+        results = []
+        for result, delta, worker_pid, elapsed_ms in wrapped:
+            registry.merge(delta)
+            slot = slots.setdefault(worker_pid, len(slots))
+            registry.counter("engine.pool.tasks", worker=slot).inc()
+            registry.counter("engine.pool.busy_ms", worker=slot).inc(elapsed_ms)
+            task_ms.observe(elapsed_ms)
+            results.append(result)
+        registry.gauge("engine.pool.workers").set(self.workers)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelExecutor(workers={self.workers})"

@@ -1,0 +1,49 @@
+"""Telemetry subsystem: metrics registry, span tracing, structured logs.
+
+Zero-dependency observability for the reproduction, mirroring what the
+paper *measures* (§V: proof generation/verification time, POC sizes,
+per-round communication) as first-class runtime signals:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
+  counters / gauges / fixed-bucket histograms, thread-safe, with
+  snapshot/diff/merge so fork-pool workers fold their counts back into
+  the parent;
+* :mod:`repro.obs.tracing` — :data:`trace`, a span tracer producing
+  nested wall-clock trees (``with trace.span("poc.verify", n=K):``),
+  exportable as JSON and flat Prometheus-style text;
+* :mod:`repro.obs.log` — the ``repro`` logger hierarchy (NullHandler by
+  default; the CLI's ``--verbose`` turns it on).
+
+This package is leaf-level: it imports nothing else from :mod:`repro`,
+so every layer (crypto cache, engine executors, proxy) can report here
+without cycles.
+"""
+
+from .log import ROOT_LOGGER_NAME, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .tracing import Span, SpanTracer, default_tracer, trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_SIZE_BUCKETS",
+    "ROOT_LOGGER_NAME",
+    "configure_logging",
+    "default_registry",
+    "default_tracer",
+    "get_logger",
+    "trace",
+]

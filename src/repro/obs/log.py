@@ -1,0 +1,72 @@
+"""Structured logging for library code.
+
+Library modules never print: they log under the ``repro`` hierarchy,
+which carries a :class:`logging.NullHandler` by default so embedding
+applications stay silent unless they opt in.  The CLI opts in through
+``--verbose`` (once for INFO, twice for DEBUG) via
+:func:`configure_logging`.
+
+Usage::
+
+    from ..obs import get_logger
+    log = get_logger(__name__)          # -> "repro.desword.proxy"
+    log.debug("violation attributed to %s", participant_id)
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+# Installed once at import: silence by default, never propagate warnings
+# about missing handlers into host applications.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Accepts either a short suffix (``"desword.proxy"``) or a full module
+    path (``"repro.desword.proxy"`` / ``"src.repro..."`` via
+    ``__name__``) — both land on the same hierarchy node.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    marker = f"{ROOT_LOGGER_NAME}."
+    if name == ROOT_LOGGER_NAME or name.startswith(marker):
+        suffix = name[len(marker):] if name != ROOT_LOGGER_NAME else ""
+    elif marker in name:  # e.g. "src.repro.desword.proxy"
+        suffix = name.split(marker, 1)[1]
+    else:
+        suffix = name
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{suffix}" if suffix else ROOT_LOGGER_NAME)
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Wire a stream handler onto the ``repro`` root (CLI ``--verbose``).
+
+    ``verbosity`` 0 leaves the library silent (WARNING and above only),
+    1 enables INFO, 2+ enables DEBUG.  Idempotent: re-invoking replaces
+    the previously configured handler instead of stacking duplicates.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    level = (
+        logging.WARNING if verbosity <= 0
+        else logging.INFO if verbosity == 1
+        else logging.DEBUG
+    )
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    handler._repro_cli_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root

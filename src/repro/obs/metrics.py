@@ -1,0 +1,475 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The paper's whole evaluation (§V, Figs. 5-7, Table II) is about *measured*
+costs, so the reproduction needs a first-class way to see where those
+costs go at runtime.  A :class:`MetricsRegistry` holds named metrics —
+optionally labelled, Prometheus-style — that the engine, proxy, and
+distribution phase increment on their hot paths:
+
+* :class:`Counter` — monotone event counts (cache hits, proofs verified);
+* :class:`Gauge` — last-write-wins values (pool size, table counts);
+* :class:`Histogram` — fixed-bucket distributions with exact ``sum`` /
+  ``count`` / ``min`` / ``max`` and bucket-estimated percentiles
+  (chunk latencies, batch sizes).
+
+Thread-safety and fork-safety
+-----------------------------
+
+Every metric guards its mutations with its own lock, so concurrent
+threads can increment freely.  The engine's :class:`ParallelExecutor`
+fans work out over *fork*-started worker processes; each child inherits
+a copy-on-write snapshot of the registry, accumulates into it privately,
+and ships a :meth:`MetricsRegistry.diff` of its window back with every
+task result.  The parent folds those deltas in with
+:meth:`MetricsRegistry.merge`, so pooled runs surface the same counters
+as serial ones.  (Histogram ``min``/``max`` merge exactly: a child's
+post-fork extremes either originated in its own window or were inherited
+from the parent, which already holds them.)
+
+Nothing here imports the rest of the package — the registry is leaf-level
+so the crypto cache, executors, and protocol layers can all depend on it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+# Upper bounds in milliseconds; a final +Inf bucket is implicit.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+# Powers of two for batch sizes / byte counts; +Inf implicit.
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+)
+
+_LabelsKey = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: Mapping[str, object]) -> _LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_name(name: str, labels: _LabelsKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_BAD.sub("_", name)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A value that can go up and down; last write wins across merges."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact sum/count/min/max.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket is
+    kept past the last bound.  Percentiles are bucket estimates clamped
+    to the exactly-tracked ``[min_value, max_value]`` range, so
+    ``p50``/``p95`` are never wilder than what was actually observed.
+    """
+
+    __slots__ = ("_lock", "bounds", "bucket_counts", "sum", "count",
+                 "min_value", "max_value")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_LATENCY_BUCKETS_MS):
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds or list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self._lock = threading.Lock()
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def observe(self, value: float) -> None:
+        index = self._bucket_index(value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.sum += value
+            self.count += 1
+            if value < self.min_value:
+                self.min_value = value
+            if value > self.max_value:
+                self.max_value = value
+
+    def _bucket_index(self, value: float) -> int:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                return index
+        return len(self.bounds)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Bucket-estimated quantile, clamped to observed extremes."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(fraction * self.count))
+        cumulative = 0
+        estimate = self.max_value
+        for index, bucket in enumerate(self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                estimate = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self.max_value
+                )
+                break
+        return min(max(estimate, self.min_value), self.max_value)
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    def merge_state(
+        self,
+        bucket_counts: list[int],
+        total: float,
+        count: int,
+        min_value: float,
+        max_value: float,
+    ) -> None:
+        """Fold another histogram's (delta) state into this one."""
+        if len(bucket_counts) != len(self.bucket_counts):
+            raise ValueError("histogram bucket layouts differ")
+        with self._lock:
+            for index, bucket in enumerate(bucket_counts):
+                self.bucket_counts[index] += bucket
+            self.sum += total
+            self.count += count
+            if count:
+                self.min_value = min(self.min_value, min_value)
+                self.max_value = max(self.max_value, max_value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+            self.sum = 0.0
+            self.count = 0
+            self.min_value = math.inf
+            self.max_value = -math.inf
+
+    def state(self) -> dict:
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "bucket_counts": list(self.bucket_counts),
+                "sum": self.sum,
+                "count": self.count,
+                "min": None if self.count == 0 else self.min_value,
+                "max": None if self.count == 0 else self.max_value,
+            }
+
+
+class MetricsRegistry:
+    """Named, labelled metrics with JSON / Prometheus export and merging."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, _LabelsKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelsKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelsKey], Histogram] = {}
+
+    # -- access / creation -----------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _labels_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter())
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _labels_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge())
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _labels_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(
+                    key, Histogram(buckets or DEFAULT_LATENCY_BUCKETS_MS)
+                )
+        return metric
+
+    # -- reads -----------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        metric = self._counters.get((name, _labels_key(labels)))
+        return metric.value if metric is not None else 0
+
+    def counters_matching(self, prefix: str) -> dict[str, float]:
+        """Rendered-name -> value for every counter under ``prefix``."""
+        return {
+            _render_name(name, labels): metric.value
+            for (name, labels), metric in list(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    # -- snapshot / diff / merge (fork-pool support) ---------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-able structured copy of every metric's current state."""
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        return {
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": metric.value}
+                for (name, labels), metric in counters
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": metric.value}
+                for (name, labels), metric in gauges
+            ],
+            "histograms": [
+                {"name": name, "labels": dict(labels), **metric.state()}
+                for (name, labels), metric in histograms
+            ],
+        }
+
+    def diff(self, before: dict) -> dict:
+        """What changed since ``before`` (an earlier :meth:`snapshot`).
+
+        Counters and histograms subtract; gauges report their current
+        value.  Unchanged metrics are dropped so deltas stay tiny on the
+        wire between pool workers and the parent.
+        """
+        prior_counters = {
+            (row["name"], _labels_key(row["labels"])): row["value"]
+            for row in before.get("counters", ())
+        }
+        prior_hists = {
+            (row["name"], _labels_key(row["labels"])): row
+            for row in before.get("histograms", ())
+        }
+        now = self.snapshot()
+        counters = []
+        for row in now["counters"]:
+            base = prior_counters.get((row["name"], _labels_key(row["labels"])), 0)
+            delta = row["value"] - base
+            if delta:
+                counters.append({**row, "value": delta})
+        histograms = []
+        for row in now["histograms"]:
+            base = prior_hists.get((row["name"], _labels_key(row["labels"])))
+            if base is not None and len(base["bucket_counts"]) == len(row["bucket_counts"]):
+                buckets = [
+                    current - previous
+                    for current, previous in zip(row["bucket_counts"], base["bucket_counts"])
+                ]
+                count = row["count"] - base["count"]
+                total = row["sum"] - base["sum"]
+            else:
+                buckets, count, total = row["bucket_counts"], row["count"], row["sum"]
+            if count:
+                histograms.append(
+                    {**row, "bucket_counts": buckets, "count": count, "sum": total}
+                )
+        gauges = [row for row in now["gauges"] if row["value"]]
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge(self, delta: dict) -> None:
+        """Fold a :meth:`diff` (or full snapshot) into this registry."""
+        for row in delta.get("counters", ()):
+            self.counter(row["name"], **row["labels"]).inc(row["value"])
+        for row in delta.get("gauges", ()):
+            self.gauge(row["name"], **row["labels"]).set(row["value"])
+        for row in delta.get("histograms", ()):
+            metric = self.histogram(row["name"], buckets=row["bounds"], **row["labels"])
+            metric.merge_state(
+                row["bucket_counts"],
+                row["sum"],
+                row["count"],
+                row["min"] if row["min"] is not None else math.inf,
+                row["max"] if row["max"] is not None else -math.inf,
+            )
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return self.snapshot()
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def render_prometheus(self) -> str:
+        """Flat Prometheus-style text exposition of every metric."""
+        lines: list[str] = []
+        snap = self.snapshot()
+        for row in snap["counters"]:
+            lines.append("%s %g" % (
+                _render_name(_prom_name(row["name"]) + "_total",
+                             _labels_key(row["labels"])),
+                row["value"],
+            ))
+        for row in snap["gauges"]:
+            lines.append("%s %g" % (
+                _render_name(_prom_name(row["name"]), _labels_key(row["labels"])),
+                row["value"],
+            ))
+        for row in snap["histograms"]:
+            name = _prom_name(row["name"])
+            cumulative = 0
+            edges = [*row["bounds"], math.inf]
+            for bound, bucket in zip(edges, row["bucket_counts"]):
+                cumulative += bucket
+                le = "+Inf" if math.isinf(bound) else "%g" % bound
+                labels = _labels_key({**row["labels"], "le": le})
+                lines.append("%s %d" % (_render_name(name + "_bucket", labels), cumulative))
+            base = _labels_key(row["labels"])
+            lines.append("%s %g" % (_render_name(name + "_sum", base), row["sum"]))
+            lines.append("%s %d" % (_render_name(name + "_count", base), row["count"]))
+        return "\n".join(lines)
+
+    def render_text(self) -> str:
+        """Human-oriented pretty printing (the ``repro metrics`` view)."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            for row in sorted(snap["counters"], key=lambda r: (r["name"], sorted(r["labels"].items()))):
+                lines.append(
+                    f"  {_render_name(row['name'], _labels_key(row['labels'])):<56s} "
+                    f"{row['value']:g}"
+                )
+        if snap["gauges"]:
+            lines.append("gauges:")
+            for row in sorted(snap["gauges"], key=lambda r: (r["name"], sorted(r["labels"].items()))):
+                lines.append(
+                    f"  {_render_name(row['name'], _labels_key(row['labels'])):<56s} "
+                    f"{row['value']:g}"
+                )
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for row in sorted(snap["histograms"], key=lambda r: (r["name"], sorted(r["labels"].items()))):
+                metric = self._histograms.get((row["name"], _labels_key(row["labels"])))
+                if metric is None or metric.count == 0:
+                    summary = "count=0"
+                else:
+                    summary = (
+                        f"count={metric.count} mean={metric.mean:.3f} "
+                        f"p50={metric.p50:.3f} p95={metric.p95:.3f} "
+                        f"max={metric.max_value:.3f}"
+                    )
+                lines.append(
+                    f"  {_render_name(row['name'], _labels_key(row['labels'])):<56s} {summary}"
+                )
+        return "\n".join(lines) if lines else "(empty registry)"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every metric in place (existing handles stay valid)."""
+        with self._lock:
+            metrics = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for metric in metrics:
+            metric.reset()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry all built-in instrumentation reports to."""
+    return _DEFAULT_REGISTRY

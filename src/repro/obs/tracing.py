@@ -1,0 +1,189 @@
+"""Span-based wall-clock tracing.
+
+A :class:`SpanTracer` produces nested timing trees::
+
+    with trace.span("query.sweep", product=hex(pid)):
+        with trace.span("poc.verify_many", n=len(items)):
+            ...
+
+Spans opened while another span is active on the same thread become its
+children, so one query renders as a tree mirroring the protocol's
+structure — distribution phase, per-round verification, reveals.  The
+finished trees export as JSON (:meth:`SpanTracer.to_dict`), as an
+indented text tree (:meth:`SpanTracer.render`), and as a flat
+Prometheus-style aggregate (:meth:`SpanTracer.render_flat`, per-name
+count + total milliseconds).
+
+Threading and forking: the open-span stack is thread-local, so spans on
+different threads build independent trees.  Spans recorded inside
+fork-pool *worker processes* stay in the worker — only metrics deltas
+travel back (see :mod:`repro.obs.metrics`); keep spans around
+orchestration points, not inside pool tasks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import _render_name  # shared label renderer
+
+__all__ = ["Span", "SpanTracer", "default_tracer", "trace"]
+
+
+class Span:
+    """One timed region: name, attributes, duration, children."""
+
+    __slots__ = ("name", "attrs", "duration_ms", "children", "_start")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.duration_ms: float = 0.0
+        self.children: list["Span"] = []
+        self._start = 0.0
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "duration_ms": round(self.duration_ms, 3)}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, {self.duration_ms:.3f}ms, children={len(self.children)})"
+
+
+class SpanTracer:
+    """Collects finished root spans plus per-name aggregate totals."""
+
+    def __init__(self, max_roots: int = 10_000):
+        self.max_roots = max_roots
+        self.roots: list[Span] = []
+        self.dropped = 0
+        self.enabled = True
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        # name -> [count, total_ms]; survives root eviction so the flat
+        # export never under-reports.
+        self._totals: dict[str, list] = {}
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span | None]:
+        if not self.enabled:
+            yield None
+            return
+        span = Span(name, attrs)
+        stack = self._stack()
+        stack.append(span)
+        span._start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration_ms = (time.perf_counter() - span._start) * 1000.0
+            stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                with self._lock:
+                    if len(self.roots) < self.max_roots:
+                        self.roots.append(span)
+                    else:
+                        self.dropped += 1
+            with self._lock:
+                total = self._totals.setdefault(name, [0, 0.0])
+                total[0] += 1
+                total[1] += span.duration_ms
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            roots = list(self.roots)
+            dropped = self.dropped
+        out: dict = {"spans": [root.to_dict() for root in roots]}
+        if dropped:
+            out["dropped"] = dropped
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self, max_depth: int = 10) -> str:
+        """Indented text tree of every recorded root span."""
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            attrs = (
+                " " + " ".join(f"{k}={v}" for k, v in span.attrs.items())
+                if span.attrs
+                else ""
+            )
+            lines.append(f"{'  ' * depth}{span.name} {span.duration_ms:.3f}ms{attrs}")
+            if depth + 1 < max_depth:
+                for child in span.children:
+                    emit(child, depth + 1)
+
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            emit(root, 0)
+        return "\n".join(lines) if lines else "(no spans recorded)"
+
+    def render_flat(self) -> str:
+        """Prometheus-style per-name aggregates (count + total ms)."""
+        with self._lock:
+            totals = sorted(self._totals.items())
+        lines = []
+        for name, (count, total_ms) in totals:
+            labels = (("name", name),)
+            lines.append("%s %d" % (_render_name("repro_span_count", labels), count))
+            lines.append(
+                "%s %g" % (_render_name("repro_span_total_ms", labels),
+                           0.0 if math.isnan(total_ms) else round(total_ms, 3))
+            )
+        return "\n".join(lines)
+
+    def span_names(self) -> set[str]:
+        """Every span name recorded so far (roots and descendants)."""
+        with self._lock:
+            return set(self._totals)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots.clear()
+            self.dropped = 0
+            self._totals.clear()
+
+
+_DEFAULT_TRACER = SpanTracer()
+
+
+def default_tracer() -> SpanTracer:
+    """The process-wide tracer used by built-in instrumentation."""
+    return _DEFAULT_TRACER
+
+
+#: Conventional alias: ``with trace.span("poc.verify", n=K): ...``
+trace = _DEFAULT_TRACER

@@ -1,0 +1,179 @@
+"""Transcript recorder: ordering, wire-size accounting, reconciliation.
+
+The transcript is the regulator's audit artifact — these tests pin down
+that it is a faithful, ordered record of the network flow and that its
+byte accounting reconciles exactly with both the network's own stats
+and the process-wide ``net.messages`` / ``net.bytes`` counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.desword.messages import (
+    NextParticipantRequest,
+    NextParticipantResponse,
+    ProofResponse,
+    PsBroadcast,
+    PsRequest,
+    QueryRequest,
+    RevealRequest,
+)
+from repro.desword.network import SimNetwork
+from repro.desword.transcript import TranscriptRecorder
+from repro.obs import default_registry
+
+
+class _Echo:
+    """Endpoint returning a canned response (None = one-way)."""
+
+    def __init__(self, response=None):
+        self.response = response
+        self.received = []
+
+    def handle_message(self, sender, message):
+        self.received.append((sender, message))
+        return self.response
+
+
+def _network_with(*endpoints):
+    network = SimNetwork()
+    for identity, endpoint in endpoints:
+        network.register(identity, endpoint)
+    return network
+
+
+def test_entries_are_ordered_and_indexed():
+    network = _network_with(("b", _Echo()), ("c", _Echo()))
+    recorder = TranscriptRecorder().attach(network)
+    network.send("a", "b", PsBroadcast("ps-1"))
+    network.send("a", "c", PsRequest("task-1"))
+    network.send("b", "c", PsBroadcast("ps-1"))
+    assert [entry.index for entry in recorder.entries] == [0, 1, 2]
+    assert [entry.recipient for entry in recorder.entries] == ["b", "c", "c"]
+    assert recorder.entries[1].kind == "PsRequest"
+
+
+def test_request_records_both_directions():
+    proxy = _Echo(response=PsBroadcast("ps-9"))
+    network = _network_with(("proxy", _Echo()), ("p", proxy))
+    recorder = TranscriptRecorder().attach(network)
+    network.request("initial", "p", PsRequest("t"))
+    assert len(recorder.entries) == 2
+    outbound, inbound = recorder.entries
+    assert (outbound.sender, outbound.recipient) == ("initial", "p")
+    assert (inbound.sender, inbound.recipient) == ("p", "initial")
+    assert inbound.kind == "PsBroadcast"
+
+
+def test_wire_sizes_match_messages_and_network_stats():
+    network = _network_with(("b", _Echo()))
+    recorder = TranscriptRecorder().attach(network)
+    messages = [
+        PsBroadcast("ps-1"),
+        QueryRequest("good", 0xAB, b"\x01" * 40),
+        ProofResponse("b", b"\x02" * 64),
+        ProofResponse("b", None),  # refusal
+        RevealRequest(0xAB),
+    ]
+    for message in messages:
+        network.send("a", "b", message)
+    for entry, message in zip(recorder.entries, messages):
+        assert entry.size_bytes == message.size_bytes()
+    assert recorder.total_bytes() == sum(m.size_bytes() for m in messages)
+    assert recorder.total_bytes() == network.stats.bytes_sent
+    assert len(recorder.entries) == network.stats.messages
+
+
+def test_by_kind_reconciles_with_registry_counters():
+    registry = default_registry()
+    registry.reset()
+    network = _network_with(("b", _Echo()))
+    recorder = TranscriptRecorder().attach(network)
+    network.send("a", "b", PsBroadcast("ps-1"))
+    network.send("a", "b", PsBroadcast("ps-22"))
+    network.send("a", "b", RevealRequest(0x1))
+
+    summary = recorder.by_kind()
+    assert set(summary) == {"PsBroadcast", "RevealRequest"}
+    count, size = summary["PsBroadcast"]
+    assert count == 2
+    assert size == PsBroadcast("ps-1").size_bytes() + PsBroadcast("ps-22").size_bytes()
+
+    # Entry-by-entry reconciliation against the process-wide counters.
+    for kind, (count, size) in summary.items():
+        assert registry.counter_value("net.messages", kind=kind) == count
+        assert registry.counter_value("net.bytes", kind=kind) == size
+    registry.reset()
+
+
+def test_summaries_describe_protocol_steps():
+    network = _network_with(("b", _Echo()))
+    recorder = TranscriptRecorder().attach(network)
+    network.send("a", "b", QueryRequest("good", 0xFE, b""))
+    network.send("a", "b", ProofResponse("b", None))
+    network.send("a", "b", NextParticipantRequest(0xFE))
+    network.send("a", "b", NextParticipantResponse(None))
+    summaries = [entry.summary for entry in recorder.entries]
+    assert summaries[0] == "good-query for 0xfe"
+    assert summaries[1] == "refused"
+    assert "next-hop asked" in summaries[2]
+    assert summaries[3] == "end of path claimed"
+
+
+def test_involving_filters_by_participant():
+    network = _network_with(("b", _Echo()), ("c", _Echo()))
+    recorder = TranscriptRecorder().attach(network)
+    network.send("a", "b", PsBroadcast("x"))
+    network.send("a", "c", PsBroadcast("x"))
+    network.send("b", "c", PsBroadcast("x"))
+    assert len(recorder.involving("b")) == 2
+    assert len(recorder.involving("a")) == 2
+    assert len(recorder.involving("c")) == 2
+    assert recorder.involving("nobody") == []
+
+
+def test_render_and_clear():
+    network = _network_with(("b", _Echo()))
+    recorder = TranscriptRecorder().attach(network)
+    for index in range(4):
+        network.send("a", "b", PsBroadcast(f"ps-{index}"))
+    rendered = recorder.render(last=2)
+    assert "#0002" in rendered and "#0000" not in rendered
+    assert "a -> b" in rendered
+    recorder.clear()
+    assert recorder.entries == []
+    assert recorder.render() == ""
+
+
+def test_deployment_transcript_accounts_full_query(toy_deployment):
+    """Integration: a real sweep's transcript reconciles with net stats."""
+    deployment, products = toy_deployment
+    network = deployment.network
+    recorder = TranscriptRecorder().attach(network)
+    before_bytes = network.stats.bytes_sent
+    result = deployment.sweep(products[0])
+    assert result.path  # the query actually ran
+    assert recorder.entries, "sweep produced no transcript entries"
+    assert recorder.total_bytes() == network.stats.bytes_sent - before_bytes
+    kinds = {entry.kind for entry in recorder.entries}
+    assert "QueryRequest" in kinds
+    assert "ProofResponse" in kinds
+    # by_kind() totals partition the transcript exactly.
+    summary = recorder.by_kind()
+    assert sum(count for count, _ in summary.values()) == len(recorder.entries)
+    assert sum(size for _, size in summary.values()) == recorder.total_bytes()
+
+
+@pytest.fixture(scope="module")
+def toy_deployment():
+    from repro.crypto import DeterministicRng
+    from repro.desword import DeSwordConfig, Deployment
+    from repro.supplychain import pharma_chain, product_batch
+
+    rng = DeterministicRng("transcript-test")
+    config = DeSwordConfig(q=4, key_bits=32, seed="transcript-test")
+    deployment = Deployment.build(pharma_chain(rng), config.build_scheme())
+    products = product_batch(rng, 4, key_bits=32)
+    deployment.distribute(products)
+    return deployment, products

@@ -1,0 +1,74 @@
+"""Tests for the ``repro`` logging hierarchy and CLI wiring."""
+
+import io
+import logging
+
+from repro.obs import ROOT_LOGGER_NAME, configure_logging, get_logger
+
+
+def _remove_cli_handlers():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+def test_root_logger_has_null_handler():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+def test_get_logger_normalises_names():
+    assert get_logger().name == "repro"
+    assert get_logger("repro").name == "repro"
+    assert get_logger("desword.proxy").name == "repro.desword.proxy"
+    assert get_logger("repro.desword.proxy").name == "repro.desword.proxy"
+    # __name__-style full paths from an src layout land on the same node.
+    assert get_logger("src.repro.engine.cache").name == "repro.engine.cache"
+
+
+def test_configure_logging_levels():
+    try:
+        assert configure_logging(0).level == logging.WARNING
+        assert configure_logging(1).level == logging.INFO
+        assert configure_logging(2).level == logging.DEBUG
+        assert configure_logging(5).level == logging.DEBUG
+    finally:
+        _remove_cli_handlers()
+
+
+def test_configure_logging_is_idempotent():
+    try:
+        root = configure_logging(1)
+        configure_logging(2)
+        configure_logging(1)
+        cli_handlers = [
+            h for h in root.handlers if getattr(h, "_repro_cli_handler", False)
+        ]
+        assert len(cli_handlers) == 1
+    finally:
+        _remove_cli_handlers()
+
+
+def test_verbose_output_reaches_stream():
+    stream = io.StringIO()
+    try:
+        configure_logging(1, stream=stream)
+        get_logger("desword.test").info("hello %s", "world")
+        assert "hello world" in stream.getvalue()
+        assert "repro.desword.test" in stream.getvalue()
+    finally:
+        _remove_cli_handlers()
+
+
+def test_silent_by_default_below_warning():
+    stream = io.StringIO()
+    try:
+        configure_logging(0, stream=stream)
+        get_logger("quiet").info("not shown")
+        assert stream.getvalue() == ""
+        get_logger("quiet").warning("shown")
+        assert "shown" in stream.getvalue()
+    finally:
+        _remove_cli_handlers()

@@ -1,0 +1,201 @@
+"""Tests for the metrics registry: counters, gauges, histograms,
+snapshot/diff/merge round-trips, and the text renderers."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        assert gauge.value == 4.0
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_observe_tracks_exact_aggregates(self):
+        histogram = Histogram([1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(555.5)
+        assert histogram.min_value == pytest.approx(0.5)
+        assert histogram.max_value == pytest.approx(500.0)
+        # Buckets: <=1, <=10, <=100, +inf — one observation each.
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+
+    def test_quantiles_clamped_to_observed_extremes(self):
+        histogram = Histogram([1.0, 10.0, 100.0])
+        for value in (2.0, 3.0, 4.0):
+            histogram.observe(value)
+        # All fall in the (1, 10] bucket whose upper bound is 10, but the
+        # estimate must never exceed the observed max.
+        assert histogram.p50 <= 4.0
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+        assert histogram.quantile(0.0) >= 2.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram([1.0]).quantile(0.5) == 0.0
+
+    def test_mean(self):
+        histogram = Histogram([10.0])
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean == pytest.approx(3.0)
+
+    def test_requires_sorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram([10.0, 1.0])
+
+    def test_default_bucket_ladders_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_MS) == sorted(DEFAULT_LATENCY_BUCKETS_MS)
+        assert list(DEFAULT_SIZE_BUCKETS) == sorted(DEFAULT_SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_counter_handles_are_stable(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a.b")
+        second = registry.counter("a.b")
+        assert first is second
+        first.inc()
+        assert registry.counter_value("a.b") == 1
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", table="w").inc(2)
+        registry.counter("hits", table="s").inc(3)
+        assert registry.counter_value("hits", table="w") == 2
+        assert registry.counter_value("hits", table="s") == 3
+        assert registry.counter_value("hits", table="missing") == 0
+
+    def test_counters_matching_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.cache.hits", table="w").inc()
+        registry.counter("engine.cache.misses", table="w").inc(2)
+        registry.counter("other").inc()
+        matched = registry.counters_matching("engine.cache.")
+        assert sum(matched.values()) == 3
+        assert all(name.startswith("engine.cache.") for name in matched)
+
+    def test_histogram_same_name_same_buckets(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("lat", buckets=[1.0, 2.0])
+        second = registry.histogram("lat")
+        assert first is second
+
+    def test_snapshot_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="x").inc(7)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=[1.0, 10.0]).observe(3.0)
+        payload = json.loads(registry.to_json())
+        counters = {
+            (entry["name"], tuple(sorted(entry["labels"].items()))): entry["value"]
+            for entry in payload["counters"]
+        }
+        assert counters[("c", (("kind", "x"),))] == 7
+        histogram = payload["histograms"][0]
+        assert histogram["count"] == 1
+        assert sum(histogram["bucket_counts"]) == 1
+
+    def test_diff_drops_unchanged_and_merge_applies_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("stable").inc(5)
+        before = registry.snapshot()
+        registry.counter("stable").inc(2)
+        registry.counter("fresh").inc(1)
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        delta = registry.diff(before)
+        counter_names = {entry["name"] for entry in delta["counters"]}
+        assert counter_names == {"stable", "fresh"}
+        stable = next(e for e in delta["counters"] if e["name"] == "stable")
+        assert stable["value"] == 2  # the delta, not the absolute value
+
+        target = MetricsRegistry()
+        target.counter("stable").inc(10)
+        target.merge(delta)
+        assert target.counter_value("stable") == 12
+        assert target.counter_value("fresh") == 1
+        assert target.histogram("h", buckets=[1.0]).count == 1
+
+    def test_merge_histogram_preserves_extremes(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=[10.0]).observe(0.25)
+        source.histogram("h").observe(99.0)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=[10.0]).observe(5.0)
+        target.merge(source.snapshot())
+        merged = target.histogram("h")
+        assert merged.count == 3
+        assert merged.min_value == pytest.approx(0.25)
+        assert merged.max_value == pytest.approx(99.0)
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        handle = registry.counter("c")
+        handle.inc(3)
+        registry.reset()
+        assert handle.value == 0
+        handle.inc()
+        assert registry.counter_value("c") == 1
+
+    def test_render_prometheus_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.cache.hits", table="w").inc(4)
+        registry.histogram("lat.ms", buckets=[1.0]).observe(0.5)
+        text = registry.render_prometheus()
+        assert 'engine_cache_hits_total{table="w"} 4' in text
+        assert "lat_ms_count 1" in text
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert 'lat_ms_bucket{le="+Inf"} 1' in text
+
+    def test_render_text_mentions_series(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", k="v").inc()
+        text = registry.render_text()
+        assert "a.b" in text
+
+    def test_default_registry_is_process_wide(self):
+        assert default_registry() is default_registry()

@@ -1,0 +1,141 @@
+"""Tests for the span tracer: nesting, exports, eviction, threading."""
+
+import threading
+
+from repro.obs import SpanTracer
+
+
+def test_nested_spans_build_a_tree():
+    tracer = SpanTracer()
+    with tracer.span("outer", task="t1"):
+        with tracer.span("inner", n=3):
+            pass
+        with tracer.span("inner", n=5):
+            pass
+    assert len(tracer.roots) == 1
+    root = tracer.roots[0]
+    assert root.name == "outer"
+    assert root.attrs == {"task": "t1"}
+    assert [child.name for child in root.children] == ["inner", "inner"]
+    assert root.duration_ms >= sum(c.duration_ms for c in root.children) * 0.5
+
+
+def test_current_reports_innermost_open_span():
+    tracer = SpanTracer()
+    assert tracer.current() is None
+    with tracer.span("outer"):
+        assert tracer.current().name == "outer"
+        with tracer.span("inner"):
+            assert tracer.current().name == "inner"
+        assert tracer.current().name == "outer"
+    assert tracer.current() is None
+
+
+def test_to_dict_shape():
+    tracer = SpanTracer()
+    with tracer.span("a", k="v"):
+        with tracer.span("b"):
+            pass
+    payload = tracer.to_dict()
+    assert list(payload) == ["spans"]
+    span = payload["spans"][0]
+    assert span["name"] == "a"
+    assert span["attrs"] == {"k": "v"}
+    assert span["children"][0]["name"] == "b"
+    assert "children" not in span["children"][0]
+    assert span["duration_ms"] >= 0
+
+
+def test_walk_visits_every_span():
+    tracer = SpanTracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            with tracer.span("c"):
+                pass
+        with tracer.span("d"):
+            pass
+    names = [span.name for span in tracer.roots[0].walk()]
+    assert names == ["a", "b", "c", "d"]
+
+
+def test_render_tree_and_flat():
+    tracer = SpanTracer()
+    with tracer.span("phase", task="t9"):
+        with tracer.span("step"):
+            pass
+    tree = tracer.render()
+    assert "phase" in tree and "task=t9" in tree
+    assert "\n  step" in tree
+    flat = tracer.render_flat()
+    assert 'repro_span_count{name="phase"} 1' in flat
+    assert 'repro_span_total_ms{name="step"}' in flat
+
+
+def test_span_names_include_descendants():
+    tracer = SpanTracer()
+    with tracer.span("root"):
+        with tracer.span("leaf"):
+            pass
+    assert tracer.span_names() == {"root", "leaf"}
+
+
+def test_root_eviction_keeps_totals():
+    tracer = SpanTracer(max_roots=2)
+    for _ in range(5):
+        with tracer.span("op"):
+            pass
+    assert len(tracer.roots) == 2
+    assert tracer.to_dict()["dropped"] == 3
+    # The flat aggregate still covers every run.
+    assert 'repro_span_count{name="op"} 5' in tracer.render_flat()
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = SpanTracer()
+    tracer.enabled = False
+    with tracer.span("ghost") as span:
+        assert span is None
+    assert tracer.roots == []
+    assert tracer.span_names() == set()
+
+
+def test_reset_clears_everything():
+    tracer = SpanTracer()
+    with tracer.span("x"):
+        pass
+    tracer.reset()
+    assert tracer.roots == []
+    assert tracer.span_names() == set()
+    assert tracer.render() == "(no spans recorded)"
+
+
+def test_exception_inside_span_still_records():
+    tracer = SpanTracer()
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("expected")
+    except RuntimeError:
+        pass
+    assert len(tracer.roots) == 1
+    assert tracer.current() is None  # the stack unwound cleanly
+
+
+def test_threads_build_independent_trees():
+    tracer = SpanTracer()
+    barrier = threading.Barrier(2)
+
+    def work(tag):
+        with tracer.span(f"thread.{tag}"):
+            barrier.wait(timeout=5)  # both spans open simultaneously
+            with tracer.span("child"):
+                pass
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Two roots, each with exactly one child: neither thread's span
+    # nested under the other's despite overlapping in time.
+    assert sorted(root.name for root in tracer.roots) == ["thread.0", "thread.1"]
+    assert all(len(root.children) == 1 for root in tracer.roots)

@@ -7,6 +7,16 @@ import pytest
 from repro.cli import build_parser, main
 
 
+def _span_names(span_dicts):
+    names = set()
+    stack = list(span_dicts)
+    while stack:
+        span = stack.pop()
+        names.add(span["name"])
+        stack.extend(span.get("children", []))
+    return names
+
+
 def test_demo_runs(capsys):
     assert main(["demo", "--backend", "merkle", "--products", "5", "--queries", "2"]) == 0
     output = capsys.readouterr().out
@@ -50,6 +60,80 @@ def test_evaluate_json_output(capsys):
 def test_evaluate_accepts_workers(capsys):
     assert main(["evaluate", "--repeats", "1", "--workers", "2"]) == 0
     assert "workers: 2" in capsys.readouterr().out
+
+
+def test_evaluate_json_includes_cache_and_protocol(capsys):
+    assert main(["evaluate", "--repeats", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["cache"]["hits"]) == {"windows", "small_tables", "pairings"}
+    assert payload["cache"]["misses"]["windows"] >= 1
+    protocol = payload["protocol"]
+    assert protocol["products"] >= 2
+    assert protocol["sweep_path"] and protocol["query_path"]
+    assert protocol["distribution_bytes"] > 0
+
+
+def test_evaluate_metrics_out(tmp_path, capsys):
+    """The ISSUE acceptance check: cache counters, populated latency
+    histogram buckets, and a span tree covering both protocol phases."""
+    out = tmp_path / "m.json"
+    assert main(["evaluate", "--repeats", "1", "--metrics-out", str(out)]) == 0
+    assert f"metrics written to {out}" in capsys.readouterr().out
+    payload = json.loads(out.read_text())
+
+    counters = {
+        (entry["name"], entry["labels"].get("table")): entry["value"]
+        for entry in payload["metrics"]["counters"]
+    }
+    assert counters[("engine.cache.hits", "small_tables")] > 0
+    assert counters[("engine.cache.misses", "windows")] > 0
+
+    populated = [
+        entry
+        for entry in payload["metrics"]["histograms"]
+        if entry["count"] > 0 and sum(entry["bucket_counts"]) == entry["count"]
+    ]
+    assert populated, "no latency histogram with populated buckets"
+
+    names = _span_names(payload["spans"]["spans"])
+    assert "distribution.phase" in names
+    assert {"query.sweep", "query.interactive"} <= names
+    assert "evaluate.protocol" in names
+
+
+def test_metrics_command_pretty(capsys):
+    assert main(["metrics"]) == 0
+    output = capsys.readouterr().out
+    assert "== metrics registry ==" in output
+    assert "engine.cache.hits" in output
+    assert "== span tree ==" in output
+    assert "distribution.phase" in output
+
+
+def test_metrics_command_prom(capsys):
+    assert main(["metrics", "--format", "prom"]) == 0
+    output = capsys.readouterr().out
+    assert "engine_cache_hits_total" in output
+    assert "_bucket{" in output and 'le="+Inf"' in output
+    assert 'repro_span_count{name="distribution.phase"}' in output
+
+
+def test_metrics_command_reads_saved_snapshot(tmp_path, capsys):
+    out = tmp_path / "m.json"
+    assert main(["evaluate", "--repeats", "1", "--metrics-out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", "--input", str(out)]) == 0
+    output = capsys.readouterr().out
+    assert "engine.cache.hits" in output
+    assert "distribution.phase" in output
+    # JSON format round-trips the saved payload untouched.
+    assert main(["metrics", "--input", str(out), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out) == json.loads(out.read_text())
+
+
+def test_verbose_flag_accepted(capsys):
+    assert main(["-v", "demo", "--products", "3", "--queries", "1", "--q", "4"]) == 0
+    assert "OK" in capsys.readouterr().out
 
 
 def test_incentives_runs(capsys):
