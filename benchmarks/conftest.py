@@ -26,6 +26,7 @@ from repro.zkedb.params import EdbParams
 REPORT_PATH = Path(__file__).parent / "bench_report.txt"
 ENGINE_JSON_PATH = Path(__file__).parent / "BENCH_engine.json"
 METRICS_JSON_PATH = Path(__file__).parent / "BENCH_metrics.json"
+MSM_JSON_PATH = Path(__file__).parent / "BENCH_msm.json"
 
 # The paper's exact Table II grid (q^h >= 2^128).
 FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
@@ -56,14 +57,15 @@ def report():
 
 
 class _BenchRecords:
-    """Machine-readable timings, merged into ``BENCH_engine.json``.
+    """Machine-readable timings, merged into a ``BENCH_*.json`` file.
 
     Each record is ``{bench, params, mean_ms, bytes}``; re-running a bench
     overwrites its previous record (matched on ``(bench, params)``) so the
     file tracks the latest numbers instead of growing without bound.
     """
 
-    def __init__(self):
+    def __init__(self, path: Path = ENGINE_JSON_PATH):
+        self.path = path
         self.records: list[dict] = []
 
     def add(self, bench: str, params: str, mean_ms: float, nbytes: int = 0) -> None:
@@ -80,15 +82,15 @@ class _BenchRecords:
         if not self.records:
             return
         merged: dict[tuple[str, str], dict] = {}
-        if ENGINE_JSON_PATH.exists():
+        if self.path.exists():
             try:
-                for row in json.loads(ENGINE_JSON_PATH.read_text()):
+                for row in json.loads(self.path.read_text()):
                     merged[(row["bench"], row["params"])] = row
             except (ValueError, KeyError, TypeError):
                 merged = {}
         for row in self.records:
             merged[(row["bench"], row["params"])] = row
-        ENGINE_JSON_PATH.write_text(
+        self.path.write_text(
             json.dumps(sorted(merged.values(), key=lambda r: (r["bench"], r["params"])), indent=2)
             + "\n"
         )
@@ -97,6 +99,18 @@ class _BenchRecords:
 @pytest.fixture(scope="session")
 def bench_records():
     collector = _BenchRecords()
+    yield collector
+    collector.flush()
+
+
+@pytest.fixture(scope="session")
+def msm_records():
+    """MSM-variant and incremental-recommit rows, merged into BENCH_msm.json.
+
+    Kept in a separate file so CI's msm smoke job can validate the
+    Pippenger-vs-Straus crossover without parsing engine timings.
+    """
+    collector = _BenchRecords(MSM_JSON_PATH)
     yield collector
     collector.flush()
 

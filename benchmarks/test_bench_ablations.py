@@ -1,4 +1,4 @@
-"""E8 — ablations of this implementation's design choices.
+"""E8/E9 — ablations of this implementation's design choices.
 
 Quantifies the optimizations DESIGN.md calls out, so their value is
 measured rather than asserted:
@@ -9,10 +9,19 @@ measured rather than asserted:
 * **Straus multi-scalar multiplication** — vs per-point double-and-add
   for the qTMC witness computation (the Figure 4(a) hard-path driver);
 * **fixed-base generator windows** — vs generic scalar multiplication
-  (the soft-commitment and CRS driver).
+  (the soft-commitment and CRS driver);
+* **E9: Pippenger vs. Straus vs. naive** across MSM sizes, and
+  **incremental vs. full recommitment** — both written to
+  ``BENCH_msm.json`` and gated in CI (DESIGN.md §3.3).
+
+The E8 groups use the pytest-benchmark fixture on BN254; the E9 tests
+time manually on the toy curve so CI's plain-pytest smoke job (no
+pytest-benchmark install) can run them in seconds.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -121,3 +130,127 @@ def test_generic_mul_of_generator(benchmark, curve, report):
         f"[E8] generator mul, generic windowed:   {benchmark.stats['mean']*1000:.2f}ms "
         f"(ablation: no precomputed table)"
     )
+
+
+# -- E9: MSM variants and incremental recommitment (toy curve, manual timing) --
+
+MSM_SIZES = (16, 64, 128, 256)
+RECOMMIT_DB_SIZE = 64
+RECOMMIT_CHANGED = 4  # < 10% of the keys
+
+
+def _time_ms(fn, rounds: int = 3) -> float:
+    fn()  # warm-up: caches, tables
+    total = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        total += time.perf_counter() - start
+    return total / rounds * 1000
+
+
+def _msm_input(g1, order, n, seed):
+    rng = DeterministicRng(f"e9/{seed}")
+    points = [g1.mul_gen(rng.randrange(1, order)) for _ in range(n)]
+    scalars = [rng.randrange(1, order) for _ in range(n)]
+    return points, scalars
+
+
+def test_msm_variant_crossover(report, msm_records):
+    """Pippenger must beat Straus from PIPPENGER_MIN_POINTS up."""
+    from repro.crypto.bn import toy_bn
+    from repro.crypto.curve import PIPPENGER_MIN_POINTS
+
+    toy = toy_bn()
+    g1 = toy.g1
+    report.add("[E9] MSM variants (toy curve, mean of 3):")
+    for n in MSM_SIZES:
+        points, scalars = _msm_input(g1, toy.r, n, n)
+        tables = [None] * n  # supplying tables pins the Straus path
+
+        def naive():
+            acc = None
+            for point, scalar in zip(points, scalars):
+                acc = g1.add(acc, g1.mul(point, scalar))
+            return acc
+
+        expected = naive()
+        assert g1.multi_mul(points, scalars, tables=tables) == expected
+        assert g1.multi_mul_pippenger(points, scalars) == expected
+
+        naive_ms = _time_ms(naive)
+        straus_ms = _time_ms(lambda: g1.multi_mul(points, scalars, tables=tables))
+        pip_ms = _time_ms(lambda: g1.multi_mul_pippenger(points, scalars))
+        msm_records.add("msm", f"variant=naive,n={n}", naive_ms)
+        msm_records.add("msm", f"variant=straus,n={n}", straus_ms)
+        msm_records.add("msm", f"variant=pippenger,n={n}", pip_ms)
+        report.add(
+            f"[E9]   n={n:4d}: naive {naive_ms:7.2f}ms  straus {straus_ms:7.2f}ms  "
+            f"pippenger {pip_ms:7.2f}ms  (pip/straus {pip_ms/straus_ms:.2f}x)"
+        )
+        if n >= PIPPENGER_MIN_POINTS:
+            assert pip_ms < straus_ms, (
+                f"Pippenger ({pip_ms:.2f}ms) not faster than Straus "
+                f"({straus_ms:.2f}ms) at n={n}"
+            )
+
+
+def test_incremental_recommit(report, msm_records):
+    """Dirty-path recommit must beat a full commit by >= 3x at <10% churn."""
+    from repro.crypto.bn import toy_bn
+    from repro.zkedb.params import EdbParams
+    from repro.zkedb.prove import prove_key
+    from repro.zkedb.verify import verify_proof as verify
+
+    params = EdbParams.generate(
+        toy_bn(), DeterministicRng("e9-crs"), q=4, key_bits=16
+    )
+
+    def build_db(version: int) -> ElementaryDatabase:
+        db = ElementaryDatabase(16)
+        for i in range(RECOMMIT_DB_SIZE):
+            changed = version and i % (RECOMMIT_DB_SIZE // RECOMMIT_CHANGED) == 0
+            db.put(617 * i % 65536, b"v%d.%d" % (version if changed else 0, i))
+        return db
+
+    old_db, new_db = build_db(0), build_db(1)
+    changed = {
+        k for k in old_db.support() if old_db.get(k) != new_db.get(k)
+    }
+    assert 0 < len(changed) <= RECOMMIT_CHANGED
+
+    _, prior = commit_edb(params, old_db, DeterministicRng("e9-full0"))
+    full_ms = _time_ms(
+        lambda: commit_edb(params, new_db, DeterministicRng("e9-full")), rounds=2
+    )
+    incr_ms = _time_ms(
+        lambda: commit_edb(
+            params, new_db, DeterministicRng("e9-incr"), prior=prior
+        ),
+        rounds=2,
+    )
+    msm_records.add(
+        "edb.recommit", f"mode=full,n={RECOMMIT_DB_SIZE},changed={len(changed)}",
+        full_ms,
+    )
+    msm_records.add(
+        "edb.recommit",
+        f"mode=incremental,n={RECOMMIT_DB_SIZE},changed={len(changed)}",
+        incr_ms,
+    )
+    report.add(
+        f"[E9] recommit n={RECOMMIT_DB_SIZE}, {len(changed)} changed: "
+        f"full {full_ms:.1f}ms  incremental {incr_ms:.1f}ms "
+        f"({full_ms/incr_ms:.1f}x)"
+    )
+    assert incr_ms * 3 <= full_ms, (
+        f"incremental ({incr_ms:.1f}ms) not 3x faster than full ({full_ms:.1f}ms)"
+    )
+
+    # The timed recommit is also sound: spot-check one changed key.
+    com, dec = commit_edb(
+        params, new_db, DeterministicRng("e9-check"), prior=prior
+    )
+    key = sorted(changed)[0]
+    outcome = verify(params, com, key, prove_key(params, dec, key))
+    assert outcome.is_value and outcome.value == new_db.get(key)

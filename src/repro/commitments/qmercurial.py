@@ -205,6 +205,24 @@ class QtmcParams:
             raise IndexError(f"position {index} outside [0, {self.q})")
         return index + 1  # 1-indexed in the algebra
 
+    def warm_tables(self) -> None:
+        """Prime the engine cache for this CRS's multi-exp bases.
+
+        Builds the Straus small tables for every ``g_i`` (narrow widths) and
+        the Pippenger :class:`~repro.crypto.curve.MsmBasis` for the
+        full-width hard-commit basis (wide widths), so the first real
+        commitment after setup pays no table-construction cost.  Idempotent;
+        all state lives in the engine's process-wide cache.
+        """
+        engine = self._engine()
+        g1 = self.curve.g1
+        for point in (g1.generator, *self.g_powers.values()):
+            engine.cache.small_table(g1, point)
+        commit_basis = [self.curve.g1.generator] + [
+            self.g_powers[self.q + 1 - j] for j in range(1, self.q + 1)
+        ]
+        engine.cache.msm_basis(g1, commit_basis)
+
     # -- commitment algorithms -------------------------------------------------
 
     def hard_commit(

@@ -2,9 +2,20 @@
 
 G1 points are ``(x, y)`` tuples of plain integers with ``None`` as the point
 at infinity; the group object carries the modulus.  Scalar multiplication
-uses Jacobian coordinates with a 4-bit window internally, and a Straus
-interleaved multi-scalar multiplication backs the commitment schemes'
-multi-exponentiations.
+uses Jacobian coordinates with a 4-bit window internally, and two
+multi-scalar multiplication algorithms back the commitment schemes'
+multi-exponentiations:
+
+* **Straus** interleaved 4-bit windows — best for few points, and for
+  recurring (CRS) points whose 0..15 multiples the engine cache keeps;
+* **Pippenger** bucket method with signed window digits — best for large
+  one-shot inputs, where per-point tables would dominate the cost.
+
+:meth:`G1Group.multi_mul` selects between them by input size (see
+``PIPPENGER_MIN_POINTS``).  All table construction goes through
+:meth:`G1Group.batch_normalize`, Montgomery's simultaneous-inversion
+trick, so a batch of Jacobian→affine conversions costs one field
+inversion instead of one per point.
 
 G2 points are ``(x, y)`` tuples of :class:`~repro.crypto.tower.Fp2` elements
 with affine arithmetic; G2 is only used for CRS material and pairings, never
@@ -15,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence
 
+from ..obs import default_registry
 from .tower import Fp2, TowerContext
 
 __all__ = [
@@ -23,8 +35,18 @@ __all__ = [
     "G1Point",
     "G2Point",
     "FixedBaseWindow",
+    "MsmBasis",
     "set_fixed_base_provider",
+    "PIPPENGER_MIN_POINTS",
+    "PIPPENGER_MIN_POINTS_CACHED",
 ]
+
+# Below this many (nonzero) terms, Straus with ad-hoc tables beats the
+# bucket method; above it, Pippenger's fewer windows win.  The cached
+# threshold is higher because cached Straus tables remove the table-build
+# cost that Pippenger avoids (crossover measured in benchmarks/, E9).
+PIPPENGER_MIN_POINTS = 64
+PIPPENGER_MIN_POINTS_CACHED = 192
 
 G1Point = Optional[tuple[int, int]]
 G2Point = Optional[tuple[Fp2, Fp2]]
@@ -58,6 +80,31 @@ def _naf(k: int) -> list[int]:
     return digits
 
 
+def _signed_window_digits(k: int, width: int) -> list[int]:
+    """Signed base-``2**width`` digits of k, least significant first.
+
+    Digits lie in ``[-2**(width-1), 2**(width-1)]``, so the bucket method
+    needs only half as many buckets as with unsigned digits (negative
+    digits use the negated point, which is free in affine coordinates).
+    """
+    digits = []
+    full = 1 << width
+    half = full >> 1
+    while k:
+        d = k & (full - 1)
+        k >>= width
+        if d > half:
+            d -= full
+            k += 1
+        digits.append(d)
+    return digits
+
+
+def _pippenger_window(n: int) -> int:
+    """Bucket window width for an n-term MSM (~log2 n, signed digits)."""
+    return max(2, min(12, n.bit_length() - 2))
+
+
 class FixedBaseWindow:
     """Precomputed 4-bit windows for repeated scalar mults of one base.
 
@@ -74,15 +121,30 @@ class FixedBaseWindow:
         self.group = group
         self.base = base
         windows = (group.order.bit_length() + 3) // 4
-        table: list[list[G1Point]] = []
-        point = base
+        # Window bases 16^w * base, then every row's 1..15 multiples, all in
+        # Jacobian coordinates; two batched normalizations replace the
+        # windows*15 per-point inversions of the naive affine construction.
+        bases_jac: list[tuple[int, int, int]] = []
+        cursor = (base[0], base[1], 1)
         for _ in range(windows):
-            row: list[G1Point] = [None, point]
+            bases_jac.append(cursor)
+            for _ in range(4):
+                cursor = group._jac_double(cursor)
+        bases = group.batch_normalize(bases_jac)
+        rows_jac: list[tuple[int, int, int]] = []
+        for window_base in bases:
+            if window_base is None:  # unreachable for prime-order bases
+                rows_jac.extend([(1, 1, 0)] * 15)
+                continue
+            entry = (window_base[0], window_base[1], 1)
+            rows_jac.append(entry)
             for _ in range(14):
-                row.append(group.add(row[-1], point))
-            table.append(row)
-            point = group.double(group.double(group.double(group.double(point))))
-        self.table = table
+                entry = group._jac_add_affine(entry, window_base)
+                rows_jac.append(entry)
+        flat = group.batch_normalize(rows_jac)
+        self.table = [
+            [None] + flat[w * 15 : (w + 1) * 15] for w in range(windows)
+        ]
 
     @property
     def small_table(self) -> list[G1Point]:
@@ -103,6 +165,25 @@ class FixedBaseWindow:
             scalar >>= 4
             window += 1
         return group._from_jacobian(acc)
+
+
+class MsmBasis:
+    """Precomputed per-point state for Pippenger MSMs over a fixed basis.
+
+    The bucket method needs each point's negation once per signed-digit
+    window; for recurring bases (the qTMC CRS powers) the engine cache
+    builds this object once and hands its ``negs`` to
+    :meth:`G1Group.multi_mul_pippenger` on every call.
+    """
+
+    __slots__ = ("group", "points", "negs")
+
+    def __init__(self, group: "G1Group", points: Sequence[G1Point]):
+        self.group = group
+        self.points = tuple(points)
+        self.negs = tuple(
+            None if pt is None else group.neg(pt) for pt in points
+        )
 
 
 class G1Group:
@@ -259,6 +340,52 @@ class G1Group:
         z3 = 2 * z1 * h % p
         return (x3, y3, z3)
 
+    # -- batched coordinate conversion ---------------------------------------
+
+    def batch_normalize(
+        self, jacs: Sequence[tuple[int, int, int]]
+    ) -> list[G1Point]:
+        """Jacobian → affine for a whole batch with one field inversion.
+
+        Montgomery's trick: multiply all Z coordinates together, invert the
+        product once, then peel per-point inverses off with two
+        multiplications each.  Points at infinity (Z = 0) come back as
+        ``None`` and do not participate in the product.
+        """
+        p = self.p
+        result: list[G1Point] = [None] * len(jacs)
+        indices: list[int] = []
+        zs: list[int] = []
+        for i, (_, _, z) in enumerate(jacs):
+            if z != 0:
+                indices.append(i)
+                zs.append(z)
+        if not zs:
+            return result
+        prefix = [1] * (len(zs) + 1)
+        for i, z in enumerate(zs):
+            prefix[i + 1] = prefix[i] * z % p
+        inv = pow(prefix[-1], -1, p)
+        for i in range(len(zs) - 1, -1, -1):
+            z_inv = inv * prefix[i] % p
+            inv = inv * zs[i] % p
+            x, y, _ = jacs[indices[i]]
+            z_inv2 = z_inv * z_inv % p
+            result[indices[i]] = (x * z_inv2 % p, y * z_inv2 * z_inv % p)
+        if len(zs) > 1:
+            default_registry().counter("msm.batch_inversions_saved").inc(
+                len(zs) - 1
+            )
+        return result
+
+    def small_multiples(self, point: tuple[int, int]) -> list[G1Point]:
+        """The Straus table ``[None, P, 2P, .., 15P]`` (one batched inversion)."""
+        jacs: list[tuple[int, int, int]] = [(point[0], point[1], 1)]
+        jacs.append(self._jac_double(jacs[0]))
+        for _ in range(13):
+            jacs.append(self._jac_add_affine(jacs[-1], point))
+        return [None] + self.batch_normalize(jacs)
+
     # -- scalar multiplication ----------------------------------------------
 
     def mul(self, point: G1Point, scalar: int) -> G1Point:
@@ -304,12 +431,17 @@ class G1Group:
         scalars: Sequence[int],
         tables: Sequence[Sequence[G1Point] | None] | None = None,
     ) -> G1Point:
-        """Straus interleaved multi-scalar multiplication (4-bit windows).
+        """Multi-scalar multiplication, auto-selecting the algorithm.
 
-        ``tables`` optionally supplies precomputed 0..15 multiples per point
-        (as produced by :class:`FixedBaseWindow.small_table`); entries may be
-        None to build the table ad hoc.  The engine cache uses this to skip
-        rebuilding tables for CRS points on every commitment/opening.
+        Large table-less inputs (``PIPPENGER_MIN_POINTS`` or more nonzero
+        terms) go through :meth:`multi_mul_pippenger`; everything else runs
+        Straus interleaved 4-bit windows.  ``tables`` optionally supplies
+        precomputed 0..15 multiples per point (as produced by
+        :class:`FixedBaseWindow.small_table`); entries may be None to build
+        the table ad hoc.  The engine cache uses this to skip rebuilding
+        tables for CRS points on every commitment/opening — and supplying
+        tables pins the Straus path, since cached tables already paid the
+        cost Pippenger would avoid.
         """
         if len(points) != len(scalars):
             raise ValueError("points and scalars must have equal length")
@@ -324,15 +456,16 @@ class G1Group:
             return None
         if len(pairs) == 1:
             return self.mul(pairs[0][0], pairs[0][1])
+        if tables is None and len(pairs) >= PIPPENGER_MIN_POINTS:
+            return self.multi_mul_pippenger(
+                [pt for pt, _, _ in pairs], [k for _, k, _ in pairs]
+            )
+        default_registry().counter("msm.straus.calls").inc()
         prepared = []
         max_bits = 0
         for pt, k, table in pairs:
             if table is None:
-                table = [None] * 16
-                table[1] = pt
-                table[2] = self.double(pt)
-                for i in range(3, 16):
-                    table[i] = self.add(table[i - 1], pt)
+                table = self.small_multiples(pt)
             prepared.append((table, k))
             max_bits = max(max_bits, k.bit_length())
         acc = (1, 1, 0)
@@ -346,6 +479,87 @@ class G1Group:
                 digit = (k >> shift) & 0xF
                 if digit:
                     acc = self._jac_add_affine(acc, table[digit])
+        return self._from_jacobian(acc)
+
+    def multi_mul_pippenger(
+        self,
+        points: Sequence[G1Point],
+        scalars: Sequence[int],
+        negs: Sequence[G1Point] | None = None,
+        window: int | None = None,
+    ) -> G1Point:
+        """Pippenger bucket-method MSM with signed window digits.
+
+        Scalars are recoded into signed base-``2**c`` digits so only
+        ``2**(c-1)`` buckets per window are needed (negative digits add the
+        negated point).  No per-point tables are built, so the cost is
+        ``bits/c`` windows of (one mixed add per nonzero digit plus two
+        Jacobian adds per bucket) — asymptotically ``O(bits * n / log n)``
+        versus Straus's ``O(bits * n / 4)``.  ``negs`` optionally supplies
+        precomputed negations (see :class:`MsmBasis`); ``window`` overrides
+        the size heuristic (benchmarks only).
+        """
+        if len(points) != len(scalars):
+            raise ValueError("points and scalars must have equal length")
+        if negs is not None and len(negs) != len(points):
+            raise ValueError("negs and points must have equal length")
+        order = self.order
+        p = self.p
+        pts: list[tuple[int, int]] = []
+        neg_pts: list[tuple[int, int]] = []
+        ks: list[int] = []
+        for i, (pt, k) in enumerate(zip(points, scalars)):
+            k %= order
+            if pt is None or k == 0:
+                continue
+            pts.append(pt)
+            neg = negs[i] if negs is not None else None
+            neg_pts.append(neg if neg is not None else (pt[0], -pt[1] % p))
+            ks.append(k)
+        if not pts:
+            return None
+        if len(pts) == 1:
+            return self.mul(pts[0], ks[0])
+        c = window if window is not None else _pippenger_window(len(pts))
+        half = 1 << (c - 1)
+        digit_rows = [_signed_window_digits(k, c) for k in ks]
+        n_windows = max(len(row) for row in digit_rows)
+        registry = default_registry()
+        registry.counter("msm.pippenger.calls").inc()
+        registry.counter("msm.pippenger.windows").inc(n_windows)
+        registry.counter("msm.pippenger.points").inc(len(pts))
+        acc = (1, 1, 0)
+        for w in range(n_windows - 1, -1, -1):
+            if acc[2] != 0:
+                for _ in range(c):
+                    acc = self._jac_double(acc)
+            buckets: list[tuple[int, int, int] | None] = [None] * (half + 1)
+            for i, row in enumerate(digit_rows):
+                if w >= len(row):
+                    continue
+                digit = row[w]
+                if digit == 0:
+                    continue
+                if digit > 0:
+                    pt, bucket = pts[i], digit
+                else:
+                    pt, bucket = neg_pts[i], -digit
+                slot = buckets[bucket]
+                buckets[bucket] = (
+                    (pt[0], pt[1], 1)
+                    if slot is None
+                    else self._jac_add_affine(slot, pt)
+                )
+            # Running-sum aggregation: sum_b b * bucket[b] with 2 adds/bucket.
+            running = (1, 1, 0)
+            window_sum = (1, 1, 0)
+            for bucket in range(half, 0, -1):
+                entry = buckets[bucket]
+                if entry is not None:
+                    running = self._jac_add(running, entry)
+                if running[2] != 0:
+                    window_sum = self._jac_add(window_sum, running)
+            acc = self._jac_add(acc, window_sum)
         return self._from_jacobian(acc)
 
     def sum(self, points: Iterable[G1Point]) -> G1Point:

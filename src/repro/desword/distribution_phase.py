@@ -99,15 +99,19 @@ def _run_distribution_phase(
     logs = shipments_from_record(record)
     traces_by_pid = {}
     rngs = {}
+    priors = {}
     for participant_id in involved:
         node = nodes[participant_id]
         node.record_shipments(logs.get(participant_id, {}))
         committed, rng = node.poc_input(record.task.task_id)
         traces_by_pid[participant_id] = committed
         rngs[participant_id] = rng
+        # A participant's POC for task k+1 commits a superset of its task-k
+        # traces, so the previous DPOC seeds an incremental recommit.
+        priors[participant_id] = node.latest_dpoc()
     scheme = nodes[initial].scheme
     with trace.span("distribution.poc_agg", participants=len(involved)):
-        aggregated = scheme.poc_agg_many(traces_by_pid, rngs=rngs)
+        aggregated = scheme.poc_agg_many(traces_by_pid, rngs=rngs, priors=priors)
     pocs = {}
     poc_sizes = {}
     for participant_id in involved:

@@ -70,9 +70,23 @@ class ParticipantNode:
         """POC-Agg over this participant's traces, as (mis)shaped by its
         distribution-phase behaviour."""
         committed, rng = self.poc_input(task_id)
-        poc, dpoc = self.scheme.poc_agg(committed, self.participant_id, rng)
+        poc, dpoc = self.scheme.poc_agg(
+            committed, self.participant_id, rng, prior=self.latest_dpoc()
+        )
         self.accept_credential(poc, dpoc, committed, task_id)
         return poc
+
+    def latest_dpoc(self) -> PocDecommitment | None:
+        """The newest credential's DPOC, if any.
+
+        Successive distribution tasks commit a superset of the previous
+        task's traces, so the newest decommitment seeds incremental
+        recommitment in POC-Agg (only the traces added since then are
+        re-committed).
+        """
+        if not self._credentials:
+            return None
+        return self._credentials[-1][1]
 
     def poc_input(self, task_id: str) -> tuple[dict[int, bytes], DeterministicRng]:
         """The traces this node would commit for a task, plus its randomness.

@@ -11,8 +11,16 @@ constant pairings of CRS elements were recomputed at every call site.  The
   the TMC ``h``;
 * **Straus small tables** — the 0..15 multiples of a point, shared with
   the window tables when both exist, fed into ``G1Group.multi_mul``;
+* **MSM bases** — per-basis Pippenger precomputation
+  (:class:`~repro.crypto.curve.MsmBasis`) for wide multi-exps over a
+  recurring point sequence (large-q CRS material);
 * **constant pairings** — memoized ``e(P, Q)`` values for CRS element
   pairs, keyed by canonical encodings.
+
+Group-table keys are ``(group.p, group.b, point)`` — the group's defining
+constants, not ``id(group)``, since CPython reuses object ids after
+garbage collection and a recycled id must not resurrect another group's
+tables.  Equal-parameter group objects therefore also share tables.
 
 Importing this module installs the default cache as the fixed-base
 provider of :mod:`repro.crypto.curve`, so even code that never touches a
@@ -25,7 +33,13 @@ from __future__ import annotations
 from threading import Lock
 from typing import TYPE_CHECKING
 
-from ..crypto.curve import FixedBaseWindow, G1Group, set_fixed_base_provider
+from ..crypto.curve import (
+    PIPPENGER_MIN_POINTS_CACHED,
+    FixedBaseWindow,
+    G1Group,
+    MsmBasis,
+    set_fixed_base_provider,
+)
 from ..obs import MetricsRegistry, default_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,15 +53,16 @@ __all__ = ["PrecomputationCache", "default_cache"]
 class PrecomputationCache:
     """Shared tables and memoized pairings, keyed by group/curve identity."""
 
-    TABLE_KINDS = ("windows", "small_tables", "pairings")
+    TABLE_KINDS = ("windows", "small_tables", "msm_bases", "pairings")
 
     def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._lock = Lock()
-        # (id(group), point) -> FixedBaseWindow; the window holds a strong
-        # reference to its group, which keeps the id stable.
-        self._windows: dict[tuple[int, tuple[int, int]], FixedBaseWindow] = {}
-        # (id(group), point) -> 0..15 multiples (Straus per-point table).
-        self._small: dict[tuple[int, tuple[int, int]], list] = {}
+        # (group.p, group.b, point) -> FixedBaseWindow.
+        self._windows: dict[tuple[int, int, tuple[int, int]], FixedBaseWindow] = {}
+        # (group.p, group.b, point) -> 0..15 multiples (Straus per-point table).
+        self._small: dict[tuple[int, int, tuple[int, int]], list] = {}
+        # (group.p, group.b, points tuple) -> MsmBasis (Pippenger negations).
+        self._msm_bases: dict[tuple[int, int, tuple], MsmBasis] = {}
         # (id(curve), g1 bytes, g2 bytes) -> e(P, Q).
         self._pairings: dict[tuple[int, bytes, bytes], "Fp12"] = {}
         # Hit/miss accounting per table kind: per-cache counters back
@@ -80,7 +95,7 @@ class PrecomputationCache:
 
     def window(self, group: G1Group, point: tuple[int, int]) -> FixedBaseWindow:
         """The full fixed-base window table for ``point`` (built once)."""
-        key = (id(group), point)
+        key = (group.p, group.b, point)
         window = self._windows.get(key)
         if window is None:
             self._miss("windows")
@@ -95,7 +110,7 @@ class PrecomputationCache:
 
     def small_table(self, group: G1Group, point: tuple[int, int]) -> list:
         """The 0..15 multiples of ``point`` (cheaper than a full window)."""
-        key = (id(group), point)
+        key = (group.p, group.b, point)
         window = self._windows.get(key)
         if window is not None:
             self._hit("small_tables")
@@ -103,14 +118,27 @@ class PrecomputationCache:
         table = self._small.get(key)
         if table is None:
             self._miss("small_tables")
-            row: list = [None, point, group.double(point)]
-            for _ in range(13):
-                row.append(group.add(row[-1], point))
+            row = group.small_multiples(point)
             with self._lock:
                 table = self._small.setdefault(key, row)
         else:
             self._hit("small_tables")
         return table
+
+    def msm_basis(self, group: G1Group, points) -> MsmBasis:
+        """Pippenger precomputation for a recurring basis (built once)."""
+        key = (group.p, group.b, tuple(points))
+        basis = self._msm_bases.get(key)
+        if basis is None:
+            self._miss("msm_bases")
+            with self._lock:
+                basis = self._msm_bases.get(key)
+                if basis is None:
+                    basis = MsmBasis(group, points)
+                    self._msm_bases[key] = basis
+        else:
+            self._hit("msm_bases")
+        return basis
 
     def fixed_mul(self, group: G1Group, point, scalar: int):
         """Fixed-base multiplication through the shared window table."""
@@ -119,11 +147,18 @@ class PrecomputationCache:
         return self.window(group, point).mul(scalar)
 
     def multi_mul(self, group: G1Group, points, scalars):
-        """Straus multi-exp with cached per-point tables.
+        """Multi-exp with cached precomputation, auto-selected by width.
 
         Only use for points that recur across calls (CRS material); caching
         tables for one-shot points would grow the cache without benefit.
+        Narrow inputs run Straus over cached per-point small tables; wide
+        ones (``PIPPENGER_MIN_POINTS_CACHED``+) run the bucket method over
+        a cached :class:`MsmBasis`, since at that width even pre-built
+        Straus tables lose to Pippenger's fewer windows.
         """
+        if len(points) >= PIPPENGER_MIN_POINTS_CACHED:
+            basis = self.msm_basis(group, points)
+            return group.multi_mul_pippenger(points, scalars, negs=basis.negs)
         tables = [
             None if pt is None else self.small_table(group, pt) for pt in points
         ]
@@ -156,6 +191,7 @@ class PrecomputationCache:
         return {
             "windows": len(self._windows),
             "small_tables": len(self._small),
+            "msm_bases": len(self._msm_bases),
             "pairings": len(self._pairings),
             "hits": {kind: int(c.value) for kind, c in self._hits.items()},
             "misses": {kind: int(c.value) for kind, c in self._misses.items()},
@@ -165,6 +201,7 @@ class PrecomputationCache:
         with self._lock:
             self._windows.clear()
             self._small.clear()
+            self._msm_bases.clear()
             self._pairings.clear()
 
 

@@ -36,7 +36,12 @@ def verify_chunk_task(shared, chunk) -> list:
 
 
 def poc_agg_task(shared, payload):
-    """Aggregate one participant's traces into a (POC, DPOC) pair."""
+    """Aggregate one participant's traces into a (POC, DPOC) pair.
+
+    ``prior`` (a :class:`~repro.poc.scheme.PocDecommitment` or None) lets
+    backends that support incremental recommitment reuse the
+    participant's previous frontier instead of rebuilding the whole tree.
+    """
     scheme = shared
-    participant_id, traces, rng = payload
-    return scheme.poc_agg(traces, participant_id, rng)
+    participant_id, traces, rng, prior = payload
+    return scheme.poc_agg(traces, participant_id, rng, prior=prior)

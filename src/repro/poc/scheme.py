@@ -132,12 +132,29 @@ class PocScheme:
         traces: Mapping[int, bytes],
         participant_id: str,
         rng: DeterministicRng,
+        prior: PocDecommitment | None = None,
     ) -> tuple[PocCredential, PocDecommitment]:
-        """POC-Agg: aggregate a participant's RFID-traces into a POC pair."""
+        """POC-Agg: aggregate a participant's RFID-traces into a POC pair.
+
+        ``prior`` (the participant's previous DPOC, typically from the last
+        distribution task) enables incremental recommitment on backends
+        that support it: only the traces that changed since the prior
+        commit are re-committed, which turns the per-task POC cost from
+        O(all traces) into O(new traces).  Backends without
+        ``commit_incremental`` fall back to a full commit.
+        """
         database = ElementaryDatabase(self.key_bits)
         for product_id, data in traces.items():
             database.put(product_id, data)
-        commitment, dec = self.backend.commit(database, rng)
+        commit_incremental = (
+            getattr(self.backend, "commit_incremental", None)
+            if prior is not None
+            else None
+        )
+        if commit_incremental is not None:
+            commitment, dec = commit_incremental(database, rng, prior.dec)
+        else:
+            commitment, dec = self.backend.commit(database, rng)
         return (
             PocCredential(participant_id, commitment),
             PocDecommitment(participant_id, dec),
@@ -148,12 +165,15 @@ class PocScheme:
         traces_by_participant: Mapping[str, Mapping[int, bytes]],
         rng: DeterministicRng | None = None,
         rngs: Mapping[str, DeterministicRng] | None = None,
+        priors: Mapping[str, PocDecommitment | None] | None = None,
     ) -> dict[str, tuple[PocCredential, PocDecommitment]]:
         """POC-Agg for many participants at once, in parallel if configured.
 
         Per-participant randomness comes from ``rngs[pid]`` when supplied,
         else from ``rng.fork(f"poc/{pid}")`` — deterministic either way, so
         serial and parallel execution produce identical credentials.
+        ``priors`` optionally maps participants to their previous DPOCs for
+        incremental recommitment (see :meth:`poc_agg`).
         """
         if rngs is None:
             if rng is None:
@@ -161,8 +181,9 @@ class PocScheme:
             rngs = {
                 pid: rng.fork(f"poc/{pid}") for pid in traces_by_participant
             }
+        priors = priors or {}
         payloads = [
-            (pid, dict(traces_by_participant[pid]), rngs[pid])
+            (pid, dict(traces_by_participant[pid]), rngs[pid], priors.get(pid))
             for pid in sorted(traces_by_participant)
         ]
         engine = self._engine()

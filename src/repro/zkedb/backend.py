@@ -62,10 +62,20 @@ class EdbBackend(Protocol):
 class ZkEdbBackend:
     """The paper's ZK-EDB behind the generic backend interface."""
 
-    def __init__(self, params: EdbParams, engine: "ProofEngine | None" = None):
+    def __init__(
+        self,
+        params: EdbParams,
+        engine: "ProofEngine | None" = None,
+        warm: bool = True,
+    ):
         self.params = params
         if engine is not None:
             params.bind_engine(engine)
+        if warm:
+            # Prime the process-wide cache (CRS small tables + the
+            # hard-commit MsmBasis) so the first commitment pays no
+            # table-construction cost.  Theta(q) group adds, once.
+            params.qtmc.warm_tables()
         self.name = f"zk-edb(q={params.q},h={params.height})"
 
     @property
@@ -80,6 +90,23 @@ class ZkEdbBackend:
         self, database: ElementaryDatabase, rng: DeterministicRng
     ) -> tuple[EdbCommitment, EdbDecommitment]:
         return commit_edb(self.params, database, rng)
+
+    def commit_incremental(
+        self,
+        database: ElementaryDatabase,
+        rng: DeterministicRng,
+        prior: EdbDecommitment,
+        changed_keys=None,
+    ) -> tuple[EdbCommitment, EdbDecommitment]:
+        """Recommit only the keys that differ from ``prior``'s database.
+
+        O(changed · h) group work; see :func:`repro.zkedb.commit.commit_edb`
+        for semantics and the seed-reuse caveat.  Optional in the backend
+        protocol — callers discover it with ``getattr``.
+        """
+        return commit_edb(
+            self.params, database, rng, prior=prior, changed_keys=changed_keys
+        )
 
     def prove(self, dec: EdbDecommitment, key: int):
         return prove_key(self.params, dec, key)

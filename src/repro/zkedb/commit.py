@@ -17,10 +17,12 @@ from ..commitments.mercurial import TmcCommitment, TmcHardDecommit, TmcSoftDecom
 from ..commitments.qmercurial import (
     QtmcCommitment,
     QtmcHardDecommit,
+    QtmcHardOpening,
     QtmcSoftDecommit,
 )
 from ..crypto.hashing import hash_to_int
 from ..crypto.rng import DeterministicRng
+from ..obs import default_registry
 from .edb import ElementaryDatabase
 from .params import EdbParams
 from .tree import NodePath, digits_for_key, frontier_paths
@@ -89,6 +91,11 @@ class EdbDecommitment:
 
     Holds the hard frontier (internal node and leaf states) plus the seed
     that regenerates every off-frontier soft commitment on demand.
+
+    ``opening_cache`` memoizes the Theta(q) hard openings of internal
+    slots, keyed by ``(node path, slot)``; repeated proofs over shared
+    path prefixes reuse them, and incremental recommits only evict the
+    entries of nodes they actually recompute.
     """
 
     database: ElementaryDatabase
@@ -99,6 +106,43 @@ class EdbDecommitment:
     leaves: dict[NodePath, tuple[TmcCommitment, TmcHardDecommit, bytes]] = field(
         default_factory=dict
     )
+    opening_cache: dict[tuple[NodePath, int], QtmcHardOpening] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def invalidate_openings(self, path: NodePath) -> None:
+        """Drop memoized openings of the node at ``path`` (it changed)."""
+        if not self.opening_cache:
+            return
+        for key in [k for k in self.opening_cache if k[0] == path]:
+            del self.opening_cache[key]
+
+
+def _slot_messages(params: EdbParams, dec: EdbDecommitment, path: NodePath) -> list[int]:
+    """The q slot messages of the node at ``path``, from current dec state.
+
+    Each slot holds the hash of the child's commitment: the stored hard
+    state when the child is on the committed frontier, the deterministic
+    soft derivation otherwise.
+    """
+    depth = len(path)
+    messages = []
+    for slot in range(params.q):
+        child_path = path + (slot,)
+        if depth + 1 == params.height:
+            leaf_state = dec.leaves.get(child_path)
+            if leaf_state is not None:
+                child_commitment = leaf_state[0]
+            else:
+                child_commitment, _ = derive_soft_leaf(params, dec.seed, child_path)
+        else:
+            node_state = dec.internal_nodes.get(child_path)
+            if node_state is not None:
+                child_commitment = node_state[0]
+            else:
+                child_commitment, _ = derive_soft_internal(params, dec.seed, child_path)
+        messages.append(node_message(params, child_commitment))
+    return messages
 
 
 def commit_edb(
@@ -106,12 +150,29 @@ def commit_edb(
     database: ElementaryDatabase,
     rng: DeterministicRng,
     engine=None,
+    *,
+    prior: EdbDecommitment | None = None,
+    changed_keys=None,
 ) -> tuple[EdbCommitment, EdbDecommitment]:
     """The paper's EDB-commit(D, sigma) -> (Com, Dec).
 
     ``engine`` (optional) binds a :class:`~repro.engine.engine.ProofEngine`
     to the params before committing; omitted, the params' current engine
     (or the process default) is used.
+
+    **Incremental mode**: with ``prior`` (the decommitment of an earlier
+    commit over a mostly-equal database), only the root-to-leaf frontier
+    of the keys that differ between ``prior.database`` and ``database`` is
+    recommitted — O(changed · h) group work instead of O(n · h) — and
+    every untouched subtree's hard state (and memoized openings) is
+    reused.  ``changed_keys`` may name the dirty set explicitly; it must
+    cover every actually-changed key (extra keys are recommitted
+    harmlessly) and defaults to the computed database diff.  The prior
+    seed is reused so off-frontier soft derivations stay consistent;
+    successive commitments of one participant are therefore linkable to
+    each other, which matches DE-Sword's per-participant POC model (each
+    credential already names its owner) but would be wrong for an
+    anonymous committer — use a full commit there.
     """
     if engine is not None:
         params.bind_engine(engine)
@@ -119,53 +180,97 @@ def commit_edb(
         raise ValueError("database key domain does not match the parameters")
     if params.key_bits % 8 != 0:
         raise ValueError("key_bits must be byte aligned")
+    if prior is not None:
+        return _recommit_edb(params, database, rng, prior, changed_keys)
     seed = rng.randbytes(32)
     dec = EdbDecommitment(database.copy(), seed)
 
-    leaf_paths: dict[NodePath, int] = {}
     for key, value in database:
         path = digits_for_key(key, params.q, params.height)
         commitment, decommit = params.tmc.hard_commit(
             leaf_message(params, key, value), rng.fork(f"leaf{path}")
         )
         dec.leaves[path] = (commitment, decommit, value)
-        leaf_paths[path] = key
 
     # Internal nodes, deepest first, so child commitments exist when the
     # parent's slot messages are assembled.
     key_digit_paths = [digits_for_key(k, params.q, params.height) for k in database.support()]
     for path in frontier_paths(key_digit_paths):
-        depth = len(path)
-        messages = []
-        for slot in range(params.q):
-            child_path = path + (slot,)
-            if depth + 1 == params.height:
-                if child_path in dec.leaves:
-                    child_commitment = dec.leaves[child_path][0]
-                else:
-                    child_commitment, _ = derive_soft_leaf(params, seed, child_path)
-            else:
-                if child_path in dec.internal_nodes:
-                    child_commitment = dec.internal_nodes[child_path][0]
-                else:
-                    child_commitment, _ = derive_soft_internal(params, seed, child_path)
-            messages.append(node_message(params, child_commitment))
+        messages = _slot_messages(params, dec, path)
         commitment, decommit = params.qtmc.hard_commit(messages, rng.fork(f"node{path}"))
         dec.internal_nodes[path] = (commitment, decommit)
 
     if () not in dec.internal_nodes:
         # Empty database: the root is still a hard commitment, to soft
         # children everywhere, so non-ownership proofs exist for every key.
-        messages = [
-            node_message(
-                params,
-                (derive_soft_leaf if params.height == 1 else derive_soft_internal)(
-                    params, seed, (slot,)
-                )[0],
-            )
-            for slot in range(params.q)
-        ]
+        messages = _slot_messages(params, dec, ())
         commitment, decommit = params.qtmc.hard_commit(messages, rng.fork("node()"))
         dec.internal_nodes[()] = (commitment, decommit)
 
+    return EdbCommitment(dec.internal_nodes[()][0]), dec
+
+
+def _recommit_edb(
+    params: EdbParams,
+    database: ElementaryDatabase,
+    rng: DeterministicRng,
+    prior: EdbDecommitment,
+    changed_keys,
+) -> tuple[EdbCommitment, EdbDecommitment]:
+    """Dirty-path recommit: redo only the changed keys' frontier."""
+    if prior.database.key_bits != params.key_bits:
+        raise ValueError("prior decommitment key domain does not match")
+    diff = {
+        key
+        for key in set(prior.database.support()) | set(database.support())
+        if prior.database.get(key) != database.get(key)
+    }
+    if changed_keys is None:
+        changed = diff
+    else:
+        changed = {int(k) for k in changed_keys}
+        missing = diff - changed
+        if missing:
+            raise ValueError(
+                f"changed_keys misses modified keys: {sorted(missing)[:5]}"
+            )
+
+    dec = EdbDecommitment(
+        database.copy(),
+        prior.seed,
+        dict(prior.internal_nodes),
+        dict(prior.leaves),
+        dict(prior.opening_cache),
+    )
+    if not changed:
+        return EdbCommitment(dec.internal_nodes[()][0]), dec
+
+    changed_paths = []
+    for key in sorted(changed):
+        path = digits_for_key(key, params.q, params.height)
+        changed_paths.append(path)
+        value = database.get(key)
+        if value is None:
+            dec.leaves.pop(path, None)
+        else:
+            commitment, decommit = params.tmc.hard_commit(
+                leaf_message(params, key, value), rng.fork(f"leaf{path}")
+            )
+            dec.leaves[path] = (commitment, decommit, value)
+
+    recomputed = 0
+    for path in frontier_paths(changed_paths):
+        messages = _slot_messages(params, dec, path)
+        commitment, decommit = params.qtmc.hard_commit(messages, rng.fork(f"node{path}"))
+        dec.internal_nodes[path] = (commitment, decommit)
+        dec.invalidate_openings(path)
+        recomputed += 1
+
+    metrics = default_registry()
+    metrics.counter("edb.recommit.commits").inc()
+    metrics.counter("edb.recommit.keys_changed").inc(len(changed))
+    metrics.counter("edb.recommit.nodes_recomputed").inc(recomputed)
+    metrics.counter("edb.recommit.nodes_reused").inc(
+        len(dec.internal_nodes) - recomputed
+    )
     return EdbCommitment(dec.internal_nodes[()][0]), dec

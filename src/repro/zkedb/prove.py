@@ -8,6 +8,7 @@ soft leaf teased to zero — the paper's bottom.
 
 from __future__ import annotations
 
+from ..obs import default_registry
 from .commit import (
     EdbDecommitment,
     derive_soft_internal,
@@ -37,18 +38,34 @@ def prove_key(
 
 
 def prove_ownership(params: EdbParams, dec: EdbDecommitment, key: int) -> OwnershipProof:
-    """Hard-open every node on the key's path (Theta(q h) group work)."""
+    """Hard-open every node on the key's path (Theta(q h) group work).
+
+    Internal-slot openings are memoized on the decommitment: proofs over
+    shared path prefixes (and proofs regenerated after an incremental
+    recommit that left the node untouched) reuse the Theta(q) witness
+    instead of recomputing it.
+    """
     value = dec.database.get(key)
     if value is None:
         raise KeyError(f"key {key} is not committed; no ownership proof exists")
     digits = digits_for_key(key, params.q, params.height)
+    memo = dec.opening_cache
+    metrics = default_registry()
 
     openings = []
     children = []
     for depth in range(params.height):
         path = digits[:depth]
-        _, node_decommit = dec.internal_nodes[path]
-        openings.append(params.qtmc.hard_open(node_decommit, digits[depth]))
+        slot = digits[depth]
+        opening = memo.get((path, slot))
+        if opening is None:
+            metrics.counter("edb.opening_cache.misses").inc()
+            _, node_decommit = dec.internal_nodes[path]
+            opening = params.qtmc.hard_open(node_decommit, slot)
+            memo[(path, slot)] = opening
+        else:
+            metrics.counter("edb.opening_cache.hits").inc()
+        openings.append(opening)
         if depth + 1 < params.height:
             children.append(dec.internal_nodes[digits[: depth + 1]][0])
 

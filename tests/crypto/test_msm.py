@@ -1,0 +1,204 @@
+"""Multi-scalar multiplication: Pippenger vs. Straus vs. naive agreement.
+
+All three algorithms must agree bit-for-bit on every input shape the
+commitment layer produces: zero scalars (soft slots), duplicate points
+(repeated CRS powers), single-element inputs, and inputs straddling the
+auto-selection threshold.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.curve import (
+    MsmBasis,
+    PIPPENGER_MIN_POINTS,
+    _pippenger_window,
+    _signed_window_digits,
+)
+from repro.crypto.rng import DeterministicRng
+
+
+def naive_msm(group, points, scalars):
+    acc = None
+    for pt, k in zip(points, scalars):
+        acc = group.add(acc, group.mul(pt, k))
+    return acc
+
+
+def sample_input(group, n, seed, zero_every=0, dup_every=0, none_every=0):
+    rng = DeterministicRng(f"msm/{seed}")
+    points = []
+    scalars = []
+    for i in range(n):
+        if none_every and i % none_every == 2 % max(none_every, 1):
+            points.append(None)
+        elif dup_every and i % dup_every == 0 and points:
+            points.append(next(p for p in points if p is not None))
+        else:
+            points.append(group.mul_gen(rng.randint(1, group.order - 1)))
+        if zero_every and i % zero_every == 0:
+            scalars.append(0)
+        else:
+            scalars.append(rng.randint(0, group.order - 1))
+    return points, scalars
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 16, 63, 64, 65, 100])
+    def test_all_algorithms_agree(self, curve, n):
+        g = curve.g1
+        points, scalars = sample_input(g, n, seed=n, zero_every=5, dup_every=7)
+        expected = naive_msm(g, points, scalars)
+        assert g.multi_mul(points, scalars) == expected
+        assert g.multi_mul_pippenger(points, scalars) == expected
+        # Supplying tables pins the Straus path regardless of size.
+        tables = [None] * n
+        assert g.multi_mul(points, scalars, tables=tables) == expected
+
+    def test_single_element(self, curve):
+        g = curve.g1
+        pt = g.mul_gen(12345)
+        assert g.multi_mul([pt], [7]) == g.mul(pt, 7)
+        assert g.multi_mul_pippenger([pt], [7]) == g.mul(pt, 7)
+        assert g.multi_mul([pt], [0]) is None
+        assert g.multi_mul_pippenger([pt], [0]) is None
+
+    def test_all_zero_scalars(self, curve):
+        g = curve.g1
+        points = [g.mul_gen(i + 1) for i in range(70)]
+        assert g.multi_mul(points, [0] * 70) is None
+        assert g.multi_mul_pippenger(points, [0] * 70) is None
+
+    def test_all_none_points(self, curve):
+        g = curve.g1
+        assert g.multi_mul([None] * 70, list(range(70))) is None
+        assert g.multi_mul_pippenger([None] * 70, list(range(70))) is None
+
+    def test_none_points_interleaved(self, curve):
+        g = curve.g1
+        points, scalars = sample_input(g, 80, seed="none", none_every=3)
+        expected = naive_msm(g, points, scalars)
+        assert g.multi_mul(points, scalars) == expected
+        assert g.multi_mul_pippenger(points, scalars) == expected
+
+    def test_duplicate_points_cancel(self, curve):
+        """P·k + P·(order-k) must collapse to infinity, not a bogus point."""
+        g = curve.g1
+        pt = g.mul_gen(99)
+        points = [pt, pt] * 40
+        scalars = [5, g.order - 5] * 40
+        assert g.multi_mul(points, scalars) is None
+        assert g.multi_mul_pippenger(points, scalars) is None
+
+    def test_scalars_reduced_mod_order(self, curve):
+        g = curve.g1
+        points, scalars = sample_input(g, 66, seed="mod")
+        shifted = [k + g.order for k in scalars]
+        assert g.multi_mul(points, shifted) == g.multi_mul(points, scalars)
+        assert g.multi_mul_pippenger(points, shifted) == g.multi_mul_pippenger(
+            points, scalars
+        )
+
+    def test_empty(self, curve):
+        assert curve.g1.multi_mul([], []) is None
+        assert curve.g1.multi_mul_pippenger([], []) is None
+
+    def test_length_mismatch_rejected(self, curve):
+        g = curve.g1
+        with pytest.raises(ValueError):
+            g.multi_mul([g.generator], [1, 2])
+        with pytest.raises(ValueError):
+            g.multi_mul_pippenger([g.generator], [1, 2])
+        with pytest.raises(ValueError):
+            g.multi_mul_pippenger([g.generator], [1], negs=[None, None])
+
+    def test_msm_basis_negs_agree(self, curve):
+        g = curve.g1
+        points, scalars = sample_input(g, 72, seed="basis", zero_every=9)
+        basis = MsmBasis(g, points)
+        assert g.multi_mul_pippenger(
+            points, scalars, negs=basis.negs
+        ) == g.multi_mul_pippenger(points, scalars)
+
+    @pytest.mark.parametrize("window", [2, 3, 5, 8])
+    def test_window_override_agrees(self, curve, window):
+        g = curve.g1
+        points, scalars = sample_input(g, 40, seed=f"w{window}")
+        assert g.multi_mul_pippenger(
+            points, scalars, window=window
+        ) == naive_msm(g, points, scalars)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32), st.integers(1, 20))
+    def test_random_agreement(self, seed, n):
+        from repro.crypto.bn import toy_bn
+
+        g = toy_bn().g1
+        points, scalars = sample_input(g, n, seed=seed, zero_every=4)
+        expected = naive_msm(g, points, scalars)
+        assert g.multi_mul(points, scalars) == expected
+        assert g.multi_mul_pippenger(points, scalars) == expected
+
+
+class TestRecoding:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**64), st.integers(2, 12))
+    def test_signed_digits_reconstruct(self, k, width):
+        digits = _signed_window_digits(k, width)
+        half = 1 << (width - 1)
+        assert all(-half <= d <= half for d in digits)
+        assert sum(d << (width * i) for i, d in enumerate(digits)) == k
+
+    def test_zero_has_no_digits(self):
+        assert _signed_window_digits(0, 4) == []
+
+    def test_window_heuristic_monotone(self):
+        widths = [_pippenger_window(n) for n in (2, 8, 64, 256, 4096, 10**6)]
+        assert widths == sorted(widths)
+        assert all(2 <= w <= 12 for w in widths)
+
+
+class TestBatchNormalize:
+    def test_matches_from_jacobian(self, curve):
+        g = curve.g1
+        rng = DeterministicRng("norm")
+        jacs = []
+        for i in range(20):
+            pt = g.mul_gen(rng.randint(1, g.order - 1))
+            acc = (pt[0], pt[1], 1)
+            for _ in range(i % 4):
+                acc = g._jac_double(acc)
+            jacs.append(acc)
+        assert g.batch_normalize(jacs) == [g._from_jacobian(j) for j in jacs]
+
+    def test_infinity_entries_are_none(self, curve):
+        g = curve.g1
+        pt = g.generator
+        jacs = [(1, 1, 0), (pt[0], pt[1], 1), (1, 1, 0)]
+        assert g.batch_normalize(jacs) == [None, pt, None]
+
+    def test_all_infinity(self, curve):
+        assert curve.g1.batch_normalize([(1, 1, 0)] * 5) == [None] * 5
+
+    def test_empty(self, curve):
+        assert curve.g1.batch_normalize([]) == []
+
+    def test_small_multiples_match_mul(self, curve):
+        g = curve.g1
+        pt = g.mul_gen(777)
+        table = g.small_multiples(pt)
+        assert table[0] is None
+        for d in range(1, 16):
+            assert table[d] == g.mul(pt, d)
+
+
+def test_threshold_routes_to_pippenger(curve):
+    """multi_mul at the threshold actually takes the bucket path."""
+    from repro.obs import default_registry
+
+    g = curve.g1
+    n = PIPPENGER_MIN_POINTS
+    points, scalars = sample_input(g, n, seed="route")
+    before = default_registry().counter("msm.pippenger.calls").value
+    g.multi_mul(points, scalars)
+    assert default_registry().counter("msm.pippenger.calls").value > before

@@ -60,8 +60,80 @@ def test_generator_windows_come_from_default_cache():
     # generator window must live in the default cache, not a private slot.
     curve = toy_bn()
     curve.g1.mul_gen(42)
-    key = (id(curve.g1), curve.g1.generator)
+    key = (curve.g1.p, curve.g1.b, curve.g1.generator)
     assert key in default_cache()._windows
+
+
+def test_cache_keys_survive_group_gc_and_id_reuse(curve):
+    # Regression: tables used to be keyed by id(group), which CPython
+    # reuses after garbage collection — a recycled id could hand one
+    # group's tables to a different group.  Keys are now the group's
+    # defining constants, so equal-parameter groups share tables and a
+    # dead group's id can never alias a live one.
+    import gc
+
+    from repro.crypto.curve import G1Group
+
+    cache = PrecomputationCache()
+    point = curve.g1.mul_gen(29)
+
+    def make_group():
+        g = curve.g1
+        return G1Group(g.p, g.b, g.order, g.generator)
+
+    first = make_group()
+    window = cache.window(first, point)
+    assert (first.p, first.b, point) in cache._windows
+    dead_id = id(first)
+    del first
+    gc.collect()
+    # New equal-parameter groups (possibly reusing the dead id) get the
+    # same table, and no id-keyed entry can resurface stale state.
+    second = make_group()
+    assert cache.window(second, point) is window
+    assert all(
+        not (isinstance(key[0], int) and key[0] == dead_id and key[1] == point)
+        for key in list(cache._windows)
+        if len(key) == 2
+    )
+    assert cache.stats()["hits"]["windows"] == 1
+
+
+def test_msm_basis_is_cached_and_correct(curve):
+    cache = PrecomputationCache()
+    g1 = curve.g1
+    points = [g1.mul_gen(k) for k in (3, 5, 7, 11)]
+    basis = cache.msm_basis(g1, points)
+    assert basis is cache.msm_basis(g1, points)
+    assert cache.stats()["msm_bases"] == 1
+    for pt, neg in zip(points, basis.negs):
+        assert g1.add(pt, neg) is None
+    scalars = [9, 0, 4, curve.r - 1]
+    assert g1.multi_mul_pippenger(points, scalars, negs=basis.negs) == g1.multi_mul(
+        points, scalars
+    )
+
+
+def test_warm_tables_primes_small_tables_and_msm_basis(curve):
+    from repro.commitments.qmercurial import QtmcParams
+    from repro.crypto.rng import DeterministicRng
+    from repro.engine import ProofEngine
+
+    engine = ProofEngine(cache=PrecomputationCache())
+    params = QtmcParams.generate(curve, 4, DeterministicRng("warm"), engine=engine)
+    params.warm_tables()
+    stats = engine.cache.stats()
+    assert stats["small_tables"] == len(params.g_powers) + 1  # + generator
+    assert stats["msm_bases"] == 1
+    # A commitment after warming only ever hits the cache.
+    misses_before = dict(stats["misses"])
+    params.hard_commit([1, 2, 3, 4], DeterministicRng("warm-commit"))
+    after = engine.cache.stats()["misses"]
+    assert after["small_tables"] == misses_before["small_tables"]
+    assert after["msm_bases"] == misses_before["msm_bases"]
+    # Idempotent: re-warming adds no new tables.
+    params.warm_tables()
+    assert engine.cache.stats()["small_tables"] == len(params.g_powers) + 1
 
 
 def test_validate_crs_accepts_honest_crs(edb_params):

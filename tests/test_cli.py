@@ -65,7 +65,12 @@ def test_evaluate_accepts_workers(capsys):
 def test_evaluate_json_includes_cache_and_protocol(capsys):
     assert main(["evaluate", "--repeats", "1", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert set(payload["cache"]["hits"]) == {"windows", "small_tables", "pairings"}
+    assert set(payload["cache"]["hits"]) == {
+        "windows",
+        "small_tables",
+        "msm_bases",
+        "pairings",
+    }
     assert payload["cache"]["misses"]["windows"] >= 1
     protocol = payload["protocol"]
     assert protocol["products"] >= 2

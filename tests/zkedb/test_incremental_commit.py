@@ -1,0 +1,261 @@
+"""Incremental EDB recommitment: dirty-path recommits stay sound.
+
+An incremental recommit produces different commitment bytes than a fresh
+full commit (randomness differs), but it must be a *valid* commitment:
+every present key proves ownership with its current value, every absent
+key proves non-ownership, and old proofs must not verify against the new
+root when the key changed.
+"""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.zkedb.commit import commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.prove import prove_key, prove_non_ownership, prove_ownership
+from repro.zkedb.verify import verify_proof
+
+
+def _db(params, entries):
+    db = ElementaryDatabase(params.key_bits)
+    for key, value in entries.items():
+        db.put(key, value)
+    return db
+
+
+BASE = {3: b"alpha", 700: b"beta", 701: b"gamma", 65535: b"delta"}
+
+
+@pytest.fixture()
+def base_committed(edb_params):
+    db = _db(edb_params, BASE)
+    com, dec = commit_edb(edb_params, db, DeterministicRng("incr-base"))
+    return db, com, dec
+
+
+def _check_sound(params, com, dec, present, absent=(5, 699, 40000)):
+    for key, value in present.items():
+        outcome = verify_proof(params, com, key, prove_ownership(params, dec, key))
+        assert outcome.is_value and outcome.value == value
+    for key in absent:
+        if key in present:
+            continue
+        proof = prove_non_ownership(params, dec, key)
+        assert verify_proof(params, com, key, proof).is_absent
+
+
+class TestRecommit:
+    def test_added_key(self, edb_params, base_committed):
+        _, _, dec = base_committed
+        new = {**BASE, **{42: b"new"}}
+        com2, dec2 = commit_edb(
+            edb_params, _db(edb_params, new), DeterministicRng("incr-add"),
+            prior=dec,
+        )
+        _check_sound(edb_params, com2, dec2, new)
+
+    def test_removed_key(self, edb_params, base_committed):
+        _, _, dec = base_committed
+        new = {k: v for k, v in BASE.items() if k != 700}
+        com2, dec2 = commit_edb(
+            edb_params, _db(edb_params, new), DeterministicRng("incr-del"),
+            prior=dec,
+        )
+        _check_sound(edb_params, com2, dec2, new, absent=(700, 5))
+
+    def test_changed_value(self, edb_params, base_committed):
+        _, com, dec = base_committed
+        old_proof = prove_ownership(edb_params, dec, 3)
+        new = {**BASE, **{3: b"ALPHA2"}}
+        com2, dec2 = commit_edb(
+            edb_params, _db(edb_params, new), DeterministicRng("incr-chg"),
+            prior=dec,
+        )
+        _check_sound(edb_params, com2, dec2, new)
+        # The superseded proof must not verify against the new root.
+        assert not verify_proof(edb_params, com2, 3, old_proof).is_value
+        # The old commitment still verifies its own proofs (dec untouched).
+        assert verify_proof(edb_params, com, 3, old_proof).is_value
+
+    def test_empty_diff_returns_prior_root(self, edb_params, base_committed):
+        db, com, dec = base_committed
+        com2, dec2 = commit_edb(
+            edb_params, db.copy(), DeterministicRng("incr-noop"), prior=dec
+        )
+        assert com2.root.to_bytes(edb_params.curve) == com.root.to_bytes(
+            edb_params.curve
+        )
+        _check_sound(edb_params, com2, dec2, BASE)
+
+    def test_untouched_subtrees_reused_by_identity(self, edb_params, base_committed):
+        """Nodes off the dirty frontier are the prior objects, not rebuilt."""
+        _, _, dec = base_committed
+        new = {**BASE, **{3: b"ALPHA2"}}  # dirty path: digits of key 3 only
+        _, dec2 = commit_edb(
+            edb_params, _db(edb_params, new), DeterministicRng("incr-reuse"),
+            prior=dec,
+        )
+        from repro.zkedb.tree import digits_for_key, frontier_paths
+
+        dirty = set(
+            frontier_paths([digits_for_key(3, edb_params.q, edb_params.height)])
+        )
+        reused = rebuilt = 0
+        for path, state in dec2.internal_nodes.items():
+            if path in dirty:
+                assert state is not dec.internal_nodes[path]
+                rebuilt += 1
+            else:
+                assert state is dec.internal_nodes[path]
+                reused += 1
+        assert rebuilt == len(dirty)
+        assert reused > 0
+        # Untouched leaves likewise.
+        for path, leaf in dec2.leaves.items():
+            if leaf[2] != b"ALPHA2":
+                assert leaf is dec.leaves[path]
+
+    def test_changed_keys_superset_ok(self, edb_params, base_committed):
+        _, _, dec = base_committed
+        new = {**BASE, **{42: b"new"}}
+        com2, dec2 = commit_edb(
+            edb_params, _db(edb_params, new), DeterministicRng("incr-sup"),
+            prior=dec, changed_keys={42, 700, 5},  # extra keys are harmless
+        )
+        _check_sound(edb_params, com2, dec2, new)
+
+    def test_changed_keys_missing_rejected(self, edb_params, base_committed):
+        _, _, dec = base_committed
+        new = {**BASE, **{42: b"new", 43: b"also"}}
+        with pytest.raises(ValueError, match="changed_keys misses"):
+            commit_edb(
+                edb_params, _db(edb_params, new), DeterministicRng("incr-miss"),
+                prior=dec, changed_keys={42},
+            )
+
+    def test_chain_of_recommits(self, edb_params):
+        """Task-after-task growth, as the distribution phase drives it."""
+        params = edb_params
+        entries = {}
+        db = _db(params, entries)
+        com, dec = commit_edb(params, db, DeterministicRng("chain0"))
+        for round_no, key in enumerate((9, 1000, 9, 40000), start=1):
+            entries[key] = b"v%d" % round_no
+            db = _db(params, entries)
+            com, dec = commit_edb(
+                params, db, DeterministicRng(f"chain{round_no}"), prior=dec
+            )
+            _check_sound(params, com, dec, entries)
+
+    def test_mixed_add_remove_change(self, edb_params, base_committed):
+        _, _, dec = base_committed
+        new = dict(BASE)
+        del new[701]
+        new[700] = b"BETA2"
+        new[12345] = b"fresh"
+        com2, dec2 = commit_edb(
+            edb_params, _db(edb_params, new), DeterministicRng("incr-mix"),
+            prior=dec,
+        )
+        _check_sound(edb_params, com2, dec2, new, absent=(701, 5, 699))
+
+
+class TestOpeningCache:
+    def test_proofs_populate_and_reuse_cache(self, edb_params, base_committed):
+        _, com, dec = base_committed
+        dec.opening_cache.clear()
+        first = prove_ownership(edb_params, dec, 700)
+        populated = len(dec.opening_cache)
+        assert populated >= edb_params.height - 1
+        # 701 shares every internal node with 700; the reproof adds only
+        # the differing leaf-level entries.
+        second = prove_ownership(edb_params, dec, 701)
+        assert len(dec.opening_cache) <= populated + 1
+        assert verify_proof(edb_params, com, 700, first).is_value
+        assert verify_proof(edb_params, com, 701, second).is_value
+
+    def test_cached_reproof_is_identical(self, edb_params, base_committed):
+        _, _, dec = base_committed
+        first = prove_ownership(edb_params, dec, 3).to_bytes(edb_params)
+        second = prove_ownership(edb_params, dec, 3).to_bytes(edb_params)
+        assert first == second
+
+    def test_recommit_evicts_only_dirty_entries(self, edb_params, base_committed):
+        _, _, dec = base_committed
+        dec.opening_cache.clear()
+        prove_key(edb_params, dec, 700)
+        prove_key(edb_params, dec, 3)
+        assert dec.opening_cache
+        new = {**BASE, **{3: b"ALPHA2"}}
+        _, dec2 = commit_edb(
+            edb_params, _db(edb_params, new), DeterministicRng("incr-evict"),
+            prior=dec,
+        )
+        from repro.zkedb.tree import digits_for_key, frontier_paths
+
+        dirty = set(
+            frontier_paths([digits_for_key(3, edb_params.q, edb_params.height)])
+        )
+        assert all(path not in dirty for path, _ in dec2.opening_cache)
+        # Entries under untouched nodes carried over to the new dec.
+        assert dec2.opening_cache
+        # The prior dec's cache is untouched by the recommit.
+        assert any(path in dirty for path, _ in dec.opening_cache)
+
+    def test_proofs_after_recommit_verify(self, edb_params, base_committed):
+        _, _, dec = base_committed
+        prove_key(edb_params, dec, 700)  # warm the cache pre-recommit
+        new = {**BASE, **{3: b"ALPHA2"}}
+        com2, dec2 = commit_edb(
+            edb_params, _db(edb_params, new), DeterministicRng("incr-post"),
+            prior=dec,
+        )
+        for key, value in new.items():
+            outcome = verify_proof(
+                edb_params, com2, key, prove_ownership(edb_params, dec2, key)
+            )
+            assert outcome.is_value and outcome.value == value
+
+
+class TestBackendAndScheme:
+    def test_backend_commit_incremental(self, edb_params, zk_backend):
+        db1 = _db(edb_params, {7: b"one"})
+        com1, dec1 = zk_backend.commit(db1, DeterministicRng("be1"))
+        db2 = _db(edb_params, {7: b"one", 8: b"two"})
+        com2, dec2 = zk_backend.commit_incremental(
+            db2, DeterministicRng("be2"), dec1
+        )
+        assert zk_backend.verify(
+            com2, 8, zk_backend.prove(dec2, 8)
+        ).is_value
+
+    def test_poc_agg_with_prior(self, zk_scheme):
+        rng = DeterministicRng("poc-incr")
+        poc1, dpoc1 = zk_scheme.poc_agg({1: b"t1"}, "v1", rng.fork("r1"))
+        poc2, dpoc2 = zk_scheme.poc_agg(
+            {1: b"t1", 2: b"t2"}, "v1", rng.fork("r2"), prior=dpoc1
+        )
+        for pid in (1, 2):
+            result = zk_scheme.poc_verify(
+                poc2, pid, zk_scheme.poc_proof(dpoc2, pid)
+            )
+            assert result.status == "trace"
+        # The old credential still answers for its own snapshot.
+        assert (
+            zk_scheme.poc_verify(poc1, 1, zk_scheme.poc_proof(dpoc1, 1)).status
+            == "trace"
+        )
+
+    def test_merkle_scheme_ignores_prior(self, merkle_scheme):
+        """Backends without commit_incremental fall back to a full commit."""
+        rng = DeterministicRng("merkle-incr")
+        _, dpoc1 = merkle_scheme.poc_agg({1: b"t1"}, "v1", rng.fork("r1"))
+        poc2, dpoc2 = merkle_scheme.poc_agg(
+            {1: b"t1", 2: b"t2"}, "v1", rng.fork("r2"), prior=dpoc1
+        )
+        assert (
+            merkle_scheme.poc_verify(
+                poc2, 2, merkle_scheme.poc_proof(dpoc2, 2)
+            ).status
+            == "trace"
+        )

@@ -51,3 +51,60 @@ def test_frontier_paths_bottom_up():
 def test_frontier_paths_shared_prefix():
     keys = [digits_for_key(k, 4, 3) for k in (0, 1)]  # differ in last digit
     assert set(frontier_paths(keys)) == {(), (0,), (0, 0)}
+
+
+# -- domain-bound and ordering properties ------------------------------------
+
+
+@pytest.mark.parametrize("q,height", [(2, 1), (2, 16), (4, 8), (8, 43), (128, 19)])
+def test_roundtrip_at_domain_bounds(q, height):
+    """The extreme keys of the domain survive the round trip exactly."""
+    for key in (0, 1, q**height - 1, q**height - 2):
+        if key < 0:
+            continue
+        digits = digits_for_key(key, q, height)
+        assert len(digits) == height
+        assert key_for_digits(digits, q) == key
+    assert digits_for_key(0, q, height) == (0,) * height
+    assert digits_for_key(q**height - 1, q, height) == (q - 1,) * height
+    with pytest.raises(ValueError):
+        digits_for_key(q**height, q, height)
+
+
+@given(st.integers(2, 16), st.integers(1, 10), st.data())
+def test_digits_roundtrip_from_digit_side(q, height, data):
+    """key_for_digits is a left inverse of digits_for_key too."""
+    digits = tuple(
+        data.draw(st.integers(0, q - 1)) for _ in range(height)
+    )
+    key = key_for_digits(digits, q)
+    assert 0 <= key < q**height
+    assert digits_for_key(key, q, height) == digits
+
+
+@given(
+    st.integers(2, 8),
+    st.integers(1, 6),
+    st.lists(st.integers(0, 10**9), min_size=0, max_size=8),
+)
+def test_frontier_paths_properties(q, height, raw_keys):
+    """Deepest-first, duplicate-free, exactly the proper prefixes."""
+    keys = [digits_for_key(k % q**height, q, height) for k in raw_keys]
+    paths = list(frontier_paths(keys))
+    # No duplicates, even when keys repeat or share prefixes.
+    assert len(paths) == len(set(paths))
+    # Deepest first: children always precede their ancestors, so bottom-up
+    # commitment builds see every child before its parent.
+    lengths = [len(p) for p in paths]
+    assert lengths == sorted(lengths, reverse=True)
+    for i, path in enumerate(paths):
+        for ancestor_len in range(len(path)):
+            assert path[:ancestor_len] in paths[i:]
+    # Exactly the proper prefixes of the given keys; leaves excluded.
+    expected = {digits[:depth] for digits in keys for depth in range(height)}
+    assert set(paths) == expected
+    assert all(len(p) < height for p in paths)
+
+
+def test_frontier_paths_empty():
+    assert list(frontier_paths([])) == []
