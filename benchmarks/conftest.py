@@ -27,6 +27,7 @@ REPORT_PATH = Path(__file__).parent / "bench_report.txt"
 ENGINE_JSON_PATH = Path(__file__).parent / "BENCH_engine.json"
 METRICS_JSON_PATH = Path(__file__).parent / "BENCH_metrics.json"
 MSM_JSON_PATH = Path(__file__).parent / "BENCH_msm.json"
+STORE_JSON_PATH = Path(__file__).parent / "BENCH_store.json"
 
 # The paper's exact Table II grid (q^h >= 2^128).
 FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
@@ -111,6 +112,16 @@ def msm_records():
     Pippenger-vs-Straus crossover without parsing engine timings.
     """
     collector = _BenchRecords(MSM_JSON_PATH)
+    yield collector
+    collector.flush()
+
+
+@pytest.fixture(scope="session")
+def store_records():
+    """Durable-store rows (append throughput, recovery time), merged into
+    BENCH_store.json so CI's crash-recovery job can check the
+    snapshot-beats-full-replay invariant without parsing other benches."""
+    collector = _BenchRecords(STORE_JSON_PATH)
     yield collector
     collector.flush()
 

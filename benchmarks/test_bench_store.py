@@ -1,0 +1,125 @@
+"""Durable state store benchmark: append throughput and recovery time.
+
+Two questions the store design makes measurable claims about:
+
+* fsync batching — every append is flushed to the OS, but the expensive
+  disk barrier is shared across ``fsync_every`` records.  Throughput at
+  ``fsync_every=8`` should sit far above the sync-every-record floor and
+  approach the no-fsync ceiling.
+* snapshot + tail recovery — compaction bounds replay work by the
+  records since the last checkpoint, so recovering a compacted store
+  must be measurably faster than replaying the same history from the
+  full log.
+
+Rows land in ``BENCH_store.json`` (merged on re-run, like the other
+``BENCH_*`` artifacts); the tail-beats-full invariant is asserted here
+so CI fails loudly if compaction stops paying for itself.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.desword.reputation import ScoreEvent
+from repro.store import ProxyStateStore
+
+APPEND_RECORDS = 2000
+HISTORY_EVENTS = 4000
+RECOVERY_REPEATS = 3
+
+
+def _award(index: int) -> ScoreEvent:
+    return ScoreEvent(f"v{index % 40}", 1.0, "good-product-query", index)
+
+
+def _append_run(state_dir, fsync_every: int, records: int) -> float:
+    """Seconds to journal ``records`` award events at one fsync policy."""
+    store = ProxyStateStore.open(
+        state_dir, fsync_every=fsync_every, snapshot_every=0
+    )
+    start = time.perf_counter()
+    for index in range(records):
+        store.record_award(_award(index))
+    store.sync()
+    elapsed = time.perf_counter() - start
+    store.close()
+    return elapsed
+
+
+def _populate_history(state_dir, events: int) -> ProxyStateStore:
+    store = ProxyStateStore.open(state_dir, fsync_every=0, snapshot_every=0)
+    for index in range(events):
+        store.record_award(_award(index))
+    store.sync()
+    return store
+
+
+def _recovery_ms(state_dir) -> float:
+    best = float("inf")
+    for _ in range(RECOVERY_REPEATS):
+        start = time.perf_counter()
+        recovered = ProxyStateStore.read(state_dir)
+        best = min(best, (time.perf_counter() - start) * 1000.0)
+        assert recovered.state.applied == HISTORY_EVENTS
+    return best
+
+
+def test_append_throughput(tmp_path, report, store_records):
+    policies = {"nofsync": 0, "batch8": 8, "every": 1}
+    rates = {}
+    for name, fsync_every in policies.items():
+        elapsed = _append_run(tmp_path / name, fsync_every, APPEND_RECORDS)
+        rates[name] = APPEND_RECORDS / elapsed
+        store_records.add(
+            "store_append",
+            f"fsync={name} n={APPEND_RECORDS}",
+            elapsed * 1000.0 / APPEND_RECORDS,
+            nbytes=(tmp_path / name / "wal.log").stat().st_size,
+        )
+
+    report.add(
+        f"store append throughput ({APPEND_RECORDS} award events, records/s):",
+        f"  no fsync:        {rates['nofsync']:10.0f}",
+        f"  fsync every 8:   {rates['batch8']:10.0f}",
+        f"  fsync every 1:   {rates['every']:10.0f}",
+    )
+    # Batching must recover most of the barrier cost: strictly better
+    # than syncing every record (identical bytes hit the log either way).
+    assert rates["batch8"] > rates["every"]
+
+
+def test_recovery_snapshot_tail_beats_full_replay(tmp_path, report, store_records):
+    # Full-log store: the entire history lives in the WAL.
+    full_dir = tmp_path / "full"
+    _populate_history(full_dir, HISTORY_EVENTS).close()
+
+    # Compacted store: same history, checkpointed near the end; recovery
+    # loads the snapshot and replays only the short tail.
+    tail_dir = tmp_path / "tail"
+    store = _populate_history(tail_dir, HISTORY_EVENTS - 50)
+    store.compact()
+    for index in range(HISTORY_EVENTS - 50, HISTORY_EVENTS):
+        store.record_award(_award(index))
+    store.close()
+
+    full_ms = _recovery_ms(full_dir)
+    tail_ms = _recovery_ms(tail_dir)
+
+    # Both recoveries materialize the same ledger.
+    assert (
+        ProxyStateStore.read(full_dir).state.ledger_bytes()
+        == ProxyStateStore.read(tail_dir).state.ledger_bytes()
+    )
+
+    store_records.add(
+        "store_recovery_full_replay", f"events={HISTORY_EVENTS}", full_ms
+    )
+    store_records.add(
+        "store_recovery_snapshot_tail", f"events={HISTORY_EVENTS} tail=50", tail_ms
+    )
+    report.add(
+        f"store recovery time ({HISTORY_EVENTS} events, best of {RECOVERY_REPEATS}, ms):",
+        f"  full-log replay:    {full_ms:8.1f}",
+        f"  snapshot + 50 tail: {tail_ms:8.1f}",
+    )
+    assert tail_ms < full_ms, "snapshot+tail recovery must beat full-log replay"

@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four self-contained entry points:
+Five self-contained entry points:
 
 * ``demo``       — build a chain, distribute products, run one query;
 * ``evaluate``   — regenerate Table II / Figure 4 / Figure 5 rows;
 * ``incentives`` — print the double-edged incentive analysis;
-* ``metrics``    — pretty-print the telemetry registry and span tree.
+* ``metrics``    — pretty-print the telemetry registry and span tree;
+* ``store``      — ``inspect`` / ``verify`` / ``compact`` a durable
+  proxy state store (created with ``evaluate --state-dir DIR``).
 
 ``--verbose`` (repeatable) turns on the ``repro`` logger hierarchy, and
 ``evaluate --metrics-out FILE`` dumps the full metrics registry + span
@@ -68,24 +70,30 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_protocol_sample(workers: int = 0, products: int = 6) -> dict:
+def _run_protocol_sample(
+    workers: int = 0, products: int = 6, state_dir: str | None = None
+) -> dict:
     """One small end-to-end pass: distribution phase + both query modes.
 
     Runs on the toy curve whatever ``evaluate``'s grid curve is, so the
     span tree always covers the distribution and query phases without
-    making the metrics pass expensive.
+    making the metrics pass expensive.  With ``state_dir`` set, the
+    proxy journals everything to a durable store there.
     """
     seed = "cli-metrics"
     config = DeSwordConfig(q=4, key_bits=32, seed=seed, workers=workers)
     rng = DeterministicRng(seed)
     deployment = Deployment.build(
-        pharma_chain(rng.fork("chain")), config.build_scheme(), seed=seed
+        pharma_chain(rng.fork("chain")),
+        config.build_scheme(),
+        seed=seed,
+        state_dir=state_dir,
     )
     batch = product_batch(rng.fork("products"), products, 32)
     record, phase = deployment.distribute(batch)
     sweep = deployment.sweep(batch[0])
     interactive = deployment.query(batch[1])
-    return {
+    result = {
         "participants": len(record.involved_participants),
         "products": len(batch),
         "distribution_messages": phase.messages,
@@ -94,6 +102,10 @@ def _run_protocol_sample(workers: int = 0, products: int = 6) -> dict:
         "query_path": list(interactive.path),
         "cache": deployment.engine.cache.stats(),
     }
+    if deployment.proxy.store is not None:
+        result["store"] = deployment.proxy.store.stats()
+        deployment.proxy.store.close()
+    return result
 
 
 def _metrics_payload(extra: dict | None = None) -> dict:
@@ -166,7 +178,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     # One end-to-end protocol pass so the telemetry export always carries
     # a span tree covering the distribution and query phases.
     with trace.span("evaluate.protocol", workers=engine.workers):
-        protocol = _run_protocol_sample(workers=args.workers)
+        protocol = _run_protocol_sample(
+            workers=args.workers, state_dir=args.state_dir
+        )
 
     if emit_json:
         print(
@@ -298,6 +312,120 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    """Summarize a store directory: events, tasks, reputation ledger."""
+    import json
+
+    from .store import RAW_CODEC, EventDecodeError, ProxyStateStore, StoreError, WalError
+
+    try:
+        store = ProxyStateStore.read(args.state_dir)
+    except (StoreError, WalError, EventDecodeError) as exc:
+        print(f"store unreadable: {exc}")
+        return 1
+    state = store.state
+    if args.json:
+        payload = store.stats()
+        payload["tasks"] = {
+            task_id: len(store.poc_list(task_id, RAW_CODEC).participants())
+            for task_id in state.poc_lists
+        }
+        payload["scores"] = dict(sorted(state.scores().items()))
+        print(json.dumps(payload, indent=2))
+        return 0
+    recovery = store.recovery
+    print(f"state dir : {store.state_dir}")
+    print(
+        f"events    : {state.applied} "
+        f"(snapshot covers {recovery.snapshot_seqno}, replayed {recovery.replayed})"
+    )
+    if recovery.dropped_bytes:
+        print(
+            f"torn tail : dropped {recovery.dropped_bytes} bytes "
+            f"({recovery.drop_reason})"
+        )
+    print(
+        f"contents  : {len(state.poc_lists)} POC lists, "
+        f"{len(state.awards)} awards, {len(state.queries)} queries"
+    )
+    for task_id in state.poc_lists:
+        poc_list = store.poc_list(task_id, RAW_CODEC)
+        print(
+            f"  task {task_id}: {len(poc_list.participants())} participants, "
+            f"{len(poc_list.pairs)} pairs, submitted by {poc_list.submitted_by}"
+        )
+    scores = state.scores()
+    if scores:
+        print("reputation:")
+        for participant, score in sorted(scores.items(), key=lambda kv: (-kv[1], kv[0])):
+            print(f"  {participant:<16s} {score:+.1f}")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    """Integrity-check a store directory; exit 1 on unrecoverable damage."""
+    import json
+
+    from .store import EventDecodeError, ProxyStateStore, StoreError, WalError
+
+    try:
+        store = ProxyStateStore.read(args.state_dir)
+    except (StoreError, WalError, EventDecodeError) as exc:
+        report = {"state_dir": args.state_dir, "ok": False, "errors": [str(exc)]}
+    else:
+        report = store.verify()
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        status = "OK" if report["ok"] else "CORRUPT"
+        print(f"store {args.state_dir}: {status}")
+        for key, value in sorted(report.get("events", {}).items()):
+            print(f"  {key}: {value}")
+        recovery = report.get("recovery", {})
+        if recovery.get("dropped_bytes"):
+            print(
+                f"  torn tail dropped: {recovery['dropped_bytes']} bytes "
+                f"({recovery['drop_reason']})"
+            )
+        for error in report["errors"]:
+            print(f"  error: {error}")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    """Force a snapshot + log truncation on a store directory."""
+    import json
+    from pathlib import Path
+
+    from .store import EventDecodeError, ProxyStateStore, StoreError, WalError
+
+    try:
+        with ProxyStateStore.open(args.state_dir) as store:
+            before = store.log_path.stat().st_size
+            store.compact()
+            after = store.log_path.stat().st_size
+            summary = {
+                "state_dir": str(store.state_dir),
+                "applied": store.state.applied,
+                "log_bytes_before": before,
+                "log_bytes_after": after,
+                "snapshots": [
+                    p.name for p in sorted(Path(store.state_dir).glob("snapshot-*.snap"))
+                ],
+            }
+    except (StoreError, WalError, EventDecodeError) as exc:
+        print(f"store unreadable: {exc}")
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"compacted {summary['state_dir']}: {summary['applied']} events "
+            f"checkpointed, log {before} -> {after} bytes"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DE-Sword reproduction toolkit"
@@ -333,7 +461,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE", default=None,
         help="write the metrics registry + span tree as JSON to FILE",
     )
+    evaluate.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="journal the protocol pass's proxy state to a durable store",
+    )
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    store = sub.add_parser(
+        "store", help="inspect and maintain a durable proxy state store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    for name, func, text in (
+        ("inspect", _cmd_store_inspect, "summarize journaled state"),
+        ("verify", _cmd_store_verify, "integrity-check log, snapshots, state"),
+        ("compact", _cmd_store_compact, "snapshot and truncate the log"),
+    ):
+        sub_cmd = store_sub.add_parser(name, help=text)
+        sub_cmd.add_argument(
+            "--state-dir", metavar="DIR", required=True,
+            help="the store directory (evaluate --state-dir output)",
+        )
+        sub_cmd.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        sub_cmd.set_defaults(func=func)
 
     metrics = sub.add_parser(
         "metrics", help="pretty-print the telemetry registry and span tree"

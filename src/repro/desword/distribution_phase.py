@@ -150,6 +150,12 @@ def _run_distribution_phase(
         PocListSubmission(record.task.task_id, poc_list.size_bytes(backend)),
     )
     proxy.receive_poc_list(poc_list)
+    if proxy.store is not None:
+        # A completed distribution task is a durability point: the list
+        # (journaled by the proxy on acceptance) must survive a crash
+        # regardless of the store's fsync batching window.
+        proxy.store.sync()
+        metrics.counter("distribution.tasks_persisted").inc()
 
     metrics.counter("distribution.tasks").inc()
     result = DistributionPhaseResult(

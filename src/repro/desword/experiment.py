@@ -49,7 +49,14 @@ class Deployment:
         behaviors: dict[str, Behavior] | None = None,
         policy: ReputationPolicy | None = None,
         seed: str = "deployment",
+        state_dir: str | None = None,
     ) -> "Deployment":
+        """Assemble a world; ``state_dir`` attaches a durable state store.
+
+        When the directory already holds journaled state, the proxy is
+        restored from it before serving — crash recovery is just
+        ``Deployment.build`` pointed back at the same directory.
+        """
         rng = DeterministicRng(seed)
         network = SimNetwork()
         oracle = oracle or IndependentQualityModel(beta=0.05, seed=seed)
@@ -64,7 +71,14 @@ class Deployment:
             )
             nodes[participant_id] = node
             network.register(participant_id, node)
-        proxy = QueryProxy(scheme, network, oracle, policy)
+        store = None
+        if state_dir is not None:
+            from ..store import ProxyStateStore
+
+            store = ProxyStateStore.open(state_dir, backend=scheme.backend)
+        proxy = QueryProxy(scheme, network, oracle, policy, store=store)
+        if store is not None and store.state.applied:
+            proxy.load_from_store()
         return cls(chain, scheme, network, nodes, proxy, rng)
 
     def set_behavior(self, participant_id: str, behavior: Behavior) -> None:
@@ -87,7 +101,13 @@ class Deployment:
         initial: str | None = None,
     ) -> tuple[TaskRecord, DistributionPhaseResult]:
         """Run one distribution task: physical flow, then POC list assembly."""
-        task_id = task_id or f"task{len(self.task_records)}"
+        if task_id is None:
+            # Skip ids already taken — a restored proxy may hold tasks
+            # journaled by a previous process under the default naming.
+            counter = len(self.task_records)
+            while f"task{counter}" in self.proxy.poc_lists:
+                counter += 1
+            task_id = f"task{counter}"
         initial = initial or self.chain.initial()
         task = DistributionTask(task_id, initial, tuple(product_ids))
         record = run_distribution_task(

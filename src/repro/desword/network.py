@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from ..obs import default_registry
-from .errors import UnknownParticipantError
+from .errors import ProtocolError, UnknownParticipantError
 from .messages import Message
 
 __all__ = ["Endpoint", "LatencyModel", "NetworkStats", "SimNetwork"]
@@ -70,10 +70,32 @@ class SimNetwork:
         self._taps: list[Callable[[str, str, Message], None]] = []
 
     def register(self, identity: str, endpoint: Endpoint) -> None:
+        """Attach a new endpoint; identities are unique.
+
+        Silently overwriting an existing registration used to let one
+        participant shadow another; use :meth:`replace` when substituting
+        an endpoint deliberately (fault injection, node restarts).
+        """
+        if identity in self._endpoints:
+            raise ProtocolError(f"endpoint {identity!r} is already registered")
         self._endpoints[identity] = endpoint
 
+    def replace(self, identity: str, endpoint: Endpoint) -> Endpoint:
+        """Swap the endpoint behind an existing identity; returns the old one."""
+        if identity not in self._endpoints:
+            raise UnknownParticipantError(
+                f"cannot replace unknown endpoint {identity!r}"
+            )
+        old = self._endpoints[identity]
+        self._endpoints[identity] = endpoint
+        return old
+
     def unregister(self, identity: str) -> None:
-        self._endpoints.pop(identity, None)
+        if identity not in self._endpoints:
+            raise UnknownParticipantError(
+                f"cannot unregister unknown endpoint {identity!r}"
+            )
+        del self._endpoints[identity]
 
     def knows(self, identity: str) -> bool:
         return identity in self._endpoints

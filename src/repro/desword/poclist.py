@@ -124,10 +124,20 @@ class PocList:
         return b"".join(parts)
 
     @classmethod
-    def from_bytes(cls, data: bytes, decode_commitment) -> "PocList":
-        """Parse a submitted list; ``decode_commitment(bytes)`` is supplied
-        by the backend owner (commitment wire formats are backend-specific).
+    def from_bytes(cls, data: bytes, backend) -> "PocList":
+        """Parse a submitted list.
+
+        ``backend`` is an :class:`~repro.zkedb.backend.EdbBackend` (the
+        symmetric partner of :meth:`to_bytes`, like every other codec in
+        the repo); commitment wire formats are backend-specific.  A bare
+        ``decode(bytes)`` callable is still accepted as a back-compat
+        shim for older call sites.
         """
+        decode_commitment = getattr(backend, "decode_commitment_bytes", backend)
+        if not callable(decode_commitment):
+            raise TypeError(
+                "backend must be an EdbBackend or a decode(bytes) callable"
+            )
         offset = 0
         task_id, offset = _unpack_str(data, offset)
         ps_id, offset = _unpack_str(data, offset)

@@ -19,6 +19,7 @@ Two query modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..obs import default_registry, get_logger, trace
 from ..poc.scheme import (
@@ -51,6 +52,9 @@ from .messages import (
 from .network import SimNetwork
 from .poclist import PocList
 from .reputation import ReputationEngine, ReputationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store import ProxyStateStore
 
 __all__ = ["QueryProxy", "QueryResult", "ProbeOutcome"]
 
@@ -108,12 +112,17 @@ class QueryProxy:
         oracle: QualityOracle,
         policy: ReputationPolicy | None = None,
         identity: str = "proxy",
+        store: "ProxyStateStore | None" = None,
     ):
         self.scheme = scheme
         self.network = network
         self.oracle = oracle
         self.identity = identity
-        self.reputation = ReputationEngine(policy)
+        self.store = store
+        # With a durable store attached, every award is journaled the
+        # moment the engine applies it (the sink fires inside award()).
+        sink = store.record_award if store is not None else None
+        self.reputation = ReputationEngine(policy, sink=sink)
         self.poc_lists: dict[str, PocList] = {}
         # The paper's POC-queue per initial participant: (task_id, POC).
         self.poc_queues: dict[str, list[tuple[str, PocCredential]]] = {}
@@ -129,14 +138,47 @@ class QueryProxy:
         submitter_poc = poc_list.poc_of(poc_list.submitted_by)
         if submitter_poc is None:
             raise PocListError("submitter POC missing")
-        self.poc_lists[poc_list.task_id] = poc_list
-        self.poc_queues.setdefault(poc_list.submitted_by, []).append(
-            (poc_list.task_id, submitter_poc)
-        )
+        self._accept_poc_list(poc_list, submitter_poc)
+        if self.store is not None:
+            self.store.record_poc_list(poc_list, self.scheme.backend)
         default_registry().counter("proxy.poc_lists_received").inc()
         _log.info(
             "POC list for task %r accepted from %r",
             poc_list.task_id, poc_list.submitted_by,
+        )
+
+    def _accept_poc_list(self, poc_list: PocList, submitter_poc: PocCredential) -> None:
+        self.poc_lists[poc_list.task_id] = poc_list
+        self.poc_queues.setdefault(poc_list.submitted_by, []).append(
+            (poc_list.task_id, submitter_poc)
+        )
+
+    def load_from_store(self) -> None:
+        """Rebuild POC lists, queues, and the reputation ledger after a crash.
+
+        Replays the attached store's recovered state in journal order:
+        POC lists decode through the scheme's backend (so the rebuilt
+        credentials are byte-identical to what was submitted) and awards
+        re-apply through :meth:`ReputationEngine.replay`, which skips the
+        journaling sink — recovery must not journal what it reads.
+        """
+        if self.store is None:
+            raise ValueError("proxy has no state store attached")
+        with trace.span("proxy.restore", events=self.store.state.applied):
+            for raw in self.store.state.poc_lists.values():
+                poc_list = PocList.from_bytes(raw, self.scheme.backend)
+                submitter_poc = poc_list.poc_of(poc_list.submitted_by)
+                if submitter_poc is None:
+                    raise PocListError("journaled list lost its submitter POC")
+                self._accept_poc_list(poc_list, submitter_poc)
+            for event in self.store.state.awards:
+                self.reputation.replay(event)
+        default_registry().counter("proxy.restores").inc()
+        _log.info(
+            "restored %d POC lists and %d awards from %s",
+            len(self.store.state.poc_lists),
+            len(self.store.state.awards),
+            self.store.state_dir,
         )
 
     def handle_message(self, sender, message):
@@ -506,6 +548,8 @@ class QueryProxy:
 
     def _record_result_metrics(self, mode: str, result: QueryResult) -> None:
         """Per-interaction accounting once a query result is final."""
+        if self.store is not None:
+            self.store.record_query(result, mode)
         metrics = default_registry()
         metrics.counter("query.completed", mode=mode, quality=result.quality).inc()
         metrics.counter("query.identified").inc(len(result.path))

@@ -63,10 +63,22 @@ class ScoreEvent:
 
 
 class ReputationEngine:
-    """Publicly readable scores plus an append-only audit log."""
+    """Publicly readable scores plus an append-only audit log.
 
-    def __init__(self, policy: ReputationPolicy | None = None):
+    ``sink`` — when set — observes every new :class:`ScoreEvent` as it is
+    awarded; the proxy's durable store attaches here so awards are
+    journaled the moment they happen.  :meth:`replay` re-applies a
+    previously journaled event *without* notifying the sink, which is how
+    crash recovery rebuilds the ledger without re-journaling it.
+    """
+
+    def __init__(
+        self,
+        policy: ReputationPolicy | None = None,
+        sink: Callable[[ScoreEvent], None] | None = None,
+    ):
         self.policy = policy or ReputationPolicy()
+        self.sink = sink
         self._scores: dict[str, float] = {}
         self.history: list[ScoreEvent] = []
 
@@ -77,8 +89,11 @@ class ReputationEngine:
         reason: str,
         product_id: int | None = None,
     ) -> None:
+        event = ScoreEvent(participant_id, delta, reason, product_id)
         self._scores[participant_id] = self._scores.get(participant_id, 0.0) + delta
-        self.history.append(ScoreEvent(participant_id, delta, reason, product_id))
+        self.history.append(event)
+        if self.sink is not None:
+            self.sink(event)
         sign = "positive" if delta >= 0 else "negative"
         metrics = default_registry()
         metrics.counter("reputation.awards", sign=sign).inc()
@@ -86,6 +101,13 @@ class ReputationEngine:
         _log.debug(
             "award %+.3f to %s (%s, product=%s)", delta, participant_id, reason, product_id
         )
+
+    def replay(self, event: ScoreEvent) -> None:
+        """Re-apply a journaled award (no sink notification, no metrics)."""
+        self._scores[event.participant_id] = (
+            self._scores.get(event.participant_id, 0.0) + event.delta
+        )
+        self.history.append(event)
 
     def apply_good_query(self, path: Sequence[str], product_id: int) -> None:
         """Positive edge: reward everyone identified on a good product."""

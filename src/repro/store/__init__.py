@@ -1,0 +1,53 @@
+"""Durable state store: write-ahead log, snapshots, crash recovery.
+
+The paper's trusted proxy is the system of record for POC lists,
+reputation awards, and query outcomes.  Blockchain-based alternatives
+(TrustChain, SPOQchain) buy durability with a ledger; DE-Sword's
+centralized-proxy design gets the equivalent locally from this package:
+
+* :mod:`repro.store.wal` — an append-only record log of length-prefixed,
+  CRC32-checksummed frames with batched fsync, tolerant of torn and
+  truncated tails on recovery;
+* :mod:`repro.store.snapshot` — atomic full-state checkpoints so
+  recovery replays snapshot + tail instead of the whole history;
+* :mod:`repro.store.events` — the journal's event codecs and the
+  materialized :class:`~repro.store.events.StoreState`;
+* :mod:`repro.store.proxy_store` — :class:`ProxyStateStore`, the facade
+  the proxy journals through and recovery rebuilds from, byte-identical.
+
+Wired in via ``Deployment.build(..., state_dir=...)``, the CLI's
+``evaluate --state-dir`` flag, and the ``repro store`` subcommand
+(``inspect`` / ``verify`` / ``compact``).
+"""
+
+from .events import (
+    EventDecodeError,
+    PocListRecorded,
+    QueryRecorded,
+    StoreState,
+    decode_event,
+    encode_event,
+)
+from .proxy_store import RAW_CODEC, ProxyStateStore, RawEdbCodec, StoreError
+from .snapshot import SnapshotError, list_snapshots, load_snapshot, write_snapshot
+from .wal import LogScan, RecordLog, WalError, scan_log
+
+__all__ = [
+    "EventDecodeError",
+    "LogScan",
+    "PocListRecorded",
+    "ProxyStateStore",
+    "QueryRecorded",
+    "RAW_CODEC",
+    "RawEdbCodec",
+    "RecordLog",
+    "SnapshotError",
+    "StoreError",
+    "StoreState",
+    "decode_event",
+    "encode_event",
+    "list_snapshots",
+    "load_snapshot",
+    "scan_log",
+    "write_snapshot",
+]

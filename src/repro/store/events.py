@@ -1,0 +1,237 @@
+"""Journal events and the materialized store state.
+
+Three event kinds cover everything the proxy is the system of record
+for (Section II.C):
+
+* ``POC_LIST`` — a validated POC list was accepted for a distribution
+  task; the payload is the list's canonical wire encoding
+  (:meth:`~repro.desword.poclist.PocList.to_bytes`), which carries the
+  POCs *and* the participant-pair digraph;
+* ``AWARD`` — one double-edged reputation award
+  (:class:`~repro.desword.reputation.ScoreEvent`);
+* ``QUERY`` — the outcome transcript of one product path query (path,
+  quality, and attributed violations).
+
+Every event encodes to one tagged byte string — journaled as one WAL
+frame — and :class:`StoreState` replays any sequence of them into the
+materialized state a snapshot captures.  POC-list payloads are kept as
+raw bytes throughout, so recovered state is byte-identical to what was
+journaled by construction.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..crypto.serialize import ByteReader, encode_bytes
+from ..desword.reputation import ScoreEvent
+
+__all__ = [
+    "PocListRecorded",
+    "QueryRecorded",
+    "StoreState",
+    "EventDecodeError",
+    "encode_event",
+    "decode_event",
+]
+
+_POC_LIST_TAG = 0x01
+_AWARD_TAG = 0x02
+_QUERY_TAG = 0x03
+
+
+class EventDecodeError(ValueError):
+    """A journal frame does not decode to a known event."""
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode()
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _read_str(reader: ByteReader) -> str:
+    (length,) = struct.unpack(">H", reader.take(2))
+    return reader.take(length).decode()
+
+
+def _pack_uint(value: int) -> bytes:
+    """Length-prefixed big-endian unsigned int (product ids span 2^128)."""
+    width = max(1, (value.bit_length() + 7) // 8)
+    return struct.pack(">H", width) + value.to_bytes(width, "big")
+
+
+def _read_uint(reader: ByteReader) -> int:
+    (width,) = struct.unpack(">H", reader.take(2))
+    return int.from_bytes(reader.take(width), "big")
+
+
+@dataclass(frozen=True)
+class PocListRecorded:
+    """A POC list acceptance, kept as its canonical wire bytes."""
+
+    payload: bytes
+
+    @property
+    def task_id(self) -> str:
+        (length,) = struct.unpack_from(">H", self.payload, 0)
+        return self.payload[2 : 2 + length].decode()
+
+
+@dataclass(frozen=True)
+class QueryRecorded:
+    """One finished product path query, as the proxy concluded it."""
+
+    product_id: int
+    quality: str
+    mode: str
+    task_id: str | None
+    path: tuple[str, ...]
+    violations: tuple[tuple[str, str], ...]  # (kind, participant_id)
+
+
+def _encode_award(event: ScoreEvent) -> bytes:
+    parts = [
+        _pack_str(event.participant_id),
+        struct.pack(">d", event.delta),
+        _pack_str(event.reason),
+    ]
+    if event.product_id is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01" + _pack_uint(event.product_id))
+    return b"".join(parts)
+
+
+def _decode_award(reader: ByteReader) -> ScoreEvent:
+    participant_id = _read_str(reader)
+    (delta,) = struct.unpack(">d", reader.take(8))
+    reason = _read_str(reader)
+    product_id = _read_uint(reader) if reader.take(1) == b"\x01" else None
+    return ScoreEvent(participant_id, delta, reason, product_id)
+
+
+def _encode_query(event: QueryRecorded) -> bytes:
+    parts = [
+        _pack_uint(event.product_id),
+        _pack_str(event.quality),
+        _pack_str(event.mode),
+    ]
+    if event.task_id is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01" + _pack_str(event.task_id))
+    parts.append(struct.pack(">H", len(event.path)))
+    parts.extend(_pack_str(hop) for hop in event.path)
+    parts.append(struct.pack(">H", len(event.violations)))
+    for kind, participant_id in event.violations:
+        parts.append(_pack_str(kind))
+        parts.append(_pack_str(participant_id))
+    return b"".join(parts)
+
+
+def _decode_query(reader: ByteReader) -> QueryRecorded:
+    product_id = _read_uint(reader)
+    quality = _read_str(reader)
+    mode = _read_str(reader)
+    task_id = _read_str(reader) if reader.take(1) == b"\x01" else None
+    (path_len,) = struct.unpack(">H", reader.take(2))
+    path = tuple(_read_str(reader) for _ in range(path_len))
+    (violation_count,) = struct.unpack(">H", reader.take(2))
+    violations = tuple(
+        (_read_str(reader), _read_str(reader)) for _ in range(violation_count)
+    )
+    return QueryRecorded(product_id, quality, mode, task_id, path, violations)
+
+
+def encode_event(event) -> bytes:
+    if isinstance(event, PocListRecorded):
+        return bytes([_POC_LIST_TAG]) + event.payload
+    if isinstance(event, ScoreEvent):
+        return bytes([_AWARD_TAG]) + _encode_award(event)
+    if isinstance(event, QueryRecorded):
+        return bytes([_QUERY_TAG]) + _encode_query(event)
+    raise TypeError(f"not a journal event: {event!r}")
+
+
+def decode_event(data: bytes):
+    if not data:
+        raise EventDecodeError("empty journal frame")
+    tag, body = data[0], data[1:]
+    if tag == _POC_LIST_TAG:
+        return PocListRecorded(body)
+    reader = ByteReader(body)
+    try:
+        if tag == _AWARD_TAG:
+            event = _decode_award(reader)
+        elif tag == _QUERY_TAG:
+            event = _decode_query(reader)
+        else:
+            raise EventDecodeError(f"unknown event tag {tag:#x}")
+        reader.expect_end()
+    except (ValueError, struct.error) as exc:
+        raise EventDecodeError(f"malformed event frame: {exc}") from exc
+    return event
+
+
+@dataclass
+class StoreState:
+    """Everything the journal has established, in journal order."""
+
+    poc_lists: dict[str, bytes] = field(default_factory=dict)
+    awards: list[ScoreEvent] = field(default_factory=list)
+    queries: list[QueryRecorded] = field(default_factory=list)
+    applied: int = 0  # events applied == next expected global seqno
+
+    def apply(self, event) -> None:
+        if isinstance(event, PocListRecorded):
+            self.poc_lists[event.task_id] = event.payload
+        elif isinstance(event, ScoreEvent):
+            self.awards.append(event)
+        elif isinstance(event, QueryRecorded):
+            self.queries.append(event)
+        else:
+            raise TypeError(f"not a journal event: {event!r}")
+        self.applied += 1
+
+    def ledger_bytes(self) -> bytes:
+        """Canonical encoding of the reputation ledger (award history)."""
+        return struct.pack(">I", len(self.awards)) + b"".join(
+            _encode_award(event) for event in self.awards
+        )
+
+    def scores(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for event in self.awards:
+            totals[event.participant_id] = (
+                totals.get(event.participant_id, 0.0) + event.delta
+            )
+        return totals
+
+    def to_bytes(self) -> bytes:
+        """Snapshot payload: the full state, journal ordering preserved."""
+        parts = [struct.pack(">QI", self.applied, len(self.poc_lists))]
+        parts.extend(encode_bytes(raw) for raw in self.poc_lists.values())
+        parts.append(self.ledger_bytes())
+        parts.append(struct.pack(">I", len(self.queries)))
+        parts.extend(encode_bytes(_encode_query(q)) for q in self.queries)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StoreState":
+        reader = ByteReader(data)
+        applied, poc_count = struct.unpack(">QI", reader.take(12))
+        state = cls(applied=applied)
+        for _ in range(poc_count):
+            event = PocListRecorded(reader.take_bytes())
+            state.poc_lists[event.task_id] = event.payload
+        (award_count,) = struct.unpack(">I", reader.take(4))
+        for _ in range(award_count):
+            state.awards.append(_decode_award(reader))
+        (query_count,) = struct.unpack(">I", reader.take(4))
+        for _ in range(query_count):
+            body = ByteReader(reader.take_bytes())
+            state.queries.append(_decode_query(body))
+            body.expect_end()
+        reader.expect_end()
+        return state

@@ -1,0 +1,392 @@
+"""The proxy's durable state store.
+
+DE-Sword's trusted proxy is the system of record for POC lists,
+reputation awards, and query outcomes; this module makes that record
+survive a crash.  Every proxy state mutation is journaled to the record
+log *as it happens*; periodically the materialized state is checkpointed
+into a snapshot and the log is compacted, so recovery replays *snapshot +
+tail* instead of the full history.
+
+Directory layout::
+
+    state-dir/
+      meta.json                  informational (format version, backend)
+      wal.log                    the record log (torn-tail tolerant)
+      snapshot-<seqno>.snap      checkpoints (newest two retained)
+
+Recovery algorithm:
+
+1. load the newest snapshot that passes its checksum (a damaged one
+   falls back a generation);
+2. scan the log, dropping any torn/truncated tail;
+3. skip log frames the snapshot already covers (a crash between
+   snapshot-write and log-rewrite leaves such overlap), replay the rest;
+4. fail loudly only if the log *starts* after the snapshot ends — that
+   gap means records were lost to something other than a torn tail.
+
+POC lists travel through the store as their canonical wire bytes, so the
+recovered ``PocList.to_bytes`` output is byte-identical to what the
+proxy accepted.  Opening the store without a backend decodes commitments
+as raw bytes (:data:`RAW_CODEC`) — enough for the CLI's ``store
+inspect`` / ``store verify`` to work without CRS material.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..desword.poclist import PocList
+from ..desword.reputation import ReputationEngine, ReputationPolicy, ScoreEvent
+from ..obs import default_registry, get_logger, trace
+from .events import (
+    EventDecodeError,
+    PocListRecorded,
+    QueryRecorded,
+    StoreState,
+    decode_event,
+    encode_event,
+)
+from .snapshot import load_latest_snapshot, write_snapshot
+from .wal import LogScan, RecordLog, WalError, scan_log
+
+__all__ = ["ProxyStateStore", "RawEdbCodec", "RAW_CODEC", "StoreError"]
+
+_log = get_logger(__name__)
+
+LOG_NAME = "wal.log"
+META_NAME = "meta.json"
+DEFAULT_FSYNC_EVERY = 8
+DEFAULT_SNAPSHOT_EVERY = 256
+
+
+class StoreError(Exception):
+    """The store directory is unrecoverable (gap between snapshot and log)."""
+
+
+class RawEdbCodec:
+    """Commitment pass-through: keeps POC commitments as their wire bytes.
+
+    Lets the store decode and re-encode POC lists byte-identically
+    without any cryptographic parameters — the backend-free mode the
+    ``repro store`` CLI runs in.
+    """
+
+    name = "raw"
+
+    def commitment_bytes(self, commitment) -> bytes:
+        if not isinstance(commitment, (bytes, bytearray)):
+            raise TypeError("raw codec can only re-encode raw commitment bytes")
+        return bytes(commitment)
+
+    def decode_commitment_bytes(self, data: bytes) -> bytes:
+        return data
+
+
+RAW_CODEC = RawEdbCodec()
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found on disk."""
+
+    snapshot_seqno: int = 0
+    snapshot_used: bool = False
+    log_base: int = 0
+    log_frames: int = 0
+    replayed: int = 0
+    dropped_bytes: int = 0
+    drop_reason: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "snapshot_seqno": self.snapshot_seqno,
+            "snapshot_used": self.snapshot_used,
+            "log_base": self.log_base,
+            "log_frames": self.log_frames,
+            "replayed": self.replayed,
+            "dropped_bytes": self.dropped_bytes,
+            "drop_reason": self.drop_reason,
+        }
+
+
+def _replay_scan(state: StoreState, scan: LogScan) -> int:
+    """Apply the scan's frames the snapshot does not already cover."""
+    if scan.base_seqno > state.applied:
+        raise StoreError(
+            f"journal gap: log starts at record {scan.base_seqno} but the "
+            f"snapshot only covers {state.applied}"
+        )
+    replayed = 0
+    for index, payload in enumerate(scan.payloads):
+        seqno = scan.base_seqno + index
+        if seqno < state.applied:
+            continue  # snapshot already covers it (interrupted compaction)
+        state.apply(decode_event(payload))
+        replayed += 1
+    return replayed
+
+
+class ProxyStateStore:
+    """Durable journal + snapshots for the proxy's state of record."""
+
+    def __init__(
+        self,
+        state_dir: Path,
+        log: RecordLog | None,
+        state: StoreState,
+        recovery: RecoveryReport,
+        backend=None,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+    ):
+        self.state_dir = state_dir
+        self.state = state
+        self.recovery = recovery
+        self.backend = backend if backend is not None else RAW_CODEC
+        self.snapshot_every = snapshot_every
+        self.fsync_every = fsync_every
+        self._log = log
+        self._last_snapshot = recovery.snapshot_seqno if recovery.snapshot_used else 0
+        self._since_snapshot = state.applied - self._last_snapshot
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        state_dir: str | os.PathLike,
+        backend=None,
+        fsync_every: int = DEFAULT_FSYNC_EVERY,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    ) -> "ProxyStateStore":
+        """Open (or create) a store for journaling; repairs torn tails."""
+        directory = Path(state_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        log_path = directory / LOG_NAME
+        existing = log_path.exists() or any(directory.glob("snapshot-*.snap"))
+
+        with trace.span("store.open", existing=existing):
+            state, recovery = cls._load_checkpoint(directory)
+            if log_path.exists():
+                log, scan = RecordLog.open(log_path, fsync_every=fsync_every)
+                recovery.log_base = scan.base_seqno
+                recovery.log_frames = len(scan.payloads)
+                recovery.dropped_bytes = scan.dropped_bytes
+                recovery.drop_reason = scan.drop_reason
+                try:
+                    recovery.replayed = _replay_scan(state, scan)
+                except (StoreError, EventDecodeError):
+                    log.close()
+                    raise
+            else:
+                log = RecordLog.create(
+                    log_path, base_seqno=state.applied, fsync_every=fsync_every
+                )
+
+        store = cls(
+            directory, log, state, recovery,
+            backend=backend, snapshot_every=snapshot_every, fsync_every=fsync_every,
+        )
+        store._write_meta()
+        if existing:
+            metrics = default_registry()
+            metrics.counter("store.recoveries").inc()
+            metrics.counter("store.recovered_events").inc(recovery.replayed)
+            _log.info(
+                "recovered %s: %d events (snapshot %d + %d replayed, %d bytes dropped)",
+                directory, state.applied, recovery.snapshot_seqno,
+                recovery.replayed, recovery.dropped_bytes,
+            )
+        return store
+
+    @classmethod
+    def read(cls, state_dir: str | os.PathLike, backend=None) -> "ProxyStateStore":
+        """Recover the state without touching the files (no tail repair)."""
+        directory = Path(state_dir)
+        state, recovery = cls._load_checkpoint(directory)
+        log_path = directory / LOG_NAME
+        if log_path.exists():
+            scan = scan_log(log_path)
+            recovery.log_base = scan.base_seqno
+            recovery.log_frames = len(scan.payloads)
+            recovery.dropped_bytes = scan.dropped_bytes
+            recovery.drop_reason = scan.drop_reason
+            recovery.replayed = _replay_scan(state, scan)
+        elif state.applied == 0:
+            raise StoreError(f"no store at {directory}")
+        default_registry().counter("store.recoveries").inc()
+        return cls(directory, None, state, recovery, backend=backend)
+
+    @staticmethod
+    def _load_checkpoint(directory: Path) -> tuple[StoreState, RecoveryReport]:
+        recovery = RecoveryReport()
+        snapshot = load_latest_snapshot(directory)
+        if snapshot is None:
+            return StoreState(), recovery
+        covered, payload = snapshot
+        state = StoreState.from_bytes(payload)
+        if state.applied != covered:
+            raise StoreError(
+                f"snapshot names {covered} records but encodes {state.applied}"
+            )
+        recovery.snapshot_seqno = covered
+        recovery.snapshot_used = True
+        return state, recovery
+
+    def _write_meta(self) -> None:
+        meta_path = self.state_dir / META_NAME
+        if meta_path.exists():
+            return
+        meta_path.write_text(
+            json.dumps({"format": 1, "backend": getattr(self.backend, "name", "raw")})
+            + "\n"
+        )
+
+    # -- journaling interface -------------------------------------------------
+
+    @property
+    def log_path(self) -> Path:
+        return self.state_dir / LOG_NAME
+
+    def append_event(self, event) -> int:
+        """Journal one event (durably, per the fsync policy) then apply it."""
+        if self._log is None:
+            raise StoreError("store opened read-only")
+        seqno = self._log.append(encode_event(event))
+        self.state.apply(event)
+        self._since_snapshot += 1
+        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+            self.compact()
+        return seqno
+
+    def record_poc_list(self, poc_list: PocList, backend=None) -> int:
+        payload = poc_list.to_bytes(backend if backend is not None else self.backend)
+        return self.append_event(PocListRecorded(payload))
+
+    def record_award(self, event: ScoreEvent) -> int:
+        return self.append_event(event)
+
+    def record_query(self, result, mode: str) -> int:
+        """Journal a finished :class:`~repro.desword.proxy.QueryResult`."""
+        event = QueryRecorded(
+            product_id=result.product_id,
+            quality=result.quality,
+            mode=mode,
+            task_id=result.task_id,
+            path=tuple(result.path),
+            violations=tuple(
+                (v.kind, v.participant_id) for v in result.violations
+            ),
+        )
+        return self.append_event(event)
+
+    def sync(self) -> None:
+        """Force everything journaled so far to stable storage."""
+        if self._log is not None:
+            self._log.sync()
+
+    # -- snapshots and compaction --------------------------------------------
+
+    def snapshot(self) -> Path:
+        """Checkpoint the materialized state (journal stays untouched)."""
+        self.sync()
+        path = write_snapshot(self.state_dir, self.state.applied, self.state.to_bytes())
+        self._last_snapshot = self.state.applied
+        self._since_snapshot = 0
+        return path
+
+    def compact(self) -> None:
+        """Snapshot, then rewrite the log to start after the snapshot.
+
+        The rewrite is atomic (temp file + rename); a crash in between
+        leaves snapshot-covered frames in the log, which recovery skips.
+        """
+        if self._log is None:
+            raise StoreError("store opened read-only")
+        with trace.span("store.compact", applied=self.state.applied):
+            self.snapshot()
+            self._log.close()
+            temp = self.log_path.with_suffix(".tmp")
+            RecordLog.create(
+                temp, base_seqno=self.state.applied, fsync_every=self.fsync_every
+            ).close()
+            os.replace(temp, self.log_path)
+            self._log, _ = RecordLog.open(self.log_path, fsync_every=self.fsync_every)
+        default_registry().counter("store.compactions").inc()
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+
+    def __enter__(self) -> "ProxyStateStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- recovered-state accessors -------------------------------------------
+
+    def poc_list(self, task_id: str, backend=None) -> PocList:
+        raw = self.state.poc_lists[task_id]
+        return PocList.from_bytes(raw, backend if backend is not None else self.backend)
+
+    def reputation_engine(
+        self, policy: ReputationPolicy | None = None
+    ) -> ReputationEngine:
+        """A reputation engine replayed from the journaled award history."""
+        engine = ReputationEngine(policy)
+        for event in self.state.awards:
+            engine.replay(event)
+        return engine
+
+    def stats(self) -> dict:
+        return {
+            "state_dir": str(self.state_dir),
+            "applied": self.state.applied,
+            "poc_lists": len(self.state.poc_lists),
+            "awards": len(self.state.awards),
+            "queries": len(self.state.queries),
+            "last_snapshot": self._last_snapshot,
+            "recovery": self.recovery.to_dict(),
+        }
+
+    # -- integrity checking ---------------------------------------------------
+
+    def verify(self) -> dict:
+        """Re-read the files and cross-check everything checkable.
+
+        Returns a report dict with ``ok`` plus per-layer findings; a torn
+        tail is reported but does not fail verification (it is exactly
+        what the format tolerates), while a journal gap, an undecodable
+        frame, or a structurally invalid POC list does.
+        """
+        errors: list[str] = []
+        report: dict = {"state_dir": str(self.state_dir), "errors": errors}
+        try:
+            fresh = ProxyStateStore.read(self.state_dir, backend=self.backend)
+        except (StoreError, WalError, EventDecodeError) as exc:
+            errors.append(str(exc))
+            report["ok"] = False
+            return report
+        report["recovery"] = fresh.recovery.to_dict()
+        report["events"] = {
+            "applied": fresh.state.applied,
+            "poc_lists": len(fresh.state.poc_lists),
+            "awards": len(fresh.state.awards),
+            "queries": len(fresh.state.queries),
+        }
+        for task_id, raw in fresh.state.poc_lists.items():
+            try:
+                poc_list = PocList.from_bytes(raw, RAW_CODEC)
+                poc_list.validate()
+                if poc_list.to_bytes(RAW_CODEC) != raw:
+                    errors.append(f"task {task_id!r}: re-encoding is not byte-identical")
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                errors.append(f"task {task_id!r}: {exc}")
+        report["ledger_scores"] = dict(sorted(fresh.state.scores().items()))
+        report["ok"] = not errors
+        return report

@@ -1,0 +1,138 @@
+"""Snapshot files: periodic full-state checkpoints for fast recovery.
+
+A snapshot captures the materialized store state after the first
+``covered_seqno`` journal records, so recovery replays *snapshot + log
+tail* instead of the full history.  Format::
+
+    b"DSWS" | u16 version | u64 covered_seqno | u32 length | u32 crc32 | payload
+
+Snapshots are written atomically (temp file + fsync + rename) so a crash
+mid-write never damages an existing snapshot, and the newest two are
+retained so a corrupted latest snapshot can fall back one generation as
+long as the log still holds the intervening records.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from ..obs import default_registry, get_logger
+
+__all__ = [
+    "SnapshotError",
+    "snapshot_path",
+    "list_snapshots",
+    "write_snapshot",
+    "load_snapshot",
+    "load_latest_snapshot",
+    "prune_snapshots",
+]
+
+_log = get_logger(__name__)
+
+_SNAP_MAGIC = b"DSWS"
+_SNAP_VERSION = 1
+_SNAP_STRUCT = struct.Struct(">4sHQII")
+_SNAP_PREFIX = "snapshot-"
+_SNAP_SUFFIX = ".snap"
+SNAPSHOTS_RETAINED = 2
+
+
+class SnapshotError(Exception):
+    """A snapshot file is missing, truncated, or fails its checksum."""
+
+
+def snapshot_path(directory: str | os.PathLike, covered_seqno: int) -> Path:
+    return Path(directory) / f"{_SNAP_PREFIX}{covered_seqno:016d}{_SNAP_SUFFIX}"
+
+
+def list_snapshots(directory: str | os.PathLike) -> list[Path]:
+    """Snapshot files, newest (highest covered seqno) first."""
+    found = []
+    for entry in Path(directory).glob(f"{_SNAP_PREFIX}*{_SNAP_SUFFIX}"):
+        stem = entry.name[len(_SNAP_PREFIX) : -len(_SNAP_SUFFIX)]
+        if stem.isdigit():
+            found.append((int(stem), entry))
+    return [path for _, path in sorted(found, reverse=True)]
+
+
+def write_snapshot(
+    directory: str | os.PathLike, covered_seqno: int, payload: bytes
+) -> Path:
+    """Atomically persist one checkpoint and prune old generations."""
+    target = snapshot_path(directory, covered_seqno)
+    temp = target.with_suffix(".tmp")
+    header = _SNAP_STRUCT.pack(
+        _SNAP_MAGIC, _SNAP_VERSION, covered_seqno, len(payload), zlib.crc32(payload)
+    )
+    with open(temp, "wb") as handle:
+        handle.write(header + payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, target)
+    _fsync_dir(directory)
+    metrics = default_registry()
+    metrics.counter("store.snapshots").inc()
+    metrics.counter("store.snapshot_bytes").inc(len(header) + len(payload))
+    prune_snapshots(directory)
+    return target
+
+
+def load_snapshot(path: str | os.PathLike) -> tuple[int, bytes]:
+    """Returns ``(covered_seqno, payload)`` or raises :class:`SnapshotError`."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+    if len(data) < _SNAP_STRUCT.size:
+        raise SnapshotError("snapshot shorter than its header")
+    magic, version, covered_seqno, length, crc = _SNAP_STRUCT.unpack_from(data, 0)
+    if magic != _SNAP_MAGIC:
+        raise SnapshotError("bad snapshot magic")
+    if version != _SNAP_VERSION:
+        raise SnapshotError(f"unsupported snapshot version {version}")
+    payload = data[_SNAP_STRUCT.size :]
+    if len(payload) != length:
+        raise SnapshotError("snapshot payload truncated")
+    if zlib.crc32(payload) != crc:
+        raise SnapshotError("snapshot checksum mismatch")
+    return covered_seqno, payload
+
+
+def load_latest_snapshot(directory: str | os.PathLike) -> tuple[int, bytes] | None:
+    """The newest snapshot that still passes its checksum, if any.
+
+    A damaged newer generation is skipped (and logged); recovery then
+    relies on the log holding the records the older snapshot misses.
+    """
+    for path in list_snapshots(directory):
+        try:
+            return load_snapshot(path)
+        except SnapshotError as exc:
+            default_registry().counter("store.snapshot_invalid").inc()
+            _log.warning("skipping snapshot %s: %s", path, exc)
+    return None
+
+
+def prune_snapshots(
+    directory: str | os.PathLike, keep: int = SNAPSHOTS_RETAINED
+) -> None:
+    for stale in list_snapshots(directory)[keep:]:
+        stale.unlink(missing_ok=True)
+
+
+def _fsync_dir(directory: str | os.PathLike) -> None:
+    """Make the rename itself durable (best effort on odd filesystems)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)

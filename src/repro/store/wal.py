@@ -1,0 +1,216 @@
+"""The append-only record log (write-ahead log).
+
+One file of length-prefixed, CRC32-checksummed frames behind a small
+header.  The log is the proxy's source of truth between snapshots: every
+state mutation is appended as one frame *before* it is applied, so a
+crash at any byte offset loses at most the torn tail of the file — which
+recovery detects (length or checksum mismatch) and drops.
+
+Layout::
+
+    header:  b"DSWL" | u16 version | u64 base_seqno          (14 bytes)
+    frame:   u32 payload_length | u32 crc32(payload) | payload
+
+``base_seqno`` is the global sequence number of the first frame; after a
+compaction the log is rewritten with only the records newer than the
+snapshot, so the base moves forward.  Frame *i* of a log has sequence
+number ``base_seqno + i``.
+
+Durability policy: every append is flushed to the OS (survives a process
+crash); ``fsync_every=N`` batches the much more expensive ``fsync`` so N
+appends share one disk barrier (``fsync_every=1`` syncs each append,
+``0`` never syncs except on :meth:`RecordLog.sync`/``close``).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs import DEFAULT_LATENCY_BUCKETS_MS, default_registry, get_logger
+
+__all__ = ["LOG_HEADER_SIZE", "FRAME_HEADER_SIZE", "LogScan", "RecordLog", "WalError"]
+
+_log = get_logger(__name__)
+
+_LOG_MAGIC = b"DSWL"
+_LOG_VERSION = 1
+_HEADER_STRUCT = struct.Struct(">4sHQ")
+_FRAME_STRUCT = struct.Struct(">II")
+
+LOG_HEADER_SIZE = _HEADER_STRUCT.size
+FRAME_HEADER_SIZE = _FRAME_STRUCT.size
+
+# A frame larger than this is assumed to be garbage from a torn write
+# rather than a real record (the proxy's largest events are POC lists,
+# well under a megabyte even for very large tasks).
+MAX_FRAME_BYTES = 1 << 28
+
+
+class WalError(Exception):
+    """The log file is structurally unusable (bad header, bad version)."""
+
+
+@dataclass
+class LogScan:
+    """What a recovery pass found in one log file."""
+
+    base_seqno: int
+    payloads: list[bytes] = field(default_factory=list)
+    good_bytes: int = LOG_HEADER_SIZE
+    dropped_bytes: int = 0
+    drop_reason: str | None = None
+
+    @property
+    def next_seqno(self) -> int:
+        return self.base_seqno + len(self.payloads)
+
+    def frame_bounds(self) -> list[int]:
+        """End offset of each valid frame (used by crash-injection tests)."""
+        bounds = []
+        offset = LOG_HEADER_SIZE
+        for payload in self.payloads:
+            offset += FRAME_HEADER_SIZE + len(payload)
+            bounds.append(offset)
+        return bounds
+
+
+def scan_log(path: str | os.PathLike) -> LogScan:
+    """Read every intact frame, tolerating a torn or truncated tail.
+
+    Stops at the first frame whose header is truncated, whose length is
+    implausible, or whose checksum does not match — everything from that
+    point on is counted as dropped.  Never raises for tail damage; raises
+    :class:`WalError` only when the header itself is unusable.
+    """
+    data = Path(path).read_bytes()
+    if len(data) < LOG_HEADER_SIZE:
+        raise WalError(f"log shorter than its header ({len(data)} bytes)")
+    magic, version, base_seqno = _HEADER_STRUCT.unpack_from(data, 0)
+    if magic != _LOG_MAGIC:
+        raise WalError("bad log magic")
+    if version != _LOG_VERSION:
+        raise WalError(f"unsupported log version {version}")
+
+    scan = LogScan(base_seqno)
+    offset = LOG_HEADER_SIZE
+    while offset < len(data):
+        if offset + FRAME_HEADER_SIZE > len(data):
+            scan.drop_reason = "truncated frame header"
+            break
+        length, crc = _FRAME_STRUCT.unpack_from(data, offset)
+        start = offset + FRAME_HEADER_SIZE
+        end = start + length
+        if length > MAX_FRAME_BYTES:
+            scan.drop_reason = "implausible frame length"
+            break
+        if end > len(data):
+            scan.drop_reason = "truncated frame payload"
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            scan.drop_reason = "frame checksum mismatch"
+            break
+        scan.payloads.append(payload)
+        offset = end
+        scan.good_bytes = offset
+    scan.dropped_bytes = len(data) - scan.good_bytes
+    if scan.dropped_bytes:
+        metrics = default_registry()
+        metrics.counter("store.torn_tail_dropped").inc()
+        metrics.counter("store.torn_tail_bytes").inc(scan.dropped_bytes)
+        _log.warning(
+            "log %s: dropped %d-byte torn tail (%s) after %d frames",
+            path, scan.dropped_bytes, scan.drop_reason, len(scan.payloads),
+        )
+    return scan
+
+
+class RecordLog:
+    """Appender over one log file, with batched fsync."""
+
+    def __init__(self, path: str | os.PathLike, handle, next_seqno: int, fsync_every: int):
+        self.path = Path(path)
+        self._handle = handle
+        self._next_seqno = next_seqno
+        self.fsync_every = fsync_every
+        self._unsynced = 0
+
+    @classmethod
+    def create(
+        cls, path: str | os.PathLike, base_seqno: int = 0, fsync_every: int = 8
+    ) -> "RecordLog":
+        """Start a fresh (truncated) log whose first frame will be ``base_seqno``."""
+        handle = open(path, "wb")
+        handle.write(_HEADER_STRUCT.pack(_LOG_MAGIC, _LOG_VERSION, base_seqno))
+        handle.flush()
+        os.fsync(handle.fileno())
+        return cls(path, handle, base_seqno, fsync_every)
+
+    @classmethod
+    def open(cls, path: str | os.PathLike, fsync_every: int = 8) -> tuple["RecordLog", LogScan]:
+        """Open an existing log for appending, repairing any torn tail.
+
+        Returns the log plus the scan of what survived, so the caller can
+        replay the intact frames.  The file is truncated back to the last
+        intact frame before appends resume, keeping the invariant that
+        everything before the write offset is checksummed and valid.
+        """
+        scan = scan_log(path)
+        handle = open(path, "r+b")
+        handle.truncate(scan.good_bytes)
+        handle.seek(scan.good_bytes)
+        return cls(path, handle, scan.next_seqno, fsync_every), scan
+
+    @property
+    def next_seqno(self) -> int:
+        return self._next_seqno
+
+    def append(self, payload: bytes) -> int:
+        """Write one frame; returns the record's sequence number."""
+        frame = _FRAME_STRUCT.pack(len(payload), zlib.crc32(payload)) + payload
+        self._handle.write(frame)
+        self._handle.flush()
+        seqno = self._next_seqno
+        self._next_seqno += 1
+        metrics = default_registry()
+        metrics.counter("store.appends").inc()
+        metrics.counter("store.bytes_written").inc(len(frame))
+        if self.fsync_every > 0:
+            self._unsynced += 1
+            if self._unsynced >= self.fsync_every:
+                self.sync()
+        return seqno
+
+    def sync(self) -> None:
+        """Force the file to stable storage (one disk barrier)."""
+        import time
+
+        self._handle.flush()
+        started = time.perf_counter()
+        os.fsync(self._handle.fileno())
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self._unsynced = 0
+        metrics = default_registry()
+        metrics.counter("store.fsyncs").inc()
+        metrics.histogram("store.fsync_ms", buckets=DEFAULT_LATENCY_BUCKETS_MS).observe(
+            elapsed_ms
+        )
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        if self.fsync_every > 0 and self._unsynced:
+            self.sync()
+        else:
+            self._handle.flush()
+        self._handle.close()
+
+    def __enter__(self) -> "RecordLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -115,3 +115,27 @@ class TestByteReader:
     def test_take_past_end(self):
         with pytest.raises(ValueError):
             ByteReader(b"a").take(2)
+
+    def test_expect_end_misuse_before_reading(self):
+        """Calling expect_end on an unread, non-empty buffer must fail —
+        it asserts exhaustion, it does not skip remaining bytes."""
+        with pytest.raises(ValueError):
+            ByteReader(b"data").expect_end()
+
+    def test_expect_end_on_empty_buffer_passes(self):
+        ByteReader(b"").expect_end()
+
+    def test_expect_end_is_idempotent_at_end(self):
+        reader = ByteReader(b"xy")
+        reader.take(2)
+        reader.expect_end()
+        reader.expect_end()  # still at the end; still fine
+
+    def test_take_after_expect_end_still_guards(self):
+        """expect_end does not rewind or invalidate the reader: a further
+        take past the end keeps raising rather than returning b''."""
+        reader = ByteReader(b"z")
+        reader.take(1)
+        reader.expect_end()
+        with pytest.raises(ValueError):
+            reader.take(1)

@@ -41,7 +41,7 @@ def test_corrupted_proof_bytes_attributed(distributed, products):
     deployment, record, _ = distributed
     pid = products[0]
     victim = record.path_of(pid)[2]
-    deployment.network.register(
+    deployment.network.replace(
         victim, CorruptingEndpoint(deployment.nodes[victim])
     )
     result = deployment.query(pid, quality="good")
@@ -55,7 +55,7 @@ def test_crashed_participant_ends_walk_gracefully(distributed, products):
     deployment, record, _ = distributed
     pid = products[0]
     victim = record.path_of(pid)[1]
-    deployment.network.register(victim, CrashedEndpoint())
+    deployment.network.replace(victim, CrashedEndpoint())
     result = deployment.query(pid, quality="good")
     assert result.path == record.path_of(pid)[:1]  # stops, does not crash
 
@@ -66,7 +66,7 @@ def test_crashed_participant_in_bad_query_is_presumed_involved(
     deployment, record, _ = distributed
     pid = products[0]
     victim = record.path_of(pid)[1]
-    deployment.network.register(victim, CrashedEndpoint())
+    deployment.network.replace(victim, CrashedEndpoint())
     result = deployment.query(pid, quality="bad")
     # Cannot prove non-processing, refuses reveal: identified + violation.
     assert victim in result.path

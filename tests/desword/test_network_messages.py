@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.desword.errors import UnknownParticipantError
+from repro.desword.errors import ProtocolError, UnknownParticipantError
 from repro.desword.messages import (
     NextParticipantResponse,
     PocTransfer,
@@ -36,6 +36,42 @@ def test_unknown_recipient():
     net = SimNetwork()
     with pytest.raises(UnknownParticipantError):
         net.send("a", "ghost", PsBroadcast("x"))
+
+
+def test_duplicate_register_rejected():
+    """An identity cannot be silently shadowed by a second registration."""
+    net = SimNetwork()
+    first = Echo()
+    net.register("a", first)
+    with pytest.raises(ProtocolError):
+        net.register("a", Echo())
+    # The original endpoint is untouched by the failed attempt.
+    net.send("b", "a", PsBroadcast("ps"))
+    assert first.received
+
+
+def test_replace_swaps_endpoint():
+    net = SimNetwork()
+    first, second = Echo(), Echo()
+    net.register("a", first)
+    assert net.replace("a", second) is first
+    net.send("b", "a", PsBroadcast("ps"))
+    assert second.received and not first.received
+
+
+def test_replace_unknown_rejected():
+    net = SimNetwork()
+    with pytest.raises(UnknownParticipantError):
+        net.replace("ghost", Echo())
+
+
+def test_unregister_unknown_rejected():
+    net = SimNetwork()
+    net.register("a", Echo())
+    net.unregister("a")
+    assert not net.knows("a")
+    with pytest.raises(UnknownParticipantError):
+        net.unregister("a")
 
 
 def test_stats_accumulate():

@@ -57,6 +57,28 @@ def test_validate_rejects_dangling_pair(pocs):
         poc_list.validate()
 
 
+def test_validate_rejects_dangling_parent(pocs):
+    """The parent endpoint of a pair must hold a POC too."""
+    poc_list = PocList("t0", "ps", "v0")
+    poc_list.add_poc(pocs["v0"])
+    poc_list.add_poc(pocs["v1"])
+    poc_list.add_pair("v0", "v1")
+    poc_list.add_pair("vX", "v1")
+    with pytest.raises(PocListError, match="missing POC"):
+        poc_list.validate()
+
+
+def test_validate_rejects_poc_without_pairs(pocs):
+    """A POC that no pair connects can never be visited by a query."""
+    poc_list = PocList("t0", "ps", "v0")
+    poc_list.add_poc(pocs["v0"])
+    poc_list.add_poc(pocs["v1"])
+    poc_list.add_poc(pocs["v2"])
+    poc_list.add_pair("v0", "v1")  # v2 is isolated
+    with pytest.raises(PocListError, match="unreachable"):
+        poc_list.validate()
+
+
 def test_validate_rejects_unreachable(pocs):
     poc_list = PocList("t0", "ps", "v0")
     poc_list.add_poc(pocs["v0"])
@@ -104,6 +126,47 @@ def test_wire_rejects_trailing_bytes(pocs, merkle_scheme):
     wire = make_list(pocs).to_bytes(backend)
     with pytest.raises(PocListError):
         PocList.from_bytes(wire + b"x", backend.decode_commitment_bytes)
+
+
+def test_from_bytes_accepts_backend(pocs, merkle_scheme):
+    """The codec is symmetric: to_bytes(backend) / from_bytes(backend)."""
+    backend = merkle_scheme.backend
+    poc_list = make_list(pocs)
+    wire = poc_list.to_bytes(backend)
+    decoded = PocList.from_bytes(wire, backend)
+    assert decoded.to_bytes(backend) == wire
+    # The bare-callable shim still works for older call sites.
+    shimmed = PocList.from_bytes(wire, backend.decode_commitment_bytes)
+    assert shimmed.to_bytes(backend) == wire
+    with pytest.raises(TypeError):
+        PocList.from_bytes(wire, "not a backend")
+
+
+def test_full_roundtrip_preserves_pairs_digraph(merkle_scheme):
+    """Multi-parent DAG: every edge, adjacency, and byte survives a trip."""
+    rng = DeterministicRng("digraph")
+    names = ["v0", "v1", "v2", "v3", "v4"]
+    backend = merkle_scheme.backend
+    poc_list = PocList("tD", "ps", "v0")
+    for i, name in enumerate(names):
+        poc, _ = merkle_scheme.poc_agg({i: b"da"}, name, rng.fork(name))
+        poc_list.add_poc(poc)
+    edges = [("v0", "v1"), ("v0", "v2"), ("v1", "v3"), ("v2", "v3"), ("v3", "v4")]
+    for parent, child in edges:
+        poc_list.add_pair(parent, child)
+    poc_list.validate()
+
+    wire = poc_list.to_bytes(backend)
+    decoded = PocList.from_bytes(wire, backend)
+    decoded.validate()
+    assert decoded.task_id == "tD" and decoded.ps_id == "ps"
+    assert decoded.submitted_by == "v0"
+    assert decoded.pairs == set(edges)
+    for name in names:
+        assert decoded.children_of(name) == poc_list.children_of(name)
+        assert decoded.parents_of(name) == poc_list.parents_of(name)
+    assert decoded.parents_of("v3") == ["v1", "v2"]  # diamond joins survive
+    assert decoded.to_bytes(backend) == wire  # byte-identical re-encode
 
 
 def test_zk_commitment_roundtrip(zk_scheme, rng):

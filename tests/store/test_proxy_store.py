@@ -1,0 +1,243 @@
+"""ProxyStateStore: journaling, recovery, compaction, and proxy restore."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.desword.poclist import PocList
+from repro.desword.reputation import ScoreEvent
+from repro.store import RAW_CODEC, ProxyStateStore, StoreError
+from repro.store.snapshot import list_snapshots
+from repro.store.wal import RecordLog
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.supplychain.quality import IndependentQualityModel
+
+
+def make_poc_list(scheme, task_id="t0", names=("v0", "v1", "v2")):
+    rng = DeterministicRng("store/" + task_id)
+    poc_list = PocList(task_id, "ps", names[0])
+    for i, name in enumerate(names):
+        poc, _ = scheme.poc_agg({i: b"da"}, name, rng.fork(name))
+        poc_list.add_poc(poc)
+    for parent, child in zip(names, names[1:]):
+        poc_list.add_pair(parent, child)
+    return poc_list
+
+
+def fake_query_result(product_id=5, quality="good", task_id="t0"):
+    """The slice of QueryResult that record_query reads."""
+    return SimpleNamespace(
+        product_id=product_id,
+        quality=quality,
+        task_id=task_id,
+        path=["v0", "v1"],
+        violations=[SimpleNamespace(kind="refusal", participant_id="v1")],
+    )
+
+
+class TestJournalAndRecovery:
+    def test_reopen_rebuilds_identical_state(self, tmp_path, merkle_scheme):
+        backend = merkle_scheme.backend
+        poc_list = make_poc_list(merkle_scheme)
+        with ProxyStateStore.open(tmp_path, backend=backend) as store:
+            store.record_poc_list(poc_list)
+            store.record_award(ScoreEvent("v0", 1.0, "good-product-query", 5))
+            store.record_award(ScoreEvent("v1", -3.0, "violation", 5))
+            store.record_query(fake_query_result(), mode="good")
+            expected_state = store.state.to_bytes()
+            expected_wire = store.state.poc_lists["t0"]
+
+        recovered = ProxyStateStore.open(tmp_path, backend=backend)
+        assert recovered.state.to_bytes() == expected_state
+        assert recovered.state.applied == 4
+        assert recovered.poc_list("t0").to_bytes(backend) == expected_wire
+        assert recovered.state.scores() == {"v0": 1.0, "v1": -3.0}
+        query = recovered.state.queries[0]
+        assert query.mode == "good" and query.violations == (("refusal", "v1"),)
+        recovered.close()
+
+    def test_read_does_not_repair_or_append(self, tmp_path, merkle_scheme):
+        with ProxyStateStore.open(tmp_path, backend=merkle_scheme.backend) as store:
+            store.record_award(ScoreEvent("v0", 1.0, "r"))
+        log_path = tmp_path / "wal.log"
+        torn = log_path.read_bytes() + b"\x00\x01"  # torn partial frame
+        log_path.write_bytes(torn)
+
+        reader = ProxyStateStore.read(tmp_path)
+        assert reader.state.applied == 1
+        assert reader.recovery.dropped_bytes == 2
+        assert log_path.read_bytes() == torn  # file untouched
+        with pytest.raises(StoreError, match="read-only"):
+            reader.append_event(ScoreEvent("v0", 1.0, "r"))
+
+    def test_read_missing_store_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no store at"):
+            ProxyStateStore.read(tmp_path / "absent")
+
+    def test_open_repairs_torn_tail_then_resumes(self, tmp_path):
+        with ProxyStateStore.open(tmp_path) as store:
+            store.record_award(ScoreEvent("v0", 1.0, "r"))
+            store.record_award(ScoreEvent("v1", 2.0, "r"))
+        log_path = tmp_path / "wal.log"
+        data = log_path.read_bytes()
+        log_path.write_bytes(data[:-4])  # tear the second award
+
+        with ProxyStateStore.open(tmp_path) as store:
+            assert store.state.scores() == {"v0": 1.0}
+            assert store.recovery.dropped_bytes > 0
+            store.record_award(ScoreEvent("v2", 3.0, "r"))
+        reopened = ProxyStateStore.read(tmp_path)
+        assert reopened.state.scores() == {"v0": 1.0, "v2": 3.0}
+
+
+class TestSnapshotsAndCompaction:
+    def test_auto_compaction_threshold(self, tmp_path):
+        with ProxyStateStore.open(tmp_path, snapshot_every=4) as store:
+            for i in range(10):
+                store.record_award(ScoreEvent(f"v{i}", 1.0, "r"))
+            expected = store.state.to_bytes()
+        assert list_snapshots(tmp_path)  # compaction ran at least twice
+        recovered = ProxyStateStore.read(tmp_path)
+        assert recovered.state.to_bytes() == expected
+        assert recovered.recovery.snapshot_used
+        # The tail replay is shorter than the full ten-event history.
+        assert recovered.recovery.replayed < 10
+
+    def test_compacted_log_starts_after_snapshot(self, tmp_path):
+        with ProxyStateStore.open(tmp_path) as store:
+            for i in range(6):
+                store.record_award(ScoreEvent("v", 1.0, "r"))
+            store.compact()
+            store.record_award(ScoreEvent("w", 1.0, "r"))
+        recovered = ProxyStateStore.read(tmp_path)
+        assert recovered.recovery.snapshot_seqno == 6
+        assert recovered.recovery.log_base == 6
+        assert recovered.recovery.replayed == 1
+        assert recovered.state.applied == 7
+
+    def test_interrupted_compaction_overlap_is_skipped(self, tmp_path):
+        """Crash between snapshot-write and log-rewrite: the log still holds
+        frames the snapshot covers; recovery must not double-apply them."""
+        with ProxyStateStore.open(tmp_path) as store:
+            for i in range(5):
+                store.record_award(ScoreEvent("v", 1.0, "r"))
+            store.snapshot()  # checkpoint written, log NOT rewritten
+            expected = store.state.to_bytes()
+        recovered = ProxyStateStore.read(tmp_path)
+        assert recovered.recovery.snapshot_used
+        assert recovered.recovery.log_frames == 5
+        assert recovered.recovery.replayed == 0  # all covered, all skipped
+        assert recovered.state.to_bytes() == expected
+        assert recovered.state.scores() == {"v": 5.0}
+
+    def test_journal_gap_is_unrecoverable(self, tmp_path):
+        with ProxyStateStore.open(tmp_path) as store:
+            for i in range(3):
+                store.record_award(ScoreEvent("v", 1.0, "r"))
+            store.compact()
+        for snap in list_snapshots(tmp_path):
+            snap.unlink()  # lose the checkpoint the compacted log relies on
+        with pytest.raises(StoreError, match="journal gap"):
+            ProxyStateStore.open(tmp_path)
+
+
+class TestVerify:
+    def test_verify_reports_ok(self, tmp_path, merkle_scheme):
+        with ProxyStateStore.open(tmp_path, backend=merkle_scheme.backend) as store:
+            store.record_poc_list(make_poc_list(merkle_scheme))
+            store.record_award(ScoreEvent("v0", 1.0, "r"))
+            report = store.verify()
+        assert report["ok"]
+        assert report["events"]["poc_lists"] == 1
+        assert report["ledger_scores"] == {"v0": 1.0}
+        assert not report["errors"]
+
+    def test_verify_tolerates_torn_tail(self, tmp_path):
+        with ProxyStateStore.open(tmp_path) as store:
+            store.record_award(ScoreEvent("v0", 1.0, "r"))
+        log_path = tmp_path / "wal.log"
+        log_path.write_bytes(log_path.read_bytes() + b"\x99")
+        report = ProxyStateStore.read(tmp_path).verify()
+        assert report["ok"]
+        assert report["recovery"]["dropped_bytes"] == 1
+
+    def test_verify_flags_undecodable_frame(self, tmp_path):
+        with ProxyStateStore.open(tmp_path) as store:
+            store.record_award(ScoreEvent("v0", 1.0, "r"))
+            store.sync()
+            # A frame with a valid checksum but an unknown event tag —
+            # CRC-clean corruption that only event decoding can catch.
+            rogue, _ = RecordLog.open(tmp_path / "wal.log")
+            rogue.append(b"\xee not an event")
+            rogue.close()
+            report = store.verify()
+        assert not report["ok"]
+        assert any("unknown event tag" in error for error in report["errors"])
+
+
+class TestProxyIntegration:
+    @pytest.fixture()
+    def world(self, tmp_path, merkle_scheme):
+        chain = pharma_chain(DeterministicRng("store-int/chain"))
+        products = product_batch(DeterministicRng("store-int/p"), 6, 16)
+        state_dir = tmp_path / "state"
+
+        def build():
+            return Deployment.build(
+                chain,
+                merkle_scheme,
+                IndependentQualityModel(beta=0.0, seed="store-int/q"),
+                seed="store-int",
+                state_dir=str(state_dir),
+            )
+
+        return build, products, state_dir
+
+    def test_crash_and_rebuild_is_byte_identical(self, world, merkle_scheme):
+        build, products, state_dir = world
+        backend = merkle_scheme.backend
+        deployment = build()
+        record, _ = deployment.distribute(products)
+        result = deployment.query(products[0], quality="good")
+        assert result.found
+        task_id = record.task.task_id
+        wire_before = deployment.proxy.poc_lists[task_id].to_bytes(backend)
+        scores_before = {
+            p: deployment.proxy.reputation.score_of(p) for p in result.path
+        }
+        history_before = list(deployment.proxy.reputation.history)
+        deployment.proxy.store.close()  # "crash" after the journaled events
+
+        revived = build()  # same state_dir → restore before serving
+        proxy = revived.proxy
+        assert set(proxy.poc_lists) == {task_id}
+        assert proxy.poc_lists[task_id].to_bytes(backend) == wire_before
+        assert proxy.reputation.history == history_before
+        for participant_id, score in scores_before.items():
+            assert proxy.reputation.score_of(participant_id) == score
+        proxy.store.close()
+
+    def test_store_ledger_matches_live_engine(self, world):
+        build, products, _ = world
+        deployment = build()
+        deployment.distribute(products)
+        deployment.query(products[1], quality="good")
+        store = deployment.proxy.store
+        engine = store.reputation_engine()
+        assert engine.history == deployment.proxy.reputation.history
+        assert engine._scores == deployment.proxy.reputation._scores
+        store.close()
+
+    def test_distribute_after_restore_picks_fresh_task_id(self, world):
+        build, products, _ = world
+        deployment = build()
+        record, _ = deployment.distribute(products[:3])
+        deployment.proxy.store.close()
+
+        revived = build()
+        second, _ = revived.distribute(products[3:])
+        assert second.task.task_id != record.task.task_id
+        assert len(revived.proxy.poc_lists) == 2
+        revived.proxy.store.close()

@@ -1,0 +1,94 @@
+"""Snapshot files: atomic writes, retention, and corruption fallback."""
+
+import pytest
+
+from repro.store.snapshot import (
+    SNAPSHOTS_RETAINED,
+    SnapshotError,
+    list_snapshots,
+    load_latest_snapshot,
+    load_snapshot,
+    prune_snapshots,
+    snapshot_path,
+    write_snapshot,
+)
+
+
+def test_write_load_roundtrip(tmp_path):
+    payload = b"state-bytes" * 40
+    path = write_snapshot(tmp_path, 12, payload)
+    assert path == snapshot_path(tmp_path, 12)
+    assert load_snapshot(path) == (12, payload)
+
+
+def test_no_temp_file_left_behind(tmp_path):
+    write_snapshot(tmp_path, 3, b"abc")
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_list_snapshots_newest_first(tmp_path):
+    # Write out of order; every write prunes down to the newest two.
+    for seqno in (5, 1, 9):
+        write_snapshot(tmp_path, seqno, b"s%d" % seqno)
+    listed = list_snapshots(tmp_path)
+    assert [load_snapshot(p)[0] for p in listed] == [9, 5]
+
+
+def test_retention_keeps_newest_two(tmp_path):
+    for seqno in (1, 2, 3, 4):
+        write_snapshot(tmp_path, seqno, b"x")
+    listed = list_snapshots(tmp_path)
+    assert len(listed) == SNAPSHOTS_RETAINED == 2
+    assert [load_snapshot(p)[0] for p in listed] == [4, 3]
+
+
+def test_latest_falls_back_past_corrupt_generation(tmp_path):
+    write_snapshot(tmp_path, 10, b"older-good")
+    newest = write_snapshot(tmp_path, 20, b"newer-bad")
+    data = bytearray(newest.read_bytes())
+    data[-1] ^= 0xFF  # damage the newest payload
+    newest.write_bytes(bytes(data))
+    assert load_latest_snapshot(tmp_path) == (10, b"older-good")
+
+
+def test_latest_returns_none_when_empty_or_all_bad(tmp_path):
+    assert load_latest_snapshot(tmp_path) is None
+    snapshot_path(tmp_path, 1).write_bytes(b"garbage")
+    assert load_latest_snapshot(tmp_path) is None
+
+
+def test_load_rejects_truncation(tmp_path):
+    path = write_snapshot(tmp_path, 7, b"payload")
+    data = path.read_bytes()
+    path.write_bytes(data[:-2])
+    with pytest.raises(SnapshotError, match="truncated"):
+        load_snapshot(path)
+    path.write_bytes(data[:5])  # even the header is torn
+    with pytest.raises(SnapshotError, match="shorter"):
+        load_snapshot(path)
+
+
+def test_load_rejects_bad_magic_and_checksum(tmp_path):
+    path = write_snapshot(tmp_path, 7, b"payload")
+    data = bytearray(path.read_bytes())
+    flipped = bytearray(data)
+    flipped[0] = 0x00
+    path.write_bytes(bytes(flipped))
+    with pytest.raises(SnapshotError, match="magic"):
+        load_snapshot(path)
+    data[-1] ^= 0x01
+    path.write_bytes(bytes(data))
+    with pytest.raises(SnapshotError, match="checksum"):
+        load_snapshot(path)
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(SnapshotError, match="unreadable"):
+        load_snapshot(tmp_path / "absent.snap")
+
+
+def test_stray_files_ignored(tmp_path):
+    (tmp_path / "snapshot-notanumber.snap").write_bytes(b"junk")
+    (tmp_path / "unrelated.txt").write_bytes(b"junk")
+    write_snapshot(tmp_path, 2, b"real")
+    assert [load_snapshot(p)[0] for p in list_snapshots(tmp_path)] == [2]

@@ -148,6 +148,77 @@ def test_incentives_runs(capsys):
     assert "honest" in output and "delete" in output and "add" in output
 
 
+class TestStoreCommands:
+    @pytest.fixture()
+    def state_dir(self, tmp_path, capsys):
+        """A store populated by one evaluate run with --state-dir."""
+        directory = tmp_path / "proxy-state"
+        assert main(
+            ["evaluate", "--repeats", "1", "--state-dir", str(directory)]
+        ) == 0
+        capsys.readouterr()
+        return directory
+
+    def test_evaluate_reports_store_stats(self, tmp_path, capsys):
+        directory = tmp_path / "s"
+        assert main(
+            ["evaluate", "--repeats", "1", "--json", "--state-dir", str(directory)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        store = payload["protocol"]["store"]
+        assert store["applied"] > 0
+        assert store["poc_lists"] >= 1
+        assert (directory / "wal.log").exists()
+
+    def test_inspect(self, state_dir, capsys):
+        assert main(["store", "inspect", "--state-dir", str(state_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "state dir" in output
+        assert "POC lists" in output
+        assert "reputation:" in output
+
+    def test_inspect_json(self, state_dir, capsys):
+        assert main(["store", "inspect", "--state-dir", str(state_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["applied"] > 0
+        assert payload["tasks"]  # task_id -> participant count
+        assert payload["scores"]
+
+    def test_verify_ok(self, state_dir, capsys):
+        assert main(["store", "verify", "--state-dir", str(state_dir)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_json(self, state_dir, capsys):
+        assert main(["store", "verify", "--state-dir", str(state_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["errors"] == []
+        assert report["events"]["poc_lists"] >= 1
+
+    def test_compact_then_verify(self, state_dir, capsys):
+        assert main(["store", "compact", "--state-dir", str(state_dir)]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert list(state_dir.glob("snapshot-*.snap"))
+        assert main(["store", "verify", "--state-dir", str(state_dir)]) == 0
+
+    def test_verify_corrupt_store_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "wal.log").write_bytes(b"NOT A LOG FILE AT ALL")
+        assert main(["store", "verify", "--state-dir", str(bad)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_verify_missing_store_exits_nonzero(self, tmp_path, capsys):
+        assert main(["store", "verify", "--state-dir", str(tmp_path / "nope")]) == 1
+        assert "no store at" in capsys.readouterr().out
+
+    def test_verify_tolerates_torn_tail(self, state_dir, capsys):
+        log_path = state_dir / "wal.log"
+        log_path.write_bytes(log_path.read_bytes() + b"\x00\x01\x02")
+        assert main(["store", "verify", "--state-dir", str(state_dir)]) == 0
+        assert "torn tail dropped: 3 bytes" in capsys.readouterr().out
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
