@@ -28,6 +28,7 @@ ENGINE_JSON_PATH = Path(__file__).parent / "BENCH_engine.json"
 METRICS_JSON_PATH = Path(__file__).parent / "BENCH_metrics.json"
 MSM_JSON_PATH = Path(__file__).parent / "BENCH_msm.json"
 STORE_JSON_PATH = Path(__file__).parent / "BENCH_store.json"
+FAULTS_JSON_PATH = Path(__file__).parent / "BENCH_faults.json"
 
 # The paper's exact Table II grid (q^h >= 2^128).
 FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
@@ -122,6 +123,16 @@ def store_records():
     BENCH_store.json so CI's crash-recovery job can check the
     snapshot-beats-full-replay invariant without parsing other benches."""
     collector = _BenchRecords(STORE_JSON_PATH)
+    yield collector
+    collector.flush()
+
+
+@pytest.fixture(scope="session")
+def faults_records():
+    """Chaos rows (retry overhead, completion-vs-drop curve), merged into
+    BENCH_faults.json so CI's chaos job can check the zero-fault-overhead
+    and completion-under-loss invariants without parsing other benches."""
+    collector = _BenchRecords(FAULTS_JSON_PATH)
     yield collector
     collector.flush()
 

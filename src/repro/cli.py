@@ -71,23 +71,39 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _run_protocol_sample(
-    workers: int = 0, products: int = 6, state_dir: str | None = None
+    workers: int = 0,
+    products: int = 6,
+    state_dir: str | None = None,
+    fault_profile: "FaultProfile | None" = None,
 ) -> dict:
     """One small end-to-end pass: distribution phase + both query modes.
 
     Runs on the toy curve whatever ``evaluate``'s grid curve is, so the
     span tree always covers the distribution and query phases without
     making the metrics pass expensive.  With ``state_dir`` set, the
-    proxy journals everything to a durable store there.
+    proxy journals everything to a durable store there.  With a
+    ``fault_profile``, the pass runs over a fault-injecting network with
+    retries and quarantine armed, and reports what was injected.
     """
+    from .faults import BreakerPolicy, RetryPolicy
+
     seed = "cli-metrics"
-    config = DeSwordConfig(q=4, key_bits=32, seed=seed, workers=workers)
+    config = DeSwordConfig(
+        q=4, key_bits=32, seed=seed, workers=workers,
+        fault_profile=fault_profile,
+        retry=RetryPolicy() if fault_profile is not None else None,
+        breaker=BreakerPolicy() if fault_profile is not None else None,
+    )
     rng = DeterministicRng(seed)
+    network = config.build_network()
     deployment = Deployment.build(
         pharma_chain(rng.fork("chain")),
         config.build_scheme(),
         seed=seed,
         state_dir=state_dir,
+        network=network,
+        retry=config.retry,
+        breaker=config.breaker,
     )
     batch = product_batch(rng.fork("products"), products, 32)
     record, phase = deployment.distribute(batch)
@@ -102,6 +118,22 @@ def _run_protocol_sample(
         "query_path": list(interactive.path),
         "cache": deployment.engine.cache.stats(),
     }
+    if fault_profile is not None:
+        correct = sum(
+            1 for pid in batch
+            if deployment.query(pid).path == record.path_of(pid)
+        )
+        summary = network.fault_summary()
+        result["faults"] = {
+            "profile": fault_profile.to_dict(),
+            "injected": summary["injected"],
+            "ticks": summary["tick"],
+            "queries_correct": correct,
+            "queries_total": len(batch),
+            "breakers": deployment.proxy.breaker.snapshot()
+            if deployment.proxy.breaker is not None
+            else {},
+        }
     if deployment.proxy.store is not None:
         result["store"] = deployment.proxy.store.stats()
         deployment.proxy.store.close()
@@ -177,9 +209,16 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
     # One end-to-end protocol pass so the telemetry export always carries
     # a span tree covering the distribution and query phases.
+    fault_profile = None
+    if args.fault_profile:
+        from .faults import FaultProfile
+
+        fault_profile = FaultProfile.parse(args.fault_profile)
     with trace.span("evaluate.protocol", workers=engine.workers):
         protocol = _run_protocol_sample(
-            workers=args.workers, state_dir=args.state_dir
+            workers=args.workers,
+            state_dir=args.state_dir,
+            fault_profile=fault_profile,
         )
 
     if emit_json:
@@ -211,6 +250,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 {"generation": gen_series, "verification": ver_series},
             )
         )
+        if "faults" in protocol:
+            faults = protocol["faults"]
+            injected = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(faults["injected"].items())
+            ) or "none"
+            print(
+                f"\nchaos run: {faults['queries_correct']}/{faults['queries_total']} "
+                f"queries correct under faults ({injected})"
+            )
 
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
@@ -464,6 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--state-dir", metavar="DIR", default=None,
         help="journal the protocol pass's proxy state to a durable store",
+    )
+    evaluate.add_argument(
+        "--fault-profile", metavar="SPEC", default=None,
+        help="run the protocol pass under fault injection: a JSON profile "
+             "file or inline 'drop=0.1,dup=0.02,seed=run7,crash=ID@40-90'",
     )
     evaluate.set_defaults(func=_cmd_evaluate)
 

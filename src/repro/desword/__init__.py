@@ -30,12 +30,26 @@ from .detection import (
     CLAIM_PROCESSING,
     INVALID_PROOF,
     REFUSAL,
+    TIMEOUT,
+    UNRESPONSIVE,
     WRONG_NEXT,
     WRONG_TRACE,
     Violation,
 )
-from .distribution_phase import DistributionPhaseResult, run_distribution_phase
-from .errors import DeSwordError, PocListError, ProtocolError, UnknownParticipantError
+from .distribution_phase import (
+    DistributionPhaseResult,
+    DistributionResume,
+    run_distribution_phase,
+)
+from .errors import (
+    DeSwordError,
+    DistributionPhaseError,
+    NetworkTimeout,
+    ParticipantUnresponsiveError,
+    PocListError,
+    ProtocolError,
+    UnknownParticipantError,
+)
 from .experiment import Deployment
 from .incentives import (
     STRATEGIES,
@@ -98,8 +112,11 @@ __all__ = [
     "WRONG_NEXT",
     "REFUSAL",
     "INVALID_PROOF",
+    "TIMEOUT",
+    "UNRESPONSIVE",
     "run_distribution_phase",
     "DistributionPhaseResult",
+    "DistributionResume",
     "ContaminationLocalizationApp",
     "CounterfeitDetectionApp",
     "TargetedRecallApp",
@@ -129,4 +146,7 @@ __all__ = [
     "ProtocolError",
     "PocListError",
     "UnknownParticipantError",
+    "NetworkTimeout",
+    "ParticipantUnresponsiveError",
+    "DistributionPhaseError",
 ]

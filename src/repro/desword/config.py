@@ -13,10 +13,12 @@ from dataclasses import dataclass
 from ..crypto.bn import BNCurve, bn254, toy_bn
 from ..crypto.rng import DeterministicRng
 from ..engine import ProofEngine, resolve_executor
+from ..faults import BreakerPolicy, FaultProfile, FaultyNetwork, RetryPolicy
 from ..poc.scheme import PocScheme
 from ..zkedb.backend import ZkEdbBackend
 from ..zkedb.hash_backend import MerkleEdbBackend
 from ..zkedb.params import EdbParams
+from .network import SimNetwork
 from .reputation import ReputationPolicy
 
 __all__ = ["DeSwordConfig"]
@@ -37,9 +39,22 @@ class DeSwordConfig:
     # Execution policy: 0 or 1 keeps everything serial; N > 1 fans
     # proving/aggregation/verification out over N worker processes.
     workers: int = 0
+    # Chaos / resilience: an optional seeded fault plan for the network,
+    # plus retry and quarantine policies.  All default off, keeping the
+    # reliable path byte-identical to a config that predates them.
+    fault_profile: FaultProfile | None = None
+    retry: RetryPolicy | None = None
+    breaker: BreakerPolicy | None = None
 
     def curve(self) -> BNCurve:
         return bn254() if self.curve_kind == "bn254" else toy_bn()
+
+    def build_network(self) -> SimNetwork | FaultyNetwork:
+        """The deployment's wire: plain, or fault-injecting when profiled."""
+        inner = SimNetwork()
+        if self.fault_profile is not None and self.fault_profile.enabled:
+            return FaultyNetwork(inner, self.fault_profile)
+        return inner
 
     def reputation_policy(self) -> ReputationPolicy:
         return ReputationPolicy(

@@ -17,6 +17,8 @@ __all__ = [
     "WRONG_NEXT",
     "REFUSAL",
     "INVALID_PROOF",
+    "TIMEOUT",
+    "UNRESPONSIVE",
 ]
 
 CLAIM_NON_PROCESSING = "claim-non-processing"
@@ -25,6 +27,13 @@ WRONG_TRACE = "wrong-trace"
 WRONG_NEXT = "wrong-next-participant"
 REFUSAL = "refusal"
 INVALID_PROOF = "invalid-proof"
+# Non-response detections: a participant that strategically goes dark is
+# economically indistinguishable from one running the deletion strategy,
+# so the proxy attributes silence the same way (Section V's adversary may
+# simply not answer).  TIMEOUT is one exhausted request; UNRESPONSIVE is
+# a probe skipped because the participant's circuit breaker is open.
+TIMEOUT = "timeout"
+UNRESPONSIVE = "unresponsive"
 
 
 @dataclass(frozen=True)

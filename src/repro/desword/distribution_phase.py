@@ -5,21 +5,37 @@ their POCs and assemble the POC list: the initial participant broadcasts
 the public-parameter handle, every child transmits its POC to its parents
 to form POC pairs, all pairs flow back to the initial participant, and the
 composed list (ps, {(POC_vi, POC_vj)}) is submitted to the proxy.
+
+On an unreliable network every wire step runs through a
+:class:`~repro.faults.retry.ReliableChannel`; when even retries cannot get
+a message through, the phase raises
+:class:`~repro.desword.errors.DistributionPhaseError` carrying a
+:class:`DistributionResume` checkpoint, and a later re-run with that
+checkpoint skips the already-delivered steps instead of restarting — POC
+aggregation is deterministic per task, so the resumed list is
+byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..crypto.rng import DeterministicRng
+from ..faults.retry import ReliableChannel, RetryPolicy
 from ..obs import default_registry, get_logger, trace
 from ..supplychain.distribution import TaskRecord
+from .errors import DistributionPhaseError, NetworkTimeout
 from .messages import PocListSubmission, PocTransfer, PsBroadcast, PsRequest
 from .network import SimNetwork
 from .nodes import ParticipantNode
 from .poclist import PocList
 from .proxy import QueryProxy
 
-__all__ = ["DistributionPhaseResult", "run_distribution_phase"]
+__all__ = [
+    "DistributionPhaseResult",
+    "DistributionResume",
+    "run_distribution_phase",
+]
 
 _log = get_logger(__name__)
 
@@ -32,6 +48,24 @@ class DistributionPhaseResult:
     messages: int
     bytes_sent: int
     poc_sizes: dict[str, int]
+
+
+@dataclass
+class DistributionResume:
+    """Checkpoint of a stalled phase: which wire steps already happened.
+
+    ``epoch`` counts phase attempts, salting the retry channel's
+    idempotency ids so a resumed run never collides with ids the crashed
+    run already consumed.
+    """
+
+    task_id: str
+    epoch: int = 0
+    ps_id: str | None = None
+    ps_delivered: set[str] = field(default_factory=set)
+    transfers_done: set[tuple[str, str]] = field(default_factory=set)
+    reports_done: set[tuple[str, str]] = field(default_factory=set)
+    submitted: bool = False
 
 
 def shipments_from_record(record: TaskRecord) -> dict[str, dict[int, str | None]]:
@@ -58,6 +92,8 @@ def run_distribution_phase(
     network: SimNetwork,
     proxy: QueryProxy,
     ps_id: str = "ps",
+    retry: RetryPolicy | None = None,
+    resume: DistributionResume | None = None,
 ) -> DistributionPhaseResult:
     """Build and submit the POC list for one completed distribution task."""
     with trace.span(
@@ -66,7 +102,9 @@ def run_distribution_phase(
         participants=len(record.involved_participants),
         products=len(record.task.product_ids),
     ):
-        return _run_distribution_phase(nodes, record, network, proxy, ps_id)
+        return _run_distribution_phase(
+            nodes, record, network, proxy, ps_id, retry, resume
+        )
 
 
 def _run_distribution_phase(
@@ -75,81 +113,130 @@ def _run_distribution_phase(
     network: SimNetwork,
     proxy: QueryProxy,
     ps_id: str,
+    retry: RetryPolicy | None,
+    resume: DistributionResume | None,
 ) -> DistributionPhaseResult:
     before = (network.stats.messages, network.stats.bytes_sent)
+    task_id = record.task.task_id
     initial = record.task.initial_participant
     involved = record.involved_participants
     backend = nodes[initial].scheme.backend
 
+    if resume is None:
+        resume = DistributionResume(task_id)
+    elif resume.task_id != task_id:
+        raise ValueError(
+            f"resume checkpoint is for task {resume.task_id!r}, not {task_id!r}"
+        )
+    resume.epoch += 1
+    channel = ReliableChannel(
+        network, retry, DeterministicRng(f"dist/{task_id}/{resume.epoch}")
+    )
+
+    def _wire(op, *args):
+        """Run one networked step, converting exhaustion into a resumable stall."""
+        try:
+            return op(*args)
+        except NetworkTimeout as exc:
+            default_registry().counter("distribution.stalls").inc()
+            raise DistributionPhaseError(task_id, resume, str(exc)) from exc
+
     # Step 1: the initial participant requests ps from the proxy, then
     # broadcasts the handle to the other involved participants.
-    response = network.request(initial, proxy.identity, PsRequest(record.task.task_id))
-    if isinstance(response, PsBroadcast):
-        ps_id = response.ps_id
+    if resume.ps_id is None:
+        response = _wire(
+            channel.request, initial, proxy.identity, PsRequest(task_id)
+        )
+        resume.ps_id = response.ps_id if isinstance(response, PsBroadcast) else ps_id
+    ps_id = resume.ps_id
     for participant_id in involved:
-        if participant_id != initial:
-            network.send(initial, participant_id, PsBroadcast(ps_id))
+        if participant_id != initial and participant_id not in resume.ps_delivered:
+            _wire(channel.send, initial, participant_id, PsBroadcast(ps_id))
+            resume.ps_delivered.add(participant_id)
 
     # Step 2: every involved participant builds its POC and learns its
     # shipping log from the completed physical flow.  The aggregations are
     # independent, so they run through the scheme's engine in one batch —
     # in parallel when a process-pool executor is configured.  Each node's
     # randomness comes from its own rng fork, so the credentials are
-    # byte-identical to the per-node serial path.
+    # byte-identical to the per-node serial path — including on a resumed
+    # run, where already-credentialed nodes just reuse their POC.
     logs = shipments_from_record(record)
     traces_by_pid = {}
     rngs = {}
     priors = {}
+    pocs = {}
+    to_aggregate = []
     for participant_id in involved:
         node = nodes[participant_id]
         node.record_shipments(logs.get(participant_id, {}))
-        committed, rng = node.poc_input(record.task.task_id)
+        existing = node.poc_for_task(task_id)
+        if existing is not None:
+            pocs[participant_id] = existing
+            continue
+        to_aggregate.append(participant_id)
+        committed, rng = node.poc_input(task_id)
         traces_by_pid[participant_id] = committed
         rngs[participant_id] = rng
         # A participant's POC for task k+1 commits a superset of its task-k
         # traces, so the previous DPOC seeds an incremental recommit.
         priors[participant_id] = node.latest_dpoc()
     scheme = nodes[initial].scheme
-    with trace.span("distribution.poc_agg", participants=len(involved)):
-        aggregated = scheme.poc_agg_many(traces_by_pid, rngs=rngs, priors=priors)
-    pocs = {}
-    poc_sizes = {}
-    for participant_id in involved:
-        poc, dpoc = aggregated[participant_id]
-        nodes[participant_id].accept_credential(
-            poc, dpoc, traces_by_pid[participant_id], record.task.task_id
-        )
-        pocs[participant_id] = poc
-        poc_sizes[participant_id] = len(poc.to_bytes(backend))
+    if to_aggregate:
+        with trace.span("distribution.poc_agg", participants=len(to_aggregate)):
+            aggregated = scheme.poc_agg_many(traces_by_pid, rngs=rngs, priors=priors)
+        for participant_id in to_aggregate:
+            poc, dpoc = aggregated[participant_id]
+            nodes[participant_id].accept_credential(
+                poc, dpoc, traces_by_pid[participant_id], task_id
+            )
+            pocs[participant_id] = poc
+    poc_sizes = {
+        participant_id: len(pocs[participant_id].to_bytes(backend))
+        for participant_id in involved
+    }
     metrics = default_registry()
-    metrics.counter("distribution.pocs_aggregated").inc(len(involved))
+    metrics.counter("distribution.pocs_aggregated").inc(len(to_aggregate))
     metrics.counter("distribution.bytes_committed").inc(sum(poc_sizes.values()))
 
     # Step 3: children transmit POCs to parents to construct POC pairs.
     relations = edges_used(record)
     for parent, child in sorted(relations):
-        network.send(
-            child, parent, PocTransfer(child, pocs[child].to_bytes(backend))
+        if (parent, child) in resume.transfers_done:
+            continue
+        _wire(
+            channel.send,
+            child,
+            parent,
+            PocTransfer(child, pocs[child].to_bytes(backend)),
         )
+        resume.transfers_done.add((parent, child))
 
     # Step 4: pairs flow to the initial participant, who composes the list.
-    poc_list = PocList(record.task.task_id, ps_id, initial)
+    poc_list = PocList(task_id, ps_id, initial)
     for participant_id in involved:
         poc_list.add_poc(pocs[participant_id])
     for parent, child in sorted(relations):
-        if parent != initial:
-            network.send(
-                parent, initial, PocTransfer(parent, pocs[parent].to_bytes(backend), 1)
+        if parent != initial and (parent, child) not in resume.reports_done:
+            _wire(
+                channel.send,
+                parent,
+                initial,
+                PocTransfer(parent, pocs[parent].to_bytes(backend), 1),
             )
+            resume.reports_done.add((parent, child))
         poc_list.add_pair(parent, child)
 
     # Step 5: submission to the proxy.
-    network.send(
-        initial,
-        proxy.identity,
-        PocListSubmission(record.task.task_id, poc_list.size_bytes(backend)),
-    )
-    proxy.receive_poc_list(poc_list)
+    if not resume.submitted:
+        _wire(
+            channel.send,
+            initial,
+            proxy.identity,
+            PocListSubmission(task_id, poc_list.size_bytes(backend)),
+        )
+        proxy.receive_poc_list(poc_list)
+        resume.submitted = True
     if proxy.store is not None:
         # A completed distribution task is a durability point: the list
         # (journaled by the proxy on acceptance) must survive a crash
@@ -166,6 +253,6 @@ def _run_distribution_phase(
     )
     _log.info(
         "distribution task %r: %d POCs, %d msgs, %d bytes",
-        record.task.task_id, len(involved), result.messages, result.bytes_sent,
+        task_id, len(involved), result.messages, result.bytes_sent,
     )
     return result

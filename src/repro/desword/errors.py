@@ -7,6 +7,9 @@ __all__ = [
     "ProtocolError",
     "UnknownParticipantError",
     "PocListError",
+    "NetworkTimeout",
+    "ParticipantUnresponsiveError",
+    "DistributionPhaseError",
 ]
 
 
@@ -24,3 +27,35 @@ class UnknownParticipantError(DeSwordError):
 
 class PocListError(DeSwordError):
     """A POC list failed structural validation."""
+
+
+class NetworkTimeout(DeSwordError):
+    """A message was lost in flight (drop, partition, crashed endpoint).
+
+    In the synchronous simulator this is how non-delivery surfaces: the
+    sender waited out its deadline and heard nothing.  The retry layer
+    catches it and backs off; callers without a retry policy see a single
+    failed attempt.
+    """
+
+
+class ParticipantUnresponsiveError(NetworkTimeout):
+    """Retries exhausted: the recipient never answered within the deadline.
+
+    Subclasses :class:`NetworkTimeout` so callers that tolerate one lost
+    message tolerate a dead participant the same way.
+    """
+
+
+class DistributionPhaseError(DeSwordError):
+    """The distribution phase could not complete a networked step.
+
+    Carries the :class:`~repro.desword.distribution_phase.DistributionResume`
+    checkpoint so a re-run can pick up where the phase stopped instead of
+    redoing (and double-counting) the completed steps.
+    """
+
+    def __init__(self, task_id: str, resume, detail: str):
+        super().__init__(f"distribution task {task_id!r} stalled: {detail}")
+        self.task_id = task_id
+        self.resume = resume

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..crypto.rng import DeterministicRng
+from ..faults import BreakerPolicy, FaultyNetwork, RetryPolicy
 from ..poc.scheme import PocScheme
 from ..supplychain.distribution import (
     DistributionTask,
@@ -19,7 +20,11 @@ from ..supplychain.distribution import (
 from ..supplychain.generator import GeneratedChain
 from ..supplychain.quality import IndependentQualityModel, QualityOracle
 from .adversary import HONEST, Behavior
-from .distribution_phase import DistributionPhaseResult, run_distribution_phase
+from .distribution_phase import (
+    DistributionPhaseResult,
+    DistributionResume,
+    run_distribution_phase,
+)
 from .network import SimNetwork
 from .nodes import ParticipantNode
 from .proxy import QueryProxy, QueryResult
@@ -34,11 +39,12 @@ class Deployment:
 
     chain: GeneratedChain
     scheme: PocScheme
-    network: SimNetwork
+    network: SimNetwork | FaultyNetwork
     nodes: dict[str, ParticipantNode]
     proxy: QueryProxy
     rng: DeterministicRng
     task_records: dict[str, TaskRecord] = field(default_factory=dict)
+    retry_policy: RetryPolicy | None = None
 
     @classmethod
     def build(
@@ -50,15 +56,23 @@ class Deployment:
         policy: ReputationPolicy | None = None,
         seed: str = "deployment",
         state_dir: str | None = None,
+        network: SimNetwork | FaultyNetwork | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerPolicy | None = None,
     ) -> "Deployment":
         """Assemble a world; ``state_dir`` attaches a durable state store.
 
         When the directory already holds journaled state, the proxy is
         restored from it before serving — crash recovery is just
         ``Deployment.build`` pointed back at the same directory.
+
+        Chaos runs pass an explicit ``network`` (usually
+        ``DeSwordConfig.build_network()``, a fault-injecting wrapper) and
+        resilience policies: ``retry`` governs every node→proxy and
+        proxy→node exchange, ``breaker`` arms per-participant quarantine.
         """
         rng = DeterministicRng(seed)
-        network = SimNetwork()
+        network = network if network is not None else SimNetwork()
         oracle = oracle or IndependentQualityModel(beta=0.05, seed=seed)
         behaviors = behaviors or {}
         nodes = {}
@@ -76,10 +90,15 @@ class Deployment:
             from ..store import ProxyStateStore
 
             store = ProxyStateStore.open(state_dir, backend=scheme.backend)
-        proxy = QueryProxy(scheme, network, oracle, policy, store=store)
+        proxy = QueryProxy(
+            scheme, network, oracle, policy, store=store,
+            retry=retry, breaker=breaker,
+        )
         if store is not None and store.state.applied:
             proxy.load_from_store()
-        return cls(chain, scheme, network, nodes, proxy, rng)
+        return cls(
+            chain, scheme, network, nodes, proxy, rng, retry_policy=retry
+        )
 
     def set_behavior(self, participant_id: str, behavior: Behavior) -> None:
         """Assign a behaviour before the distribution phase runs."""
@@ -118,9 +137,25 @@ class Deployment:
         )
         self.task_records[task_id] = record
         phase = run_distribution_phase(
-            self.nodes, record, self.network, self.proxy
+            self.nodes, record, self.network, self.proxy,
+            retry=self.retry_policy,
         )
         return record, phase
+
+    def resume_distribution(
+        self, task_id: str, resume: DistributionResume
+    ) -> DistributionPhaseResult:
+        """Re-run a stalled distribution phase from its checkpoint.
+
+        The physical flow already happened (``task_records`` has it); only
+        the wire steps the checkpoint says are missing get re-sent, so the
+        resulting POC list is byte-identical to an uninterrupted run.
+        """
+        record = self.task_records[task_id]
+        return run_distribution_phase(
+            self.nodes, record, self.network, self.proxy,
+            retry=self.retry_policy, resume=resume,
+        )
 
     def query(self, product_id: int, quality: str | None = None) -> QueryResult:
         """The paper's interactive path query for one product."""

@@ -34,13 +34,24 @@ _HEADER_BYTES = 16  # message type + routing header, flat accounting
 
 @dataclass(frozen=True)
 class Message:
-    """Base message; subclasses define payload size."""
+    """Base message; subclasses define payload size.
+
+    ``msg_id`` is an optional idempotency id stamped by the retry layer on
+    unreliable networks: endpoints cache their response per id, so a
+    duplicated or retried delivery is answered once.  It is keyword-only
+    (so subclass field order is unaffected), excluded from equality, and
+    costs wire bytes only when set — plain reliable runs never stamp it,
+    keeping their byte accounting unchanged.
+    """
+
+    msg_id: str | None = field(default=None, compare=False, kw_only=True)
 
     def payload_bytes(self) -> int:
         return 0
 
     def size_bytes(self) -> int:
-        return _HEADER_BYTES + self.payload_bytes()
+        overhead = len(self.msg_id.encode()) if self.msg_id else 0
+        return _HEADER_BYTES + overhead + self.payload_bytes()
 
     @property
     def kind(self) -> str:

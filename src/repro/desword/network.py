@@ -32,6 +32,17 @@ class LatencyModel:
     base_ms: float = 1.0
     bandwidth_bytes_per_ms: float = 125_000.0  # ~1 Gbps
 
+    def __post_init__(self):
+        # A zero bandwidth silently turns every latency into inf, which
+        # poisons downstream simulated-time arithmetic; reject it here.
+        if self.base_ms < 0:
+            raise ValueError(f"base_ms must be >= 0, got {self.base_ms}")
+        if self.bandwidth_bytes_per_ms <= 0:
+            raise ValueError(
+                "bandwidth_bytes_per_ms must be > 0, "
+                f"got {self.bandwidth_bytes_per_ms}"
+            )
+
     def latency_for(self, size_bytes: int) -> float:
         return self.base_ms + size_bytes / self.bandwidth_bytes_per_ms
 
@@ -44,12 +55,17 @@ class NetworkStats:
     bytes_sent: int = 0
     simulated_ms: float = 0.0
     per_kind: dict[str, int] = field(default_factory=dict)
+    bytes_per_kind: dict[str, int] = field(default_factory=dict)
 
     def record(self, message: Message, latency_ms: float) -> None:
+        size = message.size_bytes()
         self.messages += 1
-        self.bytes_sent += message.size_bytes()
+        self.bytes_sent += size
         self.simulated_ms += latency_ms
         self.per_kind[message.kind] = self.per_kind.get(message.kind, 0) + 1
+        self.bytes_per_kind[message.kind] = (
+            self.bytes_per_kind.get(message.kind, 0) + size
+        )
 
     def snapshot(self) -> dict:
         return {
@@ -57,6 +73,7 @@ class NetworkStats:
             "bytes_sent": self.bytes_sent,
             "simulated_ms": round(self.simulated_ms, 3),
             "per_kind": dict(self.per_kind),
+            "bytes_per_kind": dict(self.bytes_per_kind),
         }
 
 
@@ -119,6 +136,20 @@ class SimNetwork:
             tap(sender, recipient, message)
         return self._endpoints[recipient].handle_message(sender, message)
 
+    def deliver(self, sender: str, recipient: str, message: Message) -> Message | None:
+        """One accounted delivery leg; the response is returned unaccounted.
+
+        Wrappers that manage request/response legs themselves (fault
+        injection, duplication) build on this plus :meth:`account`.
+        """
+        return self._deliver(sender, recipient, message)
+
+    def account(self, sender: str, recipient: str, message: Message) -> None:
+        """Account (and tap) one delivered message without invoking a handler."""
+        self._account(message)
+        for tap in self._taps:
+            tap(sender, recipient, message)
+
     def send(self, sender: str, recipient: str, message: Message) -> None:
         """One-way delivery (response, if any, is discarded)."""
         self._deliver(sender, recipient, message)
@@ -127,9 +158,7 @@ class SimNetwork:
         """Round trip: deliver and account the response as well."""
         response = self._deliver(sender, recipient, message)
         if response is not None:
-            self._account(response)
-            for tap in self._taps:
-                tap(recipient, sender, response)
+            self.account(recipient, sender, response)
         return response
 
     def reset_stats(self) -> NetworkStats:

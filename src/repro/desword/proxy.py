@@ -21,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..crypto.rng import DeterministicRng
+from ..faults.breaker import BreakerPolicy, CircuitBreaker
+from ..faults.retry import ReliableChannel, RetryPolicy
 from ..obs import default_registry, get_logger, trace
 from ..poc.scheme import (
     NON_OWNERSHIP,
@@ -35,11 +38,13 @@ from .detection import (
     CLAIM_PROCESSING,
     INVALID_PROOF,
     REFUSAL,
+    TIMEOUT,
+    UNRESPONSIVE,
     WRONG_NEXT,
     WRONG_TRACE,
     Violation,
 )
-from .errors import PocListError
+from .errors import NetworkTimeout, PocListError
 from .messages import (
     BAD_QUERY,
     GOOD_QUERY,
@@ -59,6 +64,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["QueryProxy", "QueryResult", "ProbeOutcome"]
 
 _log = get_logger(__name__)
+
+# Sentinel distinguishing "the request timed out" from a None response.
+_TIMED_OUT = object()
 
 
 @dataclass(frozen=True)
@@ -113,12 +121,27 @@ class QueryProxy:
         policy: ReputationPolicy | None = None,
         identity: str = "proxy",
         store: "ProxyStateStore | None" = None,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerPolicy | None = None,
     ):
         self.scheme = scheme
         self.network = network
         self.oracle = oracle
         self.identity = identity
         self.store = store
+        # Every outbound request goes through a reliable channel: retries
+        # with deterministic backoff when a policy is set, a pure
+        # pass-through (byte-identical wire) when it is not.
+        self.channel = ReliableChannel(
+            network, retry, DeterministicRng(f"retry/{identity}")
+        )
+        # Per-participant quarantine: consecutive wire-level failures open
+        # the circuit, clocked on the network's simulated milliseconds.
+        self.breaker = (
+            CircuitBreaker(breaker, lambda: network.stats.simulated_ms)
+            if breaker is not None
+            else None
+        )
         # With a durable store attached, every award is journaled the
         # moment the engine applies it (the sink fires inside award()).
         sink = store.record_award if store is not None else None
@@ -190,6 +213,34 @@ class QueryProxy:
             return PsBroadcast("ps")
         return None
 
+    # -- resilient requests --------------------------------------------------------
+
+    def _request(self, recipient: str, message):
+        """One logical request; ``_TIMED_OUT`` when retries were exhausted.
+
+        Without a retry policy a lossy network gets exactly one attempt,
+        so the timeout semantics are uniform either way.
+        """
+        try:
+            return self.channel.request(self.identity, recipient, message)
+        except NetworkTimeout:
+            default_registry().counter("proxy.request_timeouts").inc()
+            return _TIMED_OUT
+
+    def _breaker_failure(self, participant_id: str) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure(participant_id)
+
+    def _breaker_success(self, participant_id: str) -> None:
+        if self.breaker is not None:
+            self.breaker.record_success(participant_id)
+
+    def _quarantined(self, participant_id: str) -> bool:
+        if self.breaker is None or self.breaker.allow(participant_id):
+            return False
+        default_registry().counter("proxy.breaker.skips").inc()
+        return True
+
     # -- probing one participant ---------------------------------------------------
 
     def _probe(
@@ -213,11 +264,38 @@ class QueryProxy:
         :meth:`sweep_query` verify a whole round in one batch.
         """
         metrics = default_registry()
+        pending = _PendingProbe(participant_id, poc, kind, product_id)
+        if self._quarantined(participant_id):
+            # Circuit open: don't spend retries on a dark participant —
+            # attribute the silence exactly like the deletion strategy.
+            violation = Violation(
+                UNRESPONSIVE,
+                participant_id,
+                product_id,
+                "quarantined: circuit breaker open",
+            )
+            pending.outcome = ProbeOutcome(
+                participant_id, kind == BAD_QUERY, violations=(violation,)
+            )
+            return pending
         metrics.counter("query.probes", kind=kind).inc()
         request = QueryRequest(kind, product_id, poc.to_bytes(self.scheme.backend))
-        response = self.network.request(self.identity, participant_id, request)
-        pending = _PendingProbe(participant_id, poc, kind, product_id)
+        response = self._request(participant_id, request)
+        if response is _TIMED_OUT:
+            metrics.counter("query.timeouts", kind=kind).inc()
+            self._breaker_failure(participant_id)
+            # A bad-product query presumes involvement on silence (the
+            # participant cannot show non-ownership); a good-product one
+            # simply cannot identify the participant.
+            violation = Violation(
+                TIMEOUT, participant_id, product_id, "no response within deadline"
+            )
+            pending.outcome = ProbeOutcome(
+                participant_id, kind == BAD_QUERY, violations=(violation,)
+            )
+            return pending
         if not isinstance(response, ProofResponse) or response.refused:
+            self._breaker_success(participant_id)  # a refusal is still an answer
             metrics.counter("query.refusals", kind=kind).inc()
             if kind == BAD_QUERY:
                 # Cannot show non-ownership: treated as having processed it.
@@ -230,6 +308,8 @@ class QueryProxy:
             participant_id, product_id, response.proof_bytes
         )
         if proof is None:
+            # Wire-level garbage counts toward quarantine like a timeout.
+            self._breaker_failure(participant_id)
             if kind == BAD_QUERY:
                 pending.outcome = self._demand_reveal(
                     participant_id, poc, product_id, (parse_violation,)
@@ -239,6 +319,7 @@ class QueryProxy:
                     participant_id, False, violations=(parse_violation,)
                 )
             return pending
+        self._breaker_success(participant_id)
         pending.proof = proof
         return pending
 
@@ -294,9 +375,15 @@ class QueryProxy:
     ) -> ProbeOutcome:
         """Bad-product step 2: require the ownership proof (Section IV.C)."""
         default_registry().counter("query.blame_reveals").inc()
-        response = self.network.request(
-            self.identity, participant_id, RevealRequest(product_id)
-        )
+        response = self._request(participant_id, RevealRequest(product_id))
+        if response is _TIMED_OUT:
+            self._breaker_failure(participant_id)
+            violation = Violation(
+                TIMEOUT, participant_id, product_id, "ownership reveal timed out"
+            )
+            return ProbeOutcome(
+                participant_id, True, violations=prior + (violation,)
+            )
         if not isinstance(response, ProofResponse) or response.refused:
             violation = Violation(
                 REFUSAL, participant_id, product_id, "refused ownership reveal"
@@ -392,14 +479,27 @@ class QueryProxy:
         current = start
         visited = {start}
         while True:
-            response = self.network.request(
-                self.identity, current, NextParticipantRequest(product_id)
-            )
-            claimed = (
-                response.next_participant
-                if isinstance(response, NextParticipantResponse)
-                else None
-            )
+            response = self._request(current, NextParticipantRequest(product_id))
+            if response is _TIMED_OUT:
+                # The hop already proved ownership; its silence on the
+                # next-pointer is attributable, and the POC-list child
+                # scan below still lets the walk continue without it.
+                self._breaker_failure(current)
+                result.violations.append(
+                    Violation(
+                        TIMEOUT,
+                        current,
+                        product_id,
+                        "next-participant request timed out",
+                    )
+                )
+                claimed = None
+            else:
+                claimed = (
+                    response.next_participant
+                    if isinstance(response, NextParticipantResponse)
+                    else None
+                )
 
             candidates: list[str] = []
             claimed_is_pair = claimed is not None and poc_list.has_pair(current, claimed)

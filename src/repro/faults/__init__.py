@@ -1,0 +1,46 @@
+"""Deterministic chaos for the protocol stack.
+
+FoundationDB-style simulation testing for DE-Sword: every fault — drops,
+duplicates, delays, payload corruption, partitions, scripted endpoint
+crashes — is drawn from a seeded :class:`~repro.crypto.rng.DeterministicRng`
+according to a declarative :class:`FaultProfile`, so a failing chaos run
+reproduces byte-for-byte from its seed.  Three layers:
+
+* :mod:`repro.faults.profile` — the :class:`FaultProfile` config (global
+  rates, per-edge/per-kind :class:`EdgeRule` overrides, scripted
+  :class:`Partition` windows and :class:`CrashEvent` schedules), with a
+  CLI-friendly ``parse()`` accepting JSON files or ``k=v`` specs;
+* :mod:`repro.faults.network` — :class:`FaultyNetwork`, a
+  :class:`~repro.desword.network.SimNetwork`-compatible wrapper that
+  injects the plan on every wire leg and deduplicates redelivered
+  requests by idempotency id;
+* :mod:`repro.faults.retry` / :mod:`repro.faults.breaker` — the
+  resilience counterpart: :class:`RetryPolicy`-driven
+  :class:`ReliableChannel` (exponential backoff, deterministic jitter,
+  simulated-ms deadlines) and the proxy's per-participant
+  :class:`CircuitBreaker` quarantine.
+
+Everything meters through :mod:`repro.obs` (``faults.injected``,
+``net.retries``, ``net.timeouts``, ``proxy.breaker.*``).
+"""
+
+from .breaker import BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN, BreakerPolicy, CircuitBreaker
+from .network import FaultyNetwork, corrupt_message
+from .profile import CrashEvent, EdgeRule, FaultProfile, Partition
+from .retry import ReliableChannel, RetryPolicy
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CrashEvent",
+    "EdgeRule",
+    "FaultProfile",
+    "FaultyNetwork",
+    "Partition",
+    "ReliableChannel",
+    "RetryPolicy",
+    "corrupt_message",
+]

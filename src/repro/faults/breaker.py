@@ -1,0 +1,134 @@
+"""Per-participant circuit breakers: the proxy's quarantine.
+
+A participant that keeps timing out (or answering garbage) is costing the
+proxy retries on every probe.  The breaker trips after
+``failure_threshold`` consecutive wire-level failures: probes are then
+skipped outright — attributed as ``UNRESPONSIVE`` so silence keeps
+feeding the reputation engine — until ``cooldown_ms`` of simulated time
+has passed, at which point one half-open probe is allowed through.  A
+successful probe closes the circuit; a failed one re-opens it.
+
+The clock is injected (the proxy passes the network's simulated-ms
+counter), so breaker behaviour is as deterministic as everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..obs import default_registry, get_logger
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+_log = get_logger(__name__)
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+# Gauge encoding for proxy.breaker.state{participant=...}.
+_STATE_VALUE = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to open, how long to stay open, how to probe back closed."""
+
+    failure_threshold: int = 3
+    cooldown_ms: float = 500.0
+    half_open_probes: int = 1
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_ms <= 0:
+            raise ValueError(f"cooldown_ms must be > 0, got {self.cooldown_ms}")
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machines, one per participant."""
+
+    def __init__(self, policy: BreakerPolicy, clock: Callable[[], float]):
+        self.policy = policy
+        self.clock = clock
+        self._state: dict[str, str] = {}
+        self._consecutive_failures: dict[str, int] = {}
+        self._open_until: dict[str, float] = {}
+        self._probe_successes: dict[str, int] = {}
+
+    def state_of(self, participant_id: str) -> str:
+        self._maybe_half_open(participant_id)
+        return self._state.get(participant_id, BREAKER_CLOSED)
+
+    def allow(self, participant_id: str) -> bool:
+        """Whether the proxy should spend a probe on this participant."""
+        return self.state_of(participant_id) != BREAKER_OPEN
+
+    def record_success(self, participant_id: str) -> None:
+        # Fast path: an untripped participant with no failure streak is the
+        # steady state — successes there must cost two dict reads, nothing more.
+        if self._consecutive_failures.get(participant_id):
+            self._consecutive_failures[participant_id] = 0
+        if self._state.get(participant_id, BREAKER_CLOSED) == BREAKER_CLOSED:
+            return
+        state = self.state_of(participant_id)
+        if state == BREAKER_HALF_OPEN:
+            self._probe_successes[participant_id] = (
+                self._probe_successes.get(participant_id, 0) + 1
+            )
+            if self._probe_successes[participant_id] >= self.policy.half_open_probes:
+                self._transition(participant_id, BREAKER_CLOSED)
+
+    def record_failure(self, participant_id: str) -> None:
+        state = self.state_of(participant_id)
+        if state == BREAKER_HALF_OPEN:
+            self._trip(participant_id)  # the probe failed: straight back open
+            return
+        failures = self._consecutive_failures.get(participant_id, 0) + 1
+        self._consecutive_failures[participant_id] = failures
+        if failures >= self.policy.failure_threshold:
+            self._trip(participant_id)
+
+    def snapshot(self) -> dict[str, str]:
+        """Current state per participant the breaker has ever tracked."""
+        return {pid: self.state_of(pid) for pid in sorted(self._state)}
+
+    # -- internals ---------------------------------------------------------------
+
+    def _maybe_half_open(self, participant_id: str) -> None:
+        if (
+            self._state.get(participant_id) == BREAKER_OPEN
+            and self.clock() >= self._open_until[participant_id]
+        ):
+            self._probe_successes[participant_id] = 0
+            self._transition(participant_id, BREAKER_HALF_OPEN)
+
+    def _trip(self, participant_id: str) -> None:
+        self._open_until[participant_id] = self.clock() + self.policy.cooldown_ms
+        self._consecutive_failures[participant_id] = 0
+        default_registry().counter("proxy.breaker.opened").inc()
+        self._transition(participant_id, BREAKER_OPEN)
+
+    def _transition(self, participant_id: str, state: str) -> None:
+        if self._state.get(participant_id, BREAKER_CLOSED) == state:
+            return
+        self._state[participant_id] = state
+        metrics = default_registry()
+        metrics.gauge("proxy.breaker.state", participant=participant_id).set(
+            _STATE_VALUE[state]
+        )
+        metrics.counter("proxy.breaker.transitions", to=state).inc()
+        _log.info("breaker for %r -> %s", participant_id, state)

@@ -1,0 +1,282 @@
+"""A fault-injecting wrapper over the deterministic network simulator.
+
+:class:`FaultyNetwork` presents the :class:`~repro.desword.network.SimNetwork`
+surface (register/replace/send/request/stats/taps) while running every
+wire leg through a seeded fault plan.  Losses surface as
+:class:`~repro.desword.errors.NetworkTimeout` — the synchronous
+equivalent of a sender waiting out its deadline — so the retry layer and
+the proxy's timeout handling see exactly what a real lossy fabric would
+give them.
+
+Endpoints registered through the wrapper are shimmed with an idempotency
+cache: a request carrying a ``msg_id`` that was already answered returns
+the cached response without re-invoking the handler, which is what makes
+retries and duplicate deliveries safe (at-most-once processing on an
+at-least-once wire).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from ..crypto.rng import DeterministicRng
+from ..desword.errors import NetworkTimeout
+from ..desword.messages import (
+    Message,
+    NextParticipantResponse,
+    PocTransfer,
+    ProofResponse,
+    QueryRequest,
+)
+from ..desword.network import Endpoint, NetworkStats, SimNetwork
+from ..obs import default_registry, get_logger
+from .profile import FaultProfile
+
+__all__ = ["FaultyNetwork", "DownEndpoint", "corrupt_message"]
+
+_log = get_logger(__name__)
+
+
+def _flip_byte(data: bytes, rng: DeterministicRng) -> bytes:
+    index = rng.randrange(len(data))
+    return data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1:]
+
+
+def corrupt_message(message: Message, rng: DeterministicRng) -> Message:
+    """Flip one payload byte; messages with no corruptible payload pass through.
+
+    Only byte-carrying fields are touched (proof bytes, POC bytes, the
+    claimed next participant), mirroring what line noise can actually
+    reach — headers and enum fields are assumed checksummed away.
+    """
+    if isinstance(message, ProofResponse) and message.proof_bytes:
+        return dataclasses.replace(
+            # The decoded-object shortcut must not survive corruption.
+            message, proof_bytes=_flip_byte(message.proof_bytes, rng), proof=None
+        )
+    if isinstance(message, QueryRequest) and message.poc_bytes:
+        return dataclasses.replace(
+            message, poc_bytes=_flip_byte(message.poc_bytes, rng)
+        )
+    if isinstance(message, PocTransfer) and message.poc_bytes:
+        return dataclasses.replace(
+            message, poc_bytes=_flip_byte(message.poc_bytes, rng)
+        )
+    if isinstance(message, NextParticipantResponse) and message.next_participant:
+        return dataclasses.replace(
+            message, next_participant=message.next_participant + "?"
+        )
+    return message
+
+
+class DownEndpoint:
+    """A crashed identity: every delivery attempt times out."""
+
+    def __init__(self, identity: str):
+        self.identity = identity
+
+    def handle_message(self, sender: str, message: Message) -> Message | None:
+        raise NetworkTimeout(f"endpoint {self.identity!r} is down")
+
+
+class _DedupEndpoint:
+    """Answer-once shim: caches responses by idempotency id."""
+
+    def __init__(self, inner: Endpoint):
+        self.inner = inner
+        self._responses: dict[str, Message | None] = {}
+
+    def handle_message(self, sender: str, message: Message) -> Message | None:
+        msg_id = message.msg_id
+        if msg_id is not None and msg_id in self._responses:
+            default_registry().counter("net.dedup_hits", kind=message.kind).inc()
+            return self._responses[msg_id]
+        response = self.inner.handle_message(sender, message)
+        if msg_id is not None:
+            self._responses[msg_id] = response
+        return response
+
+
+class FaultyNetwork:
+    """SimNetwork-compatible delivery with seeded fault injection.
+
+    One *tick* of the fault clock elapses per request leg (sends and the
+    request half of round trips); partitions and the crash schedule are
+    expressed in ticks, so a profile replays identically for a given
+    message sequence.  Faults on the response leg of a round trip happen
+    *after* the handler ran — the classic lost-ack case that idempotency
+    ids exist for.
+    """
+
+    supports_idempotency = True
+
+    def __init__(
+        self,
+        inner: SimNetwork | None = None,
+        profile: FaultProfile | None = None,
+        rng: DeterministicRng | None = None,
+    ):
+        self.inner = inner or SimNetwork()
+        self.profile = profile or FaultProfile()
+        self.rng = rng or DeterministicRng(f"faults/{self.profile.seed}")
+        self.tick = 0
+        self.injected: dict[str, int] = {}
+        self._parked: dict[str, Endpoint] = {}  # crashed identity -> shimmed endpoint
+        self._crashed_applied: set[int] = set()
+        self._restarted_applied: set[int] = set()
+
+    # -- SimNetwork surface ------------------------------------------------------
+
+    @property
+    def stats(self) -> NetworkStats:
+        return self.inner.stats
+
+    @property
+    def latency(self):
+        return self.inner.latency
+
+    def register(self, identity: str, endpoint: Endpoint) -> None:
+        self.inner.register(identity, _DedupEndpoint(endpoint))
+
+    def replace(self, identity: str, endpoint: Endpoint) -> Endpoint:
+        """Swap the endpoint behind an identity (works while crashed too)."""
+        wrapper = _DedupEndpoint(endpoint)
+        if identity in self._parked:
+            old = self._parked[identity]
+            self._parked[identity] = wrapper
+        else:
+            old = self.inner.replace(identity, wrapper)
+        return old.inner if isinstance(old, _DedupEndpoint) else old
+
+    def unregister(self, identity: str) -> None:
+        self._parked.pop(identity, None)
+        self.inner.unregister(identity)
+
+    def knows(self, identity: str) -> bool:
+        return self.inner.knows(identity)
+
+    def add_tap(self, tap: Callable[[str, str, Message], None]) -> None:
+        self.inner.add_tap(tap)
+
+    def reset_stats(self) -> NetworkStats:
+        return self.inner.reset_stats()
+
+    def send(self, sender: str, recipient: str, message: Message) -> None:
+        self._outbound(sender, recipient, message)
+
+    def request(self, sender: str, recipient: str, message: Message) -> Message | None:
+        response = self._outbound(sender, recipient, message)
+        if response is None:
+            return None
+        return self._inbound(recipient, sender, response)
+
+    # -- crash control -----------------------------------------------------------
+
+    def crash(self, identity: str) -> None:
+        """Take an endpoint down; in-flight and future deliveries time out."""
+        if identity in self._parked:
+            return
+        self._parked[identity] = self.inner.replace(identity, DownEndpoint(identity))
+        self._count("crash")
+        _log.info("endpoint %r crashed at tick %d", identity, self.tick)
+
+    def restart(self, identity: str) -> None:
+        """Bring a crashed endpoint back (state intact, like a process restart)."""
+        parked = self._parked.pop(identity, None)
+        if parked is not None:
+            self.inner.replace(identity, parked)
+            self._count("restart")
+            _log.info("endpoint %r restarted at tick %d", identity, self.tick)
+
+    def is_down(self, identity: str) -> bool:
+        return identity in self._parked
+
+    def fault_summary(self) -> dict:
+        """What the plan actually injected so far (for CLI/JSON output)."""
+        return {"tick": self.tick, "injected": dict(self.injected)}
+
+    # -- the fault plan ----------------------------------------------------------
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        default_registry().counter("faults.injected", kind=kind).inc()
+
+    def _advance_schedule(self) -> None:
+        for index, event in enumerate(self.profile.crashes):
+            if index not in self._crashed_applied and self.tick >= event.at:
+                self._crashed_applied.add(index)
+                if self.knows(event.identity):
+                    self.crash(event.identity)
+            if (
+                event.restart_at is not None
+                and index not in self._restarted_applied
+                and self.tick >= event.restart_at
+            ):
+                self._restarted_applied.add(index)
+                self.restart(event.identity)
+
+    def _partitioned(self, a: str, b: str) -> bool:
+        return any(
+            partition.active(self.tick) and partition.separates(a, b)
+            for partition in self.profile.partitions
+        )
+
+    def _outbound(self, sender: str, recipient: str, message: Message) -> Message | None:
+        """The request leg: faults evaluated before the handler runs."""
+        self.tick += 1
+        self._advance_schedule()
+        rates = self.profile.rates_for(sender, recipient, message.kind)
+        if self._partitioned(sender, recipient):
+            self._count("partition")
+            raise NetworkTimeout(
+                f"{sender!r} -> {recipient!r} partitioned at tick {self.tick}"
+            )
+        if rates.drop and self.rng.random() < rates.drop:
+            self._count("drop")
+            raise NetworkTimeout(
+                f"{message.kind} {sender!r} -> {recipient!r} dropped"
+            )
+        if rates.corrupt and self.rng.random() < rates.corrupt:
+            mutated = corrupt_message(message, self.rng)
+            if mutated is not message:
+                self._count("corrupt")
+                message = mutated
+        if rates.delay and self.rng.random() < rates.delay:
+            self._count("delay")
+            self.inner.stats.simulated_ms += rates.delay_ms
+        duplicate = rates.duplicate and self.rng.random() < rates.duplicate
+        response = self.inner.deliver(sender, recipient, message)
+        if duplicate:
+            # Redelivery of the same frame: costs wire bytes; the dedup
+            # shim keeps the handler's effect at-most-once when stamped.
+            self._count("duplicate")
+            self.inner.deliver(sender, recipient, message)
+        return response
+
+    def _inbound(self, responder: str, requester: str, response: Message) -> Message:
+        """The response leg: the handler already ran, the answer may be lost."""
+        rates = self.profile.rates_for(responder, requester, response.kind)
+        if rates.corrupt and self.rng.random() < rates.corrupt:
+            mutated = corrupt_message(response, self.rng)
+            if mutated is not response:
+                self._count("corrupt")
+                response = mutated
+        if rates.delay and self.rng.random() < rates.delay:
+            self._count("delay")
+            self.inner.stats.simulated_ms += rates.delay_ms
+        if self._partitioned(responder, requester):
+            self._count("partition")
+            raise NetworkTimeout(
+                f"response {responder!r} -> {requester!r} partitioned"
+            )
+        if rates.drop and self.rng.random() < rates.drop:
+            self._count("drop")
+            raise NetworkTimeout(
+                f"{response.kind} response {responder!r} -> {requester!r} dropped"
+            )
+        self.inner.account(responder, requester, response)
+        if rates.duplicate and self.rng.random() < rates.duplicate:
+            self._count("duplicate")
+            self.inner.account(responder, requester, response)
+        return response

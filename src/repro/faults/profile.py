@@ -1,0 +1,230 @@
+"""Declarative, reproducible fault plans.
+
+A :class:`FaultProfile` is pure data: global fault rates, ordered
+per-edge/per-kind overrides, partition windows, and a crash/restart
+schedule, all in terms of the network's deterministic delivery clock
+(one tick per request leg).  Feeding the same profile and seed to a
+:class:`~repro.faults.network.FaultyNetwork` replays the exact same
+faults, which is what makes chaos sweeps debuggable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, replace
+
+__all__ = ["EdgeRule", "Partition", "CrashEvent", "FaultProfile"]
+
+_RATE_FIELDS = ("drop", "duplicate", "corrupt", "delay")
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class EdgeRule:
+    """Fault rates scoped to matching traffic.
+
+    ``sender`` / ``recipient`` / ``kind`` are exact matches, ``None``
+    matching anything; the first matching rule *replaces* the profile's
+    global rates for that leg (so a rule of all zeros exempts an edge).
+    """
+
+    sender: str | None = None
+    recipient: str | None = None
+    kind: str | None = None
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    delay_ms: float = 10.0
+
+    def __post_init__(self):
+        for name in _RATE_FIELDS:
+            _check_rate(name, getattr(self, name))
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+
+    def matches(self, sender: str, recipient: str, kind: str) -> bool:
+        return (
+            (self.sender is None or self.sender == sender)
+            and (self.recipient is None or self.recipient == recipient)
+            and (self.kind is None or self.kind == kind)
+        )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The network splits into groups for a window of delivery ticks.
+
+    Traffic between identities in *different* listed groups is lost while
+    the window is active; identities not listed in any group are
+    unaffected.  ``stop=None`` means the partition never heals.
+    """
+
+    groups: tuple[tuple[str, ...], ...]
+    start: int = 0
+    stop: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "groups", tuple(tuple(group) for group in self.groups)
+        )
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(f"stop ({self.stop}) must be after start ({self.start})")
+
+    def active(self, tick: int) -> bool:
+        return tick >= self.start and (self.stop is None or tick < self.stop)
+
+    def separates(self, a: str, b: str) -> bool:
+        group_a = group_b = None
+        for index, group in enumerate(self.groups):
+            if a in group:
+                group_a = index
+            if b in group:
+                group_b = index
+        return group_a is not None and group_b is not None and group_a != group_b
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Scripted endpoint crash (and optional restart) by delivery tick."""
+
+    identity: str
+    at: int = 0
+    restart_at: int | None = None
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ValueError(
+                f"restart_at ({self.restart_at}) must be after at ({self.at})"
+            )
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """The complete, seeded fault plan for one chaos run."""
+
+    seed: str = "chaos"
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    delay_ms: float = 10.0
+    rules: tuple[EdgeRule, ...] = ()
+    partitions: tuple[Partition, ...] = ()
+    crashes: tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self):
+        for name in _RATE_FIELDS:
+            _check_rate(name, getattr(self, name))
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+        object.__setattr__(self, "rules", tuple(self.rules))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this profile can inject anything at all."""
+        return (
+            any(getattr(self, name) > 0 for name in _RATE_FIELDS)
+            or any(
+                getattr(rule, name) > 0
+                for rule in self.rules
+                for name in _RATE_FIELDS
+            )
+            or bool(self.partitions)
+            or bool(self.crashes)
+        )
+
+    def rates_for(self, sender: str, recipient: str, kind: str) -> EdgeRule:
+        """The effective rates for one leg: first matching rule, else globals."""
+        for rule in self.rules:
+            if rule.matches(sender, recipient, kind):
+                return rule
+        return EdgeRule(
+            drop=self.drop,
+            duplicate=self.duplicate,
+            corrupt=self.corrupt,
+            delay=self.delay,
+            delay_ms=self.delay_ms,
+        )
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultProfile":
+        data = dict(data)
+        data["rules"] = tuple(
+            rule if isinstance(rule, EdgeRule) else EdgeRule(**rule)
+            for rule in data.get("rules", ())
+        )
+        data["partitions"] = tuple(
+            p if isinstance(p, Partition) else Partition(**p)
+            for p in data.get("partitions", ())
+        )
+        data["crashes"] = tuple(
+            c if isinstance(c, CrashEvent) else CrashEvent(**c)
+            for c in data.get("crashes", ())
+        )
+        return cls(**data)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultProfile":
+        """A profile from a JSON file path or an inline ``k=v,k=v`` spec.
+
+        Inline keys: the global rates (``drop``, ``duplicate``/``dup``,
+        ``corrupt``, ``delay``), ``delay_ms``, ``seed``, and repeatable
+        ``crash=IDENTITY@AT`` / ``crash=IDENTITY@AT-RESTART`` entries.
+        Example: ``drop=0.1,dup=0.02,seed=run7,crash=node3@40-90``.
+        """
+        if spec.endswith(".json") or os.path.exists(spec):
+            with open(spec) as handle:
+                return cls.from_dict(json.load(handle))
+        fields: dict = {}
+        crashes: list[CrashEvent] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"malformed fault spec entry {part!r}")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                fields["seed"] = value
+            elif key == "crash":
+                identity, _, window = value.partition("@")
+                if not identity or not window:
+                    raise ValueError(f"malformed crash entry {part!r}")
+                at, _, restart = window.partition("-")
+                crashes.append(
+                    CrashEvent(
+                        identity,
+                        int(at),
+                        int(restart) if restart else None,
+                    )
+                )
+            elif key in ("drop", "duplicate", "dup", "corrupt", "delay", "delay_ms"):
+                fields["duplicate" if key == "dup" else key] = float(value)
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        if crashes:
+            fields["crashes"] = tuple(crashes)
+        return cls(**fields)
+
+    def with_seed(self, seed: str) -> "FaultProfile":
+        """The same plan under a different randomness seed (for sweeps)."""
+        return replace(self, seed=seed)

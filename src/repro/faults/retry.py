@@ -1,0 +1,129 @@
+"""Retry with deterministic exponential backoff over simulated time.
+
+A :class:`ReliableChannel` wraps any network with a :class:`RetryPolicy`:
+each :class:`~repro.desword.errors.NetworkTimeout` charges the attempt's
+wait to the network's simulated clock, then backs off (exponential with
+deterministic jitter) and retries the *same* message — stamped with an
+idempotency id when the network supports it, so redelivered requests are
+processed at most once.  Attempts stop at ``max_attempts`` or when the
+per-request simulated-ms deadline would be exceeded, surfacing
+:class:`~repro.desword.errors.ParticipantUnresponsiveError`.
+
+With ``policy=None`` the channel is a true pass-through: no stamping, no
+extra accounting — the reliable path stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..crypto.rng import DeterministicRng
+from ..desword.errors import NetworkTimeout, ParticipantUnresponsiveError
+from ..desword.messages import Message
+from ..obs import default_registry
+
+__all__ = ["RetryPolicy", "ReliableChannel"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff, per-attempt timeout, and per-request deadline (simulated ms)."""
+
+    max_attempts: int = 4
+    base_backoff_ms: float = 5.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    timeout_ms: float = 50.0
+    deadline_ms: float = 2000.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_ms < 0:
+            raise ValueError(f"base_backoff_ms must be >= 0, got {self.base_backoff_ms}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be > 0, got {self.timeout_ms}")
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+
+    def backoff_ms(self, attempt: int, rng: DeterministicRng) -> float:
+        """Backoff before retry number ``attempt + 1`` (0-based), jittered."""
+        backoff = self.base_backoff_ms * self.backoff_factor**attempt
+        if self.jitter:
+            backoff *= 1.0 + self.jitter * rng.random()
+        return backoff
+
+
+class ReliableChannel:
+    """Retrying request/send wrapper; a pass-through when ``policy`` is None."""
+
+    def __init__(
+        self,
+        network,
+        policy: RetryPolicy | None = None,
+        rng: DeterministicRng | None = None,
+    ):
+        self.network = network
+        self.policy = policy
+        self.rng = rng or DeterministicRng("retry")
+        self._counter = 0
+        # Idempotency ids only matter on networks that can redeliver.
+        self._stamping = policy is not None and getattr(
+            network, "supports_idempotency", False
+        )
+
+    def request(self, sender: str, recipient: str, message: Message) -> Message | None:
+        if self.policy is None:
+            return self.network.request(sender, recipient, message)
+        return self._attempt(self.network.request, sender, recipient, message)
+
+    def send(self, sender: str, recipient: str, message: Message) -> None:
+        if self.policy is None:
+            self.network.send(sender, recipient, message)
+            return
+        self._attempt(self.network.send, sender, recipient, message)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _stamp(self, sender: str, recipient: str, message: Message) -> Message:
+        if not self._stamping or message.msg_id is not None:
+            return message
+        self._counter += 1
+        return dataclasses.replace(
+            message, msg_id=f"{sender}>{recipient}#{self._counter}"
+        )
+
+    def _attempt(self, op, sender: str, recipient: str, message: Message):
+        message = self._stamp(sender, recipient, message)
+        policy = self.policy
+        spent_ms = 0.0
+        for attempt in range(policy.max_attempts):
+            try:
+                return op(sender, recipient, message)
+            except ParticipantUnresponsiveError:
+                raise  # a nested channel already exhausted its retries
+            except NetworkTimeout:
+                # The sender waited out this attempt hearing nothing.
+                metrics = default_registry()
+                self.network.stats.simulated_ms += policy.timeout_ms
+                spent_ms += policy.timeout_ms
+                metrics.counter("net.timeouts", kind=message.kind).inc()
+                backoff = policy.backoff_ms(attempt, self.rng)
+                out_of_budget = (
+                    attempt + 1 >= policy.max_attempts
+                    or spent_ms + backoff > policy.deadline_ms
+                )
+                if out_of_budget:
+                    raise ParticipantUnresponsiveError(
+                        f"{recipient!r} unresponsive: {attempt + 1} attempts, "
+                        f"{spent_ms:.0f}ms of simulated waiting"
+                    ) from None
+                self.network.stats.simulated_ms += backoff
+                spent_ms += backoff
+                metrics.counter("net.retries", kind=message.kind).inc()
+        raise AssertionError("unreachable: retry loop always returns or raises")

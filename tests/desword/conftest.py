@@ -10,6 +10,8 @@ import pytest
 
 from repro.crypto.rng import DeterministicRng
 from repro.desword.experiment import Deployment
+from repro.desword.network import SimNetwork
+from repro.faults import BreakerPolicy, FaultyNetwork, RetryPolicy
 from repro.supplychain.generator import pharma_chain, product_batch
 from repro.supplychain.quality import IndependentQualityModel
 
@@ -26,6 +28,8 @@ def make_deployment(merkle_scheme):
         seed: str = "dep",
         scheme=None,
         policy=None,
+        retry=None,
+        breaker=None,
     ) -> Deployment:
         chain = pharma_chain(DeterministicRng(seed + "/chain"))
         oracle = IndependentQualityModel(beta=beta, seed=seed + "/q")
@@ -36,6 +40,33 @@ def make_deployment(merkle_scheme):
             behaviors=behaviors,
             policy=policy,
             seed=seed,
+            retry=retry,
+            breaker=breaker,
+        )
+
+    return build
+
+
+@pytest.fixture()
+def make_chaos_deployment(merkle_scheme):
+    """Factory: deployment over a fault-injecting network, resilience armed."""
+
+    def build(
+        profile,
+        seed: str = "chaos-dep",
+        retry: RetryPolicy | None = None,
+        breaker: BreakerPolicy | None = None,
+    ) -> Deployment:
+        chain = pharma_chain(DeterministicRng(seed + "/chain"))
+        oracle = IndependentQualityModel(beta=0.0, seed=seed + "/q")
+        return Deployment.build(
+            chain,
+            merkle_scheme,
+            oracle,
+            seed=seed,
+            network=FaultyNetwork(SimNetwork(), profile),
+            retry=retry or RetryPolicy(max_attempts=8, deadline_ms=10_000.0),
+            breaker=breaker,
         )
 
     return build

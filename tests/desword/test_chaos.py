@@ -1,0 +1,202 @@
+"""Chaos suite: the protocol under seeded fault plans.
+
+The invariants: (1) with no profile the resilience layer is wire-invisible;
+(2) moderate seeded loss plus retries still completes every query with
+correct attribution; (3) silence is attributed and quarantined through the
+same reputation pipeline as cryptographic misbehaviour; (4) a stalled
+distribution phase resumes from its checkpoint instead of restarting.
+"""
+
+import pytest
+
+from repro.desword.detection import TIMEOUT, UNRESPONSIVE
+from repro.desword.errors import DistributionPhaseError
+from repro.faults import (
+    BREAKER_CLOSED,
+    BREAKER_OPEN,
+    BreakerPolicy,
+    EdgeRule,
+    FaultProfile,
+    RetryPolicy,
+)
+
+
+def test_disabled_profile_keeps_wire_byte_identical(make_deployment, products):
+    """Retry + breaker armed on a clean SimNetwork changes nothing at all."""
+    plain = make_deployment(seed="ident")
+    armed = make_deployment(
+        seed="ident", retry=RetryPolicy(), breaker=BreakerPolicy()
+    )
+    plain_record, plain_phase = plain.distribute(products)
+    armed_record, armed_phase = armed.distribute(products)
+    assert plain_phase.messages == armed_phase.messages
+    assert plain_phase.bytes_sent == armed_phase.bytes_sent
+    for pid in products[:4]:
+        lhs = plain.query(pid, quality="good")
+        rhs = armed.query(pid, quality="good")
+        assert lhs.path == rhs.path
+        assert lhs.bytes_sent == rhs.bytes_sent
+        assert lhs.messages == rhs.messages
+    assert plain.network.stats.snapshot() == armed.network.stats.snapshot()
+
+
+def test_two_hundred_queries_complete_under_drop(make_chaos_deployment, products):
+    """Acceptance: drop <= 10% + retries => 100% completion, correct paths."""
+    deployment = make_chaos_deployment(
+        FaultProfile(seed="sweep200", drop=0.08), seed="sweep-dep"
+    )
+    record, _ = deployment.distribute(products)
+    completed = 0
+    for round_index in range(20):
+        for pid in products:
+            result = deployment.query(pid, quality="good")
+            assert result.path == record.path_of(pid), (round_index, f"{pid:#x}")
+            assert not result.violations
+            completed += 1
+    assert completed == 200
+    assert deployment.network.injected["drop"] > 0  # chaos actually happened
+
+
+@pytest.mark.parametrize("seed", ["s0", "s1", "s2", "s3", "s4"])
+def test_seed_sweep_drop_and_duplicate(make_chaos_deployment, products, seed):
+    """Different fault seeds, same outcome: loss and dup stay invisible."""
+    deployment = make_chaos_deployment(
+        FaultProfile(seed=seed, drop=0.05, duplicate=0.05), seed="multi-dep"
+    )
+    record, _ = deployment.distribute(products)
+    for pid in products[:5]:
+        result = deployment.query(pid, quality="good")
+        assert result.path == record.path_of(pid)
+        assert not result.violations
+
+
+def test_duplicated_submissions_do_not_double_apply(make_chaos_deployment, products):
+    """Duplicate-heavy wire: idempotency ids keep effects at-most-once."""
+    deployment = make_chaos_deployment(
+        FaultProfile(seed="dup", duplicate=0.5), seed="dup-dep"
+    )
+    record, _ = deployment.distribute(products)
+    # Redelivered PocTransfer/QueryRequest frames hit the dedup shim, so
+    # no node records a child POC twice and the one stored list validates.
+    assert len(deployment.proxy.poc_lists) == 1
+    assert deployment.network.injected.get("duplicate", 0) > 0
+    result = deployment.query(products[0], quality="good")
+    assert result.path == record.path_of(products[0])
+
+
+def test_corrupt_proofs_are_attributed_not_fatal(make_chaos_deployment, products):
+    """Corrupted ProofResponses surface as violations, never crashes."""
+    profile = FaultProfile(
+        seed="corrupt",
+        rules=(EdgeRule(kind="ProofResponse", corrupt=0.3),),
+    )
+    deployment = make_chaos_deployment(profile, seed="corrupt-dep")
+    record, _ = deployment.distribute(products)
+    violations = []
+    for pid in products:
+        result = deployment.query(pid, quality="good")
+        assert set(result.path) <= set(record.path_of(pid))
+        violations.extend(result.violations)
+    assert deployment.network.injected.get("corrupt", 0) > 0
+    assert violations  # garbage on the wire was pinned on someone
+
+
+def test_quarantine_feeds_reputation_and_recovers(make_chaos_deployment, products):
+    deployment = make_chaos_deployment(
+        FaultProfile(),  # no random faults: the crash below is the chaos
+        seed="quarantine-dep",
+        retry=RetryPolicy(max_attempts=2, deadline_ms=10_000.0),
+        breaker=BreakerPolicy(failure_threshold=2, cooldown_ms=200.0),
+    )
+    record, _ = deployment.distribute(products)
+    pid = products[0]
+    victim = record.path_of(pid)[1]
+    network = deployment.network
+    network.crash(victim)
+
+    # Bad-product queries: the silent victim is presumed involved, and its
+    # timeouts trip the breaker.
+    first = deployment.query(pid, quality="bad")
+    assert victim in first.path
+    assert any(
+        v.kind == TIMEOUT and v.participant_id == victim for v in first.violations
+    )
+    second = deployment.query(pid, quality="bad")
+    assert deployment.proxy.breaker.state_of(victim) == BREAKER_OPEN
+
+    # Quarantined now: probes are skipped, silence keeps accruing blame.
+    third = deployment.query(pid, quality="bad")
+    assert any(
+        v.kind == UNRESPONSIVE and v.participant_id == victim
+        for v in third.violations
+    )
+    assert deployment.proxy.reputation.score_of(victim) < 0
+
+    # Restart + cooldown: the half-open probe closes the circuit again.
+    network.restart(victim)
+    network.stats.simulated_ms += 1_000.0
+    recovered = deployment.query(pid, quality="good")
+    assert recovered.path == record.path_of(pid)
+    assert not recovered.violations
+    assert deployment.proxy.breaker.state_of(victim) == BREAKER_CLOSED
+
+
+def test_unresponsive_scores_like_deletion(make_chaos_deployment, products):
+    """The economic edge: staying dark on a bad product costs reputation."""
+    deployment = make_chaos_deployment(
+        FaultProfile(),
+        seed="darkness-dep",
+        retry=RetryPolicy(max_attempts=2, deadline_ms=10_000.0),
+        breaker=BreakerPolicy(failure_threshold=1, cooldown_ms=1e9),
+    )
+    record, _ = deployment.distribute(products)
+    pid = products[0]
+    victim = record.path_of(pid)[2]
+    deployment.network.crash(victim)
+    for _ in range(3):
+        deployment.query(pid, quality="bad")
+    scores = deployment.proxy.reputation.snapshot()
+    honest_on_path = [p for p in record.path_of(pid) if p != victim]
+    # The dark participant is strictly worse off than its honest peers.
+    assert all(scores[victim] < scores[p] for p in honest_on_path)
+
+
+def test_distribution_phase_resumes_from_checkpoint(make_chaos_deployment, products):
+    profile = FaultProfile(
+        seed="stall", rules=(EdgeRule(kind="PocTransfer", drop=1.0),)
+    )
+    deployment = make_chaos_deployment(profile, seed="resume-dep")
+    with pytest.raises(DistributionPhaseError) as excinfo:
+        deployment.distribute(products, task_id="t0")
+    resume = excinfo.value.resume
+    assert resume.task_id == "t0"
+    assert resume.ps_id is not None           # step 1 completed
+    assert resume.ps_delivered                # broadcasts went out
+    assert not resume.submitted               # never reached step 5
+    assert "t0" not in deployment.proxy.poc_lists
+
+    # The fabric heals; the resumed run must not repeat completed steps.
+    deployment.network.profile = FaultProfile()
+    resent = []
+    deployment.network.add_tap(
+        lambda s, r, m: resent.append(m.kind) if m.kind == "PsBroadcast" else None
+    )
+    phase = deployment.resume_distribution("t0", resume)
+    assert "PsBroadcast" not in resent        # step 1 was checkpointed away
+    assert "t0" in deployment.proxy.poc_lists
+
+    record = deployment.task_records["t0"]
+    assert set(phase.poc_list.participants()) == set(record.involved_participants)
+    for pid in products[:3]:
+        result = deployment.query(pid, quality="good")
+        assert result.path == record.path_of(pid)
+        assert not result.violations
+
+
+def test_resume_checkpoint_task_mismatch_rejected(make_chaos_deployment, products):
+    from repro.desword.distribution_phase import DistributionResume
+
+    deployment = make_chaos_deployment(FaultProfile(), seed="mismatch-dep")
+    deployment.distribute(products, task_id="t0")
+    with pytest.raises(ValueError):
+        deployment.resume_distribution("t0", DistributionResume("other"))

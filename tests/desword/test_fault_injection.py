@@ -80,6 +80,62 @@ def test_unregistered_recipient_raises(distributed, products):
         deployment.query(products[0], quality="good")
 
 
+def test_bad_product_query_completes_under_drops(make_chaos_deployment, products):
+    """A bad-product (blame-assigning) query survives a lossy wire intact."""
+    from repro.faults import FaultProfile
+
+    deployment = make_chaos_deployment(
+        FaultProfile(seed="bad-q", drop=0.08), seed="bad-q-dep"
+    )
+    record, _ = deployment.distribute(products)
+    for pid in products[:5]:
+        result = deployment.query(pid, quality="bad")
+        # Honest participants all reveal ownership: full path, no blame.
+        assert result.path == record.path_of(pid)
+        assert not result.violations
+
+
+def test_initial_participant_crash_blocks_then_restart_recovers(
+    make_chaos_deployment, products
+):
+    """Crashing the path's origin stalls queries; a restart heals them."""
+    from repro.faults import FaultProfile
+
+    deployment = make_chaos_deployment(FaultProfile(), seed="init-crash-dep")
+    record, _ = deployment.distribute(products)
+    pid = products[0]
+    initial = record.path_of(pid)[0]
+    deployment.network.crash(initial)
+    down = deployment.query(pid, quality="good")
+    # The origin cannot prove ownership: no start is identified.
+    assert down.path == []
+    deployment.network.restart(initial)
+    up = deployment.query(pid, quality="good")
+    assert up.path == record.path_of(pid)
+    assert not up.violations
+
+
+def test_scheduled_initial_crash_mid_distribution_is_resumable(
+    make_chaos_deployment, products
+):
+    """The initial participant dies mid-phase; the checkpoint resumes it."""
+    from repro.desword.errors import DistributionPhaseError
+    from repro.faults import CrashEvent, FaultProfile
+
+    deployment = make_chaos_deployment(
+        FaultProfile(crashes=(CrashEvent("L0-manu0", at=3),)),
+        seed="sched-crash-dep",
+    )
+    with pytest.raises(DistributionPhaseError) as stall:
+        deployment.distribute(products, task_id="t0", initial="L0-manu0")
+    deployment.network.restart("L0-manu0")
+    deployment.resume_distribution("t0", stall.value.resume)
+    assert "t0" in deployment.proxy.poc_lists
+    record = deployment.task_records["t0"]
+    result = deployment.query(products[0], quality="good")
+    assert result.path == record.path_of(products[0])
+
+
 def test_scale_forty_participants_hundred_products(merkle_scheme):
     """A larger world end to end: 45 participants, 100 products."""
     chain = layered_chain(

@@ -85,9 +85,35 @@ def test_stats_accumulate():
     assert net.stats.per_kind["PsBroadcast"] == 3
 
 
+def test_stats_bytes_per_kind():
+    """Byte accounting splits per message kind, and the snapshot carries it."""
+    net = SimNetwork()
+    net.register("a", Echo())
+    net.send("b", "a", PsBroadcast("ps"))
+    net.send("b", "a", PocTransfer("v", b"x" * 40))
+    assert net.stats.bytes_per_kind["PsBroadcast"] == PsBroadcast("ps").size_bytes()
+    assert net.stats.bytes_per_kind["PocTransfer"] == PocTransfer("v", b"x" * 40).size_bytes()
+    assert sum(net.stats.bytes_per_kind.values()) == net.stats.bytes_sent
+    snap = net.stats.snapshot()
+    assert snap["bytes_per_kind"] == net.stats.bytes_per_kind
+
+
 def test_latency_model():
     model = LatencyModel(base_ms=2.0, bandwidth_bytes_per_ms=100.0)
     assert model.latency_for(200) == pytest.approx(4.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base_ms": -1.0},
+        {"bandwidth_bytes_per_ms": 0.0},
+        {"bandwidth_bytes_per_ms": -5.0},
+    ],
+)
+def test_latency_model_rejects_bad_params(kwargs):
+    with pytest.raises(ValueError):
+        LatencyModel(**kwargs)
 
 
 def test_simulated_time_advances():

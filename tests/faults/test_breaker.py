@@ -1,0 +1,123 @@
+"""CircuitBreaker: trip threshold, cooldown, half-open probes."""
+
+import pytest
+
+from repro.faults import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+def make_breaker(clock, **kwargs):
+    defaults = {"failure_threshold": 3, "cooldown_ms": 100.0}
+    defaults.update(kwargs)
+    return CircuitBreaker(BreakerPolicy(**defaults), clock)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"cooldown_ms": 0.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)
+
+
+def test_starts_closed_and_allows(clock):
+    breaker = make_breaker(clock)
+    assert breaker.state_of("v1") == BREAKER_CLOSED
+    assert breaker.allow("v1")
+
+
+def test_trips_after_consecutive_failures(clock):
+    breaker = make_breaker(clock)
+    breaker.record_failure("v1")
+    breaker.record_failure("v1")
+    assert breaker.allow("v1")
+    breaker.record_failure("v1")
+    assert breaker.state_of("v1") == BREAKER_OPEN
+    assert not breaker.allow("v1")
+
+
+def test_success_resets_the_streak(clock):
+    breaker = make_breaker(clock)
+    breaker.record_failure("v1")
+    breaker.record_failure("v1")
+    breaker.record_success("v1")
+    breaker.record_failure("v1")
+    breaker.record_failure("v1")
+    assert breaker.state_of("v1") == BREAKER_CLOSED
+
+
+def test_participants_are_independent(clock):
+    breaker = make_breaker(clock, failure_threshold=1)
+    breaker.record_failure("v1")
+    assert not breaker.allow("v1")
+    assert breaker.allow("v2")
+
+
+def test_half_open_after_cooldown_then_closes_on_success(clock):
+    breaker = make_breaker(clock, failure_threshold=1)
+    breaker.record_failure("v1")
+    assert breaker.state_of("v1") == BREAKER_OPEN
+    clock.now = 99.0
+    assert not breaker.allow("v1")
+    clock.now = 100.0
+    assert breaker.state_of("v1") == BREAKER_HALF_OPEN
+    assert breaker.allow("v1")  # one probe is let through
+    breaker.record_success("v1")
+    assert breaker.state_of("v1") == BREAKER_CLOSED
+
+
+def test_failed_probe_reopens_with_fresh_cooldown(clock):
+    breaker = make_breaker(clock, failure_threshold=1)
+    breaker.record_failure("v1")
+    clock.now = 100.0
+    assert breaker.state_of("v1") == BREAKER_HALF_OPEN
+    breaker.record_failure("v1")  # the probe also failed
+    assert breaker.state_of("v1") == BREAKER_OPEN
+    clock.now = 150.0
+    assert breaker.state_of("v1") == BREAKER_OPEN  # new cooldown from t=100
+    clock.now = 200.0
+    assert breaker.state_of("v1") == BREAKER_HALF_OPEN
+
+
+def test_multiple_probes_required_when_configured(clock):
+    breaker = make_breaker(clock, failure_threshold=1, half_open_probes=2)
+    breaker.record_failure("v1")
+    clock.now = 100.0
+    assert breaker.state_of("v1") == BREAKER_HALF_OPEN
+    breaker.record_success("v1")
+    assert breaker.state_of("v1") == BREAKER_HALF_OPEN
+    breaker.record_success("v1")
+    assert breaker.state_of("v1") == BREAKER_CLOSED
+
+
+def test_snapshot_lists_tracked_participants(clock):
+    breaker = make_breaker(clock, failure_threshold=1)
+    breaker.record_failure("v2")
+    breaker.record_failure("v1")
+    clock.now = 100.0
+    breaker.record_success("v1")  # half-open probe succeeds
+    assert breaker.snapshot() == {"v1": BREAKER_CLOSED, "v2": BREAKER_HALF_OPEN}

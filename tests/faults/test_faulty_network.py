@@ -1,0 +1,205 @@
+"""FaultyNetwork: seeded injection, determinism, dedup, crash schedule."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.errors import NetworkTimeout, UnknownParticipantError
+from repro.desword.messages import (
+    NextParticipantResponse,
+    PocTransfer,
+    ProofResponse,
+    PsBroadcast,
+    QueryRequest,
+)
+from repro.desword.network import SimNetwork
+from repro.faults import (
+    CrashEvent,
+    EdgeRule,
+    FaultProfile,
+    FaultyNetwork,
+    Partition,
+    corrupt_message,
+)
+
+
+class Echo:
+    def __init__(self):
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        return PsBroadcast(f"ack{self.calls}")
+
+
+def faulty(profile, seed_suffix=""):
+    net = FaultyNetwork(SimNetwork(), profile)
+    net.register("a", Echo())
+    net.register("b", Echo())
+    return net
+
+
+def test_clean_profile_passes_everything_through():
+    net = faulty(FaultProfile())
+    for _ in range(20):
+        assert isinstance(net.request("b", "a", PsBroadcast("ps")), PsBroadcast)
+    assert net.injected == {}
+
+
+def test_drop_raises_timeout():
+    net = faulty(FaultProfile(drop=1.0))
+    with pytest.raises(NetworkTimeout):
+        net.request("b", "a", PsBroadcast("ps"))
+    assert net.injected["drop"] == 1
+
+
+def test_same_seed_same_faults():
+    def run(seed):
+        net = faulty(FaultProfile(seed=seed, drop=0.3))
+        outcomes = []
+        for _ in range(50):
+            try:
+                net.request("b", "a", PsBroadcast("ps"))
+                outcomes.append("ok")
+            except NetworkTimeout:
+                outcomes.append("drop")
+        return outcomes
+
+    assert run("s1") == run("s1")
+    assert run("s1") != run("s2")  # and the seed actually matters
+
+
+def test_duplicate_delivers_twice_without_msg_id():
+    net = FaultyNetwork(SimNetwork(), FaultProfile(duplicate=1.0))
+    endpoint = Echo()
+    net.register("a", endpoint)
+    net.send("b", "a", PsBroadcast("ps"))
+    assert endpoint.calls == 2  # unstamped: handler really runs twice
+
+
+def test_duplicate_deduped_with_msg_id():
+    net = FaultyNetwork(SimNetwork(), FaultProfile(duplicate=1.0))
+    endpoint = Echo()
+    net.register("a", endpoint)
+    net.send("b", "a", PsBroadcast("ps", msg_id="m1"))
+    assert endpoint.calls == 1  # the redelivered frame hit the cache
+
+
+def test_dedup_returns_cached_response():
+    net = FaultyNetwork(SimNetwork(), FaultProfile())
+    endpoint = Echo()
+    net.register("a", endpoint)
+    first = net.request("b", "a", PsBroadcast("ps", msg_id="m1"))
+    again = net.request("b", "a", PsBroadcast("ps", msg_id="m1"))
+    assert first == again == PsBroadcast("ack1")
+    assert endpoint.calls == 1
+    fresh = net.request("b", "a", PsBroadcast("ps", msg_id="m2"))
+    assert fresh == PsBroadcast("ack2")
+
+
+def test_delay_charges_simulated_time():
+    net = faulty(FaultProfile(delay=1.0, delay_ms=25.0))
+    before = net.stats.simulated_ms
+    net.request("b", "a", PsBroadcast("ps"))
+    # Both legs delayed: 2 x 25ms on top of ordinary latency.
+    assert net.stats.simulated_ms - before >= 50.0
+
+
+def test_partition_window_cuts_and_heals():
+    profile = FaultProfile(
+        partitions=(Partition((("a",), ("b",)), start=0, stop=3),)
+    )
+    net = faulty(profile)
+    for _ in range(2):
+        with pytest.raises(NetworkTimeout):
+            net.request("b", "a", PsBroadcast("ps"))
+    # Tick 3: the window is over.
+    assert isinstance(net.request("b", "a", PsBroadcast("ps")), PsBroadcast)
+
+
+def test_partition_ignores_unlisted_identities():
+    profile = FaultProfile(partitions=(Partition((("a",), ("x",)), start=0),))
+    net = faulty(profile)
+    assert isinstance(net.request("b", "a", PsBroadcast("ps")), PsBroadcast)
+
+
+def test_scheduled_crash_and_restart():
+    profile = FaultProfile(crashes=(CrashEvent("a", at=2, restart_at=4),))
+    net = faulty(profile)
+    assert isinstance(net.request("b", "a", PsBroadcast("ps")), PsBroadcast)
+    with pytest.raises(NetworkTimeout):
+        net.request("b", "a", PsBroadcast("ps"))  # tick 2: down
+    with pytest.raises(NetworkTimeout):
+        net.request("b", "a", PsBroadcast("ps"))  # tick 3: still down
+    assert isinstance(net.request("b", "a", PsBroadcast("ps")), PsBroadcast)
+    assert net.injected["crash"] == 1
+    assert net.injected["restart"] == 1
+
+
+def test_manual_crash_restart_and_replace_while_down():
+    net = faulty(FaultProfile())
+    net.crash("a")
+    assert net.is_down("a")
+    with pytest.raises(NetworkTimeout):
+        net.request("b", "a", PsBroadcast("ps"))
+    replacement = Echo()
+    net.replace("a", replacement)  # swap the parked endpoint
+    net.restart("a")
+    assert not net.is_down("a")
+    net.request("b", "a", PsBroadcast("ps"))
+    assert replacement.calls == 1
+
+
+def test_replace_returns_unwrapped_endpoint():
+    net = FaultyNetwork(SimNetwork(), FaultProfile())
+    original = Echo()
+    net.register("a", original)
+    assert net.replace("a", Echo()) is original
+
+
+def test_edge_rule_scopes_faults():
+    profile = FaultProfile(rules=(EdgeRule(recipient="a", drop=1.0),))
+    net = faulty(profile)
+    with pytest.raises(NetworkTimeout):
+        net.request("x", "a", PsBroadcast("ps"))
+    assert isinstance(net.request("x", "b", PsBroadcast("ps")), PsBroadcast)
+
+
+def test_unknown_recipient_still_raises():
+    net = faulty(FaultProfile())
+    with pytest.raises(UnknownParticipantError):
+        net.send("a", "ghost", PsBroadcast("ps"))
+
+
+def test_fault_summary_shape():
+    net = faulty(FaultProfile(drop=1.0))
+    with pytest.raises(NetworkTimeout):
+        net.send("b", "a", PsBroadcast("ps"))
+    summary = net.fault_summary()
+    assert summary["tick"] == 1
+    assert summary["injected"] == {"drop": 1}
+
+
+class TestCorruptMessage:
+    def test_proof_response_flips_a_byte(self):
+        rng = DeterministicRng("c")
+        original = ProofResponse("v", b"proof-bytes")
+        mutated = corrupt_message(original, rng)
+        assert mutated.proof_bytes != original.proof_bytes
+        assert len(mutated.proof_bytes) == len(original.proof_bytes)
+        assert mutated.proof is None
+
+    def test_poc_payloads_flip(self):
+        rng = DeterministicRng("c")
+        assert corrupt_message(QueryRequest("good", 1, b"poc"), rng).poc_bytes != b"poc"
+        assert corrupt_message(PocTransfer("v", b"poc"), rng).poc_bytes != b"poc"
+
+    def test_next_participant_mangled(self):
+        rng = DeterministicRng("c")
+        assert corrupt_message(
+            NextParticipantResponse("v2"), rng
+        ).next_participant == "v2?"
+
+    def test_uncorruptible_passes_through(self):
+        rng = DeterministicRng("c")
+        message = PsBroadcast("ps")
+        assert corrupt_message(message, rng) is message

@@ -1,0 +1,122 @@
+"""FaultProfile: validation, rule matching, parsing, serialisation."""
+
+import json
+
+import pytest
+
+from repro.faults import CrashEvent, EdgeRule, FaultProfile, Partition
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["drop", "duplicate", "corrupt", "delay"])
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(ValueError):
+            FaultProfile(**{field: value})
+        with pytest.raises(ValueError):
+            EdgeRule(**{field: value})
+
+    def test_negative_delay_ms_rejected(self):
+        with pytest.raises(ValueError):
+            FaultProfile(delay_ms=-1.0)
+
+    def test_partition_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            Partition((("a",), ("b",)), start=10, stop=10)
+
+    def test_crash_restart_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CrashEvent("a", at=5, restart_at=5)
+
+
+class TestRuleMatching:
+    def test_first_matching_rule_wins(self):
+        profile = FaultProfile(
+            drop=0.5,
+            rules=(
+                EdgeRule(sender="a", drop=0.1),
+                EdgeRule(sender="a", recipient="b", drop=0.9),
+            ),
+        )
+        assert profile.rates_for("a", "b", "QueryRequest").drop == 0.1
+
+    def test_rule_replaces_globals_entirely(self):
+        """A matching all-zero rule exempts the edge from global faults."""
+        profile = FaultProfile(drop=0.5, rules=(EdgeRule(sender="proxy"),))
+        assert profile.rates_for("proxy", "v1", "QueryRequest").drop == 0.0
+
+    def test_fallback_is_globals(self):
+        profile = FaultProfile(drop=0.5, rules=(EdgeRule(sender="a", drop=0.1),))
+        assert profile.rates_for("z", "b", "QueryRequest").drop == 0.5
+
+    def test_kind_scoping(self):
+        profile = FaultProfile(rules=(EdgeRule(kind="PocTransfer", drop=1.0),))
+        assert profile.rates_for("a", "b", "PocTransfer").drop == 1.0
+        assert profile.rates_for("a", "b", "QueryRequest").drop == 0.0
+
+
+class TestPartition:
+    def test_separates_only_across_groups(self):
+        partition = Partition((("a", "b"), ("c",)))
+        assert partition.separates("a", "c")
+        assert not partition.separates("a", "b")
+        assert not partition.separates("a", "unlisted")
+
+    def test_window(self):
+        partition = Partition((("a",), ("b",)), start=5, stop=10)
+        assert not partition.active(4)
+        assert partition.active(5)
+        assert partition.active(9)
+        assert not partition.active(10)
+
+    def test_never_heals(self):
+        assert Partition((("a",), ("b",)), start=0).active(10**9)
+
+
+class TestEnabled:
+    def test_default_profile_disabled(self):
+        assert not FaultProfile().enabled
+
+    def test_any_rate_enables(self):
+        assert FaultProfile(drop=0.01).enabled
+
+    def test_rule_only_profile_enabled(self):
+        assert FaultProfile(rules=(EdgeRule(sender="a", drop=0.5),)).enabled
+
+    def test_schedule_only_profile_enabled(self):
+        assert FaultProfile(crashes=(CrashEvent("a", at=3),)).enabled
+
+
+class TestParseAndSerialise:
+    def test_inline_spec(self):
+        profile = FaultProfile.parse("drop=0.1,dup=0.02,seed=run7,crash=n3@40-90")
+        assert profile.drop == 0.1
+        assert profile.duplicate == 0.02
+        assert profile.seed == "run7"
+        assert profile.crashes == (CrashEvent("n3", at=40, restart_at=90),)
+
+    def test_inline_crash_without_restart(self):
+        profile = FaultProfile.parse("crash=n1@7")
+        assert profile.crashes == (CrashEvent("n1", at=7, restart_at=None),)
+
+    @pytest.mark.parametrize("spec", ["drop", "wat=1", "crash=n1", "drop=2.0"])
+    def test_malformed_inline_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultProfile.parse(spec)
+
+    def test_json_file_roundtrip(self, tmp_path):
+        original = FaultProfile(
+            seed="s",
+            drop=0.2,
+            rules=(EdgeRule(sender="a", drop=0.1),),
+            partitions=(Partition((("a",), ("b",)), start=1, stop=4),),
+            crashes=(CrashEvent("c", at=2, restart_at=9),),
+        )
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(original.to_dict()))
+        assert FaultProfile.parse(str(path)) == original
+
+    def test_with_seed_preserves_plan(self):
+        profile = FaultProfile(drop=0.3).with_seed("other")
+        assert profile.seed == "other"
+        assert profile.drop == 0.3

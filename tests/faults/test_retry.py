@@ -1,0 +1,155 @@
+"""RetryPolicy / ReliableChannel: backoff, deadlines, stamping, pass-through."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.errors import NetworkTimeout, ParticipantUnresponsiveError
+from repro.desword.messages import PsBroadcast
+from repro.desword.network import SimNetwork
+from repro.faults import FaultProfile, FaultyNetwork, ReliableChannel, RetryPolicy
+
+
+class Echo:
+    def __init__(self):
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        return PsBroadcast("ack")
+
+
+class FlakyEndpoint:
+    """Times out ``failures`` times, then answers."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise NetworkTimeout("flaky")
+        return PsBroadcast("ack")
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_backoff_ms": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.5},
+            {"timeout_ms": 0.0},
+            {"deadline_ms": 0.0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_backoff_ms=10.0, backoff_factor=2.0, jitter=0.0)
+        rng = DeterministicRng("b")
+        assert policy.backoff_ms(0, rng) == 10.0
+        assert policy.backoff_ms(2, rng) == 40.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_backoff_ms=10.0, jitter=0.5)
+        values = [policy.backoff_ms(0, DeterministicRng("j")) for _ in range(3)]
+        assert values[0] == values[1] == values[2]
+        assert 10.0 <= values[0] <= 15.0
+
+
+def test_pass_through_without_policy():
+    net = SimNetwork()
+    endpoint = Echo()
+    net.register("a", endpoint)
+    channel = ReliableChannel(net)
+    response = channel.request("b", "a", PsBroadcast("ps"))
+    assert response == PsBroadcast("ack")
+    # No policy: no stamping, the wire sees the exact messages given.
+    expected = PsBroadcast("ps").size_bytes() + PsBroadcast("ack").size_bytes()
+    assert net.stats.bytes_sent == expected
+
+
+def test_retries_until_success():
+    net = SimNetwork()
+    endpoint = FlakyEndpoint(failures=2)
+    net.register("a", endpoint)
+    channel = ReliableChannel(net, RetryPolicy(max_attempts=4))
+    assert channel.request("b", "a", PsBroadcast("ps")) == PsBroadcast("ack")
+    assert endpoint.calls == 3
+
+
+def test_exhaustion_raises_unresponsive():
+    net = SimNetwork()
+    net.register("a", FlakyEndpoint(failures=100))
+    channel = ReliableChannel(net, RetryPolicy(max_attempts=3))
+    with pytest.raises(ParticipantUnresponsiveError):
+        channel.request("b", "a", PsBroadcast("ps"))
+
+
+def test_timeouts_charge_simulated_time():
+    net = SimNetwork()
+    net.register("a", FlakyEndpoint(failures=1))
+    policy = RetryPolicy(timeout_ms=40.0, base_backoff_ms=10.0, jitter=0.0)
+    channel = ReliableChannel(net, policy)
+    channel.request("b", "a", PsBroadcast("ps"))
+    # One lost attempt: 40ms waited out + 10ms backoff, plus real latency.
+    assert net.stats.simulated_ms >= 50.0
+
+
+def test_deadline_cuts_attempts_short():
+    net = SimNetwork()
+    net.register("a", FlakyEndpoint(failures=100))
+    policy = RetryPolicy(
+        max_attempts=10, timeout_ms=50.0, base_backoff_ms=10.0,
+        jitter=0.0, deadline_ms=120.0,
+    )
+    channel = ReliableChannel(net, policy)
+    with pytest.raises(ParticipantUnresponsiveError):
+        channel.request("b", "a", PsBroadcast("ps"))
+    # 50 + 10 + 50 = 110 of waiting (plus ~1ms wire latency per delivery);
+    # a third attempt would push past the 120ms deadline.
+    assert 110.0 <= net.stats.simulated_ms <= 115.0
+
+
+def test_stamps_only_on_idempotent_networks():
+    plain = SimNetwork()
+    seen_plain = []
+    plain.register("a", Echo())
+    plain.add_tap(lambda s, r, m: seen_plain.append(m.msg_id))
+    ReliableChannel(plain, RetryPolicy()).request("b", "a", PsBroadcast("ps"))
+    assert seen_plain == [None, None]  # SimNetwork cannot redeliver: no ids
+
+    wrapped = FaultyNetwork(SimNetwork(), FaultProfile())
+    seen = []
+    wrapped.register("a", Echo())
+    wrapped.add_tap(lambda s, r, m: seen.append(m.msg_id))
+    ReliableChannel(wrapped, RetryPolicy()).request("b", "a", PsBroadcast("ps"))
+    assert seen[0] is not None
+
+
+def test_stamped_retries_reuse_the_same_id():
+    net = FaultyNetwork(SimNetwork(), FaultProfile())
+    net.register("a", FlakyEndpoint(failures=1))
+    seen = []
+    net.add_tap(lambda s, r, m: seen.append(m.msg_id))
+    ReliableChannel(net, RetryPolicy()).request("b", "a", PsBroadcast("ps"))
+    request_ids = seen[:-1]  # last entry is the response leg
+    assert len(request_ids) == 2
+    assert len(set(request_ids)) == 1
+
+
+def test_retry_against_real_drops_succeeds():
+    net = FaultyNetwork(SimNetwork(), FaultProfile(seed="retry", drop=0.4))
+    endpoint = Echo()
+    net.register("a", endpoint)
+    channel = ReliableChannel(
+        net, RetryPolicy(max_attempts=12, deadline_ms=10_000.0),
+        DeterministicRng("chan"),
+    )
+    for _ in range(30):
+        assert channel.request("b", "a", PsBroadcast("ps")) == PsBroadcast("ack")
+    assert net.injected["drop"] > 0

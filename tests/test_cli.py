@@ -218,6 +218,26 @@ class TestStoreCommands:
         assert main(["store", "verify", "--state-dir", str(state_dir)]) == 0
         assert "torn tail dropped: 3 bytes" in capsys.readouterr().out
 
+    def test_verify_state_dir_produced_under_faults(self, tmp_path, capsys):
+        """A journal written through a lossy network still verifies clean."""
+        directory = tmp_path / "chaos-state"
+        assert main(
+            [
+                "evaluate", "--repeats", "1", "--json",
+                "--state-dir", str(directory),
+                "--fault-profile", "drop=0.05,seed=cli-chaos",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        faults = payload["protocol"]["faults"]
+        assert faults["queries_correct"] == faults["queries_total"]
+        assert sum(faults["injected"].values()) > 0  # the wire really was lossy
+        assert main(["store", "verify", "--state-dir", str(directory), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["errors"] == []
+        assert report["events"]["poc_lists"] >= 1
+
 
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
