@@ -29,6 +29,7 @@ METRICS_JSON_PATH = Path(__file__).parent / "BENCH_metrics.json"
 MSM_JSON_PATH = Path(__file__).parent / "BENCH_msm.json"
 STORE_JSON_PATH = Path(__file__).parent / "BENCH_store.json"
 FAULTS_JSON_PATH = Path(__file__).parent / "BENCH_faults.json"
+SHARD_JSON_PATH = Path(__file__).parent / "BENCH_shard.json"
 
 # The paper's exact Table II grid (q^h >= 2^128).
 FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
@@ -133,6 +134,16 @@ def faults_records():
     BENCH_faults.json so CI's chaos job can check the zero-fault-overhead
     and completion-under-loss invariants without parsing other benches."""
     collector = _BenchRecords(FAULTS_JSON_PATH)
+    yield collector
+    collector.flush()
+
+
+@pytest.fixture(scope="session")
+def shard_records():
+    """Sharded-tier rows (query throughput vs shard count), merged into
+    BENCH_shard.json so CI's shard-failover job can check the
+    throughput-scales-with-shards invariant without parsing other benches."""
+    collector = _BenchRecords(SHARD_JSON_PATH)
     yield collector
     collector.flush()
 

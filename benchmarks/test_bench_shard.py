@@ -1,0 +1,93 @@
+"""Sharded proxy tier: does routing actually buy throughput?
+
+The monolithic proxy's interactive query scans every initial's POC queue
+— work that grows with the number of distributed tasks.  The consistent-
+hash router sends each query straight to the one shard owning the
+product's task, so that shard scans only its own slice of the queue.
+With T tasks over N shards the per-query probe work drops roughly N-fold,
+and wall-clock throughput must follow.
+
+The asserted invariant (also CI's shard-failover gate): at 64 tasks,
+4 shards sustain >= 1.5x the single-proxy queries/second.  Rows land in
+``BENCH_shard.json`` (merged on re-run, like the other ``BENCH_*``
+artifacts).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.poc.scheme import PocScheme
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.supplychain.quality import IndependentQualityModel
+from repro.zkedb.hash_backend import MerkleEdbBackend
+
+KEY_BITS = 16
+TASKS = 64
+PER_TASK = 3
+QUERIES = 48
+ROUNDS = 5
+SHARD_COUNTS = (1, 2, 4)
+
+_SCHEME = None
+
+
+def _scheme() -> PocScheme:
+    global _SCHEME
+    if _SCHEME is None:
+        backend = MerkleEdbBackend(q=4, key_bits=KEY_BITS)
+        _SCHEME = PocScheme.ps_gen(backend, KEY_BITS)
+    return _SCHEME
+
+
+def _tier(shards: int) -> tuple[Deployment, list[int]]:
+    chain = pharma_chain(DeterministicRng("bench-shard/chain"))
+    oracle = IndependentQualityModel(beta=0.0, seed="bench-shard/q")
+    deployment = Deployment.build(
+        chain, _scheme(), oracle, seed="bench-shard", shards=shards
+    )
+    products = product_batch(
+        DeterministicRng("bench-shard/p"), TASKS * PER_TASK, KEY_BITS
+    )
+    for start in range(0, len(products), PER_TASK):
+        deployment.distribute(products[start : start + PER_TASK])
+    return deployment, products
+
+
+def _round_ms(deployment, products) -> float:
+    step = max(1, len(products) // QUERIES)
+    start = time.perf_counter()
+    for pid in products[::step][:QUERIES]:
+        deployment.proxy.query_product(pid, "good", apply_reputation=False)
+    return (time.perf_counter() - start) * 1000.0
+
+
+def test_throughput_scales_with_shards(report, shard_records):
+    """4 shards must clear 1.5x the monolith's queries/second."""
+    qps = {}
+    for shards in SHARD_COUNTS:
+        deployment, products = _tier(shards)
+        _round_ms(deployment, products)  # warm caches and code paths
+        best_ms = min(_round_ms(deployment, products) for _ in range(ROUNDS))
+        qps[shards] = QUERIES / (best_ms / 1000.0)
+        shard_records.add(
+            "query_throughput",
+            f"shards={shards},tasks={TASKS}",
+            best_ms / QUERIES,
+        )
+    report.add(
+        f"shard scaling ({TASKS} tasks, {QUERIES} queries/round):",
+        *(
+            f"  shards={shards}: {qps[shards]:8.1f} q/s "
+            f"({qps[shards] / qps[1]:.2f}x vs monolith)"
+            for shards in SHARD_COUNTS
+        ),
+    )
+    assert qps[4] >= 1.5 * qps[1], (
+        f"4-shard tier only reached {qps[4] / qps[1]:.2f}x the monolith "
+        f"({qps[4]:.1f} vs {qps[1]:.1f} q/s); expected >= 1.5x"
+    )
+    # More shards never lose to fewer on this workload.
+    assert qps[2] >= qps[1]

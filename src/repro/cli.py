@@ -1,13 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five self-contained entry points:
+Six self-contained entry points:
 
 * ``demo``       — build a chain, distribute products, run one query;
 * ``evaluate``   — regenerate Table II / Figure 4 / Figure 5 rows;
 * ``incentives`` — print the double-edged incentive analysis;
 * ``metrics``    — pretty-print the telemetry registry and span tree;
 * ``store``      — ``inspect`` / ``verify`` / ``compact`` a durable
-  proxy state store (created with ``evaluate --state-dir DIR``).
+  proxy state store (created with ``evaluate --state-dir DIR``);
+* ``shard``      — ``status`` a sharded proxy tier's state directory
+  (created with ``evaluate --shards N --replicas R --state-dir DIR``).
 
 ``--verbose`` (repeatable) turns on the ``repro`` logger hierarchy, and
 ``evaluate --metrics-out FILE`` dumps the full metrics registry + span
@@ -75,6 +77,8 @@ def _run_protocol_sample(
     products: int = 6,
     state_dir: str | None = None,
     fault_profile: "FaultProfile | None" = None,
+    shards: int = 1,
+    replicas: int = 0,
 ) -> dict:
     """One small end-to-end pass: distribution phase + both query modes.
 
@@ -93,6 +97,7 @@ def _run_protocol_sample(
         fault_profile=fault_profile,
         retry=RetryPolicy() if fault_profile is not None else None,
         breaker=BreakerPolicy() if fault_profile is not None else None,
+        shards=shards, replicas=replicas,
     )
     rng = DeterministicRng(seed)
     network = config.build_network()
@@ -104,6 +109,8 @@ def _run_protocol_sample(
         network=network,
         retry=config.retry,
         breaker=config.breaker,
+        shards=config.shards,
+        replicas=config.replicas,
     )
     batch = product_batch(rng.fork("products"), products, 32)
     record, phase = deployment.distribute(batch)
@@ -130,13 +137,19 @@ def _run_protocol_sample(
             "ticks": summary["tick"],
             "queries_correct": correct,
             "queries_total": len(batch),
+            # The sharded router has per-shard breakers, not one proxy-wide
+            # one; report the monolith's when present, else empty.
             "breakers": deployment.proxy.breaker.snapshot()
-            if deployment.proxy.breaker is not None
+            if getattr(deployment.proxy, "breaker", None) is not None
             else {},
         }
-    if deployment.proxy.store is not None:
-        result["store"] = deployment.proxy.store.stats()
-        deployment.proxy.store.close()
+    proxy = deployment.proxy
+    if shards > 1 or replicas > 0:
+        result["sharding"] = proxy.status()
+        proxy.close()
+    elif proxy.store is not None:
+        result["store"] = proxy.store.stats()
+        proxy.store.close()
     return result
 
 
@@ -219,6 +232,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             workers=args.workers,
             state_dir=args.state_dir,
             fault_profile=fault_profile,
+            shards=args.shards,
+            replicas=args.replicas,
         )
 
     if emit_json:
@@ -387,6 +402,9 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
         f"events    : {state.applied} "
         f"(snapshot covers {recovery.snapshot_seqno}, replayed {recovery.replayed})"
     )
+    first, last = store.wal_bounds()
+    span = "empty" if first is None else f"frames {first}..{last}"
+    print(f"wal       : {span}, snapshot generation {store.stats()['snapshot_generation']}")
     if recovery.dropped_bytes:
         print(
             f"torn tail : dropped {recovery.dropped_bytes} bytes "
@@ -407,6 +425,79 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
         print("reputation:")
         for participant, score in sorted(scores.items(), key=lambda kv: (-kv[1], kv[0])):
             print(f"  {participant:<16s} {score:+.1f}")
+    return 0
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    """Report a sharded state directory: routing, WAL bounds, replica lag.
+
+    Reads the directory layout ``Deployment.build(shards=N, replicas=R,
+    state_dir=...)`` writes (``router/`` + ``shard-*/primary`` +
+    ``shard-*/replica-*``) without touching the files.  This is a
+    point-in-time view of what is on disk; after a failover the promoted
+    replica's directory holds the newest state.
+    """
+    import json
+    from pathlib import Path
+
+    from .store import EventDecodeError, ProxyStateStore, StoreError, WalError
+
+    base = Path(args.state_dir)
+    router_dir = base / "router"
+    if not router_dir.exists():
+        print(f"{base} is not a sharded state dir (no router/ subdirectory)")
+        return 1
+
+    def read_stats(directory: Path) -> dict:
+        try:
+            return ProxyStateStore.read(directory).stats()
+        except (StoreError, WalError, EventDecodeError) as exc:
+            return {"state_dir": str(directory), "error": str(exc)}
+
+    router = ProxyStateStore.read(router_dir)
+    tasks_by_shard: dict[str, list[str]] = {}
+    for task_id, route in sorted(router.state.routes.items()):
+        tasks_by_shard.setdefault(route.shard_id, []).append(task_id)
+    payload: dict = {
+        "state_dir": str(base),
+        "router": router.stats(),
+        "shards": {},
+    }
+    for shard_dir in sorted(base.glob("shard-*")):
+        shard_id = shard_dir.name.removeprefix("shard-")
+        primary = read_stats(shard_dir / "primary")
+        replicas = {}
+        for replica_dir in sorted(shard_dir.glob("replica-*")):
+            stats = read_stats(replica_dir)
+            if "applied" in stats and "applied" in primary:
+                stats["lag"] = max(0, primary["applied"] - stats["applied"])
+            replicas[replica_dir.name] = stats
+        payload["shards"][shard_id] = {
+            "tasks": tasks_by_shard.get(shard_id, []),
+            "primary": primary,
+            "replicas": replicas,
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"state dir : {base}")
+    print(
+        f"router    : {router.state.applied} events, "
+        f"{len(router.state.routes)} routes, {len(router.state.awards)} awards"
+    )
+    for shard_id, entry in payload["shards"].items():
+        primary = entry["primary"]
+        wal = primary.get("wal", {})
+        print(
+            f"shard {shard_id:<4s}: tasks={entry['tasks'] or '[]'} "
+            f"applied={primary.get('applied', '?')} "
+            f"wal=[{wal.get('first_seqno')}..{wal.get('last_seqno')}]"
+        )
+        for name, stats in entry["replicas"].items():
+            print(
+                f"  {name}: applied={stats.get('applied', '?')} "
+                f"lag={stats.get('lag', '?')}"
+            )
     return 0
 
 
@@ -518,6 +609,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the protocol pass under fault injection: a JSON profile "
              "file or inline 'drop=0.1,dup=0.02,seed=run7,crash=ID@40-90'",
     )
+    evaluate.add_argument(
+        "--shards", type=int, default=1,
+        help="run the protocol pass on a sharded proxy tier (1 = monolith)",
+    )
+    evaluate.add_argument(
+        "--replicas", type=int, default=0,
+        help="WAL-shipped replica stores per shard (requires --state-dir)",
+    )
     evaluate.set_defaults(func=_cmd_evaluate)
 
     store = sub.add_parser(
@@ -538,6 +637,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true", help="emit machine-readable JSON"
         )
         sub_cmd.set_defaults(func=func)
+
+    shard = sub.add_parser(
+        "shard", help="inspect the sharded proxy tier's on-disk state"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    status = shard_sub.add_parser(
+        "status", help="routing, WAL bounds, and replica lag per shard"
+    )
+    status.add_argument(
+        "--state-dir", metavar="DIR", required=True,
+        help="the sharded state directory (evaluate --shards N --state-dir)",
+    )
+    status.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    status.set_defaults(func=_cmd_shard_status)
 
     metrics = sub.add_parser(
         "metrics", help="pretty-print the telemetry registry and span tree"

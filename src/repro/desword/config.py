@@ -45,6 +45,18 @@ class DeSwordConfig:
     fault_profile: FaultProfile | None = None
     retry: RetryPolicy | None = None
     breaker: BreakerPolicy | None = None
+    # Proxy-tier topology: 1/0 is the paper's monolithic proxy; shards > 1
+    # fronts N consistent-hash shards with a ProxyRouter, and replicas > 0
+    # keeps that many WAL-shipped replica stores per shard for failover
+    # (replicas require a state_dir at Deployment.build time).
+    shards: int = 1
+    replicas: int = 0
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas}")
 
     def curve(self) -> BNCurve:
         return bn254() if self.curve_kind == "bn254" else toy_bn()

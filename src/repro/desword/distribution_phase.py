@@ -235,7 +235,9 @@ def _run_distribution_phase(
             proxy.identity,
             PocListSubmission(task_id, poc_list.size_bytes(backend)),
         )
-        proxy.receive_poc_list(poc_list)
+        # Product ids ride along as routing metadata: the sharded router
+        # places the task by them, the monolith ignores them.
+        proxy.receive_poc_list(poc_list, product_ids=record.task.product_ids)
         resume.submitted = True
     if proxy.store is not None:
         # A completed distribution task is a durability point: the list

@@ -59,6 +59,8 @@ class Deployment:
         network: SimNetwork | FaultyNetwork | None = None,
         retry: RetryPolicy | None = None,
         breaker: BreakerPolicy | None = None,
+        shards: int = 1,
+        replicas: int = 0,
     ) -> "Deployment":
         """Assemble a world; ``state_dir`` attaches a durable state store.
 
@@ -70,6 +72,14 @@ class Deployment:
         ``DeSwordConfig.build_network()``, a fault-injecting wrapper) and
         resilience policies: ``retry`` governs every node→proxy and
         proxy→node exchange, ``breaker`` arms per-participant quarantine.
+
+        ``shards > 1`` (or ``replicas > 0``) replaces the monolithic
+        proxy with the sharded tier: a
+        :class:`~repro.sharding.router.ProxyRouter` fronting N
+        ``QueryProxy`` shards, each optionally backed by WAL-shipped
+        replica stores under ``state_dir`` for failover.  The router
+        presents the same query surface, so everything downstream
+        (``distribute``/``query``/``sweep``) is shard-transparent.
         """
         rng = DeterministicRng(seed)
         network = network if network is not None else SimNetwork()
@@ -85,17 +95,28 @@ class Deployment:
             )
             nodes[participant_id] = node
             network.register(participant_id, node)
-        store = None
-        if state_dir is not None:
-            from ..store import ProxyStateStore
+        if shards > 1 or replicas > 0:
+            from ..sharding import ProxyRouter
 
-            store = ProxyStateStore.open(state_dir, backend=scheme.backend)
-        proxy = QueryProxy(
-            scheme, network, oracle, policy, store=store,
-            retry=retry, breaker=breaker,
-        )
-        if store is not None and store.state.applied:
-            proxy.load_from_store()
+            proxy = ProxyRouter(
+                scheme, network, oracle, policy,
+                shards=shards, replicas=replicas,
+                state_dir=state_dir, retry=retry, breaker=breaker,
+            )
+            if proxy.store is not None and proxy.store.state.applied:
+                proxy.load_from_store()
+        else:
+            store = None
+            if state_dir is not None:
+                from ..store import ProxyStateStore
+
+                store = ProxyStateStore.open(state_dir, backend=scheme.backend)
+            proxy = QueryProxy(
+                scheme, network, oracle, policy, store=store,
+                retry=retry, breaker=breaker,
+            )
+            if store is not None and store.state.applied:
+                proxy.load_from_store()
         return cls(
             chain, scheme, network, nodes, proxy, rng, retry_policy=retry
         )

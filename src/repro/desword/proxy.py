@@ -18,6 +18,7 @@ Two query modes are provided:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -56,7 +57,7 @@ from .messages import (
 )
 from .network import SimNetwork
 from .poclist import PocList
-from .reputation import ReputationEngine, ReputationPolicy
+from .reputation import ReputationEngine, ReputationPolicy, apply_query_awards
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..store import ProxyStateStore
@@ -109,6 +110,45 @@ class QueryResult:
     def found(self) -> bool:
         return bool(self.path)
 
+    def canonical_bytes(self) -> bytes:
+        """Semantic identity of the query outcome, transport-independent.
+
+        Encodes everything the protocol *concluded* — product, quality,
+        task, path order, traces, violations — and nothing about how the
+        wire behaved (``messages``/``bytes_sent`` vary under retries and
+        routing).  Two deployments that answer a query identically
+        produce byte-identical encodings; this is what the sharded
+        tier's correctness tests compare against the monolithic proxy.
+        """
+
+        def pack_str(text: str) -> bytes:
+            raw = text.encode()
+            return struct.pack(">H", len(raw)) + raw
+
+        def pack_bytes(raw: bytes) -> bytes:
+            return struct.pack(">I", len(raw)) + raw
+
+        def pack_uint(value: int) -> bytes:
+            width = max(1, (value.bit_length() + 7) // 8)
+            return struct.pack(">H", width) + value.to_bytes(width, "big")
+
+        parts = [b"QR1", pack_uint(self.product_id), pack_str(self.quality)]
+        parts.append(b"\x00" if self.task_id is None else b"\x01" + pack_str(self.task_id))
+        parts.append(struct.pack(">H", len(self.path)))
+        parts.extend(pack_str(hop) for hop in self.path)
+        parts.append(struct.pack(">H", len(self.traces)))
+        for participant_id in sorted(self.traces):
+            parts.append(pack_str(participant_id))
+            parts.append(pack_bytes(self.traces[participant_id]))
+        parts.append(struct.pack(">H", len(self.violations)))
+        for violation in self.violations:
+            parts.append(pack_str(violation.kind))
+            parts.append(pack_str(violation.participant_id))
+            parts.append(pack_uint(violation.product_id))
+            parts.append(pack_str(violation.detail))
+            parts.append(b"\x01" if violation.attributable else b"\x00")
+        return b"".join(parts)
+
 
 class QueryProxy:
     """The trusted proxy: POC storage, query issuing, reputation award."""
@@ -149,12 +189,24 @@ class QueryProxy:
         self.poc_lists: dict[str, PocList] = {}
         # The paper's POC-queue per initial participant: (task_id, POC).
         self.poc_queues: dict[str, list[tuple[str, PocCredential]]] = {}
+        # Crash-injection hook for the sharded tier's failover tests: when
+        # set, called with the protocol stage name ("probe" | "refuse" |
+        # "reveal") at each crashable point; raising simulates this proxy
+        # process dying mid-query.
+        self.failpoint = None
         network.register(identity, self)
 
     # -- distribution-phase interface -------------------------------------------
 
-    def receive_poc_list(self, poc_list: PocList) -> None:
-        """Validate and store a submitted POC list (Section IV.B / IV.D)."""
+    def receive_poc_list(self, poc_list: PocList, product_ids=None) -> None:
+        """Validate and store a submitted POC list (Section IV.B / IV.D).
+
+        ``product_ids`` — the task's product ids — is routing metadata the
+        sharded :class:`~repro.sharding.router.ProxyRouter` needs for
+        placement; the monolithic proxy accepts and ignores it so the
+        distribution phase can hand it over uniformly.
+        """
+        del product_ids
         poc_list.validate()
         if poc_list.task_id in self.poc_lists:
             raise PocListError(f"duplicate POC list for task {poc_list.task_id!r}")
@@ -241,6 +293,10 @@ class QueryProxy:
         default_registry().counter("proxy.breaker.skips").inc()
         return True
 
+    def _fire_failpoint(self, stage: str) -> None:
+        if self.failpoint is not None:
+            self.failpoint(stage)
+
     # -- probing one participant ---------------------------------------------------
 
     def _probe(
@@ -263,6 +319,7 @@ class QueryProxy:
         unparseable proof); otherwise ``proof`` awaits a verdict, letting
         :meth:`sweep_query` verify a whole round in one batch.
         """
+        self._fire_failpoint("probe")
         metrics = default_registry()
         pending = _PendingProbe(participant_id, poc, kind, product_id)
         if self._quarantined(participant_id):
@@ -295,6 +352,7 @@ class QueryProxy:
             )
             return pending
         if not isinstance(response, ProofResponse) or response.refused:
+            self._fire_failpoint("refuse")
             self._breaker_success(participant_id)  # a refusal is still an answer
             metrics.counter("query.refusals", kind=kind).inc()
             if kind == BAD_QUERY:
@@ -374,6 +432,7 @@ class QueryProxy:
         prior: tuple[Violation, ...],
     ) -> ProbeOutcome:
         """Bad-product step 2: require the ownership proof (Section IV.C)."""
+        self._fire_failpoint("reveal")
         default_registry().counter("query.blame_reveals").inc()
         response = self._request(participant_id, RevealRequest(product_id))
         if response is _TIMED_OUT:
@@ -666,14 +725,5 @@ class QueryProxy:
     # -- reputation ------------------------------------------------------------
 
     def _apply_awards(self, result: QueryResult) -> None:
-        """The double-edged award strategy (Figure 2)."""
-        if result.quality == "good":
-            self.reputation.apply_good_query(result.path, result.product_id)
-        else:
-            self.reputation.apply_bad_query(result.path, result.product_id)
-        for violation in result.violations:
-            if violation.attributable:
-                self.reputation.apply_violation(
-                    violation.participant_id, violation.kind, violation.product_id
-                )
-        result.reputation_applied = True
+        """The double-edged award strategy (Figure 2), via the merge point."""
+        apply_query_awards(self.reputation, result)

@@ -16,7 +16,12 @@ from typing import Callable, Sequence
 
 from ..obs import default_registry, get_logger
 
-__all__ = ["ReputationPolicy", "ScoreEvent", "ReputationEngine"]
+__all__ = [
+    "ReputationPolicy",
+    "ScoreEvent",
+    "ReputationEngine",
+    "apply_query_awards",
+]
 
 _log = get_logger(__name__)
 
@@ -141,6 +146,11 @@ class ReputationEngine:
             product_id,
         )
 
+    def merge_history(self, events: Sequence[ScoreEvent]) -> None:
+        """Fold another ledger's journal into this one (journal order)."""
+        for event in events:
+            self.replay(event)
+
     def score_of(self, participant_id: str) -> float:
         """Public read access (customers consult these scores)."""
         return self._scores.get(participant_id, 0.0)
@@ -150,3 +160,33 @@ class ReputationEngine:
 
     def snapshot(self) -> dict[str, float]:
         return dict(self._scores)
+
+
+def apply_query_awards(engine: ReputationEngine, result) -> None:
+    """The double-edged award for one finished query (Figure 2).
+
+    This is the *single merge point* for query-driven reputation: the
+    monolithic proxy and the sharded router both route every finished
+    :class:`~repro.desword.proxy.QueryResult` through here, against
+    exactly one engine.  A participant identified on paths owned by
+    different shards therefore accrues onto one consolidated ledger —
+    per-shard ledgers would silently split its score.
+
+    Refuses to apply twice: a result that already carried its awards
+    (``reputation_applied``) must never be scored again by a different
+    layer of the tier.
+    """
+    if result.reputation_applied:
+        raise ValueError(
+            f"query {result.product_id:#x} already carried its reputation awards"
+        )
+    if result.quality == "good":
+        engine.apply_good_query(result.path, result.product_id)
+    else:
+        engine.apply_bad_query(result.path, result.product_id)
+    for violation in result.violations:
+        if violation.attributable:
+            engine.apply_violation(
+                violation.participant_id, violation.kind, violation.product_id
+            )
+    result.reputation_applied = True

@@ -1,0 +1,35 @@
+"""The sharded proxy tier: consistent-hash routing + replicated shards.
+
+The paper's single trusted proxy is both the scalability bottleneck and
+the single point of failure for the "millions of users" goal; related
+work (DeTRM, TrustChain) decentralises exactly this role.  This package
+scales it horizontally without changing the protocol:
+
+* :mod:`repro.sharding.ring` — :class:`ShardRing`, consistent hashing
+  with virtual nodes over SHA-256 (hash-seed independent, balanced,
+  minimal key movement on resize);
+* :mod:`repro.sharding.shard` — one shard's live pieces: the primary
+  :class:`~repro.desword.proxy.QueryProxy`, its warm replica stores,
+  and the :class:`CrashPlan`/:class:`ShardCrashed` crash machinery;
+* :mod:`repro.sharding.router` — :class:`ProxyRouter`, the client-facing
+  front-end: routes queries to the owning shard, fans out sweeps,
+  merges awards into one global ledger, and promotes a replica via WAL
+  shipping (:mod:`repro.store.replication`) when a primary dies.
+
+Wired in via ``Deployment.build(..., shards=N, replicas=R)``, the CLI's
+``evaluate --shards`` flag, and ``repro shard status``.
+"""
+
+from .ring import DEFAULT_VNODES, ShardRing
+from .router import ProxyRouter
+from .shard import CRASH_STAGES, CrashPlan, Shard, ShardCrashed
+
+__all__ = [
+    "CRASH_STAGES",
+    "CrashPlan",
+    "DEFAULT_VNODES",
+    "ProxyRouter",
+    "Shard",
+    "ShardCrashed",
+    "ShardRing",
+]

@@ -1,0 +1,404 @@
+"""The client-facing front-end of the sharded proxy tier.
+
+:class:`ProxyRouter` presents the monolithic
+:class:`~repro.desword.proxy.QueryProxy` surface — ``receive_poc_list``,
+``query_product``, ``sweep_query``, the public-parameter handler — while
+owning none of the protocol itself:
+
+* **placement** — each distribution task's POC list lives on exactly one
+  shard, chosen by majority vote of the :class:`~repro.sharding.ring.ShardRing`
+  owners of the task's product ids (smallest shard id breaks ties).
+  Placements are journaled as ``RouteRecorded`` events in the router's
+  own store, so a restarted router rebuilds its routing maps from the
+  journal (POC-list wire bytes do not carry product ids);
+* **routing** — ``query_product`` runs entirely on the owning shard;
+  ``sweep_query`` fans out across every shard holding a relevant task
+  and merges the partial results in the monolith's task order, so the
+  merged :class:`~repro.desword.proxy.QueryResult` is canonically
+  byte-identical to the unsharded answer;
+* **one ledger** — shards never apply reputation.  Every finished query
+  flows through :func:`~repro.desword.reputation.apply_query_awards`
+  against the router's single engine, so a participant identified on
+  paths owned by different shards accrues one consolidated score;
+* **failover** — each shard primary streams its journal to warm replica
+  stores after every mutation (synchronous WAL shipping via
+  :func:`~repro.store.replication.replicate`).  A primary death
+  mid-query (:class:`~repro.sharding.shard.ShardCrashed`) trips the
+  router's shard breaker; the first replica is promoted by rebuilding a
+  ``QueryProxy`` from its journal — PR 4's snapshot+tail recovery path —
+  and the interrupted query re-runs cleanly on the new primary.
+
+Consistency model: shipping happens *before* a mutation is acknowledged
+to the caller, so a promoted replica always holds every accepted POC
+list; queries journaled on the dead primary after its last ship are the
+only frames that can be lost, and queries are re-runnable by
+construction (they mutate nothing but their own journal entry).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from ..desword.proxy import QueryProxy, QueryResult
+from ..desword.reputation import ReputationEngine, apply_query_awards
+from ..faults.breaker import BreakerPolicy, CircuitBreaker
+from ..obs import default_registry, get_logger, trace
+from ..store.replication import replicate, replication_lag
+from .ring import DEFAULT_VNODES, ShardRing
+from .shard import Shard, ShardCrashed
+
+__all__ = ["ProxyRouter"]
+
+_log = get_logger(__name__)
+
+# A shard primary is declared dead on its first crash (there is no
+# half-failed process to probe), and stays dead: promotion replaces it.
+_SHARD_BREAKER = BreakerPolicy(failure_threshold=1, cooldown_ms=float("inf"))
+
+
+class ProxyRouter:
+    """Consistent-hash router over N ``QueryProxy`` shards."""
+
+    def __init__(
+        self,
+        scheme,
+        network,
+        oracle,
+        policy=None,
+        *,
+        shards: int = 2,
+        replicas: int = 0,
+        identity: str = "proxy",
+        state_dir=None,
+        retry=None,
+        breaker=None,
+        vnodes: int = DEFAULT_VNODES,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if replicas and state_dir is None:
+            raise ValueError("replicas need a state_dir (WAL shipping is disk-based)")
+        self.scheme = scheme
+        self.network = network
+        self.oracle = oracle
+        self.identity = identity
+        self._policy = policy
+        self._retry = retry
+        self._breaker_policy = breaker
+        self.ring = ShardRing([f"s{i}" for i in range(shards)], vnodes=vnodes)
+
+        self.store = None
+        base_dir = None
+        if state_dir is not None:
+            base_dir = Path(state_dir)
+            from ..store import ProxyStateStore
+
+            self.store = ProxyStateStore.open(
+                base_dir / "router", backend=scheme.backend
+            )
+        sink = self.store.record_award if self.store is not None else None
+        self.reputation = ReputationEngine(policy, sink=sink)
+
+        # The router's own breaker watches shard primaries, not supply-chain
+        # participants: one ShardCrashed opens the circuit for good and the
+        # promotion path closes it by replacing the primary.
+        self.shard_breaker = CircuitBreaker(
+            _SHARD_BREAKER, lambda: network.stats.simulated_ms
+        )
+
+        self.shards: dict[str, Shard] = {}
+        for shard_id in self.ring.shard_ids:
+            self.shards[shard_id] = self._build_shard(shard_id, replicas, base_dir)
+
+        self.task_to_shard: dict[str, str] = {}
+        self.product_to_shard: dict[int, str] = {}
+        network.register(identity, self)
+
+    def _build_shard(self, shard_id: str, replicas: int, base_dir) -> Shard:
+        primary_store = None
+        replica_stores = []
+        if base_dir is not None:
+            from ..store import ProxyStateStore
+
+            shard_dir = base_dir / f"shard-{shard_id}"
+            primary_store = ProxyStateStore.open(
+                shard_dir / "primary", backend=self.scheme.backend
+            )
+            replica_stores = [
+                ProxyStateStore.open(
+                    shard_dir / f"replica-{index}", backend=self.scheme.backend
+                )
+                for index in range(replicas)
+            ]
+        primary = QueryProxy(
+            self.scheme,
+            self.network,
+            self.oracle,
+            self._policy,
+            identity=f"{self.identity}/{shard_id}",
+            store=primary_store,
+            retry=self._retry,
+            breaker=self._breaker_policy,
+        )
+        return Shard(shard_id, primary, replica_stores)
+
+    # -- restore -------------------------------------------------------------
+
+    def load_from_store(self) -> None:
+        """Rebuild routing maps, the global ledger, and every shard."""
+        if self.store is None:
+            raise ValueError("router has no state store attached")
+        with trace.span("router.restore", routes=len(self.store.state.routes)):
+            for task_id, route in sorted(self.store.state.routes.items()):
+                if route.shard_id not in self.shards:
+                    raise ValueError(
+                        f"journaled route for task {task_id!r} names shard "
+                        f"{route.shard_id!r}, absent from this {len(self.shards)}-"
+                        "shard layout"
+                    )
+                self.task_to_shard[task_id] = route.shard_id
+                for product_id in route.product_ids:
+                    self.product_to_shard[product_id] = route.shard_id
+            for event in self.store.state.awards:
+                self.reputation.replay(event)
+            for shard in self.shards.values():
+                store = shard.primary.store
+                if store is not None and store.state.applied:
+                    shard.primary.load_from_store()
+        default_registry().counter("shard.router.restores").inc()
+
+    # -- the QueryProxy-compatible surface ------------------------------------
+
+    @property
+    def poc_lists(self) -> dict:
+        """Merged task -> PocList view across every shard (read-only)."""
+        merged: dict = {}
+        for shard in self.shards.values():
+            merged.update(shard.primary.poc_lists)
+        return merged
+
+    def handle_message(self, sender, message):
+        """Answer public-parameter requests, exactly like the monolith."""
+        from ..desword.messages import PsBroadcast, PsRequest
+
+        del sender
+        if isinstance(message, PsRequest):
+            return PsBroadcast("ps")
+        return None
+
+    def receive_poc_list(self, poc_list, product_ids=None) -> None:
+        """Place, ingest, journal, and replicate one submitted POC list."""
+        pids = tuple(product_ids) if product_ids is not None else ()
+        shard_id = self._place(poc_list.task_id, pids)
+        shard = self.shards[shard_id]
+        shard.primary.receive_poc_list(poc_list)
+        self.task_to_shard[poc_list.task_id] = shard_id
+        for product_id in pids:
+            self.product_to_shard[product_id] = shard_id
+        if self.store is not None:
+            self.store.record_route(poc_list.task_id, shard_id, pids)
+        default_registry().counter("shard.ingest", shard=shard_id).inc()
+        self._ship(shard)
+        _log.info(
+            "task %r placed on shard %s (%d products)",
+            poc_list.task_id, shard_id, len(pids),
+        )
+
+    def _place(self, task_id: str, product_ids: tuple) -> str:
+        """Majority vote of the ring owners of the task's products."""
+        if not product_ids:
+            return self.ring.owner_of(task_id)
+        votes = Counter(self.ring.owner_of(pid) for pid in product_ids)
+        top = max(votes.values())
+        return min(sid for sid, count in votes.items() if count == top)
+
+    def query_product(
+        self,
+        product_id: int,
+        quality: str | None = None,
+        apply_reputation: bool = True,
+    ) -> QueryResult:
+        """Route the interactive query to the shard owning the product."""
+        shard_id = self.product_to_shard.get(
+            product_id, self.ring.owner_of(product_id)
+        )
+        default_registry().counter(
+            "shard.route", shard=shard_id, mode="interactive"
+        ).inc()
+        result = self._run_on_shard(
+            shard_id,
+            lambda primary: primary.query_product(
+                product_id, quality, apply_reputation=False
+            ),
+        )
+        if apply_reputation:
+            apply_query_awards(self.reputation, result)
+        self._ship(self.shards[shard_id])
+        return result
+
+    def sweep_query(
+        self,
+        product_id: int,
+        quality: str | None = None,
+        task_id: str | None = None,
+        apply_reputation: bool = True,
+    ) -> QueryResult:
+        """Fan the sweep out across shards; merge in the monolith's order."""
+        if quality is None:
+            quality = "bad" if self.oracle.is_bad(product_id) else "good"
+        before = (self.network.stats.messages, self.network.stats.bytes_sent)
+        result = QueryResult(product_id, quality, task_id=task_id)
+        tasks = [task_id] if task_id else sorted(self.task_to_shard)
+        with trace.span(
+            "router.sweep", product=f"{product_id:#x}", tasks=len(tasks)
+        ):
+            for tid in tasks:
+                shard_id = self.task_to_shard[tid]
+                default_registry().counter(
+                    "shard.route", shard=shard_id, mode="sweep"
+                ).inc()
+                partial = self._run_on_shard(
+                    shard_id,
+                    lambda primary, tid=tid: primary.sweep_query(
+                        product_id, quality, task_id=tid, apply_reputation=False
+                    ),
+                )
+                self._merge_partial(result, partial)
+                self._ship(self.shards[shard_id])
+        result.messages = self.network.stats.messages - before[0]
+        result.bytes_sent = self.network.stats.bytes_sent - before[1]
+        if apply_reputation:
+            apply_query_awards(self.reputation, result)
+        return result
+
+    @staticmethod
+    def _merge_partial(result: QueryResult, partial: QueryResult) -> None:
+        for hop in partial.path:
+            if hop not in result.path:
+                result.path.append(hop)
+        result.traces.update(partial.traces)
+        result.violations.extend(partial.violations)
+
+    def sample_and_query(
+        self, market_products, rate: float, rng, apply_reputation: bool = True
+    ):
+        """Self-issued market sampling, routed per product (Section II.C)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be a probability")
+        return [
+            self.query_product(product_id, apply_reputation=apply_reputation)
+            for product_id in market_products
+            if rng.random() < rate
+        ]
+
+    # -- failover -------------------------------------------------------------
+
+    def _run_on_shard(self, shard_id: str, op):
+        """Run ``op`` on the shard's primary, failing over on a crash."""
+        shard = self.shards[shard_id]
+        attempts = len(shard.replicas) + 2  # original + one per promotable
+        for _ in range(attempts):
+            primary_id = shard.primary.identity
+            try:
+                outcome = op(shard.primary)
+            except ShardCrashed as crash:
+                default_registry().counter("shard.failovers", shard=shard_id).inc()
+                self.shard_breaker.record_failure(primary_id)
+                _log.warning(
+                    "shard %s primary %r died at stage %r; failing over",
+                    shard_id, primary_id, crash.stage,
+                )
+                self._promote(shard, crash)
+                continue
+            self.shard_breaker.record_success(primary_id)
+            return outcome
+        raise ShardCrashed("exhausted", shard_id)
+
+    def _promote(self, shard: Shard, crash: ShardCrashed) -> None:
+        """Replace a dead primary with its first warm replica.
+
+        The replica's store was built entirely from shipped WAL frames, so
+        promotion is exactly PR 4's recovery: open the journal, replay
+        snapshot + tail, serve.  Nothing is pulled from the dead primary.
+        """
+        if not shard.replicas:
+            raise ShardCrashed(crash.stage, shard.shard_id) from crash
+        old = shard.primary
+        if old.store is not None:
+            old.store.close()
+        self.network.unregister(old.identity)
+        replica_store = shard.replicas.pop(0)
+        shard.generation += 1
+        promoted = QueryProxy(
+            self.scheme,
+            self.network,
+            self.oracle,
+            self._policy,
+            identity=f"{self.identity}/{shard.shard_id}!{shard.generation}",
+            store=replica_store,
+            retry=self._retry,
+            breaker=self._breaker_policy,
+        )
+        if replica_store.state.applied:
+            promoted.load_from_store()
+        shard.primary = promoted
+        metrics = default_registry()
+        metrics.counter("shard.promotions", shard=shard.shard_id).inc()
+        metrics.gauge("shard.generation", shard=shard.shard_id).set(
+            shard.generation
+        )
+        _log.info(
+            "shard %s: promoted replica as %r (generation %d, %d events)",
+            shard.shard_id, promoted.identity, shard.generation,
+            replica_store.state.applied,
+        )
+
+    # -- replication ----------------------------------------------------------
+
+    def _ship(self, shard: Shard) -> None:
+        """Synchronously ship the primary's journal tail to every replica."""
+        store = shard.primary.store
+        if store is None or not shard.replicas:
+            return
+        for replica in shard.replicas:
+            replicate(store, replica)
+
+    # -- observability ---------------------------------------------------------
+
+    def status(self) -> dict:
+        """Per-shard tier status for ``repro shard status``."""
+        shards = {}
+        for shard_id, shard in sorted(self.shards.items()):
+            store = shard.primary.store
+            entry = {
+                "primary": shard.primary.identity,
+                "generation": shard.generation,
+                "tasks": sorted(shard.primary.poc_lists),
+                "replicas": len(shard.replicas),
+            }
+            if store is not None:
+                first, last = store.wal_bounds()
+                entry["applied"] = store.state.applied
+                entry["wal"] = {"first_seqno": first, "last_seqno": last}
+                entry["replica_lag"] = [
+                    replication_lag(store, replica) for replica in shard.replicas
+                ]
+            shards[shard_id] = entry
+        return {
+            "identity": self.identity,
+            "shards": shards,
+            "tasks_routed": len(self.task_to_shard),
+            "products_routed": len(self.product_to_shard),
+        }
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
+        for shard in self.shards.values():
+            if shard.primary.store is not None:
+                shard.primary.store.close()
+            for replica in shard.replicas:
+                replica.close()

@@ -1,0 +1,68 @@
+"""One shard of the proxy tier: a primary and its promotion chain.
+
+A :class:`Shard` owns one live :class:`~repro.desword.proxy.QueryProxy`
+(the primary) plus zero or more replica stores kept warm by WAL
+shipping (:mod:`repro.store.replication`).  When the primary dies
+mid-query — surfaced as :class:`ShardCrashed` — the router promotes the
+first replica: a fresh ``QueryProxy`` is rebuilt from the replica's
+journal via the snapshot+tail recovery path, exactly as if the replica
+host had restarted after a crash.
+
+Crash injection for tests goes through :class:`CrashPlan`, a one-shot
+callable armed on the primary's ``failpoint`` hook; it fires at a named
+protocol stage (``probe`` / ``refuse`` / ``reveal``) after a chosen
+number of clean passes through that stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..desword.proxy import QueryProxy
+
+__all__ = ["Shard", "ShardCrashed", "CrashPlan", "CRASH_STAGES"]
+
+CRASH_STAGES = ("probe", "refuse", "reveal")
+
+
+class ShardCrashed(Exception):
+    """A shard primary died mid-query; the router must fail over."""
+
+    def __init__(self, stage: str, shard_id: str | None = None):
+        self.stage = stage
+        self.shard_id = shard_id
+        where = f" on shard {shard_id!r}" if shard_id else ""
+        super().__init__(f"primary crashed at stage {stage!r}{where}")
+
+
+@dataclass
+class CrashPlan:
+    """One scheduled primary crash: fire at ``stage`` after ``after`` passes."""
+
+    stage: str
+    after: int = 0
+    fired: bool = False
+    _seen: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        if self.stage not in CRASH_STAGES:
+            raise ValueError(f"unknown crash stage {self.stage!r}")
+
+    def __call__(self, stage: str) -> None:
+        if self.fired or stage != self.stage:
+            return
+        if self._seen < self.after:
+            self._seen += 1
+            return
+        self.fired = True
+        raise ShardCrashed(stage)
+
+
+@dataclass
+class Shard:
+    """A shard's live pieces, as the router tracks them."""
+
+    shard_id: str
+    primary: QueryProxy
+    replicas: list  # ProxyStateStore, warm via WAL shipping
+    generation: int = 0  # bumped on every promotion

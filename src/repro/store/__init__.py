@@ -13,7 +13,9 @@ centralized-proxy design gets the equivalent locally from this package:
 * :mod:`repro.store.events` — the journal's event codecs and the
   materialized :class:`~repro.store.events.StoreState`;
 * :mod:`repro.store.proxy_store` — :class:`ProxyStateStore`, the facade
-  the proxy journals through and recovery rebuilds from, byte-identical.
+  the proxy journals through and recovery rebuilds from, byte-identical;
+* :mod:`repro.store.replication` — WAL shipping between a shard primary
+  and its read replicas (tail → apply_frames, checkpoint bootstrap).
 
 Wired in via ``Deployment.build(..., state_dir=...)``, the CLI's
 ``evaluate --state-dir`` flag, and the ``repro store`` subcommand
@@ -24,11 +26,19 @@ from .events import (
     EventDecodeError,
     PocListRecorded,
     QueryRecorded,
+    RouteRecorded,
     StoreState,
     decode_event,
     encode_event,
 )
-from .proxy_store import RAW_CODEC, ProxyStateStore, RawEdbCodec, StoreError
+from .proxy_store import (
+    RAW_CODEC,
+    ProxyStateStore,
+    RawEdbCodec,
+    ReplicationGap,
+    StoreError,
+)
+from .replication import replicate, replication_lag
 from .snapshot import SnapshotError, list_snapshots, load_snapshot, write_snapshot
 from .wal import LogScan, RecordLog, WalError, scan_log
 
@@ -41,6 +51,8 @@ __all__ = [
     "RAW_CODEC",
     "RawEdbCodec",
     "RecordLog",
+    "ReplicationGap",
+    "RouteRecorded",
     "SnapshotError",
     "StoreError",
     "StoreState",
@@ -48,6 +60,8 @@ __all__ = [
     "encode_event",
     "list_snapshots",
     "load_snapshot",
+    "replicate",
+    "replication_lag",
     "scan_log",
     "write_snapshot",
 ]

@@ -10,7 +10,12 @@ for (Section II.C):
 * ``AWARD`` — one double-edged reputation award
   (:class:`~repro.desword.reputation.ScoreEvent`);
 * ``QUERY`` — the outcome transcript of one product path query (path,
-  quality, and attributed violations).
+  quality, and attributed violations);
+* ``ROUTE`` — a shard-placement decision made by the proxy router: which
+  shard owns a distribution task's POC list, and the product ids whose
+  queries must route there.  Journaled by the router's own store so a
+  restarted router rebuilds its routing maps (PocList wire bytes do not
+  carry product ids).
 
 Every event encodes to one tagged byte string — journaled as one WAL
 frame — and :class:`StoreState` replays any sequence of them into the
@@ -30,6 +35,7 @@ from ..desword.reputation import ScoreEvent
 __all__ = [
     "PocListRecorded",
     "QueryRecorded",
+    "RouteRecorded",
     "StoreState",
     "EventDecodeError",
     "encode_event",
@@ -39,6 +45,7 @@ __all__ = [
 _POC_LIST_TAG = 0x01
 _AWARD_TAG = 0x02
 _QUERY_TAG = 0x03
+_ROUTE_TAG = 0x04
 
 
 class EventDecodeError(ValueError):
@@ -88,6 +95,15 @@ class QueryRecorded:
     task_id: str | None
     path: tuple[str, ...]
     violations: tuple[tuple[str, str], ...]  # (kind, participant_id)
+
+
+@dataclass(frozen=True)
+class RouteRecorded:
+    """One task-placement decision of the sharded proxy tier."""
+
+    task_id: str
+    shard_id: str
+    product_ids: tuple[int, ...]
 
 
 def _encode_award(event: ScoreEvent) -> bytes:
@@ -144,6 +160,24 @@ def _decode_query(reader: ByteReader) -> QueryRecorded:
     return QueryRecorded(product_id, quality, mode, task_id, path, violations)
 
 
+def _encode_route(event: RouteRecorded) -> bytes:
+    parts = [
+        _pack_str(event.task_id),
+        _pack_str(event.shard_id),
+        struct.pack(">H", len(event.product_ids)),
+    ]
+    parts.extend(_pack_uint(pid) for pid in event.product_ids)
+    return b"".join(parts)
+
+
+def _decode_route(reader: ByteReader) -> RouteRecorded:
+    task_id = _read_str(reader)
+    shard_id = _read_str(reader)
+    (count,) = struct.unpack(">H", reader.take(2))
+    product_ids = tuple(_read_uint(reader) for _ in range(count))
+    return RouteRecorded(task_id, shard_id, product_ids)
+
+
 def encode_event(event) -> bytes:
     if isinstance(event, PocListRecorded):
         return bytes([_POC_LIST_TAG]) + event.payload
@@ -151,6 +185,8 @@ def encode_event(event) -> bytes:
         return bytes([_AWARD_TAG]) + _encode_award(event)
     if isinstance(event, QueryRecorded):
         return bytes([_QUERY_TAG]) + _encode_query(event)
+    if isinstance(event, RouteRecorded):
+        return bytes([_ROUTE_TAG]) + _encode_route(event)
     raise TypeError(f"not a journal event: {event!r}")
 
 
@@ -166,6 +202,8 @@ def decode_event(data: bytes):
             event = _decode_award(reader)
         elif tag == _QUERY_TAG:
             event = _decode_query(reader)
+        elif tag == _ROUTE_TAG:
+            event = _decode_route(reader)
         else:
             raise EventDecodeError(f"unknown event tag {tag:#x}")
         reader.expect_end()
@@ -181,6 +219,7 @@ class StoreState:
     poc_lists: dict[str, bytes] = field(default_factory=dict)
     awards: list[ScoreEvent] = field(default_factory=list)
     queries: list[QueryRecorded] = field(default_factory=list)
+    routes: dict[str, RouteRecorded] = field(default_factory=dict)
     applied: int = 0  # events applied == next expected global seqno
 
     def apply(self, event) -> None:
@@ -190,6 +229,8 @@ class StoreState:
             self.awards.append(event)
         elif isinstance(event, QueryRecorded):
             self.queries.append(event)
+        elif isinstance(event, RouteRecorded):
+            self.routes[event.task_id] = event
         else:
             raise TypeError(f"not a journal event: {event!r}")
         self.applied += 1
@@ -215,6 +256,8 @@ class StoreState:
         parts.append(self.ledger_bytes())
         parts.append(struct.pack(">I", len(self.queries)))
         parts.extend(encode_bytes(_encode_query(q)) for q in self.queries)
+        parts.append(struct.pack(">I", len(self.routes)))
+        parts.extend(encode_bytes(_encode_route(r)) for r in self.routes.values())
         return b"".join(parts)
 
     @classmethod
@@ -233,5 +276,11 @@ class StoreState:
             body = ByteReader(reader.take_bytes())
             state.queries.append(_decode_query(body))
             body.expect_end()
+        (route_count,) = struct.unpack(">I", reader.take(4))
+        for _ in range(route_count):
+            body = ByteReader(reader.take_bytes())
+            route = _decode_route(body)
+            body.expect_end()
+            state.routes[route.task_id] = route
         reader.expect_end()
         return state

@@ -52,7 +52,13 @@ from .events import (
 from .snapshot import load_latest_snapshot, write_snapshot
 from .wal import LogScan, RecordLog, WalError, scan_log
 
-__all__ = ["ProxyStateStore", "RawEdbCodec", "RAW_CODEC", "StoreError"]
+__all__ = [
+    "ProxyStateStore",
+    "RawEdbCodec",
+    "RAW_CODEC",
+    "StoreError",
+    "ReplicationGap",
+]
 
 _log = get_logger(__name__)
 
@@ -64,6 +70,17 @@ DEFAULT_SNAPSHOT_EVERY = 256
 
 class StoreError(Exception):
     """The store directory is unrecoverable (gap between snapshot and log)."""
+
+
+class ReplicationGap(StoreError):
+    """A follower asked for frames the primary's log no longer holds.
+
+    Raised by :meth:`ProxyStateStore.tail` when the requested start
+    sequence number predates the log's base (a compaction moved it
+    forward).  The follower must bootstrap from a checkpoint
+    (:meth:`ProxyStateStore.checkpoint_bytes` →
+    :meth:`ProxyStateStore.install_checkpoint`) and then tail again.
+    """
 
 
 class RawEdbCodec:
@@ -151,6 +168,11 @@ class ProxyStateStore:
         self._log = log
         self._last_snapshot = recovery.snapshot_seqno if recovery.snapshot_used else 0
         self._since_snapshot = state.applied - self._last_snapshot
+        # WAL bookkeeping for replication and observability: the sequence
+        # number of the log's first frame (moves forward on compaction)
+        # and, for read-only stores, the frame count the scan found.
+        self._log_base = recovery.log_base
+        self._read_next_seqno = recovery.log_base + recovery.log_frames
 
     # -- constructors ---------------------------------------------------------
 
@@ -185,6 +207,7 @@ class ProxyStateStore:
                 log = RecordLog.create(
                     log_path, base_seqno=state.applied, fsync_every=fsync_every
                 )
+                recovery.log_base = state.applied
 
         store = cls(
             directory, log, state, recovery,
@@ -217,6 +240,8 @@ class ProxyStateStore:
             recovery.replayed = _replay_scan(state, scan)
         elif state.applied == 0:
             raise StoreError(f"no store at {directory}")
+        else:
+            recovery.log_base = state.applied
         default_registry().counter("store.recoveries").inc()
         return cls(directory, None, state, recovery, backend=backend)
 
@@ -283,10 +308,130 @@ class ProxyStateStore:
         )
         return self.append_event(event)
 
+    def record_route(self, task_id: str, shard_id: str, product_ids) -> int:
+        """Journal one task-placement decision of the sharded proxy tier."""
+        from .events import RouteRecorded
+
+        return self.append_event(RouteRecorded(task_id, shard_id, tuple(product_ids)))
+
     def sync(self) -> None:
         """Force everything journaled so far to stable storage."""
         if self._log is not None:
             self._log.sync()
+
+    # -- replication (WAL shipping) ------------------------------------------
+
+    def wal_bounds(self) -> tuple[int | None, int | None]:
+        """(first, last) frame sequence numbers in the WAL; None when empty."""
+        next_seqno = (
+            self._log.next_seqno if self._log is not None else self._read_next_seqno
+        )
+        if next_seqno <= self._log_base:
+            return (None, None)
+        return (self._log_base, next_seqno - 1)
+
+    def tail(self, from_seqno: int) -> list[tuple[int, bytes]]:
+        """All journal frames with sequence number >= ``from_seqno``.
+
+        The primary half of WAL shipping: a follower at ``applied`` calls
+        ``tail(applied)`` and feeds the result to
+        :meth:`apply_frames`.  Frames are re-read from the log file (the
+        appender keeps no payloads in memory), so shipping sees exactly
+        what a crash would leave behind — nothing is shippable that is
+        not already on the primary's disk.
+
+        Raises :class:`ReplicationGap` when ``from_seqno`` predates the
+        log's base: a compaction discarded those frames, and the follower
+        must bootstrap from :meth:`checkpoint_bytes` instead.
+        """
+        if self._log is not None:
+            self._log.sync()
+        if not self.log_path.exists():
+            if from_seqno < self.state.applied:
+                raise ReplicationGap(
+                    f"follower at {from_seqno} needs frames but {self.state_dir} "
+                    "has no log"
+                )
+            return []
+        scan = scan_log(self.log_path)
+        if from_seqno < scan.base_seqno:
+            raise ReplicationGap(
+                f"follower at {from_seqno} predates log base {scan.base_seqno} "
+                "(compacted away); bootstrap from a checkpoint"
+            )
+        frames = [
+            (scan.base_seqno + index, payload)
+            for index, payload in enumerate(scan.payloads)
+            if scan.base_seqno + index >= from_seqno
+        ]
+        return frames
+
+    def apply_frames(self, frames) -> int:
+        """Append shipped ``(seqno, payload)`` frames to this follower.
+
+        Frames the follower already holds are skipped; a frame *beyond*
+        the next expected sequence number is a shipping gap and raises
+        :class:`StoreError` — a follower must never apply out of order.
+        Payloads are journaled verbatim, so a follower's log frames are
+        byte-identical to the primary's and recovery on the follower is
+        exactly PR 4's snapshot+tail path.
+        """
+        if self._log is None:
+            raise StoreError("store opened read-only")
+        applied = 0
+        for seqno, payload in frames:
+            if seqno < self.state.applied:
+                continue  # already shipped in an earlier batch
+            if seqno > self.state.applied:
+                raise StoreError(
+                    f"replication gap: expected frame {self.state.applied}, "
+                    f"got {seqno}"
+                )
+            event = decode_event(payload)  # validate before journaling
+            self._log.append(payload)
+            self.state.apply(event)
+            self._since_snapshot += 1
+            applied += 1
+        if applied:
+            default_registry().counter("shard.replication.frames_applied").inc(applied)
+        if self.snapshot_every and self._since_snapshot >= self.snapshot_every:
+            self.compact()
+        return applied
+
+    def checkpoint_bytes(self) -> tuple[int, bytes]:
+        """(applied, state payload) for bootstrapping a lagging follower."""
+        return self.state.applied, self.state.to_bytes()
+
+    def install_checkpoint(self, payload: bytes) -> None:
+        """Replace this follower's state with a shipped checkpoint.
+
+        Writes the checkpoint as a local snapshot and restarts the log at
+        the checkpoint's sequence number, exactly like a compaction —
+        after which :meth:`apply_frames` resumes from the new base.
+        Refuses to move backwards (a stale checkpoint cannot erase frames
+        the follower already journaled).
+        """
+        if self._log is None:
+            raise StoreError("store opened read-only")
+        state = StoreState.from_bytes(payload)
+        if state.applied < self.state.applied:
+            raise StoreError(
+                f"stale checkpoint: covers {state.applied} but follower "
+                f"already applied {self.state.applied}"
+            )
+        write_snapshot(self.state_dir, state.applied, payload)
+        self.state = state
+        self._last_snapshot = state.applied
+        self._since_snapshot = 0
+        self._log.close()
+        temp = self.log_path.with_suffix(".tmp")
+        RecordLog.create(
+            temp, base_seqno=state.applied, fsync_every=self.fsync_every
+        ).close()
+        os.replace(temp, self.log_path)
+        self._log, _ = RecordLog.open(self.log_path, fsync_every=self.fsync_every)
+        self._log_base = state.applied
+        default_registry().counter("shard.replication.checkpoints_installed").inc()
 
     # -- snapshots and compaction --------------------------------------------
 
@@ -315,6 +460,7 @@ class ProxyStateStore:
             ).close()
             os.replace(temp, self.log_path)
             self._log, _ = RecordLog.open(self.log_path, fsync_every=self.fsync_every)
+            self._log_base = self.state.applied
         default_registry().counter("store.compactions").inc()
 
     def close(self) -> None:
@@ -344,13 +490,21 @@ class ProxyStateStore:
         return engine
 
     def stats(self) -> dict:
+        first, last = self.wal_bounds()
         return {
             "state_dir": str(self.state_dir),
             "applied": self.state.applied,
             "poc_lists": len(self.state.poc_lists),
             "awards": len(self.state.awards),
             "queries": len(self.state.queries),
+            "routes": len(self.state.routes),
             "last_snapshot": self._last_snapshot,
+            "snapshot_generation": self._last_snapshot,
+            "wal": {
+                "first_seqno": first,
+                "last_seqno": last,
+                "frames": 0 if first is None else last - first + 1,
+            },
             "recovery": self.recovery.to_dict(),
         }
 

@@ -1,0 +1,61 @@
+"""WAL shipping between a shard primary and its read replicas.
+
+The shipping unit is the journal frame: a follower at ``applied`` asks
+the primary for every frame from there on (:meth:`ProxyStateStore.tail`)
+and journals the payloads verbatim (:meth:`ProxyStateStore.apply_frames`),
+so a caught-up follower's log is byte-identical to the primary's tail
+and its recovery path is exactly the primary's.  When the primary has
+compacted past the follower's position, :func:`replicate` falls back to
+checkpoint bootstrap (ship the materialized state, restart the log at
+its sequence number) and then tails the remainder.
+
+Shipping is pull-based and synchronous: the sharded proxy tier calls
+:func:`replicate` after each ingestion batch, so a promoted replica is
+never missing a POC list that the dead primary had acknowledged.
+"""
+
+from __future__ import annotations
+
+from ..obs import default_registry, get_logger, trace
+from .proxy_store import ProxyStateStore, ReplicationGap
+
+__all__ = ["replicate", "replication_lag"]
+
+_log = get_logger(__name__)
+
+
+def replication_lag(primary: ProxyStateStore, follower: ProxyStateStore) -> int:
+    """Frames the primary has journaled that the follower has not."""
+    return max(0, primary.state.applied - follower.state.applied)
+
+
+def replicate(primary: ProxyStateStore, follower: ProxyStateStore) -> int:
+    """Ship every frame the follower is missing; returns frames applied.
+
+    Handles the compaction race: if the primary's log no longer reaches
+    back to the follower's position, the follower is bootstrapped from
+    the primary's checkpoint first, then tailed as usual.
+    """
+    with trace.span(
+        "store.replicate",
+        primary=str(primary.state_dir),
+        follower=str(follower.state_dir),
+    ):
+        try:
+            frames = primary.tail(follower.state.applied)
+        except ReplicationGap:
+            applied, payload = primary.checkpoint_bytes()
+            _log.info(
+                "bootstrapping %s from checkpoint at %d (log compacted past it)",
+                follower.state_dir, applied,
+            )
+            follower.install_checkpoint(payload)
+            frames = primary.tail(follower.state.applied)
+        shipped = follower.apply_frames(frames)
+    if shipped:
+        metrics = default_registry()
+        metrics.counter("shard.replication.frames_shipped").inc(shipped)
+    default_registry().gauge("shard.replication.lag").set(
+        replication_lag(primary, follower)
+    )
+    return shipped

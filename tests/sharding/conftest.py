@@ -1,0 +1,74 @@
+"""Sharded-tier fixtures.
+
+Every test here compares a sharded deployment against the monolithic
+proxy over the *same* world seed: the chain, the task rngs, and the
+quality oracle are identical, so the unsharded deployment is a
+byte-level ground truth for what the sharded tier must answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.supplychain.generator import pharma_chain, product_batch
+
+KEY_BITS = 16
+
+
+@pytest.fixture()
+def make_tier(merkle_scheme, tmp_path):
+    """Factory: a deployment with any proxy-tier shape over a fixed world.
+
+    ``shards=1, replicas=0`` (the default) is the monolithic baseline;
+    anything else builds the routed tier.  Replicated builds get a fresh
+    state directory under ``tmp_path`` automatically.
+    """
+    counter = {"dirs": 0}
+
+    def build(
+        seed: str = "tier",
+        behaviors=None,
+        network=None,
+        retry=None,
+        shards: int = 1,
+        replicas: int = 0,
+        state_dir=None,
+        beta: float = 0.0,
+    ) -> Deployment:
+        from repro.supplychain.quality import IndependentQualityModel
+
+        if state_dir is None and (replicas > 0):
+            counter["dirs"] += 1
+            state_dir = tmp_path / f"tier-{counter['dirs']}"
+        chain = pharma_chain(DeterministicRng(seed + "/chain"))
+        oracle = IndependentQualityModel(beta=beta, seed=seed + "/q")
+        return Deployment.build(
+            chain,
+            merkle_scheme,
+            oracle,
+            behaviors=behaviors,
+            seed=seed,
+            network=network,
+            retry=retry,
+            shards=shards,
+            replicas=replicas,
+            state_dir=str(state_dir) if state_dir is not None else None,
+        )
+
+    return build
+
+
+@pytest.fixture()
+def products():
+    return product_batch(DeterministicRng("shard-products"), 12, KEY_BITS)
+
+
+def distribute_slices(deployment, products, per_task: int):
+    """Split ``products`` into tasks of ``per_task`` and distribute each."""
+    records = []
+    for start in range(0, len(products), per_task):
+        record, _ = deployment.distribute(products[start : start + per_task])
+        records.append(record)
+    return records

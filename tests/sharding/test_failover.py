@@ -1,0 +1,143 @@
+"""Failover matrix: a primary crash at every protocol stage is invisible.
+
+Each cell arms a one-shot :class:`CrashPlan` on the primary owning the
+queried product, at one of the proxy's protocol stages (``probe`` /
+``refuse`` / ``reveal``).  The router must promote the WAL-shipped
+replica and re-run the query so the answer — path, traces, violations,
+and the reputation ledger — is byte-identical to a fault-free baseline
+running the *same* behaviors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.desword.adversary import Behavior, QueryStrategy
+from repro.sharding import CrashPlan, ShardCrashed
+
+from .conftest import distribute_slices
+
+# ``reveal`` only happens on bad-product queries (a refusal on a good
+# query simply ends the walk), so the matrix has five live cells.
+MATRIX = [
+    ("probe", "good"),
+    ("probe", "bad"),
+    ("refuse", "good"),
+    ("refuse", "bad"),
+    ("reveal", "bad"),
+]
+
+REFUSENIK = Behavior(query=QueryStrategy(refuse_all=True))
+
+
+def _pick_victim(make_tier, products):
+    """A mid-path participant of ``products[0]`` under the shared seed.
+
+    The physical flow is behavior-independent, so a throwaway honest
+    build reveals which participant the refusal strategies must target.
+    """
+    scout = make_tier(seed="world")
+    distribute_slices(scout, products[:4], per_task=4)
+    path = scout.ground_truth_path(products[0])
+    assert len(path) >= 2, "need a non-initial hop to refuse"
+    return path[1]
+
+
+@pytest.mark.parametrize("stage,quality", MATRIX, ids=[f"{s}-{q}" for s, q in MATRIX])
+def test_crash_at_stage_matches_fault_free_baseline(
+    make_tier, products, stage, quality
+):
+    behaviors = {}
+    if stage in ("refuse", "reveal"):
+        behaviors[_pick_victim(make_tier, products)] = REFUSENIK
+
+    baseline = make_tier(seed="world", behaviors=behaviors)
+    sharded = make_tier(seed="world", behaviors=behaviors, shards=2, replicas=1)
+    distribute_slices(baseline, products[:4], per_task=4)
+    distribute_slices(sharded, products[:4], per_task=4)
+
+    pid = products[0]
+    shard = sharded.proxy.shards[sharded.proxy.product_to_shard[pid]]
+    doomed = shard.primary.identity
+    shard.primary.failpoint = CrashPlan(stage)
+
+    expected = baseline.query(pid, quality=quality)
+    got = sharded.query(pid, quality=quality)
+
+    assert got.canonical_bytes() == expected.canonical_bytes()
+    assert shard.generation == 1, f"no promotion happened at stage {stage!r}"
+    assert shard.primary.identity != doomed
+    assert not sharded.network.knows(doomed), "dead primary still registered"
+    # The interrupted attempt left no trace in the ledger: awards flow
+    # only from the completed re-run, through the router's merge point.
+    assert (
+        sharded.proxy.reputation.snapshot() == baseline.proxy.reputation.snapshot()
+    )
+    sharded.proxy.close()
+
+
+def test_crash_without_replicas_propagates(make_tier, products):
+    sharded = make_tier(seed="world", shards=2)
+    distribute_slices(sharded, products[:4], per_task=4)
+    pid = products[0]
+    shard = sharded.proxy.shards[sharded.proxy.product_to_shard[pid]]
+    shard.primary.failpoint = CrashPlan("probe")
+    with pytest.raises(ShardCrashed):
+        sharded.query(pid, quality="good")
+    assert shard.generation == 0
+
+
+def test_double_crash_exhausts_both_replicas_then_serves(make_tier, products):
+    """Two scheduled crashes burn both replicas; the third primary answers."""
+    baseline = make_tier(seed="world")
+    sharded = make_tier(seed="world", shards=2, replicas=2)
+    distribute_slices(baseline, products[:4], per_task=4)
+    distribute_slices(sharded, products[:4], per_task=4)
+
+    pid = products[0]
+    shard = sharded.proxy.shards[sharded.proxy.product_to_shard[pid]]
+    shard.primary.failpoint = CrashPlan("probe")
+    first = sharded.query(pid, quality="good")
+    assert shard.generation == 1
+
+    shard.primary.failpoint = CrashPlan("probe")
+    second = sharded.query(pid, quality="bad")
+    assert shard.generation == 2
+    assert not shard.replicas, "both replicas should have been promoted"
+
+    expected_good = baseline.query(pid, quality="good")
+    expected_bad = baseline.query(pid, quality="bad")
+    assert first.canonical_bytes() == expected_good.canonical_bytes()
+    assert second.canonical_bytes() == expected_bad.canonical_bytes()
+    # A third crash has nowhere to promote from.
+    shard.primary.failpoint = CrashPlan("probe")
+    with pytest.raises(ShardCrashed):
+        sharded.query(pid, quality="good")
+    sharded.proxy.close()
+
+
+def test_promotion_restores_every_ingested_task(make_tier, products):
+    """The promoted primary holds all POC lists the dead one had accepted."""
+    sharded = make_tier(seed="world", shards=2, replicas=1)
+    distribute_slices(sharded, products, per_task=4)  # 3 tasks
+    victim_id, shard = next(
+        (sid, s)
+        for sid, s in sorted(sharded.proxy.shards.items())
+        if s.primary.poc_lists
+    )
+    tasks_before = sorted(shard.primary.poc_lists)
+    queue_before = {
+        initial: list(queue) for initial, queue in shard.primary.poc_queues.items()
+    }
+    any_pid = next(
+        pid
+        for pid, sid in sharded.proxy.product_to_shard.items()
+        if sid == victim_id
+    )
+    shard.primary.failpoint = CrashPlan("probe")
+    sharded.query(any_pid, quality="good")
+    assert sorted(shard.primary.poc_lists) == tasks_before
+    assert {
+        initial: list(queue) for initial, queue in shard.primary.poc_queues.items()
+    } == queue_before
+    sharded.proxy.close()

@@ -1,0 +1,122 @@
+"""ShardRing properties: balance, minimal movement, seed independence.
+
+The bounds here are deliberate acceptance thresholds, not tautologies:
+balance is checked against the uniform share at 10^4 keys, movement on
+resize against the theoretical K/N, and placement against a subprocess
+with a *different* ``PYTHONHASHSEED`` — the classic way a ``hash()``-
+based ring silently breaks across processes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.sharding import ShardRing
+
+N_KEYS = 10_000
+
+
+def _keys(count: int = N_KEYS) -> list[int]:
+    rng = DeterministicRng("ring-keys")
+    return [rng.randrange(2**64) for _ in range(count)]
+
+
+def test_balance_within_bound_at_ten_thousand_keys():
+    """No shard strays more than 35% from the uniform share."""
+    ring = ShardRing([f"s{i}" for i in range(4)])
+    counts = ring.assignments(_keys())
+    mean = N_KEYS / len(ring)
+    assert sum(counts.values()) == N_KEYS
+    for shard_id, count in counts.items():
+        assert 0.65 * mean <= count <= 1.35 * mean, (shard_id, count)
+
+
+@pytest.mark.parametrize("shards", [2, 3, 4, 8])
+def test_every_shard_owns_keys(shards):
+    ring = ShardRing([f"s{i}" for i in range(shards)])
+    counts = ring.assignments(_keys(2_000))
+    assert all(count > 0 for count in counts.values())
+
+
+def test_add_shard_moves_at_most_its_share():
+    """Adding shard N+1 reassigns about K/(N+1) keys — and only *to* it."""
+    keys = _keys()
+    before = ShardRing([f"s{i}" for i in range(4)])
+    after = ShardRing([f"s{i}" for i in range(5)])
+    moved = [k for k in keys if before.owner_of(k) != after.owner_of(k)]
+    assert len(moved) <= 1.5 * N_KEYS / 5
+    # Consistency: every moved key lands on the new shard; nothing
+    # shuffles between surviving shards.
+    assert all(after.owner_of(k) == "s4" for k in moved)
+
+
+def test_remove_shard_moves_only_its_keys():
+    keys = _keys()
+    before = ShardRing([f"s{i}" for i in range(5)])
+    after = ShardRing([f"s{i}" for i in range(5)])
+    after.remove_shard("s4")
+    moved = [k for k in keys if before.owner_of(k) != after.owner_of(k)]
+    # Exactly the removed shard's keys move, nobody else's.
+    assert set(moved) == {k for k in keys if before.owner_of(k) == "s4"}
+    assert len(moved) <= 1.5 * N_KEYS / 5
+
+
+def test_incremental_add_matches_fresh_construction():
+    grown = ShardRing(["s0", "s1"])
+    grown.add_shard("s2")
+    fresh = ShardRing(["s0", "s1", "s2"])
+    assert all(grown.owner_of(k) == fresh.owner_of(k) for k in _keys(1_000))
+
+
+def test_placement_is_hash_seed_independent():
+    """The same keys place identically under different PYTHONHASHSEEDs.
+
+    A ring built on Python's ``hash()`` would shuffle between the two
+    subprocess runs; the SHA-256 ring must not.
+    """
+    src = Path(__file__).resolve().parents[2] / "src"
+    script = (
+        "from repro.sharding import ShardRing\n"
+        "ring = ShardRing(['s0', 's1', 's2', 's3'])\n"
+        "keys = list(range(0, 5000, 7)) + ['task0', 'task1']\n"
+        "print(';'.join(ring.owner_of(k) for k in keys))\n"
+    )
+    outputs = []
+    for hash_seed in ("0", "424242"):
+        env = dict(os.environ, PYTHONPATH=str(src), PYTHONHASHSEED=hash_seed)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        outputs.append(proc.stdout.strip())
+    assert outputs[0] == outputs[1]
+    assert outputs[0]  # non-empty: the script actually placed keys
+
+
+def test_string_and_int_keys_are_distinct_domains():
+    ring = ShardRing(["s0", "s1", "s2"])
+    assert ring.owner_of("task0") in ring.shard_ids
+    assert ring.owner_of(0) in ring.shard_ids
+
+
+def test_membership_errors():
+    ring = ShardRing(["s0", "s1"])
+    with pytest.raises(ValueError):
+        ring.add_shard("s0")
+    with pytest.raises(ValueError):
+        ring.remove_shard("nope")
+    ring.remove_shard("s1")
+    with pytest.raises(ValueError):
+        ring.remove_shard("s0")  # never empty the ring
+    with pytest.raises(ValueError):
+        ShardRing([])
+    with pytest.raises(TypeError):
+        ring.owner_of(True)
+    with pytest.raises(ValueError):
+        ring.owner_of(-1)

@@ -1,0 +1,182 @@
+"""ProxyRouter: placement, shard-transparent queries, one global ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.desword.proxy import QueryResult
+from repro.desword.reputation import ReputationEngine, apply_query_awards
+from repro.sharding import ProxyRouter
+
+from .conftest import distribute_slices
+
+
+def test_interactive_queries_match_monolith(make_tier, products):
+    baseline = make_tier(seed="world")
+    sharded = make_tier(seed="world", shards=3)
+    distribute_slices(baseline, products, per_task=4)
+    distribute_slices(sharded, products, per_task=4)
+    assert len(sharded.proxy.task_to_shard) == 3
+    for pid in products:
+        lhs = baseline.query(pid, quality="good")
+        rhs = sharded.query(pid, quality="good")
+        assert lhs.canonical_bytes() == rhs.canonical_bytes(), f"{pid:#x}"
+
+
+def test_cross_shard_sweep_merges_in_monolith_order(make_tier, products):
+    baseline = make_tier(seed="world")
+    sharded = make_tier(seed="world", shards=3)
+    distribute_slices(baseline, products, per_task=4)
+    distribute_slices(sharded, products, per_task=4)
+    for pid in products[:4]:
+        lhs = baseline.proxy.sweep_query(pid, quality="good", apply_reputation=False)
+        rhs = sharded.proxy.sweep_query(pid, quality="good", apply_reputation=False)
+        assert lhs.canonical_bytes() == rhs.canonical_bytes()
+
+
+def test_each_task_lives_on_exactly_one_shard(make_tier, products):
+    sharded = make_tier(seed="world", shards=4)
+    distribute_slices(sharded, products, per_task=4)
+    owners = {}
+    for shard_id, shard in sharded.proxy.shards.items():
+        for task_id in shard.primary.poc_lists:
+            assert task_id not in owners, "task on two shards"
+            owners[task_id] = shard_id
+    assert owners == sharded.proxy.task_to_shard
+    # Every product routes to the shard holding its task.
+    for pid, shard_id in sharded.proxy.product_to_shard.items():
+        task = next(
+            tid for tid, rec in sharded.task_records.items()
+            if pid in rec.task.product_ids
+        )
+        assert sharded.proxy.task_to_shard[task] == shard_id
+
+
+def test_reputation_merges_through_single_point(make_tier, products):
+    """Regression (per-shard ledgers would fail): shards never score.
+
+    The chain's participants appear in every task, so with 3 shards a
+    participant is identified on paths owned by different shards.  A
+    per-shard ledger design would split its score across engines; the
+    merge point must consolidate it on the router — and leave every
+    shard engine empty.
+    """
+    baseline = make_tier(seed="world")
+    sharded = make_tier(seed="world", shards=3)
+    distribute_slices(baseline, products, per_task=4)
+    distribute_slices(sharded, products, per_task=4)
+    for pid in products:
+        baseline.query(pid, quality="good")
+        sharded.query(pid, quality="good")
+    global_ledger = sharded.proxy.reputation.snapshot()
+    assert global_ledger == baseline.proxy.reputation.snapshot()
+    assert global_ledger  # somebody actually scored
+    for shard in sharded.proxy.shards.values():
+        assert shard.primary.reputation.snapshot() == {}, (
+            "a shard applied awards locally instead of merging"
+        )
+    # Cross-shard consolidation really happened: at least one participant's
+    # score came from paths owned by more than one shard.
+    shard_of = sharded.proxy.task_to_shard
+    seen: dict[str, set[str]] = {}
+    for task_id, record in sharded.task_records.items():
+        for path in record.product_paths.values():
+            for participant in path:
+                seen.setdefault(participant, set()).add(shard_of[task_id])
+    assert any(len(shards) > 1 for shards in seen.values())
+
+
+def test_shard_stores_hold_no_awards(make_tier, products):
+    sharded = make_tier(seed="world", shards=2, replicas=1)
+    distribute_slices(sharded, products, per_task=6)
+    for pid in products[:6]:
+        sharded.query(pid, quality="good")
+    assert len(sharded.proxy.store.state.awards) > 0  # router journals them
+    for shard in sharded.proxy.shards.values():
+        assert shard.primary.store.state.awards == []
+        for replica in shard.replicas:
+            assert replica.state.awards == []
+    sharded.proxy.close()
+
+
+def test_double_award_application_refused():
+    engine = ReputationEngine()
+    result = QueryResult(0xAB, "good", path=["a", "b"])
+    apply_query_awards(engine, result)
+    with pytest.raises(ValueError, match="already carried"):
+        apply_query_awards(engine, result)
+
+
+def test_router_restores_from_journal(make_tier, products, tmp_path, merkle_scheme):
+    backend = merkle_scheme.backend
+    state_dir = tmp_path / "restore-me"
+    first = make_tier(seed="world", shards=3, replicas=0, state_dir=state_dir)
+    distribute_slices(first, products, per_task=4)
+    for pid in products:
+        first.query(pid, quality="good")
+    routes = dict(first.proxy.task_to_shard)
+    wires = {
+        task_id: plist.to_bytes(backend)
+        for task_id, plist in first.proxy.poc_lists.items()
+    }
+    ledger = first.proxy.reputation.snapshot()
+    first.proxy.close()
+
+    reborn = make_tier(seed="world", shards=3, replicas=0, state_dir=state_dir)
+    assert reborn.proxy.task_to_shard == routes
+    assert reborn.proxy.reputation.snapshot() == ledger
+    # Each task's POC list came back byte-identical — on its owning shard.
+    assert sorted(reborn.proxy.poc_lists) == sorted(routes)
+    for task_id, wire in wires.items():
+        shard = reborn.proxy.shards[routes[task_id]]
+        assert shard.primary.poc_lists[task_id].to_bytes(backend) == wire
+    # New work lands on fresh task ids after the restore.
+    from repro.crypto.rng import DeterministicRng
+    from repro.supplychain.generator import product_batch
+
+    fresh = product_batch(DeterministicRng("post-restore"), 3, 16)
+    record, _ = reborn.distribute(fresh)
+    assert record.task.task_id not in routes
+    assert reborn.proxy.task_to_shard[record.task.task_id] in reborn.proxy.shards
+    reborn.proxy.close()
+
+
+def test_restore_rejects_different_shard_layout(make_tier, products, tmp_path):
+    state_dir = tmp_path / "layout"
+    first = make_tier(seed="world", shards=4, replicas=0, state_dir=state_dir)
+    distribute_slices(first, products, per_task=6)
+    first.proxy.close()
+    with pytest.raises(ValueError, match="shard layout"):
+        make_tier(seed="world", shards=2, replicas=0, state_dir=state_dir)
+
+
+def test_replicas_require_state_dir(make_tier, merkle_scheme):
+    from repro.desword.network import SimNetwork
+    from repro.supplychain.quality import IndependentQualityModel
+
+    with pytest.raises(ValueError, match="state_dir"):
+        ProxyRouter(
+            merkle_scheme,
+            SimNetwork(),
+            IndependentQualityModel(beta=0.0, seed="q"),
+            shards=2,
+            replicas=1,
+        )
+
+
+def test_market_sampling_routes_per_product(make_tier, products):
+    from repro.crypto.rng import DeterministicRng
+
+    baseline = make_tier(seed="world")
+    sharded = make_tier(seed="world", shards=3)
+    distribute_slices(baseline, products, per_task=4)
+    distribute_slices(sharded, products, per_task=4)
+    lhs = baseline.proxy.sample_and_query(
+        products, 0.5, DeterministicRng("mkt"), apply_reputation=False
+    )
+    rhs = sharded.proxy.sample_and_query(
+        products, 0.5, DeterministicRng("mkt"), apply_reputation=False
+    )
+    assert len(lhs) == len(rhs) > 0
+    for a, b in zip(lhs, rhs):
+        assert a.canonical_bytes() == b.canonical_bytes()

@@ -1,0 +1,115 @@
+"""Acceptance: the sharded tier under chaos answers like the clean monolith.
+
+Four shards with one WAL-shipped replica each, an 8% seeded drop rate on
+every edge, and a scheduled primary crash in the middle of the run: all
+200 queries must complete and every :class:`QueryResult` must be
+byte-identical (``canonical_bytes``) to an unsharded, fault-free
+baseline issuing the same query sequence — including the final
+reputation ledger.  The fault seed is swept so the claim is not an
+artifact of one lucky drop pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.faults import FaultProfile, FaultyNetwork, RetryPolicy
+from repro.desword.network import SimNetwork
+from repro.sharding import CrashPlan
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.supplychain.quality import IndependentQualityModel
+
+N_PRODUCTS = 24
+PER_TASK = 4
+N_QUERIES = 200
+FAULT_SEEDS = ["sweep-a", "sweep-b", "sweep-c"]
+
+
+def _world(scheme, network=None, retry=None, shards=1, replicas=0, state_dir=None):
+    chain = pharma_chain(DeterministicRng("shard-chaos/chain"))
+    oracle = IndependentQualityModel(beta=0.0, seed="shard-chaos/q")
+    return Deployment.build(
+        chain,
+        scheme,
+        oracle,
+        seed="shard-chaos",
+        network=network,
+        retry=retry,
+        shards=shards,
+        replicas=replicas,
+        state_dir=state_dir,
+    )
+
+
+def _distribute(deployment, products):
+    for start in range(0, len(products), PER_TASK):
+        deployment.distribute(products[start : start + PER_TASK])
+
+
+def _query_plan(products):
+    """200 deterministic (product, quality) pairs, round-robin, mixed kind."""
+    return [
+        (products[index % len(products)], "bad" if index % 3 == 2 else "good")
+        for index in range(N_QUERIES)
+    ]
+
+
+@pytest.fixture(scope="module")
+def chaos_products():
+    return product_batch(DeterministicRng("shard-chaos/products"), N_PRODUCTS, 16)
+
+
+@pytest.fixture(scope="module")
+def fault_free_baseline(merkle_scheme, chaos_products):
+    """The unsharded ground truth: every answer plus the final ledger."""
+    deployment = _world(merkle_scheme)
+    _distribute(deployment, chaos_products)
+    answers = [
+        deployment.query(pid, quality=quality).canonical_bytes()
+        for pid, quality in _query_plan(chaos_products)
+    ]
+    return answers, deployment.proxy.reputation.snapshot()
+
+
+@pytest.mark.parametrize("fault_seed", FAULT_SEEDS)
+def test_sharded_chaos_run_is_byte_identical_to_clean_monolith(
+    merkle_scheme, chaos_products, fault_free_baseline, tmp_path, fault_seed
+):
+    answers, ledger = fault_free_baseline
+    network = FaultyNetwork(
+        SimNetwork(), FaultProfile(seed=fault_seed, drop=0.08)
+    )
+    deployment = _world(
+        merkle_scheme,
+        network=network,
+        retry=RetryPolicy(max_attempts=8, deadline_ms=10_000.0),
+        shards=4,
+        replicas=1,
+        state_dir=str(tmp_path / "tier"),
+    )
+    _distribute(deployment, chaos_products)
+    router = deployment.proxy
+    assert len(router.task_to_shard) == N_PRODUCTS // PER_TASK
+
+    crashed = None
+    completed = 0
+    for index, (pid, quality) in enumerate(_query_plan(chaos_products)):
+        if index == N_QUERIES // 2:
+            # Schedule the mid-run crash on whichever primary owns the
+            # very next query — failover happens under live load.
+            crashed = router.shards[router.product_to_shard[pid]]
+            crashed.primary.failpoint = CrashPlan("probe")
+        result = router.query_product(pid, quality)
+        assert result.canonical_bytes() == answers[index], (fault_seed, index)
+        completed += 1
+
+    assert completed == N_QUERIES
+    assert crashed is not None and crashed.generation == 1, "no failover under load"
+    assert network.injected["drop"] > 0, "chaos never actually happened"
+    assert router.reputation.snapshot() == ledger
+    # Surviving replicas are still warm: nothing lags behind its primary.
+    for shard_status in router.status()["shards"].values():
+        assert all(lag == 0 for lag in shard_status["replica_lag"])
+    router.close()

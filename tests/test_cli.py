@@ -184,6 +184,28 @@ class TestStoreCommands:
         assert payload["tasks"]  # task_id -> participant count
         assert payload["scores"]
 
+    def test_inspect_json_reports_wal_bounds(self, state_dir, capsys):
+        assert main(["store", "inspect", "--state-dir", str(state_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        wal = payload["wal"]
+        assert wal["first_seqno"] == 0
+        assert wal["last_seqno"] == payload["applied"] - 1
+        assert wal["frames"] == payload["applied"]
+        assert payload["snapshot_generation"] == 0  # never compacted
+        # Compaction truncates the log and advances the generation.
+        assert main(["store", "compact", "--state-dir", str(state_dir)]) == 0
+        capsys.readouterr()
+        assert main(["store", "inspect", "--state-dir", str(state_dir), "--json"]) == 0
+        after = json.loads(capsys.readouterr().out)
+        assert after["wal"] == {"first_seqno": None, "last_seqno": None, "frames": 0}
+        assert after["snapshot_generation"] == after["applied"]
+
+    def test_inspect_text_reports_wal_line(self, state_dir, capsys):
+        assert main(["store", "inspect", "--state-dir", str(state_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "wal       : frames 0.." in output
+        assert "snapshot generation 0" in output
+
     def test_verify_ok(self, state_dir, capsys):
         assert main(["store", "verify", "--state-dir", str(state_dir)]) == 0
         assert "OK" in capsys.readouterr().out
@@ -237,6 +259,73 @@ class TestStoreCommands:
         assert report["ok"] is True
         assert report["errors"] == []
         assert report["events"]["poc_lists"] >= 1
+
+
+class TestShardCommands:
+    @pytest.fixture()
+    def shard_dir(self, tmp_path, capsys):
+        """A sharded tier's state directory from one evaluate run."""
+        directory = tmp_path / "tier"
+        assert main(
+            [
+                "evaluate", "--repeats", "1",
+                "--shards", "2", "--replicas", "1",
+                "--state-dir", str(directory),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return directory
+
+    def test_evaluate_json_reports_sharding(self, tmp_path, capsys):
+        directory = tmp_path / "t"
+        assert main(
+            [
+                "evaluate", "--repeats", "1", "--json",
+                "--shards", "2", "--replicas", "1",
+                "--state-dir", str(directory),
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        sharding = payload["protocol"]["sharding"]
+        assert set(sharding["shards"]) == {"s0", "s1"}
+        assert sharding["tasks_routed"] >= 1
+        assert sharding["products_routed"] >= 1
+        for entry in sharding["shards"].values():
+            assert entry["replicas"] == 1
+            assert entry["generation"] == 0
+            assert entry["replica_lag"] == [0]  # synchronously shipped
+
+    def test_shard_status_text(self, shard_dir, capsys):
+        assert main(["shard", "status", "--state-dir", str(shard_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "router    :" in output
+        assert "shard s0" in output and "shard s1" in output
+        assert "replica-0: applied=" in output
+
+    def test_shard_status_json(self, shard_dir, capsys):
+        assert main(["shard", "status", "--state-dir", str(shard_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["router"]["routes"] >= 1
+        assert set(payload["shards"]) == {"s0", "s1"}
+        owners = [
+            shard_id
+            for shard_id, entry in payload["shards"].items()
+            if entry["tasks"]
+        ]
+        assert owners, "no shard owns the distributed task"
+        for entry in payload["shards"].values():
+            for stats in entry["replicas"].values():
+                assert stats["lag"] == 0
+                assert stats["applied"] == entry["primary"]["applied"]
+
+    def test_shard_status_rejects_plain_store(self, tmp_path, capsys):
+        directory = tmp_path / "plain"
+        assert main(
+            ["evaluate", "--repeats", "1", "--state-dir", str(directory)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["shard", "status", "--state-dir", str(directory)]) == 1
+        assert "not a sharded state dir" in capsys.readouterr().out
 
 
 def test_parser_rejects_unknown_command():
