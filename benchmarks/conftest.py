@@ -30,6 +30,7 @@ MSM_JSON_PATH = Path(__file__).parent / "BENCH_msm.json"
 STORE_JSON_PATH = Path(__file__).parent / "BENCH_store.json"
 FAULTS_JSON_PATH = Path(__file__).parent / "BENCH_faults.json"
 SHARD_JSON_PATH = Path(__file__).parent / "BENCH_shard.json"
+OBS_JSON_PATH = Path(__file__).parent / "BENCH_obs.json"
 
 # The paper's exact Table II grid (q^h >= 2^128).
 FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
@@ -144,6 +145,16 @@ def shard_records():
     BENCH_shard.json so CI's shard-failover job can check the
     throughput-scales-with-shards invariant without parsing other benches."""
     collector = _BenchRecords(SHARD_JSON_PATH)
+    yield collector
+    collector.flush()
+
+
+@pytest.fixture(scope="session")
+def obs_records():
+    """Observability rows (tracing overhead, stitch/export cost), merged
+    into BENCH_obs.json so CI's observability job can check the
+    tracing-stays-cheap invariant without parsing other benches."""
+    collector = _BenchRecords(OBS_JSON_PATH)
     yield collector
     collector.flush()
 

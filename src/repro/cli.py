@@ -1,11 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six self-contained entry points:
+Eight self-contained entry points:
 
 * ``demo``       — build a chain, distribute products, run one query;
 * ``evaluate``   — regenerate Table II / Figure 4 / Figure 5 rows;
 * ``incentives`` — print the double-edged incentive analysis;
 * ``metrics``    — pretty-print the telemetry registry and span tree;
+  accepts several ``--input`` snapshots (router + shards) and merges
+  them through :meth:`~repro.obs.MetricsRegistry.merge`;
+* ``trace``      — ``show`` / ``critical-path`` / ``export`` stitched
+  per-query trace trees (JSONL artifacts from ``evaluate --trace-out``);
+* ``health``     — fold metrics snapshots + tier status into one health
+  view and evaluate SLOs; exits non-zero on a breach;
 * ``store``      — ``inspect`` / ``verify`` / ``compact`` a durable
   proxy state store (created with ``evaluate --state-dir DIR``);
 * ``shard``      — ``status`` a sharded proxy tier's state directory
@@ -280,6 +286,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             json.dump(_metrics_payload({"protocol": protocol}), handle, indent=2)
         if not emit_json:
             print(f"\nmetrics written to {args.metrics_out}")
+    if args.trace_out:
+        from .obs import export_jsonl
+
+        stitched = export_jsonl(trace, args.trace_out)
+        if not emit_json:
+            print(
+                f"trace artifact written to {args.trace_out} "
+                f"({len(stitched.traces)} trees, {len(stitched.orphans)} orphans)"
+            )
     return 0
 
 
@@ -335,15 +350,34 @@ def _render_span_dicts(spans: list, depth: int = 0) -> list[str]:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    """Pretty-print a telemetry snapshot (live workload or saved file)."""
+    """Pretty-print a telemetry snapshot (live workload or saved files).
+
+    Several ``--input`` files (the router's export plus each shard's)
+    merge into one registry before rendering, the same fold the pool
+    workers use, so a sharded run reads like a single process.
+    """
     import json
 
+    dropped_roots = 0
     if args.input:
-        with open(args.input) as handle:
-            payload = json.load(handle)
         registry = MetricsRegistry()
-        registry.merge(payload.get("metrics", {}))
-        span_dicts = payload.get("spans", {}).get("spans", [])
+        span_dicts: list = []
+        payloads: list = []
+        for path in args.input:
+            with open(path) as handle:
+                payload = json.load(handle)
+            payloads.append(payload)
+            registry.merge(payload.get("metrics", {}))
+            spans = payload.get("spans", {})
+            span_dicts.extend(spans.get("spans", []))
+            dropped_roots += spans.get("dropped", 0)
+        if len(payloads) == 1:
+            # A single file round-trips verbatim, extra keys and all.
+            merged_payload = payloads[0]
+        else:
+            merged_payload = {"metrics": registry.to_dict(), "spans": {"spans": span_dicts}}
+            if dropped_roots:
+                merged_payload["spans"]["dropped"] = dropped_roots
     else:
         # No input file: run the small end-to-end workload so the live
         # registry and tracer have something representative to show.
@@ -351,10 +385,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             _run_protocol_sample(workers=args.workers)
         registry = default_registry()
         span_dicts = None
+        dropped_roots = trace.dropped
 
     if args.format == "json":
         if args.input:
-            print(json.dumps(payload, indent=2))
+            print(json.dumps(merged_payload, indent=2))
         else:
             print(json.dumps(_metrics_payload(), indent=2))
         return 0
@@ -372,7 +407,154 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(trace.render())
     else:
         print("\n".join(_render_span_dicts(span_dicts)) or "(no spans recorded)")
+    # The tracer's own counter and the registry's trace.dropped_roots
+    # observe the same evictions; take the max rather than double count.
+    total_dropped = max(dropped_roots, registry.counter_value("trace.dropped_roots"))
+    if total_dropped:
+        print(
+            f"\nWARNING: {total_dropped:g} trace roots dropped past the "
+            "tracer's retention cap; the span tree above is truncated"
+        )
     return 0
+
+
+def _load_trace_roots(args: argparse.Namespace) -> list[dict]:
+    """Root span trees from ``--input`` (a JSONL trace artifact or a
+    ``--metrics-out`` JSON export, re-stitched either way)."""
+    import json
+
+    from .obs import read_jsonl, stitch
+
+    try:  # a single JSON document: a --metrics-out export
+        with open(args.input) as handle:
+            payload = json.load(handle)
+        fragments = payload.get("spans", {}).get("spans", [])
+    except json.JSONDecodeError:  # one tree per line: a --trace-out artifact
+        fragments = read_jsonl(args.input)
+    stitched = stitch(fragments)
+    roots = stitched.traces
+    if getattr(args, "trace_id", None):
+        roots = [r for r in roots if r.get("trace_id") == args.trace_id]
+    return roots
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    """Render stitched trace trees from an artifact."""
+    roots = _load_trace_roots(args)
+    if not roots:
+        print("(no matching traces)")
+        return 1
+    shown = roots[: args.limit] if args.limit else roots
+    for root in shown:
+        trace_id = root.get("trace_id", "?")
+        print(f"-- trace {trace_id} --")
+        print("\n".join(_render_span_dicts([root])))
+    if len(shown) < len(roots):
+        print(f"... {len(roots) - len(shown)} more traces (raise --limit)")
+    return 0
+
+
+def _cmd_trace_critical_path(args: argparse.Namespace) -> int:
+    """Which hop/stage dominated each query, plus fault attribution."""
+    import json
+
+    from .obs import critical_path, dominant_stage, fault_attribution, stage_breakdown
+
+    roots = _load_trace_roots(args)
+    if not roots:
+        print("(no matching traces)")
+        return 1
+    faults = fault_attribution(roots)
+    if args.json:
+        rows = [
+            {
+                "trace_id": root.get("trace_id", ""),
+                "root": root.get("name", "?"),
+                "duration_ms": root.get("duration_ms", 0.0),
+                "dominant_stage": dominant_stage(root)[0],
+                "stages": stage_breakdown(root),
+                "critical_path": critical_path(root),
+            }
+            for root in roots
+        ]
+        print(json.dumps({"traces": rows, "fault_attribution": faults}, indent=2))
+        return 0
+    for root in roots[: args.limit or len(roots)]:
+        stage, stage_ms = dominant_stage(root)
+        print(
+            f"-- trace {root.get('trace_id', '?')} "
+            f"({root.get('duration_ms', 0.0):.3f}ms, dominant stage: "
+            f"{stage} {stage_ms:.3f}ms) --"
+        )
+        for step in critical_path(root):
+            print(
+                f"  {step['name']:<32s} {step['duration_ms']:>10.3f}ms "
+                f"self={step['self_ms']:>9.3f}ms  [{step['stage']}]"
+            )
+    if faults["hits"]:
+        print("fault attribution:")
+        for key, count in faults["by_event"].items():
+            print(f"  {key:<32s} {count}")
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Stitch and write a JSONL trace artifact.
+
+    With ``--input`` (a ``--metrics-out`` export) the saved span
+    fragments are stitched; without it the built-in sample workload runs
+    live and its tracer is exported.
+    """
+    from .obs import TraceSink, export_jsonl
+
+    if args.input:
+        roots = _load_trace_roots(args)  # stitches the saved fragments
+        with TraceSink(args.out) as sink:
+            for root in roots:
+                sink.write_trace(root)
+        trees, orphans = len(roots), 0
+    else:
+        with trace.span("trace.sample", workers=args.workers):
+            _run_protocol_sample(workers=args.workers)
+        stitched = export_jsonl(trace, args.out)
+        trees, orphans = len(stitched.traces), len(stitched.orphans)
+    print(f"wrote {trees} trace trees to {args.out} ({orphans} orphans)")
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Fold snapshots + tier status into one view; exit 1 on SLO breach."""
+    import json
+    from pathlib import Path
+
+    from .obs import HealthMonitor, load_slos
+
+    slos = load_slos(args.slo) if args.slo else None
+    monitor = HealthMonitor(slos)
+    for path in args.metrics or ():
+        with open(path) as handle:
+            payload = json.load(handle)
+        # Accept both a full --metrics-out export and a bare registry
+        # snapshot; the protocol sample's sharding status rides along.
+        monitor.observe_metrics(payload.get("metrics", payload))
+        sharding = payload.get("protocol", {}).get("sharding")
+        if sharding:
+            monitor.observe_status(sharding)
+    for path in args.status or ():
+        with open(path) as handle:
+            monitor.observe_status(json.load(handle))
+    if args.state_dir:
+        payload = _shard_status_payload(Path(args.state_dir))
+        if payload is None:
+            print(f"{args.state_dir} is not a sharded state dir")
+            return 1
+        monitor.observe_status(payload)
+    report = monitor.evaluate()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
 
 
 def _cmd_store_inspect(args: argparse.Namespace) -> int:
@@ -428,25 +610,24 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_shard_status(args: argparse.Namespace) -> int:
-    """Report a sharded state directory: routing, WAL bounds, replica lag.
+def _shard_status_payload(base) -> dict | None:
+    """The on-disk tier status payload, or None for a non-sharded dir.
 
     Reads the directory layout ``Deployment.build(shards=N, replicas=R,
     state_dir=...)`` writes (``router/`` + ``shard-*/primary`` +
     ``shard-*/replica-*``) without touching the files.  This is a
     point-in-time view of what is on disk; after a failover the promoted
-    replica's directory holds the newest state.
+    replica's directory holds the newest state.  Shared between ``repro
+    shard status`` and ``repro health --state-dir``.
     """
-    import json
     from pathlib import Path
 
     from .store import EventDecodeError, ProxyStateStore, StoreError, WalError
 
-    base = Path(args.state_dir)
+    base = Path(base)
     router_dir = base / "router"
     if not router_dir.exists():
-        print(f"{base} is not a sharded state dir (no router/ subdirectory)")
-        return 1
+        return None
 
     def read_stats(directory: Path) -> dict:
         try:
@@ -477,13 +658,26 @@ def _cmd_shard_status(args: argparse.Namespace) -> int:
             "primary": primary,
             "replicas": replicas,
         }
+    return payload
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    """Report a sharded state directory: routing, WAL bounds, replica lag."""
+    import json
+
+    payload = _shard_status_payload(args.state_dir)
+    if payload is None:
+        print(f"{args.state_dir} is not a sharded state dir (no router/ subdirectory)")
+        return 1
+    base = payload["state_dir"]
+    router_stats = payload["router"]
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
     print(f"state dir : {base}")
     print(
-        f"router    : {router.state.applied} events, "
-        f"{len(router.state.routes)} routes, {len(router.state.awards)} awards"
+        f"router    : {router_stats['applied']} events, "
+        f"{router_stats['routes']} routes, {router_stats['awards']} awards"
     )
     for shard_id, entry in payload["shards"].items():
         primary = entry["primary"]
@@ -601,6 +795,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry + span tree as JSON to FILE",
     )
     evaluate.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the stitched per-query trace trees as JSONL to FILE",
+    )
+    evaluate.add_argument(
         "--state-dir", metavar="DIR", default=None,
         help="journal the protocol pass's proxy state to a durable store",
     )
@@ -658,9 +856,10 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="pretty-print the telemetry registry and span tree"
     )
     metrics.add_argument(
-        "--input", metavar="FILE", default=None,
+        "--input", metavar="FILE", action="append", default=None,
         help="read a saved snapshot (evaluate --metrics-out) instead of "
-             "running the built-in sample workload",
+             "running the built-in sample workload; repeatable — several "
+             "snapshots (router + shards) merge into one registry",
     )
     metrics.add_argument(
         "--format", choices=["pretty", "prom", "json"], default="pretty",
@@ -671,6 +870,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sample workload (0/1 = serial)",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    tracecmd = sub.add_parser(
+        "trace", help="show and analyze stitched per-query trace trees"
+    )
+    trace_sub = tracecmd.add_subparsers(dest="trace_command", required=True)
+    show = trace_sub.add_parser("show", help="render trace trees from an artifact")
+    show.add_argument(
+        "--input", metavar="FILE", required=True,
+        help="a JSONL trace artifact (evaluate --trace-out) or a "
+             "--metrics-out JSON export",
+    )
+    show.add_argument("--trace-id", default=None, help="show only this trace")
+    show.add_argument("--limit", type=int, default=10, help="max trees to render")
+    show.set_defaults(func=_cmd_trace_show)
+    crit = trace_sub.add_parser(
+        "critical-path", help="dominant hop/stage per query + fault attribution"
+    )
+    crit.add_argument("--input", metavar="FILE", required=True)
+    crit.add_argument("--trace-id", default=None)
+    crit.add_argument("--limit", type=int, default=10)
+    crit.add_argument("--json", action="store_true")
+    crit.set_defaults(func=_cmd_trace_critical_path)
+    export = trace_sub.add_parser(
+        "export", help="stitch fragments and write a JSONL trace artifact"
+    )
+    export.add_argument("--out", metavar="FILE", required=True)
+    export.add_argument(
+        "--input", metavar="FILE", default=None,
+        help="stitch a saved --metrics-out export; omit to run the "
+             "built-in sample workload live",
+    )
+    export.add_argument("--workers", type=int, default=0)
+    export.set_defaults(func=_cmd_trace_export, trace_id=None)
+
+    health = sub.add_parser(
+        "health", help="fold telemetry into one health view and evaluate SLOs"
+    )
+    health.add_argument(
+        "--metrics", metavar="FILE", action="append", default=None,
+        help="a metrics snapshot to fold in (repeatable: router + shards)",
+    )
+    health.add_argument(
+        "--status", metavar="FILE", action="append", default=None,
+        help="a tier status payload (repro shard status --json) to fold in",
+    )
+    health.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="read replication lag / WAL bounds from a sharded state dir",
+    )
+    health.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="declarative SLOs as a JSON list (default: built-in objectives)",
+    )
+    health.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    health.set_defaults(func=_cmd_health)
 
     incentives = sub.add_parser("incentives", help="double-edged analysis")
     incentives.add_argument("--beta", type=float, default=0.02)

@@ -42,9 +42,17 @@ class Message:
     (so subclass field order is unaffected), excluded from equality, and
     costs wire bytes only when set — plain reliable runs never stamp it,
     keeping their byte accounting unchanged.
+
+    ``trace_ctx`` is the optional :class:`~repro.obs.TraceContext` riding
+    the envelope so the receiving endpoint's spans join the sender's
+    causal tree.  Like real tracing headers it is treated as part of the
+    flat 16-byte routing header for accounting purposes: it never adds
+    wire bytes, never participates in equality, and disappears entirely
+    when tracing is off — byte-level experiments are unaffected.
     """
 
     msg_id: str | None = field(default=None, compare=False, kw_only=True)
+    trace_ctx: Any = field(default=None, compare=False, repr=False, kw_only=True)
 
     def payload_bytes(self) -> int:
         return 0

@@ -9,14 +9,64 @@ communication costs faithfully.
 
 from __future__ import annotations
 
+import dataclasses
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Iterator, Protocol
 
-from ..obs import default_registry
+from ..obs import TraceContext, default_registry, trace
 from .errors import ProtocolError, UnknownParticipantError
 from .messages import Message
 
-__all__ = ["Endpoint", "LatencyModel", "NetworkStats", "SimNetwork"]
+__all__ = [
+    "Endpoint",
+    "LatencyModel",
+    "NetworkStats",
+    "SimNetwork",
+    "stamp_trace",
+    "wire_span",
+]
+
+
+def stamp_trace(message: Message, ctx: TraceContext | None = None) -> Message:
+    """Stamp a trace context onto a message envelope (idempotent).
+
+    With no explicit ``ctx`` the caller's innermost open span is used; a
+    message that already carries a context, or a caller with no active
+    trace, passes through unchanged — so untraced traffic stays
+    completely context-free.
+    """
+    if message.trace_ctx is not None:
+        return message
+    ctx = ctx if ctx is not None else trace.current_context()
+    if ctx is None:
+        return message
+    return dataclasses.replace(message, trace_ctx=ctx)
+
+
+def wire_span(name: str, message: Message, peer: str):
+    """Open a wire-leg span and stamp its context onto ``message``.
+
+    Yields the (possibly re-stamped) message.  Outside an active trace
+    this is a true pass-through: no span, no stamping, no generator —
+    network layers only emit spans for traffic that belongs to some
+    traced operation, which keeps root retention bounded and untraced
+    runs overhead-free.
+    """
+    if trace.current_context() is None:
+        return nullcontext(message)
+    return _traced_wire_span(name, message, peer)
+
+
+@contextmanager
+def _traced_wire_span(name: str, message: Message, peer: str) -> Iterator[Message]:
+    with trace.span(name, kind=message.kind, peer=peer) as span:
+        if span is not None and message.trace_ctx is None:
+            message = dataclasses.replace(
+                message,
+                trace_ctx=TraceContext(span.trace_id, span.span_id, span.baggage),
+            )
+        yield message
 
 
 class Endpoint(Protocol):
@@ -134,7 +184,14 @@ class SimNetwork:
         self._account(message)
         for tap in self._taps:
             tap(sender, recipient, message)
-        return self._endpoints[recipient].handle_message(sender, message)
+        ctx = message.trace_ctx
+        if ctx is None:
+            return self._endpoints[recipient].handle_message(sender, message)
+        # The receiving side of the hop: explicitly parented on the
+        # envelope's context, so redeliveries of the same frame each show
+        # up as their own handle span under the sending wire span.
+        with trace.span("net.handle", ctx=ctx, kind=message.kind, node=recipient):
+            return self._endpoints[recipient].handle_message(sender, message)
 
     def deliver(self, sender: str, recipient: str, message: Message) -> Message | None:
         """One accounted delivery leg; the response is returned unaccounted.
@@ -152,14 +209,16 @@ class SimNetwork:
 
     def send(self, sender: str, recipient: str, message: Message) -> None:
         """One-way delivery (response, if any, is discarded)."""
-        self._deliver(sender, recipient, message)
+        with wire_span("net.send", message, recipient) as message:
+            self._deliver(sender, recipient, message)
 
     def request(self, sender: str, recipient: str, message: Message) -> Message | None:
         """Round trip: deliver and account the response as well."""
-        response = self._deliver(sender, recipient, message)
-        if response is not None:
-            self.account(recipient, sender, response)
-        return response
+        with wire_span("net.request", message, recipient) as message:
+            response = self._deliver(sender, recipient, message)
+            if response is not None:
+                self.account(recipient, sender, response)
+            return response
 
     def reset_stats(self) -> NetworkStats:
         """Swap in a fresh stats object, returning the old one."""

@@ -19,6 +19,7 @@ Two query modes are provided:
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -105,6 +106,10 @@ class QueryResult:
     messages: int = 0
     bytes_sent: int = 0
     reputation_applied: bool = False
+    # The causal tree this query's spans belong to; transport metadata
+    # like messages/bytes_sent, so excluded from equality and from
+    # canonical_bytes() below.
+    trace_id: str | None = field(default=None, compare=False)
 
     @property
     def found(self) -> bool:
@@ -309,6 +314,11 @@ class QueryProxy:
         verdict = self.scheme.poc_verify(poc, product_id, pending.proof)
         return self._judge(pending, verdict)
 
+    def _observe_stage(self, stage: str, started: float) -> None:
+        default_registry().histogram("query.stage_ms", stage=stage).observe(
+            (time.perf_counter() - started) * 1000.0
+        )
+
     def _request_proof(
         self, participant_id: str, poc: PocCredential, kind: str, product_id: int
     ) -> "_PendingProbe":
@@ -319,6 +329,16 @@ class QueryProxy:
         unparseable proof); otherwise ``proof`` awaits a verdict, letting
         :meth:`sweep_query` verify a whole round in one batch.
         """
+        started = time.perf_counter()
+        try:
+            with trace.span("query.probe", participant=participant_id, kind=kind):
+                return self._request_proof_impl(participant_id, poc, kind, product_id)
+        finally:
+            self._observe_stage("probe", started)
+
+    def _request_proof_impl(
+        self, participant_id: str, poc: PocCredential, kind: str, product_id: int
+    ) -> "_PendingProbe":
         self._fire_failpoint("probe")
         metrics = default_registry()
         pending = _PendingProbe(participant_id, poc, kind, product_id)
@@ -432,6 +452,20 @@ class QueryProxy:
         prior: tuple[Violation, ...],
     ) -> ProbeOutcome:
         """Bad-product step 2: require the ownership proof (Section IV.C)."""
+        started = time.perf_counter()
+        try:
+            with trace.span("query.reveal", participant=participant_id):
+                return self._demand_reveal_impl(participant_id, poc, product_id, prior)
+        finally:
+            self._observe_stage("reveal", started)
+
+    def _demand_reveal_impl(
+        self,
+        participant_id: str,
+        poc: PocCredential,
+        product_id: int,
+        prior: tuple[Violation, ...],
+    ) -> ProbeOutcome:
         self._fire_failpoint("reveal")
         default_registry().counter("query.blame_reveals").inc()
         response = self._request(participant_id, RevealRequest(product_id))
@@ -486,10 +520,14 @@ class QueryProxy:
         kind = BAD_QUERY if quality == "bad" else GOOD_QUERY
         before = (self.network.stats.messages, self.network.stats.bytes_sent)
         result = QueryResult(product_id, quality)
+        default_registry().counter("query.requested", mode="interactive").inc()
+        started = time.perf_counter()
 
         with trace.span(
             "query.interactive", product=f"{product_id:#x}", quality=quality
-        ):
+        ) as span:
+            if span is not None:
+                result.trace_id = span.trace_id
             starts = self._identify_starts(kind, product_id, result)
             for start, poc_list in starts:
                 if result.task_id is None:
@@ -500,7 +538,7 @@ class QueryProxy:
         result.bytes_sent = self.network.stats.bytes_sent - before[1]
         if apply_reputation:
             self._apply_awards(result)
-        self._record_result_metrics("interactive", result)
+        self._record_result_metrics("interactive", result, started)
         return result
 
     def _identify_starts(
@@ -630,6 +668,8 @@ class QueryProxy:
         kind = BAD_QUERY if quality == "bad" else GOOD_QUERY
         before = (self.network.stats.messages, self.network.stats.bytes_sent)
         result = QueryResult(product_id, quality, task_id=task_id)
+        default_registry().counter("query.requested", mode="sweep").inc()
+        started = time.perf_counter()
 
         tasks = [task_id] if task_id else sorted(self.poc_lists)
         with trace.span(
@@ -637,7 +677,9 @@ class QueryProxy:
             product=f"{product_id:#x}",
             quality=quality,
             tasks=len(tasks),
-        ):
+        ) as query_span:
+            if query_span is not None:
+                result.trace_id = query_span.trace_id
             for tid in tasks:
                 poc_list = self.poc_lists[tid]
                 # Phase 1: collect every participant's response for this round.
@@ -649,12 +691,14 @@ class QueryProxy:
                 ]
                 # Phase 2: verify the round's proofs as one batch.
                 to_verify = [probe for probe in pending if probe.outcome is None]
+                verify_started = time.perf_counter()
                 with trace.span("query.sweep.verify_round", n=len(to_verify)):
                     verdicts = iter(
                         self.scheme.poc_verify_many(
                             [(probe.poc, product_id, probe.proof) for probe in to_verify]
                         )
                     )
+                self._observe_stage("verify", verify_started)
                 default_registry().counter("query.proofs_verified").inc(len(to_verify))
                 # Phase 3: judge in participant order (reveals happen here).
                 for probe in pending:
@@ -673,7 +717,7 @@ class QueryProxy:
         result.bytes_sent = self.network.stats.bytes_sent - before[1]
         if apply_reputation:
             self._apply_awards(result)
-        self._record_result_metrics("sweep", result)
+        self._record_result_metrics("sweep", result, started)
         return result
 
     # -- market sampling ----------------------------------------------------------
@@ -705,12 +749,18 @@ class QueryProxy:
 
     # -- per-query metrics ---------------------------------------------------
 
-    def _record_result_metrics(self, mode: str, result: QueryResult) -> None:
+    def _record_result_metrics(
+        self, mode: str, result: QueryResult, started: float | None = None
+    ) -> None:
         """Per-interaction accounting once a query result is final."""
         if self.store is not None:
             self.store.record_query(result, mode)
         metrics = default_registry()
         metrics.counter("query.completed", mode=mode, quality=result.quality).inc()
+        if started is not None:
+            metrics.histogram("query.latency_ms", mode=mode).observe(
+                (time.perf_counter() - started) * 1000.0
+            )
         metrics.counter("query.identified").inc(len(result.path))
         metrics.histogram("query.messages", buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512)).observe(result.messages)
         for violation in result.violations:

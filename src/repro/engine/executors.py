@@ -28,7 +28,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
-from ..obs import default_registry, get_logger
+from ..obs import TraceContext, default_registry, default_tracer, get_logger
 
 __all__ = ["SerialExecutor", "ParallelExecutor", "resolve_executor"]
 
@@ -40,16 +40,18 @@ _log = get_logger(__name__)
 # submission only pickles its payload.
 _WORKER_FN: TaskFn | None = None
 _WORKER_SHARED: Any = None
+_WORKER_CTX: TraceContext | None = None
 
 
-def _init_worker(fn: TaskFn, shared: Any) -> None:
-    global _WORKER_FN, _WORKER_SHARED
+def _init_worker(fn: TaskFn, shared: Any, ctx: dict | None = None) -> None:
+    global _WORKER_FN, _WORKER_SHARED, _WORKER_CTX
     _WORKER_FN = fn
     _WORKER_SHARED = shared
+    _WORKER_CTX = TraceContext.from_dict(ctx) if ctx else None
 
 
 def _run_payload(payload: Any) -> tuple:
-    """Worker-side task wrapper: run, and ship the metrics delta home.
+    """Worker-side task wrapper: run, ship metrics delta and spans home.
 
     The fork start method hands each worker a copy-on-write snapshot of
     the parent's metrics registry; whatever the task increments would die
@@ -57,14 +59,24 @@ def _run_payload(payload: Any) -> tuple:
     the parent fold the child's counts back in (see
     :meth:`ParallelExecutor.map_tasks`), so pooled runs report the same
     cache-hit / batch / verification metrics as serial ones.
+
+    Spans follow the same delta discipline: the task runs under the
+    caller's trace context (shipped once through the initializer), and
+    every root recorded during the task — a fragment parented on the
+    caller's span — is exported with the result so the parent's tracer
+    can :meth:`~repro.obs.SpanTracer.adopt` it for stitching.
     """
     assert _WORKER_FN is not None, "worker pool initializer did not run"
     registry = default_registry()
+    tracer = default_tracer()
     before = registry.snapshot()
+    mark = len(tracer.roots)
     start = time.perf_counter()
-    result = _WORKER_FN(_WORKER_SHARED, payload)
+    with tracer.activate(_WORKER_CTX):
+        result = _WORKER_FN(_WORKER_SHARED, payload)
     elapsed_ms = (time.perf_counter() - start) * 1000.0
-    return result, registry.diff(before), os.getpid(), elapsed_ms
+    spans = tracer.export_roots(mark) if _WORKER_CTX is not None else []
+    return result, registry.diff(before), os.getpid(), elapsed_ms, spans
 
 
 class SerialExecutor:
@@ -104,12 +116,14 @@ class ParallelExecutor:
             return self._serial.map_tasks(fn, payloads, shared)
         workers = min(self.workers, len(payloads))
         chunksize = max(1, len(payloads) // (workers * 4))
+        tracer = default_tracer()
+        ctx = tracer.current_context()
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 mp_context=mp_context,
                 initializer=_init_worker,
-                initargs=(fn, shared),
+                initargs=(fn, shared, ctx.to_dict() if ctx else None),
             ) as pool:
                 wrapped = list(pool.map(_run_payload, payloads, chunksize=chunksize))
         except (OSError, RuntimeError):  # pragma: no cover - resource limits
@@ -125,11 +139,16 @@ class ParallelExecutor:
         cardinality across many short-lived pools.
         """
         registry = default_registry()
+        tracer = default_tracer()
         task_ms = registry.histogram("engine.pool.task_ms")
         slots: dict[int, int] = {}
         results = []
-        for result, delta, worker_pid, elapsed_ms in wrapped:
+        for result, delta, worker_pid, elapsed_ms, spans in wrapped:
             registry.merge(delta)
+            if spans:
+                # Re-home the worker's span fragments; the collector
+                # re-parents them under the caller's span at stitch time.
+                tracer.adopt(spans)
             slot = slots.setdefault(worker_pid, len(slots))
             registry.counter("engine.pool.tasks", worker=slot).inc()
             registry.counter("engine.pool.busy_ms", worker=slot).inc(elapsed_ms)

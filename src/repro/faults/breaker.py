@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..obs import default_registry, get_logger
+from ..obs import default_registry, get_logger, trace
 
 __all__ = [
     "BreakerPolicy",
@@ -131,4 +131,5 @@ class CircuitBreaker:
             _STATE_VALUE[state]
         )
         metrics.counter("proxy.breaker.transitions", to=state).inc()
+        trace.event("breaker", participant=participant_id, to=state)
         _log.info("breaker for %r -> %s", participant_id, state)

@@ -29,8 +29,8 @@ from ..desword.messages import (
     ProofResponse,
     QueryRequest,
 )
-from ..desword.network import Endpoint, NetworkStats, SimNetwork
-from ..obs import default_registry, get_logger
+from ..desword.network import Endpoint, NetworkStats, SimNetwork, wire_span
+from ..obs import default_registry, get_logger, trace
 from .profile import FaultProfile
 
 __all__ = ["FaultyNetwork", "DownEndpoint", "corrupt_message"]
@@ -91,6 +91,7 @@ class _DedupEndpoint:
         msg_id = message.msg_id
         if msg_id is not None and msg_id in self._responses:
             default_registry().counter("net.dedup_hits", kind=message.kind).inc()
+            trace.event("net.dedup_hit", kind=message.kind, msg_id=msg_id)
             return self._responses[msg_id]
         response = self.inner.handle_message(sender, message)
         if msg_id is not None:
@@ -163,13 +164,18 @@ class FaultyNetwork:
         return self.inner.reset_stats()
 
     def send(self, sender: str, recipient: str, message: Message) -> None:
-        self._outbound(sender, recipient, message)
+        with wire_span("net.send", message, recipient) as message:
+            self._outbound(sender, recipient, message)
 
     def request(self, sender: str, recipient: str, message: Message) -> Message | None:
-        response = self._outbound(sender, recipient, message)
-        if response is None:
-            return None
-        return self._inbound(recipient, sender, response)
+        # The wire span opens *outside* the fault plan, so drops and
+        # partitions annotate the attempt they killed and a retried
+        # request gets a fresh span per attempt.
+        with wire_span("net.request", message, recipient) as message:
+            response = self._outbound(sender, recipient, message)
+            if response is None:
+                return None
+            return self._inbound(recipient, sender, response)
 
     # -- crash control -----------------------------------------------------------
 
@@ -201,6 +207,9 @@ class FaultyNetwork:
     def _count(self, kind: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
         default_registry().counter("faults.injected", kind=kind).inc()
+        # Fault attribution: mark the span this fault landed on (the
+        # wire span of the leg, or whatever stage span is innermost).
+        trace.event("fault", kind=kind, tick=self.tick)
 
     def _advance_schedule(self) -> None:
         for index, event in enumerate(self.profile.crashes):

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from ..crypto.rng import DeterministicRng
 from ..desword.errors import NetworkTimeout, ParticipantUnresponsiveError
 from ..desword.messages import Message
-from ..obs import default_registry
+from ..obs import default_registry, trace
 
 __all__ = ["RetryPolicy", "ReliableChannel"]
 
@@ -119,6 +119,14 @@ class ReliableChannel:
                     or spent_ms + backoff > policy.deadline_ms
                 )
                 if out_of_budget:
+                    # Annotates the enclosing stage span (the per-attempt
+                    # wire spans have already closed with the timeout).
+                    trace.event(
+                        "net.unresponsive",
+                        kind=message.kind,
+                        peer=recipient,
+                        attempts=attempt + 1,
+                    )
                     raise ParticipantUnresponsiveError(
                         f"{recipient!r} unresponsive: {attempt + 1} attempts, "
                         f"{spent_ms:.0f}ms of simulated waiting"
@@ -126,4 +134,7 @@ class ReliableChannel:
                 self.network.stats.simulated_ms += backoff
                 spent_ms += backoff
                 metrics.counter("net.retries", kind=message.kind).inc()
+                trace.event(
+                    "net.retry", kind=message.kind, peer=recipient, attempt=attempt + 1
+                )
         raise AssertionError("unreachable: retry loop always returns or raises")

@@ -11,6 +11,12 @@ per-round communication) as first-class runtime signals:
 * :mod:`repro.obs.tracing` — :data:`trace`, a span tracer producing
   nested wall-clock trees (``with trace.span("poc.verify", n=K):``),
   exportable as JSON and flat Prometheus-style text;
+* :mod:`repro.obs.traces` — trace collection and analysis: fragment
+  stitching into one causal tree per query, JSONL artifacts, critical
+  paths, per-stage breakdowns, and fault attribution;
+* :mod:`repro.obs.health` — the :class:`HealthMonitor` that folds
+  router/shard/replica registry snapshots into one health view and
+  evaluates declarative :class:`Slo` rows with error-budget accounting;
 * :mod:`repro.obs.log` — the ``repro`` logger hierarchy (NullHandler by
   default; the CLI's ``--verbose`` turns it on).
 
@@ -19,6 +25,7 @@ so every layer (crypto cache, engine executors, proxy) can report here
 without cycles.
 """
 
+from .health import HealthMonitor, HealthReport, Slo, SloResult, default_slos, load_slos
 from .log import ROOT_LOGGER_NAME, configure_logging, get_logger
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -29,21 +36,48 @@ from .metrics import (
     MetricsRegistry,
     default_registry,
 )
-from .tracing import Span, SpanTracer, default_tracer, trace
+from .traces import (
+    Stitched,
+    TraceSink,
+    critical_path,
+    dominant_stage,
+    export_jsonl,
+    fault_attribution,
+    read_jsonl,
+    stage_breakdown,
+    stitch,
+)
+from .tracing import Span, SpanTracer, TraceContext, default_tracer, trace
 
 __all__ = [
     "Counter",
     "Gauge",
+    "HealthMonitor",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
+    "Slo",
+    "SloResult",
     "Span",
     "SpanTracer",
+    "Stitched",
+    "TraceContext",
+    "TraceSink",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "DEFAULT_SIZE_BUCKETS",
     "ROOT_LOGGER_NAME",
     "configure_logging",
+    "critical_path",
     "default_registry",
+    "default_slos",
     "default_tracer",
+    "dominant_stage",
+    "export_jsonl",
+    "fault_attribution",
     "get_logger",
+    "load_slos",
+    "read_jsonl",
+    "stage_breakdown",
+    "stitch",
     "trace",
 ]

@@ -1,0 +1,477 @@
+"""Health folding and declarative SLO evaluation for the proxy tier.
+
+The sharded tier scatters its vital signs: the router and every shard
+primary increment the same process registry, replica lag lives in
+``router.status()`` (or the on-disk ``repro shard status`` payload),
+breaker states are gauges, and per-stage latencies are histograms.  A
+:class:`HealthMonitor` folds all of it into **one** health view:
+
+* replication — max/WAL-bounds/lag per shard, frames shipped;
+* availability — failover count, promotions, open breakers, quarantine
+  skips;
+* latency — per-stage (probe / reveal / wal_ship) and per-query
+  histograms with p50/p95;
+* protocol — probes, refusals, reveals, completions, violations;
+* chaos — what the fault plan actually injected;
+* tracing — dropped trace roots (a truncated artifact is a finding).
+
+SLOs are declarative :class:`Slo` rows evaluated against that view with
+**error-budget accounting**: a latency SLO "p95 of query.latency_ms <=
+250ms" has a 5% budget (the 1 - 0.95 objective); the budget consumed is
+the observed fraction above threshold divided by the allowed fraction,
+so ``budget_remaining`` hits 0.0 exactly when the SLO breaches.  Ratio
+SLOs (completion under chaos) and bound SLOs (replication lag, dropped
+roots) follow the same shape.
+
+``repro health`` renders the view and exits non-zero on any breach.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "HealthMonitor",
+    "HealthReport",
+    "Slo",
+    "SloResult",
+    "default_slos",
+    "load_slos",
+]
+
+_OPS = {
+    "<=": lambda value, threshold: value <= threshold,
+    ">=": lambda value, threshold: value >= threshold,
+}
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One declarative objective over the folded health view.
+
+    ``kind`` selects the evaluator:
+
+    * ``"quantile"`` — ``quantile`` of histogram ``metric`` must satisfy
+      ``op threshold``; the error budget is the mass the objective
+      leaves above the threshold (e.g. q=0.95 -> 5% may exceed it);
+    * ``"ratio"`` — counter ``metric`` divided by counter ``denominator``
+      must satisfy ``op threshold`` (completion ratios); budget is the
+      shortfall allowance ``1 - threshold``;
+    * ``"bound"`` — the summed counter / max gauge / status field named
+      by ``metric`` must satisfy ``op threshold`` (replication lag,
+      dropped roots, failover count).
+
+    ``metric`` names are matched by prefix over all label combinations
+    (counters sum, gauges take the max, histograms merge), so one SLO
+    covers every shard's series at once.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    threshold: float
+    op: str = "<="
+    quantile: float = 0.95
+    denominator: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("quantile", "ratio", "bound"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.op not in _OPS:
+            raise ValueError(f"unknown SLO op {self.op!r}")
+        if self.kind == "quantile" and not 0.0 < self.quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {self.quantile}")
+        if self.kind == "ratio" and not self.denominator:
+            raise ValueError("ratio SLOs need a denominator counter")
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name, "kind": self.kind, "metric": self.metric,
+            "threshold": self.threshold, "op": self.op,
+        }
+        if self.kind == "quantile":
+            out["quantile"] = self.quantile
+        if self.denominator:
+            out["denominator"] = self.denominator
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Slo":
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            metric=payload["metric"],
+            threshold=float(payload["threshold"]),
+            op=payload.get("op", "<="),
+            quantile=float(payload.get("quantile", 0.95)),
+            denominator=payload.get("denominator"),
+        )
+
+
+def default_slos() -> list[Slo]:
+    """The tier's stock objectives; override with ``repro health --slo``."""
+    return [
+        Slo("query-p95-latency", "quantile", "query.latency_ms",
+            threshold=2000.0, quantile=0.95),
+        Slo("query-completion", "ratio", "query.completed",
+            denominator="query.requested", threshold=0.99, op=">="),
+        Slo("replication-lag", "bound", "replication_lag",
+            threshold=0.0),
+        Slo("trace-drops", "bound", "trace.dropped_roots",
+            threshold=0.0),
+    ]
+
+
+@dataclass
+class SloResult:
+    """One evaluated objective plus its error-budget accounting."""
+
+    slo: Slo
+    ok: bool
+    value: float | None
+    budget_allowed: float
+    budget_consumed: float
+    detail: str = ""
+
+    @property
+    def budget_remaining(self) -> float:
+        if self.budget_allowed <= 0:
+            return 0.0 if self.budget_consumed else 1.0
+        return max(0.0, 1.0 - self.budget_consumed / self.budget_allowed)
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo.to_dict(),
+            "ok": self.ok,
+            "value": None if self.value is None else round(self.value, 6),
+            "budget": {
+                "allowed": round(self.budget_allowed, 6),
+                "consumed": round(self.budget_consumed, 6),
+                "remaining_frac": round(self.budget_remaining, 6),
+            },
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class HealthReport:
+    """Every SLO verdict plus the folded view it was judged against."""
+
+    results: list[SloResult]
+    view: dict
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "slos": [result.to_dict() for result in self.results],
+            "health": self.view,
+        }
+
+    def render_text(self) -> str:
+        lines = [f"health: {'OK' if self.ok else 'SLO BREACH'}"]
+        for result in self.results:
+            mark = "ok " if result.ok else "FAIL"
+            value = "n/a" if result.value is None else f"{result.value:g}"
+            lines.append(
+                f"  [{mark}] {result.slo.name:<24s} value={value} "
+                f"{result.slo.op} {result.slo.threshold:g} "
+                f"budget_remaining={result.budget_remaining:.0%}"
+                + (f"  ({result.detail})" if result.detail else "")
+            )
+        view = self.view
+        replication = view.get("replication", {})
+        if replication.get("shards"):
+            lines.append(
+                f"  replication: max_lag={replication['max_lag']} frames "
+                f"across {len(replication['shards'])} shard(s), "
+                f"{view['availability']['failovers']:g} failover(s)"
+            )
+        return "\n".join(lines)
+
+
+class HealthMonitor:
+    """Folds registry snapshots and tier status payloads into one view."""
+
+    def __init__(self, slos: Iterable[Slo] | None = None):
+        self.slos = list(slos) if slos is not None else default_slos()
+        self.registry = MetricsRegistry()
+        self._statuses: list[dict] = []
+
+    # -- observation -----------------------------------------------------------
+
+    def observe_metrics(self, snapshot: Mapping) -> None:
+        """Fold one registry snapshot (router's, a shard's, a worker's)."""
+        self.registry.merge(dict(snapshot))
+
+    def observe_registry(self, registry: MetricsRegistry) -> None:
+        self.observe_metrics(registry.snapshot())
+
+    def observe_status(self, payload: Mapping) -> None:
+        """Fold a tier status payload.
+
+        Accepts both the live :meth:`repro.sharding.router.ProxyRouter.status`
+        shape and the on-disk ``repro shard status --json`` shape.
+        """
+        self._statuses.extend(_normalize_status(dict(payload)))
+
+    # -- metric lookup helpers -------------------------------------------------
+
+    def _sum_counters(self, prefix: str) -> float:
+        return sum(self.registry.counters_matching(prefix).values())
+
+    def _max_gauge(self, prefix: str) -> float | None:
+        values = [
+            metric.value
+            for (name, _), metric in self.registry._gauges.items()
+            if name.startswith(prefix)
+        ]
+        return max(values) if values else None
+
+    def _merged_histogram(self, prefix: str) -> Histogram | None:
+        merged: Histogram | None = None
+        for (name, _), metric in list(self.registry._histograms.items()):
+            if not name.startswith(prefix) or metric.count == 0:
+                continue
+            if merged is None:
+                merged = Histogram(metric.bounds)
+            if merged.bounds != metric.bounds:
+                continue  # incompatible layouts never merge
+            merged.merge_state(
+                list(metric.bucket_counts), metric.sum, metric.count,
+                metric.min_value, metric.max_value,
+            )
+        return merged
+
+    def _histograms_by_label(self, name: str, label: str) -> dict[str, Histogram]:
+        out: dict[str, Histogram] = {}
+        for (metric_name, labels), metric in list(self.registry._histograms.items()):
+            if metric_name != name or metric.count == 0:
+                continue
+            key = dict(labels).get(label, "")
+            out[key] = metric
+        return out
+
+    # -- the folded view -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The single health view: replication, availability, latency, ..."""
+        shards = []
+        max_lag = 0
+        for status in self._statuses:
+            shards.append(status)
+            max_lag = max(max_lag, *(status["lags"] or [0]))
+        lag_gauge = self._max_gauge("shard.replication.lag")
+        if lag_gauge is not None:
+            max_lag = max(max_lag, int(lag_gauge))
+
+        stages = {}
+        for stage, hist in sorted(
+            self._histograms_by_label("query.stage_ms", "stage").items()
+        ):
+            stages[stage or "?"] = {
+                "count": hist.count,
+                "p50_ms": round(hist.p50, 3),
+                "p95_ms": round(hist.p95, 3),
+                "max_ms": round(hist.max_value, 3),
+            }
+        latency = self._merged_histogram("query.latency_ms")
+
+        breakers_open = self._max_gauge("proxy.breaker.state")
+        view = {
+            "replication": {
+                "max_lag": max_lag,
+                "frames_shipped": self._sum_counters("shard.replication.frames_shipped"),
+                "shards": shards,
+            },
+            "availability": {
+                "failovers": self._sum_counters("shard.failovers"),
+                "promotions": self._sum_counters("shard.promotions"),
+                "breaker_max_state": 0 if breakers_open is None else breakers_open,
+                "breaker_skips": self._sum_counters("proxy.breaker.skips"),
+            },
+            "latency": {
+                "stages": stages,
+                "query": None
+                if latency is None
+                else {
+                    "count": latency.count,
+                    "p50_ms": round(latency.p50, 3),
+                    "p95_ms": round(latency.p95, 3),
+                    "max_ms": round(latency.max_value, 3),
+                },
+            },
+            "protocol": {
+                "probes": self._sum_counters("query.probes"),
+                "refusals": self._sum_counters("query.refusals"),
+                "reveals": self._sum_counters("query.blame_reveals"),
+                "requested": self._sum_counters("query.requested"),
+                "completed": self._sum_counters("query.completed"),
+                "violations": self._sum_counters("query.violations"),
+            },
+            "chaos": {
+                "injected": {
+                    rendered.split("=", 1)[-1].strip('"}'): value
+                    for rendered, value in sorted(
+                        self.registry.counters_matching("faults.injected").items()
+                    )
+                },
+                "retries": self._sum_counters("net.retries"),
+                "timeouts": self._sum_counters("net.timeouts"),
+                "dedup_hits": self._sum_counters("net.dedup_hits"),
+            },
+            "tracing": {
+                "dropped_roots": self._sum_counters("trace.dropped_roots"),
+            },
+        }
+        return view
+
+    # -- SLO evaluation --------------------------------------------------------
+
+    def evaluate(self) -> HealthReport:
+        view = self.snapshot()
+        results = [self._evaluate_one(slo, view) for slo in self.slos]
+        return HealthReport(results, view)
+
+    def _evaluate_one(self, slo: Slo, view: dict) -> SloResult:
+        if slo.kind == "quantile":
+            return self._evaluate_quantile(slo)
+        if slo.kind == "ratio":
+            return self._evaluate_ratio(slo)
+        return self._evaluate_bound(slo, view)
+
+    def _evaluate_quantile(self, slo: Slo) -> SloResult:
+        hist = self._merged_histogram(slo.metric)
+        allowed = 1.0 - slo.quantile
+        if hist is None or hist.count == 0:
+            return SloResult(slo, True, None, allowed, 0.0, "no observations")
+        value = hist.quantile(slo.quantile)
+        ok = _OPS[slo.op](value, slo.threshold)
+        over = _fraction_above(hist, slo.threshold)
+        return SloResult(
+            slo, ok, value, allowed, over,
+            f"{over:.2%} of {hist.count} observations above {slo.threshold:g}ms",
+        )
+
+    def _evaluate_ratio(self, slo: Slo) -> SloResult:
+        numerator = self._sum_counters(slo.metric)
+        denominator = self._sum_counters(slo.denominator or "")
+        allowed = abs(1.0 - slo.threshold)
+        if denominator == 0:
+            return SloResult(slo, True, None, allowed, 0.0, "no samples")
+        value = numerator / denominator
+        ok = _OPS[slo.op](value, slo.threshold)
+        shortfall = max(0.0, 1.0 - value) if slo.op == ">=" else max(0.0, value)
+        return SloResult(
+            slo, ok, value, allowed, shortfall,
+            f"{numerator:g}/{denominator:g}",
+        )
+
+    def _evaluate_bound(self, slo: Slo, view: dict) -> SloResult:
+        value = self._bound_value(slo.metric, view)
+        allowed = max(abs(slo.threshold), 1.0)
+        if value is None:
+            return SloResult(slo, True, None, allowed, 0.0, "no data")
+        ok = _OPS[slo.op](value, slo.threshold)
+        if slo.op == "<=":
+            consumed = value / allowed if slo.threshold else value
+        else:
+            consumed = max(0.0, slo.threshold - value)
+        return SloResult(slo, ok, value, allowed, consumed)
+
+    def _bound_value(self, metric: str, view: dict) -> float | None:
+        # Folded-view shortcuts first, then raw counters/gauges by prefix.
+        if metric == "replication_lag":
+            if not self._statuses and self._max_gauge("shard.replication.lag") is None:
+                return None
+            return float(view["replication"]["max_lag"])
+        if metric == "failovers":
+            return self._sum_counters("shard.failovers")
+        total = self._sum_counters(metric)
+        if total:
+            return total
+        gauge = self._max_gauge(metric)
+        if gauge is not None:
+            return gauge
+        # A counter that exists at zero still reports 0; a metric never
+        # registered reports no data.
+        if self.registry.counters_matching(metric):
+            return 0.0
+        return None
+
+
+def _fraction_above(hist: Histogram, threshold: float) -> float:
+    """Observed mass strictly above ``threshold``, bucket-estimated."""
+    if hist.count == 0:
+        return 0.0
+    if hist.max_value <= threshold:
+        return 0.0
+    above = 0
+    edges = [*hist.bounds, math.inf]
+    for bound, bucket in zip(edges, hist.bucket_counts):
+        if bound > threshold:
+            above += bucket
+    return above / hist.count
+
+
+def load_slos(path: str) -> list[Slo]:
+    """Read declarative SLOs from a JSON file (a list of Slo dicts)."""
+    with open(path) as handle:
+        rows = json.load(handle)
+    if not isinstance(rows, list):
+        raise ValueError("SLO file must hold a JSON list of objects")
+    return [Slo.from_dict(row) for row in rows]
+
+
+def _normalize_status(payload: dict) -> list[dict]:
+    """Flatten either tier-status shape into per-shard lag rows."""
+    out = []
+    shards = payload.get("shards")
+    if not isinstance(shards, dict):
+        return out
+    for shard_id, entry in sorted(shards.items()):
+        if not isinstance(entry, dict):
+            continue
+        if "replica_lag" in entry:  # live ProxyRouter.status() shape
+            wal = entry.get("wal", {})
+            out.append(
+                {
+                    "shard": shard_id,
+                    "applied": entry.get("applied"),
+                    "wal": {
+                        "first_seqno": wal.get("first_seqno"),
+                        "last_seqno": wal.get("last_seqno"),
+                    },
+                    "lags": [int(lag) for lag in entry.get("replica_lag", [])],
+                    "generation": entry.get("generation", 0),
+                }
+            )
+        else:  # on-disk `repro shard status --json` shape
+            primary = entry.get("primary", {})
+            wal = primary.get("wal", {})
+            lags = [
+                int(stats.get("lag", 0))
+                for stats in entry.get("replicas", {}).values()
+                if isinstance(stats, dict) and "lag" in stats
+            ]
+            out.append(
+                {
+                    "shard": shard_id,
+                    "applied": primary.get("applied"),
+                    "wal": {
+                        "first_seqno": wal.get("first_seqno"),
+                        "last_seqno": wal.get("last_seqno"),
+                    },
+                    "lags": lags,
+                    "generation": entry.get("generation", 0),
+                }
+            )
+    return out

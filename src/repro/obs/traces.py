@@ -1,0 +1,262 @@
+"""Trace collection and analysis: stitching, JSONL sink, critical paths.
+
+The tracer records *fragments*: ordinary roots, explicitly-parented
+spans whose parent span lives in another fragment (a retried delivery, a
+failover re-run), and span records adopted from fork-pool workers.  This
+module turns those fragments into per-query causal trees and answers the
+questions the paper's evaluation asks of them:
+
+* :func:`stitch` — group fragments by ``trace_id`` and re-parent each
+  one under the span named by its ``parent_id``, yielding one root per
+  trace (plus any orphans whose parent was never recorded);
+* :class:`TraceSink` / :func:`export_jsonl` / :func:`read_jsonl` — a
+  per-run JSONL artifact, one stitched trace tree per line;
+* :func:`critical_path` — the heaviest child chain through a tree, with
+  per-hop self-time;
+* :func:`stage_breakdown` / :func:`dominant_stage` — fold self-time into
+  protocol stages (probe, reveal, wire, WAL ship, crypto, ...) so "where
+  did this query spend its time" has a one-word answer;
+* :func:`fault_attribution` — every injected fault, retry, dedup hit,
+  breaker transition, and failover, attributed to the span it hit.
+
+Everything here works on the plain ``dict`` form of spans
+(:meth:`repro.obs.tracing.Span.to_dict`), so saved artifacts and live
+tracers analyze identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .tracing import SpanTracer
+
+__all__ = [
+    "Stitched",
+    "TraceSink",
+    "critical_path",
+    "dominant_stage",
+    "export_jsonl",
+    "fault_attribution",
+    "iter_spans",
+    "read_jsonl",
+    "stage_breakdown",
+    "stage_of",
+    "stitch",
+]
+
+# Span-name prefix -> protocol stage, first match wins.  Order matters:
+# the more specific prefixes come first.
+STAGE_RULES: tuple[tuple[str, str], ...] = (
+    ("query.probe", "probe"),
+    ("query.reveal", "reveal"),
+    ("query.sweep.verify_round", "crypto"),
+    ("engine.", "crypto"),
+    ("store.replicate", "wal_ship"),
+    ("store.", "store"),
+    ("net.", "wire"),
+    ("distribution.", "distribution"),
+    ("proxy.restore", "recovery"),
+    ("router.restore", "recovery"),
+)
+
+# Event names that attribute faults/recovery behaviour to spans.
+_ATTRIBUTED_EVENTS = frozenset(
+    {"fault", "net.retry", "net.unresponsive", "net.dedup_hit",
+     "breaker", "shard.failover"}
+)
+
+
+def stage_of(name: str) -> str:
+    for prefix, stage in STAGE_RULES:
+        if name.startswith(prefix):
+            return stage
+    return "other"
+
+
+def iter_spans(root: dict) -> Iterator[dict]:
+    """Depth-first walk over a span dict tree."""
+    yield root
+    for child in root.get("children", ()):
+        yield from iter_spans(child)
+
+
+@dataclass
+class Stitched:
+    """The result of re-assembling fragments into causal trees."""
+
+    traces: list[dict] = field(default_factory=list)
+    orphans: list[dict] = field(default_factory=list)
+
+    @property
+    def trace_ids(self) -> list[str]:
+        return [root.get("trace_id", "") for root in self.traces]
+
+    def by_trace_id(self) -> dict[str, dict]:
+        return {root.get("trace_id", ""): root for root in self.traces}
+
+
+def stitch(fragments: Iterable[dict]) -> Stitched:
+    """Re-parent fragments into one tree per ``trace_id``.
+
+    A fragment with a ``parent_id`` that names a span recorded in *any*
+    fragment of the same trace is attached under that span; fragments
+    with no parent (or an unknown one from another trace entirely) stay
+    roots.  A fragment whose ``parent_id`` is set but unresolvable is an
+    *orphan* — it is still returned (as its own root) but also listed in
+    ``orphans`` so "100% stitched" is a checkable claim.
+
+    Children are re-sorted by ``start_ms`` after attachment, so a
+    re-parented retry lands in chronological position.
+    """
+    fragments = [json.loads(json.dumps(f)) for f in fragments]  # deep copy
+    index: dict[str, dict] = {}
+    for fragment in fragments:
+        for span in iter_spans(fragment):
+            span_id = span.get("span_id")
+            if span_id:
+                index[span_id] = span
+    result = Stitched()
+    resorted: list[dict] = []
+    for fragment in fragments:
+        parent_id = fragment.get("parent_id")
+        if parent_id:
+            parent = index.get(parent_id)
+            if parent is not None and parent is not fragment:
+                parent.setdefault("children", []).append(fragment)
+                resorted.append(parent)
+                continue
+            result.orphans.append(fragment)
+        result.traces.append(fragment)
+    for parent in resorted:
+        parent["children"].sort(key=lambda s: s.get("start_ms", 0.0))
+    return result
+
+
+# -- the JSONL artifact --------------------------------------------------------
+
+
+class TraceSink:
+    """A per-run JSONL trace artifact: one stitched trace tree per line."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.written = 0
+        self._handle = self.path.open("w")
+
+    def write_trace(self, root: dict) -> None:
+        self._handle.write(json.dumps(root, separators=(",", ":")) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def export_jsonl(tracer: SpanTracer, path: str | Path) -> Stitched:
+    """Stitch a tracer's recorded fragments and write them as JSONL."""
+    stitched = stitch(root.to_dict() for root in tracer.roots)
+    with TraceSink(path) as sink:
+        for root in stitched.traces:
+            sink.write_trace(root)
+    return stitched
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a trace artifact back into root span dicts."""
+    roots = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                roots.append(json.loads(line))
+    return roots
+
+
+# -- analysis ------------------------------------------------------------------
+
+
+def _self_ms(span: dict) -> float:
+    children_ms = sum(c.get("duration_ms", 0.0) for c in span.get("children", ()))
+    return max(0.0, span.get("duration_ms", 0.0) - children_ms)
+
+
+def critical_path(root: dict) -> list[dict]:
+    """The heaviest child chain: which hop dominated this trace.
+
+    Each step reports the span's name, total duration, *self* time
+    (duration minus children — the time the hop itself burned), and the
+    stage classification.  The walk follows the child with the largest
+    duration at every level.
+    """
+    path: list[dict] = []
+    node = root
+    while node is not None:
+        path.append(
+            {
+                "name": node.get("name", "?"),
+                "stage": stage_of(node.get("name", "")),
+                "duration_ms": round(node.get("duration_ms", 0.0), 3),
+                "self_ms": round(_self_ms(node), 3),
+                "attrs": dict(node.get("attrs") or {}),
+            }
+        )
+        children = node.get("children")
+        node = max(children, key=lambda c: c.get("duration_ms", 0.0)) if children else None
+    return path
+
+
+def stage_breakdown(root: dict) -> dict[str, float]:
+    """Self-time per protocol stage across the whole tree, in ms."""
+    stages: dict[str, float] = {}
+    for span in iter_spans(root):
+        stage = stage_of(span.get("name", ""))
+        stages[stage] = stages.get(stage, 0.0) + _self_ms(span)
+    return {stage: round(ms, 3) for stage, ms in sorted(stages.items())}
+
+
+def dominant_stage(root: dict) -> tuple[str, float]:
+    """The stage that burned the most self-time in this trace."""
+    stages = stage_breakdown(root)
+    if not stages:
+        return ("other", 0.0)
+    stage = max(stages, key=lambda s: stages[s])
+    return (stage, stages[stage])
+
+
+def fault_attribution(roots: Iterable[dict]) -> dict:
+    """Attribute injected faults and recovery behaviour to spans.
+
+    Returns ``{"hits": [...], "by_event": {...}}`` where each hit names
+    the trace, the span the event landed on, and the event's attributes —
+    the per-query answer to "which fault did this query absorb, where".
+    """
+    hits: list[dict] = []
+    by_event: dict[str, int] = {}
+    for root in roots:
+        trace_id = root.get("trace_id", "")
+        for span in iter_spans(root):
+            for event in span.get("events", ()):
+                name = event.get("name", "")
+                if name not in _ATTRIBUTED_EVENTS:
+                    continue
+                attrs = dict(event.get("attrs") or {})
+                hits.append(
+                    {
+                        "trace_id": trace_id,
+                        "span": span.get("name", "?"),
+                        "span_id": span.get("span_id", ""),
+                        "event": name,
+                        "attrs": attrs,
+                    }
+                )
+                key = name if not attrs.get("kind") else f"{name}:{attrs['kind']}"
+                by_event[key] = by_event.get(key, 0) + 1
+    return {"hits": hits, "by_event": dict(sorted(by_event.items()))}

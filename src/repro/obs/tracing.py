@@ -1,4 +1,4 @@
-"""Span-based wall-clock tracing.
+"""Span-based wall-clock tracing with cross-boundary context propagation.
 
 A :class:`SpanTracer` produces nested timing trees::
 
@@ -14,31 +14,113 @@ indented text tree (:meth:`SpanTracer.render`), and as a flat
 Prometheus-style aggregate (:meth:`SpanTracer.render_flat`, per-name
 count + total milliseconds).
 
+Distributed causality
+---------------------
+
+Every span carries a ``trace_id`` / ``span_id`` / ``parent_id`` triple,
+and a :class:`TraceContext` snapshots the innermost open span
+(:meth:`SpanTracer.current_context`) so the identity can cross a process
+or "network" boundary:
+
+* **explicit parenting** — ``span(name, ctx=remote_ctx)`` opens a span
+  whose parent is the remote span named by ``ctx``, not whatever happens
+  to be on this thread's stack.  When the two disagree the span is kept
+  as a *fragment root* with its ``parent_id`` recorded; the trace
+  collector (:mod:`repro.obs.traces`) re-parents fragments into one tree
+  per ``trace_id`` — this is how retried, redelivered, and re-run
+  operations stitch back into a single causal timeline;
+* **ambient adoption** — ``with tracer.activate(ctx): ...`` makes new
+  root-level spans on this thread parent to ``ctx`` (used by fork-pool
+  workers, which inherit no stack);
+* **span export** — workers ship finished span records home with
+  :meth:`SpanTracer.export_roots`; the parent folds them back in with
+  :meth:`SpanTracer.adopt`, exactly like metrics deltas.
+
+Spans also carry **events** — point-in-time annotations
+(:meth:`SpanTracer.event`) that the fault injector, retry layer, and
+circuit breakers use to mark the spans they hit — and **baggage**,
+key/value pairs that ride the context across hops.
+
 Threading and forking: the open-span stack is thread-local, so spans on
-different threads build independent trees.  Spans recorded inside
-fork-pool *worker processes* stay in the worker — only metrics deltas
-travel back (see :mod:`repro.obs.metrics`); keep spans around
-orchestration points, not inside pool tasks.
+different threads build independent trees.  Root retention is capped at
+``max_roots``; evicted roots still count in the flat aggregates, are
+reported under ``dropped``, and increment the ``trace.dropped_roots``
+counter so truncated traces are visible in ``repro metrics``.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
+import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Iterator, Mapping
 
-from .metrics import _render_name  # shared label renderer
+from .metrics import _render_name, default_registry  # shared label renderer
 
-__all__ = ["Span", "SpanTracer", "default_tracer", "trace"]
+__all__ = ["Span", "SpanTracer", "TraceContext", "default_tracer", "trace"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of an in-flight operation.
+
+    ``trace_id`` names the whole causal tree (one per query / phase),
+    ``span_id`` the specific span a continuation should parent to, and
+    ``baggage`` carries key/value pairs along every subsequent hop.
+    Contexts are immutable and JSON-able, so they can ride a message
+    envelope or a pickled pool task unchanged.
+    """
+
+    trace_id: str
+    span_id: str
+    baggage: tuple[tuple[str, str], ...] = ()
+
+    def with_baggage(self, **items: object) -> "TraceContext":
+        merged = dict(self.baggage)
+        merged.update((k, str(v)) for k, v in items.items())
+        return TraceContext(self.trace_id, self.span_id, tuple(sorted(merged.items())))
+
+    def to_dict(self) -> dict:
+        out: dict = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.baggage:
+            out["baggage"] = dict(self.baggage)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TraceContext":
+        baggage = tuple(
+            sorted((k, str(v)) for k, v in (payload.get("baggage") or {}).items())
+        )
+        return cls(payload["trace_id"], payload["span_id"], baggage)
+
+
+class _NullSpanContext:
+    """The shared no-op context a disabled tracer's ``span()`` returns."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
 
 
 class Span:
-    """One timed region: name, attributes, duration, children."""
+    """One timed region: identity, attributes, duration, children, events."""
 
-    __slots__ = ("name", "attrs", "duration_ms", "children", "_start")
+    __slots__ = (
+        "name", "attrs", "duration_ms", "children", "_start",
+        "trace_id", "span_id", "parent_id", "start_ms", "events", "baggage",
+    )
 
     def __init__(self, name: str, attrs: dict):
         self.name = name
@@ -46,14 +128,48 @@ class Span:
         self.duration_ms: float = 0.0
         self.children: list["Span"] = []
         self._start = 0.0
+        self.trace_id: str = ""
+        self.span_id: str = ""
+        self.parent_id: str | None = None
+        self.start_ms: float = 0.0
+        self.events: list[dict] = []
+        self.baggage: tuple[tuple[str, str], ...] = ()
+
+    def add_event(self, name: str, **attrs: object) -> None:
+        event: dict = {"name": name}
+        if attrs:
+            event["attrs"] = {k: str(v) for k, v in attrs.items()}
+        self.events.append(event)
 
     def to_dict(self) -> dict:
         out: dict = {"name": self.name, "duration_ms": round(self.duration_ms, 3)}
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.span_id:
+            out["span_id"] = self.span_id
+        if self.parent_id:
+            out["parent_id"] = self.parent_id
+        if self.start_ms:
+            out["start_ms"] = round(self.start_ms, 3)
         if self.attrs:
             out["attrs"] = dict(self.attrs)
+        if self.events:
+            out["events"] = [dict(event) for event in self.events]
         if self.children:
             out["children"] = [child.to_dict() for child in self.children]
         return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Span":
+        span = cls(payload["name"], dict(payload.get("attrs") or {}))
+        span.duration_ms = float(payload.get("duration_ms", 0.0))
+        span.trace_id = payload.get("trace_id", "")
+        span.span_id = payload.get("span_id", "")
+        span.parent_id = payload.get("parent_id")
+        span.start_ms = float(payload.get("start_ms", 0.0))
+        span.events = [dict(event) for event in payload.get("events", ())]
+        span.children = [cls.from_dict(child) for child in payload.get("children", ())]
+        return span
 
     def walk(self) -> Iterator["Span"]:
         yield self
@@ -74,6 +190,10 @@ class SpanTracer:
         self.enabled = True
         self._local = threading.local()
         self._lock = threading.Lock()
+        # Ids are unique per process (the pid prefix keeps fork-pool
+        # workers from colliding with the parent's counter, which they
+        # inherit copy-on-write).
+        self._ids = itertools.count(1)
         # name -> [count, total_ms]; survives root eviction so the flat
         # export never under-reports.
         self._totals: dict[str, list] = {}
@@ -84,37 +204,150 @@ class SpanTracer:
             stack = self._local.stack = []
         return stack
 
-    @contextmanager
-    def span(self, name: str, **attrs: object) -> Iterator[Span | None]:
+    def _next_id(self, prefix: str) -> str:
+        return f"{prefix}{os.getpid():x}-{next(self._ids):x}"
+
+    # -- context propagation ---------------------------------------------------
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost open span as a portable context (None when idle)."""
         if not self.enabled:
-            yield None
-            return
+            return None
+        stack = self._stack()
+        if stack:
+            span = stack[-1]
+            return TraceContext(span.trace_id, span.span_id, span.baggage)
+        return getattr(self._local, "ambient", None)
+
+    @contextmanager
+    def activate(self, ctx: TraceContext | None) -> Iterator[None]:
+        """Adopt ``ctx`` as this thread's ambient parent for new roots.
+
+        Fork-pool workers (and anything else that starts with an empty
+        stack) wrap their work in ``activate`` so the spans they record
+        join the caller's trace instead of starting fresh ones.
+        """
+        previous = getattr(self._local, "ambient", None)
+        self._local.ambient = ctx
+        try:
+            yield
+        finally:
+            self._local.ambient = previous
+
+    def event(self, name: str, **attrs: object) -> bool:
+        """Annotate the innermost open span; False when nothing is open."""
+        if not self.enabled:
+            return False
+        stack = self._stack()
+        if not stack:
+            return False
+        stack[-1].add_event(name, **attrs)
+        return True
+
+    def span(
+        self,
+        name: str,
+        ctx: TraceContext | None = None,
+        **attrs: object,
+    ):
+        """Open a span; ``ctx`` explicitly parents it to a remote span.
+
+        Without ``ctx`` the parent is the innermost open span on this
+        thread (or the ambient context under :meth:`activate`, or a fresh
+        trace).  With ``ctx``, the span belongs to ``ctx``'s trace; if
+        that disagrees with the local stack the finished span is kept as
+        a fragment root for the collector to re-parent.
+
+        Disabled tracers return a shared null context — no generator, no
+        allocation — so the always-armed instrumentation guards cost a
+        method call and an attribute check, nothing more.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return self._record_span(name, ctx, attrs)
+
+    @contextmanager
+    def _record_span(
+        self, name: str, ctx: TraceContext | None, attrs: dict
+    ) -> Iterator[Span]:
         span = Span(name, attrs)
         stack = self._stack()
+        if ctx is not None:
+            span.trace_id = ctx.trace_id
+            span.parent_id = ctx.span_id
+            span.baggage = ctx.baggage
+        elif stack:
+            parent = stack[-1]
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+            span.baggage = parent.baggage
+        else:
+            ambient = getattr(self._local, "ambient", None)
+            if ambient is not None:
+                span.trace_id = ambient.trace_id
+                span.parent_id = ambient.span_id
+                span.baggage = ambient.baggage
+            else:
+                span.trace_id = self._next_id("t")
+        span.span_id = self._next_id("s")
         stack.append(span)
         span._start = time.perf_counter()
+        span.start_ms = span._start * 1000.0
         try:
             yield span
         finally:
             span.duration_ms = (time.perf_counter() - span._start) * 1000.0
             stack.pop()
-            if stack:
+            if stack and span.parent_id == stack[-1].span_id:
                 stack[-1].children.append(span)
             else:
-                with self._lock:
-                    if len(self.roots) < self.max_roots:
-                        self.roots.append(span)
-                    else:
-                        self.dropped += 1
+                # Either a true root, or an explicitly-parented fragment
+                # whose parent lives elsewhere: keep it for stitching.
+                self._add_root(span)
             with self._lock:
                 total = self._totals.setdefault(name, [0, 0.0])
                 total[0] += 1
                 total[1] += span.duration_ms
 
+    def _add_root(self, span: Span) -> None:
+        with self._lock:
+            if len(self.roots) < self.max_roots:
+                self.roots.append(span)
+            else:
+                self.dropped += 1
+                default_registry().counter("trace.dropped_roots").inc()
+
     def current(self) -> Span | None:
         """The innermost open span on this thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    # -- worker export / adoption ----------------------------------------------
+
+    def export_roots(self, since: int = 0) -> list[dict]:
+        """Span records for every root recorded at index ``since`` or later.
+
+        Pool workers snapshot ``len(tracer.roots)`` before a task, run it
+        under :meth:`activate`, and ship ``export_roots(mark)`` home with
+        the result — the tracing analogue of a metrics delta.
+        """
+        with self._lock:
+            roots = self.roots[since:]
+        return [root.to_dict() for root in roots]
+
+    def adopt(self, records: list[dict]) -> int:
+        """Fold exported span records back in as stitchable fragments."""
+        adopted = 0
+        for record in records:
+            span = Span.from_dict(record)
+            self._add_root(span)
+            adopted += 1
+            for node in span.walk():
+                with self._lock:
+                    total = self._totals.setdefault(node.name, [0, 0.0])
+                    total[0] += 1
+                    total[1] += node.duration_ms
+        return adopted
 
     # -- export ----------------------------------------------------------------
 
@@ -178,6 +411,24 @@ class SpanTracer:
 
 
 _DEFAULT_TRACER = SpanTracer()
+
+
+def _reset_fork_state() -> None:
+    """Start forked children with a clean open-span stack.
+
+    ``fork`` preserves the calling thread's thread-locals, so a pool
+    worker would inherit the caller's *open* spans — spans that only
+    ever close in the parent.  Anything the worker recorded would nest
+    into that inherited copy and die with the process instead of being
+    exported as a fragment, so the child drops the stack (and any
+    ambient context) and starts clean; ``_init_worker`` re-establishes
+    the caller's context explicitly.
+    """
+    _DEFAULT_TRACER._local = threading.local()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX in practice
+    os.register_at_fork(after_in_child=_reset_fork_state)
 
 
 def default_tracer() -> SpanTracer:

@@ -37,6 +37,7 @@ construction (they mutate nothing but their own journal entry).
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from pathlib import Path
 
@@ -228,15 +229,24 @@ class ProxyRouter:
         default_registry().counter(
             "shard.route", shard=shard_id, mode="interactive"
         ).inc()
-        result = self._run_on_shard(
-            shard_id,
-            lambda primary: primary.query_product(
-                product_id, quality, apply_reputation=False
-            ),
-        )
-        if apply_reputation:
-            apply_query_awards(self.reputation, result)
-        self._ship(self.shards[shard_id])
+        # The root of the query's causal tree lives here, not on the
+        # shard: a failover re-run opens a second query.interactive span
+        # under the same router.query root, so the whole story — original
+        # attempt, crash, promoted re-run — is one tree.
+        with trace.span(
+            "router.query", product=f"{product_id:#x}", shard=shard_id
+        ) as span:
+            result = self._run_on_shard(
+                shard_id,
+                lambda primary: primary.query_product(
+                    product_id, quality, apply_reputation=False
+                ),
+            )
+            if span is not None:
+                result.trace_id = span.trace_id
+            if apply_reputation:
+                apply_query_awards(self.reputation, result)
+            self._ship(self.shards[shard_id])
         return result
 
     def sweep_query(
@@ -254,7 +264,9 @@ class ProxyRouter:
         tasks = [task_id] if task_id else sorted(self.task_to_shard)
         with trace.span(
             "router.sweep", product=f"{product_id:#x}", tasks=len(tasks)
-        ):
+        ) as span:
+            if span is not None:
+                result.trace_id = span.trace_id
             for tid in tasks:
                 shard_id = self.task_to_shard[tid]
                 default_registry().counter(
@@ -306,6 +318,12 @@ class ProxyRouter:
                 outcome = op(shard.primary)
             except ShardCrashed as crash:
                 default_registry().counter("shard.failovers", shard=shard_id).inc()
+                trace.event(
+                    "shard.failover",
+                    shard=shard_id,
+                    stage=crash.stage,
+                    primary=primary_id,
+                )
                 self.shard_breaker.record_failure(primary_id)
                 _log.warning(
                     "shard %s primary %r died at stage %r; failing over",
@@ -363,8 +381,12 @@ class ProxyRouter:
         store = shard.primary.store
         if store is None or not shard.replicas:
             return
+        started = time.perf_counter()
         for replica in shard.replicas:
             replicate(store, replica)
+        default_registry().histogram(
+            "shard.ship_ms", shard=shard.shard_id
+        ).observe((time.perf_counter() - started) * 1000.0)
 
     # -- observability ---------------------------------------------------------
 

@@ -1,0 +1,84 @@
+"""Fork-pool span export: worker span fragments stitch under the caller.
+
+The pool initializer ships the caller's :class:`TraceContext` to each
+worker; spans the task opens there parent to the caller's span, ride
+home with the result as exported records, and the parent tracer adopts
+them as fragments the collector re-parents into one tree.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import ParallelExecutor
+from repro.obs import default_tracer, stitch, trace
+
+
+def _traced_task(shared, payload):
+    """Module-level (picklable) task that opens spans in the worker."""
+    with trace.span("engine.test_task", payload=payload):
+        with trace.span("engine.test_step"):
+            pass
+    return (payload * 2, os.getpid())
+
+
+@pytest.fixture
+def tracer():
+    t = default_tracer()
+    t.reset()
+    yield t
+    t.reset()
+
+
+def test_worker_spans_stitch_under_the_caller(tracer):
+    payloads = list(range(1, 7))
+    executor = ParallelExecutor(workers=2)
+    with trace.span("caller.batch") as caller:
+        results = executor.map_tasks(_traced_task, payloads)
+    assert [value for value, _pid in results] == [p * 2 for p in payloads]
+    if {pid for _value, pid in results} == {os.getpid()}:
+        pytest.skip("pool fell back to serial execution on this platform")
+
+    # Every worker fragment came home parented on the caller's span...
+    fragments = [root for root in tracer.roots if root.name == "engine.test_task"]
+    assert len(fragments) == len(payloads)
+    assert {f.trace_id for f in fragments} == {caller.trace_id}
+    assert {f.parent_id for f in fragments} == {caller.span_id}
+    # ...ids never collide across worker processes...
+    assert len({f.span_id for f in fragments}) == len(payloads)
+    # ...and the collector re-parents them into one causal tree.
+    stitched = stitch(root.to_dict() for root in tracer.roots)
+    assert stitched.orphans == []
+    assert len(stitched.traces) == 1
+    tree = stitched.traces[0]
+    assert tree["name"] == "caller.batch"
+    children = [c["name"] for c in tree["children"]]
+    assert children.count("engine.test_task") == len(payloads)
+    # Worker-side nesting survives the round trip.
+    assert all(
+        [g["name"] for g in c.get("children", ())] == ["engine.test_step"]
+        for c in tree["children"]
+    )
+    # Adopted fragments feed the flat aggregates like local spans do.
+    assert "engine.test_task" in tracer.span_names()
+    assert "engine.test_step" in tracer.span_names()
+
+
+def test_untraced_caller_ships_no_spans(tracer):
+    """Outside a trace, worker spans stay in the worker: nothing ships home."""
+    executor = ParallelExecutor(workers=2)
+    results = executor.map_tasks(_traced_task, list(range(4)))
+    if {pid for _value, pid in results} == {os.getpid()}:
+        pytest.skip("pool fell back to serial execution on this platform")
+    assert tracer.roots == []
+
+
+def test_serial_fallback_nests_directly(tracer):
+    executor = ParallelExecutor(workers=4)
+    with trace.span("caller.batch"):
+        executor.map_tasks(_traced_task, [3])  # single payload: serial path
+    [root] = tracer.roots
+    assert root.name == "caller.batch"
+    assert [c.name for c in root.children] == ["engine.test_task"]

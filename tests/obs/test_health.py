@@ -1,0 +1,267 @@
+"""Health folding and SLO evaluation: budgets, breaches, status shapes."""
+
+import json
+
+import pytest
+
+from repro.obs import HealthMonitor, MetricsRegistry, Slo, default_slos, load_slos
+
+
+def registry_with(counters=(), gauges=(), latencies=()):
+    registry = MetricsRegistry()
+    for name, labels, value in counters:
+        registry.counter(name, **labels).inc(value)
+    for name, labels, value in gauges:
+        registry.gauge(name, **labels).set(value)
+    for value in latencies:
+        registry.histogram("query.latency_ms", mode="interactive").observe(value)
+    return registry
+
+
+class TestSlo:
+    def test_rejects_unknown_kind_op_and_bad_quantile(self):
+        with pytest.raises(ValueError, match="kind"):
+            Slo("x", "percentile", "m", 1.0)
+        with pytest.raises(ValueError, match="op"):
+            Slo("x", "bound", "m", 1.0, op="<")
+        with pytest.raises(ValueError, match="quantile"):
+            Slo("x", "quantile", "m", 1.0, quantile=1.0)
+        with pytest.raises(ValueError, match="denominator"):
+            Slo("x", "ratio", "m", 1.0)
+
+    def test_dict_round_trip(self):
+        slo = Slo("completion", "ratio", "query.completed",
+                  denominator="query.requested", threshold=0.99, op=">=")
+        assert Slo.from_dict(slo.to_dict()) == slo
+
+    def test_default_slos_cover_the_tier(self):
+        names = {slo.name for slo in default_slos()}
+        assert names == {
+            "query-p95-latency", "query-completion",
+            "replication-lag", "trace-drops",
+        }
+
+    def test_load_slos(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps([
+            {"name": "lag", "kind": "bound", "metric": "replication_lag",
+             "threshold": 2},
+        ]))
+        slos = load_slos(str(path))
+        assert [s.name for s in slos] == ["lag"]
+        assert slos[0].threshold == 2.0
+
+    def test_load_slos_rejects_non_list(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="list"):
+            load_slos(str(path))
+
+
+class TestQuantileSlo:
+    def slo(self, threshold=100.0):
+        return Slo("p95", "quantile", "query.latency_ms", threshold, quantile=0.95)
+
+    def test_ok_when_fast(self):
+        monitor = HealthMonitor([self.slo()])
+        monitor.observe_registry(registry_with(latencies=[5.0] * 40))
+        report = monitor.evaluate()
+        assert report.ok
+        result = report.results[0]
+        assert result.value <= 100.0
+        assert result.budget_consumed == 0.0
+        assert result.budget_remaining == 1.0
+
+    def test_breach_when_slow(self):
+        monitor = HealthMonitor([self.slo(threshold=1.0)])
+        monitor.observe_registry(registry_with(latencies=[500.0] * 20))
+        result = monitor.evaluate().results[0]
+        assert not result.ok
+        assert result.budget_remaining == 0.0
+
+    def test_no_observations_is_vacuously_ok(self):
+        monitor = HealthMonitor([self.slo()])
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value is None
+        assert result.detail == "no observations"
+
+    def test_merges_label_variants_before_judging(self):
+        registry = MetricsRegistry()
+        for mode in ("interactive", "sweep"):
+            registry.histogram("query.latency_ms", mode=mode).observe(10.0)
+        monitor = HealthMonitor([self.slo()])
+        monitor.observe_registry(registry)
+        assert monitor.evaluate().results[0].detail.startswith("0.00% of 2")
+
+
+class TestRatioSlo:
+    def slo(self, threshold=0.99):
+        return Slo("completion", "ratio", "query.completed",
+                   denominator="query.requested", threshold=threshold, op=">=")
+
+    def observe(self, monitor, completed, requested):
+        monitor.observe_registry(registry_with(counters=[
+            ("query.completed", {"mode": "interactive"}, completed),
+            ("query.requested", {"mode": "interactive"}, requested),
+        ]))
+
+    def test_ok_at_full_completion(self):
+        monitor = HealthMonitor([self.slo()])
+        self.observe(monitor, 50, 50)
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value == 1.0
+
+    def test_breach_consumes_budget(self):
+        monitor = HealthMonitor([self.slo(threshold=0.95)])
+        self.observe(monitor, 90, 100)  # 10% shortfall vs 5% allowance
+        result = monitor.evaluate().results[0]
+        assert not result.ok
+        assert result.value == 0.9
+        assert result.budget_remaining == 0.0
+        assert result.detail == "90/100"
+
+    def test_no_samples_is_vacuously_ok(self):
+        monitor = HealthMonitor([self.slo()])
+        assert monitor.evaluate().results[0].detail == "no samples"
+
+
+class TestBoundSlo:
+    def test_counter_bound_breach(self):
+        monitor = HealthMonitor([Slo("drops", "bound", "trace.dropped_roots", 0.0)])
+        monitor.observe_registry(registry_with(counters=[
+            ("trace.dropped_roots", {}, 3),
+        ]))
+        result = monitor.evaluate().results[0]
+        assert not result.ok and result.value == 3.0
+
+    def test_counter_registered_at_zero_reports_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("trace.dropped_roots")  # exists, never incremented
+        monitor = HealthMonitor([Slo("drops", "bound", "trace.dropped_roots", 0.0)])
+        monitor.observe_registry(registry)
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value == 0.0
+
+    def test_unregistered_metric_is_no_data(self):
+        monitor = HealthMonitor([Slo("drops", "bound", "trace.dropped_roots", 0.0)])
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value is None and result.detail == "no data"
+
+    def test_replication_lag_reads_the_folded_view(self):
+        monitor = HealthMonitor([Slo("lag", "bound", "replication_lag", 0.0)])
+        monitor.observe_status({"shards": {
+            "shard-0": {"applied": 9, "wal": {"first_seqno": 1, "last_seqno": 9},
+                        "replica_lag": [0, 2], "generation": 0},
+        }})
+        result = monitor.evaluate().results[0]
+        assert not result.ok and result.value == 2.0
+
+
+class TestStatusShapes:
+    def test_live_router_status_shape(self):
+        monitor = HealthMonitor()
+        monitor.observe_status({"shards": {
+            "shard-0": {"applied": 4, "wal": {"first_seqno": 1, "last_seqno": 4},
+                        "replica_lag": [0], "generation": 1},
+            "shard-1": {"applied": 7, "wal": {"first_seqno": 1, "last_seqno": 7},
+                        "replica_lag": [1], "generation": 0},
+        }})
+        replication = monitor.snapshot()["replication"]
+        assert replication["max_lag"] == 1
+        assert [row["shard"] for row in replication["shards"]] == [
+            "shard-0", "shard-1",
+        ]
+        assert replication["shards"][0]["generation"] == 1
+
+    def test_on_disk_shard_status_shape(self):
+        monitor = HealthMonitor()
+        monitor.observe_status({"shards": {
+            "shard-0": {
+                "primary": {"applied": 12,
+                            "wal": {"first_seqno": 3, "last_seqno": 12}},
+                "replicas": {"replica-0": {"applied": 9, "lag": 3}},
+                "generation": 2,
+            },
+        }})
+        row = monitor.snapshot()["replication"]["shards"][0]
+        assert row["lags"] == [3]
+        assert row["wal"] == {"first_seqno": 3, "last_seqno": 12}
+        assert row["generation"] == 2
+
+    def test_malformed_status_is_ignored(self):
+        monitor = HealthMonitor()
+        monitor.observe_status({"queries": 12})  # no shards key
+        monitor.observe_status({"shards": {"shard-0": "gone"}})
+        assert monitor.snapshot()["replication"]["shards"] == []
+
+
+class TestFoldedView:
+    def test_view_folds_metrics_from_many_sources(self):
+        monitor = HealthMonitor()
+        # Router's snapshot and one shard's snapshot, folded like the CLI does.
+        monitor.observe_registry(registry_with(
+            counters=[
+                ("shard.failovers", {"shard": "shard-0"}, 1),
+                ("query.probes", {"kind": "good"}, 30),
+                ("faults.injected", {"kind": "drop"}, 4),
+            ],
+            gauges=[("shard.replication.lag", {"shard": "shard-0"}, 0)],
+        ))
+        monitor.observe_registry(registry_with(counters=[
+            ("query.probes", {"kind": "bad"}, 12),
+            ("shard.replication.frames_shipped", {"shard": "shard-1"}, 55),
+        ]))
+        view = monitor.snapshot()
+        assert view["availability"]["failovers"] == 1.0
+        assert view["protocol"]["probes"] == 42.0
+        assert view["replication"]["frames_shipped"] == 55.0
+        assert view["chaos"]["injected"] == {"drop": 4.0}
+
+    def test_stage_histograms_surface_in_view(self):
+        registry = MetricsRegistry()
+        for _ in range(10):
+            registry.histogram("query.stage_ms", stage="probe").observe(4.0)
+        monitor = HealthMonitor()
+        monitor.observe_registry(registry)
+        stages = monitor.snapshot()["latency"]["stages"]
+        assert stages["probe"]["count"] == 10
+        assert stages["probe"]["p50_ms"] > 0
+
+
+class TestReport:
+    def monitor(self):
+        monitor = HealthMonitor()
+        monitor.observe_registry(registry_with(
+            counters=[
+                ("query.completed", {"mode": "interactive"}, 20),
+                ("query.requested", {"mode": "interactive"}, 20),
+            ],
+            latencies=[10.0] * 20,
+        ))
+        monitor.observe_status({"shards": {
+            "shard-0": {"applied": 5, "wal": {}, "replica_lag": [0]},
+        }})
+        return monitor
+
+    def test_report_ok_and_json_shape(self):
+        report = self.monitor().evaluate()
+        assert report.ok
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert {row["slo"]["name"] for row in payload["slos"]} == {
+            slo.name for slo in default_slos()
+        }
+        assert payload["health"]["replication"]["max_lag"] == 0
+
+    def test_render_text_marks_breaches(self):
+        monitor = self.monitor()
+        monitor.observe_registry(registry_with(counters=[
+            ("trace.dropped_roots", {}, 7),
+        ]))
+        report = monitor.evaluate()
+        assert not report.ok
+        text = report.render_text()
+        assert text.startswith("health: SLO BREACH")
+        assert "[FAIL] trace-drops" in text
+        assert "[ok ] query-completion" in text
+        assert "replication: max_lag=0" in text

@@ -1,0 +1,177 @@
+"""Context propagation: explicit parenting, ambient adoption, worker export."""
+
+from repro.obs import SpanTracer, TraceContext, default_registry
+
+
+class TestTraceContext:
+    def test_round_trips_through_dict(self):
+        ctx = TraceContext("t1", "s1", (("shard", "2"), ("tenant", "acme")))
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_round_trip_without_baggage_omits_key(self):
+        ctx = TraceContext("t1", "s1")
+        assert "baggage" not in ctx.to_dict()
+        assert TraceContext.from_dict({"trace_id": "t1", "span_id": "s1"}) == ctx
+
+    def test_with_baggage_merges_and_stringifies(self):
+        ctx = TraceContext("t1", "s1", (("a", "1"),))
+        out = ctx.with_baggage(b=2, a=3)
+        assert dict(out.baggage) == {"a": "3", "b": "2"}
+        assert dict(ctx.baggage) == {"a": "1"}  # immutable original
+
+
+class TestCurrentContext:
+    def test_idle_tracer_has_no_context(self):
+        assert SpanTracer().current_context() is None
+
+    def test_context_names_innermost_open_span(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current_context().span_id == outer.span_id
+            with tracer.span("inner") as inner:
+                ctx = tracer.current_context()
+                assert ctx.span_id == inner.span_id
+                assert ctx.trace_id == outer.trace_id
+        assert tracer.current_context() is None
+
+    def test_disabled_tracer_reports_no_context(self):
+        tracer = SpanTracer()
+        tracer.enabled = False
+        assert tracer.current_context() is None
+
+
+class TestExplicitParenting:
+    def test_ctx_overrides_thread_stack(self):
+        """A span opened with a remote ctx belongs to the remote trace."""
+        tracer = SpanTracer()
+        remote = TraceContext("t-remote", "s-remote")
+        with tracer.span("local.outer") as outer:
+            with tracer.span("net.handle", ctx=remote) as handled:
+                assert handled.trace_id == "t-remote"
+                assert handled.parent_id == "s-remote"
+        # The remote-parented span disagrees with the local stack, so it
+        # is kept as a fragment root for the collector to re-parent —
+        # not silently grafted under local.outer.
+        assert [r.name for r in tracer.roots] == ["net.handle", "local.outer"]
+        assert not outer.children
+
+    def test_ctx_matching_the_stack_nests_normally(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            ctx = tracer.current_context()
+            with tracer.span("child", ctx=ctx):
+                pass
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["child"]
+
+    def test_baggage_rides_the_context(self):
+        tracer = SpanTracer()
+        ctx = TraceContext("t", "s", (("query", "0x2a"),))
+        with tracer.span("hop", ctx=ctx) as span:
+            assert dict(span.baggage) == {"query": "0x2a"}
+            with tracer.span("nested") as child:
+                assert dict(child.baggage) == {"query": "0x2a"}
+
+
+class TestAmbientActivation:
+    def test_activate_parents_new_roots(self):
+        """Fork-pool workers adopt the caller's ctx without a stack."""
+        tracer = SpanTracer()
+        ctx = TraceContext("t-caller", "s-caller")
+        with tracer.activate(ctx):
+            assert tracer.current_context() == ctx
+            with tracer.span("worker.task") as span:
+                assert span.trace_id == "t-caller"
+                assert span.parent_id == "s-caller"
+        assert tracer.current_context() is None  # restored on exit
+
+    def test_activate_none_is_a_no_op(self):
+        tracer = SpanTracer()
+        with tracer.activate(None):
+            with tracer.span("task") as span:
+                assert span.parent_id is None
+        assert len(span.trace_id) > 0
+
+    def test_activation_nests_and_restores(self):
+        tracer = SpanTracer()
+        outer = TraceContext("t1", "s1")
+        inner = TraceContext("t2", "s2")
+        with tracer.activate(outer):
+            with tracer.activate(inner):
+                assert tracer.current_context() == inner
+            assert tracer.current_context() == outer
+
+
+class TestEvents:
+    def test_event_annotates_innermost_span(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.event("fault", kind="drop", tick=3)
+        assert inner.events == [
+            {"name": "fault", "attrs": {"kind": "drop", "tick": "3"}}
+        ]
+
+    def test_event_without_open_span_is_dropped(self):
+        tracer = SpanTracer()
+        assert not tracer.event("fault", kind="drop")
+
+    def test_events_survive_dict_round_trip(self):
+        tracer = SpanTracer()
+        with tracer.span("op"):
+            tracer.event("net.retry", attempt=2)
+        payload = tracer.roots[0].to_dict()
+        assert payload["events"] == [{"name": "net.retry", "attrs": {"attempt": "2"}}]
+
+
+class TestWorkerExportAdopt:
+    def test_export_roots_since_mark(self):
+        tracer = SpanTracer()
+        with tracer.span("before"):
+            pass
+        mark = len(tracer.roots)
+        with tracer.span("task.a"):
+            pass
+        with tracer.span("task.b"):
+            pass
+        exported = tracer.export_roots(mark)
+        assert [r["name"] for r in exported] == ["task.a", "task.b"]
+
+    def test_adopt_rebuilds_fragments_and_totals(self):
+        worker = SpanTracer()
+        ctx = TraceContext("t-main", "s-main")
+        with worker.activate(ctx):
+            with worker.span("worker.task", payload="7"):
+                with worker.span("worker.step"):
+                    pass
+        records = worker.export_roots(0)
+
+        parent = SpanTracer()
+        assert parent.adopt(records) == 1
+        fragment = parent.roots[0]
+        assert fragment.name == "worker.task"
+        assert fragment.trace_id == "t-main"
+        assert fragment.parent_id == "s-main"
+        assert [c.name for c in fragment.children] == ["worker.step"]
+        # Totals fold in every node, so render_flat covers worker time.
+        assert parent.span_names() == {"worker.task", "worker.step"}
+
+    def test_span_ids_are_pid_prefixed(self):
+        import os
+
+        tracer = SpanTracer()
+        with tracer.span("x") as span:
+            pass
+        assert f"{os.getpid():x}-" in span.span_id
+
+
+def test_dropped_roots_feed_the_metrics_counter():
+    registry = default_registry()
+    before = registry.counter_value("trace.dropped_roots")
+    tracer = SpanTracer(max_roots=1)
+    for _ in range(4):
+        with tracer.span("op"):
+            pass
+    assert tracer.dropped == 3
+    assert registry.counter_value("trace.dropped_roots") == before + 3

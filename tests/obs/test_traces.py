@@ -1,0 +1,184 @@
+"""Trace collection: stitching, the JSONL artifact, critical-path analysis."""
+
+import json
+
+from repro.obs import (
+    SpanTracer,
+    TraceContext,
+    TraceSink,
+    critical_path,
+    dominant_stage,
+    export_jsonl,
+    fault_attribution,
+    read_jsonl,
+    stage_breakdown,
+    stitch,
+)
+from repro.obs.traces import stage_of
+
+
+def span(name, span_id, parent_id=None, trace_id="t1", start=0.0, dur=1.0, **extra):
+    out = {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "start_ms": start,
+        "duration_ms": dur,
+    }
+    if parent_id:
+        out["parent_id"] = parent_id
+    out.update(extra)
+    return out
+
+
+class TestStageOf:
+    def test_prefix_rules(self):
+        assert stage_of("query.probe") == "probe"
+        assert stage_of("query.reveal") == "reveal"
+        assert stage_of("query.sweep.verify_round") == "crypto"
+        assert stage_of("engine.pool.map") == "crypto"
+        assert stage_of("store.replicate") == "wal_ship"
+        assert stage_of("store.snapshot") == "store"
+        assert stage_of("net.request") == "wire"
+        assert stage_of("distribution.phase") == "distribution"
+        assert stage_of("proxy.restore") == "recovery"
+        assert stage_of("router.query") == "other"
+
+
+class TestStitch:
+    def test_plain_roots_pass_through(self):
+        stitched = stitch([span("a", "s1"), span("b", "s2", trace_id="t2")])
+        assert [r["name"] for r in stitched.traces] == ["a", "b"]
+        assert stitched.orphans == []
+        assert stitched.trace_ids == ["t1", "t2"]
+
+    def test_fragment_reattaches_under_named_parent(self):
+        root = span("router.query", "s1")
+        root["children"] = [span("net.request", "s2", parent_id="s1", start=1.0)]
+        fragment = span("query.interactive", "s3", parent_id="s2", start=2.0)
+        stitched = stitch([root, fragment])
+        assert len(stitched.traces) == 1
+        assert stitched.orphans == []
+        wire = stitched.traces[0]["children"][0]
+        assert [c["name"] for c in wire["children"]] == ["query.interactive"]
+
+    def test_reattached_children_sort_chronologically(self):
+        root = span("router.query", "s1")
+        root["children"] = [span("late", "s2", parent_id="s1", start=5.0)]
+        early = span("early", "s3", parent_id="s1", start=1.0)
+        stitched = stitch([root, early])
+        children = stitched.traces[0]["children"]
+        assert [c["name"] for c in children] == ["early", "late"]
+        assert [c["start_ms"] for c in children] == [1.0, 5.0]
+
+    def test_unresolvable_parent_is_an_orphan_but_still_a_root(self):
+        lost = span("net.handle", "s9", parent_id="s-gone")
+        stitched = stitch([span("a", "s1"), lost])
+        assert [o["span_id"] for o in stitched.orphans] == ["s9"]
+        assert {r["span_id"] for r in stitched.traces} == {"s1", "s9"}
+
+    def test_stitch_deep_copies_its_input(self):
+        root = span("a", "s1")
+        fragment = span("b", "s2", parent_id="s1")
+        stitch([root, fragment])
+        assert "children" not in root  # caller's dicts untouched
+
+    def test_by_trace_id_lookup(self):
+        stitched = stitch([span("a", "s1", trace_id="tA"), span("b", "s2", trace_id="tB")])
+        assert stitched.by_trace_id()["tA"]["name"] == "a"
+
+
+class TestJsonlArtifact:
+    def test_sink_writes_one_tree_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceSink(path) as sink:
+            sink.write_trace(span("a", "s1"))
+            sink.write_trace(span("b", "s2"))
+            assert sink.written == 2
+        assert [r["name"] for r in read_jsonl(path)] == ["a", "b"]
+
+    def test_export_jsonl_stitches_live_tracer(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("router.query") as root:
+            pass
+        # A worker fragment explicitly parented on the closed root.
+        with tracer.span(
+            "query.interactive", ctx=TraceContext(root.trace_id, root.span_id)
+        ):
+            pass
+        path = tmp_path / "trace.jsonl"
+        stitched = export_jsonl(tracer, path)
+        assert stitched.orphans == []
+        assert len(stitched.traces) == 1
+        reread = read_jsonl(path)
+        assert len(reread) == 1
+        assert [c["name"] for c in reread[0]["children"]] == ["query.interactive"]
+
+
+class TestAnalysis:
+    def tree(self):
+        root = span("router.query", "s1", dur=100.0)
+        probe = span("query.probe", "s2", parent_id="s1", dur=70.0)
+        wire = span("net.request", "s3", parent_id="s2", dur=40.0)
+        probe["children"] = [wire]
+        reveal = span("query.reveal", "s4", parent_id="s1", dur=10.0)
+        root["children"] = [probe, reveal]
+        return root
+
+    def test_critical_path_follows_heaviest_child(self):
+        steps = critical_path(self.tree())
+        assert [s["name"] for s in steps] == [
+            "router.query", "query.probe", "net.request",
+        ]
+        assert steps[0]["self_ms"] == 20.0  # 100 - (70 + 10)
+        assert steps[1]["self_ms"] == 30.0
+        assert [s["stage"] for s in steps] == ["other", "probe", "wire"]
+
+    def test_stage_breakdown_folds_self_time(self):
+        stages = stage_breakdown(self.tree())
+        assert stages == {"other": 20.0, "probe": 30.0, "reveal": 10.0, "wire": 40.0}
+
+    def test_dominant_stage(self):
+        assert dominant_stage(self.tree()) == ("wire", 40.0)
+
+    def test_self_time_floors_at_zero(self):
+        root = span("a", "s1", dur=1.0)
+        root["children"] = [span("b", "s2", parent_id="s1", dur=5.0)]
+        assert critical_path(root)[0]["self_ms"] == 0.0
+
+    def test_empty_tree(self):
+        assert dominant_stage({"name": "x"}) == ("other", 0.0)
+
+
+class TestFaultAttribution:
+    def test_attributes_events_to_spans(self):
+        root = span("router.query", "s1")
+        hop = span(
+            "net.request", "s2", parent_id="s1",
+            events=[
+                {"name": "fault", "attrs": {"kind": "drop", "tick": "3"}},
+                {"name": "net.dedup_hit", "attrs": {"kind": "probe"}},
+                {"name": "custom.ignored"},
+            ],
+        )
+        root["children"] = [hop]
+        out = fault_attribution([root])
+        assert [h["event"] for h in out["hits"]] == ["fault", "net.dedup_hit"]
+        assert out["hits"][0]["span"] == "net.request"
+        assert out["hits"][0]["trace_id"] == "t1"
+        assert out["by_event"] == {"fault:drop": 1, "net.dedup_hit:probe": 1}
+
+    def test_kindless_events_count_under_bare_name(self):
+        root = span(
+            "query.probe", "s1",
+            events=[{"name": "net.retry", "attrs": {"attempt": "2"}}],
+        )
+        assert fault_attribution([root])["by_event"] == {"net.retry": 1}
+
+    def test_round_trips_through_json(self):
+        root = span(
+            "a", "s1", events=[{"name": "breaker", "attrs": {"to": "open"}}]
+        )
+        assert json.loads(json.dumps(fault_attribution([root])))["by_event"] == {
+            "breaker": 1
+        }

@@ -1,0 +1,112 @@
+"""Sharded telemetry folds to the monolith's numbers.
+
+The routed tier scatters protocol work across shards, but every probe,
+refusal, reveal, and completion still lands in counters; folding the
+tier's snapshots back together (the ``repro metrics --input a --input b``
+path) must read exactly like one unsharded proxy answering the same
+query plan.
+
+One deliberate exception: during the identify phase the monolith probes
+*every* initial participant it knows, including initials of unrelated
+tasks, while a routed query only reaches the shard that owns the
+product's task — sharding prunes those cross-task dead-end probes.  The
+full-equality test therefore runs a single-task world (where the probed
+initial set is identical by construction) and the multi-task test pins
+the invariant counters plus the direction of the probe pruning.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rng import DeterministicRng
+from repro.obs import MetricsRegistry, default_registry
+from repro.supplychain.generator import product_batch
+
+from .conftest import distribute_slices
+
+PROTOCOL_PREFIXES = (
+    "query.probes",
+    "query.refusals",
+    "query.blame_reveals",
+    "query.requested",
+    "query.completed",
+    "query.violations",
+)
+
+
+def _protocol_counters(delta: dict) -> dict:
+    """(name, labels) -> value for the protocol counters in a diff."""
+    return {
+        (row["name"], tuple(sorted(row["labels"].items()))): row["value"]
+        for row in delta.get("counters", ())
+        if row["name"].startswith(PROTOCOL_PREFIXES)
+    }
+
+
+def _query_plan(products):
+    return [
+        (pid, "bad" if index % 3 == 2 else "good")
+        for index, pid in enumerate(products * 2)
+    ]
+
+
+def _run(deployment, products, per_task=4):
+    """Distribute, answer the plan, and return the run's counter delta."""
+    registry = default_registry()
+    before = registry.snapshot()
+    distribute_slices(deployment, products, per_task)
+    for pid, quality in _query_plan(products):
+        deployment.query(pid, quality=quality)
+    return registry.diff(before)
+
+
+def test_single_task_shard_counts_equal_the_monolith(make_tier):
+    """Label-for-label equality: probes, refusals, reveals, completions."""
+    products = product_batch(DeterministicRng("agg-one"), 4, 16)
+    monolith = _protocol_counters(
+        _run(make_tier(seed="agg-one"), products, per_task=4)
+    )
+    sharded = _protocol_counters(
+        _run(make_tier(seed="agg-one", shards=4), products, per_task=4)
+    )
+    assert monolith[("query.requested", (("mode", "interactive"),))] == 8
+    assert any(name == "query.probes" for name, _ in monolith)
+    assert any(name == "query.completed" for name, _ in monolith)
+    assert sharded == monolith
+
+
+def test_multi_task_shard_counts_match_outcomes(make_tier, products):
+    monolith = _protocol_counters(_run(make_tier(seed="agg"), products))
+    sharded = _protocol_counters(_run(make_tier(seed="agg", shards=4), products))
+
+    def drop_probes(counters):
+        return {key: v for key, v in counters.items() if key[0] != "query.probes"}
+
+    # Every protocol outcome is invariant under sharding...
+    assert drop_probes(sharded) == drop_probes(monolith)
+    # ...while routing prunes the monolith's cross-task dead-end probes.
+    def probes(counters):
+        return sum(v for (name, _), v in counters.items() if name == "query.probes")
+
+    assert 0 < probes(sharded) < probes(monolith)
+
+
+def test_split_snapshots_merge_to_the_same_fold(make_tier, products):
+    """Per-source exports merged via ``MetricsRegistry.merge`` lose nothing."""
+    delta = _run(make_tier(seed="agg-merge", shards=4), products)
+    rows = delta["counters"]
+    assert len(rows) >= 4
+
+    # Simulate the router and shards exporting separate snapshot files.
+    halves = ({"counters": rows[0::2]}, {"counters": rows[1::2]})
+    folded = MetricsRegistry()
+    for part in halves:
+        folded.merge(part)
+
+    direct = MetricsRegistry()
+    direct.merge(delta)
+    assert _protocol_counters(folded.snapshot()) == _protocol_counters(
+        direct.snapshot()
+    )
+    assert sum(folded.counters_matching("query.").values()) == sum(
+        direct.counters_matching("query.").values()
+    )

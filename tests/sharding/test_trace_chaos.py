@@ -1,0 +1,183 @@
+"""Acceptance: chaos leaves no trace fragment behind.
+
+Four shards with one WAL-shipped replica each, seeded drops *and*
+duplicates on every edge, and a mid-run primary crash: every query the
+router answers must still stitch into a **single-root** causal tree —
+including operations that were retried, redelivered through the dedup
+cache, or re-run on the promoted replica after the failover.  The
+exported JSONL artifact plus the tier's status must then satisfy the
+declared SLOs through :class:`repro.obs.HealthMonitor`.  The fault seed
+is swept so the claim is not an artifact of one lucky drop pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.desword.network import SimNetwork
+from repro.faults import FaultProfile, FaultyNetwork, RetryPolicy
+from repro.obs import (
+    HealthMonitor,
+    Slo,
+    default_registry,
+    default_tracer,
+    export_jsonl,
+    fault_attribution,
+    read_jsonl,
+    trace,
+)
+from repro.obs.traces import iter_spans
+from repro.sharding import CrashPlan
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.supplychain.quality import IndependentQualityModel
+
+N_PRODUCTS = 16
+PER_TASK = 4
+N_QUERIES = 60
+FAULT_SEEDS = ["trace-a", "trace-b"]
+
+# The run absorbs one scheduled crash: its failover re-run honestly adds
+# one extra `query.requested` attempt, so completion is judged against a
+# threshold that tolerates it (59/60 ≈ 0.983) but not a second loss.
+RUN_SLOS = [
+    Slo("query-p95-latency", "quantile", "query.latency_ms",
+        threshold=60_000.0, quantile=0.95),
+    Slo("query-completion", "ratio", "query.completed",
+        denominator="query.requested", threshold=0.96, op=">="),
+    Slo("replication-lag", "bound", "replication_lag", threshold=0.0),
+    Slo("trace-drops", "bound", "trace.dropped_roots", threshold=0.0),
+]
+
+
+@pytest.fixture
+def tracer():
+    t = default_tracer()
+    t.reset()
+    yield t
+    t.reset()
+
+
+def _world(scheme, network, retry, state_dir):
+    chain = pharma_chain(DeterministicRng("trace-chaos/chain"))
+    oracle = IndependentQualityModel(beta=0.0, seed="trace-chaos/q")
+    return Deployment.build(
+        chain,
+        scheme,
+        oracle,
+        seed="trace-chaos",
+        network=network,
+        retry=retry,
+        shards=4,
+        replicas=1,
+        state_dir=state_dir,
+    )
+
+
+def _query_plan(products):
+    return [
+        (products[index % len(products)], "bad" if index % 3 == 2 else "good")
+        for index in range(N_QUERIES)
+    ]
+
+
+@pytest.mark.parametrize("fault_seed", FAULT_SEEDS)
+def test_every_chaos_query_stitches_to_a_single_root(
+    merkle_scheme, tmp_path, tracer, fault_seed
+):
+    network = FaultyNetwork(
+        SimNetwork(),
+        FaultProfile(seed=fault_seed, drop=0.08, duplicate=0.04),
+    )
+    deployment = _world(
+        merkle_scheme,
+        network,
+        RetryPolicy(max_attempts=8, deadline_ms=10_000.0),
+        str(tmp_path / "tier"),
+    )
+    products = product_batch(DeterministicRng("trace-chaos/products"), N_PRODUCTS, 16)
+    for start in range(0, len(products), PER_TASK):
+        deployment.distribute(products[start : start + PER_TASK])
+    router = deployment.proxy
+
+    registry = default_registry()
+    before = registry.snapshot()
+    crashed = None
+    trace_ids = []
+    for index, (pid, quality) in enumerate(_query_plan(products)):
+        if index == N_QUERIES // 2:
+            crashed = router.shards[router.product_to_shard[pid]]
+            crashed.primary.failpoint = CrashPlan("probe")
+        result = router.query_product(pid, quality)
+        assert result.trace_id, (fault_seed, index)
+        trace_ids.append(result.trace_id)
+
+    assert crashed is not None and crashed.generation == 1, "no failover under load"
+    assert network.injected["drop"] > 0, "chaos never dropped anything"
+    assert network.injected["duplicate"] > 0, "chaos never duplicated anything"
+    assert len(set(trace_ids)) == N_QUERIES  # one distinct trace per query
+
+    # -- 100% single-root stitching ------------------------------------------
+    artifact = tmp_path / "trace.jsonl"
+    stitched = export_jsonl(tracer, artifact)
+    assert stitched.orphans == [], "unstitchable fragments survived chaos"
+    by_id = stitched.by_trace_id()
+    occurrences = {tid: stitched.trace_ids.count(tid) for tid in trace_ids}
+    assert occurrences == {tid: 1 for tid in trace_ids}
+    for tid in trace_ids:
+        assert by_id[tid]["name"] == "router.query"
+
+    # The artifact round-trips: one tree per line, none lost.
+    reread = read_jsonl(artifact)
+    assert len(reread) == len(stitched.traces)
+
+    # -- retried / redelivered / re-run operations are inside the trees ------
+    query_trees = [by_id[tid] for tid in trace_ids]
+    attribution = fault_attribution(query_trees)
+    by_event = attribution["by_event"]
+
+    def count(event):  # kinded events key as "name:kind"
+        return sum(
+            value for key, value in by_event.items()
+            if key == event or key.startswith(event + ":")
+        )
+
+    assert count("fault") > 0, "faults never attributed to a span"
+    assert by_event.get("fault:drop", 0) > 0
+    assert by_event.get("fault:duplicate", 0) > 0
+    assert count("net.retry") > 0, "retries never attributed"
+    assert count("net.dedup_hit") > 0, "dedup suppressions never attributed"
+    assert count("shard.failover") == 1
+
+    # The failover re-run lives under the same router.query root as the
+    # crashed attempt: two interactive executions, one causal tree.
+    failover_tree = next(
+        root
+        for root in query_trees
+        for span in iter_spans(root)
+        if any(e.get("name") == "shard.failover" for e in span.get("events", ()))
+    )
+    attempts = [
+        span for span in iter_spans(failover_tree)
+        if span["name"] == "query.interactive"
+    ]
+    assert len(attempts) == 2, "crashed attempt and re-run did not share a root"
+
+    # -- health judged from the exported artifacts ---------------------------
+    monitor = HealthMonitor(RUN_SLOS)
+    monitor.observe_metrics(registry.diff(before))
+    monitor.observe_status(router.status())
+    report = monitor.evaluate()
+    view = report.view
+    assert view["replication"]["max_lag"] == 0
+    assert view["replication"]["shards"], "status fold lost the shard rows"
+    assert view["availability"]["failovers"] == 1
+    assert view["protocol"]["requested"] == N_QUERIES + 1  # the re-run attempt
+    assert view["protocol"]["completed"] == N_QUERIES
+    # The metrics window opens after distribution, so it sees at most the
+    # network's full-run drop tally and at least one in-window drop.
+    assert 0 < view["chaos"]["injected"]["drop"] <= network.injected["drop"]
+    assert view["latency"]["query"]["count"] == N_QUERIES
+    assert report.ok, report.render_text()
+    router.close()

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import default_registry, default_tracer
 
 
 def _span_names(span_dicts):
@@ -326,6 +327,146 @@ class TestShardCommands:
         capsys.readouterr()
         assert main(["shard", "status", "--state-dir", str(directory)]) == 1
         assert "not a sharded state dir" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def obs_artifacts(tmp_path_factory):
+    """One sharded chaos evaluate run exporting metrics + trace artifacts.
+
+    The exports dump the process-global registry and tracer, so both are
+    reset first — otherwise counters accumulated by earlier tests (e.g.
+    deliberately evicted trace roots) leak into the artifact and trip
+    the health SLOs this module asserts on.
+    """
+    default_registry().reset()
+    default_tracer().reset()
+    base = tmp_path_factory.mktemp("obs")
+    metrics = base / "m.json"
+    traces = base / "t.jsonl"
+    state = base / "tier"
+    assert main(
+        [
+            "evaluate", "--repeats", "1",
+            "--shards", "2", "--replicas", "1",
+            "--state-dir", str(state),
+            "--fault-profile", "drop=0.05,seed=cli-obs",
+            "--metrics-out", str(metrics),
+            "--trace-out", str(traces),
+        ]
+    ) == 0
+    return metrics, traces, state
+
+
+class TestTraceCommands:
+    def test_show_renders_stitched_trees(self, obs_artifacts, capsys):
+        _, traces, _ = obs_artifacts
+        assert main(["trace", "show", "--input", str(traces)]) == 0
+        output = capsys.readouterr().out
+        assert "query.interactive" in output or "query.sweep" in output
+
+    def test_show_unknown_trace_id_exits_nonzero(self, obs_artifacts, capsys):
+        _, traces, _ = obs_artifacts
+        assert main(
+            ["trace", "show", "--input", str(traces), "--trace-id", "t-nope"]
+        ) == 1
+        assert "no matching traces" in capsys.readouterr().out
+
+    def test_critical_path_json(self, obs_artifacts, capsys):
+        _, traces, _ = obs_artifacts
+        assert main(
+            ["trace", "critical-path", "--input", str(traces), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traces"], "no trace trees analyzed"
+        for entry in payload["traces"]:
+            assert entry["critical_path"], entry
+            assert entry["dominant_stage"]
+            head = entry["critical_path"][0]
+            assert {"name", "stage", "duration_ms", "self_ms"} <= set(head)
+        assert "fault_attribution" in payload
+        assert payload["fault_attribution"]["by_event"], "chaos left no marks"
+
+    def test_critical_path_reads_metrics_export_too(self, obs_artifacts, capsys):
+        metrics, _, _ = obs_artifacts
+        assert main(
+            ["trace", "critical-path", "--input", str(metrics), "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["traces"]
+
+    def test_export_round_trips_an_artifact(self, obs_artifacts, tmp_path, capsys):
+        _, traces, _ = obs_artifacts
+        out = tmp_path / "copy.jsonl"
+        assert main(
+            ["trace", "export", "--input", str(traces), "--out", str(out)]
+        ) == 0
+        assert "trace trees" in capsys.readouterr().out
+        original = [json.loads(line) for line in traces.read_text().splitlines()]
+        copied = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(copied) == len(original)
+
+
+class TestHealthCommand:
+    def test_health_from_metrics_artifact(self, obs_artifacts, capsys):
+        metrics, _, _ = obs_artifacts
+        assert main(["health", "--metrics", str(metrics)]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("health: OK")
+        assert "[ok ] query-p95-latency" in output
+        assert "[ok ] query-completion" in output
+
+    def test_health_json_report(self, obs_artifacts, capsys):
+        metrics, _, state = obs_artifacts
+        assert main(
+            [
+                "health", "--json",
+                "--metrics", str(metrics),
+                "--state-dir", str(state),
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert {row["slo"]["name"] for row in payload["slos"]} >= {
+            "query-p95-latency", "query-completion", "replication-lag",
+        }
+        view = payload["health"]
+        assert view["replication"]["max_lag"] == 0
+        assert view["replication"]["shards"], "state dir lag rows missing"
+        assert view["protocol"]["completed"] > 0
+        assert view["chaos"]["injected"], "fault plan left no counters"
+
+    def test_health_breach_exits_nonzero(self, obs_artifacts, tmp_path, capsys):
+        metrics, _, _ = obs_artifacts
+        slos = tmp_path / "slos.json"
+        slos.write_text(json.dumps([
+            {"name": "impossible-quiet", "kind": "bound",
+             "metric": "query.requested", "threshold": 0},
+        ]))
+        assert main(
+            ["health", "--metrics", str(metrics), "--slo", str(slos)]
+        ) == 1
+        output = capsys.readouterr().out
+        assert "SLO BREACH" in output
+        assert "[FAIL] impossible-quiet" in output
+
+
+def test_metrics_merges_several_inputs(obs_artifacts, capsys):
+    metrics, _, _ = obs_artifacts
+    assert main(
+        ["metrics", "--input", str(metrics), "--input", str(metrics),
+         "--format", "json"]
+    ) == 0
+    merged = json.loads(capsys.readouterr().out)
+    single = json.loads(metrics.read_text())
+
+    def requested(payload):
+        return sum(
+            row["value"]
+            for row in payload["metrics"]["counters"]
+            if row["name"] == "query.requested"
+        )
+
+    assert requested(merged) == 2 * requested(single)
+    assert len(merged["spans"]["spans"]) == 2 * len(single["spans"]["spans"])
 
 
 def test_parser_rejects_unknown_command():
