@@ -31,6 +31,7 @@ STORE_JSON_PATH = Path(__file__).parent / "BENCH_store.json"
 FAULTS_JSON_PATH = Path(__file__).parent / "BENCH_faults.json"
 SHARD_JSON_PATH = Path(__file__).parent / "BENCH_shard.json"
 OBS_JSON_PATH = Path(__file__).parent / "BENCH_obs.json"
+PAIRING_JSON_PATH = Path(__file__).parent / "BENCH_pairing.json"
 
 # The paper's exact Table II grid (q^h >= 2^128).
 FULL_TABLE2_GRID = ((8, 43), (16, 32), (32, 26), (64, 22), (128, 19))
@@ -155,6 +156,17 @@ def obs_records():
     into BENCH_obs.json so CI's observability job can check the
     tracing-stays-cheap invariant without parsing other benches."""
     collector = _BenchRecords(OBS_JSON_PATH)
+    yield collector
+    collector.flush()
+
+
+@pytest.fixture(scope="session")
+def pairing_records():
+    """Pairing-math rows (shared Miller loop vs independent pairings, GLV
+    vs plain ladder, lazy vs strict tower, persistent pool vs serial),
+    merged into BENCH_pairing.json so CI's pairing-perf job can check the
+    speedup invariants without parsing other benches."""
+    collector = _BenchRecords(PAIRING_JSON_PATH)
     yield collector
     collector.flush()
 

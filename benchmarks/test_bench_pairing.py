@@ -1,0 +1,198 @@
+"""Pairing-arithmetic benchmark: the PR 8 speed layers, measured.
+
+Four comparisons on BN254 (the production curve), written to
+``BENCH_pairing.json``:
+
+* ``multi_pairing`` with a shared Miller loop vs k independent pairings —
+  the shared per-digit squaring must win clearly by k=4;
+* GLV scalar multiplication vs the plain windowed ladder;
+* lazy-reduction tower arithmetic vs strict (one full pairing each);
+* the persistent worker pool vs serial for a proof round (toy curve, so
+  the pool comparison stays fast) — gated on a multi-core host, since a
+  single-core container cannot win wall-clock through forked workers.
+
+Every compared pair also asserts *agreement*, so a speedup can never be
+bought with a wrong result.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.crypto.curve import set_glv_enabled
+from repro.crypto.field import int_backend
+from repro.crypto.pairing import multi_pairing, pairing
+from repro.crypto.tower import Fp12, set_lazy_reduction
+from repro.crypto.rng import DeterministicRng
+from repro.engine import ParallelExecutor, ProofEngine
+from repro.zkedb.commit import commit_edb
+from repro.zkedb.edb import ElementaryDatabase
+from repro.zkedb.params import EdbParams
+
+REPEATS = 3
+BACKEND = int_backend()
+
+
+def _best_of(repeats, fn):
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append((time.perf_counter() - start) * 1000.0)
+    return min(timings)
+
+
+def _pairs(curve, k):
+    rng = DeterministicRng(f"bench-pairing/{k}")
+    return [
+        (
+            curve.g1.mul_gen(curve.random_scalar(rng)),
+            curve.g2.mul_gen(curve.random_scalar(rng)),
+        )
+        for _ in range(k)
+    ]
+
+
+def test_shared_miller_beats_independent_pairings(curve, report, pairing_records):
+    pairing(curve, curve.g1.generator, curve.g2.generator)  # warm tables
+    lines = [f"shared Miller loop vs independent pairings (bn254, {BACKEND}):"]
+    timings = {}
+    for k in (2, 4, 8):
+        pairs = _pairs(curve, k)
+
+        def independent():
+            product = Fp12.one(curve.tower)
+            for p_point, q_point in pairs:
+                product = product * pairing(curve, p_point, q_point)
+            return product
+
+        assert multi_pairing(curve, pairs) == independent()
+        shared_ms = _best_of(REPEATS, lambda: multi_pairing(curve, pairs))
+        indep_ms = _best_of(REPEATS, independent)
+        timings[k] = (shared_ms, indep_ms)
+        label = f"bn254 k={k} backend={BACKEND}"
+        pairing_records.add("pairing_multi_shared", label, shared_ms)
+        pairing_records.add("pairing_multi_independent", label, indep_ms)
+        lines.append(
+            f"  k={k}: shared {shared_ms:8.1f} ms   independent {indep_ms:8.1f} ms"
+            f"   ({indep_ms / shared_ms:.2f}x)"
+        )
+    report.add(*lines)
+    # The whole point of sharing the loop: by k=4 the saved squarings and
+    # final exponentiations must show up as a clear wall-clock win.
+    for k in (4, 8):
+        shared_ms, indep_ms = timings[k]
+        assert shared_ms < indep_ms, (
+            f"shared Miller loop slower than {k} independent pairings"
+        )
+
+
+def test_glv_mul_beats_plain_ladder(curve, report, pairing_records):
+    g1 = curve.g1
+    if g1.glv_endo() is None:
+        import pytest
+
+        pytest.skip("no GLV endomorphism on this curve")
+    rng = DeterministicRng("bench-pairing/glv")
+    cases = [
+        (g1.mul_gen(curve.random_scalar(rng)), curve.random_scalar(rng))
+        for _ in range(8)
+    ]
+    previous = set_glv_enabled(True)
+    try:
+        assert [g1.mul(pt, k) for pt, k in cases] == [
+            g1._mul_plain(pt, k) for pt, k in cases
+        ]
+        glv_ms = _best_of(REPEATS, lambda: [g1.mul(pt, k) for pt, k in cases])
+        plain_ms = _best_of(
+            REPEATS, lambda: [g1._mul_plain(pt, k) for pt, k in cases]
+        )
+    finally:
+        set_glv_enabled(previous)
+    label = f"bn254 n=8 backend={BACKEND}"
+    pairing_records.add("g1_mul_glv", label, glv_ms)
+    pairing_records.add("g1_mul_plain", label, plain_ms)
+    report.add(
+        f"GLV vs plain scalar mul (bn254, 8 muls, {BACKEND}): "
+        f"glv {glv_ms:.1f} ms, plain {plain_ms:.1f} ms "
+        f"({plain_ms / glv_ms:.2f}x)"
+    )
+    # Half-length joint ladder: allow scheduling noise, but GLV must not
+    # regress below the plain ladder.
+    assert glv_ms <= plain_ms * 1.05, "GLV slower than the plain ladder"
+
+
+def test_lazy_tower_beats_strict(curve, report, pairing_records):
+    p_point = curve.g1.mul_gen(3)
+    q_point = curve.g2.mul_gen(5)
+    previous = set_lazy_reduction(True)
+    try:
+        lazy_value = pairing(curve, p_point, q_point)
+        lazy_ms = _best_of(REPEATS, lambda: pairing(curve, p_point, q_point))
+        set_lazy_reduction(False)
+        assert pairing(curve, p_point, q_point) == lazy_value
+        strict_ms = _best_of(REPEATS, lambda: pairing(curve, p_point, q_point))
+    finally:
+        set_lazy_reduction(previous)
+    label = f"bn254 backend={BACKEND}"
+    pairing_records.add("pairing_lazy_tower", label, lazy_ms)
+    pairing_records.add("pairing_strict_tower", label, strict_ms)
+    report.add(
+        f"lazy vs strict tower, one pairing (bn254, {BACKEND}): "
+        f"lazy {lazy_ms:.1f} ms, strict {strict_ms:.1f} ms "
+        f"({strict_ms / lazy_ms:.2f}x)"
+    )
+    assert lazy_ms <= strict_ms * 1.05, "lazy reduction slower than strict"
+
+
+def test_persistent_pool_vs_serial_round(report, pairing_records):
+    """A proof round through the warmed persistent pool vs serial.
+
+    Toy curve so the round stays CI-sized.  The strict "pool wins"
+    assertion only holds where parallelism is physically possible; a
+    single-core host records the numbers but bounds the overhead instead.
+    """
+    from repro.crypto.bn import toy_bn
+
+    curve = toy_bn()
+    params = EdbParams.generate(
+        curve, DeterministicRng("bench-pairing-crs"), q=4, key_bits=16
+    )
+    database = ElementaryDatabase(16)
+    for k in range(0, 4000, 211):
+        database.put(k, f"item-{k}".encode())
+    com, dec = commit_edb(params, database, DeterministicRng("bench-pairing-db"))
+    keys = sorted(key for key, _ in database)[:12]
+    keys += [(k * 2654435761 + 17) % 65536 for k in range(24 - len(keys))]
+
+    serial = ProofEngine()
+    proofs = serial.prove_many(params, dec, keys)
+    items = [(com, key, proof) for key, proof in zip(keys, proofs)]
+
+    with ProofEngine(ParallelExecutor(workers=4)) as pool4:
+        # Fork *after* the commit warmed the tables; steady-state timing.
+        pool4.warm_up(params)
+        pooled = pool4.verify_many(params, items)
+        assert [o.status for o in pooled] == [
+            o.status for o in serial.verify_many(params, items)
+        ]
+        serial_ms = _best_of(REPEATS, lambda: serial.verify_many(params, items))
+        pool_ms = _best_of(REPEATS, lambda: pool4.verify_many(params, items))
+
+    cpus = os.cpu_count() or 1
+    label = f"toy q=4 n={len(items)} cpus={cpus} backend={BACKEND}"
+    pairing_records.add("verify_round_serial", label, serial_ms)
+    pairing_records.add("verify_round_pool4", label, pool_ms)
+    report.add(
+        f"verify round, persistent pool vs serial (toy, {cpus} cpu): "
+        f"serial {serial_ms:.1f} ms, pool-4 {pool_ms:.1f} ms"
+    )
+    if cpus >= 2:
+        assert pool_ms <= serial_ms * 1.10, (
+            "warmed persistent pool slower than serial on a multi-core host"
+        )
+    else:
+        # One core: forked workers cannot beat serial wall-clock, but the
+        # persistent pool must keep dispatch overhead bounded.
+        assert pool_ms <= serial_ms * 4.0, "pool overhead blew up on one core"

@@ -24,9 +24,12 @@ in a per-product hot loop.
 
 from __future__ import annotations
 
+import os
+from math import isqrt
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..obs import default_registry
+from .field import mpz
 from .tower import Fp2, TowerContext
 
 __all__ = [
@@ -37,6 +40,8 @@ __all__ = [
     "FixedBaseWindow",
     "MsmBasis",
     "set_fixed_base_provider",
+    "set_glv_enabled",
+    "glv_enabled",
     "PIPPENGER_MIN_POINTS",
     "PIPPENGER_MIN_POINTS_CACHED",
 ]
@@ -64,6 +69,90 @@ def set_fixed_base_provider(
     """Install the process-wide fixed-base table provider (engine cache)."""
     global _FIXED_BASE_PROVIDER
     _FIXED_BASE_PROVIDER = provider
+
+
+# GLV scalar decomposition (see G1Group._glv_endo).  The plain
+# double-and-add path is kept as the reference semantics; both produce the
+# same group element, so this switch never changes bytes on the wire.
+_GLV_ENABLED = os.environ.get("REPRO_GLV", "1") != "0"
+
+
+def set_glv_enabled(enabled: bool) -> bool:
+    """Toggle GLV-accelerated scalar multiplication; returns the previous setting."""
+    global _GLV_ENABLED
+    previous = _GLV_ENABLED
+    _GLV_ENABLED = bool(enabled)
+    return previous
+
+
+def glv_enabled() -> bool:
+    return _GLV_ENABLED
+
+
+class GlvEndo:
+    """GLV endomorphism data for a curve with j-invariant 0 (y^2 = x^3 + b).
+
+    BN curves admit the efficient endomorphism ``phi(x, y) = (beta*x, y)``
+    with ``beta`` a primitive cube root of unity mod p, acting on the
+    prime-order subgroup as multiplication by ``lam`` (a cube root of unity
+    mod r).  ``decompose(k)`` rewrites a full-width scalar as
+    ``k1 + k2*lam (mod r)`` with ``|k1|, |k2| ~ sqrt(r)`` via the
+    lattice-reduced basis, so one mult costs half the doublings.
+    """
+
+    __slots__ = ("beta", "lam", "order", "a1", "b1", "a2", "b2", "min_bits")
+
+    def __init__(self, beta: int, lam: int, order: int):
+        self.beta = beta
+        self.lam = lam
+        self.order = order
+        self.a1, self.b1, self.a2, self.b2 = _glv_lattice_basis(order, lam)
+        # Below roughly half-width there is nothing to split; the extra
+        # table build would only add cost.
+        self.min_bits = order.bit_length() // 2 + 8
+
+    def decompose(self, k: int) -> tuple[int, int]:
+        """Return (k1, k2), possibly negative, with k1 + k2*lam = k mod r."""
+        n = self.order
+        c1 = _round_div(self.b2 * k, n)
+        c2 = _round_div(-self.b1 * k, n)
+        k1 = k - c1 * self.a1 - c2 * self.a2
+        k2 = -c1 * self.b1 - c2 * self.b2
+        default_registry().counter("glv.decompositions").inc()
+        return k1, k2
+
+
+def _round_div(num: int, den: int) -> int:
+    """Nearest integer to num/den for den > 0 (floor-based, exact halves up)."""
+    return (2 * num + den) // (2 * den)
+
+
+def _glv_lattice_basis(n: int, lam: int) -> tuple[int, int, int, int]:
+    """Two short vectors (a1, b1), (a2, b2) of {(a, b) : a + b*lam = 0 mod n}.
+
+    The classic partial extended-Euclid construction (Guide to ECC,
+    Alg. 3.74): run the remainder sequence of (n, lam) until it drops below
+    sqrt(n); the adjacent rows give vectors of norm O(sqrt(n)).
+    """
+    root = isqrt(n)
+    rows = [(n, 0), (lam % n, 1)]  # (remainder, t-coefficient)
+    while rows[-1][0] != 0:
+        q = rows[-2][0] // rows[-1][0]
+        rows.append((rows[-2][0] - q * rows[-1][0], rows[-2][1] - q * rows[-1][1]))
+        if rows[-1][0] < root and rows[-2][0] >= root:
+            break
+    r_l1, t_l1 = rows[-1]
+    a1, b1 = r_l1, -t_l1
+    r_l, t_l = rows[-2]
+    cand_a = (r_l, -t_l)
+    if rows[-1][0] != 0:
+        q = rows[-2][0] // rows[-1][0]
+        r_l2 = rows[-2][0] - q * rows[-1][0]
+        t_l2 = rows[-2][1] - q * rows[-1][1]
+        if r_l2 * r_l2 + t_l2 * t_l2 < cand_a[0] * cand_a[0] + cand_a[1] * cand_a[1]:
+            cand_a = (r_l2, -t_l2)
+    a2, b2 = cand_a
+    return a1, b1, a2, b2
 
 
 def _naf(k: int) -> list[int]:
@@ -189,14 +278,17 @@ class MsmBasis:
 class G1Group:
     """The prime-order group E(Fp): y^2 = x^3 + b."""
 
-    __slots__ = ("p", "b", "order", "generator", "_gen_window")
+    __slots__ = ("p", "b", "order", "generator", "_gen_window", "_endo")
 
     def __init__(self, p: int, b: int, order: int, generator: tuple[int, int]):
-        self.p = p
+        # The modulus goes through the integer backend so every `% p` in the
+        # Jacobian formulas runs GMP when gmpy2 is available.
+        self.p = mpz(p)
         self.b = b % p
         self.order = order
         self.generator = generator
         self._gen_window: FixedBaseWindow | None = None
+        self._endo: GlvEndo | None | bool = False  # False = not yet derived
         if not self.is_on_curve(generator):
             raise ValueError("generator is not on the curve")
 
@@ -394,7 +486,14 @@ class G1Group:
             return None
         if scalar == 1:
             return point
-        # 4-bit windowed double-and-add in Jacobian coordinates.
+        if _GLV_ENABLED:
+            endo = self.glv_endo()
+            if endo is not None and scalar.bit_length() >= endo.min_bits:
+                return self._mul_glv(point, scalar, endo)
+        return self._mul_plain(point, scalar)
+
+    def _mul_plain(self, point: G1Point, scalar: int) -> G1Point:
+        """4-bit windowed double-and-add in Jacobian coordinates (no GLV)."""
         table = [None] * 16  # table[i] = i * point, affine
         table[1] = point
         table[2] = self.double(point)
@@ -409,6 +508,78 @@ class G1Group:
             digit = (scalar >> (4 * nibble_index)) & 0xF
             if digit:
                 acc = self._jac_add_affine(acc, table[digit])
+        return self._from_jacobian(acc)
+
+    # -- GLV endomorphism ----------------------------------------------------
+
+    def glv_endo(self) -> GlvEndo | None:
+        """The curve's GLV endomorphism, derived and verified once.
+
+        Returns None when the curve does not support it (p or r not 1 mod 3,
+        or the beta/lam pairing fails the generator check), in which case
+        multiplication silently stays on the plain path.
+        """
+        if self._endo is False:
+            self._endo = self._derive_endo()
+        return self._endo
+
+    def _derive_endo(self) -> GlvEndo | None:
+        from .ntheory import sqrt_mod
+
+        p, r = self.p, self.order
+        if p % 3 != 1 or r % 3 != 1:
+            return None
+        sp = sqrt_mod(-3 % p, p)
+        sr = sqrt_mod(-3 % r, r)
+        if sp is None or sr is None:
+            return None
+        inv2_p = (p + 1) // 2  # inverse of 2 mod an odd p
+        inv2_r = (r + 1) // 2
+        betas = [(-1 + sp) * inv2_p % p, (-1 - sp) * inv2_p % p]
+        lams = [(-1 + sr) * inv2_r % r, (-1 - sr) * inv2_r % r]
+        gx, gy = self.generator
+        # Match beta with the lam it acts as on the subgroup: phi(G) = lam*G.
+        for lam in lams:
+            lx_ly = self._mul_plain(self.generator, lam)
+            if lx_ly is None:
+                continue
+            for beta in betas:
+                if (gx * beta % p, gy) == lx_ly:
+                    return GlvEndo(beta, lam, r)
+        return None
+
+    def _endo_apply(self, point: tuple[int, int], beta: int) -> tuple[int, int]:
+        return (point[0] * beta % self.p, point[1])
+
+    def _mul_glv(self, point: tuple[int, int], scalar: int, endo: GlvEndo) -> G1Point:
+        """Half-length two-scalar multiplication via the endomorphism split."""
+        k1, k2 = endo.decompose(scalar)
+        p1 = point if k1 >= 0 else self.neg(point)
+        p2 = self._endo_apply(point, endo.beta)
+        if k2 < 0:
+            p2 = self.neg(p2)
+        k1, k2 = abs(k1), abs(k2)
+        if k1 == 0 and k2 == 0:
+            return None
+        if k2 == 0:
+            return self._mul_plain(p1, k1)
+        if k1 == 0:
+            return self._mul_plain(p2, k2)
+        table1 = self.small_multiples(p1)
+        table2 = self.small_multiples(p2)
+        acc = (1, 1, 0)
+        for nibble_index in range((max(k1.bit_length(), k2.bit_length()) + 3) // 4 - 1, -1, -1):
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            acc = self._jac_double(acc)
+            shift = 4 * nibble_index
+            d1 = (k1 >> shift) & 0xF
+            if d1:
+                acc = self._jac_add_affine(acc, table1[d1])
+            d2 = (k2 >> shift) & 0xF
+            if d2:
+                acc = self._jac_add_affine(acc, table2[d2])
         return self._from_jacobian(acc)
 
     def mul_gen(self, scalar: int) -> G1Point:
@@ -505,6 +676,7 @@ class G1Group:
             raise ValueError("negs and points must have equal length")
         order = self.order
         p = self.p
+        endo = self.glv_endo() if _GLV_ENABLED else None
         pts: list[tuple[int, int]] = []
         neg_pts: list[tuple[int, int]] = []
         ks: list[int] = []
@@ -512,9 +684,26 @@ class G1Group:
             k %= order
             if pt is None or k == 0:
                 continue
-            pts.append(pt)
             neg = negs[i] if negs is not None else None
-            neg_pts.append(neg if neg is not None else (pt[0], -pt[1] % p))
+            if neg is None:
+                neg = (pt[0], -pt[1] % p)
+            if endo is not None and k.bit_length() >= endo.min_bits:
+                # GLV split: two half-width terms halve the window count
+                # (and with it the doublings) for the whole MSM.
+                k1, k2 = endo.decompose(k)
+                if k1:
+                    pts.append(pt if k1 >= 0 else neg)
+                    neg_pts.append(neg if k1 >= 0 else pt)
+                    ks.append(abs(k1))
+                if k2:
+                    phi = self._endo_apply(pt, endo.beta)
+                    phi_neg = (phi[0], -phi[1] % p)
+                    pts.append(phi if k2 >= 0 else phi_neg)
+                    neg_pts.append(phi_neg if k2 >= 0 else phi)
+                    ks.append(abs(k2))
+                continue
+            pts.append(pt)
+            neg_pts.append(neg)
             ks.append(k)
         if not pts:
             return None

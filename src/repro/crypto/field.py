@@ -1,16 +1,52 @@
-"""Prime-field helpers.
+"""Prime-field helpers and the optional gmpy2 integer backend.
 
 Field elements are plain Python integers in [0, p); this module provides a
 small context object bundling the modulus with the handful of operations the
 curve and serialization layers need.  The extension-tower arithmetic lives in
 :mod:`repro.crypto.tower`.
+
+**Integer backend.**  All modular arithmetic in the crypto stack funnels
+through Python's ``*`` and ``%`` on the operand types chosen here.  When
+`gmpy2 <https://pypi.org/project/gmpy2>`_ is importable (the ``fast``
+optional extra), moduli are stored as ``gmpy2.mpz`` — every reduction
+against them then runs through GMP, which is several times faster than
+CPython's long division at pairing-sized operand widths, while results
+interoperate transparently with plain ``int`` (same values, same hashing,
+same equality).  Without gmpy2 the backend is plain ``int`` and nothing
+changes.  ``REPRO_INT_BACKEND=python`` forces the fallback even when gmpy2
+is installed (used by the variant-agreement tests and CI matrix).
+
+The backend only affects *representation speed*; all byte encodings coerce
+through ``int`` (see :mod:`repro.crypto.serialize`), so proofs and
+verdicts are bit-for-bit identical across backends.
 """
 
 from __future__ import annotations
 
+import os
+
 from .ntheory import is_probable_prime, legendre_symbol, sqrt_mod
 
-__all__ = ["PrimeField"]
+__all__ = ["PrimeField", "mpz", "int_backend", "HAVE_GMPY2"]
+
+
+def _load_backend():
+    """Resolve the integer constructor: gmpy2.mpz when available and wanted."""
+    if os.environ.get("REPRO_INT_BACKEND", "").lower() == "python":
+        return int, False
+    try:  # pragma: no cover - exercised by the gmpy2 CI matrix leg
+        from gmpy2 import mpz as gmpy2_mpz
+    except ImportError:
+        return int, False
+    return gmpy2_mpz, True  # pragma: no cover - gmpy2 CI matrix leg
+
+
+mpz, HAVE_GMPY2 = _load_backend()
+
+
+def int_backend() -> str:
+    """Name of the active integer backend: ``"gmpy2"`` or ``"python"``."""
+    return "gmpy2" if HAVE_GMPY2 else "python"
 
 
 class PrimeField:
@@ -21,7 +57,9 @@ class PrimeField:
     def __init__(self, p: int):
         if p < 3 or not is_probable_prime(p):
             raise ValueError(f"modulus must be an odd prime, got {p}")
-        self.p = p
+        # Stored through the active integer backend: `a % self.p` then runs
+        # GMP arithmetic when gmpy2 is available (see module docstring).
+        self.p = mpz(p)
         self.byte_length = (p.bit_length() + 7) // 8
 
     def add(self, a: int, b: int) -> int:
@@ -54,7 +92,9 @@ class PrimeField:
         return a % self.p
 
     def to_bytes(self, a: int) -> bytes:
-        return (a % self.p).to_bytes(self.byte_length, "big")
+        # int() coercion keeps the encoding backend-independent (mpz.to_bytes
+        # only exists in recent gmpy2 releases).
+        return int(a % self.p).to_bytes(self.byte_length, "big")
 
     def from_bytes(self, data: bytes) -> int:
         value = int.from_bytes(data, "big")

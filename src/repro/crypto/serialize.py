@@ -39,7 +39,9 @@ _G2_POINT_TAG = 4
 
 
 def encode_int(value: int, width: int) -> bytes:
-    return value.to_bytes(width, "big")
+    # int() coercion keeps encodings identical whichever integer backend is
+    # active (gmpy2 mpz grows .to_bytes only in recent releases).
+    return int(value).to_bytes(width, "big")
 
 
 def decode_int(data: bytes) -> int:
@@ -48,7 +50,7 @@ def decode_int(data: bytes) -> int:
 
 def encode_scalar(curve: BNCurve, value: int) -> bytes:
     width = (curve.r.bit_length() + 7) // 8
-    return (value % curve.r).to_bytes(width, "big")
+    return int(value % curve.r).to_bytes(width, "big")
 
 
 def decode_scalar(curve: BNCurve, data: bytes) -> int:
@@ -65,7 +67,7 @@ def g1_to_bytes(curve: BNCurve, point: G1Point) -> bytes:
         return bytes([_INFINITY_TAG]) + b"\x00" * width
     x, y = point
     tag = _ODD_TAG if y & 1 else _EVEN_TAG
-    return bytes([tag]) + x.to_bytes(width, "big")
+    return bytes([tag]) + int(x).to_bytes(width, "big")
 
 
 def g1_from_bytes(curve: BNCurve, data: bytes) -> G1Point:
@@ -99,7 +101,7 @@ def g2_to_bytes(curve: BNCurve, point: G2Point) -> bytes:
         return bytes([_INFINITY_TAG]) + b"\x00" * (4 * width)
     x, y = point
     return bytes([_G2_POINT_TAG]) + b"".join(
-        c.to_bytes(width, "big") for c in (x.c0, x.c1, y.c0, y.c1)
+        int(c).to_bytes(width, "big") for c in (x.c0, x.c1, y.c0, y.c1)
     )
 
 

@@ -13,11 +13,50 @@ and conjugation-based inversion in the cyclotomic subgroup.
 A :class:`TowerContext` bundles the modulus with the precomputed Frobenius
 constants; every element keeps a reference to its context so mixed-context
 arithmetic fails loudly.
+
+**Lazy reduction.**  The Fp6 products (full, sparse ``mul_by_01``) are the
+inner loop of every pairing.  The strict path reduces after every Fp2
+operation — ~30 ``%`` reductions per Fp6 multiplication.  The lazy path
+(default, ``set_lazy_reduction`` / ``REPRO_LAZY_TOWER=0`` to disable)
+carries unreduced integer coefficient pairs through the Karatsuba tree and
+reduces exactly once per output coefficient — 6 reductions per Fp6
+multiplication.  Intermediates stay below a few ``p**3`` so Python (or
+GMP) big-int arithmetic absorbs the growth; outputs are always fully
+reduced, so both paths produce identical elements bit for bit.
 """
 
 from __future__ import annotations
 
-__all__ = ["TowerContext", "Fp2", "Fp6", "Fp12"]
+import os
+
+from .field import mpz
+
+__all__ = ["TowerContext", "Fp2", "Fp6", "Fp12", "set_lazy_reduction", "lazy_reduction_enabled"]
+
+# Module-level switch: the strict path is kept as the reference semantics
+# for the variant-agreement property tests (tests/crypto/test_tower_lazy.py).
+_LAZY_REDUCTION = os.environ.get("REPRO_LAZY_TOWER", "1") != "0"
+
+
+def set_lazy_reduction(enabled: bool) -> bool:
+    """Toggle lazy tower reduction; returns the previous setting."""
+    global _LAZY_REDUCTION
+    previous = _LAZY_REDUCTION
+    _LAZY_REDUCTION = bool(enabled)
+    return previous
+
+
+def lazy_reduction_enabled() -> bool:
+    return _LAZY_REDUCTION
+
+
+def _mul2_raw(a0: int, a1: int, b0: int, b1: int) -> tuple[int, int]:
+    """Unreduced Fp2 product (Karatsuba, u^2 = -1); coefficients may be
+    negative and up to ~4p^2 in magnitude for reduced inputs."""
+    t0 = a0 * b0
+    t1 = a1 * b1
+    t2 = (a0 + a1) * (b0 + b1)
+    return t0 - t1, t2 - t0 - t1
 
 
 class TowerContext:
@@ -36,7 +75,9 @@ class TowerContext:
             raise ValueError("tower requires p = 3 mod 4 (so that u^2 = -1)")
         if p % 6 != 1:
             raise ValueError("tower requires p = 1 mod 6 (BN primes satisfy this)")
-        self.p = p
+        # Through the integer backend: every `% p` below runs GMP when the
+        # optional gmpy2 fast path is active (see repro.crypto.field).
+        self.p = mpz(p)
         self.xi = Fp2(self, xi[0] % p, xi[1] % p)
         gamma = self.xi.pow((p - 1) // 6)
         powers = [Fp2.one(self)]
@@ -226,6 +267,8 @@ class Fp6:
         return Fp6(self.ctx, -self.c0, -self.c1, -self.c2)
 
     def __mul__(self, other: "Fp6") -> "Fp6":
+        if _LAZY_REDUCTION:
+            return self._mul_lazy(other)
         # Karatsuba-style 6-multiplication product with v^3 = xi.
         a0, a1, a2 = self.c0, self.c1, self.c2
         b0, b1, b2 = other.c0, other.c1, other.c2
@@ -236,6 +279,31 @@ class Fp6:
         c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + t2.mul_by_xi()
         c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
         return Fp6(self.ctx, c0, c1, c2)
+
+    def _mul_lazy(self, other: "Fp6") -> "Fp6":
+        """Same Karatsuba product, one reduction per output coefficient."""
+        ctx = self.ctx
+        p = ctx.p
+        xi = ctx.xi
+        x0, x1 = xi.c0, xi.c1
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        b0, b1, b2 = other.c0, other.c1, other.c2
+        t0 = _mul2_raw(a0.c0, a0.c1, b0.c0, b0.c1)
+        t1 = _mul2_raw(a1.c0, a1.c1, b1.c0, b1.c1)
+        t2 = _mul2_raw(a2.c0, a2.c1, b2.c0, b2.c1)
+        # c0 = xi * ((a1+a2)(b1+b2) - t1 - t2) + t0
+        m = _mul2_raw(a1.c0 + a2.c0, a1.c1 + a2.c1, b1.c0 + b2.c0, b1.c1 + b2.c1)
+        u0, u1 = m[0] - t1[0] - t2[0], m[1] - t1[1] - t2[1]
+        v = _mul2_raw(u0, u1, x0, x1)
+        c0 = Fp2(ctx, (v[0] + t0[0]) % p, (v[1] + t0[1]) % p)
+        # c1 = (a0+a1)(b0+b1) - t0 - t1 + xi * t2
+        m = _mul2_raw(a0.c0 + a1.c0, a0.c1 + a1.c1, b0.c0 + b1.c0, b0.c1 + b1.c1)
+        v = _mul2_raw(t2[0], t2[1], x0, x1)
+        c1 = Fp2(ctx, (m[0] - t0[0] - t1[0] + v[0]) % p, (m[1] - t0[1] - t1[1] + v[1]) % p)
+        # c2 = (a0+a2)(b0+b2) - t0 - t2 + t1
+        m = _mul2_raw(a0.c0 + a2.c0, a0.c1 + a2.c1, b0.c0 + b2.c0, b0.c1 + b2.c1)
+        c2 = Fp2(ctx, (m[0] - t0[0] - t2[0] + t1[0]) % p, (m[1] - t0[1] - t2[1] + t1[1]) % p)
+        return Fp6(ctx, c0, c1, c2)
 
     def square(self) -> "Fp6":
         return self * self
@@ -250,6 +318,20 @@ class Fp6:
     def mul_by_01(self, b0: Fp2, b1: Fp2) -> "Fp6":
         """Multiply by the sparse element b0 + b1*v."""
         a0, a1, a2 = self.c0, self.c1, self.c2
+        if _LAZY_REDUCTION:
+            ctx = self.ctx
+            p = ctx.p
+            xi = ctx.xi
+            t0 = _mul2_raw(a0.c0, a0.c1, b0.c0, b0.c1)
+            t1 = _mul2_raw(a1.c0, a1.c1, b1.c0, b1.c1)
+            m = _mul2_raw(a2.c0, a2.c1, b1.c0, b1.c1)
+            v = _mul2_raw(m[0], m[1], xi.c0, xi.c1)
+            r0 = Fp2(ctx, (v[0] + t0[0]) % p, (v[1] + t0[1]) % p)
+            m = _mul2_raw(a0.c0 + a1.c0, a0.c1 + a1.c1, b0.c0 + b1.c0, b0.c1 + b1.c1)
+            r1 = Fp2(ctx, (m[0] - t0[0] - t1[0]) % p, (m[1] - t0[1] - t1[1]) % p)
+            m = _mul2_raw(a2.c0, a2.c1, b0.c0, b0.c1)
+            r2 = Fp2(ctx, (m[0] + t1[0]) % p, (m[1] + t1[1]) % p)
+            return Fp6(ctx, r0, r1, r2)
         t0 = a0 * b0
         t1 = a1 * b1
         c0 = (a2 * b1).mul_by_xi() + t0

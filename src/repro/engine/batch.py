@@ -41,12 +41,22 @@ class PairingBatch:
 
         All pairs passed in a single call share the coefficient — they
         form one pairing-product equation whose product must be one.
+        Identity pairs are short-circuited here: ``e(O, Q)`` and
+        ``e(P, O)`` contribute 1 to the product whatever the coefficient,
+        so they never reach the Miller loop (counted under
+        ``engine.batch.identity_skipped``).
         """
         delta = self.curve.random_scalar(self.rng)
         self.equations += 1
+        skipped = 0
         for g1_point, g2_point in pairs:
-            key = None if g2_point is None else (g2_point[0], g2_point[1])
+            if g1_point is None or g2_point is None:
+                skipped += 1
+                continue
+            key = (g2_point[0], g2_point[1])
             self.groups.setdefault(key, []).append((g1_point, delta))
+        if skipped:
+            default_registry().counter("engine.batch.identity_skipped").inc(skipped)
 
     def check(self) -> bool:
         metrics = default_registry()
@@ -60,10 +70,12 @@ class PairingBatch:
         curve = self.curve
         merged = []
         for key, weighted in self.groups.items():
-            if key is None:
-                continue
             points = [point for point, _ in weighted]
             scalars = [delta for _, delta in weighted]
             combined = curve.g1.multi_mul(points, scalars)
+            if combined is None:
+                # Coefficients cancelled: this G2 base contributes 1.
+                default_registry().counter("engine.batch.identity_skipped").inc()
+                continue
             merged.append((combined, (key[0], key[1])))
         return multi_pairing(curve, merged).is_one()

@@ -26,6 +26,13 @@ Importing this module installs the default cache as the fixed-base
 provider of :mod:`repro.crypto.curve`, so even code that never touches a
 :class:`~repro.engine.engine.ProofEngine` draws its generator tables from
 the shared cache.
+
+The persistent worker pool (:mod:`repro.engine.executors`) leans on this
+cache being process-wide: warm it *before* the pool forks
+(``QtmcParams.warm_tables()`` then ``ProofEngine.warm_up()``) and every
+worker inherits the populated tables through fork's copy-on-write pages —
+no re-derivation, no pickling.  Tables built after the fork stay
+per-process; only pre-fork warmth is shared.
 """
 
 from __future__ import annotations

@@ -91,6 +91,34 @@ class ProofEngine:
     def map_tasks(self, fn, payloads: Sequence[Any], shared: Any = None) -> list:
         return self.executor.map_tasks(fn, payloads, shared)
 
+    def warm_up(self, params: Any = None) -> None:
+        """Prime precomputation, then fork the worker pool (if parallel).
+
+        Ordering matters: the pool forks *after* the tables are warm, so
+        every worker inherits them through fork's copy-on-write pages
+        instead of re-deriving them cold.  ``params`` may be
+        ``EdbParams`` (its ``qtmc`` is warmed) or anything exposing
+        ``warm_tables()``; pass None to just fork the pool against
+        whatever is already cached.
+        """
+        if params is not None:
+            getattr(params, "qtmc", params).warm_tables()
+        start = getattr(self.executor, "ensure_started", None)
+        if start is not None:
+            start()
+
+    def close(self) -> None:
+        """Release the executor's worker pool, if it holds one."""
+        shutdown = getattr(self.executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
+    def __enter__(self) -> "ProofEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- batched proving --------------------------------------------------------
 
     def prove_many(self, params: "EdbParams", dec, keys: Sequence[int]) -> list:

@@ -9,11 +9,18 @@ Two strategies exist:
 * :class:`SerialExecutor` — runs everything inline.  Zero overhead, the
   default, and the reference semantics: the parallel path must produce
   byte-identical results.
-* :class:`ParallelExecutor` — fans out over a ``ProcessPoolExecutor``.
-  The worker function and shared context are delivered through the pool
-  initializer (pickled once per worker, not per task).  On platforms
-  without ``fork`` or when the pool fails to come up, it silently falls
-  back to serial execution so callers never need a try/except.
+* :class:`ParallelExecutor` — fans out over a **persistent** fork pool.
+  The pool is forked once, lazily, at the first parallel call — by which
+  point the caller has typically primed the process-wide precomputation
+  cache (``QtmcParams.warm_tables``), so every worker inherits the warmed
+  tables via copy-on-write instead of re-deriving them.  Subsequent calls
+  reuse the same workers: no per-call fork, no per-call re-pickling of
+  tables.  Payloads are dispatched as ``len(payloads)/workers``-sized
+  chunks (one future per chunk, not per task), and the pickled ``shared``
+  context is memoized on both sides — the parent pickles it once per
+  object, the workers cache it by token across calls.  On platforms
+  without ``fork``, or when the pool breaks, execution silently falls
+  back to serial so callers never need a try/except.
 
 Worker functions must be module-level callables of the form
 ``fn(shared, payload) -> result`` with picklable payloads and results —
@@ -24,8 +31,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 from ..obs import TraceContext, default_registry, default_tracer, get_logger
@@ -36,47 +46,79 @@ TaskFn = Callable[[Any, Any], Any]
 
 _log = get_logger(__name__)
 
-# Worker-side globals, populated by the pool initializer so each task
-# submission only pickles its payload.
-_WORKER_FN: TaskFn | None = None
-_WORKER_SHARED: Any = None
-_WORKER_CTX: TraceContext | None = None
+# Worker-side memo of unpickled shared contexts, keyed by the parent's
+# token.  Tokens are never reused within an executor (and each executor
+# owns its pool), so a hit is always the right object.  Bounded so a
+# long-lived pool serving many distinct contexts cannot grow without
+# limit.
+_SHARED_CACHE: "OrderedDict[int, Any]" = OrderedDict()
+_SHARED_CACHE_LIMIT = 8
 
 
-def _init_worker(fn: TaskFn, shared: Any, ctx: dict | None = None) -> None:
-    global _WORKER_FN, _WORKER_SHARED, _WORKER_CTX
-    _WORKER_FN = fn
-    _WORKER_SHARED = shared
-    _WORKER_CTX = TraceContext.from_dict(ctx) if ctx else None
-
-
-def _run_payload(payload: Any) -> tuple:
-    """Worker-side task wrapper: run, ship metrics delta and spans home.
+def _run_chunk(
+    fn: TaskFn,
+    token: int,
+    blob: bytes | None,
+    ctx: dict | None,
+    chunk: list,
+) -> tuple:
+    """Worker-side chunk runner: run payloads, ship metrics + spans home.
 
     The fork start method hands each worker a copy-on-write snapshot of
-    the parent's metrics registry; whatever the task increments would die
-    with the worker.  Wrapping every task in a snapshot/diff window lets
+    the parent's metrics registry; whatever the tasks increment would die
+    with the worker.  Wrapping every chunk in a snapshot/diff window lets
     the parent fold the child's counts back in (see
-    :meth:`ParallelExecutor.map_tasks`), so pooled runs report the same
-    cache-hit / batch / verification metrics as serial ones.
+    :meth:`ParallelExecutor._unwrap`), so pooled runs report the same
+    cache-hit / batch / verification metrics as serial ones.  Because the
+    worker is persistent, the window is per *chunk*: the diff only carries
+    this chunk's increments, however many calls the worker has served.
 
-    Spans follow the same delta discipline: the task runs under the
-    caller's trace context (shipped once through the initializer), and
-    every root recorded during the task — a fragment parented on the
-    caller's span — is exported with the result so the parent's tracer
-    can :meth:`~repro.obs.SpanTracer.adopt` it for stitching.
+    Spans follow the same delta discipline: the chunk runs under the
+    caller's trace context, and every root recorded during it — fragments
+    parented on the caller's span — is exported with the result so the
+    parent's tracer can :meth:`~repro.obs.SpanTracer.adopt` them for
+    stitching.  Recorded roots are dropped afterwards either way, so a
+    persistent worker never accumulates span state across calls.
     """
-    assert _WORKER_FN is not None, "worker pool initializer did not run"
+    if token == 0:
+        shared = None
+    else:
+        shared = _SHARED_CACHE.get(token, _run_chunk)  # sentinel: self
+        if shared is _run_chunk:
+            shared = pickle.loads(blob)
+            _SHARED_CACHE[token] = shared
+            while len(_SHARED_CACHE) > _SHARED_CACHE_LIMIT:
+                _SHARED_CACHE.popitem(last=False)
+        else:
+            _SHARED_CACHE.move_to_end(token)
     registry = default_registry()
     tracer = default_tracer()
+    trace_ctx = TraceContext.from_dict(ctx) if ctx else None
     before = registry.snapshot()
     mark = len(tracer.roots)
-    start = time.perf_counter()
-    with tracer.activate(_WORKER_CTX):
-        result = _WORKER_FN(_WORKER_SHARED, payload)
-    elapsed_ms = (time.perf_counter() - start) * 1000.0
-    spans = tracer.export_roots(mark) if _WORKER_CTX is not None else []
-    return result, registry.diff(before), os.getpid(), elapsed_ms, spans
+    results = []
+    timings = []
+    with tracer.activate(trace_ctx):
+        for payload in chunk:
+            start = time.perf_counter()
+            results.append(fn(shared, payload))
+            timings.append((time.perf_counter() - start) * 1000.0)
+    spans = tracer.export_roots(mark) if trace_ctx is not None else []
+    del tracer.roots[mark:]
+    return results, registry.diff(before), os.getpid(), timings, spans
+
+
+def _split_chunks(seq: list, parts: int) -> list[list]:
+    """Split into at most ``parts`` contiguous, near-equal chunks."""
+    parts = max(1, min(parts, len(seq)))
+    size, extra = divmod(len(seq), parts)
+    chunks = []
+    start = 0
+    for index in range(parts):
+        end = start + size + (1 if index < extra else 0)
+        chunks.append(seq[start:end])
+        start = end
+    return chunks
 
 
 class SerialExecutor:
@@ -92,11 +134,14 @@ class SerialExecutor:
 
 
 class ParallelExecutor:
-    """Fan tasks out over a process pool, preserving submission order.
+    """Fan tasks out over a persistent process pool, preserving order.
 
     ``workers=0`` means "use the CPU count".  Small batches (fewer than
-    two payloads, or a single worker) run serially — a pool would only
-    add startup cost.
+    two payloads, or a single worker) run serially — dispatch would only
+    add cost.  The pool is created at the first parallel call (or an
+    explicit :meth:`ensure_started`) and reused for the executor's
+    lifetime; create it *after* warming the precomputation cache so the
+    workers inherit the tables through fork's copy-on-write pages.
     """
 
     def __init__(self, workers: int = 0) -> None:
@@ -104,56 +149,141 @@ class ParallelExecutor:
             raise ValueError("workers must be >= 0")
         self.workers = workers or (os.cpu_count() or 1)
         self._serial = SerialExecutor()
+        self._pool: ProcessPoolExecutor | None = None
+        # id(shared) -> (token, pickled bytes, strong ref).  The strong ref
+        # pins the object so its id cannot be recycled while the entry
+        # lives; bounded FIFO keeps at most a handful of contexts pinned.
+        self._shared_blobs: "OrderedDict[int, tuple[int, bytes, Any]]" = OrderedDict()
+        self._next_token = 0
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def ensure_started(self) -> bool:
+        """Fork the worker pool now (idempotent); False if unavailable.
+
+        Call this right after priming the precomputation cache: the
+        workers fork immediately and inherit the warmed tables, so no
+        later call pays fork latency or cold-cache rederivation.
+        """
+        return self._ensure_pool() is not None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._pool is not None:
+            return self._pool
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return None
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.workers, mp_context=mp_context)
+            # ProcessPoolExecutor forks lazily, one process per submission;
+            # force every worker into existence *now* so the fork point —
+            # and with it the copy-on-write cache snapshot — is the pool
+            # creation time, not some later call.
+            for future in [pool.submit(os.getpid) for _ in range(self.workers)]:
+                future.result()
+        except (OSError, RuntimeError):  # pragma: no cover - resource limits
+            _log.warning("process pool unavailable; parallel calls will run serially")
+            return None
+        self._pool = pool
+        default_registry().counter("engine.pool.starts").inc()
+        return pool
+
+    def shutdown(self) -> None:
+        """Tear the persistent pool down; the next call re-creates it."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            default_registry().counter("engine.pool.rebuilds").inc()
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+
+    # -- shared-context memoization -----------------------------------------
+
+    def _shared_token(self, shared: Any) -> tuple[int, bytes | None]:
+        """Memoized (token, pickle) for a shared context object.
+
+        The parent pickles each distinct context once, not once per call;
+        workers memoize the unpickled object by token (see
+        :func:`_run_chunk`), so steady-state calls ship bytes that are
+        already cached on both ends.
+        """
+        if shared is None:
+            return 0, None
+        key = id(shared)
+        entry = self._shared_blobs.get(key)
+        if entry is not None and entry[2] is shared:
+            self._shared_blobs.move_to_end(key)
+            return entry[0], entry[1]
+        self._next_token += 1
+        blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+        self._shared_blobs[key] = (self._next_token, blob, shared)
+        while len(self._shared_blobs) > 4:
+            self._shared_blobs.popitem(last=False)
+        return self._next_token, blob
+
+    # -- execution -----------------------------------------------------------
 
     def map_tasks(self, fn: TaskFn, payloads: Sequence[Any], shared: Any = None) -> list:
         payloads = list(payloads)
         if self.workers <= 1 or len(payloads) < 2:
             return self._serial.map_tasks(fn, payloads, shared)
-        try:
-            mp_context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            _log.warning("no fork start method; running %d tasks serially", len(payloads))
+        pool = self._ensure_pool()
+        if pool is None:
+            _log.warning("no process pool; running %d tasks serially", len(payloads))
             return self._serial.map_tasks(fn, payloads, shared)
-        workers = min(self.workers, len(payloads))
-        chunksize = max(1, len(payloads) // (workers * 4))
-        tracer = default_tracer()
-        ctx = tracer.current_context()
+        chunks = _split_chunks(payloads, self.workers)
+        token, blob = self._shared_token(shared)
+        ctx = default_tracer().current_context()
+        ctx_dict = ctx.to_dict() if ctx else None
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=mp_context,
-                initializer=_init_worker,
-                initargs=(fn, shared, ctx.to_dict() if ctx else None),
-            ) as pool:
-                wrapped = list(pool.map(_run_payload, payloads, chunksize=chunksize))
-        except (OSError, RuntimeError):  # pragma: no cover - resource limits
-            _log.warning("process pool unavailable; running %d tasks serially", len(payloads))
+            futures = [
+                pool.submit(_run_chunk, fn, token, blob, ctx_dict, chunk)
+                for chunk in chunks
+            ]
+            wrapped = [future.result() for future in futures]
+        except (OSError, RuntimeError, BrokenProcessPool):
+            _log.warning(
+                "process pool failed; running %d tasks serially", len(payloads)
+            )
+            self._discard_pool()
             return self._serial.map_tasks(fn, payloads, shared)
         return self._unwrap(wrapped)
 
     def _unwrap(self, wrapped: list) -> list:
-        """Merge per-task child metrics deltas; surface pool utilization.
+        """Merge per-chunk child metrics deltas; surface pool utilization.
 
         Worker pids are normalised to stable slot indices (order of first
         appearance) so the per-worker counters keep bounded label
-        cardinality across many short-lived pools.
+        cardinality whatever pids the OS hands out.
         """
         registry = default_registry()
         tracer = default_tracer()
         task_ms = registry.histogram("engine.pool.task_ms")
+        chunk_counter = registry.counter("engine.pool.chunks")
         slots: dict[int, int] = {}
         results = []
-        for result, delta, worker_pid, elapsed_ms, spans in wrapped:
+        for chunk_results, delta, worker_pid, timings, spans in wrapped:
             registry.merge(delta)
             if spans:
                 # Re-home the worker's span fragments; the collector
                 # re-parents them under the caller's span at stitch time.
                 tracer.adopt(spans)
+            chunk_counter.inc()
             slot = slots.setdefault(worker_pid, len(slots))
-            registry.counter("engine.pool.tasks", worker=slot).inc()
-            registry.counter("engine.pool.busy_ms", worker=slot).inc(elapsed_ms)
-            task_ms.observe(elapsed_ms)
-            results.append(result)
+            tasks_counter = registry.counter("engine.pool.tasks", worker=slot)
+            busy_counter = registry.counter("engine.pool.busy_ms", worker=slot)
+            for elapsed_ms in timings:
+                tasks_counter.inc()
+                busy_counter.inc(elapsed_ms)
+                task_ms.observe(elapsed_ms)
+            results.extend(chunk_results)
         registry.gauge("engine.pool.workers").set(self.workers)
         return results
 

@@ -3,10 +3,12 @@
 Each function has the ``fn(shared, payload)`` shape the executors expect
 and is importable by name, so it survives pickling into worker processes.
 Payloads and results cross process boundaries as wire bytes (via
-:mod:`repro.crypto.serialize` encodings) or plain picklable dataclasses;
-the heavyweight ``shared`` context (params, schemes) rides along through
-the pool initializer and the ``fork`` start method, so it is never
-re-pickled per task.
+:mod:`repro.crypto.serialize` encodings) or plain picklable dataclasses.
+The heavyweight ``shared`` context (params, schemes) is pickled once per
+distinct object and memoized by token inside the persistent workers (see
+:mod:`repro.engine.executors`), so steady-state calls never re-ship it —
+and the CRS precompute tables themselves are inherited for free through
+the post-warm ``fork``.
 """
 
 from __future__ import annotations

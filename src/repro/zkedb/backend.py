@@ -76,6 +76,10 @@ class ZkEdbBackend:
             # hard-commit MsmBasis) so the first commitment pays no
             # table-construction cost.  Theta(q) group adds, once.
             params.qtmc.warm_tables()
+            # Fork the engine's persistent pool now (no-op for serial
+            # engines): workers spawned after the warm inherit the
+            # tables via copy-on-write instead of re-deriving them.
+            self.engine.warm_up()
         self.name = f"zk-edb(q={params.q},h={params.height})"
 
     @property

@@ -1,0 +1,129 @@
+"""GLV endomorphism scalar multiplication: decomposition and agreement.
+
+The GLV path must be a pure accelerator: whatever the toggle, whatever
+the scalar, ``mul`` returns exactly what the plain windowed ladder
+returns.  These tests pin the lattice decomposition identity
+``k1 + k2*lambda = k (mod r)``, the half-length bound on the split
+scalars, and bit-for-bit agreement across edge and random scalars for
+both single multiplication and the Pippenger MSM.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.curve import glv_enabled, set_glv_enabled
+from repro.obs import default_registry
+
+
+@pytest.fixture
+def glv_on():
+    previous = set_glv_enabled(True)
+    yield
+    set_glv_enabled(previous)
+
+
+@pytest.fixture
+def endo(curve, glv_on):
+    endo = curve.g1.glv_endo()
+    if endo is None:
+        pytest.skip("curve has no usable GLV endomorphism")
+    return endo
+
+
+def _edge_scalars(r: int) -> list[int]:
+    return [0, 1, 2, 3, r - 1, r - 2, r + 1, r // 2, r // 3]
+
+
+def test_endo_is_multiplication_by_lambda(curve, endo):
+    g1 = curve.g1
+    for k in [1, 5, 12345]:
+        point = g1.mul_gen(k)
+        phi = g1._endo_apply(point, endo.beta)
+        assert phi == g1.mul(point, endo.lam)
+
+
+def test_decompose_identity_and_bound(curve, endo):
+    r = curve.r
+    rng = random.Random(0x61)
+    scalars = _edge_scalars(r) + [rng.randrange(r) for _ in range(50)]
+    half_bound = 1 << (r.bit_length() // 2 + 4)
+    for k in scalars:
+        k1, k2 = endo.decompose(k)
+        assert (k1 + k2 * endo.lam) % r == k % r
+        assert abs(k1) < half_bound and abs(k2) < half_bound
+
+
+def test_decompose_increments_counter(curve, endo):
+    registry = default_registry()
+    before = registry.counter_value("glv.decompositions")
+    endo.decompose(12345)
+    assert registry.counter_value("glv.decompositions") == before + 1
+
+
+def test_mul_agrees_with_plain_ladder(curve, glv_on):
+    g1 = curve.g1
+    rng = random.Random(0x62)
+    point = g1.mul_gen(7)
+    for k in _edge_scalars(curve.r) + [rng.randrange(curve.r) for _ in range(25)]:
+        assert g1.mul(point, k) == g1._mul_plain(point, k)
+
+
+def test_mul_toggle_agrees(curve):
+    g1 = curve.g1
+    rng = random.Random(0x63)
+    cases = [(g1.mul_gen(rng.randrange(1, curve.r)), rng.randrange(curve.r))
+             for _ in range(10)]
+    previous = set_glv_enabled(True)
+    try:
+        with_glv = [g1.mul(pt, k) for pt, k in cases]
+        set_glv_enabled(False)
+        assert not glv_enabled()
+        without = [g1.mul(pt, k) for pt, k in cases]
+    finally:
+        set_glv_enabled(previous)
+    assert with_glv == without
+
+
+def test_mul_identity_and_generator_paths(curve, glv_on):
+    g1 = curve.g1
+    assert g1.mul(None, 5) is None
+    assert g1.mul(g1.generator, 0) is None
+    assert g1.mul(g1.generator, curve.r) is None
+    assert g1.mul(g1.generator, 1) == g1.generator
+
+
+def test_pippenger_msm_agrees_across_toggle(curve):
+    g1 = curve.g1
+    rng = random.Random(0x64)
+    points = [g1.mul_gen(rng.randrange(1, curve.r)) for _ in range(20)]
+    scalars = [rng.randrange(curve.r) for _ in range(20)]
+    scalars[0] = 0
+    scalars[1] = curve.r - 1
+    previous = set_glv_enabled(True)
+    try:
+        with_glv = g1.multi_mul_pippenger(points, scalars)
+        set_glv_enabled(False)
+        without = g1.multi_mul_pippenger(points, scalars)
+    finally:
+        set_glv_enabled(previous)
+    assert with_glv == without
+    # Reference: the naive sum of individual multiplications.
+    expected = None
+    for pt, k in zip(points, scalars):
+        expected = g1.add(expected, g1._mul_plain(pt, k))
+    assert with_glv == expected
+
+
+def test_production_curve_decompose(production_curve):
+    endo = production_curve.g1.glv_endo()
+    if endo is None:
+        pytest.skip("bn254 GLV endomorphism unavailable")
+    r = production_curve.r
+    rng = random.Random(0x65)
+    for k in [1, r - 1] + [rng.randrange(r) for _ in range(5)]:
+        k1, k2 = endo.decompose(k)
+        assert (k1 + k2 * endo.lam) % r == k % r
+        assert max(abs(k1), abs(k2)).bit_length() <= r.bit_length() // 2 + 2

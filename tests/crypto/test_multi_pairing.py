@@ -1,0 +1,109 @@
+"""Shared-Miller-loop multi-pairing: exactness and identity handling.
+
+The shared loop folds every pair's line functions into one accumulator,
+sharing the per-digit squaring.  Because the Miller recurrence
+``f <- f^2 * prod(lines)`` distributes over products in exact modular
+arithmetic, the *unreduced* shared value must equal the literal product
+of the individual Miller values — not just up to final exponentiation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.pairing import (
+    miller_loop,
+    multi_miller_loop,
+    multi_pairing,
+    pairing,
+    pairing_product_is_one,
+)
+from repro.crypto.tower import Fp12
+from repro.obs import default_registry
+
+
+@pytest.fixture
+def pairs(curve):
+    g1, g2 = curve.g1, curve.g2
+    return [
+        (g1.mul_gen(3), g2.mul_gen(5)),
+        (g1.mul_gen(7), g2.mul_gen(11)),
+        (g1.mul_gen(13), g2.generator),
+        (g1.generator, g2.mul_gen(17)),
+    ]
+
+
+def test_shared_miller_equals_product_of_individual(curve, pairs):
+    for k in range(1, len(pairs) + 1):
+        subset = pairs[:k]
+        shared = multi_miller_loop(curve, subset)
+        product = Fp12.one(curve.tower)
+        for p_point, q_point in subset:
+            product = product * miller_loop(curve, p_point, q_point)
+        assert shared == product, f"shared Miller diverged at k={k}"
+
+
+def test_multi_pairing_equals_product_of_pairings(curve, pairs):
+    shared = multi_pairing(curve, pairs)
+    product = Fp12.one(curve.tower)
+    for p_point, q_point in pairs:
+        product = product * pairing(curve, p_point, q_point)
+    assert shared == product
+
+
+def test_multi_pairing_empty_is_one(curve):
+    assert multi_pairing(curve, []).is_one()
+
+
+def test_identity_pairs_short_circuit(curve, pairs):
+    registry = default_registry()
+    with_identities = list(pairs) + [
+        (None, curve.g2.generator),
+        (curve.g1.generator, None),
+        (None, None),
+    ]
+    before = registry.counter_value("pairing.shared_miller.identity_skipped")
+    padded = multi_pairing(curve, with_identities)
+    skipped = (
+        registry.counter_value("pairing.shared_miller.identity_skipped") - before
+    )
+    assert skipped == 3
+    assert padded == multi_pairing(curve, pairs)
+
+
+def test_all_identity_pairs_is_one_without_miller(curve):
+    registry = default_registry()
+    calls_before = registry.counter_value("pairing.shared_miller.calls")
+    assert multi_pairing(curve, [(None, curve.g2.generator)] * 3).is_one()
+    # No live pair: the Miller loop never ran.
+    assert registry.counter_value("pairing.shared_miller.calls") == calls_before
+
+
+def test_pairs_folded_counter(curve, pairs):
+    registry = default_registry()
+    before = registry.counter_value("pairing.shared_miller.pairs_folded")
+    multi_miller_loop(curve, pairs)
+    assert (
+        registry.counter_value("pairing.shared_miller.pairs_folded")
+        == before + len(pairs) - 1
+    )
+
+
+def test_product_is_one_detects_cancellation(curve):
+    g1, g2 = curve.g1, curve.g2
+    p5 = g1.mul_gen(5)
+    pairs = [(p5, g2.generator), (g1.neg(p5), g2.generator)]
+    assert pairing_product_is_one(curve, pairs)
+    assert not pairing_product_is_one(curve, pairs[:1])
+
+
+def test_bilinearity_through_shared_loop(curve):
+    base = pairing(curve, curve.g1.generator, curve.g2.generator)
+    shared = multi_pairing(
+        curve,
+        [
+            (curve.g1.mul_gen(2), curve.g2.mul_gen(3)),
+            (curve.g1.mul_gen(4), curve.g2.mul_gen(5)),
+        ],
+    )
+    assert shared == base.pow(2 * 3 + 4 * 5)

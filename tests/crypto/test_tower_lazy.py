@@ -1,0 +1,112 @@
+"""Lazy-reduction tower arithmetic must be bit-identical to strict.
+
+The lazy Fp6 multiplication carries unreduced integer coefficient pairs
+through the Karatsuba tree and reduces once per output coefficient; both
+paths fully reduce their outputs, so every result must agree exactly —
+including through full pairings, where any drift would compound.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.pairing import pairing
+from repro.crypto.tower import (
+    Fp2,
+    Fp6,
+    Fp12,
+    lazy_reduction_enabled,
+    set_lazy_reduction,
+)
+
+
+def _random_fp6(ctx, rng):
+    return Fp6(ctx, *(Fp2(ctx, rng.randrange(ctx.p), rng.randrange(ctx.p))
+                      for _ in range(3)))
+
+
+def _random_fp12(ctx, rng):
+    return Fp12(ctx, _random_fp6(ctx, rng), _random_fp6(ctx, rng))
+
+
+@pytest.fixture
+def toggle():
+    previous = set_lazy_reduction(True)
+    yield
+    set_lazy_reduction(previous)
+
+
+def test_fp6_mul_lazy_matches_strict(curve, toggle):
+    ctx = curve.tower
+    rng = random.Random(0x70)
+    cases = [(_random_fp6(ctx, rng), _random_fp6(ctx, rng)) for _ in range(40)]
+    lazy = [a * b for a, b in cases]
+    set_lazy_reduction(False)
+    assert not lazy_reduction_enabled()
+    strict = [a * b for a, b in cases]
+    assert lazy == strict
+    for value in lazy:
+        for coord in (value.c0, value.c1, value.c2):
+            assert 0 <= coord.c0 < ctx.p and 0 <= coord.c1 < ctx.p
+
+
+def test_fp6_mul_by_01_lazy_matches_strict(curve, toggle):
+    ctx = curve.tower
+    rng = random.Random(0x71)
+    cases = [
+        (
+            _random_fp6(ctx, rng),
+            Fp2(ctx, rng.randrange(ctx.p), rng.randrange(ctx.p)),
+            Fp2(ctx, rng.randrange(ctx.p), rng.randrange(ctx.p)),
+        )
+        for _ in range(40)
+    ]
+    lazy = [a.mul_by_01(b0, b1) for a, b0, b1 in cases]
+    set_lazy_reduction(False)
+    strict = [a.mul_by_01(b0, b1) for a, b0, b1 in cases]
+    assert lazy == strict
+
+
+def test_fp12_ops_lazy_matches_strict(curve, toggle):
+    ctx = curve.tower
+    rng = random.Random(0x72)
+    a, b = _random_fp12(ctx, rng), _random_fp12(ctx, rng)
+    lazy = (a * b, a.square(), a.inverse(), a.frobenius(1))
+    set_lazy_reduction(False)
+    strict = (a * b, a.square(), a.inverse(), a.frobenius(1))
+    assert lazy == strict
+
+
+def test_fp6_edge_coefficients(curve, toggle):
+    ctx = curve.tower
+    p = ctx.p
+    edges = [0, 1, p - 1]
+    elems = [
+        Fp6(ctx, Fp2(ctx, a, b), Fp2(ctx, b, a), Fp2(ctx, a, a))
+        for a in edges
+        for b in edges
+    ]
+    lazy = [(x * y, x.mul_by_01(y.c0, y.c1)) for x in elems for y in elems]
+    set_lazy_reduction(False)
+    strict = [(x * y, x.mul_by_01(y.c0, y.c1)) for x in elems for y in elems]
+    assert lazy == strict
+
+
+def test_pairing_lazy_matches_strict(curve, toggle):
+    p5, q7 = curve.g1.mul_gen(5), curve.g2.mul_gen(7)
+    lazy = pairing(curve, p5, q7)
+    set_lazy_reduction(False)
+    strict = pairing(curve, p5, q7)
+    assert lazy == strict
+
+
+def test_toggle_returns_previous_state():
+    previous = set_lazy_reduction(True)
+    try:
+        assert set_lazy_reduction(False) is True
+        assert set_lazy_reduction(True) is False
+        assert lazy_reduction_enabled()
+    finally:
+        set_lazy_reduction(previous)

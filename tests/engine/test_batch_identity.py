@@ -1,0 +1,72 @@
+"""PairingBatch identity short-circuiting: e(O, Q) and e(P, O) never
+reach the Miller loop, and the batch verdict is unchanged by them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.batch import PairingBatch
+from repro.obs import default_registry
+
+
+@pytest.fixture
+def registry():
+    reg = default_registry()
+    reg.reset()
+    yield reg
+    reg.reset()
+
+
+def _cancelling_pairs(curve, k=5):
+    p = curve.g1.mul_gen(k)
+    q = curve.g2.generator
+    return [(p, q), (curve.g1.neg(p), q)]
+
+
+def test_identity_pairs_are_skipped_and_counted(curve, registry):
+    batch = PairingBatch(curve, b"seed-identity")
+    batch.add_triples(
+        _cancelling_pairs(curve)
+        + [(None, curve.g2.generator), (curve.g1.generator, None)]
+    )
+    assert registry.counter_value("engine.batch.identity_skipped") == 2
+    # Identity pairs never entered a group, so nothing references them.
+    assert all(
+        point is not None for group in batch.groups.values() for point, _ in group
+    )
+    assert batch.check()
+
+
+def test_identity_pairs_do_not_change_verdict(curve, registry):
+    plain = PairingBatch(curve, b"seed-same")
+    plain.add_triples(_cancelling_pairs(curve))
+    padded = PairingBatch(curve, b"seed-same")
+    padded.add_triples(
+        _cancelling_pairs(curve) + [(None, curve.g2.generator), (None, None)]
+    )
+    assert plain.check() is padded.check() is True
+
+    bad = PairingBatch(curve, b"seed-bad")
+    bad.add_triples(
+        [(curve.g1.mul_gen(3), curve.g2.generator), (None, curve.g2.generator)]
+    )
+    assert not bad.check()
+
+
+def test_cancelled_coefficients_skip_miller(curve, registry):
+    # Two equations whose merged G1 combination is the identity: the
+    # merged point is None and must be skipped, not passed to pairing.
+    batch = PairingBatch(curve, b"seed-cancel")
+    p = curve.g1.mul_gen(9)
+    q = curve.g2.generator
+    batch.add_triples([(p, q), (curve.g1.neg(p), q)])
+    before = registry.counter_value("engine.batch.identity_skipped")
+    assert batch.check()
+    assert registry.counter_value("engine.batch.identity_skipped") == before + 1
+
+
+def test_all_identity_batch_passes(curve, registry):
+    batch = PairingBatch(curve, b"seed-empty")
+    batch.add_triples([(None, curve.g2.generator), (curve.g1.generator, None)])
+    assert batch.check()
+    assert registry.counter_value("engine.batch.identity_skipped") == 2

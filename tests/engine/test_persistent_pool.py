@@ -1,0 +1,137 @@
+"""Persistent-pool lifecycle: one fork, many calls, clean teardown.
+
+PR 6's executor forked a fresh pool per ``map_tasks`` call, so every
+batch paid fork latency and cold worker caches.  The persistent pool
+forks once — ideally right after the precompute cache is warmed — and
+serves every subsequent call from the same workers.  These tests pin
+the observable contract: stable worker pids across calls, chunked
+dispatch (one future per chunk, not per task), parent-side pickle
+memoization of the shared context, explicit shutdown/rebuild, and the
+warm-then-fork engine hook.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import ParallelExecutor, ProofEngine
+from repro.obs import default_registry
+
+
+def _pid_task(shared, payload):
+    return (payload, os.getpid())
+
+
+def _shared_echo_task(shared, payload):
+    return (shared["tag"], payload, os.getpid())
+
+
+@pytest.fixture
+def registry():
+    reg = default_registry()
+    reg.reset()
+    yield reg
+    reg.reset()
+
+
+@pytest.fixture
+def executor(registry):
+    executor = ParallelExecutor(workers=2)
+    yield executor
+    executor.shutdown()
+
+
+def _run_or_skip(executor, payloads):
+    results = executor.map_tasks(_pid_task, payloads)
+    if {pid for _, pid in results} == {os.getpid()}:
+        pytest.skip("pool fell back to serial execution on this platform")
+    return results
+
+
+def test_pool_workers_persist_across_calls(executor, registry):
+    first = _run_or_skip(executor, list(range(8)))
+    second = _run_or_skip(executor, list(range(8, 16)))
+    assert [p for p, _ in first] == list(range(8))
+    assert [p for p, _ in second] == list(range(8, 16))
+    # Both calls were served from one pool of `workers` processes (any
+    # single call may land on a subset of them): the union of observed
+    # pids never exceeds the pool size, and the pool forked exactly once.
+    pids = {pid for _, pid in first} | {pid for _, pid in second}
+    assert len(pids) <= executor.workers
+    assert registry.counter_value("engine.pool.starts") == 1
+
+
+def test_dispatch_is_chunked_not_per_task(executor, registry):
+    _run_or_skip(executor, list(range(10)))
+    # 10 payloads over 2 workers -> 2 chunk submissions, 10 task timings.
+    assert registry.counter_value("engine.pool.chunks") == 2
+    assert registry.histogram("engine.pool.task_ms").count == 10
+    per_worker = registry.counters_matching("engine.pool.tasks")
+    assert sum(per_worker.values()) == 10
+
+
+def test_ensure_started_forks_eagerly(executor, registry):
+    if not executor.ensure_started():
+        pytest.skip("process pool unavailable on this platform")
+    assert registry.counter_value("engine.pool.starts") == 1
+    # The later call reuses the pre-forked pool: no second start.
+    _run_or_skip(executor, list(range(4)))
+    assert registry.counter_value("engine.pool.starts") == 1
+
+
+def test_shared_context_pickled_once_per_object(executor):
+    shared = {"tag": "ctx", "payload": list(range(32))}
+    results = executor.map_tasks(_shared_echo_task, list(range(6)), shared=shared)
+    if {pid for _, _, pid in results} == {os.getpid()}:
+        pytest.skip("pool fell back to serial execution on this platform")
+    token_first, blob_first = executor._shared_token(shared)
+    executor.map_tasks(_shared_echo_task, list(range(6)), shared=shared)
+    token_second, blob_second = executor._shared_token(shared)
+    # Same object -> same token and the very same cached pickle bytes.
+    assert token_first == token_second
+    assert blob_first is blob_second
+    # A different object gets a fresh token (workers must not alias it).
+    other = {"tag": "other"}
+    token_other, _ = executor._shared_token(other)
+    assert token_other != token_first
+    assert [(tag, value) for tag, value, _ in results] == [
+        ("ctx", n) for n in range(6)
+    ]
+
+
+def test_shutdown_then_rebuild(executor, registry):
+    _run_or_skip(executor, list(range(4)))
+    executor.shutdown()
+    assert executor._pool is None
+    # The next parallel call transparently builds a new pool.
+    results = _run_or_skip(executor, list(range(4)))
+    assert [p for p, _ in results] == list(range(4))
+    assert registry.counter_value("engine.pool.starts") == 2
+
+
+def test_results_identical_to_serial(executor):
+    payloads = list(range(16))
+    parallel = executor.map_tasks(_pid_task, payloads)
+    assert [p for p, _ in parallel] == payloads
+
+
+def test_engine_warm_up_and_close(registry):
+    engine = ProofEngine(ParallelExecutor(workers=2))
+    try:
+        engine.warm_up()
+        if registry.counter_value("engine.pool.starts") == 0:
+            pytest.skip("process pool unavailable on this platform")
+        assert engine.executor._pool is not None
+    finally:
+        engine.close()
+    assert engine.executor._pool is None
+
+
+def test_engine_context_manager_closes_pool(registry):
+    with ProofEngine(ParallelExecutor(workers=2)) as engine:
+        engine.warm_up()
+        started = registry.counter_value("engine.pool.starts")
+    if started:
+        assert engine.executor._pool is None
