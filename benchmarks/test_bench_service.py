@@ -1,0 +1,168 @@
+"""Socket tier under open-loop load: sustained QPS and tail latency.
+
+Two runs against a real TCP server fronting a 2-shard deployment:
+
+* **steady** — an offered rate well inside capacity.  The tier must
+  sustain most of it (sheds are budgeted by the ``service-shed-ratio``
+  SLO) and keep the measured tail bounded.
+* **overload** — an offered rate far past capacity with a small queue.
+  The server must *shed* (OVERLOAD answers, not crashes or unbounded
+  queues), and the requests it does accept must still finish within the
+  queue-bounded latency envelope.
+
+Both reports land in ``BENCH_service.json`` in the shape
+:func:`repro.service.schema.validate_bench_service` checks — the same
+checker CI runs on ``repro load --json`` output, so the benchmark
+artifact and the CLI cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from pathlib import Path
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.poc.scheme import PocScheme
+from repro.service import (
+    AsyncClient,
+    LoadConfig,
+    QueryFrontend,
+    ServiceConfig,
+    ServiceServer,
+    run_load,
+    validate_bench_service,
+)
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.zkedb.hash_backend import MerkleEdbBackend
+
+SERVICE_JSON_PATH = Path(__file__).parent / "BENCH_service.json"
+
+KEY_BITS = 16
+PRODUCTS = 24
+SHARDS = 2
+
+STEADY = LoadConfig(
+    rate=60.0,
+    duration_s=3.0,
+    warmup_s=0.5,
+    sweep_fraction=0.1,
+    skew=1.1,
+    seed="bench-service/steady",
+)
+# Far past a single worker's capacity, with a small queue: the point is
+# to measure the shedding path, not to finish the work.
+OVERLOAD = LoadConfig(
+    rate=1500.0,
+    duration_s=1.5,
+    warmup_s=0.25,
+    skew=1.1,
+    seed="bench-service/overload",
+    timeout_s=15.0,
+)
+OVERLOAD_QUEUE = ServiceConfig(queue_limit=16, high_water=8, concurrency=1)
+
+
+def _build_world():
+    backend = MerkleEdbBackend(q=4, key_bits=KEY_BITS)
+    scheme = PocScheme.ps_gen(backend, KEY_BITS)
+    chain = pharma_chain(DeterministicRng("bench-service/chain"))
+    deployment = Deployment.build(
+        chain, scheme, seed="bench-service", shards=SHARDS
+    )
+    products = product_batch(
+        DeterministicRng("bench-service/products"), PRODUCTS, KEY_BITS
+    )
+    deployment.distribute(products)
+    QueryFrontend(deployment)
+    return deployment, products
+
+
+class _Served:
+    """A ServiceServer on a daemon event-loop thread (bench-local harness)."""
+
+    def __init__(self, transport, config: ServiceConfig | None = None):
+        self.loop = asyncio.new_event_loop()
+        self.server = ServiceServer(transport, config or ServiceConfig())
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="bench-service", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.server.start(), self.loop)
+        self.host, self.port = future.result(30)
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self.loop.close()
+
+
+def _drive(served: _Served, products, config: LoadConfig):
+    async def _go():
+        async with AsyncClient(
+            "127.0.0.1", served.port, identity="bench-loadgen"
+        ) as client:
+            return await run_load(client, tuple(products), config)
+
+    return asyncio.run(_go())
+
+
+def test_service_open_loop_bench(report):
+    runs = []
+
+    deployment, products = _build_world()
+    served = _Served(deployment.network, ServiceConfig(queue_limit=128, high_water=64))
+    try:
+        steady = _drive(served, products, STEADY)
+    finally:
+        served.stop()
+    runs.append({"label": "steady", "report": steady.to_dict()})
+
+    # A fresh, identically built world for the overload run so the
+    # steady measurements don't warm or skew it.
+    deployment, products = _build_world()
+    served = _Served(deployment.network, OVERLOAD_QUEUE)
+    try:
+        overload = _drive(served, products, OVERLOAD)
+        shed_counter = deployment.network.stats.service
+    finally:
+        served.stop()
+    runs.append({"label": "overload", "report": overload.to_dict()})
+
+    # -- invariants the artifact must witness ------------------------------
+    assert steady.offered > 0 and steady.completed > 0
+    # Inside capacity the tier sustains the offered rate (generous floor
+    # for slow CI machines) without leaning on the shed path.
+    assert steady.achieved_qps >= 0.5 * STEADY.rate
+    assert steady.shed <= 0.05 * steady.offered
+
+    # Past capacity the server protects itself by shedding...
+    assert overload.shed > 0
+    assert shed_counter["shed"] >= overload.shed
+    # ...the bounded queue held...
+    assert shed_counter["queue_peak"] <= OVERLOAD_QUEUE.high_water
+    # ...and what it accepted it finished: accepted-request latency is
+    # bounded by the queue depth, not the offered backlog.
+    assert overload.completed > 0
+    assert overload.latency.quantile(0.99) <= OVERLOAD.timeout_s * 1000.0
+
+    payload = {"runs": runs}
+    validate_bench_service(payload)
+    SERVICE_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report.add(
+        "service tier, open-loop socket load "
+        f"({PRODUCTS} products, {SHARDS} shards)",
+        "  run       rate    qps    shed    p50     p95     p99",
+    )
+    for row in runs:
+        body = row["report"]
+        lat = body["latency_ms"]
+        report.add(
+            f"  {row['label']:<9} {body['workload']['rate']:>6.0f} "
+            f"{body['achieved_qps']:>6.1f} {body['shed']:>6d} "
+            f"{lat['p50']:>7.2f} {lat['p95']:>7.2f} {lat['p99']:>7.2f}"
+        )

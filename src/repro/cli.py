@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight self-contained entry points:
+Self-contained entry points:
 
 * ``demo``       — build a chain, distribute products, run one query;
 * ``evaluate``   — regenerate Table II / Figure 4 / Figure 5 rows;
@@ -15,7 +15,13 @@ Eight self-contained entry points:
 * ``store``      — ``inspect`` / ``verify`` / ``compact`` a durable
   proxy state store (created with ``evaluate --state-dir DIR``);
 * ``shard``      — ``status`` a sharded proxy tier's state directory
-  (created with ``evaluate --shards N --replicas R --state-dir DIR``).
+  (created with ``evaluate --shards N --replicas R --state-dir DIR``);
+* ``serve``      — build a deployment, distribute a product batch, and
+  serve its query frontend over a real TCP socket (the asyncio service
+  tier with bounded queues and OVERLOAD shedding);
+* ``load``       — drive a running ``serve`` with an open-loop load
+  (Poisson arrivals, Zipf skew, query mix) and report sustained QPS and
+  p50/p95/p99; ``--json`` output is schema-validated.
 
 ``--verbose`` (repeatable) turns on the ``repro`` logger hierarchy, and
 ``evaluate --metrics-out FILE`` dumps the full metrics registry + span
@@ -759,6 +765,123 @@ def _cmd_store_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a freshly built deployment's query frontend over TCP."""
+    import asyncio
+    import json
+
+    from .service import QueryFrontend, ServiceConfig, ServiceServer
+
+    config = DeSwordConfig(
+        backend_kind=args.backend, q=4, key_bits=32, seed=args.seed,
+    )
+    rng = DeterministicRng(args.seed)
+    deployment = Deployment.build(
+        pharma_chain(rng.fork("chain")),
+        config.build_scheme(),
+        seed=args.seed,
+        shards=args.shards,
+        state_dir=args.state_dir,
+    )
+    products = product_batch(rng.fork("products"), args.products, 32)
+    record, _ = deployment.distribute(products)
+    frontend = QueryFrontend(deployment)
+    service_config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        high_water=args.high_water if args.high_water > 0 else None,
+        concurrency=args.concurrency,
+    )
+
+    async def _serve() -> None:
+        server = ServiceServer(deployment.network, service_config)
+        host, port = await server.start()
+        # The flushed READY line is the machine-readable readiness signal
+        # the CI smoke (and any wrapper script) waits for.
+        print(
+            f"READY {host}:{port} products={len(frontend.catalog())} "
+            f"participants={len(record.involved_participants)} "
+            f"shards={args.shards}",
+            flush=True,
+        )
+        try:
+            if args.duration:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(_metrics_payload(), handle, indent=2)
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    """Open-loop load against a running ``repro serve``."""
+    import asyncio
+    import json
+
+    from .desword.messages import CatalogRequest
+    from .service import AsyncClient, LoadConfig, run_load, validate_load_report
+
+    load_config = LoadConfig(
+        rate=args.rate,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        sweep_fraction=args.sweep_fraction,
+        skew=args.skew,
+        seed=args.seed,
+        timeout_s=args.timeout,
+    )
+
+    async def _drive():
+        # No retry policy on purpose: the open loop records raw outcomes.
+        client = AsyncClient(args.host, args.port, identity="loadgen")
+        try:
+            catalog = await client.request("api", CatalogRequest())
+            products = list(catalog.product_ids)
+            if not products:
+                raise RuntimeError("the server's catalog is empty")
+            return await run_load(client, products, load_config)
+        finally:
+            await client.close()
+
+    try:
+        report = asyncio.run(_drive())
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}")
+        return 1
+    payload = validate_load_report(report.to_dict())
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        latency = payload["latency_ms"]
+        print(
+            f"offered {payload['offered']} requests at {args.rate:g}/s "
+            f"over {args.duration:g}s (+{args.warmup:g}s warmup)"
+        )
+        print(
+            f"completed {payload['completed']} ({payload['achieved_qps']:g} qps), "
+            f"shed {payload['shed']}, errors {payload['errors']}, "
+            f"timeouts {payload['timeouts']}"
+        )
+        print(
+            f"latency: p50={latency['p50']:g}ms p95={latency['p95']:g}ms "
+            f"p99={latency['p99']:g}ms max={latency['max']:g}ms"
+        )
+    return 0 if report.completed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DE-Sword reproduction toolkit"
@@ -927,6 +1050,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full report as JSON"
     )
     health.set_defaults(func=_cmd_health)
+
+    serve = sub.add_parser(
+        "serve", help="serve a deployment's query frontend over TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: let the OS pick; the READY line says which)",
+    )
+    serve.add_argument(
+        "--backend", choices=["zk", "merkle"], default="merkle",
+        help="EDB proof backend (merkle is the fast serving default)",
+    )
+    serve.add_argument("--products", type=int, default=24)
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="serve a sharded proxy tier (1 = monolith)",
+    )
+    serve.add_argument("--seed", default="cli-serve")
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="hard per-connection inbound queue bound",
+    )
+    serve.add_argument(
+        "--high-water", type=int, default=32,
+        help="shed with OVERLOAD past this queue depth (0 disables shedding)",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=1,
+        help="simultaneous handler executions (protocol state is serial)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=0.0,
+        help="serve for this many seconds then drain and exit (0 = forever)",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="journal the served deployment's state to a durable store",
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the service metrics registry as JSON on shutdown",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    load = sub.add_parser(
+        "load", help="open-loop load against a running `repro serve`"
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, required=True)
+    load.add_argument(
+        "--rate", type=float, default=50.0, help="offered arrivals per second"
+    )
+    load.add_argument(
+        "--duration", type=float, default=5.0, help="measured window, seconds"
+    )
+    load.add_argument(
+        "--warmup", type=float, default=1.0, help="unrecorded warmup prefix, seconds"
+    )
+    load.add_argument(
+        "--sweep-fraction", type=float, default=0.0,
+        help="fraction of queries using the sweep (non-interactive) mode",
+    )
+    load.add_argument(
+        "--skew", type=float, default=0.0,
+        help="Zipf popularity exponent over the catalog (0 = uniform)",
+    )
+    load.add_argument("--seed", default="cli-load")
+    load.add_argument(
+        "--timeout", type=float, default=10.0, help="per-request timeout, seconds"
+    )
+    load.add_argument(
+        "--json", action="store_true",
+        help="emit the schema-validated report as JSON",
+    )
+    load.set_defaults(func=_cmd_load)
 
     incentives = sub.add_parser("incentives", help="double-edged analysis")
     incentives.add_argument("--beta", type=float, default=0.02)

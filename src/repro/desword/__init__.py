@@ -64,9 +64,13 @@ from .incentives import (
 from .messages import (
     BAD_QUERY,
     GOOD_QUERY,
+    CatalogRequest,
+    CatalogResponse,
     Message,
     NextParticipantRequest,
     NextParticipantResponse,
+    PathQuery,
+    PathQueryResult,
     PocListSubmission,
     PocTransfer,
     ProofResponse,
@@ -74,7 +78,7 @@ from .messages import (
     QueryRequest,
     RevealRequest,
 )
-from .network import LatencyModel, NetworkStats, SimNetwork
+from .network import LatencyModel, NetworkStats, SimNetwork, Transport
 from .nodes import ParticipantNode
 from .poclist import PocList
 from .proxy import ProbeOutcome, QueryProxy, QueryResult
@@ -132,6 +136,11 @@ __all__ = [
     "balanced_negative_score",
     "monte_carlo_outcomes",
     "Message",
+    "PathQuery",
+    "PathQueryResult",
+    "CatalogRequest",
+    "CatalogResponse",
+    "Transport",
     "PsBroadcast",
     "PocTransfer",
     "PocListSubmission",

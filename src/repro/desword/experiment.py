@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..crypto.rng import DeterministicRng
-from ..faults import BreakerPolicy, FaultyNetwork, RetryPolicy
+from ..faults import BreakerPolicy, RetryPolicy
 from ..poc.scheme import PocScheme
 from ..supplychain.distribution import (
     DistributionTask,
@@ -25,7 +25,7 @@ from .distribution_phase import (
     DistributionResume,
     run_distribution_phase,
 )
-from .network import SimNetwork
+from .network import SimNetwork, Transport
 from .nodes import ParticipantNode
 from .proxy import QueryProxy, QueryResult
 from .reputation import ReputationPolicy
@@ -39,7 +39,7 @@ class Deployment:
 
     chain: GeneratedChain
     scheme: PocScheme
-    network: SimNetwork | FaultyNetwork
+    network: Transport
     nodes: dict[str, ParticipantNode]
     proxy: QueryProxy
     rng: DeterministicRng
@@ -56,11 +56,12 @@ class Deployment:
         policy: ReputationPolicy | None = None,
         seed: str = "deployment",
         state_dir: str | None = None,
-        network: SimNetwork | FaultyNetwork | None = None,
+        network: Transport | None = None,
         retry: RetryPolicy | None = None,
         breaker: BreakerPolicy | None = None,
         shards: int = 1,
         replicas: int = 0,
+        transport: Transport | None = None,
     ) -> "Deployment":
         """Assemble a world; ``state_dir`` attaches a durable state store.
 
@@ -73,6 +74,13 @@ class Deployment:
         resilience policies: ``retry`` governs every node→proxy and
         proxy→node exchange, ``breaker`` arms per-participant quarantine.
 
+        ``transport`` is the backend-neutral spelling of the same knob:
+        anything satisfying the :class:`~repro.desword.network.Transport`
+        protocol — the sim, the fault wrapper, or the socket-backed
+        transport from :mod:`repro.service` — slots in without touching
+        any call site.  Passing both ``network`` and ``transport`` is an
+        error (they name the same parameter).
+
         ``shards > 1`` (or ``replicas > 0``) replaces the monolithic
         proxy with the sharded tier: a
         :class:`~repro.sharding.router.ProxyRouter` fronting N
@@ -81,7 +89,12 @@ class Deployment:
         presents the same query surface, so everything downstream
         (``distribute``/``query``/``sweep``) is shard-transparent.
         """
+        if network is not None and transport is not None:
+            raise ValueError(
+                "pass either network= or transport= (aliases), not both"
+            )
         rng = DeterministicRng(seed)
+        network = transport if transport is not None else network
         network = network if network is not None else SimNetwork()
         oracle = oracle or IndependentQualityModel(beta=0.05, seed=seed)
         behaviors = behaviors or {}

@@ -22,9 +22,18 @@ __all__ = [
     "RevealRequest",
     "NextParticipantRequest",
     "NextParticipantResponse",
+    "PathQuery",
+    "PathQueryResult",
+    "CatalogRequest",
+    "CatalogResponse",
     "GOOD_QUERY",
     "BAD_QUERY",
+    "INTERACTIVE_MODE",
+    "SWEEP_MODE",
 ]
+
+INTERACTIVE_MODE = "interactive"
+SWEEP_MODE = "sweep"
 
 GOOD_QUERY = "good"
 BAD_QUERY = "bad"
@@ -169,3 +178,58 @@ class NextParticipantResponse(Message):
 
     def payload_bytes(self) -> int:
         return len(self.next_participant.encode()) if self.next_participant else 1
+
+
+@dataclass(frozen=True)
+class PathQuery(Message):
+    """Front-door request: run one product path query end to end.
+
+    This is the message a *user* (or the load generator) sends to the
+    proxy tier's public API endpoint; the proxy then drives the paper's
+    interactive or sweep protocol internally and answers with a
+    :class:`PathQueryResult`.  ``quality`` overrides the oracle verdict
+    when set (tests); ``None`` lets the tier consult its own oracle.
+    """
+
+    product_id: int
+    mode: str = INTERACTIVE_MODE  # INTERACTIVE_MODE or SWEEP_MODE
+    quality: str | None = None
+
+    def payload_bytes(self) -> int:
+        quality = len(self.quality.encode()) if self.quality else 1
+        return 16 + len(self.mode.encode()) + quality
+
+
+@dataclass(frozen=True)
+class PathQueryResult(Message):
+    """The front door's answer: the query outcome's canonical encoding.
+
+    ``result_bytes`` is :meth:`~repro.desword.proxy.QueryResult.canonical_bytes`
+    verbatim — the transport-independent identity the sharded tier's
+    equivalence tests compare, so a socket client can byte-compare
+    answers against any other deployment of the same world.
+    """
+
+    product_id: int
+    result_bytes: bytes
+
+    def payload_bytes(self) -> int:
+        return 16 + len(self.result_bytes)
+
+
+@dataclass(frozen=True)
+class CatalogRequest(Message):
+    """Ask the front door which product ids it can answer queries for."""
+
+    def payload_bytes(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class CatalogResponse(Message):
+    """The distributed product ids (what a load generator samples from)."""
+
+    product_ids: tuple[int, ...]
+
+    def payload_bytes(self) -> int:
+        return 4 + 16 * len(self.product_ids)

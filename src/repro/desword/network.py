@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Protocol
+from typing import Callable, Iterator, Protocol, runtime_checkable
 
 from ..obs import TraceContext, default_registry, trace
 from .errors import ProtocolError, UnknownParticipantError
@@ -23,6 +23,7 @@ __all__ = [
     "LatencyModel",
     "NetworkStats",
     "SimNetwork",
+    "Transport",
     "stamp_trace",
     "wire_span",
 ]
@@ -75,6 +76,39 @@ class Endpoint(Protocol):
     def handle_message(self, sender: str, message: Message) -> Message | None: ...
 
 
+@runtime_checkable
+class Transport(Protocol):
+    """The shared surface every message backend implements.
+
+    :class:`SimNetwork`, :class:`~repro.faults.network.FaultyNetwork`,
+    and the socket-backed
+    :class:`~repro.service.client.SocketTransport` all satisfy this
+    protocol, so ``Deployment.build(transport=...)`` selects the backend
+    without any call-site caring which fabric carries the bytes.
+    Registration manages the identity -> :class:`Endpoint` table;
+    ``send`` is fire-and-forget, ``request`` a round trip returning the
+    response (or ``None``); ``stats`` accounts traffic either way.
+    """
+
+    stats: "NetworkStats"
+
+    def register(self, identity: str, endpoint: Endpoint) -> None: ...
+
+    def replace(self, identity: str, endpoint: Endpoint) -> Endpoint: ...
+
+    def unregister(self, identity: str) -> None: ...
+
+    def knows(self, identity: str) -> bool: ...
+
+    def send(self, sender: str, recipient: str, message: Message) -> None: ...
+
+    def request(
+        self, sender: str, recipient: str, message: Message
+    ) -> Message | None: ...
+
+    def reset_stats(self) -> "NetworkStats": ...
+
+
 @dataclass(frozen=True)
 class LatencyModel:
     """Latency = base + bytes / bandwidth, in simulated milliseconds."""
@@ -106,6 +140,12 @@ class NetworkStats:
     simulated_ms: float = 0.0
     per_kind: dict[str, int] = field(default_factory=dict)
     bytes_per_kind: dict[str, int] = field(default_factory=dict)
+    # Socket-tier vitals, filled in place by a running
+    # :class:`~repro.service.server.ServiceServer` (active connections,
+    # queue depth/peak, sheds).  Empty — and absent from snapshots — for
+    # purely simulated runs, so byte-level comparisons of sim snapshots
+    # are unaffected.
+    service: dict = field(default_factory=dict)
 
     def record(self, message: Message, latency_ms: float) -> None:
         size = message.size_bytes()
@@ -118,13 +158,16 @@ class NetworkStats:
         )
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "messages": self.messages,
             "bytes_sent": self.bytes_sent,
             "simulated_ms": round(self.simulated_ms, 3),
             "per_kind": dict(self.per_kind),
             "bytes_per_kind": dict(self.bytes_per_kind),
         }
+        if self.service:
+            out["service"] = dict(self.service)
+        return out
 
 
 class SimNetwork:

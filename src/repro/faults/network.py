@@ -199,8 +199,16 @@ class FaultyNetwork:
         return identity in self._parked
 
     def fault_summary(self) -> dict:
-        """What the plan actually injected so far (for CLI/JSON output)."""
-        return {"tick": self.tick, "injected": dict(self.injected)}
+        """What the plan actually injected so far (for CLI/JSON output).
+
+        When a socket tier is serving this network, its vitals (active
+        connections, queue depth, sheds) ride along under ``service`` so
+        ``repro health`` folds chaos and overload into one view.
+        """
+        summary = {"tick": self.tick, "injected": dict(self.injected)}
+        if self.stats.service:
+            summary["service"] = dict(self.stats.service)
+        return summary
 
     # -- the fault plan ----------------------------------------------------------
 

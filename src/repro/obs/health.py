@@ -124,6 +124,10 @@ def default_slos() -> list[Slo]:
             threshold=0.0),
         Slo("trace-drops", "bound", "trace.dropped_roots",
             threshold=0.0),
+        # Socket tier: shedding is the designed overload reaction, but a
+        # healthy deployment sheds almost nothing at its provisioned rate.
+        Slo("service-shed-ratio", "ratio", "service.shed",
+            denominator="service.requests", threshold=0.01, op="<="),
     ]
 
 
@@ -194,6 +198,14 @@ class HealthReport:
                 f"  replication: max_lag={replication['max_lag']} frames "
                 f"across {len(replication['shards'])} shard(s), "
                 f"{view['availability']['failovers']:g} failover(s)"
+            )
+        service = view.get("service") or {}
+        if service.get("requests"):
+            lines.append(
+                f"  service: {service['requests']:g} request(s), "
+                f"shed_ratio={service['shed_ratio']:.2%}, "
+                f"queue_peak={service['queue_peak']:g}, "
+                f"{service['frame_errors']:g} frame error(s)"
             )
         return "\n".join(lines)
 
@@ -331,8 +343,35 @@ class HealthMonitor:
             "tracing": {
                 "dropped_roots": self._sum_counters("trace.dropped_roots"),
             },
+            "service": self._service_view(),
         }
         return view
+
+    def _service_view(self) -> dict:
+        """Socket-tier vitals folded from the ``service.*`` metrics."""
+        requests = self._sum_counters("service.requests")
+        shed = self._sum_counters("service.shed")
+        active = self._max_gauge("service.connections.active")
+        queue_peak = self._max_gauge("service.queue.peak")
+        latency = self._merged_histogram("service.latency_ms")
+        return {
+            "requests": requests,
+            "shed": shed,
+            "shed_ratio": round(shed / requests, 6) if requests else 0.0,
+            "connections": self._sum_counters("service.connections"),
+            "active_connections": 0 if active is None else active,
+            "queue_peak": 0 if queue_peak is None else queue_peak,
+            "frame_errors": self._sum_counters("service.frame_errors"),
+            "dedup_hits": self._sum_counters("service.dedup_hits"),
+            "latency": None
+            if latency is None
+            else {
+                "count": latency.count,
+                "p50_ms": round(latency.p50, 3),
+                "p95_ms": round(latency.p95, 3),
+                "max_ms": round(latency.max_value, 3),
+            },
+        }
 
     # -- SLO evaluation --------------------------------------------------------
 
@@ -364,7 +403,12 @@ class HealthMonitor:
     def _evaluate_ratio(self, slo: Slo) -> SloResult:
         numerator = self._sum_counters(slo.metric)
         denominator = self._sum_counters(slo.denominator or "")
-        allowed = abs(1.0 - slo.threshold)
+        if slo.op == ">=":
+            allowed = abs(1.0 - slo.threshold)
+        else:
+            # "at most X" ratios (shed ratio): the threshold IS the
+            # budget, so budget_remaining hits 0 exactly at the breach.
+            allowed = slo.threshold if slo.threshold > 0 else 1.0
         if denominator == 0:
             return SloResult(slo, True, None, allowed, 0.0, "no samples")
         value = numerator / denominator

@@ -1,0 +1,94 @@
+"""Real-socket service layer for the DE-Sword proxy tier.
+
+Everything below :mod:`repro.sharding` — router, shards, WAL-shipped
+replicas, chaos retries, tracing — runs over in-process message passing.
+This package puts the same tier behind **actual TCP sockets** so
+"heavy traffic from millions of users" is a measured number instead of a
+slogan:
+
+* :mod:`repro.service.frames` — length-prefixed binary framing
+  (``u32 len | u32 crc32 | payload``, the WAL frame idiom) with an
+  incremental decoder that survives torn reads and rejects corruption;
+* :mod:`repro.service.wire` — canonical byte codec for every
+  :class:`~repro.desword.messages.Message` kind plus the
+  request/response envelope carrying idempotency ids and
+  :class:`~repro.obs.TraceContext` unchanged, so retries, at-most-once
+  dedup, and trace stitching work identically over the wire;
+* :mod:`repro.service.server` — :class:`ServiceServer`, an asyncio TCP
+  front-end bridging socket frames to the existing
+  ``Endpoint.handle_message`` protocol via a :class:`ServiceEndpoint`
+  adapter, with per-connection bounded inbound queues, explicit
+  OVERLOAD shedding past a high-water mark, concurrency-limited
+  dispatch, graceful drain, and ``service.*`` metrics;
+* :mod:`repro.service.client` — :class:`AsyncClient` (asyncio, reusing
+  :class:`~repro.faults.retry.RetryPolicy` backoff) and
+  :class:`SocketTransport`, a synchronous client-side implementation of
+  the :class:`~repro.desword.network.Transport` protocol;
+* :mod:`repro.service.frontend` — the public query API endpoint
+  answering :class:`~repro.desword.messages.PathQuery` /
+  :class:`~repro.desword.messages.CatalogRequest`;
+* :mod:`repro.service.loadgen` — an open-loop load generator (Poisson
+  arrivals, query mix, Zipf key skew, warmup/measure windows) reporting
+  sustained QPS and p50/p95/p99 from the histogram infrastructure;
+* :mod:`repro.service.schema` — the shared report schema checker the
+  CLI's ``repro load --json`` and ``BENCH_service.json`` both validate
+  against, so the two can't drift.
+"""
+
+from .client import AsyncClient, ServiceError, ServiceOverload, SocketTransport
+from .frames import (
+    FRAME_HEADER_SIZE,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+from .frontend import QueryFrontend
+from .loadgen import LoadConfig, LoadReport, run_load, zipf_weights
+from .schema import SchemaError, validate_bench_service, validate_load_report
+from .server import ServiceConfig, ServiceEndpoint, ServiceServer
+from .wire import (
+    STATUS_ERROR,
+    STATUS_NONE,
+    STATUS_OK,
+    STATUS_OVERLOAD,
+    RequestEnvelope,
+    ResponseEnvelope,
+    WireError,
+    decode_envelope,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "AsyncClient",
+    "FrameDecoder",
+    "FrameError",
+    "FRAME_HEADER_SIZE",
+    "LoadConfig",
+    "LoadReport",
+    "MAX_FRAME_BYTES",
+    "QueryFrontend",
+    "RequestEnvelope",
+    "ResponseEnvelope",
+    "SchemaError",
+    "ServiceConfig",
+    "ServiceEndpoint",
+    "ServiceError",
+    "ServiceOverload",
+    "ServiceServer",
+    "SocketTransport",
+    "STATUS_ERROR",
+    "STATUS_NONE",
+    "STATUS_OK",
+    "STATUS_OVERLOAD",
+    "WireError",
+    "decode_envelope",
+    "decode_message",
+    "encode_frame",
+    "encode_message",
+    "run_load",
+    "validate_bench_service",
+    "validate_load_report",
+    "zipf_weights",
+]

@@ -1,0 +1,416 @@
+"""Clients for the socket tier: asyncio and synchronous-Transport flavours.
+
+:class:`AsyncClient` is the native consumer — one TCP connection,
+pipelined requests matched to responses by request id, and a retry loop
+driven by the *same* :class:`~repro.faults.retry.RetryPolicy` the
+in-process fault layer uses (exponential backoff with deterministic
+jitter, per-attempt timeout, per-request deadline).  Requests are
+stamped with idempotency ids whenever a policy is set, so the server's
+dedup cache turns retried deliveries into at-most-once execution.
+
+:class:`SocketTransport` is the bridge for existing synchronous code: it
+implements the :class:`~repro.desword.network.Transport` protocol over a
+plain blocking socket, so a :class:`~repro.faults.retry.ReliableChannel`
+or any protocol participant written against ``SimNetwork`` talks to a
+remote :class:`~repro.service.server.ServiceServer` without changing a
+line.  Identities registered *locally* on the transport are served
+in-process (a client process can host its own tag endpoints); everything
+else goes over the wire.
+
+Failure mapping keeps the in-process semantics: a timed-out attempt
+raises :class:`~repro.desword.errors.NetworkTimeout`; an OVERLOAD shed
+raises :class:`ServiceOverload`, which *subclasses* ``NetworkTimeout``
+so every retry layer already written treats "server shed me" exactly
+like "frame lost in flight" — back off and try again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import socket
+import threading
+import time
+
+from ..crypto.rng import DeterministicRng
+from ..desword.errors import (
+    NetworkTimeout,
+    ParticipantUnresponsiveError,
+    ProtocolError,
+    UnknownParticipantError,
+)
+from ..desword.messages import Message
+from ..desword.network import Endpoint, NetworkStats, stamp_trace, wire_span
+from ..faults.retry import RetryPolicy
+from ..obs import default_registry, get_logger, trace
+from .frames import FrameDecoder, FrameError, encode_frame
+from .wire import (
+    STATUS_ERROR,
+    STATUS_NONE,
+    STATUS_OK,
+    STATUS_OVERLOAD,
+    RequestEnvelope,
+    ResponseEnvelope,
+    WireError,
+    decode_envelope,
+)
+
+__all__ = ["AsyncClient", "ServiceError", "ServiceOverload", "SocketTransport"]
+
+_log = get_logger(__name__)
+
+_READ_CHUNK = 1 << 16
+
+
+class ServiceError(Exception):
+    """The server answered with an explicit error status."""
+
+
+class ServiceOverload(ServiceError, NetworkTimeout):
+    """The server shed this request past its high-water mark.
+
+    Subclassing :class:`~repro.desword.errors.NetworkTimeout` is the
+    point: every retry layer in the repo already backs off on timeouts,
+    and an overloaded server wants exactly that reaction.
+    """
+
+
+def _raise_for_status(envelope: ResponseEnvelope, recipient: str):
+    if envelope.status == STATUS_OK:
+        return envelope.message
+    if envelope.status == STATUS_NONE:
+        return None
+    if envelope.status == STATUS_OVERLOAD:
+        raise ServiceOverload(
+            f"{recipient!r} shed the request: {envelope.detail or 'overload'}"
+        )
+    assert envelope.status == STATUS_ERROR
+    raise ServiceError(envelope.detail or f"{recipient!r} failed the request")
+
+
+class AsyncClient:
+    """One pipelined asyncio connection to a :class:`ServiceServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        identity: str = "client",
+        policy: RetryPolicy | None = None,
+        rng: DeterministicRng | None = None,
+        timeout_s: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.identity = identity
+        self.policy = policy
+        self.rng = rng or DeterministicRng(f"async-client/{identity}")
+        self.timeout_s = timeout_s
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_request_id = 0
+        self._stamp_counter = 0
+
+    async def __aenter__(self) -> "AsyncClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def close(self) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+            self._reader_task = None
+        self._fail_pending(ConnectionError("client closed"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        reader = self._reader
+        decoder = FrameDecoder()
+        error: Exception = ConnectionError("server closed the connection")
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for payload in decoder.feed(data):
+                    envelope = decode_envelope(payload)
+                    if not isinstance(envelope, ResponseEnvelope):
+                        raise WireError("request envelope on the response leg")
+                    future = self._pending.pop(envelope.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(envelope)
+                    # else: the waiter timed out; a late answer is dropped.
+        except (FrameError, WireError, ConnectionError, OSError) as exc:
+            error = exc if isinstance(exc, ConnectionError) else ConnectionError(str(exc))
+        except asyncio.CancelledError:
+            error = ConnectionError("client closed")
+        finally:
+            self._fail_pending(error)
+
+    async def _roundtrip(
+        self, sender: str, recipient: str, message: Message, timeout_s: float
+    ) -> Message | None:
+        if self._writer is None:
+            await self.connect()
+        assert self._writer is not None
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        envelope = RequestEnvelope(request_id, sender, recipient, message)
+        self._writer.write(encode_frame(envelope.encode()))
+        await self._writer.drain()
+        try:
+            response = await asyncio.wait_for(future, timeout_s)
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise NetworkTimeout(
+                f"no response from {recipient!r} within {timeout_s * 1000:.0f}ms"
+            ) from None
+        return _raise_for_status(response, recipient)
+
+    async def request(
+        self, recipient: str, message: Message, *, sender: str | None = None
+    ) -> Message | None:
+        """Round trip with the configured retry policy (or a single shot)."""
+        sender = sender if sender is not None else self.identity
+        message = stamp_trace(message)
+        policy = self.policy
+        if policy is None:
+            return await self._roundtrip(sender, recipient, message, self.timeout_s)
+        if message.msg_id is None:
+            self._stamp_counter += 1
+            message = dataclasses.replace(
+                message, msg_id=f"{sender}>{recipient}#{self._stamp_counter}"
+            )
+        metrics = default_registry()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        for attempt in range(policy.max_attempts):
+            try:
+                return await self._roundtrip(
+                    sender, recipient, message, policy.timeout_ms / 1000.0
+                )
+            except NetworkTimeout as exc:  # ServiceOverload included
+                kind = "overload" if isinstance(exc, ServiceOverload) else "timeout"
+                metrics.counter("service.client.failures", kind=kind).inc()
+                backoff_ms = policy.backoff_ms(attempt, self.rng)
+                elapsed_ms = (loop.time() - started) * 1000.0
+                out_of_budget = (
+                    attempt + 1 >= policy.max_attempts
+                    or elapsed_ms + backoff_ms > policy.deadline_ms
+                )
+                if out_of_budget:
+                    raise ParticipantUnresponsiveError(
+                        f"{recipient!r} unresponsive over the socket: "
+                        f"{attempt + 1} attempts, {elapsed_ms:.0f}ms elapsed "
+                        f"(last: {exc})"
+                    ) from None
+                metrics.counter("service.client.retries", kind=kind).inc()
+                trace.event(
+                    "service.retry", kind=message.kind,
+                    peer=recipient, attempt=attempt + 1,
+                )
+                await asyncio.sleep(backoff_ms / 1000.0)
+        raise AssertionError("unreachable: retry loop always returns or raises")
+
+    async def send(
+        self, recipient: str, message: Message, *, sender: str | None = None
+    ) -> None:
+        """Fire-and-forget: a round trip whose answer is discarded."""
+        await self.request(recipient, message, sender=sender)
+
+
+class SocketTransport:
+    """A synchronous :class:`Transport` whose far side is a real socket.
+
+    Unknown recipients resolve on the remote server; identities
+    registered here are dispatched in-process with the same accounting,
+    so one participant graph can straddle the socket.  ``request`` is
+    serialized by an internal lock (one outstanding RPC per transport),
+    which matches the synchronous protocol layers exactly.
+    """
+
+    # Retried frames genuinely can be executed twice server-side (the
+    # answer, not the execution, is what got lost), so ReliableChannel
+    # must stamp idempotency ids for the server's dedup cache.
+    supports_idempotency = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout_s: float = 5.0,
+        timeout_s: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.timeout_s = timeout_s
+        self.stats = NetworkStats()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._sock: socket.socket | None = None
+        self._decoder: FrameDecoder | None = None
+        self._next_request_id = 0
+        self._lock = threading.Lock()
+
+    # -- the Transport registration surface (local identities) -----------------
+
+    def register(self, identity: str, endpoint: Endpoint) -> None:
+        if identity in self._endpoints:
+            raise ProtocolError(f"endpoint {identity!r} is already registered")
+        self._endpoints[identity] = endpoint
+
+    def replace(self, identity: str, endpoint: Endpoint) -> Endpoint:
+        if identity not in self._endpoints:
+            raise UnknownParticipantError(
+                f"cannot replace unknown endpoint {identity!r}"
+            )
+        old = self._endpoints[identity]
+        self._endpoints[identity] = endpoint
+        return old
+
+    def unregister(self, identity: str) -> None:
+        if identity not in self._endpoints:
+            raise UnknownParticipantError(
+                f"cannot unregister unknown endpoint {identity!r}"
+            )
+        del self._endpoints[identity]
+
+    def knows(self, identity: str) -> bool:
+        return identity in self._endpoints
+
+    def reset_stats(self) -> NetworkStats:
+        old, self.stats = self.stats, NetworkStats()
+        return old
+
+    # -- connection management -------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._decoder = None
+
+    def _connected(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+            self._sock.settimeout(self.timeout_s)
+            self._decoder = FrameDecoder()
+        return self._sock
+
+    # -- delivery --------------------------------------------------------------
+
+    def send(self, sender: str, recipient: str, message: Message) -> None:
+        with wire_span("net.send", message, recipient) as message:
+            if recipient in self._endpoints:
+                self._deliver_local(sender, recipient, message)
+            else:
+                self._rpc(sender, recipient, message)
+
+    def request(self, sender: str, recipient: str, message: Message) -> Message | None:
+        with wire_span("net.request", message, recipient) as message:
+            if recipient in self._endpoints:
+                response = self._deliver_local(sender, recipient, message)
+                if response is not None:
+                    self._account(response, 0.0)
+                return response
+            return self._rpc(sender, recipient, message)
+
+    def _account(self, message: Message, latency_ms: float) -> None:
+        self.stats.record(message, latency_ms)
+        metrics = default_registry()
+        metrics.counter("net.messages", kind=message.kind).inc()
+        metrics.counter("net.bytes", kind=message.kind).inc(message.size_bytes())
+
+    def _deliver_local(
+        self, sender: str, recipient: str, message: Message
+    ) -> Message | None:
+        self._account(message, 0.0)
+        ctx = message.trace_ctx
+        if ctx is None:
+            return self._endpoints[recipient].handle_message(sender, message)
+        with trace.span("net.handle", ctx=ctx, kind=message.kind, node=recipient):
+            return self._endpoints[recipient].handle_message(sender, message)
+
+    def _rpc(self, sender: str, recipient: str, message: Message) -> Message | None:
+        with self._lock:
+            started = time.monotonic()
+            try:
+                sock = self._connected()
+                self._next_request_id += 1
+                request_id = self._next_request_id
+                envelope = RequestEnvelope(request_id, sender, recipient, message)
+                sock.sendall(encode_frame(envelope.encode()))
+                response = self._read_response(request_id)
+            except socket.timeout:
+                # The decoder may hold half a late answer: only a fresh
+                # connection has a trustworthy stream offset again.
+                self._teardown()
+                raise NetworkTimeout(
+                    f"no response from {recipient!r} within "
+                    f"{self.timeout_s * 1000:.0f}ms"
+                ) from None
+            except (ConnectionError, OSError, FrameError, WireError) as exc:
+                self._teardown()
+                raise NetworkTimeout(
+                    f"socket to {recipient!r} failed: {exc}"
+                ) from None
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+        self._account(message, elapsed_ms)
+        result = _raise_for_status(response, recipient)
+        if result is not None:
+            self._account(result, 0.0)
+        return result
+
+    def _read_response(self, request_id: int) -> ResponseEnvelope:
+        assert self._sock is not None and self._decoder is not None
+        while True:
+            data = self._sock.recv(_READ_CHUNK)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            for payload in self._decoder.feed(data):
+                envelope = decode_envelope(payload)
+                if not isinstance(envelope, ResponseEnvelope):
+                    raise WireError("request envelope on the response leg")
+                if envelope.request_id == request_id:
+                    return envelope
+                # A stale answer to a request we already timed out on.
+                _log.debug("dropping stale response #%d", envelope.request_id)

@@ -1,0 +1,100 @@
+"""Length-prefixed binary framing for the socket tier.
+
+One frame is ``u32 payload_length | u32 crc32(payload) | payload`` — the
+exact idiom of the durable store's WAL
+(:mod:`repro.store.wal`), reused on the wire so both layers share one
+corruption model: a checksum mismatch means the bytes are not what the
+peer wrote, and the only safe reaction is to drop the connection (the
+WAL's analogue of dropping the torn tail).
+
+:class:`FrameDecoder` is incremental: feed it whatever ``recv`` returned
+— single bytes, half a header, three frames at once — and it yields
+complete payloads as they close.  TCP guarantees ordering, not framing,
+so torn reads at *every* byte offset are the normal case, not an error.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+__all__ = [
+    "FRAME_HEADER_SIZE",
+    "MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "FrameError",
+    "encode_frame",
+]
+
+_FRAME_STRUCT = struct.Struct(">II")
+
+FRAME_HEADER_SIZE = _FRAME_STRUCT.size
+
+# A frame larger than this is garbage (a desynchronized peer or line
+# corruption read as a length), not a real request: the biggest real
+# payloads are POC lists, well under a megabyte.  Mirrors the WAL's
+# MAX_FRAME_BYTES reasoning at a wire-appropriate scale.
+MAX_FRAME_BYTES = 1 << 24
+
+
+class FrameError(Exception):
+    """The byte stream is not a valid frame sequence (length or CRC)."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One wire frame: header (length + CRC32 of the payload) + payload."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return _FRAME_STRUCT.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an ordered byte stream.
+
+    ``feed(data)`` returns every payload completed by ``data``; partial
+    frames are buffered until the missing bytes arrive.  A length above
+    :data:`MAX_FRAME_BYTES` or a CRC mismatch raises :class:`FrameError`
+    — after that the stream offset can no longer be trusted and the
+    decoder refuses further input; the owner must reset the connection.
+    """
+
+    __slots__ = ("_buffer", "_max_bytes", "_poisoned")
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES):
+        self._buffer = bytearray()
+        self._max_bytes = max_bytes
+        self._poisoned = False
+
+    @property
+    def buffered(self) -> int:
+        """Bytes waiting for the rest of their frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        if self._poisoned:
+            raise FrameError("decoder is poisoned by an earlier framing error")
+        self._buffer.extend(data)
+        payloads: list[bytes] = []
+        while len(self._buffer) >= FRAME_HEADER_SIZE:
+            length, crc = _FRAME_STRUCT.unpack_from(self._buffer)
+            if length > self._max_bytes:
+                self._poisoned = True
+                raise FrameError(
+                    f"frame length {length} exceeds the {self._max_bytes}-byte cap"
+                )
+            end = FRAME_HEADER_SIZE + length
+            if len(self._buffer) < end:
+                break  # torn read: wait for the rest of the frame
+            payload = bytes(self._buffer[FRAME_HEADER_SIZE:end])
+            if zlib.crc32(payload) != crc:
+                self._poisoned = True
+                raise FrameError(
+                    f"CRC mismatch on a {length}-byte frame: "
+                    "stream is corrupt or desynchronized"
+                )
+            del self._buffer[:end]
+            payloads.append(payload)
+        return payloads

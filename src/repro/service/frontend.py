@@ -1,0 +1,80 @@
+"""The public query API endpoint served by the socket tier.
+
+:class:`QueryFrontend` is a plain
+:class:`~repro.desword.network.Endpoint`: it answers
+:class:`~repro.desword.messages.PathQuery` by driving the deployment's
+proxy tier (monolith or sharded router, transparently) through the
+paper's interactive or sweep protocol, and replies with the outcome's
+:meth:`~repro.desword.proxy.QueryResult.canonical_bytes` — the
+transport-independent identity every equivalence test compares.
+
+Because it is just an endpoint, the same object serves both fabrics:
+registered on a :class:`~repro.desword.network.SimNetwork` it answers
+in-process requests; behind a
+:class:`~repro.service.server.ServiceServer` it answers socket frames.
+That symmetry is what makes the loopback equivalence test (`sim answer
+== socket answer`, byte for byte) meaningful.
+"""
+
+from __future__ import annotations
+
+from ..desword.messages import (
+    CatalogRequest,
+    CatalogResponse,
+    INTERACTIVE_MODE,
+    Message,
+    PathQuery,
+    PathQueryResult,
+    SWEEP_MODE,
+)
+from ..obs import default_registry, get_logger, trace
+
+__all__ = ["QueryFrontend", "FRONTEND_IDENTITY"]
+
+_log = get_logger(__name__)
+
+# The well-known identity clients address their front-door requests to.
+FRONTEND_IDENTITY = "api"
+
+
+class QueryFrontend:
+    """Answer front-door queries against one deployment's proxy tier."""
+
+    def __init__(self, deployment, identity: str = FRONTEND_IDENTITY):
+        self.deployment = deployment
+        self.identity = identity
+        deployment.network.register(identity, self)
+
+    def catalog(self) -> tuple[int, ...]:
+        """Every product id a distribution task has flowed through."""
+        products: list[int] = []
+        for record in self.deployment.task_records.values():
+            products.extend(record.task.product_ids)
+        if not products and hasattr(self.deployment.proxy, "product_to_shard"):
+            # A router restored from its journal knows its products even
+            # when this process never ran the distribution phase.
+            products = list(self.deployment.proxy.product_to_shard)
+        return tuple(sorted(set(products)))
+
+    def handle_message(self, sender: str, message: Message) -> Message | None:
+        if isinstance(message, CatalogRequest):
+            return CatalogResponse(self.catalog())
+        if not isinstance(message, PathQuery):
+            return None
+        metrics = default_registry()
+        metrics.counter("service.frontend.queries", mode=message.mode).inc()
+        with trace.span(
+            "frontend.query", mode=message.mode,
+            product=f"{message.product_id:#x}",
+        ):
+            if message.mode == SWEEP_MODE:
+                result = self.deployment.proxy.sweep_query(
+                    message.product_id, message.quality
+                )
+            elif message.mode == INTERACTIVE_MODE:
+                result = self.deployment.proxy.query_product(
+                    message.product_id, message.quality
+                )
+            else:
+                raise ValueError(f"unknown query mode {message.mode!r}")
+        return PathQueryResult(message.product_id, result.canonical_bytes())

@@ -1,0 +1,234 @@
+"""Open-loop load generation against the socket tier.
+
+Closed-loop drivers (issue a request, wait, issue the next) measure the
+*server's* pace and silently hide overload: a slow server just slows the
+driver down.  The paper's serving claim — "heavy traffic from millions
+of users" — needs the opposite: an **open-loop** generator whose
+arrivals come from a Poisson process at a configured rate regardless of
+how the server is doing.  Latency under an open-loop load is an honest
+number; if the tier can't keep up, queues grow, sheds appear, and the
+tail explodes — visibly.
+
+Workload shape:
+
+* **Poisson arrivals** — exponential inter-arrival gaps drawn from the
+  repo's :class:`~repro.crypto.rng.DeterministicRng`, so a seeded run
+  offers the same arrival schedule every time;
+* **query mix** — each arrival is an interactive or sweep
+  :class:`~repro.desword.messages.PathQuery` by coin flip
+  (``sweep_fraction``);
+* **Zipf key skew** — product popularity follows ``1/rank**skew``
+  (``skew=0`` is uniform), the standard model for hot-key traffic;
+* **warmup/measure windows** — arrivals inside the warmup prefix run
+  but are not recorded, so connection setup and cold caches don't
+  pollute the tail.
+
+The report carries offered vs. completed load, achieved QPS over the
+measure window, shed/error/timeout counts, and p50/p95/p99 from the
+same :class:`~repro.obs.metrics.Histogram` machinery every other layer
+uses.  Its dict form is validated by
+:func:`repro.service.schema.validate_load_report` — shared with the
+benchmark suite so the CLI and ``BENCH_service.json`` cannot drift.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+
+from ..crypto.rng import DeterministicRng
+from ..desword.messages import INTERACTIVE_MODE, SWEEP_MODE, PathQuery
+from ..obs import get_logger
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, Histogram
+from .client import AsyncClient, ServiceError, ServiceOverload
+
+__all__ = ["LoadConfig", "LoadReport", "run_load", "zipf_weights"]
+
+_log = get_logger(__name__)
+
+
+def zipf_weights(count: int, skew: float) -> list[float]:
+    """Normalized Zipf popularity for ranks ``1..count`` (``skew=0`` uniform)."""
+    if count < 1:
+        raise ValueError(f"need at least one key, got {count}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    raw = [1.0 / (rank**skew) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def _cumulative(weights: list[float]) -> list[float]:
+    edges, running = [], 0.0
+    for weight in weights:
+        running += weight
+        edges.append(running)
+    edges[-1] = 1.0  # absorb float drift so the last key is always reachable
+    return edges
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One open-loop run: rate, windows, mix, skew, and the seed."""
+
+    rate: float = 50.0          # offered arrivals per second
+    duration_s: float = 5.0     # measured window
+    warmup_s: float = 1.0       # unrecorded prefix
+    sweep_fraction: float = 0.0 # P(sweep query) per arrival
+    skew: float = 0.0           # Zipf exponent over the product catalog
+    seed: str = "load"
+    timeout_s: float = 10.0     # per-request cap (open loop: no retries)
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.warmup_s < 0:
+            raise ValueError(f"warmup_s must be >= 0, got {self.warmup_s}")
+        if not 0.0 <= self.sweep_fraction <= 1.0:
+            raise ValueError(
+                f"sweep_fraction must be in [0, 1], got {self.sweep_fraction}"
+            )
+        if self.skew < 0:
+            raise ValueError(f"skew must be >= 0, got {self.skew}")
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+
+@dataclass
+class LoadReport:
+    """What one open-loop run offered, completed, and observed."""
+
+    config: LoadConfig
+    products: int
+    offered: int = 0     # arrivals inside the measure window
+    completed: int = 0   # OK answers to measured arrivals
+    shed: int = 0        # OVERLOAD answers (the server protected itself)
+    errors: int = 0      # explicit server errors
+    timeouts: int = 0    # no answer within timeout_s
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(DEFAULT_LATENCY_BUCKETS_MS)
+    )
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.completed / self.config.duration_s
+
+    def to_dict(self) -> dict:
+        """The schema-validated JSON form (see ``validate_load_report``)."""
+        histogram = self.latency
+        return {
+            "workload": {
+                "rate": self.config.rate,
+                "duration_s": self.config.duration_s,
+                "warmup_s": self.config.warmup_s,
+                "sweep_fraction": self.config.sweep_fraction,
+                "skew": self.config.skew,
+                "seed": self.config.seed,
+                "products": self.products,
+            },
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "achieved_qps": round(self.achieved_qps, 3),
+            "latency_ms": {
+                "count": histogram.count,
+                "mean": round(histogram.mean, 3),
+                "p50": round(histogram.quantile(0.50), 3),
+                "p95": round(histogram.quantile(0.95), 3),
+                "p99": round(histogram.quantile(0.99), 3),
+                "max": 0.0 if histogram.count == 0 else round(histogram.max_value, 3),
+            },
+        }
+
+
+async def run_load(
+    client: AsyncClient,
+    products: list[int],
+    config: LoadConfig,
+    recipient: str = "api",
+) -> LoadReport:
+    """Offer one Poisson-paced open-loop run; returns the report.
+
+    The client should carry **no retry policy**: an open-loop driver
+    records what one delivery attempt experienced — sheds and timeouts
+    are the signal, and client-side retries would launder them into
+    extra latency.
+    """
+    if not products:
+        raise ValueError("cannot generate load without any products")
+    rng = DeterministicRng(config.seed)
+    arrivals_rng = rng.fork("arrivals")
+    keys_rng = rng.fork("keys")
+    mix_rng = rng.fork("mix")
+    edges = _cumulative(zipf_weights(len(products), config.skew))
+
+    report = LoadReport(config=config, products=len(products))
+    await client.connect()
+    loop = asyncio.get_running_loop()
+
+    async def one_request(query: PathQuery, measured: bool) -> None:
+        started = loop.time()
+        try:
+            await asyncio.wait_for(
+                client.request(recipient, query), config.timeout_s
+            )
+        except ServiceOverload:
+            if measured:
+                report.shed += 1
+        except asyncio.TimeoutError:
+            if measured:
+                report.timeouts += 1
+        except (ServiceError, ConnectionError) as exc:
+            if measured:
+                report.errors += 1
+                _log.debug("load request failed: %s", exc)
+        else:
+            if measured:
+                report.completed += 1
+                report.latency.observe((loop.time() - started) * 1000.0)
+
+    def next_query() -> PathQuery:
+        pick = keys_rng.random()
+        index = next(i for i, edge in enumerate(edges) if pick <= edge)
+        sweep = mix_rng.random() < config.sweep_fraction
+        return PathQuery(
+            products[index], SWEEP_MODE if sweep else INTERACTIVE_MODE
+        )
+
+    total_s = config.warmup_s + config.duration_s
+    start = loop.time()
+    offset_s = 0.0
+    in_flight: set[asyncio.Task] = set()
+    while True:
+        # Exponential inter-arrival gap: the Poisson process.
+        offset_s += -math.log(1.0 - arrivals_rng.random()) / config.rate
+        if offset_s >= total_s:
+            break
+        delay = start + offset_s - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # Open loop: fire regardless of how many are still in flight.
+        measured = offset_s >= config.warmup_s
+        if measured:
+            report.offered += 1
+        task = asyncio.ensure_future(one_request(next_query(), measured))
+        in_flight.add(task)
+        task.add_done_callback(in_flight.discard)
+
+    if in_flight:
+        # Give stragglers their full timeout before closing the books.
+        await asyncio.wait(in_flight, timeout=config.timeout_s + 1.0)
+        for task in in_flight:
+            task.cancel()
+    _log.info(
+        "load run done: offered=%d completed=%d shed=%d timeouts=%d "
+        "errors=%d qps=%.1f",
+        report.offered, report.completed, report.shed,
+        report.timeouts, report.errors, report.achieved_qps,
+    )
+    return report

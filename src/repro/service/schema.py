@@ -1,0 +1,124 @@
+"""One shared shape-checker for load reports and the service benchmark.
+
+``repro load --json`` and ``benchmarks/test_bench_service.py`` emit the
+same report structure; this module is the single definition both
+validate against, so the CLI output and ``BENCH_service.json`` cannot
+drift apart silently.  CI runs both through these functions.
+
+Deliberately dependency-free (no jsonschema): a small recursive walker
+over literal shape specs, throwing :class:`SchemaError` with the JSON
+path of the first violation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SchemaError", "validate_bench_service", "validate_load_report"]
+
+
+class SchemaError(ValueError):
+    """A report payload does not match the published schema."""
+
+
+_NUMBER = (int, float)
+
+# Field -> required type(s).  A dict value recurses; bool is excluded
+# from numeric fields (bool subclasses int in Python).
+_LATENCY_SHAPE = {
+    "count": _NUMBER,
+    "mean": _NUMBER,
+    "p50": _NUMBER,
+    "p95": _NUMBER,
+    "p99": _NUMBER,
+    "max": _NUMBER,
+}
+
+_WORKLOAD_SHAPE = {
+    "rate": _NUMBER,
+    "duration_s": _NUMBER,
+    "warmup_s": _NUMBER,
+    "sweep_fraction": _NUMBER,
+    "skew": _NUMBER,
+    "seed": str,
+    "products": _NUMBER,
+}
+
+_REPORT_SHAPE = {
+    "workload": _WORKLOAD_SHAPE,
+    "offered": _NUMBER,
+    "completed": _NUMBER,
+    "shed": _NUMBER,
+    "errors": _NUMBER,
+    "timeouts": _NUMBER,
+    "achieved_qps": _NUMBER,
+    "latency_ms": _LATENCY_SHAPE,
+}
+
+
+def _check(payload, shape, path: str) -> None:
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{path}: expected an object, got {type(payload).__name__}")
+    missing = sorted(set(shape) - set(payload))
+    if missing:
+        raise SchemaError(f"{path}: missing field(s) {', '.join(missing)}")
+    unknown = sorted(set(payload) - set(shape))
+    if unknown:
+        raise SchemaError(f"{path}: unknown field(s) {', '.join(unknown)}")
+    for key, expected in shape.items():
+        value = payload[key]
+        where = f"{path}.{key}"
+        if isinstance(expected, dict):
+            _check(value, expected, where)
+        elif expected is _NUMBER:
+            if isinstance(value, bool) or not isinstance(value, _NUMBER):
+                raise SchemaError(
+                    f"{where}: expected a number, got {type(value).__name__}"
+                )
+            if value < 0:
+                raise SchemaError(f"{where}: must be >= 0, got {value}")
+        elif not isinstance(value, expected):
+            raise SchemaError(
+                f"{where}: expected {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def validate_load_report(payload: dict) -> dict:
+    """Check one ``LoadReport.to_dict()`` payload; returns it unchanged."""
+    _check(payload, _REPORT_SHAPE, "report")
+    if payload["completed"] > payload["offered"]:
+        raise SchemaError(
+            "report: completed exceeds offered "
+            f"({payload['completed']} > {payload['offered']})"
+        )
+    accounted = (
+        payload["completed"] + payload["shed"]
+        + payload["errors"] + payload["timeouts"]
+    )
+    if accounted > payload["offered"]:
+        raise SchemaError(
+            f"report: outcomes sum to {accounted} but only "
+            f"{payload['offered']} requests were offered"
+        )
+    return payload
+
+
+def validate_bench_service(payload: dict) -> dict:
+    """Check a whole ``BENCH_service.json``; returns it unchanged."""
+    if not isinstance(payload, dict):
+        raise SchemaError("bench: expected a top-level object")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise SchemaError("bench: 'runs' must be a non-empty list")
+    for index, run in enumerate(runs):
+        where = f"bench.runs[{index}]"
+        if not isinstance(run, dict):
+            raise SchemaError(f"{where}: expected an object")
+        if not isinstance(run.get("label"), str) or not run["label"]:
+            raise SchemaError(f"{where}.label: expected a non-empty string")
+        if "report" not in run:
+            raise SchemaError(f"{where}: missing field(s) report")
+        try:
+            validate_load_report(run["report"])
+        except SchemaError as exc:
+            raise SchemaError(f"{where}.{exc}") from None
+    return payload

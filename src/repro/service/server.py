@@ -1,0 +1,420 @@
+"""The asyncio TCP front-end of the proxy tier.
+
+:class:`ServiceServer` listens on a real socket and bridges wire frames
+to the existing in-process world: every decoded
+:class:`~repro.service.wire.RequestEnvelope` is dispatched through a
+:class:`ServiceEndpoint` adapter onto the deployment's local
+:class:`~repro.desword.network.Transport` (``SimNetwork`` or the
+fault-injecting wrapper), which invokes the registered endpoint's
+``handle_message`` exactly as an in-process request would.  Nothing
+behind the socket knows the transport changed.
+
+Overload policy (the part worth being explicit about):
+
+* every connection owns a **bounded inbound queue**.  An arriving
+  request past the configured ``high_water`` mark is **shed**: the
+  server immediately answers ``STATUS_OVERLOAD`` and never queues it —
+  an explicit, cheap "try later" instead of unbounded buffering.  Shed
+  responses cost microseconds, so a drowning server stays responsive;
+* with shedding disabled (``high_water=None``) the queue exerts pure
+  **backpressure**: when it is full the connection's read loop stops
+  reading, TCP's receive window fills, and the client's sends block —
+  the socket-native equivalent of a blocking in-process call;
+* handler execution is **concurrency-limited** (a semaphore plus a
+  thread pool of the same size), defaulting to 1 because the protocol
+  state behind the socket — proxy, shards, reputation ledger — is
+  single-threaded by design.  The event loop itself never runs
+  handlers, so reads, sheds, and writes stay responsive while the
+  proof machinery grinds;
+* ``stop()`` drains gracefully: the listener closes, queued requests
+  finish, then connections close.  Requests arriving mid-drain are shed
+  with an explanatory OVERLOAD.
+
+Everything is accounted in the process
+:class:`~repro.obs.MetricsRegistry` under ``service.*`` (accepted and
+active connections, queue depth/peak gauges, shed counter, handle and
+end-to-end latency histograms), and mirrored into the local transport's
+``NetworkStats.service`` dict so ``repro health`` folds socket vitals
+into the tier's SLO view.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..desword.errors import (
+    NetworkTimeout,
+    ProtocolError,
+    UnknownParticipantError,
+)
+from ..obs import default_registry, get_logger
+from .frames import MAX_FRAME_BYTES, FrameDecoder, FrameError, encode_frame
+from .wire import (
+    STATUS_ERROR,
+    STATUS_NONE,
+    STATUS_OK,
+    STATUS_OVERLOAD,
+    RequestEnvelope,
+    ResponseEnvelope,
+    WireError,
+    decode_envelope,
+    status_name,
+)
+
+__all__ = ["ServiceConfig", "ServiceEndpoint", "ServiceServer"]
+
+_log = get_logger(__name__)
+
+_READ_CHUNK = 1 << 16
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Socket-tier tuning knobs.
+
+    ``queue_limit`` is the hard per-connection inbound bound (the read
+    loop stops reading when it is full); ``high_water`` is the shed
+    threshold — requests arriving at a queue holding that many are
+    answered OVERLOAD instead of queued (``None`` disables shedding and
+    leaves pure backpressure).  ``concurrency`` bounds simultaneous
+    handler executions across all connections.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the OS pick (tests); real deployments pin one
+    queue_limit: int = 64
+    high_water: int | None = 32
+    concurrency: int = 1
+    drain_timeout_s: float = 5.0
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    dedup_capacity: int = 4096
+
+    def __post_init__(self):
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.high_water is not None and not (
+            1 <= self.high_water <= self.queue_limit
+        ):
+            raise ValueError(
+                f"high_water must be in [1, queue_limit], got {self.high_water}"
+            )
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.dedup_capacity < 0:
+            raise ValueError("dedup_capacity must be >= 0")
+
+
+class ServiceEndpoint:
+    """Bridge one request envelope onto the in-process endpoint protocol.
+
+    The adapter owns the two server-side semantics the wire needs but
+    the local fabric does not provide by itself:
+
+    * **routing + status mapping** — the envelope's recipient resolves
+      through ``transport.request`` (full accounting, fault injection,
+      and trace parenting included); protocol failures become explicit
+      ``STATUS_ERROR`` replies instead of torn connections;
+    * **at-most-once dedup** — responses are cached per idempotency
+      ``msg_id`` (bounded LRU), so a client retry of a request whose
+      answer was lost in flight is answered from cache without
+      re-running the handler: the socket equivalent of the fault
+      layer's ``_DedupEndpoint`` shim.
+    """
+
+    def __init__(self, transport, dedup_capacity: int = 4096):
+        self.transport = transport
+        self._dedup_capacity = dedup_capacity
+        self._responses: OrderedDict[str, tuple[int, object, str]] = OrderedDict()
+
+    def _cached(self, msg_id: str | None) -> tuple[int, object, str] | None:
+        if msg_id is None or msg_id not in self._responses:
+            return None
+        self._responses.move_to_end(msg_id)
+        default_registry().counter("service.dedup_hits").inc()
+        return self._responses[msg_id]
+
+    def _remember(self, msg_id: str | None, entry: tuple[int, object, str]) -> None:
+        if msg_id is None or self._dedup_capacity == 0:
+            return
+        self._responses[msg_id] = entry
+        while len(self._responses) > self._dedup_capacity:
+            self._responses.popitem(last=False)
+
+    def dispatch(self, envelope: RequestEnvelope) -> ResponseEnvelope:
+        """Run one request to completion; always returns a response."""
+        message = envelope.message
+        entry = self._cached(message.msg_id)
+        if entry is None:
+            try:
+                response = self.transport.request(
+                    envelope.sender, envelope.recipient, message
+                )
+            except (UnknownParticipantError, ProtocolError, ValueError) as exc:
+                entry = (STATUS_ERROR, None, f"{type(exc).__name__}: {exc}")
+            except NetworkTimeout as exc:
+                # A fault-injecting local fabric can still drop frames;
+                # surface it as an error the client's retry layer sees.
+                entry = (STATUS_ERROR, None, f"timeout: {exc}")
+            except Exception as exc:  # the handler itself blew up
+                _log.exception(
+                    "handler for %r failed on %s",
+                    envelope.recipient, message.kind,
+                )
+                entry = (STATUS_ERROR, None, f"internal: {type(exc).__name__}")
+            else:
+                if response is None:
+                    entry = (STATUS_NONE, None, "")
+                else:
+                    entry = (STATUS_OK, response, "")
+                self._remember(message.msg_id, entry)
+        status, response, detail = entry
+        if status == STATUS_OK:
+            return ResponseEnvelope(envelope.request_id, STATUS_OK, response)
+        return ResponseEnvelope(envelope.request_id, status, detail=detail)
+
+
+class _Connection:
+    """Per-connection state: decoder, bounded queue, worker tasks."""
+
+    __slots__ = ("queue", "writer", "write_lock", "workers", "peer")
+
+    def __init__(self, writer, queue_limit: int, peer: str):
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.workers: list[asyncio.Task] = []
+        self.peer = peer
+
+
+class ServiceServer:
+    """Serve a local :class:`Transport`'s endpoints over real TCP."""
+
+    def __init__(self, transport, config: ServiceConfig | None = None):
+        self.transport = transport
+        self.config = config or ServiceConfig()
+        self.endpoint = ServiceEndpoint(transport, self.config.dedup_capacity)
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._outstanding = 0  # queued + in-flight, for graceful drain
+        self._queued = 0       # sitting in some connection's queue
+        self._queue_peak = 0
+        self._accepted = 0
+        self._shed = 0
+        self._requests = 0
+        self._draining = False
+        self.port: int | None = None
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _mirror_stats(self) -> None:
+        """Keep ``NetworkStats.service`` in sync for the health fold."""
+        self.transport.stats.service.update(
+            accepted=self._accepted,
+            active_connections=len(self._connections),
+            queue_depth=self._queued,
+            queue_peak=self._queue_peak,
+            requests=self._requests,
+            shed=self._shed,
+        )
+
+    def _queue_delta(self, delta: int) -> None:
+        self._queued += delta
+        metrics = default_registry()
+        metrics.gauge("service.queue.depth").set(self._queued)
+        if self._queued > self._queue_peak:
+            self._queue_peak = self._queued
+            metrics.gauge("service.queue.peak").set(self._queue_peak)
+        self._mirror_stats()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the actual (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.concurrency,
+            thread_name_prefix="repro-service",
+        )
+        self._semaphore = asyncio.Semaphore(self.config.concurrency)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        self._mirror_stats()
+        _log.info("service listening on %s:%d", sockname[0], self.port)
+        return sockname[0], self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, drain queued work, close every connection."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            deadline = asyncio.get_running_loop().time() + self.config.drain_timeout_s
+            while self._outstanding and asyncio.get_running_loop().time() < deadline:
+                await asyncio.sleep(0.005)
+        for conn in list(self._connections):
+            conn.writer.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        self._mirror_stats()
+        _log.info(
+            "service drained and stopped (%d requests, %d shed)",
+            self._requests, self._shed,
+        )
+
+    # -- the connection loop ---------------------------------------------------
+
+    def _on_connection(self, reader, writer) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        metrics = default_registry()
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        conn = _Connection(writer, self.config.queue_limit, peer)
+        self._connections.add(conn)
+        self._accepted += 1
+        metrics.counter("service.connections").inc()
+        metrics.gauge("service.connections.active").set(len(self._connections))
+        self._mirror_stats()
+        conn.workers = [
+            asyncio.ensure_future(self._worker(conn))
+            for _ in range(self.config.concurrency)
+        ]
+        decoder = FrameDecoder(self.config.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                metrics.counter("service.bytes_in").inc(len(data))
+                try:
+                    payloads = decoder.feed(data)
+                except FrameError as exc:
+                    # The stream offset is untrustworthy from here on:
+                    # reset this connection, never the process.
+                    metrics.counter("service.frame_errors", kind="frame").inc()
+                    _log.warning("resetting %s: %s", peer, exc)
+                    break
+                if not await self._ingest(conn, payloads):
+                    break
+            # Client went quiet (EOF or reset): finish what it queued so
+            # accepted requests are never silently dropped.
+            await conn.queue.join()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for worker in conn.workers:
+                worker.cancel()
+            await asyncio.gather(*conn.workers, return_exceptions=True)
+            self._connections.discard(conn)
+            metrics.gauge("service.connections.active").set(len(self._connections))
+            self._mirror_stats()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _ingest(self, conn: _Connection, payloads: list[bytes]) -> bool:
+        """Queue or shed each decoded request; False resets the connection."""
+        metrics = default_registry()
+        loop = asyncio.get_running_loop()
+        for payload in payloads:
+            try:
+                envelope = decode_envelope(payload)
+            except WireError as exc:
+                metrics.counter("service.frame_errors", kind="envelope").inc()
+                _log.warning("resetting %s: %s", conn.peer, exc)
+                return False
+            if not isinstance(envelope, RequestEnvelope):
+                metrics.counter("service.frame_errors", kind="direction").inc()
+                _log.warning("resetting %s: response envelope on inbound leg", conn.peer)
+                return False
+            self._requests += 1
+            metrics.counter("service.requests", kind=envelope.message.kind).inc()
+            high_water = self.config.high_water
+            if self._draining or (
+                high_water is not None and conn.queue.qsize() >= high_water
+            ):
+                self._shed += 1
+                metrics.counter("service.shed").inc()
+                self._mirror_stats()
+                detail = "draining" if self._draining else "queue past high water"
+                await self._write(
+                    conn,
+                    ResponseEnvelope(
+                        envelope.request_id, STATUS_OVERLOAD, detail=detail
+                    ),
+                )
+                continue
+            # A full queue (shedding disabled) blocks here, which stops
+            # this connection's read loop: TCP backpressure, on purpose.
+            await conn.queue.put((envelope, loop.time()))
+            self._outstanding += 1
+            self._queue_delta(+1)
+        return True
+
+    async def _worker(self, conn: _Connection) -> None:
+        metrics = default_registry()
+        loop = asyncio.get_running_loop()
+        while True:
+            envelope, enqueued_at = await conn.queue.get()
+            self._queue_delta(-1)
+            try:
+                async with self._semaphore:
+                    started = loop.time()
+                    response = await loop.run_in_executor(
+                        self._executor, self.endpoint.dispatch, envelope
+                    )
+                    handle_ms = (loop.time() - started) * 1000.0
+                metrics.histogram("service.handle_ms").observe(handle_ms)
+                metrics.histogram("service.latency_ms").observe(
+                    (loop.time() - enqueued_at) * 1000.0
+                )
+                metrics.counter(
+                    "service.responses", status=status_name(response.status)
+                ).inc()
+                await self._write(conn, response)
+            except asyncio.CancelledError:
+                raise
+            except ConnectionError:
+                pass  # client is gone; nothing to answer
+            except Exception:
+                _log.exception("worker failed answering %s", conn.peer)
+            finally:
+                self._outstanding -= 1
+                self._mirror_stats()
+                conn.queue.task_done()
+
+    async def _write(self, conn: _Connection, response: ResponseEnvelope) -> None:
+        frame = encode_frame(response.encode())
+        async with conn.write_lock:
+            conn.writer.write(frame)
+            try:
+                await conn.writer.drain()
+            except ConnectionError:
+                return
+        default_registry().counter("service.bytes_out").inc(len(frame))

@@ -1,0 +1,377 @@
+"""Canonical byte codec for protocol messages and the service envelope.
+
+The in-process layers pass :class:`~repro.desword.messages.Message`
+*objects*; the socket tier needs the same messages as *bytes*.  This
+module defines one canonical encoding per message kind — built from the
+same primitives as :mod:`repro.crypto.serialize` (big-endian widths,
+length-prefixed byte strings, strict trailing-byte checks) — so a
+message that crosses a socket decodes back to an object that compares
+equal to what :class:`~repro.desword.network.SimNetwork` would have
+delivered, byte accounting and all.
+
+The envelope carries exactly the two pieces of metadata the resilience
+and observability layers ride on messages in-process:
+
+* ``msg_id`` — the idempotency id stamped by
+  :class:`~repro.faults.retry.ReliableChannel`; the server's dedup cache
+  keys on it, so a retried request is processed at most once;
+* ``trace_ctx`` — the :class:`~repro.obs.TraceContext`, so spans opened
+  on the server parent into the client's causal tree and PR 7's
+  stitching works across real sockets unchanged.
+
+Both are optional flags on the wire: untraced, unretried traffic costs
+zero extra bytes, mirroring the in-process accounting rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from dataclasses import dataclass
+
+from ..crypto.serialize import ByteReader, encode_bytes
+from ..desword.messages import (
+    CatalogRequest,
+    CatalogResponse,
+    Message,
+    NextParticipantRequest,
+    NextParticipantResponse,
+    PathQuery,
+    PathQueryResult,
+    PocListSubmission,
+    PocTransfer,
+    ProofResponse,
+    PsBroadcast,
+    PsRequest,
+    QueryRequest,
+    RevealRequest,
+)
+from ..obs import TraceContext
+
+__all__ = [
+    "RequestEnvelope",
+    "ResponseEnvelope",
+    "STATUS_ERROR",
+    "STATUS_NONE",
+    "STATUS_OK",
+    "STATUS_OVERLOAD",
+    "WireError",
+    "decode_envelope",
+    "decode_message",
+    "encode_message",
+]
+
+
+class WireError(Exception):
+    """The payload is not a valid message or envelope encoding."""
+
+
+# -- primitive helpers --------------------------------------------------------
+
+_U16 = struct.Struct(">H")
+_U64 = struct.Struct(">Q")
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode()
+    if len(raw) > 0xFFFF:
+        raise WireError(f"string of {len(raw)} bytes exceeds the u16 length")
+    return _U16.pack(len(raw)) + raw
+
+
+def _pack_uint(value: int) -> bytes:
+    """Variable-width unsigned int: u16 byte-width + big-endian bytes."""
+    if value < 0:
+        raise WireError(f"cannot encode negative integer {value}")
+    width = max(1, (value.bit_length() + 7) // 8)
+    return _U16.pack(width) + int(value).to_bytes(width, "big")
+
+
+class _Reader(ByteReader):
+    """The serialize-layer reader plus envelope-level field helpers."""
+
+    def take_u8(self) -> int:
+        return self.take(1)[0]
+
+    def take_u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def take_u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def take_str(self) -> str:
+        raw = self.take(self.take_u16())
+        try:
+            return raw.decode()
+        except UnicodeDecodeError as exc:
+            raise WireError(f"invalid UTF-8 in string field: {exc}") from None
+
+    def take_uint(self) -> int:
+        width = self.take_u16()
+        if width == 0:
+            raise WireError("zero-width integer field")
+        return int.from_bytes(self.take(width), "big")
+
+
+# -- per-kind field codecs ----------------------------------------------------
+#
+# Each entry: kind code (stable wire byte), encoder (message -> bytes),
+# decoder (reader -> field dict).  Codes are append-only: changing one is
+# a wire-format break.
+
+def _enc_opt_bytes(data: bytes | None) -> bytes:
+    return b"\x00" if data is None else b"\x01" + encode_bytes(data)
+
+
+def _dec_opt_bytes(reader: _Reader) -> bytes | None:
+    return reader.take_bytes() if reader.take_u8() else None
+
+
+def _enc_opt_str(text: str | None) -> bytes:
+    return b"\x00" if text is None else b"\x01" + _pack_str(text)
+
+
+def _dec_opt_str(reader: _Reader) -> str | None:
+    return reader.take_str() if reader.take_u8() else None
+
+
+_CODECS: dict[type, tuple[int, object, object]] = {
+    PsRequest: (
+        1,
+        lambda m: _pack_str(m.task_id),
+        lambda r: {"task_id": r.take_str()},
+    ),
+    PsBroadcast: (
+        2,
+        lambda m: _pack_str(m.ps_id),
+        lambda r: {"ps_id": r.take_str()},
+    ),
+    PocTransfer: (
+        3,
+        lambda m: _pack_str(m.sender) + encode_bytes(m.poc_bytes)
+        + struct.pack(">I", m.pair_count),
+        lambda r: {
+            "sender": r.take_str(),
+            "poc_bytes": r.take_bytes(),
+            "pair_count": r.take_u32(),
+        },
+    ),
+    PocListSubmission: (
+        4,
+        lambda m: _pack_str(m.task_id) + _pack_uint(m.poc_list_bytes),
+        lambda r: {"task_id": r.take_str(), "poc_list_bytes": r.take_uint()},
+    ),
+    QueryRequest: (
+        5,
+        lambda m: _pack_str(m.query_kind) + _pack_uint(m.product_id)
+        + encode_bytes(m.poc_bytes),
+        lambda r: {
+            "query_kind": r.take_str(),
+            "product_id": r.take_uint(),
+            "poc_bytes": r.take_bytes(),
+        },
+    ),
+    ProofResponse: (
+        6,
+        # The decoded-proof shortcut (``proof``) is local-only state and
+        # never crosses the wire, exactly like corruption injection
+        # strips it before redelivery.
+        lambda m: _pack_str(m.participant_id) + _enc_opt_bytes(m.proof_bytes),
+        lambda r: {
+            "participant_id": r.take_str(),
+            "proof_bytes": _dec_opt_bytes(r),
+        },
+    ),
+    RevealRequest: (
+        7,
+        lambda m: _pack_uint(m.product_id),
+        lambda r: {"product_id": r.take_uint()},
+    ),
+    NextParticipantRequest: (
+        8,
+        lambda m: _pack_uint(m.product_id),
+        lambda r: {"product_id": r.take_uint()},
+    ),
+    NextParticipantResponse: (
+        9,
+        lambda m: _enc_opt_str(m.next_participant),
+        lambda r: {"next_participant": _dec_opt_str(r)},
+    ),
+    PathQuery: (
+        10,
+        lambda m: _pack_uint(m.product_id) + _pack_str(m.mode)
+        + _enc_opt_str(m.quality),
+        lambda r: {
+            "product_id": r.take_uint(),
+            "mode": r.take_str(),
+            "quality": _dec_opt_str(r),
+        },
+    ),
+    PathQueryResult: (
+        11,
+        lambda m: _pack_uint(m.product_id) + encode_bytes(m.result_bytes),
+        lambda r: {"product_id": r.take_uint(), "result_bytes": r.take_bytes()},
+    ),
+    CatalogRequest: (
+        12,
+        lambda m: b"",
+        lambda r: {},
+    ),
+    CatalogResponse: (
+        13,
+        lambda m: struct.pack(">I", len(m.product_ids))
+        + b"".join(_pack_uint(pid) for pid in m.product_ids),
+        lambda r: {
+            "product_ids": tuple(r.take_uint() for _ in range(r.take_u32()))
+        },
+    ),
+}
+
+_BY_CODE = {code: (cls, dec) for cls, (code, _enc, dec) in _CODECS.items()}
+
+_FLAG_MSG_ID = 0x01
+_FLAG_TRACE = 0x02
+
+
+def encode_message(message: Message) -> bytes:
+    """Canonical bytes for one message, envelope metadata included."""
+    try:
+        code, encoder, _ = _CODECS[type(message)]
+    except KeyError:
+        raise WireError(
+            f"no wire codec registered for {type(message).__name__}"
+        ) from None
+    flags = 0
+    extras = b""
+    if message.msg_id is not None:
+        flags |= _FLAG_MSG_ID
+        extras += _pack_str(message.msg_id)
+    ctx = message.trace_ctx
+    if ctx is not None:
+        flags |= _FLAG_TRACE
+        extras += _pack_str(ctx.trace_id) + _pack_str(ctx.span_id)
+        extras += _U16.pack(len(ctx.baggage))
+        for key, value in ctx.baggage:
+            extras += _pack_str(key) + _pack_str(value)
+    return bytes([code, flags]) + extras + encoder(message)
+
+
+def decode_message(payload: bytes) -> Message:
+    """Rebuild the message object; strict about trailing bytes."""
+    reader = _Reader(payload)
+    try:
+        code = reader.take_u8()
+        flags = reader.take_u8()
+        try:
+            cls, decoder = _BY_CODE[code]
+        except KeyError:
+            raise WireError(f"unknown message kind code {code}") from None
+        msg_id = reader.take_str() if flags & _FLAG_MSG_ID else None
+        trace_ctx = None
+        if flags & _FLAG_TRACE:
+            trace_id = reader.take_str()
+            span_id = reader.take_str()
+            baggage = tuple(
+                (reader.take_str(), reader.take_str())
+                for _ in range(reader.take_u16())
+            )
+            trace_ctx = TraceContext(trace_id, span_id, baggage)
+        fields = decoder(reader)
+        reader.expect_end()
+    except WireError:
+        raise
+    except (ValueError, struct.error, IndexError) as exc:
+        raise WireError(f"malformed message payload: {exc}") from None
+    message = cls(**fields)
+    if msg_id is not None or trace_ctx is not None:
+        message = dataclasses.replace(
+            message, msg_id=msg_id, trace_ctx=trace_ctx
+        )
+    return message
+
+
+# -- the request/response envelope -------------------------------------------
+
+_ENV_REQUEST = 0x01
+_ENV_RESPONSE = 0x02
+
+STATUS_OK = 0        # response carries a message
+STATUS_NONE = 1      # handler returned None (valid for one-way kinds)
+STATUS_OVERLOAD = 2  # shed: the server refused to queue the request
+STATUS_ERROR = 3     # handler or routing failure; detail explains
+
+_STATUS_NAMES = {
+    STATUS_OK: "ok",
+    STATUS_NONE: "none",
+    STATUS_OVERLOAD: "overload",
+    STATUS_ERROR: "error",
+}
+
+
+def status_name(status: int) -> str:
+    return _STATUS_NAMES.get(status, f"status{status}")
+
+
+@dataclass(frozen=True)
+class RequestEnvelope:
+    """One client->server frame: who asks whom, with which message."""
+
+    request_id: int
+    sender: str
+    recipient: str
+    message: Message
+
+    def encode(self) -> bytes:
+        return (
+            bytes([_ENV_REQUEST])
+            + _U64.pack(self.request_id)
+            + _pack_str(self.sender)
+            + _pack_str(self.recipient)
+            + encode_message(self.message)
+        )
+
+
+@dataclass(frozen=True)
+class ResponseEnvelope:
+    """One server->client frame: the matching answer or an explicit status."""
+
+    request_id: int
+    status: int
+    message: Message | None = None
+    detail: str = ""
+
+    def encode(self) -> bytes:
+        head = bytes([_ENV_RESPONSE]) + _U64.pack(self.request_id)
+        if self.status == STATUS_OK:
+            if self.message is None:
+                raise WireError("STATUS_OK responses must carry a message")
+            return head + bytes([STATUS_OK]) + encode_message(self.message)
+        return head + bytes([self.status]) + _pack_str(self.detail)
+
+
+def decode_envelope(payload: bytes) -> RequestEnvelope | ResponseEnvelope:
+    """Decode either envelope direction from one frame payload."""
+    reader = _Reader(payload)
+    try:
+        tag = reader.take_u8()
+        request_id = reader.take_u64()
+        if tag == _ENV_REQUEST:
+            sender = reader.take_str()
+            recipient = reader.take_str()
+            message = decode_message(reader.data[reader.offset:])
+            return RequestEnvelope(request_id, sender, recipient, message)
+        if tag == _ENV_RESPONSE:
+            status = reader.take_u8()
+            if status == STATUS_OK:
+                message = decode_message(reader.data[reader.offset:])
+                return ResponseEnvelope(request_id, STATUS_OK, message)
+            if status not in _STATUS_NAMES:
+                raise WireError(f"unknown response status {status}")
+            detail = reader.take_str()
+            reader.expect_end()
+            return ResponseEnvelope(request_id, status, detail=detail)
+        raise WireError(f"unknown envelope tag {tag}")
+    except WireError:
+        raise
+    except (ValueError, struct.error, IndexError) as exc:
+        raise WireError(f"malformed envelope: {exc}") from None

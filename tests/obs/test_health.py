@@ -38,7 +38,7 @@ class TestSlo:
         names = {slo.name for slo in default_slos()}
         assert names == {
             "query-p95-latency", "query-completion",
-            "replication-lag", "trace-drops",
+            "replication-lag", "trace-drops", "service-shed-ratio",
         }
 
     def test_load_slos(self, tmp_path):
@@ -123,6 +123,58 @@ class TestRatioSlo:
     def test_no_samples_is_vacuously_ok(self):
         monitor = HealthMonitor([self.slo()])
         assert monitor.evaluate().results[0].detail == "no samples"
+
+
+class TestServiceShedSlo:
+    def slo(self):
+        return next(s for s in default_slos() if s.name == "service-shed-ratio")
+
+    def observe(self, monitor, shed, requests):
+        monitor.observe_registry(registry_with(counters=[
+            ("service.requests", {"kind": "path_query"}, requests),
+            ("service.shed", {}, shed),
+        ]))
+
+    def test_ok_under_the_budget(self):
+        monitor = HealthMonitor([self.slo()])
+        self.observe(monitor, shed=5, requests=1000)
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value == 0.005
+        assert 0.0 < result.budget_remaining < 1.0
+
+    def test_breach_exhausts_the_budget(self):
+        monitor = HealthMonitor([self.slo()])
+        self.observe(monitor, shed=50, requests=1000)
+        result = monitor.evaluate().results[0]
+        assert not result.ok and result.value == 0.05
+        assert result.budget_remaining == 0.0
+
+    def test_idle_socket_tier_is_vacuously_ok(self):
+        monitor = HealthMonitor([self.slo()])
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value is None
+
+    def test_view_folds_the_socket_gauges(self):
+        monitor = HealthMonitor()
+        self.observe(monitor, shed=2, requests=200)
+        monitor.observe_registry(registry_with(
+            gauges=[
+                ("service.connections.active", {}, 3),
+                ("service.queue.peak", {}, 7),
+            ],
+        ))
+        service = monitor.snapshot()["service"]
+        assert service["requests"] == 200.0
+        assert service["shed_ratio"] == 0.01
+        assert service["active_connections"] == 3.0
+        assert service["queue_peak"] == 7.0
+
+    def test_render_text_mentions_the_service_line(self):
+        monitor = HealthMonitor()
+        self.observe(monitor, shed=0, requests=40)
+        text = monitor.evaluate().render_text()
+        assert "service: 40 request(s)" in text
+        assert "shed_ratio=0.00%" in text
 
 
 class TestBoundSlo:

@@ -1,0 +1,80 @@
+"""Socket-tier fixtures: a served deployment and a threaded server harness.
+
+The asyncio server needs a running event loop while the test body stays
+synchronous (and while *client-side* ``asyncio.run`` calls spin their
+own loops), so :class:`ServerHarness` runs the server's loop on a
+daemon thread and exposes the bound port.  Deployments reuse the
+session-scoped merkle scheme — the fast serving backend — so building a
+world per test stays cheap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.service import QueryFrontend, ServiceConfig, ServiceServer
+from repro.supplychain.generator import pharma_chain, product_batch
+
+KEY_BITS = 16
+
+
+class ServerHarness:
+    """A ServiceServer on its own event-loop thread, bound to a port."""
+
+    def __init__(self, transport, config: ServiceConfig | None = None):
+        self.loop = asyncio.new_event_loop()
+        self.server = ServiceServer(
+            transport, config or ServiceConfig(drain_timeout_s=2.0)
+        )
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="service-harness", daemon=True
+        )
+        self._thread.start()
+        self.host, self.port = self.run(self.server.start(), timeout=10)
+
+    def run(self, coro, timeout: float = 30):
+        """Run a coroutine on the server's loop from the test thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def stop(self) -> None:
+        try:
+            self.run(self.server.stop(), timeout=15)
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(timeout=5)
+            self.loop.close()
+
+
+@pytest.fixture()
+def make_server():
+    """Factory for harnesses; everything started gets stopped at teardown."""
+    harnesses: list[ServerHarness] = []
+
+    def build(transport, config: ServiceConfig | None = None) -> ServerHarness:
+        harness = ServerHarness(transport, config)
+        harnesses.append(harness)
+        return harness
+
+    yield build
+    for harness in harnesses:
+        harness.stop()
+
+
+def build_world(scheme, seed: str = "service", products: int = 6, shards: int = 1):
+    """One served world: deployment + distributed batch + frontend."""
+    chain = pharma_chain(DeterministicRng(seed + "/chain"))
+    deployment = Deployment.build(chain, scheme, seed=seed, shards=shards)
+    batch = product_batch(DeterministicRng(seed + "/products"), products, KEY_BITS)
+    record, _ = deployment.distribute(batch)
+    frontend = QueryFrontend(deployment)
+    return deployment, batch, record, frontend
+
+
+@pytest.fixture()
+def served_world(merkle_scheme):
+    return build_world(merkle_scheme)

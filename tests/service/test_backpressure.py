@@ -1,0 +1,239 @@
+"""Overload behaviour: shedding, bounded queues, bounded accepted latency."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.desword.messages import CatalogRequest, CatalogResponse
+from repro.desword.network import SimNetwork
+from repro.service import AsyncClient, ServiceConfig, ServiceOverload
+
+DELAY_S = 0.05
+
+
+class SlowEndpoint:
+    """Takes a fixed wall-clock time per request — a capacity of 1/DELAY_S."""
+
+    def __init__(self, delay_s: float = DELAY_S):
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        time.sleep(self.delay_s)
+        return CatalogResponse((self.calls,))
+
+
+def burst(harness, count: int, timeout_s: float = 30.0):
+    """Fire `count` pipelined requests at once; classify the outcomes."""
+
+    async def _one(client, latencies, sheds):
+        start = time.perf_counter()
+        try:
+            await client.request("slow", CatalogRequest())
+        except ServiceOverload:
+            sheds.append(1)
+            return
+        latencies.append(time.perf_counter() - start)
+
+    async def _go():
+        latencies: list[float] = []
+        sheds: list[int] = []
+        async with AsyncClient(
+            "127.0.0.1", harness.port, timeout_s=timeout_s
+        ) as client:
+            await asyncio.gather(
+                *(_one(client, latencies, sheds) for _ in range(count))
+            )
+        return latencies, sheds
+
+    return asyncio.run(_go())
+
+
+@pytest.fixture()
+def slow_network():
+    network = SimNetwork()
+    network.register("slow", SlowEndpoint())
+    return network
+
+
+class TestShedding:
+    HIGH_WATER = 4
+
+    @pytest.fixture()
+    def harness(self, slow_network, make_server):
+        config = ServiceConfig(
+            queue_limit=8, high_water=self.HIGH_WATER, concurrency=1
+        )
+        return make_server(slow_network, config)
+
+    def test_overload_sheds_instead_of_queueing_unboundedly(
+        self, harness, slow_network
+    ):
+        latencies, sheds = burst(harness, 30)
+        service = slow_network.stats.service
+        assert sheds, "a 30-request burst at capacity 1 must shed"
+        assert service["shed"] == len(sheds)
+        assert len(latencies) + len(sheds) == 30
+        assert service["requests"] == 30
+
+    def test_queue_never_exceeds_high_water(self, harness, slow_network):
+        burst(harness, 30)
+        assert 0 < slow_network.stats.service["queue_peak"] <= self.HIGH_WATER
+
+    def test_accepted_requests_have_bounded_latency(self, harness, slow_network):
+        latencies, sheds = burst(harness, 30)
+        assert latencies and sheds
+        # An accepted request waits behind at most high_water queued
+        # requests plus the one in flight; allow generous scheduling slack.
+        bound = (self.HIGH_WATER + 1) * DELAY_S + 1.0
+        p99 = sorted(latencies)[max(0, int(len(latencies) * 0.99) - 1)]
+        assert p99 <= bound
+
+class GatedEndpoint:
+    """Blocks the worker on an event — pins the queue with no timing races."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        self.entered.set()
+        self.release.wait(timeout=30)
+        return CatalogResponse((self.calls,))
+
+
+class TestShedsAreCheap:
+    """Pin the single worker, fill the queue to exactly high water, then
+    probe: the shed reply must come from the event loop while the worker
+    is still blocked inside request #1."""
+
+    HIGH_WATER = 4
+
+    @pytest.fixture()
+    def pinned(self, make_server):
+        network = SimNetwork()
+        endpoint = GatedEndpoint()
+        network.register("slow", endpoint)
+        config = ServiceConfig(
+            queue_limit=8, high_water=self.HIGH_WATER, concurrency=1
+        )
+        harness = make_server(network, config)
+        yield harness, network, endpoint
+        endpoint.release.set()  # never leave the worker pinned on teardown
+
+    async def _saturate(self, client, network, endpoint):
+        waiters = [
+            asyncio.ensure_future(client.request("slow", CatalogRequest()))
+        ]
+        assert await asyncio.to_thread(endpoint.entered.wait, 10)
+        waiters += [
+            asyncio.ensure_future(client.request("slow", CatalogRequest()))
+            for _ in range(self.HIGH_WATER)
+        ]
+        deadline = time.perf_counter() + 10
+        while network.stats.service.get("queue_depth", 0) < self.HIGH_WATER:
+            assert time.perf_counter() < deadline, "queue never filled"
+            await asyncio.sleep(0.005)
+        return waiters
+
+    def test_shed_comes_from_the_event_loop_not_a_worker(self, pinned):
+        harness, network, endpoint = pinned
+
+        async def _go():
+            async with AsyncClient(
+                "127.0.0.1", harness.port, timeout_s=30.0
+            ) as client:
+                waiters = await self._saturate(client, network, endpoint)
+                with pytest.raises(ServiceOverload):
+                    await client.request("slow", CatalogRequest())
+                calls_at_shed = endpoint.calls
+                endpoint.release.set()
+                return calls_at_shed, await asyncio.gather(*waiters)
+
+        calls_at_shed, answered = asyncio.run(_go())
+        # The worker was still inside request #1 when the shed came back.
+        assert calls_at_shed == 1
+        # Every accepted request is answered once the worker resumes.
+        assert len(answered) == self.HIGH_WATER + 1
+        assert all(isinstance(r, CatalogResponse) for r in answered)
+        assert network.stats.service["shed"] == 1
+
+    def test_shed_detail_names_the_policy(self, pinned):
+        harness, network, endpoint = pinned
+
+        async def _go():
+            async with AsyncClient(
+                "127.0.0.1", harness.port, timeout_s=30.0
+            ) as client:
+                waiters = await self._saturate(client, network, endpoint)
+                try:
+                    await client.request("slow", CatalogRequest())
+                    detail = None
+                except ServiceOverload as exc:
+                    detail = str(exc)
+                endpoint.release.set()
+                await asyncio.gather(*waiters, return_exceptions=True)
+                return detail
+
+        detail = asyncio.run(_go())
+        assert detail is not None and "high water" in detail
+
+
+class TestPureBackpressure:
+    def test_no_high_water_means_no_sheds(self, slow_network, make_server):
+        """With shedding off, TCP backpressure absorbs the burst instead."""
+        config = ServiceConfig(queue_limit=2, high_water=None, concurrency=1)
+        harness = make_server(slow_network, config)
+        latencies, sheds = burst(harness, 12)
+        assert sheds == []
+        assert len(latencies) == 12
+        service = slow_network.stats.service
+        assert service["shed"] == 0
+        assert 0 < service["queue_peak"] <= 2  # the bounded queue held
+
+
+class TestOverloadIsRetryable:
+    def test_shed_raises_a_network_timeout_subclass(self):
+        from repro.desword.errors import NetworkTimeout
+        from repro.service import ServiceError
+
+        assert issubclass(ServiceOverload, NetworkTimeout)
+        assert issubclass(ServiceOverload, ServiceError)
+
+    def test_client_with_policy_retries_past_a_shed(
+        self, slow_network, make_server
+    ):
+        from repro.faults.retry import RetryPolicy
+
+        config = ServiceConfig(queue_limit=4, high_water=2, concurrency=1)
+        harness = make_server(slow_network, config)
+        policy = RetryPolicy(
+            max_attempts=8,
+            base_backoff_ms=40,
+            jitter=0.0,
+            timeout_ms=5_000,
+            deadline_ms=20_000,
+        )
+
+        async def _go():
+            async with AsyncClient(
+                "127.0.0.1", harness.port, policy=policy, timeout_s=10.0
+            ) as client:
+                background = [
+                    asyncio.ensure_future(client.request("slow", CatalogRequest()))
+                    for _ in range(8)
+                ]
+                await asyncio.sleep(0.02)
+                # This one will be shed at least once, then retried in.
+                result = await client.request("slow", CatalogRequest())
+                await asyncio.gather(*background, return_exceptions=True)
+                return result
+
+        result = asyncio.run(_go())
+        assert isinstance(result, CatalogResponse)
+        assert slow_network.stats.service["shed"] > 0

@@ -1,0 +1,120 @@
+"""Loopback equivalence: the socket tier answers byte-for-byte like SimNetwork.
+
+Two identically seeded worlds answer the same query sequence — one over
+in-process ``SimNetwork.request``, one over a real TCP connection.  The
+``QueryResult.canonical_bytes()`` payloads must match exactly, and the
+raw frames on the wire must carry the *same bytes* ``encode_message``
+produces for the simulated deliveries.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.desword.messages import PathQuery, PathQueryResult, SWEEP_MODE
+from repro.service import AsyncClient, FrameDecoder, encode_frame, encode_message
+from repro.service.wire import STATUS_OK, RequestEnvelope, ResponseEnvelope
+
+from .conftest import build_world
+
+SHARDS = 2
+PRODUCTS = 5
+
+
+@pytest.fixture()
+def twin_worlds(merkle_scheme, make_server):
+    """Two identically seeded worlds; the second one is served over TCP."""
+    sim = build_world(merkle_scheme, seed="equiv", products=PRODUCTS, shards=SHARDS)
+    served = build_world(
+        merkle_scheme, seed="equiv", products=PRODUCTS, shards=SHARDS
+    )
+    harness = make_server(served[0].network)
+    return sim, served, harness
+
+
+def sim_answer(deployment, query: PathQuery) -> PathQueryResult:
+    return deployment.network.request("client", "api", query)
+
+
+def socket_answers(harness, queries):
+    async def _go():
+        out = []
+        async with AsyncClient("127.0.0.1", harness.port) as client:
+            for query in queries:
+                out.append(await client.request("api", query))
+        return out
+
+    return asyncio.run(_go())
+
+
+class TestCanonicalEquivalence:
+    def test_interactive_results_are_byte_identical(self, twin_worlds):
+        (sim_deploy, products, _, _), _, harness = twin_worlds
+        queries = [PathQuery(pid) for pid in products]
+        expected = [sim_answer(sim_deploy, q) for q in queries]
+        actual = socket_answers(harness, queries)
+        for query, sim_result, sock_result in zip(queries, expected, actual):
+            assert isinstance(sock_result, PathQueryResult)
+            assert sock_result.product_id == query.product_id
+            assert sock_result.result_bytes == sim_result.result_bytes
+            assert sock_result == sim_result
+
+    def test_sweep_results_are_byte_identical(self, twin_worlds):
+        (sim_deploy, products, _, _), _, harness = twin_worlds
+        queries = [PathQuery(pid, SWEEP_MODE) for pid in products[:3]]
+        expected = [sim_answer(sim_deploy, q) for q in queries]
+        actual = socket_answers(harness, queries)
+        for sim_result, sock_result in zip(expected, actual):
+            assert sock_result.result_bytes == sim_result.result_bytes
+
+    def test_mixed_sequences_stay_in_lockstep(self, twin_worlds):
+        """Reputation evolves with the query history; both fabrics must
+        walk the identical trajectory, not just answer one-shots alike."""
+        (sim_deploy, products, _, _), _, harness = twin_worlds
+        sequence = [
+            PathQuery(products[0]),
+            PathQuery(products[1], SWEEP_MODE),
+            PathQuery(products[0]),  # repeat: second-query state
+            PathQuery(products[2]),
+        ]
+        expected = [sim_answer(sim_deploy, q) for q in sequence]
+        actual = socket_answers(harness, sequence)
+        assert [r.result_bytes for r in actual] == [
+            r.result_bytes for r in expected
+        ]
+
+
+class TestWireBytes:
+    def test_frames_carry_simnetwork_payload_bytes(self, twin_worlds):
+        """The TCP payload is the canonical encoding of the very message
+        objects SimNetwork delivers — not merely an equivalent one."""
+        (sim_deploy, products, _, _), _, harness = twin_worlds
+        pid = products[0]
+
+        captured = []
+        sim_deploy.network.add_tap(
+            lambda sender, recipient, m: captured.append(m)
+        )
+        sim_answer(sim_deploy, PathQuery(pid))
+        sim_request = next(m for m in captured if isinstance(m, PathQuery))
+        sim_response = next(
+            m for m in captured if isinstance(m, PathQueryResult)
+        )
+
+        request = RequestEnvelope(7, "client", "api", PathQuery(pid))
+        decoder = FrameDecoder()
+        with socket.create_connection(("127.0.0.1", harness.port), 10) as sock:
+            sock.settimeout(30)
+            sock.sendall(encode_frame(request.encode()))
+            payloads = []
+            while not payloads:
+                payloads = decoder.feed(sock.recv(1 << 16))
+
+        # Request leg: the bytes we framed are the encoding of the exact
+        # message the sim delivered.
+        assert encode_message(PathQuery(pid)) == encode_message(sim_request)
+        # Response leg: the received envelope is byte-identical to one
+        # wrapping the sim's delivered response object.
+        expected = ResponseEnvelope(7, STATUS_OK, sim_response).encode()
+        assert payloads[0] == expected

@@ -1,0 +1,189 @@
+"""Open-loop load generator and the shared report schema checker."""
+
+import asyncio
+
+import pytest
+
+from repro.desword.messages import CatalogRequest
+from repro.service import (
+    AsyncClient,
+    LoadConfig,
+    SchemaError,
+    run_load,
+    validate_bench_service,
+    validate_load_report,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_weights_sum_to_one(self):
+        for skew in (0.0, 0.5, 1.1, 2.0):
+            assert sum(zipf_weights(10, skew)) == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(8, 0.0)
+        assert all(w == pytest.approx(1 / 8) for w in weights)
+
+    def test_positive_skew_is_monotone_decreasing(self):
+        weights = zipf_weights(12, 1.1)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+        assert weights[0] > 2 * weights[-1]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+
+class TestLoadConfig:
+    def test_defaults_validate(self):
+        config = LoadConfig()
+        assert config.rate > 0 and config.warmup_s < config.duration_s
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0},
+            {"rate": -5.0},
+            {"duration_s": 0.0},
+            {"warmup_s": -1.0},
+            {"sweep_fraction": 1.5},
+            {"sweep_fraction": -0.1},
+            {"skew": -1.0},
+            {"timeout_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_shapes(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadConfig(**kwargs)
+
+
+class TestRunLoad:
+    def _run(self, harness, products, config):
+        async def _go():
+            async with AsyncClient(
+                "127.0.0.1", harness.port, identity="loadgen"
+            ) as client:
+                return await run_load(client, products, config)
+
+        return asyncio.run(_go())
+
+    def test_open_loop_run_against_a_served_world(self, served_world, make_server):
+        deployment, products, _, _ = served_world
+        harness = make_server(deployment.network)
+        config = LoadConfig(
+            rate=40.0,
+            duration_s=1.2,
+            warmup_s=0.3,
+            sweep_fraction=0.25,
+            skew=1.1,
+            seed="loadgen-test",
+        )
+        report = self._run(harness, tuple(products), config)
+        assert report.offered > 0
+        assert report.completed > 0
+        assert report.completed + report.shed + report.errors <= report.offered
+        assert report.achieved_qps > 0
+        assert report.latency.count == report.completed
+
+    def test_report_dict_passes_the_shared_schema(self, served_world, make_server):
+        deployment, products, _, _ = served_world
+        harness = make_server(deployment.network)
+        config = LoadConfig(rate=30.0, duration_s=0.8, warmup_s=0.2)
+        report = self._run(harness, tuple(products), config)
+        payload = report.to_dict()
+        validate_load_report(payload)  # must not raise
+        assert payload["workload"]["products"] == len(products)
+
+    def test_catalog_then_load_is_the_cli_path(self, served_world, make_server):
+        """What `repro load` does: discover the catalog, then drive it."""
+        deployment, _, _, frontend = served_world
+        harness = make_server(deployment.network)
+
+        async def _go():
+            async with AsyncClient("127.0.0.1", harness.port) as client:
+                catalog = await client.request("api", CatalogRequest())
+                config = LoadConfig(rate=30.0, duration_s=0.6, warmup_s=0.1)
+                return await run_load(client, catalog.product_ids, config)
+
+        report = asyncio.run(_go())
+        assert report.products == len(frontend.catalog())
+        assert report.completed > 0
+
+
+class TestSchemaChecker:
+    def _good_report(self):
+        return {
+            "workload": {
+                "rate": 40.0,
+                "duration_s": 1.0,
+                "warmup_s": 0.2,
+                "sweep_fraction": 0.0,
+                "skew": 0.0,
+                "seed": "x",
+                "products": 6,
+            },
+            "offered": 40,
+            "completed": 38,
+            "shed": 1,
+            "errors": 0,
+            "timeouts": 1,
+            "achieved_qps": 38.0,
+            "latency_ms": {
+                "count": 38,
+                "mean": 2.0,
+                "p50": 1.5,
+                "p95": 4.0,
+                "p99": 6.0,
+                "max": 9.0,
+            },
+        }
+
+    def test_good_report_validates(self):
+        validate_load_report(self._good_report())
+
+    def test_missing_field_names_its_path(self):
+        payload = self._good_report()
+        del payload["latency_ms"]["p99"]
+        with pytest.raises(SchemaError, match=r"latency_ms.*p99"):
+            validate_load_report(payload)
+
+    def test_unknown_field_rejected(self):
+        payload = self._good_report()
+        payload["surprise"] = 1
+        with pytest.raises(SchemaError, match="surprise"):
+            validate_load_report(payload)
+
+    def test_wrong_type_rejected(self):
+        payload = self._good_report()
+        payload["offered"] = "forty"
+        with pytest.raises(SchemaError, match="offered"):
+            validate_load_report(payload)
+
+    def test_negative_counts_rejected(self):
+        payload = self._good_report()
+        payload["shed"] = -1
+        with pytest.raises(SchemaError, match="shed"):
+            validate_load_report(payload)
+
+    def test_more_completed_than_offered_rejected(self):
+        payload = self._good_report()
+        payload["completed"] = payload["offered"] + 1
+        with pytest.raises(SchemaError, match="completed"):
+            validate_load_report(payload)
+
+    def test_bench_wrapper_validates_runs(self):
+        good = {"runs": [{"label": "steady", "report": self._good_report()}]}
+        validate_bench_service(good)
+        with pytest.raises(SchemaError, match="runs"):
+            validate_bench_service({"runs": []})
+        with pytest.raises(SchemaError, match="label"):
+            validate_bench_service({"runs": [{"report": self._good_report()}]})
+
+    def test_bench_wrapper_names_nested_paths(self):
+        bad = {"runs": [{"label": "x", "report": self._good_report()}]}
+        del bad["runs"][0]["report"]["workload"]["rate"]
+        with pytest.raises(SchemaError, match=r"workload.*rate"):
+            validate_bench_service(bad)

@@ -1,0 +1,233 @@
+"""ServiceServer mechanics: dispatch, errors, dedup, resets, drain."""
+
+import asyncio
+import dataclasses
+import socket
+
+import pytest
+
+from repro.desword.messages import CatalogRequest, CatalogResponse, PathQuery
+from repro.desword.network import SimNetwork
+from repro.service import (
+    AsyncClient,
+    FrameDecoder,
+    ServiceConfig,
+    ServiceError,
+    encode_frame,
+)
+from repro.service.wire import RequestEnvelope
+
+
+class CountingEcho:
+    """Answers CatalogRequest with how many calls it has seen."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        if isinstance(message, CatalogRequest):
+            return CatalogResponse((self.calls,))
+        return None  # one-way kinds
+
+
+def ask(harness, recipient, message, **client_kwargs):
+    async def _go():
+        async with AsyncClient(
+            "127.0.0.1", harness.port, **client_kwargs
+        ) as client:
+            return await client.request(recipient, message)
+
+    return asyncio.run(_go())
+
+
+@pytest.fixture()
+def echo_server(make_server):
+    network = SimNetwork()
+    echo = CountingEcho()
+    network.register("echo", echo)
+    harness = make_server(network, ServiceConfig(drain_timeout_s=2.0))
+    return harness, network, echo
+
+
+class TestDispatch:
+    def test_request_response_round_trip(self, echo_server):
+        harness, _, echo = echo_server
+        response = ask(harness, "echo", CatalogRequest())
+        assert response == CatalogResponse((1,))
+        assert echo.calls == 1
+
+    def test_handler_returning_none_maps_to_none(self, echo_server):
+        harness, _, _ = echo_server
+        assert ask(harness, "echo", PathQuery(7)) is None
+
+    def test_unknown_recipient_is_an_error_reply(self, echo_server):
+        harness, _, _ = echo_server
+        with pytest.raises(ServiceError, match="nobody"):
+            ask(harness, "nobody", CatalogRequest())
+
+    def test_pipelined_requests_on_one_connection(self, echo_server):
+        harness, _, echo = echo_server
+
+        async def _go():
+            async with AsyncClient("127.0.0.1", harness.port) as client:
+                return await asyncio.gather(
+                    *(client.request("echo", CatalogRequest()) for _ in range(10))
+                )
+
+        responses = asyncio.run(_go())
+        assert echo.calls == 10
+        assert {r.product_ids[0] for r in responses} == set(range(1, 11))
+
+    def test_serves_a_real_deployment(self, served_world, make_server):
+        deployment, products, record, _ = served_world
+        harness = make_server(deployment.network)
+        result = ask(harness, "api", PathQuery(products[0]))
+        assert result.product_id == products[0]
+        direct = deployment.query(products[1])
+        assert direct.path == record.path_of(products[1])
+
+    def test_service_stats_flow_into_snapshots(self, echo_server):
+        harness, network, _ = echo_server
+        ask(harness, "echo", CatalogRequest())
+        service = network.stats.snapshot()["service"]
+        assert service["requests"] >= 1
+        assert service["accepted"] >= 1
+        assert service["shed"] == 0
+
+    def test_fault_summary_carries_the_service_section(self):
+        from repro.faults.network import FaultyNetwork
+
+        network = FaultyNetwork()
+        assert "service" not in network.fault_summary()
+        network.stats.service.update({"shed": 3, "queue_peak": 2})
+        summary = network.fault_summary()
+        assert summary["service"] == {"shed": 3, "queue_peak": 2}
+
+
+class TestAtMostOnce:
+    def test_duplicate_msg_id_executes_once(self, echo_server):
+        harness, _, echo = echo_server
+        stamped = dataclasses.replace(CatalogRequest(), msg_id="dup#1")
+
+        async def _go():
+            async with AsyncClient("127.0.0.1", harness.port) as client:
+                first = await client.request("echo", stamped)
+                second = await client.request("echo", stamped)
+                return first, second
+
+        first, second = asyncio.run(_go())
+        assert echo.calls == 1
+        assert first == second == CatalogResponse((1,))
+
+    def test_distinct_msg_ids_both_execute(self, echo_server):
+        harness, _, echo = echo_server
+
+        async def _go():
+            async with AsyncClient("127.0.0.1", harness.port) as client:
+                for tag in ("a", "b"):
+                    await client.request(
+                        "echo",
+                        dataclasses.replace(CatalogRequest(), msg_id=tag),
+                    )
+
+        asyncio.run(_go())
+        assert echo.calls == 2
+
+
+class TestConnectionReset:
+    def test_garbage_bytes_reset_the_connection_not_the_server(self, echo_server):
+        harness, _, _ = echo_server
+        with socket.create_connection(("127.0.0.1", harness.port), 5) as sock:
+            sock.settimeout(5)
+            sock.sendall(b"\xff" * 64)  # an impossible frame length
+            assert sock.recv(4096) == b""  # server resets this connection
+        # ... and keeps serving fresh ones.
+        assert ask(harness, "echo", CatalogRequest()) == CatalogResponse((1,))
+
+    def test_corrupt_crc_resets_the_connection(self, echo_server):
+        harness, _, _ = echo_server
+        frame = bytearray(
+            encode_frame(RequestEnvelope(1, "c", "echo", CatalogRequest()).encode())
+        )
+        frame[-1] ^= 0xFF
+        with socket.create_connection(("127.0.0.1", harness.port), 5) as sock:
+            sock.settimeout(5)
+            sock.sendall(bytes(frame))
+            assert sock.recv(4096) == b""
+        assert ask(harness, "echo", CatalogRequest()) == CatalogResponse((1,))
+
+    def test_response_envelope_on_inbound_leg_resets(self, echo_server):
+        from repro.service.wire import STATUS_NONE, ResponseEnvelope
+
+        harness, _, _ = echo_server
+        payload = ResponseEnvelope(5, STATUS_NONE, detail="confused").encode()
+        with socket.create_connection(("127.0.0.1", harness.port), 5) as sock:
+            sock.settimeout(5)
+            sock.sendall(encode_frame(payload))
+            assert sock.recv(4096) == b""
+
+
+class TestDrain:
+    def test_stop_finishes_queued_requests(self, make_server):
+        network = SimNetwork()
+
+        class Slow:
+            def handle_message(self, sender, message):
+                import time
+
+                time.sleep(0.15)
+                return CatalogResponse((1,))
+
+        network.register("slow", Slow())
+        harness = make_server(network, ServiceConfig(drain_timeout_s=5.0))
+
+        async def _go():
+            async with AsyncClient(
+                "127.0.0.1", harness.port, timeout_s=10.0
+            ) as client:
+                tasks = [
+                    asyncio.ensure_future(client.request("slow", CatalogRequest()))
+                    for _ in range(3)
+                ]
+                await asyncio.sleep(0.05)  # let them reach the server
+                await asyncio.to_thread(harness.run, harness.server.stop())
+                return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(_go())
+        answered = [r for r in results if isinstance(r, CatalogResponse)]
+        assert len(answered) == 3  # every accepted request was answered
+
+    def test_client_disconnect_still_runs_queued_work(self, echo_server):
+        harness, _, echo = echo_server
+        payload = RequestEnvelope(1, "c", "echo", CatalogRequest()).encode()
+        with socket.create_connection(("127.0.0.1", harness.port), 5) as sock:
+            sock.sendall(encode_frame(payload))
+            # Hang up without reading the answer.
+        deadline = 50
+        while echo.calls == 0 and deadline:
+            import time
+
+            time.sleep(0.02)
+            deadline -= 1
+        assert echo.calls == 1
+
+
+class TestRawWire:
+    def test_raw_frame_round_trip(self, echo_server):
+        """A hand-rolled client: frame in, frame out, envelope decoded."""
+        from repro.service.wire import STATUS_OK, decode_envelope
+
+        harness, _, _ = echo_server
+        request = RequestEnvelope(42, "raw", "echo", CatalogRequest())
+        decoder = FrameDecoder()
+        with socket.create_connection(("127.0.0.1", harness.port), 5) as sock:
+            sock.settimeout(5)
+            sock.sendall(encode_frame(request.encode()))
+            payloads = []
+            while not payloads:
+                payloads = decoder.feed(sock.recv(4096))
+        response = decode_envelope(payloads[0])
+        assert response.request_id == 42
+        assert response.status == STATUS_OK
+        assert response.message == CatalogResponse((1,))

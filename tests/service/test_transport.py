@@ -1,0 +1,187 @@
+"""SocketTransport: the Transport protocol over a real socket."""
+
+import time
+
+import pytest
+
+from repro.desword.errors import (
+    ProtocolError,
+    UnknownParticipantError,
+)
+from repro.desword.messages import CatalogRequest, CatalogResponse, PathQuery
+from repro.desword.network import SimNetwork, Transport
+from repro.faults.network import FaultProfile, FaultyNetwork
+from repro.faults.retry import ReliableChannel, RetryPolicy
+from repro.service import (
+    ServiceConfig,
+    ServiceError,
+    SocketTransport,
+)
+
+
+class Recorder:
+    def __init__(self, reply=None):
+        self.seen = []
+        self.reply = reply
+
+    def handle_message(self, sender, message):
+        self.seen.append((sender, message))
+        return self.reply
+
+
+@pytest.fixture()
+def echo_network():
+    network = SimNetwork()
+
+    class Echo:
+        def __init__(self):
+            self.calls = 0
+            self.msg_ids = []
+
+        def handle_message(self, sender, message):
+            self.calls += 1
+            self.msg_ids.append(message.msg_id)
+            return CatalogResponse((self.calls,))
+
+    echo = Echo()
+    network.register("echo", echo)
+    return network, echo
+
+
+class TestProtocolConformance:
+    def test_every_fabric_satisfies_transport(self):
+        assert isinstance(SimNetwork(), Transport)
+        assert isinstance(FaultyNetwork(SimNetwork(), FaultProfile()), Transport)
+        assert isinstance(SocketTransport("127.0.0.1", 1), Transport)
+
+    def test_socket_transport_advertises_idempotency(self):
+        assert SocketTransport("127.0.0.1", 1).supports_idempotency is True
+
+    def test_deployment_build_accepts_a_transport(self, merkle_scheme):
+        from repro.crypto.rng import DeterministicRng
+        from repro.desword.experiment import Deployment
+        from repro.supplychain.generator import pharma_chain
+
+        chain = pharma_chain(DeterministicRng("transport/chain"))
+        fabric = SimNetwork()
+        deployment = Deployment.build(
+            chain, merkle_scheme, seed="transport", transport=fabric
+        )
+        assert deployment.network is fabric
+
+    def test_deployment_build_refuses_both_aliases(self, merkle_scheme):
+        from repro.crypto.rng import DeterministicRng
+        from repro.desword.experiment import Deployment
+        from repro.supplychain.generator import pharma_chain
+
+        chain = pharma_chain(DeterministicRng("transport/chain"))
+        with pytest.raises(ValueError, match="transport"):
+            Deployment.build(
+                chain,
+                merkle_scheme,
+                seed="transport",
+                network=SimNetwork(),
+                transport=SimNetwork(),
+            )
+
+
+class TestLocalEndpoints:
+    def test_local_identity_is_served_without_a_socket(self):
+        # Port 1 is never connectable; local dispatch must not try.
+        transport = SocketTransport("127.0.0.1", 1)
+        transport.register("tag", Recorder(reply=CatalogResponse((9,))))
+        response = transport.request("reader", "tag", CatalogRequest())
+        assert response == CatalogResponse((9,))
+        assert transport.stats.messages == 2  # request + response accounted
+
+    def test_registration_errors_match_simnetwork(self):
+        transport = SocketTransport("127.0.0.1", 1)
+        transport.register("tag", Recorder())
+        with pytest.raises(ProtocolError, match="already registered"):
+            transport.register("tag", Recorder())
+        with pytest.raises(UnknownParticipantError):
+            transport.unregister("ghost")
+        with pytest.raises(UnknownParticipantError):
+            transport.replace("ghost", Recorder())
+        assert transport.knows("tag") and not transport.knows("ghost")
+
+    def test_replace_returns_the_old_endpoint(self):
+        transport = SocketTransport("127.0.0.1", 1)
+        first, second = Recorder(), Recorder()
+        transport.register("tag", first)
+        assert transport.replace("tag", second) is first
+
+
+class TestRemoteDelivery:
+    def test_remote_request_round_trips(self, echo_network, make_server):
+        network, echo = echo_network
+        harness = make_server(network)
+        transport = SocketTransport("127.0.0.1", harness.port)
+        response = transport.request("probe", "echo", CatalogRequest())
+        assert response == CatalogResponse((1,))
+        assert echo.calls == 1
+        assert transport.stats.messages == 2
+        transport.close()
+
+    def test_remote_error_status_raises(self, echo_network, make_server):
+        network, _ = echo_network
+        harness = make_server(network)
+        transport = SocketTransport("127.0.0.1", harness.port)
+        with pytest.raises(ServiceError, match="nobody"):
+            transport.request("probe", "nobody", CatalogRequest())
+        transport.close()
+
+    def test_send_is_fire_and_forget(self, echo_network, make_server):
+        network, echo = echo_network
+        harness = make_server(network)
+        transport = SocketTransport("127.0.0.1", harness.port)
+        transport.send("probe", "echo", CatalogRequest())
+        assert echo.calls == 1
+        transport.close()
+
+
+class TestReliableChannelOverSockets:
+    def test_channel_stamps_idempotency_ids(self, echo_network, make_server):
+        network, echo = echo_network
+        harness = make_server(network)
+        transport = SocketTransport("127.0.0.1", harness.port)
+        channel = ReliableChannel(transport, RetryPolicy())
+        channel.request("probe", "echo", CatalogRequest())
+        assert echo.msg_ids == ["probe>echo#1"]
+        transport.close()
+
+    def test_timed_out_attempt_retries_at_most_once(self, make_server):
+        """The classic lost-answer race: the first attempt *executes* but
+        its answer misses the socket timeout; the retry must be absorbed
+        by the server's dedup cache, not run the handler twice."""
+        network = SimNetwork()
+
+        class SlowOnce:
+            def __init__(self):
+                self.calls = 0
+
+            def handle_message(self, sender, message):
+                self.calls += 1
+                if self.calls == 1:
+                    time.sleep(0.3)
+                return CatalogResponse((self.calls,))
+
+        endpoint = SlowOnce()
+        network.register("flaky", endpoint)
+        harness = make_server(network, ServiceConfig(drain_timeout_s=5.0))
+        transport = SocketTransport(
+            "127.0.0.1", harness.port, timeout_s=0.2
+        )
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_backoff_ms=1,
+            jitter=0.0,
+            timeout_ms=200,
+            deadline_ms=30_000,
+        )
+        channel = ReliableChannel(transport, policy)
+        response = channel.request("probe", "flaky", CatalogRequest())
+        # The handler ran exactly once; the retry got the cached answer.
+        assert endpoint.calls == 1
+        assert response == CatalogResponse((1,))
+        transport.close()

@@ -1,0 +1,154 @@
+"""Canonical message codec and envelope: round trips and strictness."""
+
+import dataclasses
+
+import pytest
+
+from repro.desword.messages import (
+    CatalogRequest,
+    CatalogResponse,
+    NextParticipantRequest,
+    NextParticipantResponse,
+    PathQuery,
+    PathQueryResult,
+    PocListSubmission,
+    PocTransfer,
+    ProofResponse,
+    PsBroadcast,
+    PsRequest,
+    QueryRequest,
+    RevealRequest,
+    SWEEP_MODE,
+)
+from repro.obs import TraceContext
+from repro.service import (
+    STATUS_ERROR,
+    STATUS_NONE,
+    STATUS_OK,
+    STATUS_OVERLOAD,
+    RequestEnvelope,
+    ResponseEnvelope,
+    WireError,
+    decode_envelope,
+    decode_message,
+    encode_message,
+)
+
+EVERY_KIND = [
+    PsRequest("task-1"),
+    PsBroadcast("ps-42"),
+    PocTransfer("supplier", b"\x01\x02poc", pair_count=3),
+    PocListSubmission("task-1", poc_list_bytes=4096),
+    QueryRequest("good", 0xBEEF, b"poc-bytes"),
+    ProofResponse("pharmacy", b"proof-bytes"),
+    ProofResponse("refuser", None),
+    RevealRequest(0xDEAD),
+    NextParticipantRequest(0x1234_5678_9ABC),
+    NextParticipantResponse("wholesaler"),
+    NextParticipantResponse(None),
+    PathQuery(0xCAFE),
+    PathQuery(2**96 + 17, SWEEP_MODE, quality="good"),
+    PathQueryResult(0xCAFE, b"canonical-result"),
+    CatalogRequest(),
+    CatalogResponse((1, 2, 2**80)),
+    CatalogResponse(()),
+]
+
+
+class TestMessageCodec:
+    @pytest.mark.parametrize(
+        "message", EVERY_KIND, ids=lambda m: f"{m.kind}-{id(m) % 97}"
+    )
+    def test_round_trip(self, message):
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        assert type(decoded) is type(message)
+
+    def test_encoding_is_deterministic(self):
+        a = encode_message(PathQuery(77, quality="good"))
+        b = encode_message(PathQuery(77, quality="good"))
+        assert a == b
+
+    def test_msg_id_survives_the_wire(self):
+        message = dataclasses.replace(PathQuery(5), msg_id="client>api#9")
+        decoded = decode_message(encode_message(message))
+        assert decoded.msg_id == "client>api#9"
+        assert decoded == message  # msg_id is compare=False metadata
+
+    def test_trace_context_survives_the_wire(self):
+        ctx = TraceContext("trace-1", "span-7", (("tenant", "acme"),))
+        message = dataclasses.replace(RevealRequest(3), trace_ctx=ctx)
+        decoded = decode_message(encode_message(message))
+        assert decoded.trace_ctx == ctx
+
+    def test_bare_message_costs_no_envelope_bytes(self):
+        bare = len(encode_message(PathQuery(5)))
+        stamped = len(
+            encode_message(dataclasses.replace(PathQuery(5), msg_id="x"))
+        )
+        assert stamped > bare
+
+    def test_local_only_proof_object_is_stripped(self):
+        message = ProofResponse("node", b"pb", proof=object())
+        decoded = decode_message(encode_message(message))
+        assert decoded.proof is None
+        assert decoded.proof_bytes == b"pb"
+
+    def test_unknown_kind_code_rejected(self):
+        with pytest.raises(WireError, match="kind code"):
+            decode_message(bytes([200, 0]))
+
+    def test_trailing_bytes_rejected(self):
+        payload = encode_message(CatalogRequest()) + b"\x00"
+        with pytest.raises(WireError):
+            decode_message(payload)
+
+    def test_truncated_payload_rejected(self):
+        payload = encode_message(PsRequest("a-task-identifier"))
+        with pytest.raises(WireError):
+            decode_message(payload[:-3])
+
+    def test_unregistered_type_rejected_at_encode(self):
+        class Rogue(PathQuery):
+            pass
+
+        with pytest.raises(WireError, match="no wire codec"):
+            encode_message(Rogue(1))
+
+
+class TestEnvelopes:
+    def test_request_round_trip(self):
+        envelope = RequestEnvelope(99, "client", "api", PathQuery(0xAB))
+        assert decode_envelope(envelope.encode()) == envelope
+
+    def test_ok_response_round_trip(self):
+        envelope = ResponseEnvelope(7, STATUS_OK, PathQueryResult(1, b"r"))
+        assert decode_envelope(envelope.encode()) == envelope
+
+    @pytest.mark.parametrize("status", [STATUS_NONE, STATUS_OVERLOAD, STATUS_ERROR])
+    def test_statusful_response_round_trip(self, status):
+        envelope = ResponseEnvelope(8, status, detail="why it happened")
+        decoded = decode_envelope(envelope.encode())
+        assert decoded == envelope
+        assert decoded.message is None
+
+    def test_ok_without_message_refused(self):
+        with pytest.raises(WireError, match="carry a message"):
+            ResponseEnvelope(1, STATUS_OK).encode()
+
+    def test_unknown_tag_rejected(self):
+        payload = bytearray(RequestEnvelope(1, "a", "b", CatalogRequest()).encode())
+        payload[0] = 0x77
+        with pytest.raises(WireError, match="envelope tag"):
+            decode_envelope(bytes(payload))
+
+    def test_unknown_status_rejected(self):
+        payload = bytearray(ResponseEnvelope(1, STATUS_NONE, detail="d").encode())
+        payload[9] = 0x99  # the status byte (tag + u64 request id precede it)
+        with pytest.raises(WireError, match="status"):
+            decode_envelope(bytes(payload))
+
+    def test_truncated_envelope_rejected(self):
+        payload = RequestEnvelope(4, "client", "api", PathQuery(9)).encode()
+        with pytest.raises(WireError):
+            decode_envelope(payload[:6])

@@ -477,3 +477,68 @@ def test_parser_rejects_unknown_command():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+class TestServeLoadCommands:
+    def test_serve_prints_ready_and_exits_after_duration(self, capsys):
+        assert main([
+            "serve", "--port", "0", "--products", "4", "--duration", "0.2",
+        ]) == 0
+        output = capsys.readouterr().out
+        ready = [line for line in output.splitlines() if line.startswith("READY ")]
+        assert len(ready) == 1
+        assert "products=4" in ready[0]
+        assert "shards=1" in ready[0]
+
+    def test_serve_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "serve-metrics.json"
+        assert main([
+            "serve", "--port", "0", "--products", "4", "--duration", "0.2",
+            "--metrics-out", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        names = {row["name"] for row in payload["metrics"]["counters"]}
+        assert any(name.startswith("net.") for name in names)
+        assert f"metrics written to {out}" in capsys.readouterr().out
+
+    def test_serve_then_load_round_trip(self, capsys):
+        """The CI smoke in miniature: serve on a thread, drive with load."""
+        import threading
+        import time
+
+        thread = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--port", "0", "--products", "6",
+                    "--shards", "2", "--duration", "6",
+                ],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        buffered = ""
+        for _ in range(100):  # wait for the READY readiness signal
+            buffered += capsys.readouterr().out
+            if "READY " in buffered:
+                break
+            time.sleep(0.1)
+        ready = next(
+            line for line in buffered.splitlines() if line.startswith("READY ")
+        )
+        port = int(ready.split()[1].rsplit(":", 1)[1])
+
+        assert main([
+            "load", "--port", str(port), "--rate", "30",
+            "--duration", "1.0", "--warmup", "0.2", "--skew", "1.1", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["completed"] > 0
+        assert report["errors"] == 0
+        assert report["workload"]["products"] == 6
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_load_unreachable_server_fails_cleanly(self, capsys):
+        assert main(["load", "--port", "1", "--duration", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().out
