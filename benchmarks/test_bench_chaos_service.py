@@ -1,0 +1,243 @@
+"""Chaos soak benchmark: the socket tier's survival envelope, recorded.
+
+Three seed-swept crash-restart soaks run through the ``repro chaos-soak``
+CLI — each drives 200 correctness-checked queries through the seeded TCP
+interposer (latency + corruption + resets) against a 2-shard durable
+deployment, SIGKILLs the server mid-measure, and restarts it on the same
+state dir.  The acceptance bar: every query byte-correct or typed-failed
+(no hangs), completion ratio >= 0.99, every on-disk store verifiable.
+
+A fourth leg measures the interposer's *idle* overhead — an all-zero
+profile must be a transparent relay, so chaos runs measure the faults,
+not the harness.
+
+Everything lands in ``BENCH_chaos_service.json`` in the shape
+:func:`repro.service.schema.validate_bench_chaos` checks, the same
+checker CI runs on the CLI's own ``--json`` output.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.experiment import Deployment
+from repro.desword.messages import SWEEP_MODE, PathQuery
+from repro.poc.scheme import PocScheme
+from repro.service import (
+    AsyncClient,
+    QueryFrontend,
+    ServiceConfig,
+    ServiceServer,
+)
+from repro.service.chaos import ChaosProxy
+from repro.service.schema import validate_bench_chaos
+from repro.supplychain.generator import pharma_chain, product_batch
+from repro.zkedb.hash_backend import MerkleEdbBackend
+
+CHAOS_JSON_PATH = Path(__file__).parent / "BENCH_chaos_service.json"
+
+KEY_BITS = 16
+QUERIES = 200
+SHARDS = 2
+PRODUCTS = 24
+SEEDS = ("bench-chaos-1", "bench-chaos-2", "bench-chaos-3")
+FAULTS = "delay=0.2,delay_ms=5,corrupt=0.05,reset=0.02,seed={seed}"
+MIN_COMPLETION = 0.99
+# The default 40-token floor is tuned for production politeness; under a
+# deliberately hostile 5%-corruption profile the soak needs headroom to
+# retry every injected failure, so the bench raises the floor.
+BUDGET_MIN = 150.0
+
+OVERHEAD_REQUESTS = 200
+OVERHEAD_WARMUP = 30
+OVERHEAD_BOUND = 0.05
+OVERHEAD_ATTEMPTS = 3
+
+
+def _run_soak_cli(seed: str, out_path: Path) -> dict:
+    """One kill-leg soak through the CLI; returns its JSON report."""
+    src_root = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory(prefix="bench-chaos-") as state_dir:
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "chaos-soak",
+                "--products", str(PRODUCTS),
+                "--shards", str(SHARDS),
+                "--queries", str(QUERIES),
+                "--fault-profile", FAULTS.format(seed=seed),
+                "--soak-seed", seed,
+                "--kill-at", "0.4",
+                "--min-completion", str(MIN_COMPLETION),
+                "--budget-min", str(BUDGET_MIN),
+                "--state-dir", str(Path(state_dir) / "state"),
+                "--out", str(out_path),
+                "--json",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=900,
+        )
+    assert proc.returncode == 0, (
+        f"chaos-soak seed {seed!r} exited {proc.returncode}:\n"
+        f"{proc.stdout}\n{proc.stderr}"
+    )
+    return json.loads(out_path.read_text())
+
+
+class _Served:
+    """A ServiceServer on a daemon event-loop thread (bench-local harness)."""
+
+    def __init__(self, transport, config: ServiceConfig | None = None):
+        self.loop = asyncio.new_event_loop()
+        self.server = ServiceServer(transport, config or ServiceConfig())
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="bench-chaos", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self.server.start(), self.loop)
+        self.host, self.port = future.result(30)
+
+    def run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(60)
+
+    def stop(self) -> None:
+        self.run(self.server.stop())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self.loop.close()
+
+
+def _build_world():
+    backend = MerkleEdbBackend(q=4, key_bits=KEY_BITS)
+    scheme = PocScheme.ps_gen(backend, KEY_BITS)
+    chain = pharma_chain(DeterministicRng("bench-chaos/chain"))
+    deployment = Deployment.build(
+        chain, scheme, seed="bench-chaos", shards=SHARDS
+    )
+    products = product_batch(
+        DeterministicRng("bench-chaos/products"), PRODUCTS, KEY_BITS
+    )
+    deployment.distribute(products)
+    QueryFrontend(deployment)
+    return deployment, products
+
+
+def _query(products, i: int) -> PathQuery:
+    """The soak's representative mix: every other query is a sweep."""
+    pid = products[i % len(products)]
+    if i % 2:
+        return PathQuery(pid, mode=SWEEP_MODE)
+    return PathQuery(pid)
+
+
+def _timed_queries(port: int, products, count: int) -> float:
+    """Wall-clock ms for ``count`` serial path queries against ``port``."""
+
+    async def _go():
+        async with AsyncClient("127.0.0.1", port, identity="bench") as client:
+            for i in range(OVERHEAD_WARMUP):
+                await client.request("api", _query(products, i))
+            started = time.perf_counter()
+            for i in range(count):
+                await client.request("api", _query(products, i))
+            return (time.perf_counter() - started) * 1000.0
+
+    return asyncio.run(_go())
+
+
+def _measure_overhead(served: _Served, products) -> dict:
+    """Idle interposer overhead vs direct sockets, best of N attempts.
+
+    The minimum across attempts filters scheduler noise: the relay's
+    true cost is a lower bound every attempt pays, the noise is not.
+    """
+    best = None
+    for _ in range(OVERHEAD_ATTEMPTS):
+        direct_ms = _timed_queries(served.port, products, OVERHEAD_REQUESTS)
+        proxy = ChaosProxy("127.0.0.1", served.port, name="bench-idle")
+        served.run(proxy.start())
+        try:
+            proxied_ms = _timed_queries(proxy.port, products, OVERHEAD_REQUESTS)
+        finally:
+            served.run(proxy.stop())
+        frac = (proxied_ms - direct_ms) / direct_ms
+        if best is None or frac < best["frac"]:
+            best = {
+                "direct_ms": direct_ms,
+                "proxied_ms": proxied_ms,
+                "frac": frac,
+            }
+        if best["frac"] < OVERHEAD_BOUND:
+            break
+    return best
+
+
+def test_chaos_soak_bench(report, tmp_path):
+    runs = []
+    for seed in SEEDS:
+        payload = _run_soak_cli(seed, tmp_path / f"soak-{seed}.json")
+        soak = payload["soak"]
+        # The survival contract, per seed: nothing hangs, nothing
+        # mismatches, the kill really happened, and the stores held.
+        assert soak["clean"], f"seed {seed}: {soak}"
+        assert soak["hangs"] == 0 and soak["mismatches"] == 0
+        assert soak["completion_ratio"] >= MIN_COMPLETION
+        assert payload["restarts"] == 1
+        assert payload["stores"] and all(payload["stores"].values())
+        # The profile actually bit: the interposer injected faults.
+        assert sum(payload["injected"].values()) > 0
+        runs.append({
+            "label": seed,
+            "soak": soak,
+            "injected": payload["injected"],
+            "restarts": payload["restarts"],
+            "elapsed_s": payload["elapsed_s"],
+        })
+
+    deployment, products = _build_world()
+    served = _Served(deployment.network, ServiceConfig(queue_limit=128))
+    try:
+        overhead = _measure_overhead(served, products)
+    finally:
+        served.stop()
+    assert overhead["frac"] < OVERHEAD_BOUND, (
+        f"idle interposer overhead {overhead['frac']:.1%} "
+        f"(direct {overhead['direct_ms']:.1f}ms, "
+        f"proxied {overhead['proxied_ms']:.1f}ms)"
+    )
+
+    payload = {"runs": runs, "overhead": overhead}
+    validate_bench_chaos(payload)
+    CHAOS_JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report.add(
+        f"chaos soak ({QUERIES} queries x {len(SEEDS)} seeds, "
+        f"{SHARDS} shards, SIGKILL mid-run)",
+        "  seed            ok/offered  ratio   errors  injected   p95ms",
+    )
+    for row in runs:
+        soak = row["soak"]
+        injected = sum(row["injected"].values())
+        report.add(
+            f"  {row['label']:<15} {soak['ok']:>4}/{soak['offered']:<6} "
+            f"{soak['completion_ratio']:>6.3f} {soak['errors']:>6} "
+            f"{injected:>9} {soak['latency_ms']['p95']:>7.1f}"
+        )
+    report.add(
+        f"  idle interposer overhead: {overhead['frac']:.2%} "
+        f"(direct {overhead['direct_ms']:.0f}ms vs "
+        f"proxied {overhead['proxied_ms']:.0f}ms "
+        f"over {OVERHEAD_REQUESTS} queries)"
+    )

@@ -21,7 +21,14 @@ Self-contained entry points:
   tier with bounded queues and OVERLOAD shedding);
 * ``load``       — drive a running ``serve`` with an open-loop load
   (Poisson arrivals, Zipf skew, query mix) and report sustained QPS and
-  p50/p95/p99; ``--json`` output is schema-validated.
+  p50/p95/p99; ``--json`` output is schema-validated;
+* ``chaos-soak`` — the crash-restart acceptance loop: spawn a sharded
+  ``serve`` subprocess on a durable ``--state-dir``, put the seeded
+  chaos interposer in front of it, drive the correctness-checked soak
+  through the toxics, SIGKILL and restart the server mid-measure, and
+  verify every on-disk store afterwards; exits non-zero unless every
+  query came back byte-correct or failed typed (no hangs, no silent
+  corruption).
 
 ``--verbose`` (repeatable) turns on the ``repro`` logger hierarchy, and
 ``evaluate --metrics-out FILE`` dumps the full metrics registry + span
@@ -784,7 +791,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         state_dir=args.state_dir,
     )
     products = product_batch(rng.fork("products"), args.products, 32)
-    record, _ = deployment.distribute(products)
+    if getattr(deployment.proxy, "poc_lists", None):
+        # Restored from a journaled --state-dir: the proxy's half of the
+        # distribution is already on disk, so re-running it would
+        # double-journal and double-award.  Replay the node-side half
+        # (deterministic from the seed, cross-checked against the
+        # journaled POC lists) so queries answer byte-identically to the
+        # pre-crash process.  This is the crash-restart path `repro
+        # chaos-soak` exercises: SIGKILL, then the same command line
+        # pointed back at the same directory.
+        participant_ids: set = set()
+        for task_id in sorted(deployment.proxy.poc_lists):
+            replayed = deployment.replay_distribution(products, task_id)
+            participant_ids.update(replayed.involved_participants)
+        participant_count = len(participant_ids)
+    else:
+        record, _ = deployment.distribute(products)
+        participant_count = len(record.involved_participants)
     frontend = QueryFrontend(deployment)
     service_config = ServiceConfig(
         host=args.host,
@@ -801,7 +824,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # the CI smoke (and any wrapper script) waits for.
         print(
             f"READY {host}:{port} products={len(frontend.catalog())} "
-            f"participants={len(record.involved_participants)} "
+            f"participants={participant_count} "
             f"shards={args.shards}",
             flush=True,
         )
@@ -880,6 +903,276 @@ def _cmd_load(args: argparse.Namespace) -> int:
             f"p99={latency['p99']:g}ms max={latency['max']:g}ms"
         )
     return 0 if report.completed else 1
+
+
+def _store_dirs(base) -> list:
+    """Every durable store directory under a (possibly sharded) state dir."""
+    from pathlib import Path
+
+    base = Path(base)
+    if not (base / "router").exists():
+        return [base]
+    dirs = [base / "router"]
+    for shard_dir in sorted(base.glob("shard-*")):
+        primary = shard_dir / "primary"
+        if primary.exists():
+            dirs.append(primary)
+        dirs.extend(sorted(shard_dir.glob("replica-*")))
+    return dirs
+
+
+def _cmd_chaos_soak(args: argparse.Namespace) -> int:
+    """Crash-restart soak: the correctness loop through the interposer.
+
+    Spawns ``repro serve`` as a subprocess on a durable ``--state-dir``,
+    records the clean answer for every (product, mode) over a direct
+    connection, then drives the soak through a :class:`ChaosProxy` armed
+    with ``--fault-profile``.  Partway through, the server is SIGKILLed
+    and restarted on the same state dir and port — recovery is just the
+    same command line again.  Afterwards every on-disk store is
+    integrity-checked.  The exit code asserts the whole contract: every
+    query byte-correct, degraded-with-marker, or failed typed; no hangs;
+    no store corruption; completion ratio at least ``--min-completion``.
+    """
+    import asyncio
+    import json
+    import os
+    import signal
+    import socket as socketlib
+    import subprocess
+    import sys
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from .desword.messages import (
+        INTERACTIVE_MODE,
+        SWEEP_MODE,
+        CatalogRequest,
+        PathQuery,
+    )
+    from .faults import FaultProfile, RetryBudget, RetryPolicy
+    from .service import (
+        AsyncClient,
+        ChaosProxy,
+        SoakConfig,
+        run_soak,
+        validate_soak_report,
+    )
+    from .store import EventDecodeError, ProxyStateStore, StoreError, WalError
+
+    profile = (
+        FaultProfile.parse(args.fault_profile) if args.fault_profile else None
+    )
+    state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-chaos-soak-")
+
+    # The server must come back on the *same* port after the SIGKILL so
+    # the interposer's upstream address stays valid; reserve one up front
+    # instead of letting the OS pick a fresh one per incarnation.
+    with socketlib.socket() as probe:
+        probe.bind((args.host, 0))
+        server_port = probe.getsockname()[1]
+
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p
+    )
+
+    def spawn_server() -> subprocess.Popen:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--backend", "merkle",
+                "--host", args.host,
+                "--port", str(server_port),
+                "--products", str(args.products),
+                "--shards", str(args.shards),
+                "--seed", args.seed,
+                "--state-dir", state_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        assert proc.stdout is not None
+        deadline = time.monotonic() + args.ready_timeout
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            if line.startswith("READY "):
+                return proc
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(
+            f"serve subprocess printed no READY line within "
+            f"{args.ready_timeout:g}s"
+        )
+
+    class _Progress:
+        """Counts issued soak calls so the killer fires mid-measure."""
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.started = 0
+
+        @property
+        def policy(self):
+            return self.inner.policy
+
+        @property
+        def timeout_s(self):
+            return self.inner.timeout_s
+
+        async def request(self, recipient, message, **kwargs):
+            self.started += 1
+            return await self.inner.request(recipient, message, **kwargs)
+
+    async def _run(server_proc):
+        loop = asyncio.get_running_loop()
+        # 1. The clean answers, over a direct fault-free connection.
+        direct = AsyncClient(args.host, server_port, identity="soak-expect")
+        try:
+            catalog = await direct.request("api", CatalogRequest())
+            product_ids = list(catalog.product_ids)
+            if not product_ids:
+                raise RuntimeError("the server's catalog is empty")
+            expected = {}
+            for pid in product_ids:
+                for mode in (INTERACTIVE_MODE, SWEEP_MODE):
+                    answer = await direct.request("api", PathQuery(pid, mode))
+                    expected[(pid, mode)] = answer.result_bytes
+        finally:
+            await direct.close()
+
+        # 2. The soak, through the armed interposer.
+        soak_config = SoakConfig(
+            queries=args.queries,
+            sweep_fraction=args.sweep_fraction,
+            concurrency=args.concurrency,
+            seed=args.soak_seed,
+            hang_timeout_s=args.hang_timeout,
+        )
+        policy = RetryPolicy(
+            max_attempts=args.attempts,
+            base_backoff_ms=args.retry_base_ms,
+            timeout_ms=args.timeout_ms,
+            deadline_ms=args.deadline_ms,
+        )
+
+        async def killer(proc):
+            target = max(1, int(args.queries * args.kill_at))
+            while progress.started < target:
+                await asyncio.sleep(0.02)
+            os.kill(proc.pid, signal.SIGKILL)
+            await loop.run_in_executor(None, proc.wait)
+            return await loop.run_in_executor(None, spawn_server)
+
+        async with ChaosProxy(
+            args.host, server_port, profile,
+            host=args.host, identity=args.chaos_identity, name="chaos-soak",
+        ) as chaos:
+            client = AsyncClient(
+                args.host, chaos.port,
+                identity="chaos-soak",
+                policy=policy,
+                budget=RetryBudget(
+                    min_tokens=args.budget_min,
+                    cap=max(100.0, args.budget_min),
+                ),
+                hedge_after_ms=args.hedge_after_ms or None,
+            )
+            progress = _Progress(client)
+            kill_task = (
+                None if args.no_kill
+                else asyncio.ensure_future(killer(server_proc))
+            )
+            try:
+                report = await run_soak(progress, expected, soak_config)
+            except BaseException:
+                if kill_task is not None:
+                    kill_task.cancel()
+                    await asyncio.gather(kill_task, return_exceptions=True)
+                raise
+            finally:
+                await client.close()
+            if kill_task is not None:
+                server_proc = await kill_task
+            return report, chaos.summary(), server_proc
+
+    started_at = time.monotonic()
+    server_proc = spawn_server()
+    try:
+        report, chaos_summary, server_proc = asyncio.run(_run(server_proc))
+    finally:
+        if server_proc.poll() is None:
+            server_proc.send_signal(signal.SIGINT)
+            try:
+                server_proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server_proc.kill()
+                server_proc.wait()
+
+    # 3. Crash recovery must leave every store readable and consistent.
+    stores = {}
+    for directory in _store_dirs(state_dir):
+        try:
+            stores[str(directory)] = bool(
+                ProxyStateStore.read(directory).verify()["ok"]
+            )
+        except (StoreError, WalError, EventDecodeError):
+            stores[str(directory)] = False
+    stores_ok = all(stores.values())
+
+    payload = {
+        "soak": validate_soak_report(report.to_dict()),
+        "profile": profile.to_dict() if profile is not None else None,
+        "injected": chaos_summary["injected"],
+        "chaos": chaos_summary,
+        "restarts": 0 if args.no_kill else 1,
+        "state_dir": state_dir,
+        "stores": stores,
+        "elapsed_s": time.monotonic() - started_at,
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    ok = (
+        report.clean
+        and stores_ok
+        and report.completion_ratio >= args.min_completion
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0 if ok else 1
+    soak = payload["soak"]
+    injected = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(chaos_summary["injected"].items())
+    ) or "none"
+    print(
+        f"soak: {soak['ok']}/{soak['offered']} byte-correct "
+        f"({soak['completion_ratio']:.3f}), {soak['degraded']} degraded, "
+        f"{soak['errors']} typed errors, {soak['mismatches']} mismatches, "
+        f"{soak['hangs']} hangs"
+    )
+    if soak["typed_errors"]:
+        for name, count in sorted(soak["typed_errors"].items()):
+            print(f"  {name}: {count}")
+    print(f"injected: {injected}")
+    print(
+        f"latency: p50={soak['latency_ms']['p50']:.1f}ms "
+        f"p95={soak['latency_ms']['p95']:.1f}ms "
+        f"max={soak['latency_ms']['max']:.1f}ms "
+        f"(max overrun {soak['max_overrun_ms']:.1f}ms)"
+    )
+    print(f"restarts: {payload['restarts']} (SIGKILL + recover from {state_dir})")
+    for directory, verified in stores.items():
+        print(f"store {directory}: {'OK' if verified else 'CORRUPT'}")
+    print(f"verdict: {'CLEAN' if ok else 'DIRTY'}")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1126,6 +1419,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the schema-validated report as JSON",
     )
     load.set_defaults(func=_cmd_load)
+
+    soak = sub.add_parser(
+        "chaos-soak",
+        help="crash-restart soak through the seeded chaos interposer",
+    )
+    soak.add_argument("--host", default="127.0.0.1")
+    soak.add_argument(
+        "--products", type=int, default=24,
+        help="catalog size for the served deployment",
+    )
+    soak.add_argument(
+        "--shards", type=int, default=2,
+        help="shards in the served proxy tier (the soak targets >= 2)",
+    )
+    soak.add_argument("--seed", default="cli-serve", help="deployment seed")
+    soak.add_argument(
+        "--state-dir", metavar="DIR", default=None,
+        help="durable state dir the server recovers from after the kill "
+             "(default: a fresh temp dir)",
+    )
+    soak.add_argument(
+        "--fault-profile", metavar="SPEC", default=None,
+        help="wire toxics for the interposer: a JSON profile file or "
+             "inline 'delay=0.2,delay_ms=5,corrupt=0.05,reset=0.02,"
+             "seed=run7' — the same syntax `evaluate --fault-profile` "
+             "takes for the simulated network",
+    )
+    soak.add_argument(
+        "--chaos-identity", default=None,
+        help="name the interposer answers to in the profile's crash "
+             "schedule and partition groups",
+    )
+    soak.add_argument("--queries", type=int, default=200)
+    soak.add_argument("--sweep-fraction", type=float, default=0.5)
+    soak.add_argument("--concurrency", type=int, default=4)
+    soak.add_argument("--soak-seed", default="chaos-soak")
+    soak.add_argument(
+        "--kill-at", type=float, default=0.4,
+        help="SIGKILL the server once this fraction of queries has been "
+             "issued; it restarts on the same state dir and port",
+    )
+    soak.add_argument(
+        "--no-kill", action="store_true",
+        help="skip the SIGKILL/restart leg (toxics only)",
+    )
+    soak.add_argument(
+        "--attempts", type=int, default=10, help="retry attempts per query"
+    )
+    soak.add_argument(
+        "--retry-base-ms", type=float, default=50.0,
+        help="base retry backoff; with the default 10 attempts the "
+             "exponential ladder rides out a multi-second restart",
+    )
+    soak.add_argument(
+        "--budget-min", type=float, default=40.0,
+        help="retry budget floor (tokens); each retry spends one",
+    )
+    soak.add_argument(
+        "--timeout-ms", type=float, default=1000.0,
+        help="per-attempt timeout (real milliseconds)",
+    )
+    soak.add_argument(
+        "--deadline-ms", type=float, default=8000.0,
+        help="per-query deadline, propagated on the wire so the server "
+             "sheds work that queued past it",
+    )
+    soak.add_argument(
+        "--hedge-after-ms", type=float, default=0.0,
+        help="hedge idempotent queries that are this late (0 disables)",
+    )
+    soak.add_argument(
+        "--hang-timeout", type=float, default=30.0,
+        help="a query outliving this many seconds counts as a hang",
+    )
+    soak.add_argument(
+        "--ready-timeout", type=float, default=60.0,
+        help="seconds to wait for the serve subprocess's READY line",
+    )
+    soak.add_argument(
+        "--min-completion", type=float, default=0.0,
+        help="fail unless at least this fraction of queries came back "
+             "byte-correct (the chaos benchmark asserts 0.99)",
+    )
+    soak.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the full JSON report to FILE",
+    )
+    soak.add_argument(
+        "--json", action="store_true", help="emit the JSON report on stdout"
+    )
+    soak.set_defaults(func=_cmd_chaos_soak)
 
     incentives = sub.add_parser("incentives", help="double-edged analysis")
     incentives.add_argument("--beta", type=float, default=0.02)

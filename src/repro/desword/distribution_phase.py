@@ -34,6 +34,7 @@ from .proxy import QueryProxy
 __all__ = [
     "DistributionPhaseResult",
     "DistributionResume",
+    "replay_node_credentials",
     "run_distribution_phase",
 ]
 
@@ -84,6 +85,47 @@ def edges_used(record: TaskRecord) -> set[tuple[str, str]]:
     for path in record.product_paths.values():
         edges.update(zip(path, path[1:]))
     return edges
+
+
+def replay_node_credentials(
+    nodes: dict[str, ParticipantNode], record: TaskRecord
+) -> None:
+    """Rebuild node-side task state without touching the proxy.
+
+    The durable store journals only the *proxy's* half of a distribution
+    task; the participants' halves — POC credentials, decommitments,
+    shipping logs — are deterministic functions of the deployment seed.
+    This mirrors step 2 of the phase exactly (same rng forks, same
+    incremental priors, same batched aggregation), so the rebuilt
+    credentials are byte-identical to the originals, and no message ever
+    reaches the proxy — nothing is re-journaled, nothing re-awarded.
+    """
+    task_id = record.task.task_id
+    logs = shipments_from_record(record)
+    traces_by_pid = {}
+    rngs = {}
+    priors = {}
+    to_aggregate = []
+    for participant_id in record.involved_participants:
+        node = nodes[participant_id]
+        node.record_shipments(logs.get(participant_id, {}))
+        if node.poc_for_task(task_id) is not None:
+            continue
+        to_aggregate.append(participant_id)
+        committed, rng = node.poc_input(task_id)
+        traces_by_pid[participant_id] = committed
+        rngs[participant_id] = rng
+        priors[participant_id] = node.latest_dpoc()
+    if not to_aggregate:
+        return
+    scheme = nodes[record.task.initial_participant].scheme
+    with trace.span("distribution.replay", participants=len(to_aggregate)):
+        aggregated = scheme.poc_agg_many(traces_by_pid, rngs=rngs, priors=priors)
+    for participant_id in to_aggregate:
+        poc, dpoc = aggregated[participant_id]
+        nodes[participant_id].accept_credential(
+            poc, dpoc, traces_by_pid[participant_id], task_id
+        )
 
 
 def run_distribution_phase(

@@ -23,6 +23,7 @@ from .adversary import HONEST, Behavior
 from .distribution_phase import (
     DistributionPhaseResult,
     DistributionResume,
+    replay_node_credentials,
     run_distribution_phase,
 )
 from .network import SimNetwork, Transport
@@ -175,6 +176,51 @@ class Deployment:
             retry=self.retry_policy,
         )
         return record, phase
+
+    def replay_distribution(
+        self,
+        product_ids: list[int],
+        task_id: str,
+        initial: str | None = None,
+    ) -> TaskRecord:
+        """Rebuild node-side state for a journaled task after a restart.
+
+        The durable store journals only the proxy's half of a task (POC
+        lists, routes, awards); each participant's half — RFID traces,
+        POC credential, shipping log — is a deterministic function of
+        the deployment seed.  A restarted process re-runs the physical
+        flow and per-node POC aggregation locally, byte-for-byte
+        identical to the original run, and cross-checks the rebuilt
+        POCs against the journaled list so a caller passing the wrong
+        products (or seed) fails loudly instead of answering garbage.
+        Nothing touches the proxy: no re-journaling, no double awards.
+        """
+        poc_list = self.proxy.poc_lists.get(task_id)
+        if poc_list is None:
+            raise KeyError(f"no journaled POC list for task {task_id!r}")
+        initial = initial or self.chain.initial()
+        task = DistributionTask(task_id, initial, tuple(product_ids))
+        record = run_distribution_task(
+            self.chain.topology,
+            self.chain.participants,
+            task,
+            self.rng.fork(f"task/{task_id}"),
+        )
+        replay_node_credentials(self.nodes, record)
+        backend = self.scheme.backend
+        for participant_id in record.involved_participants:
+            journaled = poc_list.poc_of(participant_id)
+            rebuilt = self.nodes[participant_id].poc_for_task(task_id)
+            if journaled is None or rebuilt is None or (
+                journaled.to_bytes(backend) != rebuilt.to_bytes(backend)
+            ):
+                raise ValueError(
+                    f"replayed POC for {participant_id!r} diverges from the "
+                    f"journaled list for task {task_id!r}: the store was "
+                    "written by a different product batch or seed"
+                )
+        self.task_records[task_id] = record
+        return record
 
     def resume_distribution(
         self, task_id: str, resume: DistributionResume

@@ -106,6 +106,10 @@ class QueryResult:
     messages: int = 0
     bytes_sent: int = 0
     reputation_applied: bool = False
+    # Tasks a degraded sweep could not reach (dark shard, replicas
+    # exhausted).  Part of the semantic outcome: a partial answer must
+    # never be byte-identical to a complete one.
+    missing_tasks: list[str] = field(default_factory=list)
     # The causal tree this query's spans belong to; transport metadata
     # like messages/bytes_sent, so excluded from equality and from
     # canonical_bytes() below.
@@ -114,6 +118,11 @@ class QueryResult:
     @property
     def found(self) -> bool:
         return bool(self.path)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether part of the fan-out was unreachable (explicit partial)."""
+        return bool(self.missing_tasks)
 
     def canonical_bytes(self) -> bytes:
         """Semantic identity of the query outcome, transport-independent.
@@ -152,6 +161,13 @@ class QueryResult:
             parts.append(pack_uint(violation.product_id))
             parts.append(pack_str(violation.detail))
             parts.append(b"\x01" if violation.attributable else b"\x00")
+        # Degraded-coverage marker: appended only when a sweep came back
+        # partial, so complete results stay byte-identical to pre-marker
+        # encodings (and to every non-degraded deployment's answer).
+        if self.missing_tasks:
+            parts.append(b"DG1")
+            parts.append(struct.pack(">H", len(self.missing_tasks)))
+            parts.extend(pack_str(task) for task in sorted(self.missing_tasks))
         return b"".join(parts)
 
 

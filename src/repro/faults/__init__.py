@@ -27,7 +27,8 @@ Everything meters through :mod:`repro.obs` (``faults.injected``,
 from .breaker import BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN, BreakerPolicy, CircuitBreaker
 from .network import FaultyNetwork, corrupt_message
 from .profile import CrashEvent, EdgeRule, FaultProfile, Partition
-from .retry import ReliableChannel, RetryPolicy
+from .retry import ReliableChannel, RetryBudget, RetryBudgetExhausted, RetryPolicy
+from .toxics import FrameVerdict, Toxics
 
 __all__ = [
     "BreakerPolicy",
@@ -39,8 +40,12 @@ __all__ = [
     "EdgeRule",
     "FaultProfile",
     "FaultyNetwork",
+    "FrameVerdict",
     "Partition",
     "ReliableChannel",
+    "RetryBudget",
+    "RetryBudgetExhausted",
     "RetryPolicy",
+    "Toxics",
     "corrupt_message",
 ]

@@ -18,6 +18,12 @@ __all__ = ["EdgeRule", "Partition", "CrashEvent", "FaultProfile"]
 
 _RATE_FIELDS = ("drop", "duplicate", "corrupt", "delay")
 
+# Socket-only toxic rates: the TCP interposer reads these, the in-process
+# FaultyNetwork never does (its rates_for() covers only _RATE_FIELDS), so
+# one profile string configures both worlds without either misparsing the
+# other's knobs.
+_WIRE_RATE_FIELDS = ("reset", "blackhole")
+
 
 def _check_rate(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
@@ -121,12 +127,21 @@ class FaultProfile:
     rules: tuple[EdgeRule, ...] = ()
     partitions: tuple[Partition, ...] = ()
     crashes: tuple[CrashEvent, ...] = ()
+    # Wire-only toxics (see repro.faults.toxics / repro.service.chaos):
+    # mid-stream connection resets, half-open blackholes, delay jitter,
+    # bandwidth throttling, and a lingering slow close on reset.
+    reset: float = 0.0
+    blackhole: float = 0.0
+    jitter_ms: float = 0.0
+    bandwidth_kbps: float = 0.0
+    slow_close_ms: float = 0.0
 
     def __post_init__(self):
-        for name in _RATE_FIELDS:
+        for name in _RATE_FIELDS + _WIRE_RATE_FIELDS:
             _check_rate(name, getattr(self, name))
-        if self.delay_ms < 0:
-            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+        for name in ("delay_ms", "jitter_ms", "bandwidth_kbps", "slow_close_ms"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
         object.__setattr__(self, "rules", tuple(self.rules))
         object.__setattr__(self, "partitions", tuple(self.partitions))
         object.__setattr__(self, "crashes", tuple(self.crashes))
@@ -143,6 +158,16 @@ class FaultProfile:
             )
             or bool(self.partitions)
             or bool(self.crashes)
+            or self.wire_enabled
+        )
+
+    @property
+    def wire_enabled(self) -> bool:
+        """Whether any socket-only toxic is armed."""
+        return (
+            any(getattr(self, name) > 0 for name in _WIRE_RATE_FIELDS)
+            or self.jitter_ms > 0
+            or self.bandwidth_kbps > 0
         )
 
     def rates_for(self, sender: str, recipient: str, kind: str) -> EdgeRule:
@@ -185,9 +210,12 @@ class FaultProfile:
         """A profile from a JSON file path or an inline ``k=v,k=v`` spec.
 
         Inline keys: the global rates (``drop``, ``duplicate``/``dup``,
-        ``corrupt``, ``delay``), ``delay_ms``, ``seed``, and repeatable
-        ``crash=IDENTITY@AT`` / ``crash=IDENTITY@AT-RESTART`` entries.
-        Example: ``drop=0.1,dup=0.02,seed=run7,crash=node3@40-90``.
+        ``corrupt``, ``delay``), ``delay_ms``, ``seed``, repeatable
+        ``crash=IDENTITY@AT`` / ``crash=IDENTITY@AT-RESTART`` entries,
+        and the wire-only toxics (``reset``, ``blackhole``, ``jitter_ms``,
+        ``bandwidth_kbps``/``bw``, ``slow_close_ms``) the TCP interposer
+        applies and the in-process network ignores.
+        Example: ``drop=0.1,dup=0.02,reset=0.01,seed=run7,crash=node3@40-90``.
         """
         if spec.endswith(".json") or os.path.exists(spec):
             with open(spec) as handle:
@@ -217,8 +245,13 @@ class FaultProfile:
                         int(restart) if restart else None,
                     )
                 )
-            elif key in ("drop", "duplicate", "dup", "corrupt", "delay", "delay_ms"):
-                fields["duplicate" if key == "dup" else key] = float(value)
+            elif key in (
+                "drop", "duplicate", "dup", "corrupt", "delay", "delay_ms",
+                "reset", "blackhole", "jitter_ms", "bandwidth_kbps", "bw",
+                "slow_close_ms",
+            ):
+                canonical = {"dup": "duplicate", "bw": "bandwidth_kbps"}.get(key, key)
+                fields[canonical] = float(value)
             else:
                 raise ValueError(f"unknown fault spec key {key!r}")
         if crashes:

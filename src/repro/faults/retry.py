@@ -16,6 +16,7 @@ extra accounting — the reliable path stays byte-identical.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass
 
 from ..crypto.rng import DeterministicRng
@@ -23,7 +24,70 @@ from ..desword.errors import NetworkTimeout, ParticipantUnresponsiveError
 from ..desword.messages import Message
 from ..obs import default_registry, trace
 
-__all__ = ["RetryPolicy", "ReliableChannel"]
+__all__ = [
+    "ReliableChannel",
+    "RetryBudget",
+    "RetryBudgetExhausted",
+    "RetryPolicy",
+]
+
+
+class RetryBudgetExhausted(ParticipantUnresponsiveError):
+    """The shared retry budget refused another retry (storm prevention)."""
+
+
+class RetryBudget:
+    """Token bucket bounding the *fleet-wide* retry rate of one client.
+
+    Per-request backoff caps how hard one call hammers a peer; under
+    chaos, though, every in-flight call times out at once and the
+    aggregate retry wave is what tips an overloaded server over.  The
+    budget couples retries to successes-in-progress: every first attempt
+    deposits ``ratio`` tokens, every retry withdraws a whole token, and
+    when the bucket is dry the retry is refused with
+    :class:`RetryBudgetExhausted` instead of queueing more load.
+    ``min_tokens`` keeps a floor so low-traffic clients can still retry;
+    ``cap`` stops an idle period from banking an unbounded burst.
+
+    Thread-safe: one budget is meant to be shared across every channel
+    and socket client a process owns.
+    """
+
+    def __init__(self, ratio: float = 0.1, min_tokens: float = 5.0, cap: float = 100.0):
+        if ratio < 0:
+            raise ValueError(f"ratio must be >= 0, got {ratio}")
+        if min_tokens < 0:
+            raise ValueError(f"min_tokens must be >= 0, got {min_tokens}")
+        if cap < min_tokens:
+            raise ValueError(f"cap ({cap}) must be >= min_tokens ({min_tokens})")
+        self.ratio = ratio
+        self.min_tokens = min_tokens
+        self.cap = cap
+        self._tokens = min_tokens
+        self._lock = threading.Lock()
+        self.deposits = 0
+        self.withdrawals = 0
+        self.refusals = 0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def deposit(self) -> None:
+        """Credit one first attempt."""
+        with self._lock:
+            self._tokens = min(self.cap, self._tokens + self.ratio)
+            self.deposits += 1
+
+    def withdraw(self) -> bool:
+        """Spend one retry token; False means the retry must not happen."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.withdrawals += 1
+                return True
+            self.refusals += 1
+            return False
 
 
 @dataclass(frozen=True)
@@ -67,10 +131,12 @@ class ReliableChannel:
         network,
         policy: RetryPolicy | None = None,
         rng: DeterministicRng | None = None,
+        budget: RetryBudget | None = None,
     ):
         self.network = network
         self.policy = policy
         self.rng = rng or DeterministicRng("retry")
+        self.budget = budget
         self._counter = 0
         # Idempotency ids only matter on networks that can redeliver.
         self._stamping = policy is not None and getattr(
@@ -101,6 +167,8 @@ class ReliableChannel:
     def _attempt(self, op, sender: str, recipient: str, message: Message):
         message = self._stamp(sender, recipient, message)
         policy = self.policy
+        if self.budget is not None:
+            self.budget.deposit()
         spent_ms = 0.0
         for attempt in range(policy.max_attempts):
             try:
@@ -130,6 +198,17 @@ class ReliableChannel:
                     raise ParticipantUnresponsiveError(
                         f"{recipient!r} unresponsive: {attempt + 1} attempts, "
                         f"{spent_ms:.0f}ms of simulated waiting"
+                    ) from None
+                if self.budget is not None and not self.budget.withdraw():
+                    metrics.counter(
+                        "service.client.retry_budget_exhausted", kind=message.kind
+                    ).inc()
+                    trace.event(
+                        "net.budget_exhausted", kind=message.kind, peer=recipient
+                    )
+                    raise RetryBudgetExhausted(
+                        f"retry budget exhausted after {attempt + 1} attempts "
+                        f"to {recipient!r}"
                     ) from None
                 self.network.stats.simulated_ms += backoff
                 spent_ms += backoff

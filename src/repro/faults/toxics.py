@@ -1,0 +1,172 @@
+"""Deterministic per-frame toxic decisions for the TCP interposer.
+
+The socket-world counterpart of :class:`~repro.faults.network.FaultyNetwork`'s
+per-leg fault plan: a :class:`Toxics` instance judges one *frame* at a
+time on one direction of one proxied connection, drawing every decision
+from a :class:`~repro.crypto.rng.DeterministicRng` seeded by
+``(profile.seed, link, direction)``.  Because TCP preserves byte order
+within a direction, the frame sequence a pump sees is a pure function of
+what the peer wrote — so the verdict sequence replays byte-for-byte from
+the profile seed, exactly like the sim-world plan.
+
+The profile's sim-only knobs (``drop``/``duplicate``/``corrupt``/
+``delay``) and its wire-only knobs (``reset``/``blackhole``/
+``jitter_ms``/``bandwidth_kbps``/``slow_close_ms``) both apply here;
+:meth:`FaultProfile.rates_for` never reads the wire-only fields, which is
+what lets one profile string drive both worlds.
+
+Tick semantics mirror the sim: one tick per judged frame on the
+*request* (client->server) direction.  Partition windows and the crash
+schedule are expressed in those ticks; a crash window for the
+interposer's identity turns it dark (frames swallowed, new connections
+refused) until the restart tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.rng import DeterministicRng
+from .profile import FaultProfile
+
+__all__ = ["FrameVerdict", "Toxics"]
+
+# Judged-frame actions, in verdict priority order.
+PASS = "pass"
+DROP = "drop"
+RESET = "reset"
+BLACKHOLE = "blackhole"
+
+
+@dataclass(frozen=True)
+class FrameVerdict:
+    """What the interposer must do with one frame.
+
+    ``action`` is one of ``pass``/``drop``/``reset``/``blackhole``;
+    ``duplicate``/``corrupt``/``delay_ms`` only matter on ``pass``.
+    """
+
+    action: str = PASS
+    duplicate: bool = False
+    corrupt: bool = False
+    delay_ms: float = 0.0
+
+    @property
+    def forwards(self) -> bool:
+        return self.action == PASS
+
+
+class Toxics:
+    """Seeded verdict stream for one direction of one proxied link."""
+
+    def __init__(
+        self,
+        profile: FaultProfile,
+        link: str,
+        direction: str = "c2s",
+        *,
+        identity: str | None = None,
+        peer: str = "client",
+    ):
+        self.profile = profile
+        self.link = link
+        self.direction = direction
+        # The interposer's identity in the profile's partition groups and
+        # crash schedule (e.g. a shard id); the peer is whoever talks
+        # through it.
+        self.identity = identity
+        self.peer = peer
+        self.rng = DeterministicRng(f"{profile.seed}/toxics/{link}/{direction}")
+        self.tick = 0
+        self.injected: dict[str, int] = {}
+
+    # -- schedule windows --------------------------------------------------------
+
+    def dark(self, tick: int | None = None) -> bool:
+        """Whether a crash window for our identity covers this tick."""
+        if self.identity is None:
+            return False
+        tick = self.tick if tick is None else tick
+        for event in self.profile.crashes:
+            if event.identity != self.identity:
+                continue
+            if tick >= event.at and (
+                event.restart_at is None or tick < event.restart_at
+            ):
+                return True
+        return False
+
+    def partitioned(self, tick: int | None = None) -> bool:
+        """Whether a partition window separates us from the peer now."""
+        if self.identity is None:
+            return False
+        tick = self.tick if tick is None else tick
+        return any(
+            partition.active(tick)
+            and partition.separates(self.identity, self.peer)
+            for partition in self.profile.partitions
+        )
+
+    # -- per-frame judgement -----------------------------------------------------
+
+    def judge(self, sender: str = "", recipient: str = "", kind: str = "") -> FrameVerdict:
+        """One deterministic verdict; advances the tick on the request leg.
+
+        Draw order is fixed (drop, duplicate, corrupt, delay, reset,
+        blackhole) so a verdict sequence is reproducible even when most
+        rates are zero — a zero rate consumes no randomness, exactly like
+        the sim plan's short-circuit draws.
+        """
+        profile = self.profile
+        if self.direction == "c2s":
+            self.tick += 1
+        if self.dark():
+            return self._record(FrameVerdict(BLACKHOLE))
+        if self.partitioned():
+            self._count("partition")
+            return FrameVerdict(DROP)
+        rates = profile.rates_for(sender, recipient, kind)
+        if rates.drop and self.rng.random() < rates.drop:
+            self._count("drop")
+            return FrameVerdict(DROP)
+        duplicate = bool(rates.duplicate) and self.rng.random() < rates.duplicate
+        corrupt = bool(rates.corrupt) and self.rng.random() < rates.corrupt
+        delay_ms = 0.0
+        if rates.delay and self.rng.random() < rates.delay:
+            delay_ms = rates.delay_ms
+            if profile.jitter_ms:
+                delay_ms += profile.jitter_ms * self.rng.random()
+        if profile.reset and self.rng.random() < profile.reset:
+            self._count("reset")
+            return FrameVerdict(RESET)
+        if profile.blackhole and self.rng.random() < profile.blackhole:
+            return self._record(FrameVerdict(BLACKHOLE))
+        if duplicate:
+            self._count("duplicate")
+        if corrupt:
+            self._count("corrupt")
+        if delay_ms:
+            self._count("delay")
+        return FrameVerdict(PASS, duplicate=duplicate, corrupt=corrupt, delay_ms=delay_ms)
+
+    def _record(self, verdict: FrameVerdict) -> FrameVerdict:
+        self._count(verdict.action)
+        return verdict
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    # -- byte-level toxics -------------------------------------------------------
+
+    def corrupt_payload(self, payload: bytes) -> bytes:
+        """Flip one payload byte (the frame CRC turns this into a reset)."""
+        if not payload:
+            return payload
+        index = self.rng.randrange(len(payload))
+        return payload[:index] + bytes([payload[index] ^ 0xFF]) + payload[index + 1:]
+
+    def pace_ms(self, nbytes: int) -> float:
+        """Transmission delay for ``nbytes`` at the throttled bandwidth."""
+        if self.profile.bandwidth_kbps <= 0:
+            return 0.0
+        return nbytes / (self.profile.bandwidth_kbps * 1000.0 / 8.0) * 1000.0

@@ -128,6 +128,16 @@ def default_slos() -> list[Slo]:
         # healthy deployment sheds almost nothing at its provisioned rate.
         Slo("service-shed-ratio", "ratio", "service.shed",
             denominator="service.requests", threshold=0.01, op="<="),
+        # Deadline sheds mean queue waits ate whole request budgets; a
+        # few per thousand is chaos-survivable, more is an outage.  The
+        # metric prefix matches only the server-side counter (the
+        # client's is service.client.deadline_exceeded).
+        Slo("service-deadline-ratio", "ratio", "service.deadline_exceeded",
+            denominator="service.requests", threshold=0.05, op="<="),
+        # An exhausted retry budget is the client refusing to amplify an
+        # incident; any occurrence on a healthy run deserves a breach.
+        Slo("retry-budget-exhausted", "bound",
+            "service.client.retry_budget_exhausted", threshold=0.0),
     ]
 
 
@@ -205,8 +215,13 @@ class HealthReport:
                 f"  service: {service['requests']:g} request(s), "
                 f"shed_ratio={service['shed_ratio']:.2%}, "
                 f"queue_peak={service['queue_peak']:g}, "
-                f"{service['frame_errors']:g} frame error(s)"
+                f"{service['frame_errors']:g} frame error(s), "
+                f"{service.get('deadline_exceeded', 0):g} deadline shed(s)"
             )
+        chaos = (service.get("chaos") or {}).get("injected") or {}
+        if chaos:
+            injected = ", ".join(f"{kind}={count:g}" for kind, count in chaos.items())
+            lines.append(f"  chaos interposer: {injected}")
         return "\n".join(lines)
 
 
@@ -354,6 +369,18 @@ class HealthMonitor:
         active = self._max_gauge("service.connections.active")
         queue_peak = self._max_gauge("service.queue.peak")
         latency = self._merged_histogram("service.latency_ms")
+        chaos_injected: dict[str, float] = {}
+        for rendered, value in self.registry.counters_matching(
+            "service.chaos.injected"
+        ).items():
+            # Fold the per-direction series down to per-kind totals.
+            kind = "?"
+            marker = 'kind="'
+            start = rendered.find(marker)
+            if start != -1:
+                start += len(marker)
+                kind = rendered[start:rendered.find('"', start)]
+            chaos_injected[kind] = chaos_injected.get(kind, 0) + value
         return {
             "requests": requests,
             "shed": shed,
@@ -363,6 +390,20 @@ class HealthMonitor:
             "queue_peak": 0 if queue_peak is None else queue_peak,
             "frame_errors": self._sum_counters("service.frame_errors"),
             "dedup_hits": self._sum_counters("service.dedup_hits"),
+            "deadline_exceeded": self._sum_counters("service.deadline_exceeded"),
+            "client_deadline_exceeded": self._sum_counters(
+                "service.client.deadline_exceeded"
+            ),
+            "retry_budget_exhausted": self._sum_counters(
+                "service.client.retry_budget_exhausted"
+            ),
+            "hedges": self._sum_counters("service.client.hedges"),
+            "hedge_wins": self._sum_counters("service.client.hedge_wins"),
+            "degraded_sweeps": self._sum_counters("shard.degraded_sweeps"),
+            "chaos": {
+                "connections": self._sum_counters("service.chaos.connections"),
+                "injected": dict(sorted(chaos_injected.items())),
+            },
             "latency": None
             if latency is None
             else {

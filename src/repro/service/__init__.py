@@ -30,12 +30,29 @@ slogan:
 * :mod:`repro.service.loadgen` — an open-loop load generator (Poisson
   arrivals, query mix, Zipf key skew, warmup/measure windows) reporting
   sustained QPS and p50/p95/p99 from the histogram infrastructure;
+* :mod:`repro.service.chaos` — :class:`ChaosProxy`, a seeded
+  toxiproxy-style TCP interposer applying the wire toxics of a
+  :class:`~repro.faults.profile.FaultProfile` frame by frame (latency,
+  jitter, throttling, drops, duplicates, corruption-to-clean-reset,
+  resets, half-open blackholes, crash/partition windows);
+* :mod:`repro.service.soak` — the correctness-checked chaos soak: every
+  query through the interposer must come back byte-identical to a clean
+  deployment's answer or fail typed, never hang (``repro chaos-soak``);
 * :mod:`repro.service.schema` — the shared report schema checker the
-  CLI's ``repro load --json`` and ``BENCH_service.json`` both validate
-  against, so the two can't drift.
+  CLI's ``repro load --json`` / ``repro chaos-soak`` and the
+  ``BENCH_service.json`` / ``BENCH_chaos_service.json`` artifacts all
+  validate against, so none of them can drift.
 """
 
-from .client import AsyncClient, ServiceError, ServiceOverload, SocketTransport
+from .chaos import ChaosProxy
+from .client import (
+    AsyncClient,
+    ConnectionClosed,
+    DeadlineExceeded,
+    ServiceError,
+    ServiceOverload,
+    SocketTransport,
+)
 from .frames import (
     FRAME_HEADER_SIZE,
     MAX_FRAME_BYTES,
@@ -45,9 +62,17 @@ from .frames import (
 )
 from .frontend import QueryFrontend
 from .loadgen import LoadConfig, LoadReport, run_load, zipf_weights
-from .schema import SchemaError, validate_bench_service, validate_load_report
+from .schema import (
+    SchemaError,
+    validate_bench_chaos,
+    validate_bench_service,
+    validate_load_report,
+    validate_soak_report,
+)
 from .server import ServiceConfig, ServiceEndpoint, ServiceServer
+from .soak import SoakConfig, SoakReport, run_soak
 from .wire import (
+    STATUS_DEADLINE,
     STATUS_ERROR,
     STATUS_NONE,
     STATUS_OK,
@@ -62,6 +87,9 @@ from .wire import (
 
 __all__ = [
     "AsyncClient",
+    "ChaosProxy",
+    "ConnectionClosed",
+    "DeadlineExceeded",
     "FrameDecoder",
     "FrameError",
     "FRAME_HEADER_SIZE",
@@ -77,7 +105,10 @@ __all__ = [
     "ServiceError",
     "ServiceOverload",
     "ServiceServer",
+    "SoakConfig",
+    "SoakReport",
     "SocketTransport",
+    "STATUS_DEADLINE",
     "STATUS_ERROR",
     "STATUS_NONE",
     "STATUS_OK",
@@ -88,7 +119,10 @@ __all__ = [
     "encode_frame",
     "encode_message",
     "run_load",
+    "run_soak",
+    "validate_bench_chaos",
     "validate_bench_service",
     "validate_load_report",
+    "validate_soak_report",
     "zipf_weights",
 ]

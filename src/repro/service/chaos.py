@@ -1,0 +1,276 @@
+"""A toxiproxy-style TCP fault interposer for the socket tier.
+
+:class:`ChaosProxy` listens on its own port and pipes every accepted
+connection to an upstream :class:`~repro.service.server.ServiceServer`,
+applying the wire toxics of a :class:`~repro.faults.profile.FaultProfile`
+frame by frame: added latency and jitter, bandwidth throttling, dropped
+and duplicated frames, payload corruption, mid-stream connection resets
+(with an optional lingering slow close), sticky half-open blackholes,
+and crash/partition windows keyed to the interposer's identity.
+
+The pumps are *frame-aware*: bytes are reassembled into
+``u32 len | u32 crc | payload`` frames (the :mod:`repro.service.frames`
+layout) before judgement, so a toxic always lands on a whole request or
+response — which is what makes a chaos run replayable from its seed, and
+what guarantees corruption is *detectable* corruption: a corrupted
+payload is forwarded under its original header, the receiver's CRC check
+fails, and the connection resets cleanly instead of desynchronizing.
+
+Every decision comes from a :class:`~repro.faults.toxics.Toxics` stream
+seeded by ``(profile.seed, connection, direction)``; with an all-zero
+profile the proxy is a transparent relay (the idle-overhead bound the
+chaos benchmark asserts).  Injections are counted under
+``service.chaos.injected{kind=}`` so ``repro health`` can attribute
+observed client pain to deliberate faults.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from ..faults.profile import FaultProfile
+from ..faults.toxics import BLACKHOLE, DROP, RESET, Toxics
+from ..obs import default_registry, get_logger
+from .frames import FRAME_HEADER_SIZE, MAX_FRAME_BYTES
+
+__all__ = ["ChaosProxy"]
+
+_log = get_logger(__name__)
+
+_READ_CHUNK = 1 << 16
+_HEADER = struct.Struct(">II")  # the frames.py layout: payload len, crc32
+
+
+class ChaosProxy:
+    """Seeded fault-injecting TCP relay in front of one upstream server."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        profile: FaultProfile | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        identity: str | None = None,
+        peer: str = "client",
+        name: str = "chaos",
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.profile = profile or FaultProfile()
+        self.host = host
+        self.port: int | None = None
+        self._requested_port = port
+        # How this proxy is named in the profile's partition groups and
+        # crash schedule (e.g. the shard it fronts).
+        self.identity = identity
+        self.peer = peer
+        self.name = name
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._links: list[tuple[Toxics, Toxics]] = []
+        self._conn_seq = 0
+        self.connections = 0
+        self.refused = 0
+        self.frames_forwarded = 0
+        self.bytes_forwarded = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        if self._server is not None:
+            raise RuntimeError("chaos proxy is already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self._requested_port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        _log.info(
+            "chaos proxy %s on %s:%d -> %s:%d (%s)",
+            self.name, sockname[0], self.port,
+            self.upstream_host, self.upstream_port,
+            "armed" if self.profile.enabled else "transparent",
+        )
+        return sockname[0], self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def summary(self) -> dict:
+        """Injected-fault totals across every link, for fault attribution."""
+        injected: dict[str, int] = {}
+        ticks = 0
+        for c2s, s2c in self._links:
+            ticks = max(ticks, c2s.tick)
+            for toxics in (c2s, s2c):
+                for kind, count in toxics.injected.items():
+                    injected[kind] = injected.get(kind, 0) + count
+        return {
+            "connections": self.connections,
+            "refused": self.refused,
+            "frames_forwarded": self.frames_forwarded,
+            "bytes_forwarded": self.bytes_forwarded,
+            "max_tick": ticks,
+            "injected": injected,
+        }
+
+    # -- per-connection machinery ------------------------------------------------
+
+    def _on_connection(self, reader, writer) -> None:
+        task = asyncio.ensure_future(self._serve(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _serve(self, reader, writer) -> None:
+        metrics = default_registry()
+        self._conn_seq += 1
+        link = f"{self.name}/{self._conn_seq}"
+        c2s = Toxics(
+            self.profile, link, "c2s", identity=self.identity, peer=self.peer
+        )
+        s2c = Toxics(
+            self.profile, link, "s2c", identity=self.identity, peer=self.peer
+        )
+        self._links.append((c2s, s2c))
+        if c2s.dark():
+            # Crash window: the process this proxy impersonates is down,
+            # so a new dial must not even reach the upstream.
+            self.refused += 1
+            metrics.counter("service.chaos.injected", kind="refused").inc()
+            writer.close()
+            return
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            self.refused += 1
+            metrics.counter("service.chaos.injected", kind="refused").inc()
+            writer.close()
+            return
+        self.connections += 1
+        metrics.counter("service.chaos.connections").inc()
+        aborted = asyncio.Event()
+        pumps = [
+            asyncio.ensure_future(self._pump(reader, up_writer, c2s, aborted)),
+            asyncio.ensure_future(self._pump(up_reader, writer, s2c, aborted)),
+        ]
+        try:
+            await aborted.wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for pump in pumps:
+                pump.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+            for sink in (writer, up_writer):
+                sink.close()
+                try:
+                    await sink.wait_closed()
+                except (ConnectionError, OSError, asyncio.CancelledError):
+                    pass
+
+    async def _pump(self, reader, writer, toxics: Toxics, aborted) -> None:
+        """Relay one direction frame by frame, applying the verdicts."""
+        metrics = default_registry()
+        buffer = bytearray()
+        half_open = False
+        try:
+            while not aborted.is_set():
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    return  # clean EOF: tear the whole link down
+                buffer.extend(data)
+                while len(buffer) >= FRAME_HEADER_SIZE:
+                    length = _HEADER.unpack_from(buffer)[0]
+                    if length > MAX_FRAME_BYTES:
+                        # The upstream byte stream itself is broken; a
+                        # reset is the only honest relay of that.
+                        _log.warning(
+                            "%s/%s: unparseable frame length %d, resetting",
+                            toxics.link, toxics.direction, length,
+                        )
+                        return
+                    end = FRAME_HEADER_SIZE + length
+                    if len(buffer) < end:
+                        break  # torn read: wait for the rest
+                    header = bytes(buffer[:FRAME_HEADER_SIZE])
+                    payload = bytes(buffer[FRAME_HEADER_SIZE:end])
+                    del buffer[:end]
+                    if half_open:
+                        continue  # swallow silently: the hole stays open
+                    verdict = toxics.judge()
+                    action = verdict.action
+                    if action != "pass":
+                        metrics.counter(
+                            "service.chaos.injected",
+                            kind=action, direction=toxics.direction,
+                        ).inc()
+                    if action == DROP:
+                        continue
+                    if action == BLACKHOLE:
+                        if not toxics.dark():
+                            # The drawn toxic, not a crash window: this
+                            # direction goes half-open for good.
+                            half_open = True
+                        continue
+                    if action == RESET:
+                        if self.profile.slow_close_ms:
+                            # Linger with the frame unacknowledged, the
+                            # way a dying peer's FIN straggles.
+                            await asyncio.sleep(
+                                self.profile.slow_close_ms / 1000.0
+                            )
+                        return
+                    if verdict.corrupt:
+                        # Original header + mutated payload: the CRC no
+                        # longer matches, so the receiver detects it and
+                        # resets instead of decoding garbage.
+                        payload = toxics.corrupt_payload(payload)
+                        metrics.counter(
+                            "service.chaos.injected",
+                            kind="corrupt", direction=toxics.direction,
+                        ).inc()
+                    if verdict.duplicate:
+                        metrics.counter(
+                            "service.chaos.injected",
+                            kind="duplicate", direction=toxics.direction,
+                        ).inc()
+                    delay_ms = verdict.delay_ms + toxics.pace_ms(end)
+                    if verdict.delay_ms:
+                        metrics.counter(
+                            "service.chaos.injected",
+                            kind="delay", direction=toxics.direction,
+                        ).inc()
+                    if delay_ms:
+                        await asyncio.sleep(delay_ms / 1000.0)
+                    frame = header + payload
+                    writer.write(frame)
+                    copies = 2 if verdict.duplicate else 1
+                    if verdict.duplicate:
+                        writer.write(frame)
+                    await writer.drain()
+                    self.frames_forwarded += copies
+                    self.bytes_forwarded += len(frame) * copies
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            aborted.set()

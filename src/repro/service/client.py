@@ -41,10 +41,11 @@ from ..desword.errors import (
 )
 from ..desword.messages import Message
 from ..desword.network import Endpoint, NetworkStats, stamp_trace, wire_span
-from ..faults.retry import RetryPolicy
+from ..faults.retry import RetryBudget, RetryBudgetExhausted, RetryPolicy
 from ..obs import default_registry, get_logger, trace
 from .frames import FrameDecoder, FrameError, encode_frame
 from .wire import (
+    STATUS_DEADLINE,
     STATUS_ERROR,
     STATUS_NONE,
     STATUS_OK,
@@ -55,7 +56,14 @@ from .wire import (
     decode_envelope,
 )
 
-__all__ = ["AsyncClient", "ServiceError", "ServiceOverload", "SocketTransport"]
+__all__ = [
+    "AsyncClient",
+    "ConnectionClosed",
+    "DeadlineExceeded",
+    "ServiceError",
+    "ServiceOverload",
+    "SocketTransport",
+]
 
 _log = get_logger(__name__)
 
@@ -75,6 +83,26 @@ class ServiceOverload(ServiceError, NetworkTimeout):
     """
 
 
+class ConnectionClosed(ServiceError, NetworkTimeout):
+    """The connection died under an in-flight request (or was closed).
+
+    Typed *and* retryable: requests are idempotency-stamped whenever a
+    policy is set, so "the peer vanished mid-pipeline" wants the same
+    back-off-and-retry reaction as a lost frame — never a hang, never a
+    bare :class:`ConnectionResetError` escaping to protocol code.
+    """
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline expired before the work was done.
+
+    Deliberately *not* a :class:`~repro.desword.errors.NetworkTimeout`:
+    expired work must never be retried — nobody is waiting for the
+    answer any more, and re-queueing it is exactly the metastable
+    overload spiral deadlines exist to prevent.
+    """
+
+
 def _raise_for_status(envelope: ResponseEnvelope, recipient: str):
     if envelope.status == STATUS_OK:
         return envelope.message
@@ -83,6 +111,11 @@ def _raise_for_status(envelope: ResponseEnvelope, recipient: str):
     if envelope.status == STATUS_OVERLOAD:
         raise ServiceOverload(
             f"{recipient!r} shed the request: {envelope.detail or 'overload'}"
+        )
+    if envelope.status == STATUS_DEADLINE:
+        default_registry().counter("service.client.deadline_exceeded").inc()
+        raise DeadlineExceeded(
+            f"{recipient!r} shed expired work: {envelope.detail or 'deadline'}"
         )
     assert envelope.status == STATUS_ERROR
     raise ServiceError(envelope.detail or f"{recipient!r} failed the request")
@@ -100,6 +133,8 @@ class AsyncClient:
         policy: RetryPolicy | None = None,
         rng: DeterministicRng | None = None,
         timeout_s: float = 30.0,
+        budget: RetryBudget | None = None,
+        hedge_after_ms: float | None = None,
     ):
         self.host = host
         self.port = port
@@ -107,12 +142,18 @@ class AsyncClient:
         self.policy = policy
         self.rng = rng or DeterministicRng(f"async-client/{identity}")
         self.timeout_s = timeout_s
+        self.budget = budget
+        # Hedge idempotent requests that are this late (None disables).
+        self.hedge_after_ms = hedge_after_ms
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
         self._pending: dict[int, asyncio.Future] = {}
+        self._dying: set[asyncio.Task] = set()
         self._next_request_id = 0
         self._stamp_counter = 0
+        self._closed = False
+        self._timeouts_in_a_row = 0
 
     async def __aenter__(self) -> "AsyncClient":
         await self.connect()
@@ -122,26 +163,57 @@ class AsyncClient:
         await self.close()
 
     async def connect(self) -> None:
+        if self._closed:
+            raise ConnectionClosed("client closed")
         if self._writer is not None:
             return
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
-        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._reader_task = asyncio.ensure_future(
+            self._read_loop(self._reader, self._writer)
+        )
 
     async def close(self) -> None:
+        """Idempotent shutdown; in-flight calls fail with ConnectionClosed."""
+        if self._closed:
+            return
+        self._closed = True
         writer, self._writer, self._reader = self._writer, None, None
+        task, self._reader_task = self._reader_task, None
         if writer is not None:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            await asyncio.gather(self._reader_task, return_exceptions=True)
-            self._reader_task = None
-        self._fail_pending(ConnectionError("client closed"))
+        if task is not None:
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+        if self._dying:
+            await asyncio.gather(*self._dying, return_exceptions=True)
+        self._fail_pending(ConnectionClosed("client closed"))
+
+    def _abort(self, error: Exception) -> None:
+        """Drop the dead connection so the next request dials fresh.
+
+        Runs inside the read loop (or any failure path), so it must be
+        synchronous: swap the refs out first, then fail the waiters —
+        a waiter that retries immediately sees ``_writer is None`` and
+        reconnects instead of writing into the corpse.
+        """
+        writer, self._writer, self._reader = self._writer, None, None
+        task, self._reader_task = self._reader_task, None
+        if task is not None:
+            # The old read loop must not outlive its connection: were it
+            # left running, it could wake up against a successor reader
+            # (two coroutines on one stream) and wedge the client.
+            task.cancel()
+            self._dying.add(task)
+            task.add_done_callback(self._dying.discard)
+        if writer is not None:
+            writer.close()
+        self._fail_pending(error)
 
     def _fail_pending(self, error: Exception) -> None:
         pending, self._pending = self._pending, {}
@@ -149,11 +221,14 @@ class AsyncClient:
             if not future.done():
                 future.set_exception(error)
 
-    async def _read_loop(self) -> None:
-        assert self._reader is not None
-        reader = self._reader
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Bound to the connection it was spawned for: ``reader`` is
+        # captured here, and teardown checks ``writer`` identity so a
+        # loop outliving a reconnect cannot abort its successor.
         decoder = FrameDecoder()
-        error: Exception = ConnectionError("server closed the connection")
+        error: Exception = ConnectionClosed("server closed the connection")
         try:
             while True:
                 data = await reader.read(_READ_CHUNK)
@@ -168,14 +243,25 @@ class AsyncClient:
                         future.set_result(envelope)
                     # else: the waiter timed out; a late answer is dropped.
         except (FrameError, WireError, ConnectionError, OSError) as exc:
-            error = exc if isinstance(exc, ConnectionError) else ConnectionError(str(exc))
+            error = ConnectionClosed(f"connection lost: {exc}")
         except asyncio.CancelledError:
-            error = ConnectionError("client closed")
+            error = ConnectionClosed("client closed")
+            raise
         finally:
-            self._fail_pending(error)
+            if self._closed:
+                self._fail_pending(error)
+            elif self._writer is writer:
+                self._abort(error)
+            # else: a reconnect already replaced this connection; the
+            # waiters it owned were failed when it was aborted.
 
     async def _roundtrip(
-        self, sender: str, recipient: str, message: Message, timeout_s: float
+        self,
+        sender: str,
+        recipient: str,
+        message: Message,
+        timeout_s: float,
+        deadline_ms: float | None = None,
     ) -> Message | None:
         if self._writer is None:
             await self.connect()
@@ -184,17 +270,74 @@ class AsyncClient:
         request_id = self._next_request_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        envelope = RequestEnvelope(request_id, sender, recipient, message)
-        self._writer.write(encode_frame(envelope.encode()))
-        await self._writer.drain()
+        envelope = RequestEnvelope(
+            request_id, sender, recipient, message, deadline_ms
+        )
         try:
+            self._writer.write(encode_frame(envelope.encode()))
+            await self._writer.drain()
             response = await asyncio.wait_for(future, timeout_s)
         except asyncio.TimeoutError:
             self._pending.pop(request_id, None)
             raise NetworkTimeout(
                 f"no response from {recipient!r} within {timeout_s * 1000:.0f}ms"
             ) from None
+        except asyncio.CancelledError:
+            # A hedged sibling won; leave no orphaned waiter behind.
+            self._pending.pop(request_id, None)
+            raise
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise ConnectionClosed(f"connection lost: {exc}") from None
         return _raise_for_status(response, recipient)
+
+    async def _hedged_roundtrip(
+        self,
+        sender: str,
+        recipient: str,
+        message: Message,
+        timeout_s: float,
+        deadline_ms: float | None,
+    ) -> Message | None:
+        """Race a second identical request once the first runs late.
+
+        Only reached for idempotency-stamped messages: both copies carry
+        the same ``msg_id``, so the server's dedup cache executes the
+        work once and answers both — first answer back wins.
+        """
+        assert self.hedge_after_ms is not None and message.msg_id is not None
+        loop = asyncio.get_running_loop()
+        primary = loop.create_task(
+            self._roundtrip(sender, recipient, message, timeout_s, deadline_ms)
+        )
+        done, _ = await asyncio.wait({primary}, timeout=self.hedge_after_ms / 1000.0)
+        if done:
+            return primary.result()
+        default_registry().counter("service.client.hedges").inc()
+        hedge = loop.create_task(
+            self._roundtrip(sender, recipient, message, timeout_s, deadline_ms)
+        )
+        tasks: set[asyncio.Task] = {primary, hedge}
+        first_error: Exception | None = None
+        while tasks:
+            done, tasks = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                try:
+                    result = task.result()
+                except Exception as exc:
+                    first_error = first_error or exc
+                    continue
+                for straggler in tasks:
+                    straggler.cancel()
+                if tasks:
+                    await asyncio.gather(*tasks, return_exceptions=True)
+                if task is hedge:
+                    default_registry().counter("service.client.hedge_wins").inc()
+                return result
+        assert first_error is not None
+        raise first_error
 
     async def request(
         self, recipient: str, message: Message, *, sender: str | None = None
@@ -204,7 +347,9 @@ class AsyncClient:
         message = stamp_trace(message)
         policy = self.policy
         if policy is None:
-            return await self._roundtrip(sender, recipient, message, self.timeout_s)
+            return await self._roundtrip(
+                sender, recipient, message, self.timeout_s, self.timeout_s * 1000.0
+            )
         if message.msg_id is None:
             self._stamp_counter += 1
             message = dataclasses.replace(
@@ -213,13 +358,45 @@ class AsyncClient:
         metrics = default_registry()
         loop = asyncio.get_running_loop()
         started = loop.time()
+        if self.budget is not None:
+            self.budget.deposit()
+        hedging = self.hedge_after_ms is not None and message.msg_id is not None
         for attempt in range(policy.max_attempts):
-            try:
-                return await self._roundtrip(
-                    sender, recipient, message, policy.timeout_ms / 1000.0
+            # The wire deadline is what's *left* of the request budget,
+            # never more than this attempt is willing to wait.
+            remaining_ms = policy.deadline_ms - (loop.time() - started) * 1000.0
+            if remaining_ms <= 0:
+                metrics.counter("service.client.deadline_exceeded").inc()
+                raise DeadlineExceeded(
+                    f"request deadline of {policy.deadline_ms:.0f}ms spent "
+                    f"before attempt {attempt + 1} to {recipient!r}"
                 )
-            except NetworkTimeout as exc:  # ServiceOverload included
-                kind = "overload" if isinstance(exc, ServiceOverload) else "timeout"
+            deadline_ms = min(policy.timeout_ms, remaining_ms)
+            roundtrip = self._hedged_roundtrip if hedging else self._roundtrip
+            try:
+                result = await roundtrip(
+                    sender, recipient, message,
+                    policy.timeout_ms / 1000.0, deadline_ms,
+                )
+                self._timeouts_in_a_row = 0
+                return result
+            except NetworkTimeout as exc:  # ServiceOverload/ConnectionClosed too
+                if self._closed:
+                    raise ConnectionClosed("client closed") from None
+                if isinstance(exc, ServiceOverload):
+                    kind = "overload"
+                elif isinstance(exc, ConnectionClosed):
+                    kind = "connection"
+                else:
+                    kind = "timeout"
+                    # Repeated dead air on one connection smells like a
+                    # half-open peer (a blackholed interposer, a silently
+                    # dropped NAT entry): dial fresh rather than keep
+                    # shouting into the hole.
+                    self._timeouts_in_a_row += 1
+                    if self._timeouts_in_a_row >= 2 and self._writer is not None:
+                        self._abort(ConnectionClosed("reconnecting: peer went quiet"))
+                        self._timeouts_in_a_row = 0
                 metrics.counter("service.client.failures", kind=kind).inc()
                 backoff_ms = policy.backoff_ms(attempt, self.rng)
                 elapsed_ms = (loop.time() - started) * 1000.0
@@ -232,6 +409,14 @@ class AsyncClient:
                         f"{recipient!r} unresponsive over the socket: "
                         f"{attempt + 1} attempts, {elapsed_ms:.0f}ms elapsed "
                         f"(last: {exc})"
+                    ) from None
+                if self.budget is not None and not self.budget.withdraw():
+                    metrics.counter(
+                        "service.client.retry_budget_exhausted", kind=message.kind
+                    ).inc()
+                    raise RetryBudgetExhausted(
+                        f"retry budget exhausted after {attempt + 1} attempts "
+                        f"to {recipient!r} (last: {exc})"
                     ) from None
                 metrics.counter("service.client.retries", kind=kind).inc()
                 trace.event(
@@ -281,6 +466,7 @@ class SocketTransport:
         self._decoder: FrameDecoder | None = None
         self._next_request_id = 0
         self._lock = threading.Lock()
+        self._closed = False
 
     # -- the Transport registration surface (local identities) -----------------
 
@@ -315,7 +501,9 @@ class SocketTransport:
     # -- connection management -------------------------------------------------
 
     def close(self) -> None:
+        """Idempotent: later RPCs fail fast with ConnectionClosed."""
         with self._lock:
+            self._closed = True
             self._teardown()
 
     def _teardown(self) -> None:
@@ -372,12 +560,17 @@ class SocketTransport:
 
     def _rpc(self, sender: str, recipient: str, message: Message) -> Message | None:
         with self._lock:
+            if self._closed:
+                raise ConnectionClosed("transport closed")
             started = time.monotonic()
             try:
                 sock = self._connected()
                 self._next_request_id += 1
                 request_id = self._next_request_id
-                envelope = RequestEnvelope(request_id, sender, recipient, message)
+                envelope = RequestEnvelope(
+                    request_id, sender, recipient, message,
+                    self.timeout_s * 1000.0,
+                )
                 sock.sendall(encode_frame(envelope.encode()))
                 response = self._read_response(request_id)
             except socket.timeout:
@@ -390,7 +583,7 @@ class SocketTransport:
                 ) from None
             except (ConnectionError, OSError, FrameError, WireError) as exc:
                 self._teardown()
-                raise NetworkTimeout(
+                raise ConnectionClosed(
                     f"socket to {recipient!r} failed: {exc}"
                 ) from None
             elapsed_ms = (time.monotonic() - started) * 1000.0

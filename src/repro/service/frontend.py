@@ -68,9 +68,20 @@ class QueryFrontend:
             product=f"{message.product_id:#x}",
         ):
             if message.mode == SWEEP_MODE:
-                result = self.deployment.proxy.sweep_query(
-                    message.product_id, message.quality
-                )
+                proxy = self.deployment.proxy
+                if getattr(proxy, "supports_partial_sweeps", False):
+                    # The front door prefers an explicit degraded answer
+                    # (missing_tasks marked in the canonical bytes) over
+                    # failing the whole fan-out when one shard is dark.
+                    result = proxy.sweep_query(
+                        message.product_id, message.quality, allow_partial=True
+                    )
+                    if result.degraded:
+                        metrics.counter("service.frontend.degraded").inc()
+                else:
+                    result = proxy.sweep_query(
+                        message.product_id, message.quality
+                    )
             elif message.mode == INTERACTIVE_MODE:
                 result = self.deployment.proxy.query_product(
                     message.product_id, message.quality

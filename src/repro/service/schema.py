@@ -1,9 +1,10 @@
-"""One shared shape-checker for load reports and the service benchmark.
+"""One shared shape-checker for load, soak, and benchmark reports.
 
-``repro load --json`` and ``benchmarks/test_bench_service.py`` emit the
-same report structure; this module is the single definition both
-validate against, so the CLI output and ``BENCH_service.json`` cannot
-drift apart silently.  CI runs both through these functions.
+``repro load --json`` / ``repro chaos-soak --json`` and the service
+benchmarks emit the same report structures; this module is the single
+definition both validate against, so the CLI output and
+``BENCH_service.json`` / ``BENCH_chaos_service.json`` cannot drift apart
+silently.  CI runs all of them through these functions.
 
 Deliberately dependency-free (no jsonschema): a small recursive walker
 over literal shape specs, throwing :class:`SchemaError` with the JSON
@@ -12,7 +13,13 @@ path of the first violation.
 
 from __future__ import annotations
 
-__all__ = ["SchemaError", "validate_bench_service", "validate_load_report"]
+__all__ = [
+    "SchemaError",
+    "validate_bench_chaos",
+    "validate_bench_service",
+    "validate_load_report",
+    "validate_soak_report",
+]
 
 
 class SchemaError(ValueError):
@@ -99,6 +106,78 @@ def validate_load_report(payload: dict) -> dict:
             f"report: outcomes sum to {accounted} but only "
             f"{payload['offered']} requests were offered"
         )
+    return payload
+
+
+_SOAK_SHAPE = {
+    "offered": _NUMBER,
+    "ok": _NUMBER,
+    "degraded": _NUMBER,
+    "mismatches": _NUMBER,
+    "hangs": _NUMBER,
+    "errors": _NUMBER,
+    "typed_errors": dict,
+    "completion_ratio": _NUMBER,
+    "clean": bool,
+    "max_overrun_ms": _NUMBER,
+    "latency_ms": {"p50": _NUMBER, "p95": _NUMBER, "max": _NUMBER},
+}
+
+
+def validate_soak_report(payload: dict) -> dict:
+    """Check one ``SoakReport.to_dict()`` payload; returns it unchanged."""
+    _check(payload, _SOAK_SHAPE, "soak")
+    for name, count in payload["typed_errors"].items():
+        if not isinstance(name, str) or not name:
+            raise SchemaError("soak.typed_errors: keys must be error names")
+        if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+            raise SchemaError(
+                f"soak.typed_errors.{name}: expected a count, got {count!r}"
+            )
+    accounted = (
+        payload["ok"] + payload["degraded"] + payload["mismatches"]
+        + payload["hangs"] + payload["errors"]
+    )
+    if accounted != payload["offered"]:
+        raise SchemaError(
+            f"soak: outcomes sum to {accounted} but {payload['offered']} "
+            "queries were offered (every query must land in exactly one bucket)"
+        )
+    return payload
+
+
+def validate_bench_chaos(payload: dict) -> dict:
+    """Check a whole ``BENCH_chaos_service.json``; returns it unchanged."""
+    if not isinstance(payload, dict):
+        raise SchemaError("bench: expected a top-level object")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise SchemaError("bench: 'runs' must be a non-empty list")
+    for index, run in enumerate(runs):
+        where = f"bench.runs[{index}]"
+        if not isinstance(run, dict):
+            raise SchemaError(f"{where}: expected an object")
+        if not isinstance(run.get("label"), str) or not run["label"]:
+            raise SchemaError(f"{where}.label: expected a non-empty string")
+        if "soak" not in run:
+            raise SchemaError(f"{where}: missing field(s) soak")
+        try:
+            validate_soak_report(run["soak"])
+        except SchemaError as exc:
+            raise SchemaError(f"{where}.{exc}") from None
+        injected = run.get("injected", {})
+        if not isinstance(injected, dict):
+            raise SchemaError(f"{where}.injected: expected an object")
+    overhead = payload.get("overhead")
+    if overhead is not None:
+        if not isinstance(overhead, dict):
+            raise SchemaError("bench.overhead: expected an object")
+        for key in ("direct_ms", "proxied_ms", "frac"):
+            value = overhead.get(key)
+            if isinstance(value, bool) or not isinstance(value, _NUMBER):
+                raise SchemaError(
+                    f"bench.overhead.{key}: expected a number, got {value!r}"
+                )
     return payload
 
 

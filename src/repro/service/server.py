@@ -53,6 +53,7 @@ from ..desword.errors import (
 from ..obs import default_registry, get_logger
 from .frames import MAX_FRAME_BYTES, FrameDecoder, FrameError, encode_frame
 from .wire import (
+    STATUS_DEADLINE,
     STATUS_ERROR,
     STATUS_NONE,
     STATUS_OK,
@@ -206,6 +207,7 @@ class ServiceServer:
         self._queue_peak = 0
         self._accepted = 0
         self._shed = 0
+        self._expired = 0
         self._requests = 0
         self._draining = False
         self.port: int | None = None
@@ -221,6 +223,7 @@ class ServiceServer:
             queue_peak=self._queue_peak,
             requests=self._requests,
             shed=self._shed,
+            deadline_exceeded=self._expired,
         )
 
     def _queue_delta(self, delta: int) -> None:
@@ -384,6 +387,31 @@ class ServiceServer:
             envelope, enqueued_at = await conn.queue.get()
             self._queue_delta(-1)
             try:
+                deadline_ms = envelope.deadline_ms
+                if (
+                    deadline_ms is not None
+                    and (loop.time() - enqueued_at) * 1000.0 > deadline_ms
+                ):
+                    # The client stopped waiting while this sat queued:
+                    # shed it instead of burning a handler slot.
+                    self._expired += 1
+                    metrics.counter(
+                        "service.deadline_exceeded", kind=envelope.message.kind
+                    ).inc()
+                    metrics.counter(
+                        "service.responses", status=status_name(STATUS_DEADLINE)
+                    ).inc()
+                    await self._write(
+                        conn,
+                        ResponseEnvelope(
+                            envelope.request_id,
+                            STATUS_DEADLINE,
+                            detail=(
+                                f"queued past the {deadline_ms:.0f}ms deadline"
+                            ),
+                        ),
+                    )
+                    continue
                 async with self._semaphore:
                     started = loop.time()
                     response = await loop.run_in_executor(

@@ -1,0 +1,223 @@
+"""Correctness-checked chaos soak over the socket tier.
+
+Where :mod:`repro.service.loadgen` measures *throughput* (open-loop
+arrivals, latency quantiles), the soak measures *integrity under fault*:
+every query driven through the :class:`~repro.service.chaos.ChaosProxy`
+must either come back **byte-identical** to the answer a clean
+deployment gives, or fail with a **typed** error the caller can reason
+about — never a hang, never silently wrong bytes.  That is the contract
+the crash-restart acceptance test (`repro chaos-soak`, the chaos
+benchmark) asserts, with the expected bytes collected over a direct,
+fault-free connection before the chaos starts.
+
+A degraded sweep (a dark shard's tasks listed in the result's
+``missing_tasks``) is a first-class outcome: the canonical bytes carry
+an explicit ``DG1`` marker, which the soak recognises and counts
+separately from both clean completions and mismatches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass, field
+
+from ..crypto.rng import DeterministicRng
+from ..desword.errors import NetworkTimeout, ParticipantUnresponsiveError
+from ..desword.messages import INTERACTIVE_MODE, SWEEP_MODE, PathQuery
+from ..obs import get_logger
+from .client import ServiceError
+
+__all__ = ["SoakConfig", "SoakReport", "has_degraded_marker", "run_soak"]
+
+_log = get_logger(__name__)
+
+
+def has_degraded_marker(result_bytes: bytes) -> bool:
+    """Whether canonical query bytes end in a valid ``DG1`` partial marker.
+
+    The marker is a trailer — ``b"DG1" + u16 count + count length-prefixed
+    task ids`` — so it is validated from a candidate start offset forward:
+    the bytes parse as a marker only if the task-id list consumes exactly
+    the remaining bytes.
+    """
+    start = result_bytes.rfind(b"DG1")
+    while start != -1:
+        offset = start + 3
+        if offset + 2 <= len(result_bytes):
+            (count,) = struct.unpack_from(">H", result_bytes, offset)
+            offset += 2
+            for _ in range(count):
+                if offset + 2 > len(result_bytes):
+                    break
+                (length,) = struct.unpack_from(">H", result_bytes, offset)
+                offset += 2 + length
+            else:
+                if count and offset == len(result_bytes):
+                    return True
+        start = result_bytes.rfind(b"DG1", 0, start)
+    return False
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak leg: how many queries, with what mix, judged how strictly."""
+
+    queries: int = 200
+    sweep_fraction: float = 0.5
+    concurrency: int = 4
+    seed: str = "soak"
+    # A query is a hang if it outlives the client's own worst case
+    # (policy deadline + one attempt timeout) by this factor.
+    hang_timeout_s: float = 30.0
+    # The per-call overrun allowance: one retry tick past the deadline.
+    allowed_overrun_ms: float | None = None
+
+    def __post_init__(self):
+        if self.queries < 1:
+            raise ValueError(f"queries must be >= 1, got {self.queries}")
+        if not 0.0 <= self.sweep_fraction <= 1.0:
+            raise ValueError("sweep_fraction must be in [0, 1]")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be > 0")
+
+
+@dataclass
+class SoakReport:
+    """Per-outcome accounting for one soak leg."""
+
+    offered: int = 0
+    ok: int = 0                 # byte-identical to the clean answer
+    degraded: int = 0           # explicit DG1 partial result
+    mismatches: int = 0         # wrong bytes: a correctness failure
+    hangs: int = 0              # call outlived every configured deadline
+    typed_errors: dict[str, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+    max_overrun_ms: float = 0.0  # worst (elapsed - allowed) across calls
+
+    @property
+    def errors(self) -> int:
+        return sum(self.typed_errors.values())
+
+    @property
+    def completion_ratio(self) -> float:
+        return self.ok / self.offered if self.offered else 0.0
+
+    @property
+    def clean(self) -> bool:
+        """The soak contract: every query byte-correct or typed, no hangs."""
+        return self.mismatches == 0 and self.hangs == 0
+
+    def _quantile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def to_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "mismatches": self.mismatches,
+            "hangs": self.hangs,
+            "errors": self.errors,
+            "typed_errors": dict(sorted(self.typed_errors.items())),
+            "completion_ratio": self.completion_ratio,
+            "clean": self.clean,
+            "max_overrun_ms": self.max_overrun_ms,
+            "latency_ms": {
+                "p50": self._quantile(0.50),
+                "p95": self._quantile(0.95),
+                "max": max(self.latencies_ms, default=0.0),
+            },
+        }
+
+
+async def run_soak(
+    client,
+    expected: dict[tuple[int, str], bytes],
+    config: SoakConfig,
+    recipient: str = "api",
+) -> SoakReport:
+    """Drive the query mix and judge every single outcome.
+
+    ``expected`` maps ``(product_id, mode)`` to the canonical bytes a
+    fault-free deployment answers; its key set is the soak's product
+    universe.  ``client`` is an :class:`~repro.service.client.AsyncClient`
+    (typically pointed at a :class:`~repro.service.chaos.ChaosProxy`)
+    whose retry policy bounds each call — the soak's hang timeout is the
+    backstop behind that bound, not a substitute for it.
+    """
+    if not expected:
+        raise ValueError("run_soak needs at least one expected answer")
+    rng = DeterministicRng(f"{config.seed}/soak")
+    keys = sorted(expected)
+    plan: list[tuple[int, str]] = []
+    for _ in range(config.queries):
+        product_id, _ = rng.choice(keys)
+        mode = SWEEP_MODE if rng.random() < config.sweep_fraction else INTERACTIVE_MODE
+        if (product_id, mode) not in expected:
+            product_id, mode = rng.choice(keys)
+        plan.append((product_id, mode))
+
+    policy = client.policy
+    if config.allowed_overrun_ms is not None:
+        allowed_ms = config.allowed_overrun_ms
+    elif policy is not None:
+        # The client may legally finish one whole attempt past its
+        # deadline: the attempt in flight when the budget ran out.
+        allowed_ms = policy.deadline_ms + policy.timeout_ms
+    else:
+        allowed_ms = client.timeout_s * 1000.0
+
+    report = SoakReport(offered=len(plan))
+    loop = asyncio.get_running_loop()
+    semaphore = asyncio.Semaphore(config.concurrency)
+
+    async def one(product_id: int, mode: str) -> None:
+        query = PathQuery(product_id, mode)
+        want = expected[(product_id, mode)]
+        async with semaphore:
+            started = loop.time()
+            try:
+                answer = await asyncio.wait_for(
+                    client.request(recipient, query), config.hang_timeout_s
+                )
+            except asyncio.TimeoutError:
+                report.hangs += 1
+                _log.error("soak hang: %s query for %#x", mode, product_id)
+                return
+            except (
+                ServiceError,
+                NetworkTimeout,
+                ParticipantUnresponsiveError,
+                ConnectionError,
+            ) as exc:
+                name = type(exc).__name__
+                report.typed_errors[name] = report.typed_errors.get(name, 0) + 1
+                return
+            finally:
+                elapsed_ms = (loop.time() - started) * 1000.0
+                report.latencies_ms.append(elapsed_ms)
+                overrun = elapsed_ms - allowed_ms
+                if overrun > report.max_overrun_ms:
+                    report.max_overrun_ms = overrun
+        if answer is None or answer.result_bytes != want:
+            got = b"" if answer is None else answer.result_bytes
+            if has_degraded_marker(got):
+                report.degraded += 1
+            else:
+                report.mismatches += 1
+                _log.error(
+                    "soak mismatch: %s query for %#x answered %d bytes, "
+                    "expected %d", mode, product_id, len(got), len(want),
+                )
+        else:
+            report.ok += 1
+
+    await asyncio.gather(*(one(pid, mode) for pid, mode in plan))
+    return report

@@ -51,6 +51,7 @@ from ..obs import TraceContext
 __all__ = [
     "RequestEnvelope",
     "ResponseEnvelope",
+    "STATUS_DEADLINE",
     "STATUS_ERROR",
     "STATUS_NONE",
     "STATUS_OK",
@@ -70,6 +71,7 @@ class WireError(Exception):
 
 _U16 = struct.Struct(">H")
 _U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
 
 
 def _pack_str(text: str) -> bytes:
@@ -299,13 +301,18 @@ STATUS_OK = 0        # response carries a message
 STATUS_NONE = 1      # handler returned None (valid for one-way kinds)
 STATUS_OVERLOAD = 2  # shed: the server refused to queue the request
 STATUS_ERROR = 3     # handler or routing failure; detail explains
+STATUS_DEADLINE = 4  # shed: the request's deadline expired before dispatch
 
 _STATUS_NAMES = {
     STATUS_OK: "ok",
     STATUS_NONE: "none",
     STATUS_OVERLOAD: "overload",
     STATUS_ERROR: "error",
+    STATUS_DEADLINE: "deadline_exceeded",
 }
+
+# Request-envelope flag bits (distinct from the message-level flags).
+_ENVFLAG_DEADLINE = 0x01
 
 
 def status_name(status: int) -> str:
@@ -314,19 +321,35 @@ def status_name(status: int) -> str:
 
 @dataclass(frozen=True)
 class RequestEnvelope:
-    """One client->server frame: who asks whom, with which message."""
+    """One client->server frame: who asks whom, with which message.
+
+    ``deadline_ms`` is the *remaining* time budget the client grants this
+    attempt, relative to receipt — a duration, not a wall-clock instant,
+    so no cross-process clock sync is needed.  The server measures its
+    own queue wait against it and sheds already-expired work with
+    :data:`STATUS_DEADLINE` instead of burning a handler on an answer
+    nobody is waiting for.
+    """
 
     request_id: int
     sender: str
     recipient: str
     message: Message
+    deadline_ms: float | None = None
 
     def encode(self) -> bytes:
+        flags = 0
+        extras = b""
+        if self.deadline_ms is not None:
+            flags |= _ENVFLAG_DEADLINE
+            extras = _F64.pack(self.deadline_ms)
         return (
             bytes([_ENV_REQUEST])
             + _U64.pack(self.request_id)
+            + bytes([flags])
             + _pack_str(self.sender)
             + _pack_str(self.recipient)
+            + extras
             + encode_message(self.message)
         )
 
@@ -356,10 +379,20 @@ def decode_envelope(payload: bytes) -> RequestEnvelope | ResponseEnvelope:
         tag = reader.take_u8()
         request_id = reader.take_u64()
         if tag == _ENV_REQUEST:
+            flags = reader.take_u8()
+            if flags & ~_ENVFLAG_DEADLINE:
+                raise WireError(f"unknown request envelope flags {flags:#x}")
             sender = reader.take_str()
             recipient = reader.take_str()
+            deadline_ms = None
+            if flags & _ENVFLAG_DEADLINE:
+                deadline_ms = _F64.unpack(reader.take(8))[0]
+                if not deadline_ms >= 0:  # also rejects NaN
+                    raise WireError(f"invalid deadline_ms {deadline_ms}")
             message = decode_message(reader.data[reader.offset:])
-            return RequestEnvelope(request_id, sender, recipient, message)
+            return RequestEnvelope(
+                request_id, sender, recipient, message, deadline_ms
+            )
         if tag == _ENV_RESPONSE:
             status = reader.take_u8()
             if status == STATUS_OK:

@@ -61,6 +61,11 @@ _SHARD_BREAKER = BreakerPolicy(failure_threshold=1, cooldown_ms=float("inf"))
 class ProxyRouter:
     """Consistent-hash router over N ``QueryProxy`` shards."""
 
+    # Callers that can tolerate partial answers (the socket front-end)
+    # may pass ``allow_partial=True`` to sweep_query; feature-detected so
+    # the monolithic QueryProxy surface stays unchanged.
+    supports_partial_sweeps = True
+
     def __init__(
         self,
         scheme,
@@ -255,8 +260,16 @@ class ProxyRouter:
         quality: str | None = None,
         task_id: str | None = None,
         apply_reputation: bool = True,
+        allow_partial: bool = False,
     ) -> QueryResult:
-        """Fan the sweep out across shards; merge in the monolith's order."""
+        """Fan the sweep out across shards; merge in the monolith's order.
+
+        With ``allow_partial`` a dark shard (crashed with no promotable
+        replica left) degrades the sweep instead of failing it: its tasks
+        are listed in the result's ``missing_tasks`` and every reachable
+        shard still contributes.  The default keeps the strict
+        all-or-:class:`~repro.sharding.shard.ShardCrashed` contract.
+        """
         if quality is None:
             quality = "bad" if self.oracle.is_bad(product_id) else "good"
         before = (self.network.stats.messages, self.network.stats.bytes_sent)
@@ -272,12 +285,29 @@ class ProxyRouter:
                 default_registry().counter(
                     "shard.route", shard=shard_id, mode="sweep"
                 ).inc()
-                partial = self._run_on_shard(
-                    shard_id,
-                    lambda primary, tid=tid: primary.sweep_query(
-                        product_id, quality, task_id=tid, apply_reputation=False
-                    ),
-                )
+                try:
+                    partial = self._run_on_shard(
+                        shard_id,
+                        lambda primary, tid=tid: primary.sweep_query(
+                            product_id, quality, task_id=tid, apply_reputation=False
+                        ),
+                    )
+                except ShardCrashed:
+                    if not allow_partial:
+                        raise
+                    result.missing_tasks.append(tid)
+                    default_registry().counter(
+                        "shard.degraded_sweeps", shard=shard_id
+                    ).inc()
+                    trace.event(
+                        "shard.degraded", shard=shard_id, task=tid,
+                        product=f"{product_id:#x}",
+                    )
+                    _log.warning(
+                        "sweep for %#x degraded: shard %s dark, task %r skipped",
+                        product_id, shard_id, tid,
+                    )
+                    continue
                 self._merge_partial(result, partial)
                 self._ship(self.shards[shard_id])
         result.messages = self.network.stats.messages - before[0]

@@ -1,0 +1,177 @@
+"""Unit tests for the interposer's per-frame toxic decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.profile import CrashEvent, FaultProfile, Partition
+from repro.faults.toxics import FrameVerdict, Toxics
+
+
+def judge_stream(toxics: Toxics, count: int) -> list[FrameVerdict]:
+    return [toxics.judge("client", "proxy", "path_query") for _ in range(count)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_link_same_verdicts(self):
+        profile = FaultProfile.parse(
+            "drop=0.2,dup=0.1,corrupt=0.1,delay=0.3,delay_ms=5,"
+            "reset=0.05,blackhole=0.02,seed=det"
+        )
+        first = judge_stream(Toxics(profile, "conn-1"), 200)
+        second = judge_stream(Toxics(profile, "conn-1"), 200)
+        assert first == second
+
+    def test_different_links_draw_independent_streams(self):
+        profile = FaultProfile.parse("drop=0.5,seed=det")
+        a = judge_stream(Toxics(profile, "conn-1"), 100)
+        b = judge_stream(Toxics(profile, "conn-2"), 100)
+        assert a != b
+
+    def test_directions_draw_independent_streams(self):
+        profile = FaultProfile.parse("drop=0.5,seed=det")
+        c2s = judge_stream(Toxics(profile, "conn-1", "c2s"), 100)
+        s2c = judge_stream(Toxics(profile, "conn-1", "s2c"), 100)
+        assert c2s != s2c
+
+    def test_zero_rates_consume_no_randomness(self):
+        """Adding an unused toxic must not shift the other draws."""
+        base = FaultProfile.parse("drop=0.5,seed=det")
+        with_noop = FaultProfile.parse("drop=0.5,corrupt=0,reset=0,seed=det")
+        assert judge_stream(Toxics(base, "x"), 100) == judge_stream(
+            Toxics(with_noop, "x"), 100
+        )
+
+
+class TestTicks:
+    def test_only_the_request_leg_advances_the_tick(self):
+        profile = FaultProfile(seed="ticks")
+        c2s = Toxics(profile, "conn", "c2s")
+        s2c = Toxics(profile, "conn", "s2c")
+        judge_stream(c2s, 5)
+        judge_stream(s2c, 5)
+        assert c2s.tick == 5
+        assert s2c.tick == 0
+
+
+class TestVerdictPrecedence:
+    def test_certain_drop_wins(self):
+        profile = FaultProfile(seed="p", drop=1.0, reset=1.0, blackhole=1.0)
+        verdict = Toxics(profile, "x").judge()
+        assert verdict.action == "drop" and not verdict.forwards
+
+    def test_certain_reset_beats_blackhole(self):
+        profile = FaultProfile(seed="p", reset=1.0, blackhole=1.0)
+        assert Toxics(profile, "x").judge().action == "reset"
+
+    def test_certain_blackhole(self):
+        toxics = Toxics(FaultProfile(seed="p", blackhole=1.0), "x")
+        assert toxics.judge().action == "blackhole"
+        assert toxics.injected == {"blackhole": 1}
+
+    def test_pass_carries_the_mutating_toxics(self):
+        profile = FaultProfile(
+            seed="p", duplicate=1.0, corrupt=1.0, delay=1.0, delay_ms=7.0
+        )
+        verdict = Toxics(profile, "x").judge()
+        assert verdict.forwards
+        assert verdict.duplicate and verdict.corrupt
+        assert verdict.delay_ms == 7.0
+
+    def test_jitter_widens_the_delay(self):
+        profile = FaultProfile(seed="p", delay=1.0, delay_ms=10.0, jitter_ms=5.0)
+        delays = {Toxics(profile, f"x{i}").judge().delay_ms for i in range(20)}
+        assert all(10.0 <= d <= 15.0 for d in delays)
+        assert len(delays) > 1  # jitter actually varies
+
+
+class TestScheduleWindows:
+    def test_crash_window_turns_the_identity_dark(self):
+        profile = FaultProfile(
+            seed="p", crashes=(CrashEvent("shard-0", at=3, restart_at=6),)
+        )
+        toxics = Toxics(profile, "conn", identity="shard-0")
+        actions = [toxics.judge().action for _ in range(8)]
+        # Ticks 1..8: dark when 3 <= tick < 6.
+        assert actions == ["pass", "pass", "blackhole", "blackhole",
+                           "blackhole", "pass", "pass", "pass"]
+        assert toxics.injected["blackhole"] == 3
+
+    def test_crash_without_restart_is_forever(self):
+        profile = FaultProfile(seed="p", crashes=(CrashEvent("shard-0", at=1),))
+        toxics = Toxics(profile, "conn", identity="shard-0")
+        assert all(v.action == "blackhole" for v in judge_stream(toxics, 5))
+
+    def test_other_identities_ignore_the_crash(self):
+        profile = FaultProfile(seed="p", crashes=(CrashEvent("shard-0", at=0),))
+        toxics = Toxics(profile, "conn", identity="shard-1")
+        assert all(v.forwards for v in judge_stream(toxics, 5))
+
+    def test_partition_window_drops_cross_group_frames(self):
+        profile = FaultProfile(
+            seed="p",
+            partitions=(
+                Partition(groups=(("shard-0",), ("client",)), start=2, stop=4),
+            ),
+        )
+        toxics = Toxics(profile, "conn", identity="shard-0", peer="client")
+        actions = [toxics.judge().action for _ in range(5)]
+        assert actions == ["pass", "drop", "drop", "pass", "pass"]
+        assert toxics.injected == {"partition": 2}
+
+
+class TestByteToxics:
+    def test_corrupt_payload_flips_exactly_one_byte(self):
+        toxics = Toxics(FaultProfile(seed="p"), "x")
+        payload = bytes(range(64))
+        mutated = toxics.corrupt_payload(payload)
+        assert len(mutated) == len(payload)
+        diffs = [i for i in range(64) if mutated[i] != payload[i]]
+        assert len(diffs) == 1
+        assert mutated[diffs[0]] == payload[diffs[0]] ^ 0xFF
+
+    def test_corrupt_empty_payload_is_a_no_op(self):
+        toxics = Toxics(FaultProfile(seed="p"), "x")
+        assert toxics.corrupt_payload(b"") == b""
+
+    def test_pace_ms_matches_the_throttle_math(self):
+        toxics = Toxics(FaultProfile(seed="p", bandwidth_kbps=8.0), "x")
+        # 8 kbit/s = 1000 bytes/s, so 500 bytes take 500ms.
+        assert toxics.pace_ms(500) == pytest.approx(500.0)
+
+    def test_no_throttle_means_no_pacing(self):
+        toxics = Toxics(FaultProfile(seed="p"), "x")
+        assert toxics.pace_ms(1 << 20) == 0.0
+
+
+class TestProfileWireKnobs:
+    def test_parse_round_trips_the_wire_only_keys(self):
+        profile = FaultProfile.parse(
+            "reset=0.1,blackhole=0.05,jitter_ms=3,bw=64,slow_close_ms=20,seed=w"
+        )
+        assert profile.reset == 0.1
+        assert profile.blackhole == 0.05
+        assert profile.jitter_ms == 3.0
+        assert profile.bandwidth_kbps == 64.0
+        assert profile.slow_close_ms == 20.0
+        assert FaultProfile.from_dict(profile.to_dict()) == profile
+
+    def test_wire_only_profile_is_invisible_to_the_sim_rates(self):
+        """One string drives both worlds: rates_for() never reads the
+        socket-only toxics, so the in-process network sees a no-op."""
+        profile = FaultProfile.parse("reset=0.5,blackhole=0.5,seed=w")
+        assert profile.enabled and profile.wire_enabled
+        rates = profile.rates_for("a", "b", "path_query")
+        assert (rates.drop, rates.duplicate, rates.corrupt, rates.delay) == (
+            0.0, 0.0, 0.0, 0.0
+        )
+
+    def test_sim_only_profile_arms_no_wire_toxics(self):
+        profile = FaultProfile.parse("drop=0.2,seed=w")
+        assert profile.enabled and not profile.wire_enabled
+
+    def test_rates_are_validated(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultProfile(reset=1.5)
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultProfile(slow_close_ms=-1.0)

@@ -39,6 +39,7 @@ class TestSlo:
         assert names == {
             "query-p95-latency", "query-completion",
             "replication-lag", "trace-drops", "service-shed-ratio",
+            "service-deadline-ratio", "retry-budget-exhausted",
         }
 
     def test_load_slos(self, tmp_path):
@@ -278,6 +279,97 @@ class TestFoldedView:
         stages = monitor.snapshot()["latency"]["stages"]
         assert stages["probe"]["count"] == 10
         assert stages["probe"]["p50_ms"] > 0
+
+
+class TestDeadlineSlo:
+    def slo(self):
+        return next(s for s in default_slos() if s.name == "service-deadline-ratio")
+
+    def observe(self, monitor, expired, requests):
+        monitor.observe_registry(registry_with(counters=[
+            ("service.requests", {"kind": "path_query"}, requests),
+            ("service.deadline_exceeded", {"kind": "path_query"}, expired),
+        ]))
+
+    def test_ok_under_the_budget(self):
+        monitor = HealthMonitor([self.slo()])
+        self.observe(monitor, expired=4, requests=100)
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value == 0.04
+
+    def test_breach_consumes_budget(self):
+        monitor = HealthMonitor([self.slo()])
+        self.observe(monitor, expired=10, requests=100)
+        result = monitor.evaluate().results[0]
+        assert not result.ok and result.value == 0.1
+        assert result.budget_remaining == 0.0
+
+    def test_ignores_the_client_side_counter(self):
+        """The ratio is server sheds only; the client's own count is a
+        different signal (it includes deadlines spent in backoff)."""
+        monitor = HealthMonitor([self.slo()])
+        monitor.observe_registry(registry_with(counters=[
+            ("service.requests", {"kind": "path_query"}, 100),
+            ("service.client.deadline_exceeded", {}, 50),
+        ]))
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value == 0.0
+
+
+class TestRetryBudgetSlo:
+    def slo(self):
+        return next(s for s in default_slos() if s.name == "retry-budget-exhausted")
+
+    def test_no_data_is_vacuously_ok(self):
+        monitor = HealthMonitor([self.slo()])
+        result = monitor.evaluate().results[0]
+        assert result.ok and result.value is None
+
+    def test_any_exhaustion_breaches(self):
+        monitor = HealthMonitor([self.slo()])
+        monitor.observe_registry(registry_with(counters=[
+            ("service.client.retry_budget_exhausted", {"kind": "path_query"}, 1),
+        ]))
+        result = monitor.evaluate().results[0]
+        assert not result.ok and result.value == 1.0
+
+
+class TestChaosView:
+    def test_view_folds_deadline_budget_and_interposer_counters(self):
+        monitor = HealthMonitor()
+        monitor.observe_registry(registry_with(counters=[
+            ("service.requests", {"kind": "path_query"}, 50),
+            ("service.deadline_exceeded", {"kind": "path_query"}, 3),
+            ("service.client.deadline_exceeded", {}, 5),
+            ("service.client.retry_budget_exhausted", {"kind": "timeout"}, 2),
+            ("service.client.hedges", {}, 7),
+            ("service.client.hedge_wins", {}, 4),
+            ("shard.degraded_sweeps", {"shard": "s0"}, 1),
+            ("service.chaos.connections", {}, 9),
+            ("service.chaos.injected", {"direction": "c2s", "kind": "drop"}, 6),
+            ("service.chaos.injected", {"direction": "s2c", "kind": "drop"}, 2),
+            ("service.chaos.injected", {"direction": "c2s", "kind": "reset"}, 1),
+        ]))
+        service = monitor.snapshot()["service"]
+        assert service["deadline_exceeded"] == 3.0
+        assert service["client_deadline_exceeded"] == 5.0
+        assert service["retry_budget_exhausted"] == 2.0
+        assert service["hedges"] == 7.0
+        assert service["hedge_wins"] == 4.0
+        assert service["degraded_sweeps"] == 1.0
+        assert service["chaos"]["connections"] == 9.0
+        assert service["chaos"]["injected"] == {"drop": 8.0, "reset": 1.0}
+
+    def test_render_text_mentions_sheds_and_interposer(self):
+        monitor = HealthMonitor()
+        monitor.observe_registry(registry_with(counters=[
+            ("service.requests", {"kind": "path_query"}, 50),
+            ("service.deadline_exceeded", {"kind": "path_query"}, 3),
+            ("service.chaos.injected", {"direction": "c2s", "kind": "corrupt"}, 4),
+        ]))
+        text = monitor.evaluate().render_text()
+        assert "3 deadline shed(s)" in text
+        assert "chaos interposer: corrupt=4" in text
 
 
 class TestReport:

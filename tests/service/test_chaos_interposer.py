@@ -1,0 +1,186 @@
+"""The TCP chaos interposer end to end against a real ServiceServer.
+
+Every test drives real sockets: client -> ChaosProxy -> ServiceServer.
+The load-bearing claims: a toxic-free proxy is a transparent relay,
+every armed toxic surfaces as a *typed* client error (never a hang,
+never a desynchronized stream), and at-most-once execution holds under
+duplicate-inducing toxics because retries and duplicated frames share
+idempotency ids the server's dedup cache keys on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.desword.errors import NetworkTimeout
+from repro.desword.messages import CatalogRequest, CatalogResponse
+from repro.desword.network import SimNetwork
+from repro.faults.profile import FaultProfile
+from repro.faults.retry import ReliableChannel, RetryPolicy
+from repro.service import AsyncClient, ServiceConfig, SocketTransport
+from repro.service.chaos import ChaosProxy
+from repro.service.client import ConnectionClosed
+
+
+class CountingEcho:
+    def __init__(self):
+        self.calls = 0
+        self.seen_ids: list[str | None] = []
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        self.seen_ids.append(message.msg_id)
+        return CatalogResponse((self.calls,))
+
+
+@pytest.fixture()
+def echo_server(make_server):
+    network = SimNetwork()
+    echo = CountingEcho()
+    network.register("echo", echo)
+    harness = make_server(network, ServiceConfig(drain_timeout_s=2.0))
+    return harness, echo
+
+
+def roundtrip_via(proxy_coro):
+    return asyncio.run(proxy_coro)
+
+
+class TestTransparentRelay:
+    def test_all_zero_profile_forwards_byte_correct(self, echo_server):
+        harness, echo = echo_server
+
+        async def _go():
+            async with ChaosProxy("127.0.0.1", harness.port) as chaos:
+                async with AsyncClient("127.0.0.1", chaos.port) as client:
+                    responses = [
+                        await client.request("echo", CatalogRequest())
+                        for _ in range(5)
+                    ]
+                return responses, chaos.summary()
+
+        responses, summary = asyncio.run(_go())
+        assert [r.product_ids[0] for r in responses] == [1, 2, 3, 4, 5]
+        assert echo.calls == 5
+        assert summary["connections"] == 1
+        assert summary["injected"] == {}
+        # 5 requests + 5 responses crossed the relay.
+        assert summary["frames_forwarded"] == 10
+        assert summary["max_tick"] == 5
+        assert summary["bytes_forwarded"] > 0
+
+
+class TestTypedFailures:
+    def test_certain_corruption_is_a_clean_reset_not_a_desync(self, echo_server):
+        """A corrupted payload travels under its original header; the
+        server's CRC check fails and it drops the connection — the
+        client sees the typed ConnectionClosed, never garbage."""
+        harness, echo = echo_server
+        profile = FaultProfile(seed="corrupt", corrupt=1.0)
+
+        async def _go():
+            async with ChaosProxy("127.0.0.1", harness.port, profile) as chaos:
+                async with AsyncClient("127.0.0.1", chaos.port) as client:
+                    with pytest.raises(ConnectionClosed):
+                        await client.request("echo", CatalogRequest())
+                return chaos.summary()
+
+        summary = asyncio.run(_go())
+        assert summary["injected"].get("corrupt", 0) >= 1
+        assert echo.calls == 0  # the corrupted request never decoded
+
+    def test_certain_reset_raises_typed(self, echo_server):
+        harness, _ = echo_server
+        profile = FaultProfile(seed="reset", reset=1.0)
+
+        async def _go():
+            async with ChaosProxy("127.0.0.1", harness.port, profile) as chaos:
+                async with AsyncClient("127.0.0.1", chaos.port) as client:
+                    with pytest.raises(ConnectionClosed):
+                        await client.request("echo", CatalogRequest())
+                return chaos.summary()
+
+        assert asyncio.run(_go())["injected"]["reset"] == 1
+
+    def test_blackhole_is_a_timeout_not_a_hang(self, echo_server):
+        harness, _ = echo_server
+        profile = FaultProfile(seed="hole", blackhole=1.0)
+
+        async def _go():
+            async with ChaosProxy("127.0.0.1", harness.port, profile) as chaos:
+                async with AsyncClient("127.0.0.1", chaos.port) as client:
+                    with pytest.raises(NetworkTimeout):
+                        await client._roundtrip(
+                            "tester", "echo", CatalogRequest(), 0.3, None
+                        )
+
+        asyncio.run(_go())
+
+    def test_retry_policy_rides_out_a_single_reset(self, echo_server):
+        """One certain reset on connection 1; the retry dials fresh
+        through the proxy (connection 2 draws its own toxics stream)."""
+        harness, echo = echo_server
+        # Only the first connection's first frame resets: rate 1.0 would
+        # also reset the retry, so use a crash-free trick — a profile
+        # whose reset rate is high but whose second-link draw passes.
+        profile = FaultProfile(seed="retry-seed", reset=0.5)
+
+        async def _go():
+            async with ChaosProxy("127.0.0.1", harness.port, profile) as chaos:
+                client = AsyncClient(
+                    "127.0.0.1", chaos.port,
+                    policy=RetryPolicy(
+                        max_attempts=8, base_backoff_ms=1.0,
+                        timeout_ms=1000.0, deadline_ms=20_000.0,
+                    ),
+                )
+                try:
+                    return await client.request("echo", CatalogRequest())
+                finally:
+                    await client.close()
+
+        response = asyncio.run(_go())
+        assert isinstance(response, CatalogResponse)
+        assert echo.calls >= 1
+
+
+class TestAtMostOnceUnderChaos:
+    @pytest.mark.parametrize("seed", ["sweep-1", "sweep-2", "sweep-3"])
+    def test_duplicates_and_resets_never_double_execute(
+        self, echo_server, seed
+    ):
+        """ReliableChannel over SocketTransport through a duplicating,
+        resetting interposer: every delivered copy of a request shares
+        its idempotency id, so the endpoint runs each logical op once."""
+        harness, echo = echo_server
+        profile = FaultProfile(seed=seed, duplicate=0.4, reset=0.1)
+
+        proxy = ChaosProxy(
+            "127.0.0.1", harness.port, profile, name=f"amo/{seed}"
+        )
+        harness.run(proxy.start())
+        transport = SocketTransport("127.0.0.1", proxy.port, timeout_s=5.0)
+        channel = ReliableChannel(
+            transport,
+            RetryPolicy(
+                max_attempts=10, base_backoff_ms=1.0,
+                timeout_ms=5000.0, deadline_ms=60_000.0,
+            ),
+            DeterministicRng(f"amo/{seed}"),
+        )
+        try:
+            responses = [
+                channel.request("tester", "echo", CatalogRequest())
+                for _ in range(12)
+            ]
+        finally:
+            transport.close()
+            harness.run(proxy.stop())
+        assert all(isinstance(r, CatalogResponse) for r in responses)
+        # Idempotency stamped on the wire (the transport advertises it).
+        assert all(mid is not None for mid in echo.seen_ids)
+        # At-most-once: duplicates and retried deliveries deduped away.
+        assert echo.calls == len(set(echo.seen_ids)) == 12

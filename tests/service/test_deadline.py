@@ -1,0 +1,152 @@
+"""Deadline propagation: wire encoding, server-side shedding, no-retry."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+
+import pytest
+
+from repro.desword.messages import CatalogRequest, CatalogResponse
+from repro.desword.network import SimNetwork
+from repro.faults.retry import RetryPolicy
+from repro.service import AsyncClient, ServiceConfig
+from repro.service.client import DeadlineExceeded
+from repro.service.wire import (
+    RequestEnvelope,
+    WireError,
+    decode_envelope,
+    encode_message,
+)
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode()
+    return struct.pack(">H", len(raw)) + raw
+
+
+def _raw_request(flags: int, deadline: float | None) -> bytes:
+    extras = b"" if deadline is None else struct.pack(">d", deadline)
+    return (
+        bytes([0x01])
+        + struct.pack(">Q", 7)
+        + bytes([flags])
+        + _pack_str("a")
+        + _pack_str("b")
+        + extras
+        + encode_message(CatalogRequest())
+    )
+
+
+class TestWire:
+    def test_deadline_round_trips(self):
+        envelope = RequestEnvelope(9, "a", "b", CatalogRequest(), 123.5)
+        decoded = decode_envelope(envelope.encode())
+        assert decoded == envelope
+        assert decoded.deadline_ms == 123.5
+
+    def test_absent_deadline_costs_zero_bytes_and_decodes_none(self):
+        with_deadline = RequestEnvelope(9, "a", "b", CatalogRequest(), 10.0)
+        without = RequestEnvelope(9, "a", "b", CatalogRequest())
+        assert len(without.encode()) == len(with_deadline.encode()) - 8
+        assert decode_envelope(without.encode()).deadline_ms is None
+
+    def test_unknown_envelope_flag_bits_are_rejected(self):
+        with pytest.raises(WireError, match="unknown request envelope flags"):
+            decode_envelope(_raw_request(0x02, None))
+
+    def test_negative_deadline_is_rejected(self):
+        with pytest.raises(WireError, match="invalid deadline_ms"):
+            decode_envelope(_raw_request(0x01, -5.0))
+
+    def test_nan_deadline_is_rejected(self):
+        with pytest.raises(WireError, match="invalid deadline_ms"):
+            decode_envelope(_raw_request(0x01, float("nan")))
+
+
+class SlowEcho:
+    """Occupies the single handler slot long enough to expire the queue."""
+
+    def __init__(self, sleep_s: float):
+        self.sleep_s = sleep_s
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        time.sleep(self.sleep_s)
+        return CatalogResponse((self.calls,))
+
+
+class TestServerShedding:
+    def test_expired_queue_waits_are_shed_not_executed(self, make_server):
+        network = SimNetwork()
+        echo = SlowEcho(sleep_s=0.15)
+        network.register("slow", echo)
+        harness = make_server(
+            network, ServiceConfig(concurrency=1, drain_timeout_s=2.0)
+        )
+
+        async def _go():
+            async with AsyncClient("127.0.0.1", harness.port) as client:
+                return await asyncio.gather(
+                    *(
+                        client._roundtrip(
+                            "tester", "slow", CatalogRequest(), 10.0, 40.0
+                        )
+                        for _ in range(4)
+                    ),
+                    return_exceptions=True,
+                )
+
+        results = asyncio.run(_go())
+        shed = [r for r in results if isinstance(r, DeadlineExceeded)]
+        served = [r for r in results if isinstance(r, CatalogResponse)]
+        # The first request dequeues immediately; the rest sit behind the
+        # 150ms handler well past their 40ms budget and must be shed.
+        assert len(served) >= 1
+        assert len(shed) >= 1
+        assert len(served) + len(shed) == 4
+        assert all("deadline" in str(r) for r in shed)
+        # Shed work never reached a handler, and the server counted it.
+        assert echo.calls == len(served)
+        assert network.stats.service["deadline_exceeded"] == len(shed)
+
+    def test_fresh_requests_with_deadlines_are_served(self, make_server):
+        network = SimNetwork()
+        echo = SlowEcho(sleep_s=0.0)
+        network.register("slow", echo)
+        harness = make_server(network, ServiceConfig(drain_timeout_s=2.0))
+
+        async def _go():
+            async with AsyncClient("127.0.0.1", harness.port) as client:
+                return await client._roundtrip(
+                    "tester", "slow", CatalogRequest(), 10.0, 5000.0
+                )
+
+        assert asyncio.run(_go()) == CatalogResponse((1,))
+
+
+class TestNoRetryOnDeadline:
+    def test_deadline_exceeded_is_terminal_not_retried(self):
+        """Expired work must never be re-queued: DeadlineExceeded is not
+        a NetworkTimeout, so the retry loop lets it escape on attempt 1."""
+        calls = 0
+
+        async def fake_roundtrip(sender, recipient, message, timeout_s, deadline_ms=None):
+            nonlocal calls
+            calls += 1
+            raise DeadlineExceeded("server shed expired work")
+
+        client = AsyncClient(
+            "127.0.0.1", 1, policy=RetryPolicy(max_attempts=3, deadline_ms=5000.0)
+        )
+        client._roundtrip = fake_roundtrip
+
+        async def _go():
+            with pytest.raises(DeadlineExceeded):
+                await client.request("anyone", CatalogRequest())
+            await client.close()
+
+        asyncio.run(_go())
+        assert calls == 1

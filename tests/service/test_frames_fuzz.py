@@ -1,0 +1,165 @@
+"""Seeded fuzz of the frame decoder (chaos satellite).
+
+The chaos interposer can corrupt, truncate, splice, and re-chunk the
+byte stream arbitrarily; the service's no-hang guarantee rests on the
+decoder's contract that *any* input either decodes cleanly or raises
+``FrameError`` — never desynchronizes silently, never buffers without
+bound.  These tests drive that contract with deterministic mutation
+storms so a regression reproduces from the seed alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.rng import DeterministicRng
+from repro.service.frames import (
+    FRAME_HEADER_SIZE,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+
+MAX_PAYLOAD = 1024
+
+
+def make_payloads(rng: DeterministicRng, count: int) -> list[bytes]:
+    return [
+        rng.randbytes(rng.randrange(0, MAX_PAYLOAD + 1)) for _ in range(count)
+    ]
+
+
+def chunked_feed(decoder: FrameDecoder, stream: bytes, rng: DeterministicRng):
+    """Feed the stream in random-sized pieces, collecting decoded payloads."""
+    out: list[bytes] = []
+    offset = 0
+    while offset < len(stream):
+        step = rng.randrange(1, 64)
+        out.extend(decoder.feed(stream[offset:offset + step]))
+        offset += step
+    return out
+
+
+class TestTruncation:
+    def test_every_prefix_decodes_a_prefix_of_the_payloads(self):
+        rng = DeterministicRng("fuzz/truncate")
+        payloads = make_payloads(rng, 6)
+        stream = b"".join(encode_frame(p) for p in payloads)
+        # Sweep a sample of cut points including every frame boundary.
+        boundaries = []
+        position = 0
+        for payload in payloads:
+            position += FRAME_HEADER_SIZE + len(payload)
+            boundaries.append(position)
+        cuts = set(boundaries)
+        cuts.update(rng.randrange(0, len(stream) + 1) for _ in range(200))
+        for cut in sorted(cuts):
+            decoder = FrameDecoder(max_bytes=MAX_PAYLOAD)
+            decoded = decoder.feed(stream[:cut])
+            assert decoded == payloads[: len(decoded)]
+            # Whatever was torn stays buffered, bounded by one frame.
+            assert decoder.buffered <= FRAME_HEADER_SIZE + MAX_PAYLOAD
+
+    def test_byte_at_a_time_is_equivalent_to_one_shot(self):
+        rng = DeterministicRng("fuzz/dribble")
+        payloads = make_payloads(rng, 4)
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder(max_bytes=MAX_PAYLOAD)
+        decoded: list[bytes] = []
+        for i in range(len(stream)):
+            decoded.extend(decoder.feed(stream[i:i + 1]))
+        assert decoded == payloads
+        assert decoder.buffered == 0
+
+
+def mutate(stream: bytes, rng: DeterministicRng) -> bytes:
+    """One random structural mutation of the byte stream."""
+    data = bytearray(stream)
+    op = rng.choice(["flip", "insert", "delete", "truncate", "splice"])
+    if not data and op in ("flip", "delete", "truncate"):
+        op = "insert"
+    if op == "flip":
+        index = rng.randrange(0, len(data))
+        data[index] ^= 1 << rng.randrange(0, 8)
+    elif op == "insert":
+        index = rng.randrange(0, len(data) + 1)
+        data[index:index] = rng.randbytes(rng.randrange(1, 16))
+    elif op == "delete":
+        index = rng.randrange(0, len(data))
+        del data[index:index + rng.randrange(1, 16)]
+    elif op == "truncate":
+        del data[rng.randrange(0, len(data)):]
+    else:  # splice: duplicate a random slice elsewhere in the stream
+        start = rng.randrange(0, len(data) + 1)
+        end = min(len(data), start + rng.randrange(0, 64))
+        index = rng.randrange(0, len(data) + 1)
+        data[index:index] = data[start:end]
+    return bytes(data)
+
+
+class TestMutationStorm:
+    @pytest.mark.parametrize("seed", ["storm-a", "storm-b", "storm-c"])
+    def test_mutated_streams_decode_or_raise_never_hang_or_overbuffer(self, seed):
+        rng = DeterministicRng(f"fuzz/{seed}")
+        for round_index in range(60):
+            payloads = make_payloads(rng, rng.randrange(1, 5))
+            stream = b"".join(encode_frame(p) for p in payloads)
+            for _ in range(rng.randrange(1, 4)):
+                stream = mutate(stream, rng)
+            decoder = FrameDecoder(max_bytes=MAX_PAYLOAD)
+            decoded: list[bytes] = []
+            offset = 0
+            poisoned = False
+            while offset < len(stream):
+                step = rng.randrange(1, 48)
+                try:
+                    decoded.extend(decoder.feed(stream[offset:offset + step]))
+                except FrameError:
+                    poisoned = True
+                    break
+                # The decoder never holds more than one frame's worth
+                # plus the chunk that completed it.
+                assert decoder.buffered <= FRAME_HEADER_SIZE + MAX_PAYLOAD + 48
+                offset += step
+            if poisoned:
+                # Poisoned decoders refuse everything afterwards — the
+                # owner must reset the connection, exactly what the
+                # chaos-aware transports do.
+                with pytest.raises(FrameError, match="poisoned"):
+                    decoder.feed(b"\x00")
+            else:
+                # Clean decode: every yielded payload round-trips its CRC
+                # by construction; nothing may linger beyond a torn tail.
+                assert decoder.buffered <= FRAME_HEADER_SIZE + MAX_PAYLOAD
+
+    def test_corrupted_payload_byte_always_raises_crc(self):
+        rng = DeterministicRng("fuzz/crc")
+        for _ in range(40):
+            payload = rng.randbytes(rng.randrange(1, MAX_PAYLOAD))
+            frame = bytearray(encode_frame(payload))
+            index = FRAME_HEADER_SIZE + rng.randrange(0, len(payload))
+            frame[index] ^= 1 << rng.randrange(0, 8)
+            decoder = FrameDecoder(max_bytes=MAX_PAYLOAD)
+            with pytest.raises(FrameError, match="CRC mismatch"):
+                decoder.feed(bytes(frame))
+
+    def test_oversized_length_raises_before_buffering_the_body(self):
+        decoder = FrameDecoder(max_bytes=MAX_PAYLOAD)
+        huge = encode_frame(b"x" * (MAX_PAYLOAD + 1))
+        with pytest.raises(FrameError, match="exceeds"):
+            decoder.feed(huge[:FRAME_HEADER_SIZE])
+        # Poisoning is sticky even for otherwise-valid follow-up frames.
+        with pytest.raises(FrameError, match="poisoned"):
+            decoder.feed(encode_frame(b"ok"))
+
+
+class TestInterleavedChunking:
+    def test_random_chunking_of_a_clean_stream_is_lossless(self):
+        outer = DeterministicRng("fuzz/chunking")
+        for seed_index in range(10):
+            rng = outer.fork(f"round/{seed_index}")
+            payloads = make_payloads(rng, 8)
+            stream = b"".join(encode_frame(p) for p in payloads)
+            decoder = FrameDecoder(max_bytes=MAX_PAYLOAD)
+            assert chunked_feed(decoder, stream, rng) == payloads
+            assert decoder.buffered == 0

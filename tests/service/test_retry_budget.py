@@ -1,0 +1,169 @@
+"""Retry budgets and hedging on the socket client."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.desword.messages import CatalogRequest, CatalogResponse
+from repro.desword.network import SimNetwork
+from repro.faults.retry import RetryBudget, RetryBudgetExhausted, RetryPolicy
+from repro.obs import default_registry
+from repro.service import AsyncClient, ServiceConfig
+
+
+class TestRetryBudgetUnit:
+    def test_starts_at_the_floor_and_refuses_when_dry(self):
+        budget = RetryBudget(ratio=0.0, min_tokens=2.0, cap=10.0)
+        assert budget.tokens == 2.0
+        assert budget.withdraw() and budget.withdraw()
+        assert not budget.withdraw()
+        assert budget.withdrawals == 2 and budget.refusals == 1
+
+    def test_first_attempts_earn_fractional_retries(self):
+        budget = RetryBudget(ratio=0.5, min_tokens=0.0, cap=10.0)
+        assert not budget.withdraw()  # empty bucket
+        budget.deposit()
+        budget.deposit()
+        assert budget.tokens == 1.0
+        assert budget.withdraw()
+        assert not budget.withdraw()
+
+    def test_cap_bounds_the_banked_burst(self):
+        budget = RetryBudget(ratio=1.0, min_tokens=0.0, cap=3.0)
+        for _ in range(10):
+            budget.deposit()
+        assert budget.tokens == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ratio"):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ValueError, match="cap"):
+            RetryBudget(min_tokens=5.0, cap=1.0)
+
+
+class TestBudgetOverTheSocket:
+    def test_unresponsive_peer_exhausts_the_budget_typed(self):
+        """Against dead air the client stops retrying when the bucket is
+        dry — a typed refusal to amplify the incident, not a hang."""
+
+        async def _go():
+            async def swallow(reader, writer):
+                try:
+                    while await reader.read(1 << 16):
+                        pass
+                except (ConnectionError, OSError):
+                    pass
+                finally:
+                    writer.close()
+
+            server = await asyncio.start_server(swallow, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            budget = RetryBudget(ratio=0.0, min_tokens=1.0, cap=1.0)
+            client = AsyncClient(
+                "127.0.0.1", port,
+                policy=RetryPolicy(
+                    max_attempts=10, base_backoff_ms=1.0, jitter=0.0,
+                    timeout_ms=30.0, deadline_ms=10_000.0,
+                ),
+                budget=budget,
+            )
+            registry = default_registry()
+            before = sum(
+                registry.counters_matching(
+                    "service.client.retry_budget_exhausted"
+                ).values()
+            )
+            try:
+                with pytest.raises(RetryBudgetExhausted, match="retry budget"):
+                    await client.request("anyone", CatalogRequest())
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            after = sum(
+                registry.counters_matching(
+                    "service.client.retry_budget_exhausted"
+                ).values()
+            )
+            # One token: attempt 1 free, one retry, then the typed refusal.
+            assert budget.withdrawals == 1 and budget.refusals == 1
+            assert after == before + 1
+
+        asyncio.run(_go())
+
+
+class SlowEcho:
+    def __init__(self, sleep_s: float):
+        self.sleep_s = sleep_s
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        time.sleep(self.sleep_s)
+        return CatalogResponse((self.calls,))
+
+
+class TestHedging:
+    def test_late_primary_triggers_a_hedge_and_dedup_keeps_one_execution(
+        self, make_server
+    ):
+        network = SimNetwork()
+        echo = SlowEcho(sleep_s=0.2)
+        network.register("slow", echo)
+        harness = make_server(
+            network, ServiceConfig(concurrency=1, drain_timeout_s=2.0)
+        )
+        registry = default_registry()
+        hedges_before = registry.counter_value("service.client.hedges")
+        dedup_before = registry.counter_value("service.dedup_hits")
+
+        async def _go():
+            client = AsyncClient(
+                "127.0.0.1", harness.port,
+                policy=RetryPolicy(
+                    max_attempts=3, timeout_ms=2000.0, deadline_ms=10_000.0
+                ),
+                hedge_after_ms=50.0,
+            )
+            try:
+                response = await client.request("slow", CatalogRequest())
+                # Keep the connection up until the server has drained the
+                # hedged copy too, so its dedup hit is observable.
+                await asyncio.sleep(0.3)
+                return response
+            finally:
+                await client.close()
+
+        response = asyncio.run(_go())
+        assert response == CatalogResponse((1,))
+        # The hedge fired (primary ran 4x past the hedge delay), but both
+        # copies share one msg_id so the server executed the work once.
+        assert echo.calls == 1
+        assert registry.counter_value("service.client.hedges") == hedges_before + 1
+        assert registry.counter_value("service.dedup_hits") >= dedup_before + 1
+
+    def test_fast_primary_never_hedges(self, make_server):
+        network = SimNetwork()
+        echo = SlowEcho(sleep_s=0.0)
+        network.register("fast", echo)
+        harness = make_server(network, ServiceConfig(drain_timeout_s=2.0))
+        registry = default_registry()
+        hedges_before = registry.counter_value("service.client.hedges")
+
+        async def _go():
+            client = AsyncClient(
+                "127.0.0.1", harness.port,
+                policy=RetryPolicy(max_attempts=3, timeout_ms=2000.0),
+                hedge_after_ms=5000.0,
+            )
+            try:
+                return await client.request("fast", CatalogRequest())
+            finally:
+                await client.close()
+
+        assert asyncio.run(_go()) == CatalogResponse((1,))
+        assert registry.counter_value("service.client.hedges") == hedges_before
+        assert echo.calls == 1

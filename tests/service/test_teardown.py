@@ -1,0 +1,178 @@
+"""Teardown and reconnect races in the socket clients (chaos satellite).
+
+The chaos interposer kills connections at arbitrary points, so the
+clients' lifecycle edges are load-bearing: ``close()`` must be
+idempotent, in-flight calls must fail with the *typed*
+:class:`ConnectionClosed` (never hang, never leak a bare
+``ConnectionResetError``), and an aborted connection's read loop must
+not outlive it — the original wedge was a stale loop waking up against
+its successor's stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.desword.messages import CatalogRequest, CatalogResponse
+from repro.desword.network import SimNetwork
+from repro.service import AsyncClient, ServiceConfig, SocketTransport
+from repro.service.client import ConnectionClosed
+
+
+class Echo:
+    def __init__(self):
+        self.calls = 0
+
+    def handle_message(self, sender, message):
+        self.calls += 1
+        return CatalogResponse((self.calls,))
+
+
+@pytest.fixture()
+def echo_server(make_server):
+    network = SimNetwork()
+    echo = Echo()
+    network.register("echo", echo)
+    return make_server(network, ServiceConfig(drain_timeout_s=2.0)), echo
+
+
+async def _start_blackhole():
+    """A server that accepts, reads, and never answers."""
+
+    async def swallow(reader, writer):
+        try:
+            while await reader.read(1 << 16):
+                pass
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(swallow, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+class TestAsyncClientClose:
+    def test_close_is_idempotent(self, echo_server):
+        harness, _ = echo_server
+
+        async def _go():
+            client = AsyncClient("127.0.0.1", harness.port)
+            assert await client.request("echo", CatalogRequest()) is not None
+            await client.close()
+            await client.close()  # second close is a no-op, not an error
+
+        asyncio.run(_go())
+
+    def test_request_after_close_raises_typed(self, echo_server):
+        harness, _ = echo_server
+
+        async def _go():
+            client = AsyncClient("127.0.0.1", harness.port)
+            await client.close()
+            with pytest.raises(ConnectionClosed, match="client closed"):
+                await client.request("echo", CatalogRequest())
+
+        asyncio.run(_go())
+
+    def test_close_rejects_in_flight_requests_with_typed_error(self):
+        async def _go():
+            server, port = await _start_blackhole()
+            client = AsyncClient("127.0.0.1", port)
+            await client.connect()
+            pending = asyncio.ensure_future(
+                client.request("echo", CatalogRequest())
+            )
+            await asyncio.sleep(0.05)
+            assert not pending.done()  # parked on the never-answering peer
+            await client.close()
+            with pytest.raises(ConnectionClosed):
+                await pending
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(_go())
+
+    def test_close_reaps_the_read_loop(self, echo_server):
+        harness, _ = echo_server
+
+        async def _go():
+            client = AsyncClient("127.0.0.1", harness.port)
+            await client.request("echo", CatalogRequest())
+            task = client._reader_task
+            assert task is not None and not task.done()
+            await client.close()
+            assert task.done()
+            assert not client._dying  # nothing left to destroy at loop exit
+
+        asyncio.run(_go())
+
+
+class TestReconnectRace:
+    def test_abort_cancels_the_old_read_loop_before_reconnecting(self, echo_server):
+        """Regression: ``_abort`` used to null the task reference without
+        cancelling it, leaving the old loop to read the *new* connection's
+        stream — two coroutines on one reader, client wedged forever."""
+        harness, echo = echo_server
+
+        async def _go():
+            client = AsyncClient("127.0.0.1", harness.port)
+            first = await client.request("echo", CatalogRequest())
+            old_task = client._reader_task
+            client._abort(ConnectionClosed("injected: peer went quiet"))
+            assert client._reader_task is None and client._writer is None
+            # Next request dials fresh and must not race the old loop.
+            second = await client.request("echo", CatalogRequest())
+            assert client._reader_task is not old_task
+            await asyncio.gather(old_task, return_exceptions=True)
+            assert old_task.done()
+            third = await client.request("echo", CatalogRequest())
+            await client.close()
+            return first, second, third
+
+        first, second, third = asyncio.run(_go())
+        assert (first.product_ids, second.product_ids, third.product_ids) == (
+            (1,), (2,), (3,)
+        )
+        assert echo.calls == 3
+
+    def test_abort_fails_waiters_so_retry_layers_see_a_typed_error(self):
+        async def _go():
+            server, port = await _start_blackhole()
+            client = AsyncClient("127.0.0.1", port)
+            await client.connect()
+            pending = asyncio.ensure_future(
+                client.request("echo", CatalogRequest())
+            )
+            await asyncio.sleep(0.05)
+            client._abort(ConnectionClosed("injected"))
+            with pytest.raises(ConnectionClosed, match="injected"):
+                await pending
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(_go())
+
+
+class TestSocketTransportClose:
+    def test_close_is_idempotent_and_rpcs_fail_typed(self, echo_server):
+        harness, _ = echo_server
+        transport = SocketTransport("127.0.0.1", harness.port)
+        response = transport.request("tester", "echo", CatalogRequest())
+        assert isinstance(response, CatalogResponse)
+        transport.close()
+        transport.close()
+        with pytest.raises(ConnectionClosed, match="transport closed"):
+            transport.request("tester", "echo", CatalogRequest())
+        with pytest.raises(ConnectionClosed, match="transport closed"):
+            transport.send("tester", "echo", CatalogRequest())
+
+    def test_close_before_first_use_is_fine(self, echo_server):
+        harness, _ = echo_server
+        transport = SocketTransport("127.0.0.1", harness.port)
+        transport.close()
+        with pytest.raises(ConnectionClosed):
+            transport.request("tester", "echo", CatalogRequest())

@@ -1,0 +1,104 @@
+"""Degraded sweeps: a dark shard yields an explicit partial answer.
+
+The strict contract (``sweep_query`` raises :class:`ShardCrashed`) stays
+the default; socket front-ends opt into ``allow_partial=True`` and get a
+result whose ``missing_tasks`` names exactly the unreachable coverage —
+and whose canonical bytes carry the ``DG1`` trailer, so a partial answer
+can never impersonate a complete one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import default_registry
+from repro.service.soak import has_degraded_marker
+from repro.sharding import CrashPlan, ShardCrashed
+
+from .conftest import distribute_slices
+
+
+def _build_split_world(make_tier, products):
+    """A 2-shard world with tasks on both shards, plus the dark-side task list."""
+    sharded = make_tier(seed="world", shards=2)
+    distribute_slices(sharded, products[:12], per_task=4)
+    pid = products[0]
+    owner = sharded.proxy.product_to_shard[pid]
+    dark_tasks = sorted(
+        task for task, shard_id in sharded.proxy.task_to_shard.items()
+        if shard_id != owner
+    )
+    assert dark_tasks, "world seed must spread tasks across both shards"
+    victim_id = next(
+        shard_id for shard_id in sharded.proxy.task_to_shard.values()
+        if shard_id != owner
+    )
+    return sharded, pid, victim_id, dark_tasks
+
+
+def test_strict_sweep_still_raises_on_a_dark_shard(make_tier, products):
+    sharded, pid, victim_id, _ = _build_split_world(make_tier, products)
+    sharded.proxy.shards[victim_id].primary.failpoint = CrashPlan("probe")
+    with pytest.raises(ShardCrashed):
+        sharded.proxy.sweep_query(pid, quality="good")
+    sharded.proxy.close()
+
+
+def test_partial_sweep_names_the_missing_tasks_and_marks_the_bytes(
+    make_tier, products
+):
+    baseline = make_tier(seed="world")
+    distribute_slices(baseline, products[:12], per_task=4)
+    complete = baseline.sweep(products[0], quality="good")
+
+    sharded, pid, victim_id, dark_tasks = _build_split_world(make_tier, products)
+    sharded.proxy.shards[victim_id].primary.failpoint = CrashPlan("probe")
+    registry = default_registry()
+    before = sum(
+        registry.counters_matching("shard.degraded_sweeps").values()
+    )
+
+    result = sharded.proxy.sweep_query(pid, quality="good", allow_partial=True)
+
+    assert result.degraded
+    assert sorted(result.missing_tasks) == dark_tasks
+    # The reachable side still answered: the queried product's own task
+    # lives on the surviving shard, so its path is complete.
+    assert result.path == baseline.ground_truth_path(pid)
+    encoded = result.canonical_bytes()
+    assert has_degraded_marker(encoded)
+    # A partial answer is never byte-identical to the complete one.
+    assert encoded != complete.canonical_bytes()
+    after = sum(
+        registry.counters_matching("shard.degraded_sweeps").values()
+    )
+    assert after == before + len(dark_tasks)
+    sharded.proxy.close()
+
+
+def test_clean_sweep_carries_no_marker_and_matches_the_monolith(
+    make_tier, products
+):
+    baseline = make_tier(seed="world")
+    sharded = make_tier(seed="world", shards=2)
+    distribute_slices(baseline, products[:12], per_task=4)
+    distribute_slices(sharded, products[:12], per_task=4)
+
+    pid = products[0]
+    expected = baseline.sweep(pid, quality="good")
+    got = sharded.proxy.sweep_query(pid, quality="good", allow_partial=True)
+
+    assert not got.degraded and not got.missing_tasks
+    assert not has_degraded_marker(got.canonical_bytes())
+    assert got.canonical_bytes() == expected.canonical_bytes()
+    sharded.proxy.close()
+
+
+def test_feature_detection_flag(make_tier, products):
+    """The socket front-end feature-detects partial sweeps, so the flag
+    must exist on the router and stay absent from the monolith."""
+    sharded = make_tier(seed="world", shards=2)
+    monolith = make_tier(seed="world")
+    assert getattr(sharded.proxy, "supports_partial_sweeps", False)
+    assert not getattr(monolith.proxy, "supports_partial_sweeps", False)
+    sharded.proxy.close()

@@ -542,3 +542,65 @@ class TestServeLoadCommands:
     def test_load_unreachable_server_fails_cleanly(self, capsys):
         assert main(["load", "--port", "1", "--duration", "1"]) == 1
         assert "cannot reach" in capsys.readouterr().out
+
+
+class TestChaosSoakCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos-soak"])
+        assert args.products == 24
+        assert args.shards == 2
+        assert args.queries == 200
+        assert args.sweep_fraction == 0.5
+        assert args.kill_at == 0.4
+        assert not args.no_kill
+        assert args.attempts == 10
+        assert args.retry_base_ms == 50.0
+        assert args.budget_min == 40.0
+        assert args.timeout_ms == 1000.0
+        assert args.deadline_ms == 8000.0
+        assert args.hedge_after_ms == 0.0
+        assert args.hang_timeout == 30.0
+        assert args.min_completion == 0.0
+        assert args.fault_profile is None
+        assert args.state_dir is None
+
+    def test_store_dirs_monolith_layout(self, tmp_path):
+        from repro.cli import _store_dirs
+
+        assert _store_dirs(tmp_path) == [tmp_path]
+
+    def test_store_dirs_sharded_layout(self, tmp_path):
+        from repro.cli import _store_dirs
+
+        (tmp_path / "router").mkdir()
+        for shard in ("shard-0", "shard-1"):
+            (tmp_path / shard / "primary").mkdir(parents=True)
+        (tmp_path / "shard-1" / "replica-0").mkdir()
+        dirs = _store_dirs(tmp_path)
+        assert dirs == [
+            tmp_path / "router",
+            tmp_path / "shard-0" / "primary",
+            tmp_path / "shard-1" / "primary",
+            tmp_path / "shard-1" / "replica-0",
+        ]
+
+    def test_soak_no_kill_smoke(self, tmp_path, capsys):
+        """A miniature toxic-free soak: subprocess serve, interposer,
+        byte-correctness check, store verify — everything but the kill."""
+        out = tmp_path / "soak.json"
+        code = main([
+            "chaos-soak", "--products", "4", "--shards", "1",
+            "--queries", "6", "--concurrency", "2", "--no-kill",
+            "--state-dir", str(tmp_path / "state"),
+            "--min-completion", "1.0", "--out", str(out), "--json",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0, captured
+        report = json.loads(captured)
+        assert report["soak"]["offered"] == 6
+        assert report["soak"]["ok"] == 6
+        assert report["soak"]["mismatches"] == 0
+        assert report["soak"]["hangs"] == 0
+        assert report["restarts"] == 0
+        assert report["stores"] and all(report["stores"].values())
+        assert json.loads(out.read_text()) == report
